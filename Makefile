@@ -1,0 +1,32 @@
+# Convenience targets for the VDS-SMT reproduction.
+
+PYTHON ?= python
+
+.PHONY: install test bench experiments quick-experiments examples clean
+
+install:
+	$(PYTHON) -m pip install -e .
+
+test:
+	$(PYTHON) -m pytest tests/
+
+bench:
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only -s
+
+experiments:
+	$(PYTHON) -m repro.cli run --all
+
+quick-experiments:
+	$(PYTHON) -m repro.cli run --all --quick
+
+examples:
+	@for f in examples/*.py; do \
+		echo "== $$f =="; $(PYTHON) $$f || exit 1; \
+	done
+
+clean:
+	find . -name __pycache__ -type d -exec rm -rf {} +; \
+	rm -rf .pytest_cache .hypothesis .benchmarks
+
+soak:
+	HYPOTHESIS_PROFILE=thorough $(PYTHON) -m pytest tests/

@@ -1,0 +1,31 @@
+"""Benchmark-suite configuration.
+
+Every benchmark regenerates one of the paper's figures/tables (see
+DESIGN.md §4) and prints the resulting artifact, so
+
+.. code-block:: console
+
+    $ pytest benchmarks/ --benchmark-only -s
+
+reproduces the paper's entire evaluation in the terminal.  The benchmark
+timings themselves measure the cost of regenerating each artifact.
+"""
+
+import pytest
+
+from repro.experiments import run_experiment
+
+
+@pytest.fixture
+def run_and_print(capsys):
+    """Run an experiment, echo its artifact, return the result."""
+
+    def _run(exp_id: str, quick: bool = False, seed: int = 0):
+        result = run_experiment(exp_id, quick=quick, seed=seed)
+        with capsys.disabled():
+            print()
+            print(f"== {result.exp_id}: {result.title} ==")
+            print(result.text)
+        return result
+
+    return _run

@@ -1,0 +1,62 @@
+"""ABL-3 — ablation: comparison frequency (the ref [14] trade-off).
+
+§2.2: "shortening test intervals improves reliability, because the
+likeliness of two processes affected by a fault is decreased.  Thus, it is
+advised to test states more often than saving checkpoints."  This ablation
+sweeps the comparison period k (compare every k rounds): larger k
+amortises t′ but stretches the detection window, raising both the
+detection latency and the double-fault probability.
+
+Expected shape: throughput gains from k are marginal (t′ ≪ t) while the
+double-fault probability grows ~quadratically in k — the paper's
+compare-every-round choice is the right end of the trade-off.
+"""
+
+import pytest
+
+from repro.analysis.metrics import double_fault_probability
+from repro.analysis.report import render_table
+from repro.core.params import VDSParameters
+
+
+def sparse_comparison_round_time(params: VDSParameters, k: int) -> float:
+    """Amortised conventional round time with one comparison per k rounds."""
+    return 2.0 * (params.t + params.c) + params.t_cmp / k
+
+
+def run_ablation():
+    params = VDSParameters(alpha=0.65, beta=0.1, s=20)
+    fault_rate = 0.01  # per time unit
+    rows = []
+    for k in (1, 2, 4, 5, 10, 20):
+        round_time = sparse_comparison_round_time(params, k)
+        window = k * round_time          # worst-case detection window
+        rows.append([
+            k,
+            round_time,
+            1.0 / round_time,            # throughput
+            window,                      # detection latency bound
+            double_fault_probability(fault_rate, window),
+        ])
+    return rows
+
+
+@pytest.mark.benchmark(group="ablations")
+def test_abl3_comparison_frequency(benchmark, capsys):
+    rows = benchmark.pedantic(run_ablation, rounds=3, iterations=1)
+    with capsys.disabled():
+        print()
+        print(render_table(
+            ["compare every k", "round time", "throughput",
+             "detection window", "P(double fault in window)"],
+            rows,
+            title="ABL-3: comparison-frequency trade-off "
+                  "(alpha = 0.65, beta = 0.1, fault rate 0.01)",
+            precision=5))
+    k1, k20 = rows[0], rows[-1]
+    # Throughput benefit of sparse comparison is < 5 %...
+    assert k20[2] / k1[2] < 1.05
+    # ...while the double-fault exposure explodes by orders of magnitude.
+    assert k20[4] > 50 * k1[4]
+    windows = [r[3] for r in rows]
+    assert windows == sorted(windows)

@@ -1,0 +1,46 @@
+"""ABL-2 — ablation: paper footnote 3, ``max(t′, c)`` vs ``t′``.
+
+Eq. (5) writes the recovery's trailing overhead as 2·t′; footnote 3 notes
+the exact form would be 2·max(t′, c).  Under the paper's Eq. (14) coupling
+(c = t′) the two coincide, which is why the figures are unaffected; the
+difference only appears with decoupled overheads where c > t′.
+
+Expected shape: zero difference whenever c ≤ t′; a visible but small gain
+reduction when context switches dominate comparisons.
+"""
+
+import pytest
+
+from repro.analysis.report import render_table
+from repro.core.params import VDSParameters
+from repro.core.prediction_model import prediction_scheme_mean_gain
+
+
+def run_ablation():
+    rows = []
+    for c, t_cmp in [(0.1, 0.1), (0.05, 0.1), (0.3, 0.05), (0.5, 0.02)]:
+        plain = VDSParameters(alpha=0.65, s=20, c=c, t_cmp=t_cmp)
+        exact = plain.with_(use_footnote3=True)
+        g_plain = prediction_scheme_mean_gain(plain, 0.5)
+        g_exact = prediction_scheme_mean_gain(exact, 0.5)
+        rows.append([c, t_cmp, g_plain, g_exact,
+                     (g_plain - g_exact) / g_plain])
+    return rows
+
+
+@pytest.mark.benchmark(group="ablations")
+def test_abl2_footnote3(benchmark, capsys):
+    rows = benchmark.pedantic(run_ablation, rounds=3, iterations=1)
+    with capsys.disabled():
+        print()
+        print(render_table(
+            ["c", "t'", "G (paper, 2t')", "G (footnote 3, 2 max(t',c))",
+             "relative difference"],
+            rows,
+            title="ABL-2: footnote-3 exactness (alpha = 0.65, p = 0.5, "
+                  "s = 20)"))
+    for c, t_cmp, g_plain, g_exact, diff in rows:
+        if c <= t_cmp:
+            assert diff == pytest.approx(0.0, abs=1e-12)
+        else:
+            assert 0 < diff < 0.2

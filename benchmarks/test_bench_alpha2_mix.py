@@ -1,0 +1,23 @@
+"""ALPHA-2 — α across the instruction-mix simplex.
+
+Expected shape: all measured α in (½, 1); ALU-pure pairs contend hardest
+on the single ALU port (highest α); memory-heavy pairs hide each other's
+miss stalls (lower α), more so with longer miss latencies.
+"""
+
+import pytest
+
+
+@pytest.mark.benchmark(group="validation")
+def test_alpha2_mix_simplex(benchmark, run_and_print):
+    result = benchmark.pedantic(
+        lambda: run_and_print("ALPHA-2", quick=True), rounds=1, iterations=1
+    )
+    alphas = result.data["alphas"]
+    latencies = result.data["latencies"]
+    assert all(0.5 < a < 1.0 for a in alphas.values())
+    for lat in latencies:
+        assert alphas[("pure ALU", lat)] > alphas[("mem-heavy", lat)]
+    # Longer miss latency -> more latency hiding for memory-heavy pairs.
+    lo, hi = latencies[0], latencies[-1]
+    assert alphas[("mem-heavy", hi)] <= alphas[("mem-heavy", lo)] + 1e-9

@@ -1,0 +1,25 @@
+"""COV-1 — fault-injection coverage of the §2.1 fault-model assumptions.
+
+Expected shape: mixed transient campaigns on a diverse pair reach ≈ 100 %
+coverage with sub-round detection latency; permanent ALU stuck-ats are
+*silently* missed by identical copies but fully exposed by diversity —
+the paper's core rationale for diverse versions.
+"""
+
+import pytest
+
+
+@pytest.mark.benchmark(group="coverage")
+def test_cov1_injection_coverage(benchmark, run_and_print):
+    result = benchmark.pedantic(
+        lambda: run_and_print("COV-1"), rounds=1, iterations=1
+    )
+    d = result.data
+    assert d["mixed_coverage"] > 0.95
+    assert d["perm_diverse_coverage"] == 1.0
+    assert d["perm_same_coverage"] < d["perm_diverse_coverage"]
+    from repro.faults import FaultOutcome
+    assert d["perm_same"].count(FaultOutcome.SILENT_CORRUPTION) > 0
+    assert d["perm_div"].count(FaultOutcome.SILENT_CORRUPTION) == 0
+    latency = d["mixed"].mean_detection_latency()
+    assert latency is not None and latency < 2.0

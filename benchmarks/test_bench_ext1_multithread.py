@@ -1,0 +1,25 @@
+"""EXT-1 — §5's boosted schemes on 3/5 hardware threads.
+
+Expected shape: with the saturating α(n) curve the boosted deterministic
+scheme dominates at α₂ = 0.5 and low p (it buys the full roll-forward
+without prediction risk), while at realistic contention (α₂ ≈ 0.65) or
+high p the 2-thread prediction scheme remains the best choice.
+"""
+
+import pytest
+
+
+@pytest.mark.benchmark(group="extensions")
+def test_ext1_boosted_schemes(benchmark, run_and_print):
+    result = benchmark.pedantic(
+        lambda: run_and_print("EXT-1"), rounds=1, iterations=1
+    )
+    for rec in result.data["records"]:
+        alpha, p = rec.point["alpha"], rec.point["p"]
+        if alpha == 0.5 and p == 0.5:
+            assert rec.outputs["best"] == "boosted-deterministic"
+        if alpha == 0.65 and p == 1.0:
+            assert rec.outputs["best"] == "prediction"
+    # DES cross-check agreed with the analytic recovery makespans.
+    assert result.data["des_boost5"].progress == 8
+    assert result.data["des_boost3"].progress == 8

@@ -1,0 +1,27 @@
+"""EXT-2 — fault-history prediction (§5's branch-prediction analogy).
+
+Expected shape: random stays at p ≈ 0.5; saturating-counter and Bayesian
+predictors track the victim bias (p → max(bias, 1−bias)); crash evidence
+adds its fraction; and every gained point of p lifts Ḡ_corr toward the
+Fig. 5 line.
+"""
+
+import pytest
+
+
+@pytest.mark.benchmark(group="extensions")
+def test_ext2_fault_history_prediction(benchmark, run_and_print):
+    result = benchmark.pedantic(
+        lambda: run_and_print("EXT-2"), rounds=1, iterations=1
+    )
+    acc = result.data["accuracy"]
+    assert acc[("unbiased", "random")] == pytest.approx(0.5, abs=0.05)
+    assert acc[("biased 90/10", "two-bit")] > 0.85
+    assert acc[("biased 90/10", "bayesian")] > 0.85
+    assert acc[("unbiased + 30% crashes", "crash-evidence")] == \
+        pytest.approx(0.3 + 0.7 * 0.5, abs=0.05)
+    # Gains grow monotonically with achieved p within a scenario.
+    rows = result.data["rows"]
+    biased = sorted((r[2], r[3]) for r in rows if r[0] == "biased 90/10")
+    gains = [g for _p, g in biased]
+    assert gains == sorted(gains)

@@ -1,0 +1,21 @@
+"""EXT-3 — §5's clock/power trade-off.
+
+Expected shape: the equal-performance frequency scale tracks α (slightly
+below it once overheads are counted); under combined DVFS the power saving
+is super-linear (P ∝ f³), e.g. less than half power at α = 0.65.
+"""
+
+import pytest
+
+
+@pytest.mark.benchmark(group="extensions")
+def test_ext3_frequency_power_tradeoff(benchmark, run_and_print):
+    result = benchmark.pedantic(
+        lambda: run_and_print("EXT-3"), rounds=3, iterations=1
+    )
+    assert result.data["p4_power_dvfs"] < 0.5
+    for rec in result.data["records"]:
+        alpha = rec.point["alpha"]
+        scale = rec.outputs["freq_scale"]
+        assert scale <= alpha + 1e-12
+        assert rec.outputs["power_dvfs"] <= rec.outputs["power_freq_only"]

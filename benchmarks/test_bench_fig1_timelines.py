@@ -1,0 +1,27 @@
+"""FIG1 — regenerate the paper's Fig. 1 execution timelines.
+
+Paper artifact: "Execution models of a virtual duplex system on different
+processor architectures" — the conventional round structure
+(V1, switch, V2, switch, compare) and the SMT structure (parallel rounds,
+roll-forward recovery).  Expected shape: the measured round and correction
+times equal Eqs. (1)/(2)/(3)/(5) exactly.
+"""
+
+import pytest
+
+
+@pytest.mark.benchmark(group="figures")
+def test_fig1_execution_timelines(benchmark, run_and_print):
+    result = benchmark.pedantic(
+        lambda: run_and_print("FIG1"), rounds=1, iterations=1
+    )
+    d = result.data
+    assert d["conv_round_time"] == pytest.approx(2.3)
+    assert d["smt_round_time"] == pytest.approx(1.4)
+    assert d["conv_correction_time"] == pytest.approx(
+        d["fault_round"] * 1.0 + 0.2
+    )
+    assert d["smt_correction_time"] == pytest.approx(
+        2 * d["fault_round"] * 0.65 + 0.2
+    )
+    assert d["smt_total"] < d["conv_total"]

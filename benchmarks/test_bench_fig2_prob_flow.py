@@ -1,0 +1,23 @@
+"""FIG2 — regenerate the probabilistic roll-forward flow chart (Fig. 2).
+
+The decision paths of the scheme are driven through every branch of the
+paper's chart; expected shape: hit/miss/discard/rollback all reachable,
+with the discard triggered exactly by a roll-forward fault and the
+rollback exactly by a retry fault (no majority).
+"""
+
+import pytest
+
+
+@pytest.mark.benchmark(group="figures")
+def test_fig2_probabilistic_flow_chart(benchmark, run_and_print):
+    result = benchmark.pedantic(
+        lambda: run_and_print("FIG2"), rounds=1, iterations=1
+    )
+    rows = result.data["rows"]
+    by_label = {r[0]: r for r in rows}
+    assert by_label["fault during retry (no majority)"][1] is False
+    assert by_label["fault during roll-forward"][3] is True
+    paths = {r[0]: r[4] for r in rows}
+    assert "choose-R" in paths["plain fault"]
+    assert "no-majority" in paths["fault during retry (no majority)"]

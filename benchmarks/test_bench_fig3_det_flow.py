@@ -1,0 +1,21 @@
+"""FIG3 — regenerate the deterministic roll-forward flow chart (Fig. 3).
+
+Expected shape: the scheme is prediction-free (progress guaranteed except
+under a roll-forward fault), discards on a roll-forward fault, and falls
+back to rollback when the retry is also faulty.
+"""
+
+import pytest
+
+
+@pytest.mark.benchmark(group="figures")
+def test_fig3_deterministic_flow_chart(benchmark, run_and_print):
+    result = benchmark.pedantic(
+        lambda: run_and_print("FIG3"), rounds=1, iterations=1
+    )
+    rows = result.data["rows"]
+    by_label = {r[0]: r for r in rows}
+    assert by_label["plain fault"][2] > 0          # guaranteed progress
+    assert by_label["crash fault"][2] > 0
+    assert by_label["fault during roll-forward"][2] == 0
+    assert by_label["fault during retry (no majority)"][1] is False

@@ -1,0 +1,35 @@
+"""FIG4 — regenerate the paper's Figure 4: Ḡ_corr(α, β) for p = 0.5.
+
+Expected shape (who wins, where): gain decreases in α; the break-even
+frontier crosses α ≈ 0.847 at β = 0 (the paper's random-guess threshold);
+at the Pentium-4 point (0.65, 0.1) the gain is ≈ 1.35 with s = 20 and
+G_max ≈ 1.38 in the s → ∞ limit.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.prediction_model import breakeven_alpha_random_guess
+
+
+@pytest.mark.benchmark(group="figures")
+def test_fig4_gain_surface_p05(benchmark, run_and_print):
+    result = benchmark.pedantic(
+        lambda: run_and_print("FIG4"), rounds=3, iterations=1
+    )
+    surface = result.data["surface"]
+    assert result.data["headline_gain"] == pytest.approx(1.35, abs=0.01)
+
+    # Monotone decreasing in alpha along every beta column.
+    assert np.all(np.diff(surface.values, axis=0) <= 1e-12)
+
+    # Break-even at beta = 0 sits next to (1 + ln 2)/2.
+    beta0 = surface.values[:, 0]
+    crossing = surface.alphas[np.searchsorted(-beta0, -1.0)]
+    assert abs(crossing - breakeven_alpha_random_guess()) < 0.06
+
+    # The worst corner (alpha = 1, beta = 0) loses, the best (alpha = 0.5)
+    # wins — the figure's overall relief.
+    a_max, _b, v_max = surface.max()
+    assert a_max == pytest.approx(0.5) and v_max > 1.6
+    assert surface.min()[2] < 1.0

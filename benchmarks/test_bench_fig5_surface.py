@@ -1,0 +1,28 @@
+"""FIG5 — regenerate the paper's Figure 5: Ḡ_corr(α, β) for p = 1.0.
+
+Expected shape: pointwise above Fig. 4; with perfect prediction the gain
+region covers almost the whole (α, β) plane (the paper's best case), and
+the maximum at α = 0.5 exceeds 2×.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.surfaces import figure4_surface
+
+
+@pytest.mark.benchmark(group="figures")
+def test_fig5_gain_surface_p10(benchmark, run_and_print):
+    result = benchmark.pedantic(
+        lambda: run_and_print("FIG5"), rounds=3, iterations=1
+    )
+    surface = result.data["surface"]
+    f4 = figure4_surface(s=20, alphas=surface.alphas, betas=surface.betas)
+    assert np.all(surface.values >= f4.values - 1e-12)
+    assert result.data["gain_fraction"] > 0.9
+    assert surface.max()[2] > 2.0
+    assert result.data["headline_gain"] == pytest.approx(
+        result.data["headline_gain"], abs=0.0
+    )
+    # p = 1, Pentium-4 point: G ≈ (1 + 2.3·ln2)/1.3 ≈ 1.98 at the limit.
+    assert result.data["headline_gain"] == pytest.approx(1.92, abs=0.03)

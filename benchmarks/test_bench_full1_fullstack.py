@@ -1,0 +1,26 @@
+"""FULL-1 — the full stack: diverse ISA versions on the slot-level core.
+
+Expected shape: the SMT configuration wins the fault-free mission by
+roughly the model's G_round evaluated at the *measured* α and overhead
+ratios (within ~10 %); with periodic faults the SMT side still wins and
+every mission ends with correct program outputs on both architectures.
+"""
+
+import pytest
+
+
+@pytest.mark.benchmark(group="fullstack")
+def test_full1_cycle_level_gain(benchmark, run_and_print):
+    result = benchmark.pedantic(
+        lambda: run_and_print("FULL-1", quick=True), rounds=1, iterations=1
+    )
+    d = result.data
+    assert 0.5 < d["alpha"] < 1.0
+    assert d["faultfree_gain"] == pytest.approx(
+        d["predicted_round_gain"], rel=0.10
+    )
+    assert d["faulted_gain"] > 1.0
+    assert d["faultfree"]["smt"] < d["faultfree"]["conventional"]
+    # Every injected fault produced exactly one recovery on each side.
+    assert len(d["smt_recoveries"]) == len(d["conv_recoveries"])
+    assert all(r.resolved for r in d["smt_recoveries"])

@@ -1,0 +1,25 @@
+"""OPT-1 — optimal checkpoint interval.
+
+Expected shape: the square-root law (s* ∝ √W, ∝ 1/√λ), Young's closed form
+tracking the integer optimum for stop-and-retry, and the SMT roll-forward
+pushing the optimum to longer intervals.
+"""
+
+import pytest
+
+
+@pytest.mark.benchmark(group="extensions")
+def test_opt1_checkpoint_interval(benchmark, run_and_print):
+    result = benchmark.pedantic(
+        lambda: run_and_print("OPT-1", quick=True), rounds=1, iterations=1
+    )
+    plans = result.data["plans"]
+    conv_a, smt_a, young_a = plans[(1e-3, 5.0)]
+    conv_b, _smt_b, _young_b = plans[(1e-2, 5.0)]
+    # Young tracks the integer optimum.
+    assert conv_a.s_star == pytest.approx(young_a, rel=0.1)
+    # 10x fault rate -> s* shrinks ~sqrt(10)x.
+    assert conv_a.s_star / conv_b.s_star == pytest.approx(10 ** 0.5,
+                                                          rel=0.15)
+    # The SMT scheme's cheaper recoveries lengthen the optimum.
+    assert smt_a.s_star >= conv_a.s_star

@@ -1,0 +1,21 @@
+"""REL-1 — dependability payoff of the SMT recovery (CTMC).
+
+Expected shape: both VDSs dwarf the simplex; the SMT VDS (net recovery
+cost from the roll-forward) strictly beats the conventional VDS at every
+fault rate, and perfect prediction (p = 1) widens the margin.
+"""
+
+import pytest
+
+
+@pytest.mark.benchmark(group="extensions")
+def test_rel1_dependability(benchmark, run_and_print):
+    result = benchmark.pedantic(
+        lambda: run_and_print("REL-1", quick=True), rounds=1, iterations=1
+    )
+    for rate, (rep, rep_p1) in result.data["reports"].items():
+        assert rep.availability_vds_conv > rep.availability_simplex
+        assert rep.availability_vds_smt >= rep.availability_vds_conv
+        assert rep_p1.availability_vds_smt > rep.availability_vds_smt
+        assert rep.mttf_vds_conv > 10 * rep.mttf_simplex
+        assert rep_p1.mttf_vds_smt > rep.mttf_vds_conv

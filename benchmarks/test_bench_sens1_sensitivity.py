@@ -1,0 +1,20 @@
+"""SENS-1 — gain sensitivity tornado.
+
+Expected shape: α's swing dominates the tornado, then p, then β; the α
+elasticity sits near −1 (G ≈ const/α up to the roll-forward term).
+"""
+
+import pytest
+
+
+@pytest.mark.benchmark(group="extensions")
+def test_sens1_tornado(benchmark, run_and_print):
+    result = benchmark.pedantic(
+        lambda: run_and_print("SENS-1", quick=True), rounds=3, iterations=1
+    )
+    e = result.data["elasticities"]
+    assert e.dominant() == "alpha"
+    assert -1.2 < e.alpha < -0.7
+    assert abs(e.p) > abs(e.beta)
+    rows = result.data["tornado"]
+    assert rows[0][0] == "alpha"

@@ -1,0 +1,25 @@
+"""SRT-1 — lockstep SRT (ref [9]) vs the VDS on the same core.
+
+Expected shape: per-cycle comparison bandwidth raises the lockstep pair's
+effective α above the VDS's (the ref-[9] "loss in performance"); with a
+fully dedicated comparator the throughput gap closes, leaving the latency/
+area/coverage trade: SRT detects in ~1 cycle, the VDS per round, and only
+the VDS covers permanent faults.
+"""
+
+import pytest
+
+
+@pytest.mark.benchmark(group="extensions")
+def test_srt1_lockstep_tradeoff(benchmark, run_and_print):
+    result = benchmark.pedantic(
+        lambda: run_and_print("SRT-1", quick=True), rounds=1, iterations=1
+    )
+    for name, d in result.data.items():
+        # Stolen comparison slots cost throughput...
+        assert d["srt_alpha"] > d["vds_alpha"] - 1e-9, name
+        # ...a dedicated comparator recovers it (same core, same α).
+        assert d["srt_alpha_dedicated"] == pytest.approx(d["vds_alpha"],
+                                                         rel=1e-9)
+        # The latency trade: a VDS round spans many cycles.
+        assert d["vds_round_cycles"] > 3.0

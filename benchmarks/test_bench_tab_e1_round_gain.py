@@ -1,0 +1,24 @@
+"""TAB-E1 — normal-phase round gain G_round (Eq. (4)).
+
+Expected shape: G_round ≈ 1/α for small overheads, growing with β (the
+conventional side pays the context switches); ≈ 1.64 at the Pentium-4
+point.
+"""
+
+import pytest
+
+
+@pytest.mark.benchmark(group="tables")
+def test_tab_e1_round_gain(benchmark, run_and_print):
+    result = benchmark.pedantic(
+        lambda: run_and_print("TAB-E1"), rounds=3, iterations=1
+    )
+    assert result.data["headline_gain_p4"] == pytest.approx(2.3 / 1.4)
+    for rec in result.data["records"]:
+        alpha, beta = rec.point["alpha"], rec.point["beta"]
+        g = rec.outputs["G_round"]
+        assert g >= 1.0 - 1e-12
+        if beta == 0.0:
+            assert g == pytest.approx(1.0 / alpha)
+        else:
+            assert g > 1.0 / alpha  # switches burden only the baseline

@@ -1,0 +1,24 @@
+"""TAB-E2 — deterministic roll-forward gain (Eqs. (6)/(7)).
+
+Expected shape: Ḡ_det falls with α and crosses 1 at α ≈ 0.723 — "the gain
+of the deterministic scheme is larger than one for α < 0.723".
+"""
+
+import pytest
+
+
+@pytest.mark.benchmark(group="tables")
+def test_tab_e2_deterministic_gain(benchmark, run_and_print):
+    result = benchmark.pedantic(
+        lambda: run_and_print("TAB-E2"), rounds=3, iterations=1
+    )
+    assert result.data["breakeven_alpha"] == pytest.approx(0.7231, abs=1e-3)
+    records = result.data["records"]
+    gains = [r.outputs["G_det"] for r in records]
+    assert gains == sorted(gains, reverse=True)  # monotone in alpha
+    for rec in records:
+        alpha, wins = rec.point["alpha"], rec.outputs["gains"]
+        if alpha <= 0.7:
+            assert wins
+        if alpha >= 0.75:
+            assert not wins

@@ -1,0 +1,24 @@
+"""TAB-E3 — probabilistic roll-forward gain (Eq. (8)).
+
+Expected shape: at p = 0.5 approximately equal to the deterministic gain;
+strictly above it for p > 0.5 ("for p > 0.5, the probabilistic scheme
+provides a larger gain").
+"""
+
+import pytest
+
+
+@pytest.mark.benchmark(group="tables")
+def test_tab_e3_probabilistic_gain(benchmark, run_and_print):
+    result = benchmark.pedantic(
+        lambda: run_and_print("TAB-E3"), rounds=3, iterations=1
+    )
+    for rec in result.data["records"]:
+        p = rec.point["p"]
+        g_prob, g_det = rec.outputs["G_prob"], rec.outputs["G_det"]
+        if p == 0.5:
+            assert g_prob == pytest.approx(g_det, rel=0.05)
+        if p >= 0.75:
+            assert g_prob > g_det
+        # Closed form tracks the exact mean within a few percent at s=20.
+        assert rec.outputs["closed_form"] == pytest.approx(g_prob, rel=0.03)

@@ -1,0 +1,21 @@
+"""TAB-E5 — G_max limit and convergence in s.
+
+Expected shape: Ḡ_corr(s) rises toward G_max = (23·p·ln2 + 10)/(20α)
+(≈ 1.38 at the paper's operating point) and sits within 5 % of the limit
+from s ≲ 20 — the paper's justification for plotting s = 20.
+"""
+
+import pytest
+
+
+@pytest.mark.benchmark(group="tables")
+def test_tab_e5_gmax_and_convergence(benchmark, run_and_print):
+    result = benchmark.pedantic(
+        lambda: run_and_print("TAB-E5"), rounds=1, iterations=1
+    )
+    d = result.data
+    assert d["g_max"] == pytest.approx(1.3824, abs=1e-3)      # "≈ 1.38"
+    assert d["g_max"] == pytest.approx(d["closed_form"], rel=1e-12)
+    assert d["s_for_5pct"] <= 20
+    errors = [err for _s, _g, err in d["rows"]]
+    assert errors == sorted(errors, reverse=True)

@@ -1,0 +1,22 @@
+"""TAB-E6 — the Lim & Bianchini cross-check (§4.3).
+
+Expected shape: with the weak multithreading benefit reported by ref [5]
+(α ≈ 0.9) the SMT VDS neither wins nor loses: G_max ≈ 1.0 ("we still
+would not lose").
+"""
+
+import pytest
+
+
+@pytest.mark.benchmark(group="tables")
+def test_tab_e6_weak_multithreading(benchmark, run_and_print):
+    result = benchmark.pedantic(
+        lambda: run_and_print("TAB-E6"), rounds=3, iterations=1
+    )
+    assert result.data["g_max_alpha09"] == pytest.approx(1.0, abs=0.01)
+    for rec in result.data["records"]:
+        alpha = rec.point["alpha"]
+        if alpha <= 0.85:
+            assert rec.outputs["G_max"] > 1.0
+        if alpha >= 0.95:
+            assert rec.outputs["G_max"] < 1.0

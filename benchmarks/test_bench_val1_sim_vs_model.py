@@ -1,0 +1,25 @@
+"""VAL-1 — simulation-vs-model validation across all schemes.
+
+Expected shape: for every fault round i and every scheme/outcome the
+DES-measured gain equals the model's per-round equation to machine
+precision (the model is evaluated with the simulator's integer
+roll-forward lengths, per paper footnote 2).
+"""
+
+import pytest
+
+
+@pytest.mark.benchmark(group="validation")
+def test_val1_model_matches_simulation(benchmark, run_and_print):
+    result = benchmark.pedantic(
+        lambda: run_and_print("VAL-1"), rounds=1, iterations=1
+    )
+    assert result.data["worst_rel_err"] < 1e-9
+    rows = result.data["rows"]
+    assert len(rows) == 20 * 5  # all fault rounds × five scheme/outcomes
+    # Shape: hits beat misses everywhere; the i <= s/2 plateau of the
+    # prediction scheme reaches 3/(2α)-ish gains.
+    by = {(r[0], r[1]): r[2] for r in rows}
+    for i in range(2, 10):
+        assert by[(i, "pred/hit")] > by[(i, "pred/miss")]
+        assert by[(i, "prob/hit")] >= by[(i, "prob/miss")]

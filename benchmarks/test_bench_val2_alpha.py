@@ -1,0 +1,17 @@
+"""VAL-2 — α emerging from the slot-level SMT core.
+
+Expected shape: every same-program pair measures α ∈ (½, 1) and the
+library mean lands near the paper's Pentium-4 operating point α = 0.65.
+"""
+
+import pytest
+
+
+@pytest.mark.benchmark(group="validation")
+def test_val2_alpha_emerges(benchmark, run_and_print):
+    result = benchmark.pedantic(
+        lambda: run_and_print("VAL-2"), rounds=1, iterations=1
+    )
+    alphas = result.data["alphas"]
+    assert all(0.5 < a < 1.0 for a in alphas)
+    assert result.data["mean_alpha"] == pytest.approx(0.65, abs=0.05)

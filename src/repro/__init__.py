@@ -1,0 +1,67 @@
+"""repro — Virtual Duplex Systems on Simultaneous Multithreaded Processors.
+
+A full reproduction of
+
+    Bernhard Fechner, Jörg Keller, Peter Sobe:
+    "Performance Estimation of Virtual Duplex Systems on Simultaneous
+    Multithreaded Processors", IPDPS Workshops (FTPDS), 2004.
+
+The library provides:
+
+* :mod:`repro.core` — the paper's analytical performance model: round and
+  correction times on conventional and 2-way SMT processors, the gain of
+  the deterministic / probabilistic / prediction-based roll-forward schemes
+  (Eqs. (1)–(13)), limits (``G_max``), and the Fig. 4/5 gain surfaces.
+* :mod:`repro.sim` — a discrete-event simulation engine (event queue,
+  generator-based processes, resources, traces) built from scratch.
+* :mod:`repro.smt` — a slot-level simultaneous-multithreaded processor
+  simulator in which the paper's α parameter *emerges* from issue-slot
+  contention between hardware threads.
+* :mod:`repro.isa` — a tiny register-machine ISA (assembler, interpreter,
+  program library) used as the substrate on which program *versions* run.
+* :mod:`repro.diversity` — automatic generation of design-/systematically-
+  diverse versions of ISA programs (paper refs [4], [6]).
+* :mod:`repro.coding` — error-detecting/correcting codes (parity, CRC,
+  Hamming) and EDC-protected memory (paper §2.1).
+* :mod:`repro.faults` — transient / permanent / crash fault models, Poisson
+  and environment-based arrival processes, and an injection campaign driver.
+* :mod:`repro.vds` — the virtual duplex system runtime: versions, rounds,
+  state comparison, checkpointing, and every recovery scheme in the paper
+  (rollback, stop-and-retry, roll-forward deterministic/probabilistic,
+  prediction-based, and the ≥3-hardware-thread extensions of §5).
+* :mod:`repro.predict` — fault predictors ("similar to branch prediction",
+  §5): random, crash-evidence, saturating-counter history, Bayesian.
+* :mod:`repro.analysis` — parameter sweeps, metrics, analytic-vs-simulated
+  comparison, and ASCII rendering of the paper's figures/tables.
+* :mod:`repro.experiments` — a registry regenerating every figure and table
+  (see DESIGN.md §4 and EXPERIMENTS.md).
+
+Quickstart
+----------
+>>> from repro.core import VDSParameters, gain_limit, prediction_scheme_mean_gain
+>>> params = VDSParameters(alpha=0.65, beta=0.1, s=20)
+>>> round(prediction_scheme_mean_gain(params, p=0.5), 2)   # at s = 20
+1.35
+>>> round(gain_limit(params, p=0.5), 2)                    # the paper's G_max
+1.38
+"""
+
+from repro._version import __version__
+from repro.errors import (
+    ReproError,
+    ConfigurationError,
+    SimulationError,
+    FaultModelError,
+    RecoveryError,
+)
+from repro.core.params import VDSParameters
+
+__all__ = [
+    "__version__",
+    "ReproError",
+    "ConfigurationError",
+    "SimulationError",
+    "FaultModelError",
+    "RecoveryError",
+    "VDSParameters",
+]

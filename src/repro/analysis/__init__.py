@@ -1,0 +1,46 @@
+"""repro.analysis — sweeps, metrics, model-vs-simulation comparison, reports.
+
+* :mod:`repro.analysis.sweep` — a generic cartesian parameter-sweep driver
+  returning records (used by every TAB-* experiment);
+* :mod:`repro.analysis.metrics` — dependability metrics: detection latency,
+  availability, interval-completion probability;
+* :mod:`repro.analysis.statistics` — summary statistics with confidence
+  intervals;
+* :mod:`repro.analysis.comparison` — the VAL-1 machinery: run matched
+  missions (common fault plans) on both architectures and compare the
+  measured gains with the analytical model;
+* :mod:`repro.analysis.report` — ASCII rendering of tables and of the
+  Fig. 4/5 surfaces.
+"""
+
+from repro.analysis.sweep import sweep, SweepRecord
+from repro.analysis.metrics import (
+    availability,
+    detection_latency_bound,
+    interval_completion_probability,
+)
+from repro.analysis.statistics import summarize, Summary
+from repro.analysis.comparison import (
+    compare_architectures,
+    GainComparison,
+    measured_recovery_gain,
+)
+from repro.analysis.sensitivity import gain_elasticities, tornado
+from repro.analysis.report import render_table, render_surface
+
+__all__ = [
+    "sweep",
+    "SweepRecord",
+    "availability",
+    "detection_latency_bound",
+    "interval_completion_probability",
+    "summarize",
+    "Summary",
+    "compare_architectures",
+    "GainComparison",
+    "measured_recovery_gain",
+    "gain_elasticities",
+    "tornado",
+    "render_table",
+    "render_surface",
+]

@@ -1,0 +1,131 @@
+"""Checkpoint-interval optimisation (the ref [14] Ziv & Bruck question).
+
+The paper fixes s = 20 "as the figures are near the limit there", but a
+deployed VDS must *choose* s: long intervals amortise the expensive stable
+-storage write W, short intervals bound the re-execution a fault costs.
+First-order renewal analysis (one fault per interval at most, faults
+Poisson with rate λ in time, uniformly located within the interval —
+exactly the paper's fault-position assumption):
+
+    E[time per certified round](s)
+        = T_round + W/s + λ · T_round · E_i[C_net(i)]
+
+where ``C_net(i)`` is the net time a fault at round i costs: the recovery
+duration minus the re-execution the roll-forward saved.  For stop-and-retry
+``C_net`` grows linearly in s, giving the classic Young-style square-root
+optimum s* ≈ √(2W/(λ·t·T_round)); roll-forward schemes shrink the loss
+term and push s* up — cheaper recoveries justify longer intervals.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.core.conventional import (
+    conventional_correction_time,
+    conventional_round_time,
+)
+from repro.core.params import VDSParameters
+from repro.core.prediction_model import prediction_rollforward_rounds
+from repro.core.smt_model import smt_correction_time, smt_round_time
+from repro.errors import ConfigurationError
+
+__all__ = [
+    "expected_net_recovery_cost",
+    "time_per_round",
+    "optimal_checkpoint_interval",
+    "young_approximation",
+    "CheckpointPlan",
+]
+
+
+def expected_net_recovery_cost(params: VDSParameters, scheme: str,
+                               p: float = 0.5) -> float:
+    """E_i[C_net(i)] over i = 1..s for one recovery scheme.
+
+    ``scheme`` ∈ {"stop-and-retry", "smt-stop-and-retry", "prediction"}.
+    The net cost subtracts, for roll-forward schemes, the normal-phase
+    time of the rounds the roll-forward certified.
+    """
+    s = params.s
+    total = 0.0
+    if scheme == "stop-and-retry":
+        for i in params.rounds():
+            total += conventional_correction_time(params, i)
+    elif scheme == "smt-stop-and-retry":
+        # Retry runs alone on the SMT core (footnote 1: conventional speed).
+        for i in params.rounds():
+            total += i * params.t + 2.0 * params.t_cmp
+    elif scheme == "prediction":
+        round_time = smt_round_time(params)
+        for i in params.rounds():
+            saved = p * prediction_rollforward_rounds(params, i) * round_time
+            total += smt_correction_time(params, i) - saved
+    else:
+        raise ConfigurationError(
+            f"unknown scheme {scheme!r}; expected stop-and-retry, "
+            "smt-stop-and-retry or prediction"
+        )
+    return total / s
+
+
+def time_per_round(params: VDSParameters, scheme: str, fault_rate: float,
+                   checkpoint_write: float, p: float = 0.5) -> float:
+    """Expected time per certified round at the given s (first order)."""
+    if fault_rate < 0 or checkpoint_write < 0:
+        raise ConfigurationError("fault_rate and checkpoint_write must be >= 0")
+    smt = scheme in ("smt-stop-and-retry", "prediction")
+    round_time = smt_round_time(params) if smt \
+        else conventional_round_time(params)
+    c_net = expected_net_recovery_cost(params, scheme, p)
+    return round_time + checkpoint_write / params.s \
+        + fault_rate * round_time * c_net
+
+
+@dataclass(frozen=True)
+class CheckpointPlan:
+    """Result of the interval optimisation."""
+
+    scheme: str
+    s_star: int
+    time_per_round: float
+    curve: tuple[tuple[int, float], ...]   #: (s, time-per-round) samples
+
+    def penalty_at(self, s: int) -> float:
+        """Relative cost of running at ``s`` instead of ``s_star``."""
+        lookup = dict(self.curve)
+        if s not in lookup:
+            raise ConfigurationError(f"s={s} was not sampled")
+        return lookup[s] / self.time_per_round - 1.0
+
+
+def optimal_checkpoint_interval(params: VDSParameters, scheme: str,
+                                fault_rate: float, checkpoint_write: float,
+                                p: float = 0.5,
+                                s_max: int = 400) -> CheckpointPlan:
+    """Minimise expected time per certified round over integer s."""
+    best_s, best_v = 1, float("inf")
+    curve = []
+    for s in range(1, s_max + 1):
+        q = params.with_(s=s)
+        v = time_per_round(q, scheme, fault_rate, checkpoint_write, p)
+        curve.append((s, v))
+        if v < best_v:
+            best_s, best_v = s, v
+    return CheckpointPlan(scheme, best_s, best_v, tuple(curve))
+
+
+def young_approximation(params: VDSParameters, fault_rate: float,
+                        checkpoint_write: float) -> float:
+    """Young's closed-form optimum for the stop-and-retry scheme.
+
+    Minimising ``W/s + λ·T_round·(s·t/2)`` gives
+    ``s* = sqrt(2·W / (λ·T_round·t))``.
+    """
+    if fault_rate <= 0:
+        raise ConfigurationError("Young approximation needs fault_rate > 0")
+    round_time = conventional_round_time(params)
+    return math.sqrt(
+        2.0 * checkpoint_write / (fault_rate * round_time * params.t)
+    )

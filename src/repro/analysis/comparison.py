@@ -1,0 +1,136 @@
+"""Model-vs-simulation comparison (experiment VAL-1).
+
+Runs matched missions — identical fault plans, identical parameters — on
+the conventional and SMT architectures and compares:
+
+* measured *normal-phase* round times against Eqs. (1)/(3),
+* measured per-recovery gains against Eqs. (6)/(8)/(12),
+* the mission-level speedup against the model's composite prediction.
+
+The measured recovery gain for a fault at round ``i`` is defined exactly
+as the paper's G(i): conventional correction time plus the re-execution
+time of the rounds the SMT side *skipped* via roll-forward, divided by the
+SMT recovery time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+from repro.core.params import VDSParameters
+from repro.errors import ConfigurationError
+from repro.vds.faultplan import FaultPlan
+from repro.vds.recovery.base import RecoveryScheme
+from repro.vds.system import MissionResult, RecoveryRecord, run_mission
+from repro.vds.timing import ConventionalTiming, SMT2Timing
+
+__all__ = ["GainComparison", "measured_recovery_gain", "compare_architectures"]
+
+
+def measured_recovery_gain(conv_rec: RecoveryRecord, smt_rec: RecoveryRecord,
+                           conv_round_time: float) -> float:
+    """The paper's per-fault gain from two matched recovery records.
+
+    Numerator: what the conventional system pays — its recovery duration
+    plus one normal round per roll-forward round the SMT side gained
+    (those rounds still lie ahead of the conventional system).
+    """
+    if conv_rec.i != smt_rec.i:
+        raise ConfigurationError(
+            f"mismatched recovery records: i={conv_rec.i} vs {smt_rec.i}"
+        )
+    numer = conv_rec.duration + smt_rec.progress * conv_round_time
+    return numer / smt_rec.duration
+
+
+@dataclass(frozen=True)
+class GainComparison:
+    """One VAL-1 row: measured vs predicted for one scheme."""
+
+    scheme: str
+    params: VDSParameters
+    measured_round_gain: float
+    predicted_round_gain: float
+    measured_recovery_gains: tuple[float, ...]
+    predicted_recovery_gains: tuple[float, ...]
+    mission_speedup: float
+    conv_result: Optional[MissionResult] = None
+    smt_result: Optional[MissionResult] = None
+
+    @property
+    def mean_measured_recovery_gain(self) -> Optional[float]:
+        if not self.measured_recovery_gains:
+            return None
+        return sum(self.measured_recovery_gains) / len(
+            self.measured_recovery_gains
+        )
+
+    @property
+    def mean_predicted_recovery_gain(self) -> Optional[float]:
+        if not self.predicted_recovery_gains:
+            return None
+        return sum(self.predicted_recovery_gains) / len(
+            self.predicted_recovery_gains
+        )
+
+    def max_recovery_gain_error(self) -> float:
+        """Largest relative |measured − predicted| over the fault set."""
+        if not self.measured_recovery_gains:
+            return 0.0
+        return max(
+            abs(m - p) / p
+            for m, p in zip(self.measured_recovery_gains,
+                            self.predicted_recovery_gains)
+        )
+
+
+def compare_architectures(params: VDSParameters,
+                          smt_scheme: RecoveryScheme,
+                          conv_scheme: RecoveryScheme,
+                          fault_plan: FaultPlan,
+                          mission_rounds: int,
+                          predicted_gain_fn: Callable[..., float],
+                          seed: int = 0,
+                          keep_results: bool = False) -> GainComparison:
+    """Run matched missions and compare against the model.
+
+    Parameters
+    ----------
+    predicted_gain_fn:
+        ``f(params, i, hit) → predicted gain`` for a fault at interval
+        round ``i``; ``hit`` is the SMT recovery's prediction outcome
+        (``None`` for prediction-free schemes), letting callers condition
+        the model on the realised hit/miss (Eq. (10) vs Eq. (11)) instead
+        of the p-expectation.
+    """
+    conv = run_mission(ConventionalTiming(params), conv_scheme, fault_plan,
+                       mission_rounds, seed=seed, record_trace=False)
+    smt = run_mission(SMT2Timing(params), smt_scheme, fault_plan,
+                      mission_rounds, seed=seed, record_trace=False)
+
+    conv_round = ConventionalTiming(params).normal_round()
+    smt_round = SMT2Timing(params).normal_round()
+
+    measured, predicted = [], []
+    for c_rec, s_rec in zip(conv.recoveries, smt.recoveries):
+        if c_rec.i != s_rec.i:
+            # Roll-forward shifts later fault phases; compare only the
+            # aligned prefix of recovery sequences.
+            break
+        measured.append(measured_recovery_gain(c_rec, s_rec, conv_round))
+        predicted.append(
+            predicted_gain_fn(params, c_rec.i, s_rec.prediction_hit)
+        )
+
+    return GainComparison(
+        scheme=smt_scheme.name,
+        params=params,
+        measured_round_gain=conv_round / smt_round,
+        predicted_round_gain=conv_round / smt_round,
+        measured_recovery_gains=tuple(measured),
+        predicted_recovery_gains=tuple(predicted),
+        mission_speedup=conv.total_time / smt.total_time,
+        conv_result=conv if keep_results else None,
+        smt_result=smt if keep_results else None,
+    )

@@ -1,0 +1,64 @@
+"""Dependability metrics for VDS configurations.
+
+These connect the paper's timing model to the reliability quantities the
+related work (§2.2, refs [14] Ziv & Bruck) optimises: shorter test
+intervals → lower probability of two faults inside one comparison window →
+higher usable reliability.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.core.conventional import conventional_round_time
+from repro.core.params import VDSParameters
+from repro.core.smt_model import smt_round_time
+from repro.errors import ConfigurationError
+
+__all__ = [
+    "availability",
+    "detection_latency_bound",
+    "interval_completion_probability",
+    "double_fault_probability",
+]
+
+
+def detection_latency_bound(params: VDSParameters, smt: bool = False) -> float:
+    """Worst-case time from fault to detection: one full round.
+
+    A fault striking right after a comparison is caught at the next one —
+    the reason "it is advised to test states more often than saving
+    checkpoints" (§2.2).
+    """
+    return smt_round_time(params) if smt else conventional_round_time(params)
+
+
+def interval_completion_probability(fault_rate: float,
+                                    interval_time: float) -> float:
+    """P(no fault during one checkpoint interval), Poisson arrivals."""
+    if fault_rate < 0 or interval_time < 0:
+        raise ConfigurationError("rate and time must be >= 0")
+    return math.exp(-fault_rate * interval_time)
+
+
+def double_fault_probability(fault_rate: float, window: float) -> float:
+    """P(≥ 2 faults inside one comparison window), Poisson arrivals.
+
+    The hazardous case for a duplex system: both versions corrupted before
+    a comparison can flag the first fault.
+    """
+    if fault_rate < 0 or window < 0:
+        raise ConfigurationError("rate and window must be >= 0")
+    lam = fault_rate * window
+    return 1.0 - math.exp(-lam) * (1.0 + lam)
+
+
+def availability(mission_time: float, recovery_time: float) -> float:
+    """Fraction of mission time spent making certified progress."""
+    if mission_time <= 0:
+        raise ConfigurationError("mission_time must be > 0")
+    if recovery_time < 0 or recovery_time > mission_time:
+        raise ConfigurationError(
+            "recovery_time must lie in [0, mission_time]"
+        )
+    return (mission_time - recovery_time) / mission_time

@@ -1,0 +1,88 @@
+"""ASCII rendering of tables and the Fig. 4/5 gain surfaces.
+
+All experiment output is plain text so benchmarks can print the same rows
+and series the paper reports without a plotting stack.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional, Sequence
+
+from repro.core.surfaces import GainSurface
+
+__all__ = ["render_table", "render_surface", "render_csv", "format_value"]
+
+
+def format_value(value: Any, precision: int = 3) -> str:
+    """Uniform cell formatting (floats rounded, others str())."""
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        if value != value:  # NaN
+            return "-"
+        return f"{value:.{precision}f}"
+    return str(value)
+
+
+def render_table(headers: Sequence[str], rows: Sequence[Sequence[Any]],
+                 title: Optional[str] = None, precision: int = 3) -> str:
+    """A GitHub-style ASCII table."""
+    cells = [[format_value(v, precision) for v in row] for row in rows]
+    widths = [
+        max(len(str(h)), *(len(r[c]) for r in cells)) if cells else len(str(h))
+        for c, h in enumerate(headers)
+    ]
+    def line(parts: Sequence[str]) -> str:
+        return "| " + " | ".join(
+            p.ljust(w) for p, w in zip(parts, widths)
+        ) + " |"
+
+    out = []
+    if title:
+        out.append(title)
+    out.append(line([str(h) for h in headers]))
+    out.append("|" + "|".join("-" * (w + 2) for w in widths) + "|")
+    out.extend(line(r) for r in cells)
+    return "\n".join(out) + "\n"
+
+
+def render_csv(headers: Sequence[str], rows: Sequence[Sequence[Any]],
+               precision: int = 6) -> str:
+    """The same table as RFC-4180-ish CSV (for spreadsheets/pandas).
+
+    Cells containing commas, quotes or newlines are quoted; floats keep
+    ``precision`` digits so results diff cleanly across runs.
+    """
+    def cell(v: Any) -> str:
+        text = format_value(v, precision)
+        if any(ch in text for ch in ',"\n'):
+            text = '"' + text.replace('"', '""') + '"'
+        return text
+
+    lines = [",".join(cell(h) for h in headers)]
+    lines.extend(",".join(cell(v) for v in row) for row in rows)
+    return "\n".join(lines) + "\n"
+
+
+def render_surface(surface: GainSurface, precision: int = 2,
+                   mark_breakeven: bool = True) -> str:
+    """The Fig. 4/5 surface as a β-by-α grid of gain values.
+
+    Cells with gain > 1 (the SMT VDS wins) are suffixed ``+`` when
+    ``mark_breakeven`` is set, making the break-even frontier visible in
+    plain text — the shape readers take from the paper's 3-D plots.
+    """
+    header = ["beta\\alpha"] + [f"{a:.2f}" for a in surface.alphas]
+    rows: list[list[str]] = []
+    for bi, beta in enumerate(surface.betas):
+        row: list[str] = [f"{beta:.2f}"]
+        for ai in range(len(surface.alphas)):
+            v = float(surface.values[ai, bi])
+            cell = f"{v:.{precision}f}"
+            if mark_breakeven and v > 1.0:
+                cell += "+"
+            row.append(cell)
+        rows.append(row)
+    title = (f"Gain G_corr(alpha, beta) for p = {surface.p:g}, "
+             f"s = {surface.s} ('+' marks gain > 1)")
+    return render_table(header, rows, title=title)

@@ -1,0 +1,109 @@
+"""Parameter sensitivity of the paper's headline gain.
+
+A practitioner adopting the model must know which inputs to measure
+carefully: α comes from benchmarking (noisy), β from OS instrumentation,
+p from the predictor's track record.  This module computes local
+sensitivities of Ḡ_corr (Eq. (13), exact) at an operating point:
+
+* elasticities ``(∂G/G)/(∂x/x)`` by central finite differences — how a
+  1 % measurement error in each parameter moves the predicted gain;
+* a tornado table over symmetric parameter ranges.
+
+Expected shape at the Pentium-4 point: α dominates (elasticity ≈ −0.9),
+p matters about half as much, β is almost negligible — so benchmark α
+first, instrument β last.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.limits import prediction_scheme_mean_gain_vectorized
+from repro.core.params import VDSParameters
+from repro.errors import ConfigurationError
+
+__all__ = ["Elasticities", "gain_elasticities", "tornado"]
+
+
+def _gain(alpha: float, beta: float, p: float, s: int) -> float:
+    params = VDSParameters(alpha=alpha, beta=beta, s=s)
+    return prediction_scheme_mean_gain_vectorized(params, p)
+
+
+@dataclass(frozen=True)
+class Elasticities:
+    """Local elasticities of Ḡ_corr at an operating point."""
+
+    alpha: float
+    beta: float
+    p: float
+    gain: float
+
+    def dominant(self) -> str:
+        """Name of the parameter with the largest |elasticity|."""
+        mags = {"alpha": abs(self.alpha), "beta": abs(self.beta),
+                "p": abs(self.p)}
+        return max(mags, key=mags.__getitem__)
+
+
+def gain_elasticities(alpha: float = 0.65, beta: float = 0.1,
+                      p: float = 0.5, s: int = 20,
+                      rel_step: float = 0.01) -> Elasticities:
+    """Central-difference elasticities of Ḡ_corr in (α, β, p)."""
+    if not (0 < rel_step < 0.2):
+        raise ConfigurationError("rel_step must lie in (0, 0.2)")
+    g0 = _gain(alpha, beta, p, s)
+
+    def elasticity(name: str, value: float) -> float:
+        h = value * rel_step if value else rel_step
+        lo = dict(alpha=alpha, beta=beta, p=p)
+        hi = dict(alpha=alpha, beta=beta, p=p)
+        lo[name] = max(0.0, value - h)
+        hi[name] = value + h
+        if name == "alpha":
+            lo[name] = max(0.5, lo[name])
+            hi[name] = min(1.0, hi[name])
+        if name in ("beta", "p"):
+            hi[name] = min(1.0, hi[name])
+        span = hi[name] - lo[name]
+        if span <= 0:
+            return 0.0
+        dg = _gain(hi["alpha"], hi["beta"], hi["p"], s) \
+            - _gain(lo["alpha"], lo["beta"], lo["p"], s)
+        base = value if value else 1.0
+        return (dg / g0) / (span / base)
+
+    return Elasticities(
+        alpha=elasticity("alpha", alpha),
+        beta=elasticity("beta", beta),
+        p=elasticity("p", p),
+        gain=g0,
+    )
+
+
+def tornado(alpha: float = 0.65, beta: float = 0.1, p: float = 0.5,
+            s: int = 20, rel_range: float = 0.10
+            ) -> list[tuple[str, float, float]]:
+    """Gain swing per parameter over ± ``rel_range`` (tornado rows).
+
+    Returns ``[(name, gain_at_low, gain_at_high), ...]`` sorted by swing
+    magnitude, descending.
+    """
+    if not (0 < rel_range < 0.5):
+        raise ConfigurationError("rel_range must lie in (0, 0.5)")
+    rows = []
+    for name, value in (("alpha", alpha), ("beta", beta), ("p", p)):
+        lo_v = value * (1 - rel_range)
+        hi_v = value * (1 + rel_range)
+        if name == "alpha":
+            lo_v, hi_v = max(0.5, lo_v), min(1.0, hi_v)
+        else:
+            lo_v, hi_v = max(0.0, lo_v), min(1.0, hi_v)
+        args = dict(alpha=alpha, beta=beta, p=p)
+        args[name] = lo_v
+        g_lo = _gain(args["alpha"], args["beta"], args["p"], s)
+        args[name] = hi_v
+        g_hi = _gain(args["alpha"], args["beta"], args["p"], s)
+        rows.append((name, g_lo, g_hi))
+    rows.sort(key=lambda r: abs(r[2] - r[1]), reverse=True)
+    return rows

@@ -1,0 +1,47 @@
+"""Summary statistics with normal-approximation confidence intervals."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+__all__ = ["Summary", "summarize"]
+
+
+@dataclass(frozen=True)
+class Summary:
+    """Mean ± CI of a sample."""
+
+    n: int
+    mean: float
+    std: float
+    ci_low: float
+    ci_high: float
+
+    @property
+    def half_width(self) -> float:
+        return (self.ci_high - self.ci_low) / 2.0
+
+    def contains(self, value: float) -> bool:
+        """True iff ``value`` lies inside the confidence interval."""
+        return self.ci_low <= value <= self.ci_high
+
+
+def summarize(values: Sequence[float], z: float = 1.96) -> Summary:
+    """Mean with a z-based (normal approximation) confidence interval.
+
+    For the replication counts used in the experiments (≥ 30) the normal
+    approximation is adequate; scipy's t-quantiles are avoided to keep the
+    core dependency set to NumPy.
+    """
+    arr = np.asarray(list(values), dtype=float)
+    if arr.size == 0:
+        raise ValueError("summarize needs at least one value")
+    mean = float(arr.mean())
+    if arr.size == 1:
+        return Summary(1, mean, 0.0, mean, mean)
+    std = float(arr.std(ddof=1))
+    half = z * std / float(np.sqrt(arr.size))
+    return Summary(int(arr.size), mean, std, mean - half, mean + half)

@@ -1,0 +1,58 @@
+"""Cartesian parameter sweeps.
+
+Every TAB-* experiment is "evaluate f over a grid"; this driver keeps that
+uniform: named axes, cartesian product, one record per point, records
+convertible to table rows for :func:`repro.analysis.report.render_table`.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Any, Callable, Mapping, Sequence
+
+__all__ = ["SweepRecord", "sweep"]
+
+
+@dataclass(frozen=True)
+class SweepRecord:
+    """One grid point: the axis values plus the measured outputs."""
+
+    point: dict[str, Any]
+    outputs: dict[str, Any]
+
+    def row(self, columns: Sequence[str]) -> list[Any]:
+        """Values for the listed columns (axes and outputs may mix)."""
+        out = []
+        for c in columns:
+            if c in self.point:
+                out.append(self.point[c])
+            elif c in self.outputs:
+                out.append(self.outputs[c])
+            else:
+                raise KeyError(f"unknown column {c!r}")
+        return out
+
+
+def sweep(axes: Mapping[str, Sequence[Any]],
+          fn: Callable[..., Mapping[str, Any]]) -> list[SweepRecord]:
+    """Evaluate ``fn(**point)`` over the cartesian product of ``axes``.
+
+    ``fn`` returns a mapping of output names to values.
+
+    Example
+    -------
+    >>> recs = sweep({"x": [1, 2], "y": [10]},
+    ...              lambda x, y: {"sum": x + y})
+    >>> [(r.point["x"], r.outputs["sum"]) for r in recs]
+    [(1, 11), (2, 12)]
+    """
+    names = list(axes)
+    if not names:
+        raise ValueError("sweep needs at least one axis")
+    records: list[SweepRecord] = []
+    for values in itertools.product(*(axes[n] for n in names)):
+        point = dict(zip(names, values))
+        outputs = dict(fn(**point))
+        records.append(SweepRecord(point=point, outputs=outputs))
+    return records

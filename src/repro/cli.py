@@ -1,0 +1,252 @@
+"""Command-line interface: regenerate the paper's figures and tables.
+
+.. code-block:: console
+
+    $ vds-repro list                 # all experiment ids
+    $ vds-repro run FIG4             # one experiment
+    $ vds-repro run --all            # everything (EXPERIMENTS.md source)
+    $ vds-repro run VAL-1 --quick    # reduced replication for smoke tests
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+from repro._version import __version__
+from repro.experiments import (
+    EXPERIMENTS,
+    all_experiment_ids,
+    run_experiment,
+)
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="vds-repro",
+        description=(
+            "Reproduction of 'Performance Estimation of Virtual Duplex "
+            "Systems on Simultaneous Multithreaded Processors' "
+            "(Fechner, Keller, Sobe 2004)"
+        ),
+    )
+    parser.add_argument("--version", action="version",
+                        version=f"%(prog)s {__version__}")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list all experiment ids")
+
+    run_p = sub.add_parser("run", help="run experiments")
+    run_p.add_argument("ids", nargs="*", metavar="ID",
+                       help="experiment ids (e.g. FIG4 TAB-E2)")
+    run_p.add_argument("--all", action="store_true",
+                       help="run every registered experiment")
+    run_p.add_argument("--quick", action="store_true",
+                       help="reduced replication (fast smoke run)")
+    run_p.add_argument("--seed", type=int, default=0,
+                       help="master random seed (default 0)")
+    run_p.add_argument("--output", metavar="DIR", default=None,
+                       help="also write each artifact to DIR/<id>.txt")
+
+    m = sub.add_parser(
+        "mission",
+        help="simulate one VDS mission (DES) and print the summary",
+    )
+    m.add_argument("--arch", choices=["conventional", "smt"],
+                   default="smt")
+    m.add_argument("--scheme",
+                   choices=["rollback", "stop-and-retry", "det", "prob",
+                            "prediction"],
+                   default="prediction")
+    m.add_argument("--rounds", type=int, default=200,
+                   help="mission length in rounds (default 200)")
+    m.add_argument("--rate", type=float, default=0.01,
+                   help="fault rate per round time unit (default 0.01)")
+    m.add_argument("--alpha", type=float, default=0.65)
+    m.add_argument("--beta", type=float, default=0.1)
+    m.add_argument("--s", type=int, default=20,
+                   help="checkpoint interval (default 20)")
+    m.add_argument("--predictor",
+                   choices=["random", "two-bit", "bayesian", "gshare",
+                            "tournament"],
+                   default="random")
+    m.add_argument("--seed", type=int, default=0)
+    m.add_argument("--timeline", type=float, default=0.0, metavar="T",
+                   help="also print the first T time units as a timeline")
+
+    c = sub.add_parser(
+        "campaign",
+        help="ISA-level fault-injection campaign on a diverse version pair",
+    )
+    c.add_argument("--program", default="insertion_sort",
+                   help="workload from the program library")
+    c.add_argument("--trials", type=int, default=200)
+    c.add_argument("--kind", default=None,
+                   choices=["transient-register", "transient-memory",
+                            "transient-pc", "permanent-alu",
+                            "permanent-memory", "crash"],
+                   help="force one fault class (default: mixed)")
+    c.add_argument("--identical", action="store_true",
+                   help="use two identical copies instead of diverse "
+                        "versions (shows the permanent-fault gap)")
+    c.add_argument("--seed", type=int, default=0)
+    return parser
+
+
+def _cmd_list() -> int:
+    for exp_id in all_experiment_ids():
+        title, _fn = EXPERIMENTS[exp_id]
+        print(f"{exp_id:8s} {title}")
+    return 0
+
+
+def _cmd_run(ids: list[str], run_all: bool, quick: bool, seed: int,
+             output: Optional[str] = None) -> int:
+    if run_all:
+        ids = all_experiment_ids()
+    if not ids:
+        print("no experiment ids given (use --all or list ids)",
+              file=sys.stderr)
+        return 2
+    unknown = [i for i in ids if i not in EXPERIMENTS]
+    if unknown:
+        print(f"unknown experiment ids: {unknown}; try 'vds-repro list'",
+              file=sys.stderr)
+        return 2
+    out_dir = None
+    if output is not None:
+        from pathlib import Path
+
+        out_dir = Path(output)
+        out_dir.mkdir(parents=True, exist_ok=True)
+    for exp_id in ids:
+        result = run_experiment(exp_id, quick=quick, seed=seed)
+        header = f"== {result.exp_id}: {result.title} =="
+        print(header)
+        print(result.text)
+        if out_dir is not None:
+            (out_dir / f"{exp_id}.txt").write_text(
+                header + "\n" + result.text
+            )
+    return 0
+
+
+def _cmd_mission(args) -> int:
+    import numpy as np
+
+    from repro.core.params import VDSParameters
+    from repro.faults.rates import PoissonArrivals
+    from repro.predict import (
+        BayesianPredictor,
+        GsharePredictor,
+        RandomPredictor,
+        TournamentPredictor,
+        TwoBitPredictor,
+    )
+    from repro.vds.faultplan import FaultPlan
+    from repro.vds.recovery import (
+        PredictionScheme,
+        PureRollback,
+        RollForwardDeterministic,
+        RollForwardProbabilistic,
+        StopAndRetry,
+    )
+    from repro.vds.system import run_mission
+    from repro.vds.timeline import build_timeline, render_timeline
+    from repro.vds.timing import ConventionalTiming, SMT2Timing
+
+    params = VDSParameters(alpha=args.alpha, beta=args.beta, s=args.s)
+    timing = (ConventionalTiming(params) if args.arch == "conventional"
+              else SMT2Timing(params))
+    scheme = {
+        "rollback": PureRollback,
+        "stop-and-retry": StopAndRetry,
+        "det": RollForwardDeterministic,
+        "prob": RollForwardProbabilistic,
+        "prediction": PredictionScheme,
+    }[args.scheme]()
+    predictor_cls = {
+        "random": RandomPredictor, "two-bit": TwoBitPredictor,
+        "bayesian": BayesianPredictor, "gshare": GsharePredictor,
+        "tournament": TournamentPredictor,
+    }[args.predictor]
+    rng = np.random.default_rng(args.seed)
+    plan = FaultPlan.from_arrivals(
+        PoissonArrivals(rate=args.rate), rng, args.rounds,
+        round_time=timing.normal_round(),
+    )
+    result = run_mission(
+        timing, scheme, plan, args.rounds, seed=args.seed,
+        predictor=predictor_cls(np.random.default_rng(args.seed + 1)),
+        record_trace=args.timeline > 0,
+    )
+    print(f"mission: {args.rounds} rounds on {timing.name} with "
+          f"{scheme.name} (alpha={args.alpha}, beta={args.beta}, "
+          f"s={args.s})")
+    print(f"faults planned            : {len(plan)}")
+    print(f"total time                : {result.total_time:.2f}")
+    print(f"throughput (rounds/time)  : {result.throughput:.4f}")
+    print(f"recoveries / rollbacks    : {len(result.recoveries)} / "
+          f"{result.rollbacks}")
+    print(f"time in recovery          : {result.recovery_time_total:.2f}")
+    acc = result.prediction_accuracy
+    if acc is not None:
+        print(f"prediction accuracy       : {acc:.3f} "
+              f"({args.predictor})")
+    if args.timeline > 0 and result.trace is not None:
+        print()
+        print(render_timeline(build_timeline(result.trace, 0,
+                                             args.timeline), width=100))
+    return 0
+
+
+def _cmd_campaign(args) -> int:
+    import numpy as np
+
+    from repro.diversity import generate_versions
+    from repro.faults import FaultInjector, FaultKind, FaultOutcome, run_campaign
+    from repro.isa import load_program
+
+    program, inputs, spec = load_program(args.program)
+    versions = generate_versions(program, inputs, n=3, seed=args.seed + 42)
+    pair = (versions[0], versions[0] if args.identical else versions[2])
+
+    injector = None
+    if args.kind is not None:
+        kind = next(k for k in FaultKind if k.value == args.kind)
+        injector = FaultInjector(np.random.default_rng(args.seed + 1),
+                                 mix={kind: 1.0})
+    result = run_campaign(pair[0], pair[1], spec.oracle(), args.trials,
+                          np.random.default_rng(args.seed),
+                          injector=injector)
+    label = "identical copies" if args.identical else "diverse pair"
+    print(f"campaign: {args.trials} trials of "
+          f"{args.kind or 'mixed faults'} on '{args.program}' ({label})")
+    for outcome in FaultOutcome:
+        print(f"  {outcome.value:22s} {result.count(outcome)}")
+    print(f"coverage                 : {result.coverage:.3f}")
+    latency = result.mean_detection_latency()
+    if latency is not None:
+        print(f"mean detection latency   : {latency:.2f} rounds")
+    return 0
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.command == "list":
+        return _cmd_list()
+    if args.command == "run":
+        return _cmd_run(list(args.ids), args.all, args.quick, args.seed,
+                        args.output)
+    if args.command == "mission":
+        return _cmd_mission(args)
+    if args.command == "campaign":
+        return _cmd_campaign(args)
+    return 2  # pragma: no cover - argparse enforces the choices
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,37 @@
+"""repro.coding — error-detecting/-correcting codes and protected memory.
+
+Paper §2.1: in classical VDS with a shared address space, "a fault leading
+to accesses in a different version's subspace may lead to data corruption
+of both versions.  The detection of this case can be covered by applying
+error detecting codes for data in the memory."  This package supplies those
+codes — implemented from first principles, no external CRC libraries —
+plus a :class:`~repro.coding.memory.ProtectedMemory` wrapper used by the
+fault-injection campaigns:
+
+* :mod:`repro.coding.parity` — single even/odd parity (detects odd-weight
+  errors),
+* :mod:`repro.coding.crc` — table-driven CRC-32 (IEEE 802.3 polynomial)
+  and CRC-16/CCITT (detects all burst errors up to the code width),
+* :mod:`repro.coding.hamming` — Hamming SEC and extended SEC-DED over
+  arbitrary data widths (corrects single-bit, detects double-bit errors).
+"""
+
+from repro.coding.parity import parity_bit, encode_parity, check_parity
+from repro.coding.crc import crc32, crc16_ccitt, crc32_words
+from repro.coding.hamming import HammingCode, DecodeStatus, DecodeResult
+from repro.coding.memory import ProtectedMemory, MemoryErrorEvent, Protection
+
+__all__ = [
+    "parity_bit",
+    "encode_parity",
+    "check_parity",
+    "crc32",
+    "crc16_ccitt",
+    "crc32_words",
+    "HammingCode",
+    "DecodeStatus",
+    "DecodeResult",
+    "ProtectedMemory",
+    "MemoryErrorEvent",
+    "Protection",
+]

@@ -1,0 +1,74 @@
+"""Table-driven cyclic redundancy checks, implemented from the polynomial up.
+
+* CRC-32 (IEEE 802.3, reflected polynomial ``0xEDB88320``) — the classic
+  software CRC; detects all burst errors up to 32 bits and all 1–3 bit
+  errors at the message lengths used here.
+* CRC-16/CCITT-FALSE (polynomial ``0x1021``, non-reflected) — a second,
+  structurally different CRC so tests can cross-check the two table
+  constructions.
+
+Used by the checkpoint store to tag saved states and by
+:class:`repro.coding.memory.ProtectedMemory` in ``crc`` mode.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+import numpy as np
+
+__all__ = ["crc32", "crc16_ccitt", "crc32_words"]
+
+
+@lru_cache(maxsize=1)
+def _crc32_table() -> np.ndarray:
+    """The 256-entry table of the reflected CRC-32 polynomial."""
+    poly = np.uint32(0xEDB88320)
+    table = np.zeros(256, dtype=np.uint32)
+    for byte in range(256):
+        crc = np.uint32(byte)
+        for _ in range(8):
+            if crc & np.uint32(1):
+                crc = np.uint32((int(crc) >> 1)) ^ poly
+            else:
+                crc = np.uint32(int(crc) >> 1)
+        table[byte] = crc
+    return table
+
+
+def crc32(data: bytes, initial: int = 0) -> int:
+    """CRC-32 of ``data`` (compatible with zlib.crc32)."""
+    table = _crc32_table()
+    crc = (initial ^ 0xFFFFFFFF) & 0xFFFFFFFF
+    for byte in data:
+        crc = int(table[(crc ^ byte) & 0xFF]) ^ (crc >> 8)
+    return crc ^ 0xFFFFFFFF
+
+
+def crc32_words(words: np.ndarray) -> int:
+    """CRC-32 over an array of ``uint32`` words (little-endian bytes)."""
+    arr = np.ascontiguousarray(np.asarray(words, dtype=np.uint32))
+    return crc32(arr.astype("<u4").tobytes())
+
+
+@lru_cache(maxsize=1)
+def _crc16_table() -> np.ndarray:
+    """256-entry table for the non-reflected CCITT polynomial 0x1021."""
+    poly = 0x1021
+    table = np.zeros(256, dtype=np.uint16)
+    for byte in range(256):
+        crc = byte << 8
+        for _ in range(8):
+            crc = ((crc << 1) ^ poly) if (crc & 0x8000) else (crc << 1)
+            crc &= 0xFFFF
+        table[byte] = crc
+    return table
+
+
+def crc16_ccitt(data: bytes, initial: int = 0xFFFF) -> int:
+    """CRC-16/CCITT-FALSE of ``data``."""
+    table = _crc16_table()
+    crc = initial & 0xFFFF
+    for byte in data:
+        crc = (int(table[((crc >> 8) ^ byte) & 0xFF]) ^ (crc << 8)) & 0xFFFF
+    return crc

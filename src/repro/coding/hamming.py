@@ -1,0 +1,152 @@
+"""Hamming SEC and extended SEC-DED codes over arbitrary data widths.
+
+Classic construction: check bits sit at power-of-two positions of the
+codeword (1-indexed), each covering the positions whose index has the
+corresponding bit set.  The extended code adds an overall parity bit at
+position 0, upgrading single-error correction (SEC) to single-error
+correction / double-error *detection* (SEC-DED) — the scheme real ECC
+memory uses and the strongest protection level offered by
+:class:`repro.coding.memory.ProtectedMemory`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import Optional
+
+__all__ = ["HammingCode", "DecodeStatus", "DecodeResult"]
+
+
+class DecodeStatus(Enum):
+    """Outcome of decoding a (possibly corrupted) codeword."""
+
+    OK = "ok"                       #: no error detected
+    CORRECTED = "corrected"         #: single-bit error corrected
+    DETECTED = "detected"           #: uncorrectable error detected (SEC-DED)
+    MISCORRECTED = "miscorrected"   #: (only distinguishable by tests)
+
+
+@dataclass(frozen=True, slots=True)
+class DecodeResult:
+    """Decoded data plus what the decoder believed happened."""
+
+    data: int
+    status: DecodeStatus
+    corrected_position: Optional[int] = None  #: 1-indexed codeword position
+
+
+class HammingCode:
+    """A Hamming code for ``data_bits`` data bits.
+
+    Parameters
+    ----------
+    data_bits:
+        Number of data bits per codeword (e.g. 32 for machine words).
+    extended:
+        Add the overall parity bit (SEC-DED) — on by default.
+    """
+
+    def __init__(self, data_bits: int = 32, extended: bool = True):
+        if data_bits < 1:
+            raise ValueError(f"data_bits must be >= 1, got {data_bits}")
+        self.data_bits = data_bits
+        self.extended = extended
+        # Smallest r with 2^r >= data_bits + r + 1.
+        r = 1
+        while (1 << r) < data_bits + r + 1:
+            r += 1
+        self.check_bits = r
+        #: codeword length *excluding* the extended parity bit
+        self.n = data_bits + r
+        # Positions (1-indexed) that hold data bits: the non-powers-of-two.
+        self._data_positions = [
+            pos for pos in range(1, self.n + 1) if pos & (pos - 1) != 0
+        ]
+
+    # -- helpers -----------------------------------------------------------
+    @property
+    def codeword_bits(self) -> int:
+        """Total stored bits per word (incl. extended parity if enabled)."""
+        return self.n + (1 if self.extended else 0)
+
+    @staticmethod
+    def _parity(x: int) -> int:
+        return bin(x).count("1") & 1
+
+    # -- encode ---------------------------------------------------------------
+    def encode(self, data: int) -> int:
+        """Encode ``data`` into a codeword.
+
+        Bit layout: codeword bit ``pos`` (1-indexed) is stored at integer
+        bit ``pos - 1``; the extended parity bit, if any, is stored at
+        integer bit ``n``.
+        """
+        if not (0 <= data < (1 << self.data_bits)):
+            raise ValueError(
+                f"data out of range for {self.data_bits}-bit code: {data}"
+            )
+        word = 0
+        for k, pos in enumerate(self._data_positions):
+            if (data >> k) & 1:
+                word |= 1 << (pos - 1)
+        # Check bits: parity over covered positions.
+        for j in range(self.check_bits):
+            p = 1 << j
+            parity = 0
+            for pos in range(1, self.n + 1):
+                if pos & p and pos != p:
+                    parity ^= (word >> (pos - 1)) & 1
+            if parity:
+                word |= 1 << (p - 1)
+        if self.extended:
+            if self._parity(word):
+                word |= 1 << self.n
+        return word
+
+    # -- decode ---------------------------------------------------------------
+    def extract(self, word: int) -> int:
+        """Pull the data bits out of a codeword without checking."""
+        data = 0
+        for k, pos in enumerate(self._data_positions):
+            if (word >> (pos - 1)) & 1:
+                data |= 1 << k
+        return data
+
+    def decode(self, word: int) -> DecodeResult:
+        """Decode ``word``, correcting/detecting per the code's strength."""
+        syndrome = 0
+        for j in range(self.check_bits):
+            p = 1 << j
+            parity = 0
+            for pos in range(1, self.n + 1):
+                if pos & p:
+                    parity ^= (word >> (pos - 1)) & 1
+            if parity:
+                syndrome |= p
+
+        if not self.extended:
+            if syndrome == 0:
+                return DecodeResult(self.extract(word), DecodeStatus.OK)
+            if syndrome <= self.n:
+                corrected = word ^ (1 << (syndrome - 1))
+                return DecodeResult(self.extract(corrected),
+                                    DecodeStatus.CORRECTED, syndrome)
+            return DecodeResult(self.extract(word), DecodeStatus.DETECTED)
+
+        overall = self._parity(word & ((1 << (self.n + 1)) - 1))
+        if syndrome == 0 and overall == 0:
+            return DecodeResult(self.extract(word), DecodeStatus.OK)
+        if overall == 1:
+            # Odd number of flipped bits → assume single, correct it.
+            if syndrome == 0:
+                # The extended parity bit itself flipped.
+                return DecodeResult(self.extract(word),
+                                    DecodeStatus.CORRECTED, self.n + 1)
+            if syndrome <= self.n:
+                corrected = word ^ (1 << (syndrome - 1))
+                return DecodeResult(self.extract(corrected),
+                                    DecodeStatus.CORRECTED, syndrome)
+            return DecodeResult(self.extract(word), DecodeStatus.DETECTED)
+        # overall == 0, syndrome != 0 → double-bit error: detect, don't touch.
+        return DecodeResult(self.extract(word), DecodeStatus.DETECTED)

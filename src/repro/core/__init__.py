@@ -1,0 +1,103 @@
+"""repro.core — the paper's analytical performance model.
+
+This package is the primary contribution of the reproduced paper: closed-form
+round/correction times of a virtual duplex system on a conventional and on a
+2-way SMT ("hyperthreaded") processor, and the *gain* of the SMT variant for
+normal processing and for each recovery scheme.
+
+Module map (equation numbers refer to the paper; see DESIGN.md §2 for the
+re-derived forms):
+
+================== ====================================================
+Module              Contents
+================== ====================================================
+``params``          :class:`VDSParameters` (t, c, t′, α, β, s) + validation
+``conventional``    Eqs. (1), (2): ``T1_round``, ``T1_corr``
+``smt_model``       Eqs. (3), (5): ``THT2_round``, ``THT2_corr``
+``gains``           Eqs. (4), (6), (7), (8): round gain, deterministic and
+                    probabilistic roll-forward gains (exact + approximate)
+``prediction_model`` Eqs. (9)–(13): prediction-based scheme
+``limits``          ``G_max`` (s → ∞) and convergence-in-s analysis
+``surfaces``        Fig. 4 / Fig. 5 gain surfaces over (α, β) grids
+``multi_thread_ext`` §5 extension to ≥ 3 hardware threads
+``frequency``       §5 clock-frequency/power trade-off
+``approximations``  harmonic-sum helpers behind the paper's ln() steps
+================== ====================================================
+"""
+
+from repro.core.params import VDSParameters, AlphaCurve
+from repro.core.conventional import (
+    conventional_round_time,
+    conventional_correction_time,
+)
+from repro.core.smt_model import smt_round_time, smt_correction_time
+from repro.core.gains import (
+    round_gain,
+    round_gain_approx,
+    deterministic_gain,
+    deterministic_gain_approx,
+    deterministic_mean_gain,
+    deterministic_mean_gain_approx,
+    probabilistic_gain,
+    probabilistic_gain_approx,
+    probabilistic_mean_gain,
+    probabilistic_mean_gain_approx,
+    deterministic_breakeven_alpha,
+)
+from repro.core.prediction_model import (
+    hit_gain,
+    hit_gain_approx,
+    miss_loss,
+    miss_loss_approx,
+    prediction_scheme_gain,
+    prediction_scheme_gain_approx,
+    prediction_scheme_mean_gain,
+    prediction_scheme_mean_gain_approx,
+    breakeven_p,
+    breakeven_alpha_random_guess,
+)
+from repro.core.limits import (
+    gain_limit,
+    gain_limit_closed_form,
+    convergence_in_s,
+    s_for_convergence,
+)
+from repro.core.surfaces import GainSurface, gain_surface, figure4_surface, figure5_surface
+
+__all__ = [
+    "VDSParameters",
+    "AlphaCurve",
+    "conventional_round_time",
+    "conventional_correction_time",
+    "smt_round_time",
+    "smt_correction_time",
+    "round_gain",
+    "round_gain_approx",
+    "deterministic_gain",
+    "deterministic_gain_approx",
+    "deterministic_mean_gain",
+    "deterministic_mean_gain_approx",
+    "deterministic_breakeven_alpha",
+    "probabilistic_gain",
+    "probabilistic_gain_approx",
+    "probabilistic_mean_gain",
+    "probabilistic_mean_gain_approx",
+    "hit_gain",
+    "hit_gain_approx",
+    "miss_loss",
+    "miss_loss_approx",
+    "prediction_scheme_gain",
+    "prediction_scheme_gain_approx",
+    "prediction_scheme_mean_gain",
+    "prediction_scheme_mean_gain_approx",
+    "breakeven_p",
+    "breakeven_alpha_random_guess",
+    "gain_limit",
+    "gain_limit_closed_form",
+    "convergence_in_s",
+    "s_for_convergence",
+    "GainSurface",
+    "gain_surface",
+    "figure4_surface",
+    "figure5_surface",
+]

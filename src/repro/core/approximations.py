@@ -1,0 +1,95 @@
+"""Harmonic-sum helpers behind the paper's ``Σ 1/i ≈ ln(m/n)`` steps.
+
+The paper's closed-form mean gains (Eqs. (7), (8), (13)) replace partial
+harmonic sums by logarithms:
+
+    Σ_{i=n+1}^{m} 1/i ≈ ln(m/n)
+
+This module provides the exact partial sums, the log approximation, and a
+rigorous error bound, so tests can verify that the approximation step is
+sound for the paper's s = 20 and converges as s grows.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable
+
+import numpy as np
+
+__all__ = [
+    "harmonic",
+    "harmonic_range",
+    "harmonic_range_log_approx",
+    "harmonic_range_error_bound",
+    "mean_over_rounds",
+]
+
+# Euler–Mascheroni constant, used by the asymptotic expansion of H(n).
+_EULER_GAMMA = 0.5772156649015328606
+
+
+def harmonic(n: int) -> float:
+    """The n-th harmonic number H(n) = Σ_{i=1}^{n} 1/i (H(0) = 0).
+
+    Exact summation for small n; asymptotic expansion (error < 1/(120 n⁴))
+    for large n so the function stays O(1) for the s → ∞ limit studies.
+    """
+    if n < 0:
+        raise ValueError(f"harmonic() needs n >= 0, got {n}")
+    if n == 0:
+        return 0.0
+    if n <= 10_000:
+        return float(np.sum(1.0 / np.arange(1, n + 1)))
+    # H(n) = ln n + γ + 1/(2n) − 1/(12n²) + 1/(120n⁴) − …
+    return (
+        math.log(n)
+        + _EULER_GAMMA
+        + 1.0 / (2.0 * n)
+        - 1.0 / (12.0 * n * n)
+        + 1.0 / (120.0 * n**4)
+    )
+
+
+def harmonic_range(n: int, m: int) -> float:
+    """Exact Σ_{i=n+1}^{m} 1/i (0 if the range is empty)."""
+    if n < 0 or m < 0:
+        raise ValueError("harmonic_range needs n, m >= 0")
+    if m <= n:
+        return 0.0
+    return harmonic(m) - harmonic(n)
+
+
+def harmonic_range_log_approx(n: int, m: int) -> float:
+    """The paper's approximation Σ_{i=n+1}^{m} 1/i ≈ ln(m/n)."""
+    if n <= 0:
+        raise ValueError("log approximation needs n >= 1")
+    if m <= n:
+        return 0.0
+    return math.log(m / n)
+
+
+def harmonic_range_error_bound(n: int, m: int) -> float:
+    """A bound on |Σ_{i=n+1}^{m} 1/i − ln(m/n)|.
+
+    From the integral sandwich ``ln((m+1)/(n+1)) ≤ Σ ≤ ln(m/n)`` the error
+    is at most ``ln(m/n) − ln((m+1)/(n+1)) ≤ 1/n − 1/m``.
+    """
+    if n <= 0:
+        raise ValueError("error bound needs n >= 1")
+    if m <= n:
+        return 0.0
+    return 1.0 / n - 1.0 / m
+
+
+def mean_over_rounds(values: Iterable[float]) -> float:
+    """Mean of per-round quantities over i = 1..s.
+
+    The paper assumes "a fault to happen with equal probability in any
+    round i, where 1 ≤ i ≤ s"; all Ḡ quantities are plain means of the
+    per-round gains.
+    """
+    arr = np.asarray(list(values), dtype=float)
+    if arr.size == 0:
+        raise ValueError("mean_over_rounds needs at least one value")
+    return float(arr.mean())

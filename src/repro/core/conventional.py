@@ -1,0 +1,77 @@
+"""Eqs. (1)–(2): VDS timing on a conventional (single-threaded) processor.
+
+Execution model (paper §3.1, Fig. 1(a)): versions 1 and 2 proceed
+alternately in rounds — V1 runs a round (t), context switch (c), V2 runs the
+same round (t), context switch (c), states compared (t′):
+
+    T1,round = 2·(t + c) + t′                                  (1)
+
+On a mismatch at round ``i`` after the last checkpoint (1 ≤ i ≤ s), version
+3 is started from that checkpoint and executed for ``i`` rounds, then a
+majority vote over the three states identifies the faulty version
+(stop-and-retry):
+
+    T1,corr = i·t + 2·t′                                       (2)
+
+(the two comparisons of the vote: V3-vs-V1 and V3-vs-V2).
+"""
+
+from __future__ import annotations
+
+from repro.core.params import VDSParameters
+from repro.errors import ConfigurationError
+
+__all__ = [
+    "conventional_round_time",
+    "conventional_correction_time",
+    "conventional_interval_time",
+    "checkpoint_overhead_fraction",
+]
+
+
+def conventional_round_time(params: VDSParameters) -> float:
+    """Eq. (1): duration of one complete VDS round, conventional CPU."""
+    return 2.0 * (params.t + params.c) + params.t_cmp
+
+
+def conventional_correction_time(params: VDSParameters, i: int) -> float:
+    """Eq. (2): stop-and-retry correction time for a fault at round ``i``.
+
+    Parameters
+    ----------
+    i:
+        Round index after the last checkpoint at which the mismatch was
+        detected, 1 ≤ i ≤ s.
+    """
+    _check_round(params, i)
+    return i * params.t + 2.0 * params.t_cmp
+
+
+def conventional_interval_time(params: VDSParameters,
+                               checkpoint_write: float = 0.0) -> float:
+    """Fault-free time of one full checkpoint interval (s rounds + write).
+
+    Not an explicitly numbered equation; used by the VDS simulator and the
+    checkpoint-placement analysis (ref [14] context).
+    """
+    if checkpoint_write < 0:
+        raise ConfigurationError(
+            f"checkpoint_write must be >= 0, got {checkpoint_write!r}"
+        )
+    return params.s * conventional_round_time(params) + checkpoint_write
+
+
+def checkpoint_overhead_fraction(params: VDSParameters,
+                                 checkpoint_write: float) -> float:
+    """Fraction of interval time spent writing the checkpoint."""
+    total = conventional_interval_time(params, checkpoint_write)
+    return checkpoint_write / total
+
+
+def _check_round(params: VDSParameters, i: int) -> None:
+    if not isinstance(i, int) or isinstance(i, bool):
+        raise ConfigurationError(f"round index must be an int, got {i!r}")
+    if not (1 <= i <= params.s):
+        raise ConfigurationError(
+            f"round index must lie in [1, s={params.s}], got {i}"
+        )

@@ -1,0 +1,108 @@
+"""§5: trading the SMT gain for clock frequency, power, and heat.
+
+The paper: "Alternatively, if we are already satisfied with the VDS
+performance, we could employ a multithreaded processor with a clock
+frequency reduced by a factor of at least 1/α, assuming that performance
+scales linear with clock frequency.  This would account for lower cost,
+lower power consumption and lower heat dissipation."
+
+We model this with a standard DVFS abstraction: dynamic power
+``P ∝ V²·f`` and, when voltage tracks frequency (``V ∝ f^k`` with voltage
+exponent ``k``), ``P_dyn ∝ f^(1+2k)``; a static (leakage) fraction does not
+scale with f.  The die-area overhead of SMT is the paper's 5 % (ref [13]).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.gains import round_gain
+from repro.core.params import VDSParameters
+from repro.errors import ConfigurationError
+
+__all__ = ["PowerModel", "equal_performance_frequency_scale",
+           "smt_die_area_factor", "duplex_die_area_factor"]
+
+#: Ref [13]: "the die area increases by only 5 %" for hyperthreading.
+SMT_AREA_OVERHEAD = 0.05
+
+
+def equal_performance_frequency_scale(params: VDSParameters,
+                                      exact: bool = True) -> float:
+    """Frequency multiplier at which the SMT VDS matches the conventional one.
+
+    With linear performance-in-frequency scaling, equal *normal-phase* VDS
+    throughput allows ``f_SMT = f_conv / G_round``.  The paper states the
+    approximate form "reduced by a factor of at least 1/α", i.e. a
+    multiplier of α; ``exact=False`` returns exactly that.
+    """
+    if not exact:
+        return params.alpha
+    return 1.0 / round_gain(params)
+
+
+@dataclass(frozen=True)
+class PowerModel:
+    """Dynamic + static power under frequency/voltage scaling.
+
+    Parameters
+    ----------
+    voltage_exponent:
+        k in ``V ∝ f^k``.  k = 1 is classic combined DVFS (P_dyn ∝ f³);
+        k = 0 is frequency-only scaling (P_dyn ∝ f).
+    static_fraction:
+        Fraction of nominal power that is leakage (does not scale with f).
+    """
+
+    voltage_exponent: float = 1.0
+    static_fraction: float = 0.1
+
+    def __post_init__(self) -> None:
+        if self.voltage_exponent < 0:
+            raise ConfigurationError("voltage_exponent must be >= 0")
+        if not (0.0 <= self.static_fraction < 1.0):
+            raise ConfigurationError("static_fraction must lie in [0, 1)")
+
+    def relative_power(self, freq_scale: float) -> float:
+        """Power at ``f' = freq_scale · f`` relative to nominal power."""
+        if freq_scale <= 0:
+            raise ConfigurationError(
+                f"freq_scale must be > 0, got {freq_scale!r}"
+            )
+        dyn = (1.0 - self.static_fraction) * freq_scale ** (
+            1.0 + 2.0 * self.voltage_exponent
+        )
+        return dyn + self.static_fraction
+
+    def relative_energy_per_round(self, params: VDSParameters,
+                                  freq_scale: float) -> float:
+        """Energy per VDS round of the down-clocked SMT VDS vs conventional.
+
+        Time per round stretches by 1/freq_scale on the SMT side and the
+        SMT round is 1/G_round of the conventional one at equal clocks, so
+
+            E_rel = relative_power(freq_scale) · (1 / (freq_scale · G_round)).
+        """
+        g = round_gain(params)
+        return self.relative_power(freq_scale) / (freq_scale * g)
+
+    def equal_performance_power(self, params: VDSParameters) -> float:
+        """Relative power of the SMT VDS down-clocked to equal performance.
+
+        The headline §5 number: at α = 0.65, β = 0.1, k = 1, leakage 10 %,
+        the SMT VDS delivers conventional-VDS performance at roughly a
+        third of the dynamic power.
+        """
+        scale = equal_performance_frequency_scale(params)
+        return self.relative_power(scale)
+
+
+def smt_die_area_factor() -> float:
+    """Die area of the SMT processor relative to the conventional one."""
+    return 1.0 + SMT_AREA_OVERHEAD
+
+
+def duplex_die_area_factor() -> float:
+    """Die area of a true duplex system (two processors) — the cost
+    alternative the paper's intro positions VDS against."""
+    return 2.0

@@ -1,0 +1,180 @@
+"""Eqs. (4), (6)–(8): gain of the SMT VDS over the conventional VDS.
+
+Gain is defined as the ratio of the time the conventional processor needs
+to the time the SMT processor needs for the same logical progress:
+
+* **normal processing** (Eq. (4)) — one complete VDS round;
+* **deterministic roll-forward** (Eqs. (6)/(7), Fig. 3) — during the
+  version-3 retry, the second thread advances each version ``i/4`` rounds
+  from each of the two candidate states (4 segments, ``i`` rounds of work,
+  ``min(i/4, s−i)`` rounds of *guaranteed* progress, with fault detection);
+* **probabilistic roll-forward** (Eq. (8), Fig. 2) — the second thread
+  picks one candidate state (correct with probability ``p``) and advances
+  both versions ``i/2`` rounds from it, detecting roll-forward faults by a
+  final comparison; progress ``min(i/2, s−i)`` with probability ``p``.
+
+Roll-forward never continues beyond round ``s`` ("the roll-forward may have
+to be shortened due to the checkpointing interval"), hence the ``min(·, s−i)``
+truncations.  Per the paper's footnote 2 fractional round counts are kept
+(``i/4`` and ``i/2`` need not be integers).
+
+All ``*_approx`` functions implement the paper's printed simplifications
+(c, t′ ≪ t); all exact functions evaluate the full expressions and are the
+ones used for the figures, as the paper itself does ("we obtain the figures
+not by using the approximated values … but by using exact equations").
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.core.approximations import mean_over_rounds
+from repro.core.conventional import (
+    _check_round,
+    conventional_correction_time,
+    conventional_round_time,
+)
+from repro.core.params import VDSParameters
+from repro.core.smt_model import smt_correction_time, smt_round_time
+from repro.errors import ConfigurationError
+
+__all__ = [
+    "round_gain",
+    "round_gain_approx",
+    "deterministic_rollforward_rounds",
+    "deterministic_gain",
+    "deterministic_gain_approx",
+    "deterministic_mean_gain",
+    "deterministic_mean_gain_approx",
+    "deterministic_breakeven_alpha",
+    "probabilistic_rollforward_rounds",
+    "probabilistic_gain",
+    "probabilistic_gain_approx",
+    "probabilistic_mean_gain",
+    "probabilistic_mean_gain_approx",
+]
+
+
+# --------------------------------------------------------------------------
+# Eq. (4): normal processing
+# --------------------------------------------------------------------------
+
+def round_gain(params: VDSParameters) -> float:
+    """Eq. (4), exact: G_round = T1,round / THT2,round."""
+    return conventional_round_time(params) / smt_round_time(params)
+
+
+def round_gain_approx(params: VDSParameters) -> float:
+    """Eq. (4), paper's simplification for c, t′ ≪ t: G_round ≈ 1/α."""
+    return 1.0 / params.alpha
+
+
+# --------------------------------------------------------------------------
+# Eqs. (6)/(7): deterministic roll-forward
+# --------------------------------------------------------------------------
+
+def deterministic_rollforward_rounds(params: VDSParameters, i: int) -> float:
+    """Guaranteed roll-forward progress of the deterministic scheme.
+
+    ``min(i/4, s−i)`` rounds: each version advances ``i/4`` rounds from the
+    fault-free candidate state (the other half of the work, from the faulty
+    state, is discarded after the vote), truncated at the checkpoint
+    boundary (binding for ``i > 4s/5``).
+    """
+    _check_round(params, i)
+    return min(i / 4.0, float(params.s - i))
+
+
+def deterministic_gain(params: VDSParameters, i: int) -> float:
+    """Eq. (6), exact, fault at round ``i``."""
+    progress = deterministic_rollforward_rounds(params, i)
+    numer = (
+        conventional_correction_time(params, i)
+        + progress * conventional_round_time(params)
+    )
+    return numer / smt_correction_time(params, i)
+
+
+def deterministic_gain_approx(params: VDSParameters, i: int) -> float:
+    """Eq. (6), paper's printed piecewise simplification."""
+    _check_round(params, i)
+    if i <= 4.0 * params.s / 5.0:
+        return 3.0 / (4.0 * params.alpha)
+    return (2.0 * params.s - i) / (2.0 * i * params.alpha)
+
+
+def deterministic_mean_gain(params: VDSParameters) -> float:
+    """Eq. (7), exact: mean of Eq. (6) over fault rounds i = 1..s."""
+    return mean_over_rounds(
+        deterministic_gain(params, i) for i in params.rounds()
+    )
+
+
+def deterministic_mean_gain_approx(params: VDSParameters) -> float:
+    """Eq. (7), closed form: Ḡ_det ≈ (1 + 2·ln(5/4)) / (2α) ≈ 0.7231/α."""
+    return (1.0 + 2.0 * math.log(5.0 / 4.0)) / (2.0 * params.alpha)
+
+
+def deterministic_breakeven_alpha() -> float:
+    """The α below which the deterministic scheme gains (Ḡ_det > 1).
+
+    The paper: "the gain of the deterministic scheme is larger than one for
+    α < 0.723"; exactly α* = ½ + ln(5/4).
+    """
+    return 0.5 + math.log(5.0 / 4.0)
+
+
+# --------------------------------------------------------------------------
+# Eq. (8): probabilistic roll-forward
+# --------------------------------------------------------------------------
+
+def probabilistic_rollforward_rounds(params: VDSParameters, i: int) -> float:
+    """Potential progress of the probabilistic scheme: ``min(i/2, s−i)``.
+
+    Realised only if the fault-free candidate state was chosen
+    (probability ``p``); binding truncation for ``i > 2s/3``.
+    """
+    _check_round(params, i)
+    return min(i / 2.0, float(params.s - i))
+
+
+def probabilistic_gain(params: VDSParameters, i: int, p: float) -> float:
+    """Eq. (8) integrand, exact: expected gain for a fault at round ``i``."""
+    _check_p(p)
+    progress = p * probabilistic_rollforward_rounds(params, i)
+    numer = (
+        conventional_correction_time(params, i)
+        + progress * conventional_round_time(params)
+    )
+    return numer / smt_correction_time(params, i)
+
+
+def probabilistic_gain_approx(params: VDSParameters, i: int, p: float) -> float:
+    """Per-round simplification of the probabilistic scheme (c, t′ ≪ t)."""
+    _check_round(params, i)
+    _check_p(p)
+    if i <= 2.0 * params.s / 3.0:
+        return (1.0 + p) / (2.0 * params.alpha)
+    return (1.0 + 2.0 * p * (params.s / i - 1.0)) / (2.0 * params.alpha)
+
+
+def probabilistic_mean_gain(params: VDSParameters, p: float) -> float:
+    """Eq. (8), exact mean over fault rounds."""
+    return mean_over_rounds(
+        probabilistic_gain(params, i, p) for i in params.rounds()
+    )
+
+
+def probabilistic_mean_gain_approx(params: VDSParameters, p: float) -> float:
+    """Eq. (8) closed form: Ḡ_prob ≈ (1 + 2p·ln(3/2)) / (2α).
+
+    For p = 0.5 (random choice) this matches Ḡ_det "approximately", as the
+    paper notes: (1 + ln(3/2))/2 ≈ 0.703 vs (1 + 2·ln(5/4))/2 ≈ 0.723.
+    """
+    _check_p(p)
+    return (1.0 + 2.0 * p * math.log(1.5)) / (2.0 * params.alpha)
+
+
+def _check_p(p: float) -> None:
+    if not (0.0 <= p <= 1.0):
+        raise ConfigurationError(f"probability p must lie in [0, 1], got {p!r}")

@@ -1,0 +1,149 @@
+"""§5 extension: VDS recovery on processors with more than two hardware threads.
+
+The paper's outlook: "For a multithreaded processor supporting more than two
+threads in hardware, we are able to boost the variants with fault detection
+during roll-forward: in the probabilistic scheme we could execute versions 1
+and 2 for i rounds each in two separate threads (needing 3 threads in
+total), in the deterministic scheme we could execute versions 1 and 2,
+starting from states P and Q, for i rounds each (needing 5 threads in
+total)."
+
+Timing model: with ``n`` simultaneously active hardware threads one
+round-slice (one round in every thread) costs ``n·α(n)·t`` where ``α(n)``
+comes from an :class:`~repro.core.params.AlphaCurve`.  Each thread executes
+``i`` rounds, so the recovery makespan is ``n·α(n)·i·t + 2t′``.  Both boosted
+schemes guarantee ``min(i, s−i)`` rounds of detected roll-forward progress
+(both versions are advanced from the fault-free state; the deterministic
+variant additionally covers both candidate states so it never wastes the
+roll-forward even under an additional fault).
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.core.approximations import mean_over_rounds
+from repro.core.conventional import (
+    _check_round,
+    conventional_correction_time,
+    conventional_round_time,
+)
+from repro.core.params import AlphaCurve, VDSParameters
+from repro.core.prediction_model import prediction_rollforward_rounds
+
+__all__ = [
+    "n_thread_correction_time",
+    "boosted_probabilistic_gain",
+    "boosted_probabilistic_mean_gain",
+    "boosted_deterministic_gain",
+    "boosted_deterministic_mean_gain",
+    "boosted_mean_gain_approx",
+    "best_scheme",
+]
+
+#: Hardware threads needed by the boosted probabilistic scheme (§5).
+PROB_BOOST_THREADS = 3
+#: Hardware threads needed by the boosted deterministic scheme (§5).
+DET_BOOST_THREADS = 5
+
+
+def n_thread_correction_time(params: VDSParameters, i: int, n: int,
+                             curve: AlphaCurve) -> float:
+    """Recovery makespan with ``n`` threads each executing ``i`` rounds."""
+    _check_round(params, i)
+    return n * curve(n) * i * params.t + 2.0 * params.cmp_or_switch
+
+
+def _boosted_gain(params: VDSParameters, i: int, n: int,
+                  curve: AlphaCurve) -> float:
+    numer = (
+        conventional_correction_time(params, i)
+        + prediction_rollforward_rounds(params, i)
+        * conventional_round_time(params)
+    )
+    return numer / n_thread_correction_time(params, i, n, curve)
+
+
+def boosted_probabilistic_gain(params: VDSParameters, i: int,
+                               curve: AlphaCurve, p: float = 0.5) -> float:
+    """Gain of the 3-thread boosted probabilistic scheme, fault at round i.
+
+    Versions 1 and 2 each run ``i`` rounds (instead of ``i/2`` each in one
+    thread) from the chosen candidate state while V3 retries — the §5
+    boost lengthens the roll-forward to ``min(i, s−i)`` and keeps fault
+    detection, but the progress still materialises only if the chosen
+    state was the fault-free one (probability ``p``).
+    """
+    from repro.core.gains import _check_p
+
+    _check_p(p)
+    numer = (
+        conventional_correction_time(params, i)
+        + p * prediction_rollforward_rounds(params, i)
+        * conventional_round_time(params)
+    )
+    return numer / n_thread_correction_time(params, i, PROB_BOOST_THREADS,
+                                            curve)
+
+
+def boosted_probabilistic_mean_gain(params: VDSParameters, curve: AlphaCurve,
+                                    p: float = 0.5) -> float:
+    """Mean over fault rounds of :func:`boosted_probabilistic_gain`."""
+    return mean_over_rounds(
+        boosted_probabilistic_gain(params, i, curve, p)
+        for i in params.rounds()
+    )
+
+
+def boosted_deterministic_gain(params: VDSParameters, i: int,
+                               curve: AlphaCurve) -> float:
+    """Gain of the 5-thread boosted deterministic scheme, fault at round i.
+
+    Versions 1/2 advance from *both* candidate states P and Q (4 threads)
+    while V3 retries (1 thread): guaranteed progress with detection and no
+    dependence on which state was faulty.
+    """
+    return _boosted_gain(params, i, DET_BOOST_THREADS, curve)
+
+
+def boosted_deterministic_mean_gain(params: VDSParameters,
+                                    curve: AlphaCurve) -> float:
+    """Mean over fault rounds of :func:`boosted_deterministic_gain`."""
+    return mean_over_rounds(
+        boosted_deterministic_gain(params, i, curve) for i in params.rounds()
+    )
+
+
+def boosted_mean_gain_approx(alpha_n: float, n: int) -> float:
+    """Closed-form approximation (c, t′ ≪ t, s → ∞): (1 + 2·ln 2)/(n·α(n)).
+
+    Derivation mirrors Eq. (13): numerator mean → 1 + 2·ln 2 (progress
+    min(i, s−i) with certainty), denominator n·α(n)·i·t.
+    """
+    if n < 1:
+        raise ValueError(f"n must be >= 1, got {n}")
+    return (1.0 + 2.0 * math.log(2.0)) / (n * alpha_n)
+
+
+def best_scheme(params: VDSParameters, p: float,
+                curve: AlphaCurve) -> tuple[str, float]:
+    """Which recovery scheme has the highest mean gain at these parameters.
+
+    Compares the paper's 2-thread schemes against the §5 boosted variants.
+    Returns ``(scheme_name, mean_gain)``.
+    """
+    from repro.core.gains import (
+        deterministic_mean_gain,
+        probabilistic_mean_gain,
+    )
+    from repro.core.prediction_model import prediction_scheme_mean_gain
+
+    candidates = {
+        "deterministic": deterministic_mean_gain(params),
+        "probabilistic": probabilistic_mean_gain(params, p),
+        "prediction": prediction_scheme_mean_gain(params, p),
+        "boosted-probabilistic": boosted_probabilistic_mean_gain(params, curve, p),
+        "boosted-deterministic": boosted_deterministic_mean_gain(params, curve),
+    }
+    name = max(candidates, key=candidates.__getitem__)
+    return name, candidates[name]

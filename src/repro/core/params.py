@@ -1,0 +1,208 @@
+"""Model parameters of the paper's VDS performance model.
+
+The paper works with five quantities (§3):
+
+``t``
+    processing time of one *round* of one version ("the processing of a
+    round for each version always takes time t"),
+``t′`` (``t_cmp`` here)
+    time to compare the states of two versions at the end of a round,
+``c``
+    context-switch time on the conventional processor,
+``s``
+    checkpoint interval in rounds ("after every s rounds, the state is
+    saved in the form of a checkpoint"),
+``α``
+    SMT efficiency: two hardware threads together finish one round of each
+    version in ``2·α·t`` (α = ½ → perfect overlap, α = 1 → no overlap;
+    Pentium 4 HT: α ≈ 0.65, paper ref [13]).
+
+To cut the parameter space the paper sets ``c = t′ = β·t`` with β ∈ [0, 1]
+(Eq. (14)); β ≈ 0.1 is called realistic, β = 0 is the no-overhead limit.
+:class:`VDSParameters` supports both the β-coupled form and fully explicit
+``c``/``t_cmp`` values.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.errors import ConfigurationError
+
+__all__ = ["VDSParameters", "AlphaCurve", "PENTIUM4_ALPHA", "REALISTIC_BETA"]
+
+#: SMT efficiency reported for the Pentium 4 with Hyperthreading (ref [13]:
+#: "runtime reduction up to 35 %" → α = 0.65).
+PENTIUM4_ALPHA = 0.65
+
+#: The paper's "since the time for a context switch is much smaller than the
+#: time for a round, we may set β = 0.1".
+REALISTIC_BETA = 0.1
+
+
+@dataclass(frozen=True)
+class VDSParameters:
+    """Immutable parameter set of the analytical model.
+
+    Parameters
+    ----------
+    alpha:
+        SMT efficiency α ∈ [0.5, 1].
+    beta:
+        Overhead ratio β = c/t = t′/t ∈ [0, 1] (Eq. (14)).  Mutually
+        exclusive with explicit ``c``/``t_cmp``.
+    s:
+        Checkpoint interval in rounds, ≥ 1.
+    t:
+        Round time (time unit; default 1.0).
+    c, t_cmp:
+        Explicit context-switch and comparison times.  If either is given,
+        both must be, and ``beta`` must be left at ``None``.
+    use_footnote3:
+        Paper footnote 3: "to be exact, we would have to write max(t′, c)
+        instead of t′" in the SMT correction time.  Off by default (the
+        paper's figures use the plain t′ form; under Eq. (14) the two
+        coincide anyway since c = t′).
+
+    Examples
+    --------
+    >>> p = VDSParameters(alpha=0.65, beta=0.1, s=20)
+    >>> p.c == p.t_cmp == 0.1
+    True
+    >>> q = VDSParameters(alpha=0.6, s=10, c=0.02, t_cmp=0.05)
+    >>> q.beta is None
+    True
+    """
+
+    alpha: float = PENTIUM4_ALPHA
+    beta: Optional[float] = None
+    s: int = 20
+    t: float = 1.0
+    c: Optional[float] = None
+    t_cmp: Optional[float] = None
+    use_footnote3: bool = False
+
+    def __post_init__(self) -> None:
+        if not (0.5 <= self.alpha <= 1.0):
+            raise ConfigurationError(
+                f"alpha must lie in [0.5, 1], got {self.alpha!r}"
+            )
+        if not isinstance(self.s, int) or isinstance(self.s, bool):
+            raise ConfigurationError(f"s must be an int, got {self.s!r}")
+        if self.s < 1:
+            raise ConfigurationError(f"s must be >= 1, got {self.s!r}")
+        if not (self.t > 0) or not math.isfinite(self.t):
+            raise ConfigurationError(f"t must be finite and > 0, got {self.t!r}")
+
+        explicit = self.c is not None or self.t_cmp is not None
+        if explicit:
+            if self.beta is not None:
+                raise ConfigurationError(
+                    "give either beta or explicit c/t_cmp, not both"
+                )
+            if self.c is None or self.t_cmp is None:
+                raise ConfigurationError(
+                    "explicit overheads need both c and t_cmp"
+                )
+            if self.c < 0 or self.t_cmp < 0:
+                raise ConfigurationError("c and t_cmp must be >= 0")
+        else:
+            beta = REALISTIC_BETA if self.beta is None else self.beta
+            if not (0.0 <= beta <= 1.0):
+                raise ConfigurationError(
+                    f"beta must lie in [0, 1], got {beta!r}"
+                )
+            # frozen dataclass: assign via object.__setattr__
+            object.__setattr__(self, "beta", beta)
+            object.__setattr__(self, "c", beta * self.t)
+            object.__setattr__(self, "t_cmp", beta * self.t)
+
+    # -- derived -------------------------------------------------------------
+    @property
+    def overhead_coupled(self) -> bool:
+        """True when the β-coupled form (Eq. (14)) is in effect."""
+        return self.beta is not None
+
+    @property
+    def cmp_or_switch(self) -> float:
+        """``max(t′, c)`` if footnote 3 is enabled, else ``t′``."""
+        return max(self.t_cmp, self.c) if self.use_footnote3 else self.t_cmp
+
+    def rounds(self) -> range:
+        """The fault-round domain 1..s (inclusive)."""
+        return range(1, self.s + 1)
+
+    def with_(self, **changes) -> "VDSParameters":
+        """A modified copy that re-validates.
+
+        The β-coupled and explicit representations are kept consistent:
+        changing ``c``/``t_cmp`` switches to explicit mode, anything else
+        preserves the instance's current mode.
+        """
+        explicit_change = ("c" in changes or "t_cmp" in changes) and (
+            changes.get("c") is not None or changes.get("t_cmp") is not None
+        )
+        base = dict(
+            alpha=self.alpha, s=self.s, t=self.t,
+            use_footnote3=self.use_footnote3,
+        )
+        if explicit_change or not self.overhead_coupled:
+            base.update(c=self.c, t_cmp=self.t_cmp, beta=None)
+        else:
+            base.update(beta=self.beta, c=None, t_cmp=None)
+        base.update(changes)
+        return VDSParameters(**base)
+
+
+@dataclass(frozen=True)
+class AlphaCurve:
+    """SMT efficiency as a function of the number of active hardware threads.
+
+    The paper's model only needs α for two threads; its §5 outlook
+    ("a multithreaded processor supporting more than two threads") needs an
+    α(n).  We model saturating resource contention:
+
+        α(n) = 1/n + (α₂ − ½) · 2·(n − 1)/n
+
+    which satisfies α(1) = 1 (a single thread runs at full speed — paper
+    footnote 1), α(2) = α₂, and saturates so aggregate speedup
+    n/(n·α(n)) → 1/(2α₂ − 1) — a finite issue-bandwidth ceiling.  A custom
+    table can override the curve (e.g. one measured from the
+    :mod:`repro.smt` simulator).
+    """
+
+    alpha2: float = PENTIUM4_ALPHA
+    table: dict[int, float] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not (0.5 <= self.alpha2 <= 1.0):
+            raise ConfigurationError(
+                f"alpha2 must lie in [0.5, 1], got {self.alpha2!r}"
+            )
+        for n, a in self.table.items():
+            if n < 1:
+                raise ConfigurationError(f"thread count must be >= 1, got {n}")
+            if not (1.0 / n <= a <= 1.0):
+                raise ConfigurationError(
+                    f"alpha({n}) must lie in [1/{n}, 1], got {a!r}"
+                )
+
+    def __call__(self, n: int) -> float:
+        """α for ``n`` simultaneously active hardware threads."""
+        if n < 1:
+            raise ConfigurationError(f"thread count must be >= 1, got {n}")
+        if n in self.table:
+            return self.table[n]
+        if n == 1:
+            return 1.0
+        return 1.0 / n + (self.alpha2 - 0.5) * 2.0 * (n - 1) / n
+
+    def aggregate_speedup(self, n: int) -> float:
+        """Throughput of n threads relative to one thread: 1/α(n)... / n·... .
+
+        Precisely: n rounds of work take ``n·α(n)·t`` with n threads versus
+        ``n·t`` sequentially, so the speedup is ``1/α(n)``.
+        """
+        return 1.0 / self(n)

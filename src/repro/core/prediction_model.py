@@ -1,0 +1,156 @@
+"""Eqs. (9)–(13): the prediction-based roll-forward scheme (paper §4).
+
+If fault detection during roll-forward is given up, the second thread can
+execute ``i`` further rounds of *one* version — the one predicted to be
+fault-free — while version 3 retries in the first thread.  Truncated at the
+checkpoint boundary the roll-forward achieves ``min(i, s−i)`` rounds
+(binding for ``i > s/2``).
+
+* Correct prediction (probability ``p``): full progress — Eqs. (9)/(10).
+* Wrong prediction: the roll-forward is useless — loss Eq. (11).
+* Expected gain: Eq. (12) per round, Eq. (13) averaged, with the closed
+  form Ḡ_corr ≈ (1 + 2p·ln 2)/(2α).
+
+The paper's §4.3 thresholds are provided as functions:
+``breakeven_p(alpha)`` = (α − ½)/ln 2 (minimum prediction accuracy to gain)
+and ``breakeven_alpha_random_guess()`` = (1 + ln 2)/2 ≈ 0.847 (the α up to
+which even random guessing, p = ½, gains).
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.core.approximations import mean_over_rounds
+from repro.core.conventional import (
+    _check_round,
+    conventional_correction_time,
+    conventional_round_time,
+)
+from repro.core.gains import _check_p
+from repro.core.params import VDSParameters
+from repro.core.smt_model import smt_correction_time
+
+__all__ = [
+    "prediction_rollforward_rounds",
+    "hit_gain",
+    "hit_gain_approx",
+    "miss_loss",
+    "miss_loss_approx",
+    "prediction_scheme_gain",
+    "prediction_scheme_gain_approx",
+    "prediction_scheme_mean_gain",
+    "prediction_scheme_mean_gain_approx",
+    "breakeven_p",
+    "breakeven_alpha_random_guess",
+]
+
+
+def prediction_rollforward_rounds(params: VDSParameters, i: int) -> float:
+    """Roll-forward progress on a correct prediction: ``min(i, s−i)``."""
+    _check_round(params, i)
+    return float(min(i, params.s - i))
+
+
+# --------------------------------------------------------------------------
+# §4.1: correct prediction — Eqs. (9)/(10)
+# --------------------------------------------------------------------------
+
+def hit_gain(params: VDSParameters, i: int) -> float:
+    """Eqs. (9)/(10), exact: gain when the fault-free version was chosen.
+
+    Expands to the paper's printed exact forms
+    ``(3it + (2+i)t′ + 2ic) / (2iαt + 2t′)`` for i ≤ s/2 and
+    ``((2s−i)t + (2+s−i)t′ + 2(s−i)c) / (2iαt + 2t′)`` for i > s/2.
+    """
+    numer = (
+        conventional_correction_time(params, i)
+        + prediction_rollforward_rounds(params, i)
+        * conventional_round_time(params)
+    )
+    return numer / smt_correction_time(params, i)
+
+
+def hit_gain_approx(params: VDSParameters, i: int) -> float:
+    """Eq. (10) simplification: 3/(2α) for i ≤ s/2, else (2s/i − 1)/(2α)."""
+    _check_round(params, i)
+    if i <= params.s / 2.0:
+        return 3.0 / (2.0 * params.alpha)
+    return (2.0 * params.s / i - 1.0) / (2.0 * params.alpha)
+
+
+# --------------------------------------------------------------------------
+# §4.2: wrong prediction — Eq. (11)
+# --------------------------------------------------------------------------
+
+def miss_loss(params: VDSParameters, i: int) -> float:
+    """Eq. (11), exact: (i·t + 2t′) / (2iαt + 2t′).
+
+    Despite the name "loss", the value is the *gain ratio* (< 1 for
+    α > ½): "in the best case (α = ½) the hyperthreaded processor loses
+    nothing …, in the worst case it loses a factor of two".
+    """
+    return conventional_correction_time(params, i) / smt_correction_time(params, i)
+
+
+def miss_loss_approx(params: VDSParameters, i: int) -> float:
+    """Eq. (11) simplification: 1/(2α)."""
+    _check_round(params, i)
+    return 1.0 / (2.0 * params.alpha)
+
+
+# --------------------------------------------------------------------------
+# §4.3: expected gain — Eqs. (12)/(13)
+# --------------------------------------------------------------------------
+
+def prediction_scheme_gain(params: VDSParameters, i: int, p: float) -> float:
+    """Eq. (12), exact: G_corr(i) = p·G_hit(i) + (1−p)·L_miss(i)."""
+    _check_p(p)
+    return p * hit_gain(params, i) + (1.0 - p) * miss_loss(params, i)
+
+
+def prediction_scheme_gain_approx(params: VDSParameters, i: int,
+                                  p: float) -> float:
+    """Eq. (12) simplification: (2p+1)/(2α) resp. (2p(s/i−1)+1)/(2α)."""
+    _check_round(params, i)
+    _check_p(p)
+    if i <= params.s / 2.0:
+        return (2.0 * p + 1.0) / (2.0 * params.alpha)
+    return (2.0 * p * (params.s / i - 1.0) + 1.0) / (2.0 * params.alpha)
+
+
+def prediction_scheme_mean_gain(params: VDSParameters, p: float) -> float:
+    """Eq. (13), exact: mean of Eq. (12) over fault rounds i = 1..s.
+
+    This is the quantity plotted in the paper's Figures 4 and 5
+    ("we obtain the figures … by using exact equations (10), (11), (12),
+    (13), and (14)").
+    """
+    return mean_over_rounds(
+        prediction_scheme_gain(params, i, p) for i in params.rounds()
+    )
+
+
+def prediction_scheme_mean_gain_approx(params: VDSParameters,
+                                       p: float) -> float:
+    """Eq. (13) closed form: Ḡ_corr ≈ (1 + 2p·ln 2) / (2α)."""
+    _check_p(p)
+    return (1.0 + 2.0 * p * math.log(2.0)) / (2.0 * params.alpha)
+
+
+def breakeven_p(alpha: float) -> float:
+    """§4.3: minimal prediction accuracy p for Ḡ_corr ≥ 1: (α − ½)/ln 2.
+
+    "For p ≥ (α − 0.5)/ln 2, the gain is at least one.  In the best case
+    α = 0.5, we always gain no matter how bad our guesses are."  Clamped to
+    0 from below (α = ½ → any p gains).
+    """
+    return max(0.0, (alpha - 0.5) / math.log(2.0))
+
+
+def breakeven_alpha_random_guess() -> float:
+    """§4.3: α threshold for p = ½: (1 + ln 2)/2 ≈ 0.8466.
+
+    "For random guesses (p = 0.5) we gain for α ≤ (1 + ln 2)/2 ≈ 0.847."
+    """
+    return (1.0 + math.log(2.0)) / 2.0

@@ -1,0 +1,59 @@
+"""Eqs. (3) and (5): VDS timing on a 2-way SMT ("hyperthreaded") processor.
+
+Execution model (paper §3.2, Fig. 1(b)): the two versions run in two
+hardware threads *in parallel*; no context switch is needed and the
+processor's improved utilisation compresses the two rounds into ``2·α·t``:
+
+    THT2,round = 2·α·t + t′                                    (3)
+
+with ½ < α < 1 (α = 0.5: the threads fully overlap; α = 1: no faster than
+sequential, minus the context switches).
+
+During recovery the retry of version 3 (``i`` rounds) runs in the first
+thread while the second thread rolls forward, taking
+
+    THT2,corr = 2·i·α·t + 2·t′                                 (5)
+
+"assuming that the roll-forward in the second thread does not take longer
+than the retry in the first thread".  Footnote 3 remarks that exactly one
+would write ``max(t′, c)`` for the trailing overhead; this is available via
+``VDSParameters(use_footnote3=True)`` and coincides with the default under
+the β-coupling c = t′.
+"""
+
+from __future__ import annotations
+
+from repro.core.conventional import _check_round
+from repro.core.params import VDSParameters
+
+__all__ = ["smt_round_time", "smt_correction_time", "smt_interval_time",
+           "smt_n_thread_round_time"]
+
+
+def smt_round_time(params: VDSParameters) -> float:
+    """Eq. (3): duration of one complete VDS round on the 2-way SMT CPU."""
+    return 2.0 * params.alpha * params.t + params.t_cmp
+
+
+def smt_correction_time(params: VDSParameters, i: int) -> float:
+    """Eq. (5): recovery time (retry ∥ roll-forward) for a fault at round i."""
+    _check_round(params, i)
+    return 2.0 * i * params.alpha * params.t + 2.0 * params.cmp_or_switch
+
+
+def smt_interval_time(params: VDSParameters,
+                      checkpoint_write: float = 0.0) -> float:
+    """Fault-free time of one checkpoint interval on the SMT processor."""
+    return params.s * smt_round_time(params) + checkpoint_write
+
+
+def smt_n_thread_round_time(params: VDSParameters, n: int,
+                            alpha_n: float) -> float:
+    """§5 extension: one VDS round with ``n`` versions in ``n`` threads.
+
+    ``n`` rounds of work complete in ``n·α(n)·t``; the n-way state
+    comparison needs ``n−1`` pairwise comparisons against a pivot.
+    """
+    if n < 1:
+        raise ValueError(f"n must be >= 1, got {n}")
+    return n * alpha_n * params.t + (n - 1) * params.t_cmp

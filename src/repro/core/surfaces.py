@@ -1,0 +1,115 @@
+"""Fig. 4 / Fig. 5: the gain surface Ḡ_corr(α, β).
+
+The paper plots the expected prediction-scheme gain over the (α, β) plane
+for s = 20 at p = 0.5 (Fig. 4, "worst case, as we do not expect any strategy
+to be worse than a random choice") and p = 1.0 (Fig. 5, best case), using
+the exact equations (10)–(14).
+
+:func:`gain_surface` evaluates the surface fully vectorized (one broadcasted
+NumPy expression over the α × β × i cube — guide idiom: no Python loops in
+the hot path).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.core.gains import _check_p
+from repro.errors import ConfigurationError
+
+__all__ = ["GainSurface", "gain_surface", "figure4_surface", "figure5_surface",
+           "DEFAULT_ALPHAS", "DEFAULT_BETAS"]
+
+#: Default α axis: the paper's valid domain [0.5, 1].
+DEFAULT_ALPHAS = tuple(np.round(np.linspace(0.5, 1.0, 11), 6))
+#: Default β axis: "we assume 0 ≤ β ≤ 1".
+DEFAULT_BETAS = tuple(np.round(np.linspace(0.0, 1.0, 11), 6))
+
+
+@dataclass(frozen=True)
+class GainSurface:
+    """An evaluated Ḡ_corr(α, β) grid.
+
+    ``values[a, b]`` is the gain at ``alphas[a]``, ``betas[b]``.
+    """
+
+    alphas: np.ndarray
+    betas: np.ndarray
+    values: np.ndarray
+    p: float
+    s: int
+
+    def __post_init__(self) -> None:
+        if self.values.shape != (len(self.alphas), len(self.betas)):
+            raise ConfigurationError(
+                f"values shape {self.values.shape} does not match axes "
+                f"({len(self.alphas)}, {len(self.betas)})"
+            )
+
+    def value_at(self, alpha: float, beta: float) -> float:
+        """Exact gain at an arbitrary (α, β) — recomputed, not interpolated."""
+        surf = gain_surface(self.p, self.s, alphas=[alpha], betas=[beta])
+        return float(surf.values[0, 0])
+
+    def max(self) -> tuple[float, float, float]:
+        """(α, β, gain) of the grid maximum."""
+        a, b = np.unravel_index(int(np.argmax(self.values)), self.values.shape)
+        return float(self.alphas[a]), float(self.betas[b]), float(self.values[a, b])
+
+    def min(self) -> tuple[float, float, float]:
+        """(α, β, gain) of the grid minimum."""
+        a, b = np.unravel_index(int(np.argmin(self.values)), self.values.shape)
+        return float(self.alphas[a]), float(self.betas[b]), float(self.values[a, b])
+
+    def gain_region_fraction(self) -> float:
+        """Fraction of grid points with gain > 1 (the 'we win' region)."""
+        return float(np.mean(self.values > 1.0))
+
+
+def gain_surface(p: float, s: int = 20,
+                 alphas: Optional[Sequence[float]] = None,
+                 betas: Optional[Sequence[float]] = None) -> GainSurface:
+    """Evaluate the exact Ḡ_corr(α, β) over a grid (Eqs. (10)–(14), t = 1).
+
+    Per grid point: Ḡ = (1/s)·Σᵢ [(i + 2β) + p·min(i, s−i)·(2 + 3β)]
+                                  / (2iα + 2β).
+    """
+    _check_p(p)
+    if s < 1:
+        raise ConfigurationError(f"s must be >= 1, got {s}")
+    a = np.asarray(DEFAULT_ALPHAS if alphas is None else alphas, dtype=float)
+    b = np.asarray(DEFAULT_BETAS if betas is None else betas, dtype=float)
+    if a.ndim != 1 or b.ndim != 1 or a.size == 0 or b.size == 0:
+        raise ConfigurationError("alphas and betas must be non-empty 1-D")
+    if np.any(a < 0.5) or np.any(a > 1.0):
+        raise ConfigurationError("alphas must lie in [0.5, 1]")
+    if np.any(b < 0.0) or np.any(b > 1.0):
+        raise ConfigurationError("betas must lie in [0, 1]")
+
+    i = np.arange(1, s + 1, dtype=float)            # (s,)
+    progress = np.minimum(i, s - i)                  # (s,)
+    A = a[:, None, None]                             # (A,1,1)
+    B = b[None, :, None]                             # (1,B,1)
+    I = i[None, None, :]                             # (1,1,s)
+    P = progress[None, None, :]
+    numer = (I + 2.0 * B) + p * P * (2.0 + 3.0 * B)
+    denom = 2.0 * I * A + 2.0 * B
+    values = (numer / denom).mean(axis=2)            # (A,B)
+    return GainSurface(alphas=a, betas=b, values=values, p=p, s=s)
+
+
+def figure4_surface(s: int = 20,
+                    alphas: Optional[Sequence[float]] = None,
+                    betas: Optional[Sequence[float]] = None) -> GainSurface:
+    """The paper's Figure 4: Ḡ_corr(α, β) for p = 0.5 (worst case)."""
+    return gain_surface(0.5, s, alphas, betas)
+
+
+def figure5_surface(s: int = 20,
+                    alphas: Optional[Sequence[float]] = None,
+                    betas: Optional[Sequence[float]] = None) -> GainSurface:
+    """The paper's Figure 5: Ḡ_corr(α, β) for p = 1.0 (best case)."""
+    return gain_surface(1.0, s, alphas, betas)

@@ -1,0 +1,53 @@
+"""repro.diversity — automatic generation of diverse program versions.
+
+The paper's VDS "consists of three versions of a software with identical
+functionalities.  … The versions show both design diversity and systematic
+diversity to be able to recover from transient as well as from many
+permanent hardware faults.  The diverse versions can be generated
+automatically" (§1, refs [4] M. Jochim DSN'02 and [6] T. Lovrić).
+
+This package implements that generator for :mod:`repro.isa` programs:
+
+* *design diversity* — different code for the same function:
+  :class:`~repro.diversity.transforms.RegisterPermutation`,
+  :class:`~repro.diversity.transforms.InstructionSubstitution`,
+  :class:`~repro.diversity.transforms.OperandSwap`,
+  :class:`~repro.diversity.transforms.NopInsertion`,
+  :class:`~repro.diversity.transforms.InstructionReordering`;
+* *systematic diversity* — different data representation:
+  :class:`~repro.diversity.transforms.EncodedExecution` (all memory data
+  XOR-masked, Lovrić-style), so a permanent stuck-at fault in a memory or
+  datapath bit perturbs the two versions' plaintext states differently.
+
+:func:`~repro.diversity.generator.generate_versions` composes transforms
+into a version set; :mod:`repro.diversity.verification` checks semantic
+equivalence by differential execution.
+"""
+
+from repro.diversity.transforms import (
+    Transform,
+    RegisterPermutation,
+    InstructionSubstitution,
+    OperandSwap,
+    NopInsertion,
+    InstructionReordering,
+    EncodedExecution,
+    ALL_TRANSFORMS,
+)
+from repro.diversity.generator import DiverseVersion, generate_versions
+from repro.diversity.verification import semantically_equivalent, verify_version_set
+
+__all__ = [
+    "Transform",
+    "RegisterPermutation",
+    "InstructionSubstitution",
+    "OperandSwap",
+    "NopInsertion",
+    "InstructionReordering",
+    "EncodedExecution",
+    "ALL_TRANSFORMS",
+    "DiverseVersion",
+    "generate_versions",
+    "semantically_equivalent",
+    "verify_version_set",
+]

@@ -1,0 +1,128 @@
+"""Automatic generation of diverse version sets (paper ref [4]).
+
+:func:`generate_versions` produces the paper's three-version VDS from a
+single source program: version 1 is the original; versions 2 and 3 receive
+randomly drawn, composed transforms with *disjoint flavour emphasis* —
+version 2 leans on design diversity, version 3 on systematic (encoded
+execution) diversity — mirroring the requirement that "a fault may not
+corrupt states/output of any two versions in the same way" (§2.1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.isa.instructions import Instruction
+from repro.diversity.transforms import (
+    EncodedExecution,
+    InstructionReordering,
+    InstructionSubstitution,
+    NopInsertion,
+    OperandSwap,
+    RegisterPermutation,
+    Transform,
+)
+
+__all__ = ["DiverseVersion", "generate_versions"]
+
+
+@dataclass(frozen=True)
+class DiverseVersion:
+    """One generated version: program + input image + provenance."""
+
+    index: int                      #: 1-based version number (1 = original)
+    program: tuple[Instruction, ...]
+    inputs: tuple[int, ...]
+    transforms: tuple[str, ...]     #: names of the transforms applied
+    #: XOR mask if encoded execution is in effect (the comparator does not
+    #: need it — outputs are plaintext — but diagnostics do).
+    encoding_mask: Optional[int] = None
+
+    @property
+    def is_original(self) -> bool:
+        return not self.transforms
+
+
+def _design_pipeline(rng: np.random.Generator) -> list[Transform]:
+    """A random composition of design-diversity transforms."""
+    pipeline: list[Transform] = [RegisterPermutation.random(rng)]
+    optional: list[Transform] = [
+        InstructionSubstitution(),
+        OperandSwap(),
+        NopInsertion(period=int(rng.integers(2, 6))),
+        InstructionReordering(),
+    ]
+    # Keep each optional transform with probability 1/2, but at least one.
+    keep = [t for t in optional if rng.random() < 0.5]
+    if not keep:
+        keep = [optional[int(rng.integers(len(optional)))]]
+    pipeline.extend(keep)
+    return pipeline
+
+
+def _systematic_pipeline(rng: np.random.Generator) -> list[Transform]:
+    """Encoded execution plus light design diversity."""
+    mask = int(rng.integers(1, 2**32, dtype=np.uint64))
+    return [
+        EncodedExecution(mask=mask),
+        OperandSwap(),
+        NopInsertion(period=int(rng.integers(2, 6))),
+    ]
+
+
+def generate_versions(program: Sequence[Instruction], inputs: Sequence[int],
+                      n: int = 3, seed: int = 0,
+                      pipelines: Optional[Sequence[Sequence[Transform]]] = None,
+                      ) -> list[DiverseVersion]:
+    """Generate ``n`` diverse versions of ``program``.
+
+    Parameters
+    ----------
+    program, inputs:
+        The source program and its input image.
+    n:
+        Number of versions (the paper's VDS uses 3; ≥ 2 required).
+    seed:
+        Seed for the transform draws.
+    pipelines:
+        Explicit transform pipelines for versions 2..n (overrides the
+        random draw); ``pipelines[k]`` is applied to version ``k+2``.
+
+    Returns
+    -------
+    list of :class:`DiverseVersion`, version 1 first (the original).
+    """
+    if n < 2:
+        raise ConfigurationError(f"a duplex system needs n >= 2, got {n}")
+    rng = np.random.default_rng(seed)
+
+    versions = [DiverseVersion(1, tuple(program), tuple(inputs), ())]
+    for k in range(2, n + 1):
+        if pipelines is not None:
+            if len(pipelines) < n - 1:
+                raise ConfigurationError(
+                    f"need {n - 1} pipelines for versions 2..{n}"
+                )
+            pipeline = list(pipelines[k - 2])
+        elif k % 2 == 0:
+            pipeline = _design_pipeline(rng)
+        else:
+            pipeline = _systematic_pipeline(rng)
+
+        prog: list[Instruction] = list(program)
+        inp: list[int] = list(inputs)
+        mask: Optional[int] = None
+        names: list[str] = []
+        for t in pipeline:
+            prog, inp = t.apply(prog, inp)
+            names.append(t.name)
+            if isinstance(t, EncodedExecution):
+                mask = t.mask
+        versions.append(
+            DiverseVersion(k, tuple(prog), tuple(inp), tuple(names), mask)
+        )
+    return versions

@@ -1,0 +1,344 @@
+"""Semantics-preserving program transforms producing diverse versions.
+
+Every transform maps ``(program, inputs) → (program', inputs')`` such that
+the *output stream* of the transformed program equals the original's for
+all inputs (verified by :mod:`repro.diversity.verification`).  Transforms
+that change the instruction count remap branch targets through
+:func:`remap_program`.
+
+Programs follow the library convention of using only ``r0``–``r11``;
+``r12``–``r15`` are free for transform scratch (see
+:mod:`repro.isa.programs`).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.isa.assembler import BRANCH_TARGET_POS, REGISTER_OPERANDS
+from repro.isa.instructions import (
+    Instruction,
+    Opcode,
+    REGISTER_COUNT,
+    WORD_MASK,
+)
+
+__all__ = [
+    "Transform",
+    "remap_program",
+    "RegisterPermutation",
+    "InstructionSubstitution",
+    "OperandSwap",
+    "NopInsertion",
+    "InstructionReordering",
+    "EncodedExecution",
+    "ALL_TRANSFORMS",
+]
+
+#: Scratch registers reserved for transforms (library programs avoid them).
+SCRATCH_REGS = (12, 13, 14, 15)
+
+#: Commutative ALU operations (for operand swapping).
+_COMMUTATIVE = frozenset({Opcode.ADD, Opcode.MUL, Opcode.AND, Opcode.OR,
+                          Opcode.XOR})
+
+
+def remap_program(groups: Sequence[Sequence[Instruction]],
+                  original_len: int) -> list[Instruction]:
+    """Flatten per-instruction expansion groups, fixing branch targets.
+
+    ``groups[i]`` is the replacement sequence for original instruction
+    ``i``; branch targets (original indices, possibly ``original_len`` for
+    one-past-the-end) are rewritten to the start of the target's group.
+    """
+    if len(groups) != original_len:
+        raise ConfigurationError("one group per original instruction required")
+    starts: list[int] = []
+    pos = 0
+    for g in groups:
+        starts.append(pos)
+        pos += len(g)
+    starts.append(pos)  # one-past-the-end target
+
+    out: list[Instruction] = []
+    for g in groups:
+        for instr in g:
+            if instr.is_branch:
+                tpos = BRANCH_TARGET_POS[instr.op]
+                args = list(instr.args)
+                target = args[tpos]
+                if not (0 <= target <= original_len):
+                    raise ConfigurationError(
+                        f"branch target {target} out of range"
+                    )
+                args[tpos] = starts[target]
+                instr = Instruction(instr.op, tuple(args))
+            out.append(instr)
+    return out
+
+
+class Transform(ABC):
+    """Base class: a named, deterministic program transform."""
+
+    #: short identifier used in version provenance records
+    name: str = "transform"
+
+    @abstractmethod
+    def apply(self, program: Sequence[Instruction],
+              inputs: Sequence[int]) -> tuple[list[Instruction], list[int]]:
+        """Return the transformed ``(program, inputs)``."""
+
+    def __repr__(self) -> str:
+        return f"<{type(self).__name__} {self.name}>"
+
+
+@dataclass(frozen=True)
+class RegisterPermutation(Transform):
+    """Design diversity: rename registers through a bijection.
+
+    Only ``r0``–``r11`` are permuted by default so scratch registers stay
+    free for composition with :class:`EncodedExecution`.
+    """
+
+    mapping: dict[int, int]
+    name: str = "regperm"
+
+    def __post_init__(self) -> None:
+        keys = sorted(self.mapping)
+        vals = sorted(self.mapping.values())
+        if keys != vals:
+            raise ConfigurationError("register mapping must be a bijection")
+        for r in keys:
+            if not (0 <= r < REGISTER_COUNT):
+                raise ConfigurationError(f"register {r} out of range")
+
+    @classmethod
+    def random(cls, rng: np.random.Generator,
+               low: int = 0, high: int = 12) -> "RegisterPermutation":
+        """A random permutation of registers ``low``..``high-1``."""
+        regs = list(range(low, high))
+        perm = list(rng.permutation(regs))
+        return cls(mapping={r: int(p) for r, p in zip(regs, perm)})
+
+    def apply(self, program, inputs):
+        out: list[Instruction] = []
+        for instr in program:
+            reg_pos = REGISTER_OPERANDS[instr.op]
+            args = list(instr.args)
+            for pos in reg_pos:
+                args[pos] = self.mapping.get(args[pos], args[pos])
+            out.append(Instruction(instr.op, tuple(args)))
+        return out, list(inputs)
+
+
+@dataclass(frozen=True)
+class InstructionSubstitution(Transform):
+    """Design diversity: equivalent instructions via other functional units.
+
+    * ``mov rd, rs``      → ``or rd, rs, rs``
+    * ``loadi rd, 0``     → ``xor rd, rd, rd``
+    * ``add rd, ra, ra``  → ``shl rd, ra, r_one`` is *not* used (needs a
+      known-1 register); the substitutions here are all self-contained.
+
+    A permanent fault in e.g. the OR unit then hits the substituted version
+    but not the original — the mechanism behind the paper's "diversity is
+    used to employ the hardware in different ways" (§2.1).
+    """
+
+    name: str = "substitute"
+
+    def apply(self, program, inputs):
+        out: list[Instruction] = []
+        for instr in program:
+            if instr.op is Opcode.MOV:
+                rd, rs = instr.args
+                out.append(Instruction(Opcode.OR, (rd, rs, rs)))
+            elif instr.op is Opcode.LOADI and instr.args[1] == 0:
+                rd = instr.args[0]
+                out.append(Instruction(Opcode.XOR, (rd, rd, rd)))
+            else:
+                out.append(instr)
+        return out, list(inputs)
+
+
+@dataclass(frozen=True)
+class OperandSwap(Transform):
+    """Design diversity: swap the source operands of commutative ALU ops."""
+
+    name: str = "opswap"
+
+    def apply(self, program, inputs):
+        out: list[Instruction] = []
+        for instr in program:
+            if instr.op in _COMMUTATIVE:
+                rd, ra, rb = instr.args
+                out.append(Instruction(instr.op, (rd, rb, ra)))
+            else:
+                out.append(instr)
+        return out, list(inputs)
+
+
+@dataclass(frozen=True)
+class NopInsertion(Transform):
+    """Design diversity: insert ``nop`` every ``period`` instructions.
+
+    Shifts the code layout (and hence which pc values exist at which time),
+    so control-flow faults (pc bit flips) manifest differently across
+    versions.
+    """
+
+    period: int = 3
+    name: str = "nops"
+
+    def __post_init__(self) -> None:
+        if self.period < 1:
+            raise ConfigurationError(f"period must be >= 1, got {self.period}")
+
+    def apply(self, program, inputs):
+        groups: list[list[Instruction]] = []
+        for idx, instr in enumerate(program):
+            g = [instr]
+            if (idx + 1) % self.period == 0 and instr.op is not Opcode.HALT:
+                g.append(Instruction(Opcode.NOP))
+            groups.append(g)
+        return remap_program(groups, len(program)), list(inputs)
+
+
+@dataclass(frozen=True)
+class InstructionReordering(Transform):
+    """Design diversity: swap adjacent independent instructions.
+
+    Conservative legality: the pair must be free of data dependences
+    (RAW/WAR/WAW on registers), contain no branch / ``halt`` / ``out``, at
+    most one memory operation, and neither position may be a branch target.
+    """
+
+    name: str = "reorder"
+
+    def apply(self, program, inputs):
+        targets: set[int] = set()
+        for instr in program:
+            if instr.is_branch:
+                targets.add(instr.args[BRANCH_TARGET_POS[instr.op]])
+
+        out = list(program)
+        i = 0
+        while i + 1 < len(out):
+            a, b = out[i], out[i + 1]
+            if (self._swappable(a, b)
+                    and i not in targets and (i + 1) not in targets):
+                out[i], out[i + 1] = b, a
+                i += 2
+            else:
+                i += 1
+        return out, list(inputs)
+
+    @staticmethod
+    def _defs_uses(instr: Instruction) -> tuple[set[int], set[int]]:
+        reg_pos = REGISTER_OPERANDS[instr.op]
+        regs = [instr.args[p] for p in reg_pos]
+        if instr.op in (Opcode.STORE, Opcode.OUT, Opcode.NOP, Opcode.HALT,
+                        Opcode.BEQ, Opcode.BNE, Opcode.BLT, Opcode.BGE,
+                        Opcode.JMP):
+            return set(), set(regs)          # no register defs
+        if not regs:
+            return set(), set()
+        defs = {regs[0]}
+        uses = set(regs[1:])
+        if instr.op in (Opcode.ADD, Opcode.SUB, Opcode.MUL, Opcode.DIV,
+                        Opcode.MOD, Opcode.AND, Opcode.OR, Opcode.XOR,
+                        Opcode.SHL, Opcode.SHR, Opcode.MOV, Opcode.LOAD):
+            pass  # first operand is the destination
+        elif instr.op is Opcode.LOADI:
+            uses = set()
+        return defs, uses
+
+    def _swappable(self, a: Instruction, b: Instruction) -> bool:
+        blocked = {Opcode.HALT, Opcode.OUT, Opcode.SYNC}
+        if a.is_branch or b.is_branch or a.op in blocked or b.op in blocked:
+            return False
+        if a.is_memory and b.is_memory:
+            return False
+        a_defs, a_uses = self._defs_uses(a)
+        b_defs, b_uses = self._defs_uses(b)
+        return not (
+            (a_defs & b_uses)   # RAW
+            or (a_uses & b_defs)  # WAR
+            or (a_defs & b_defs)  # WAW
+        )
+
+
+@dataclass(frozen=True)
+class EncodedExecution(Transform):
+    """Systematic diversity: all memory data is stored XOR ``mask``.
+
+    Every ``load`` gains a decode (``xor rd, rd, r13``) and every ``store``
+    an encode through scratch ``r14``; the input image is pre-encoded.
+    Register contents stay plaintext, so outputs are unchanged; the
+    *memory image* differs per version, which is what makes permanent
+    memory faults detectable by comparison (Lovrić-style systematic
+    diversity, paper ref [6]).
+    """
+
+    mask: int = 0xA5A5A5A5
+    mask_reg: int = 13
+    scratch_reg: int = 14
+    name: str = "encoded"
+
+    def __post_init__(self) -> None:
+        if not (0 <= self.mask <= WORD_MASK):
+            raise ConfigurationError("mask must be a 32-bit word")
+        if self.mask_reg == self.scratch_reg:
+            raise ConfigurationError("mask and scratch registers must differ")
+        for r in (self.mask_reg, self.scratch_reg):
+            if r not in SCRATCH_REGS:
+                raise ConfigurationError(
+                    f"r{r} is not a reserved scratch register {SCRATCH_REGS}"
+                )
+
+    def apply(self, program, inputs):
+        groups: list[list[Instruction]] = []
+        for idx, instr in enumerate(program):
+            if instr.op is Opcode.LOAD:
+                groups.append([
+                    instr,
+                    Instruction(Opcode.XOR,
+                                (instr.args[0], instr.args[0], self.mask_reg)),
+                ])
+            elif instr.op is Opcode.STORE:
+                ra, off, rs = instr.args
+                groups.append([
+                    Instruction(Opcode.XOR, (self.scratch_reg, rs, self.mask_reg)),
+                    Instruction(Opcode.STORE, (ra, off, self.scratch_reg)),
+                ])
+            else:
+                groups.append([instr])
+        body = remap_program(groups, len(program))
+        # Prologue materialises the mask; branch targets shift by its length.
+        prologue = [Instruction(Opcode.LOADI, (self.mask_reg, self.mask))]
+        shifted: list[Instruction] = []
+        for instr in body:
+            if instr.is_branch:
+                tpos = BRANCH_TARGET_POS[instr.op]
+                args = list(instr.args)
+                args[tpos] += len(prologue)
+                instr = Instruction(instr.op, tuple(args))
+            shifted.append(instr)
+        encoded_inputs = [(v ^ self.mask) & WORD_MASK for v in inputs]
+        return prologue + shifted, encoded_inputs
+
+
+#: Transform classes eligible for random composition by the generator.
+ALL_TRANSFORMS: tuple[type, ...] = (
+    RegisterPermutation,
+    InstructionSubstitution,
+    OperandSwap,
+    NopInsertion,
+    InstructionReordering,
+    EncodedExecution,
+)

@@ -1,0 +1,70 @@
+"""Differential verification of diverse version sets.
+
+A transform bug would silently destroy the VDS's core assumption (all
+versions compute the same function), so generated versions are checked by
+*differential execution*: run every version to completion on the fault-free
+machine and compare output streams.  This is also exactly the comparison
+the VDS performs at runtime, so verification doubles as a test of the
+comparator's canonical view.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.diversity.generator import DiverseVersion
+from repro.errors import ConfigurationError
+from repro.isa.machine import Machine
+
+__all__ = ["semantically_equivalent", "verify_version_set"]
+
+#: Generous default instruction budget for verification runs.
+_VERIFY_BUDGET = 2_000_000
+
+
+def _run(version: DiverseVersion, memory_words: int,
+         budget: int) -> tuple[int, ...]:
+    # Encoded-execution versions need their whole space initialised to the
+    # encoded zero, or loads from untouched words decode to garbage.
+    m = Machine(list(version.program), memory_words=memory_words,
+                inputs=list(version.inputs), name=f"verify-v{version.index}",
+                fill=version.encoding_mask or 0)
+    m.run_to_halt(budget)
+    return tuple(m.output)
+
+
+def semantically_equivalent(a: DiverseVersion, b: DiverseVersion,
+                            memory_words: int = 256,
+                            budget: int = _VERIFY_BUDGET) -> bool:
+    """True iff both versions produce identical output streams."""
+    return _run(a, memory_words, budget) == _run(b, memory_words, budget)
+
+
+def verify_version_set(versions: Sequence[DiverseVersion],
+                       memory_words: int = 256,
+                       budget: int = _VERIFY_BUDGET,
+                       expected_output: Optional[Sequence[int]] = None) -> None:
+    """Raise :class:`ConfigurationError` unless all versions agree.
+
+    Parameters
+    ----------
+    expected_output:
+        Optional oracle output; when given, the common output must also
+        match it (catches the original program being wrong, not just the
+        transforms).
+    """
+    if len(versions) < 2:
+        raise ConfigurationError("need at least two versions to verify")
+    outputs = [_run(v, memory_words, budget) for v in versions]
+    reference = outputs[0]
+    for v, out in zip(versions[1:], outputs[1:]):
+        if out != reference:
+            raise ConfigurationError(
+                f"version {v.index} (transforms {v.transforms}) diverges: "
+                f"{out!r} != {reference!r}"
+            )
+    if expected_output is not None and tuple(expected_output) != reference:
+        raise ConfigurationError(
+            f"version set output {reference!r} does not match oracle "
+            f"{tuple(expected_output)!r}"
+        )

@@ -1,0 +1,61 @@
+"""Exception hierarchy for the repro package.
+
+All library-raised exceptions derive from :class:`ReproError` so that
+callers can catch everything library-specific with a single ``except``.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class ConfigurationError(ReproError, ValueError):
+    """A model or system parameter is outside its valid domain.
+
+    Also raised when mutually inconsistent options are combined, e.g. a
+    roll-forward scheme that requires two hardware threads configured on a
+    single-threaded processor model.
+    """
+
+
+class SimulationError(ReproError, RuntimeError):
+    """The discrete-event simulation reached an invalid internal state."""
+
+
+class DeadlockError(SimulationError):
+    """The event queue drained while processes were still waiting."""
+
+
+class FaultModelError(ReproError, ValueError):
+    """A fault specification is invalid (bad location, rate, or type)."""
+
+
+class RecoveryError(ReproError, RuntimeError):
+    """A recovery scheme could not complete.
+
+    Raised e.g. when a second fault corrupts the retry so that no majority
+    exists and the configured policy forbids falling back to rollback
+    (paper §3.1: "one has to resort to a rollback scheme").
+    """
+
+
+class AssemblerError(ReproError, ValueError):
+    """The ISA assembler rejected a source program."""
+
+
+class MachineFault(ReproError, RuntimeError):
+    """The ISA interpreter trapped (illegal opcode, bad address, ...).
+
+    This models the paper's crash faults and access violations: "an access
+    to the data of another version then leads to an access violation which
+    is signaled as a fault" (§2.1).
+    """
+
+    def __init__(self, message: str, *, kind: str = "trap", pc: int | None = None):
+        super().__init__(message)
+        #: Machine-readable trap category, e.g. ``"access-violation"``.
+        self.kind = kind
+        #: Program counter at the time of the trap, if known.
+        self.pc = pc

@@ -1,0 +1,55 @@
+"""repro.experiments — regenerating every figure and table of the paper.
+
+Each experiment module registers itself with the registry under its id
+from DESIGN.md §4 (``FIG1`` … ``FIG5``, ``TAB-E1`` … ``TAB-E6``,
+``VAL-1``/``VAL-2``, ``EXT-1``…``EXT-3``, ``COV-1``).  Run them via
+
+.. code-block:: console
+
+    $ vds-repro list
+    $ vds-repro run FIG4
+    $ vds-repro run --all
+
+or programmatically through :func:`run_experiment`.
+"""
+
+from repro.experiments.registry import (
+    EXPERIMENTS,
+    ExperimentResult,
+    register,
+    run_experiment,
+    all_experiment_ids,
+)
+
+# Importing the modules populates the registry.
+from repro.experiments import (  # noqa: F401  (import for side effects)
+    fig1,
+    fig2_fig3,
+    fig4_fig5,
+    tab_e1_round_gain,
+    tab_e2_e3_rollforward,
+    tab_e4_prediction,
+    tab_e5_e6_limits,
+    val1_model_vs_sim,
+    val2_alpha,
+    ext1_multithread,
+    ext2_predictors,
+    ext3_frequency,
+    cov1_coverage,
+    full1_fullstack,
+    opt1_checkpoint,
+    rel1_markov,
+    mis1_scheme_crossover,
+    alpha2_mix,
+    srt1_lockstep,
+    cgmt1_coarse_grained,
+    sens1_sensitivity,
+)
+
+__all__ = [
+    "EXPERIMENTS",
+    "ExperimentResult",
+    "register",
+    "run_experiment",
+    "all_experiment_ids",
+]

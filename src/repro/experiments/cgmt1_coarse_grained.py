@@ -1,0 +1,63 @@
+"""CGMT-1 — why ref [5] saw almost no benefit: coarse-grained MT measured.
+
+§4.3's fairness note cites Lim & Bianchini's < 10 % multithreading benefit
+and explains the hardware was not SMT: Alewife's Sparcle switched threads
+only on (remote-memory) misses.  This experiment runs the same workload
+pairs on two cores that differ *only* in their threading discipline —
+the simultaneous core (issue slots shared every cycle) versus a
+switch-on-miss coarse-grained core — and feeds both measured α bands into
+the paper's G_max.
+
+Expected shape: SMT α ≈ 0.6–0.73 → G_max ≈ 1.3–1.5; CGMT α ≈ 0.76–0.99
+(mean ≈ 0.9, i.e. ref [5]'s ≤ 10 % speedup) → G_max ≈ 1.0 — the paper's
+"we still would not lose" with the mechanism attached.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis.report import render_table
+from repro.core.limits import gain_limit_closed_form
+from repro.experiments.registry import ExperimentResult, register
+from repro.smt.cgmt import measure_alpha_cgmt
+from repro.smt.contention import measure_alpha
+
+_WORKLOADS = ["fibonacci", "checksum", "insertion_sort", "primes", "gcd"]
+
+
+@register("CGMT-1", "Coarse-grained vs simultaneous MT (the ref [5] machine)")
+def run(quick: bool = False, seed: int = 0) -> ExperimentResult:
+    workloads = _WORKLOADS[:3] if quick else _WORKLOADS
+    rows = []
+    smt_alphas, cgmt_alphas = [], []
+    for name in workloads:
+        a_smt = measure_alpha(name, name).alpha
+        a_cgmt = measure_alpha_cgmt(name, name).alpha
+        smt_alphas.append(a_smt)
+        cgmt_alphas.append(a_cgmt)
+        rows.append([
+            name, a_smt, a_cgmt,
+            gain_limit_closed_form(min(1.0, max(0.5, a_smt)), 0.1, 0.5),
+            gain_limit_closed_form(min(1.0, max(0.5, a_cgmt)), 0.1, 0.5),
+        ])
+    mean_smt = float(np.mean(smt_alphas))
+    mean_cgmt = float(np.mean(cgmt_alphas))
+    text = render_table(
+        ["workload", "alpha SMT", "alpha CGMT", "G_max(SMT)",
+         "G_max(CGMT)"],
+        rows,
+        title="Same workloads, same ports and cache — only the threading "
+              "discipline differs (CGMT = switch-on-miss, Alewife style)")
+    text += (
+        f"\nMean alpha: SMT {mean_smt:.3f} vs CGMT {mean_cgmt:.3f} "
+        f"(multithreading speedup {1 / mean_cgmt:.2f}x — ref [5]'s "
+        f"'less than 10 percent' regime); G_max at the CGMT alpha is "
+        f"{gain_limit_closed_form(min(1.0, mean_cgmt), 0.1, 0.5):.3f} ~ 1, "
+        "the paper's 'we still would not lose'.\n"
+    )
+    return ExperimentResult(
+        "CGMT-1", "Coarse-grained vs simultaneous MT", text,
+        data={"smt_alphas": smt_alphas, "cgmt_alphas": cgmt_alphas,
+              "mean_smt": mean_smt, "mean_cgmt": mean_cgmt},
+    )

@@ -1,0 +1,81 @@
+"""COV-1 — fault-injection coverage of the diversity assumptions (§2.1).
+
+ISA-level injection campaigns over diverse version pairs validate the two
+assumptions the paper's model rests on:
+
+* transient faults "only directly affect one version" and are caught by
+  the end-of-round state comparison (coverage ≈ 1, short latency);
+* permanent faults need *diversity*: with two identical copies a stuck-at
+  perturbs both states the same way (silent corruption); with diverse
+  versions the perturbations differ and the comparison fires.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis.report import render_table
+from repro.diversity import generate_versions
+from repro.experiments.registry import ExperimentResult, register
+from repro.faults import FaultInjector, FaultKind, FaultOutcome, run_campaign
+from repro.isa import load_program
+
+
+@register("COV-1", "Fault-injection coverage with and without diversity")
+def run(quick: bool = False, seed: int = 0) -> ExperimentResult:
+    n_trials = 100 if quick else 300
+    n_perm = 120 if quick else 240
+    program = "insertion_sort"
+    prog, inputs, spec = load_program(program)
+    versions = generate_versions(prog, inputs, n=3, seed=seed + 7)
+    oracle = spec.oracle()
+
+    # Mixed campaign on the diverse pair.
+    rng = np.random.default_rng(seed)
+    mixed = run_campaign(versions[0], versions[1], oracle, n_trials, rng)
+
+    # Permanent-only campaigns: identical copies vs diverse pair.
+    def perm_campaign(vb):
+        # ALU stuck-ats are the fault class diversity exists for: both
+        # copies share the broken unit, only diverse use patterns expose it.
+        inj = FaultInjector(np.random.default_rng(seed + 1),
+                            mix={FaultKind.PERMANENT_ALU: 1.0})
+        return run_campaign(versions[0], vb, oracle, n_perm,
+                            np.random.default_rng(seed + 2), injector=inj)
+
+    perm_same = perm_campaign(versions[0])
+    perm_div = perm_campaign(versions[2])
+
+    rows = [
+        ["mixed faults, diverse pair", mixed.n, mixed.coverage,
+         mixed.count(FaultOutcome.SILENT_CORRUPTION),
+         mixed.count(FaultOutcome.BENIGN),
+         mixed.mean_detection_latency() or 0.0],
+        ["permanent only, identical copies", perm_same.n, perm_same.coverage,
+         perm_same.count(FaultOutcome.SILENT_CORRUPTION),
+         perm_same.count(FaultOutcome.BENIGN),
+         perm_same.mean_detection_latency() or 0.0],
+        ["permanent only, diverse pair", perm_div.n, perm_div.coverage,
+         perm_div.count(FaultOutcome.SILENT_CORRUPTION),
+         perm_div.count(FaultOutcome.BENIGN),
+         perm_div.mean_detection_latency() or 0.0],
+    ]
+    text = render_table(
+        ["campaign", "trials", "coverage", "silent", "benign",
+         "mean latency (rounds)"],
+        rows,
+        title=f"ISA-level fault injection on '{program}' version pairs")
+    text += (
+        "\nDiversity closes the permanent-fault gap: identical copies let "
+        "stuck-at faults corrupt both versions identically (silent), "
+        "diverse versions expose them to the comparator.\n"
+    )
+    return ExperimentResult(
+        "COV-1", "Fault-injection coverage", text,
+        data={
+            "mixed_coverage": mixed.coverage,
+            "perm_same_coverage": perm_same.coverage,
+            "perm_diverse_coverage": perm_div.coverage,
+            "mixed": mixed, "perm_same": perm_same, "perm_div": perm_div,
+        },
+    )

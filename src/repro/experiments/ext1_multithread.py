@@ -1,0 +1,81 @@
+"""EXT-1 — §5's boosted schemes on > 2 hardware threads.
+
+Analytical sweep of the 3-thread boosted probabilistic and the 5-thread
+boosted deterministic recoveries against the 2-thread schemes, plus a DES
+cross-check on :class:`repro.vds.timing.SMTnTiming`.  Expected shape: the
+boosted schemes extend the roll-forward to ``min(i, s−i)`` but pay
+``n·α(n)`` in the denominator, so they win only when α(n) stays low
+(a wide core) or p is small (the 5-thread variant needs no prediction).
+"""
+
+from __future__ import annotations
+
+from repro.analysis.report import render_table
+from repro.analysis.sweep import sweep
+from repro.core.gains import deterministic_mean_gain, probabilistic_mean_gain
+from repro.core.multi_thread_ext import (
+    best_scheme,
+    boosted_deterministic_mean_gain,
+    boosted_probabilistic_mean_gain,
+)
+from repro.core.params import AlphaCurve, VDSParameters
+from repro.core.prediction_model import prediction_scheme_mean_gain
+from repro.experiments.registry import ExperimentResult, register
+from repro.vds.faultplan import FaultEvent, FaultPlan
+from repro.vds.recovery import BoostedDeterministic, BoostedProbabilistic
+from repro.vds.system import run_mission
+from repro.vds.timing import SMTnTiming
+
+
+@register("EXT-1", ">2 hardware threads: boosted roll-forward schemes (§5)")
+def run(quick: bool = False, seed: int = 0) -> ExperimentResult:
+    def point(alpha: float, p: float):
+        params = VDSParameters(alpha=alpha, beta=0.1, s=20)
+        curve = AlphaCurve(alpha2=alpha)
+        return {
+            "G_det2": deterministic_mean_gain(params),
+            "G_prob2": probabilistic_mean_gain(params, p),
+            "G_pred2": prediction_scheme_mean_gain(params, p),
+            "G_boost3": boosted_probabilistic_mean_gain(params, curve, p),
+            "G_boost5": boosted_deterministic_mean_gain(params, curve),
+            "best": best_scheme(params, p, curve)[0],
+        }
+
+    records = sweep({"alpha": [0.5, 0.55, 0.6, 0.65, 0.75],
+                     "p": [0.5, 1.0]}, point)
+    cols = ["alpha", "p", "G_det2", "G_prob2", "G_pred2", "G_boost3",
+            "G_boost5", "best"]
+    text = render_table(
+        cols, [r.row(cols) for r in records],
+        title="2-thread vs boosted 3-/5-thread recovery gains "
+              "(beta = 0.1, s = 20, alpha(n) saturating curve)")
+
+    # DES cross-check: one fault at i = 8 on a 5-thread processor.
+    params = VDSParameters(alpha=0.55, beta=0.1, s=20)
+    curve = AlphaCurve(alpha2=0.55)
+    plan = FaultPlan.from_events([FaultEvent(round=8, victim=2)])
+    timing5 = SMTnTiming(params, hardware_threads=5, curve=curve)
+    res5 = run_mission(timing5, BoostedDeterministic(), plan, 40, seed=seed,
+                       record_trace=False)
+    import numpy as np
+
+    from repro.predict.oracle import OraclePredictor
+
+    timing3 = SMTnTiming(params, hardware_threads=3, curve=curve)
+    res3 = run_mission(timing3, BoostedProbabilistic(), plan, 40, seed=seed,
+                       predictor=OraclePredictor(np.random.default_rng(seed),
+                                                 1.0),
+                       record_trace=False)
+    text += (
+        f"\nDES cross-check (fault at i=8, alpha2=0.55): boosted-det "
+        f"recovery {res5.recoveries[0].duration:.3f} time units, progress "
+        f"{res5.recoveries[0].progress} rounds; boosted-prob "
+        f"{res3.recoveries[0].duration:.3f}, progress "
+        f"{res3.recoveries[0].progress}.\n"
+    )
+    return ExperimentResult(
+        "EXT-1", "Boosted multi-thread schemes", text,
+        data={"records": records,
+              "des_boost5": res5.recoveries[0],
+              "des_boost3": res3.recoveries[0]},
+    )

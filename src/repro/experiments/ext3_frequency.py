@@ -1,0 +1,59 @@
+"""EXT-3 — trading the SMT gain for clock, power and heat (§5).
+
+"We could employ a multithreaded processor with a clock frequency reduced
+by a factor of at least 1/α … lower cost, lower power consumption and
+lower heat dissipation."  The table shows, per α: the equal-performance
+frequency scale, relative power under combined DVFS (P ∝ f³ dynamic) and
+frequency-only scaling, and the die-area comparison against a true duplex
+system.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.report import render_table
+from repro.analysis.sweep import sweep
+from repro.core.frequency import (
+    PowerModel,
+    duplex_die_area_factor,
+    equal_performance_frequency_scale,
+    smt_die_area_factor,
+)
+from repro.core.params import VDSParameters
+from repro.experiments.registry import ExperimentResult, register
+
+
+@register("EXT-3", "Equal-performance frequency/power trade-off (§5)")
+def run(quick: bool = False, seed: int = 0) -> ExperimentResult:
+    dvfs = PowerModel(voltage_exponent=1.0, static_fraction=0.1)
+    freq_only = PowerModel(voltage_exponent=0.0, static_fraction=0.1)
+
+    def point(alpha: float):
+        params = VDSParameters(alpha=alpha, beta=0.1, s=20)
+        scale = equal_performance_frequency_scale(params)
+        return {
+            "freq_scale": scale,
+            "approx_alpha": equal_performance_frequency_scale(params,
+                                                              exact=False),
+            "power_dvfs": dvfs.relative_power(scale),
+            "power_freq_only": freq_only.relative_power(scale),
+        }
+
+    records = sweep({"alpha": [0.5, 0.6, 0.65, 0.7, 0.8, 0.9, 1.0]}, point)
+    cols = ["alpha", "freq_scale", "approx_alpha", "power_dvfs",
+            "power_freq_only"]
+    text = render_table(
+        cols, [r.row(cols) for r in records],
+        title="SMT VDS down-clocked to conventional-VDS performance "
+              "(beta = 0.1): frequency scale and relative power")
+    p4 = VDSParameters(alpha=0.65, beta=0.1, s=20)
+    text += (
+        f"\nDie area: SMT VDS {smt_die_area_factor():.2f}x vs true duplex "
+        f"{duplex_die_area_factor():.1f}x (ref [13]: '5% increase in die "
+        f"size').  At alpha = 0.65 the equal-performance SMT VDS draws "
+        f"{dvfs.equal_performance_power(p4):.2f}x power under DVFS.\n"
+    )
+    return ExperimentResult(
+        "EXT-3", "Frequency/power trade-off", text,
+        data={"records": records,
+              "p4_power_dvfs": dvfs.equal_performance_power(p4)},
+    )

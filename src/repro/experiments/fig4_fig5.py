@@ -1,0 +1,52 @@
+"""FIG4/FIG5 — the gain surfaces Ḡ_corr(α, β) for p = 0.5 and p = 1.0.
+
+These are the paper's two data figures, computed from the exact equations
+(10)–(14) at s = 20, exactly as the paper does.  The headline check:
+at the Pentium-4 point (α = 0.65, β = 0.1) with p = 0.5 the gain is ≈ 1.35
+(and its s → ∞ limit is the paper's G_max ≈ 1.38).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis.report import render_surface
+from repro.core.limits import gain_limit_closed_form
+from repro.core.surfaces import figure4_surface, figure5_surface
+from repro.experiments.registry import ExperimentResult, register
+
+
+def _surface_result(exp_id: str, p: float, surface_fn, quick: bool
+                    ) -> ExperimentResult:
+    n = 6 if quick else 11
+    alphas = np.round(np.linspace(0.5, 1.0, n), 6)
+    betas = np.round(np.linspace(0.0, 1.0, n), 6)
+    surface = surface_fn(s=20, alphas=alphas, betas=betas)
+    headline = surface.value_at(0.65, 0.1)
+    text = render_surface(surface)
+    text += (
+        f"\nAt the Pentium-4 point (alpha=0.65, beta=0.1): "
+        f"G_corr = {headline:.3f}  "
+        f"(s->inf limit G_max = "
+        f"{gain_limit_closed_form(0.65, 0.1, p):.3f})\n"
+    )
+    return ExperimentResult(
+        exp_id, f"Gain surface G_corr(alpha, beta), p = {p:g}", text,
+        data={
+            "surface": surface,
+            "headline_gain": headline,
+            "gain_fraction": surface.gain_region_fraction(),
+            "max": surface.max(),
+            "min": surface.min(),
+        },
+    )
+
+
+@register("FIG4", "Gain G_corr(alpha, beta) for p = 0.5 (paper Fig. 4)")
+def run_fig4(quick: bool = False, seed: int = 0) -> ExperimentResult:
+    return _surface_result("FIG4", 0.5, figure4_surface, quick)
+
+
+@register("FIG5", "Gain G_corr(alpha, beta) for p = 1.0 (paper Fig. 5)")
+def run_fig5(quick: bool = False, seed: int = 0) -> ExperimentResult:
+    return _surface_result("FIG5", 1.0, figure5_surface, quick)

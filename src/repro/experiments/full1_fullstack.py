@@ -1,0 +1,103 @@
+"""FULL-1 — the whole stack at once: cycle-level VDS gain.
+
+Runs the same mission (same program, same diverse versions, same fault
+plan) on the conventional and the SMT configuration of the slot-level core
+and measures the cycle-count gain of the full stack, then compares it with
+the analytical model *fed the measured parameters* (α from this workload's
+contention, β from the configured overhead cycles).
+
+Expected shape: fault-free gain ≈ the model's G_round; with faults, the
+SMT side recovers faster per episode and the mission speedup stays between
+G_round and the per-recovery gain — "who wins" and "by roughly what
+factor" both match.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.report import render_table
+from repro.core.gains import round_gain
+from repro.core.params import VDSParameters
+from repro.experiments.registry import ExperimentResult, register
+from repro.fullstack.system import FullFault, FullStackConfig, FullStackVDS
+from repro.smt.contention import measure_alpha
+
+
+def _fault_plan(total_rounds: int, period: int) -> list[FullFault]:
+    return [FullFault(round=r, victim=2 if (r // period) % 2 else 1,
+                      address=3 + r % 5, bit=16 + r % 8)
+            for r in range(period, total_rounds - 1, period)]
+
+
+@register("FULL-1", "Full-stack cycle-level VDS gain (ISA + SMT core)")
+def run(quick: bool = False, seed: int = 0) -> ExperimentResult:
+    n = 24 if quick else 60
+    program, params_ = "insertion_sort", {"data": list(range(n, 0, -1))}
+
+    configs = {
+        mode: FullStackConfig(program=program, program_params=params_,
+                              mode=mode, s=5, diversity_seed=seed + 42)
+        for mode in ("conventional", "smt")
+    }
+    systems = {mode: FullStackVDS(cfg) for mode, cfg in configs.items()}
+    total_rounds = systems["smt"].total_rounds
+    faults = _fault_plan(total_rounds, period=7)
+
+    rows = []
+    measured = {}
+    for label, fault_list in [("fault-free", []), ("faulted", faults)]:
+        res = {mode: systems[mode].run(fault_list, seed=seed)
+               for mode in ("conventional", "smt")}
+        for mode in ("conventional", "smt"):
+            assert res[mode].outputs_ok, f"{mode} produced wrong outputs"
+        gain = (res["conventional"].total_cycles
+                / res["smt"].total_cycles)
+        measured[label] = (res, gain)
+        rows.append([
+            label,
+            res["conventional"].total_cycles,
+            res["smt"].total_cycles,
+            gain,
+            len(res["faulted" == label and "smt" or "smt"].recoveries)
+            if label == "faulted" else 0,
+        ])
+
+    # Model prediction with measured parameters: α from this workload's
+    # contention, β from the configured overhead vs measured round cycles.
+    alpha = measure_alpha(program, program, configs["smt"].core,
+                          params_a=params_, params_b=params_).alpha
+    smt_ff = measured["fault-free"][0]["smt"]
+    round_cycles = smt_ff.execution_cycles / total_rounds / (2 * alpha)
+    cfg = configs["conventional"]
+    beta_c = cfg.switch_cycles / round_cycles
+    beta_cmp = cfg.compare_cycles / round_cycles
+    model = VDSParameters(alpha=min(1.0, max(0.5, alpha)), s=5,
+                          c=beta_c, t_cmp=beta_cmp, t=1.0)
+    predicted_round_gain = round_gain(model)
+
+    text = render_table(
+        ["mission", "conventional cycles", "SMT cycles", "measured gain",
+         "faults"],
+        rows,
+        title=f"Full-stack missions: '{program}', {total_rounds} rounds, "
+              f"s = 5, {len(faults)} faults in the faulted mission")
+    text += (
+        f"\nMeasured alpha for this workload: {alpha:.3f}; model G_round "
+        f"with measured (alpha, c, t') = {predicted_round_gain:.3f}; "
+        f"full-stack fault-free gain = {measured['fault-free'][1]:.3f}.\n"
+    )
+    return ExperimentResult(
+        "FULL-1", "Full-stack cycle-level gain", text,
+        data={
+            "alpha": alpha,
+            "predicted_round_gain": predicted_round_gain,
+            "faultfree_gain": measured["fault-free"][1],
+            "faulted_gain": measured["faulted"][1],
+            "faultfree": {m: r.total_cycles
+                          for m, r in measured["fault-free"][0].items()},
+            "faulted": {m: r.total_cycles
+                        for m, r in measured["faulted"][0].items()},
+            "smt_recoveries": measured["faulted"][0]["smt"].recoveries,
+            "conv_recoveries":
+                measured["faulted"][0]["conventional"].recoveries,
+        },
+    )

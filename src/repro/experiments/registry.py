@@ -1,0 +1,60 @@
+"""Experiment registry.
+
+An experiment is a callable ``fn(quick: bool, seed: int) →
+ExperimentResult``.  ``quick`` trades replication count for runtime (used
+by the test suite); benchmarks run the full setting.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from repro.errors import ConfigurationError
+
+__all__ = ["ExperimentResult", "EXPERIMENTS", "register", "run_experiment",
+           "all_experiment_ids"]
+
+
+@dataclass(frozen=True)
+class ExperimentResult:
+    """Output of one experiment run."""
+
+    exp_id: str
+    title: str
+    text: str                       #: the rendered table/figure
+    data: dict[str, Any] = field(default_factory=dict)  #: key quantities
+
+    def __str__(self) -> str:  # pragma: no cover - convenience
+        return f"== {self.exp_id}: {self.title} ==\n{self.text}"
+
+
+EXPERIMENTS: dict[str, tuple[str, Callable[..., ExperimentResult]]] = {}
+
+
+def register(exp_id: str, title: str):
+    """Decorator registering an experiment function under ``exp_id``."""
+
+    def deco(fn: Callable[..., ExperimentResult]):
+        if exp_id in EXPERIMENTS:
+            raise ConfigurationError(f"duplicate experiment id {exp_id!r}")
+        EXPERIMENTS[exp_id] = (title, fn)
+        return fn
+
+    return deco
+
+
+def run_experiment(exp_id: str, quick: bool = False,
+                   seed: int = 0) -> ExperimentResult:
+    """Run one experiment by id."""
+    entry = EXPERIMENTS.get(exp_id)
+    if entry is None:
+        raise ConfigurationError(
+            f"unknown experiment {exp_id!r}; known: {sorted(EXPERIMENTS)}"
+        )
+    _title, fn = entry
+    return fn(quick=quick, seed=seed)
+
+
+def all_experiment_ids() -> list[str]:
+    return sorted(EXPERIMENTS)

@@ -1,0 +1,70 @@
+"""TAB-E2 / TAB-E3 — gains of the detecting roll-forward schemes.
+
+TAB-E2 (Eqs. (6)/(7)): deterministic scheme — Ḡ_det vs α, with the
+break-even claim "larger than one for α < 0.723".
+
+TAB-E3 (Eq. (8)): probabilistic scheme — Ḡ_prob vs (α, p), with the claim
+that at p = 0.5 it approximately equals the deterministic gain and exceeds
+it for p > 0.5.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.report import render_table
+from repro.analysis.sweep import sweep
+from repro.core.gains import (
+    deterministic_breakeven_alpha,
+    deterministic_mean_gain,
+    deterministic_mean_gain_approx,
+    probabilistic_mean_gain,
+    probabilistic_mean_gain_approx,
+)
+from repro.core.params import VDSParameters
+from repro.experiments.registry import ExperimentResult, register
+
+_ALPHAS = [0.5, 0.55, 0.6, 0.65, 0.7, 0.723, 0.75, 0.8, 0.9, 1.0]
+
+
+@register("TAB-E2", "Deterministic roll-forward gain (Eqs. (6)/(7))")
+def run_e2(quick: bool = False, seed: int = 0) -> ExperimentResult:
+    def point(alpha: float):
+        p = VDSParameters(alpha=alpha, beta=0.0, s=20)
+        exact = deterministic_mean_gain(p)
+        approx = deterministic_mean_gain_approx(p)
+        return {"G_det": exact, "closed_form": approx,
+                "gains": exact > 1.0}
+
+    records = sweep({"alpha": _ALPHAS}, point)
+    cols = ["alpha", "G_det", "closed_form", "gains"]
+    text = render_table(
+        cols, [r.row(cols) for r in records],
+        title="Mean deterministic roll-forward gain over alpha (beta = 0, "
+              "s = 20)")
+    breakeven = deterministic_breakeven_alpha()
+    text += f"\nBreak-even: G_det > 1  <=>  alpha < {breakeven:.4f}\n"
+    return ExperimentResult("TAB-E2", "Deterministic scheme gain", text,
+                            data={"records": records,
+                                  "breakeven_alpha": breakeven})
+
+
+@register("TAB-E3", "Probabilistic roll-forward gain (Eq. (8))")
+def run_e3(quick: bool = False, seed: int = 0) -> ExperimentResult:
+    ps = [0.5, 0.6, 0.75, 0.9, 1.0]
+
+    def point(alpha: float, p: float):
+        params = VDSParameters(alpha=alpha, beta=0.0, s=20)
+        exact = probabilistic_mean_gain(params, p)
+        det = deterministic_mean_gain(params)
+        return {"G_prob": exact,
+                "closed_form": probabilistic_mean_gain_approx(params, p),
+                "G_det": det,
+                "prob_beats_det": exact > det}
+
+    records = sweep({"alpha": [0.5, 0.65, 0.8, 1.0], "p": ps}, point)
+    cols = ["alpha", "p", "G_prob", "closed_form", "G_det", "prob_beats_det"]
+    text = render_table(
+        cols, [r.row(cols) for r in records],
+        title="Mean probabilistic roll-forward gain over (alpha, p) "
+              "(beta = 0, s = 20)")
+    return ExperimentResult("TAB-E3", "Probabilistic scheme gain", text,
+                            data={"records": records})

@@ -1,0 +1,56 @@
+"""TAB-E4 — the §4 prediction scheme (Eqs. (9)–(13)) and its thresholds.
+
+Claims checked: Ḡ_corr ≈ (1 + 2p·ln 2)/(2α); gain ≥ 1 iff
+p ≥ (α − ½)/ln 2; at p = ½ gain for α ≤ (1 + ln 2)/2 ≈ 0.847; the
+prediction scheme dominates both detecting schemes for p ≥ 0.5.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.report import render_table
+from repro.analysis.sweep import sweep
+from repro.core.gains import (
+    deterministic_mean_gain,
+    probabilistic_mean_gain,
+)
+from repro.core.params import VDSParameters
+from repro.core.prediction_model import (
+    breakeven_alpha_random_guess,
+    breakeven_p,
+    prediction_scheme_mean_gain,
+    prediction_scheme_mean_gain_approx,
+)
+from repro.experiments.registry import ExperimentResult, register
+
+
+@register("TAB-E4", "Prediction-scheme gain and break-even thresholds (§4)")
+def run(quick: bool = False, seed: int = 0) -> ExperimentResult:
+    def point(alpha: float, p: float):
+        params = VDSParameters(alpha=alpha, beta=0.0, s=20)
+        exact = prediction_scheme_mean_gain(params, p)
+        return {
+            "G_corr": exact,
+            "closed_form": prediction_scheme_mean_gain_approx(params, p),
+            "G_prob": probabilistic_mean_gain(params, p),
+            "G_det": deterministic_mean_gain(params),
+            "p_breakeven": breakeven_p(alpha),
+            "gains": exact >= 1.0,
+        }
+
+    records = sweep({"alpha": [0.5, 0.6, 0.65, 0.7, 0.8, 0.847, 0.9, 1.0],
+                     "p": [0.5, 0.75, 1.0]}, point)
+    cols = ["alpha", "p", "G_corr", "closed_form", "G_prob", "G_det",
+            "p_breakeven", "gains"]
+    text = render_table(
+        cols, [r.row(cols) for r in records],
+        title="Prediction-scheme gain over (alpha, p) (beta = 0, s = 20)")
+    text += (
+        f"\nThresholds: gain >= 1 iff p >= (alpha - 1/2)/ln 2; "
+        f"at p = 0.5 gain for alpha <= "
+        f"{breakeven_alpha_random_guess():.4f}\n"
+    )
+    return ExperimentResult(
+        "TAB-E4", "Prediction scheme gain", text,
+        data={"records": records,
+              "alpha_breakeven_random": breakeven_alpha_random_guess()},
+    )

@@ -1,0 +1,58 @@
+"""repro.faults — fault models, arrival processes, injection campaigns.
+
+Implements the paper's fault model (§2.1): "Transient and permanent faults
+are assumed. … transient faults … can be modeled as bit flips in registers,
+and as such only directly affect one version.  … For permanent faults,
+diversity is used to employ the hardware in different ways and to make it
+unlikely that a single fault shows the same effect on two versions.  A
+fault is able to stop a version and also to stop the entire processor
+including all versions."
+
+* :mod:`repro.faults.models` — the fault taxonomy (:class:`FaultKind`,
+  :class:`FaultSpec`);
+* :mod:`repro.faults.effects` — applying a fault to a running
+  :class:`~repro.isa.machine.Machine`;
+* :mod:`repro.faults.rates` — Poisson/Weibull arrival processes and
+  radiation-environment presets (ground … deep space, after the paper's
+  motivation that "in outer space transient faults are much more frequent
+  due to radiation");
+* :mod:`repro.faults.injector` — drawing random fault specifications;
+* :mod:`repro.faults.campaign` — end-to-end injection campaigns over
+  diverse version pairs, with outcome classification and coverage stats.
+"""
+
+from repro.faults.models import FaultKind, FaultSpec, FaultOutcome
+from repro.faults.effects import apply_transient, install_permanent, clear_permanent
+from repro.faults.rates import (
+    ArrivalProcess,
+    PoissonArrivals,
+    WeibullArrivals,
+    Environment,
+    ENVIRONMENTS,
+)
+from repro.faults.injector import FaultInjector
+from repro.faults.campaign import (
+    DuplexTrialResult,
+    CampaignResult,
+    run_duplex_trial,
+    run_campaign,
+)
+
+__all__ = [
+    "FaultKind",
+    "FaultSpec",
+    "FaultOutcome",
+    "apply_transient",
+    "install_permanent",
+    "clear_permanent",
+    "ArrivalProcess",
+    "PoissonArrivals",
+    "WeibullArrivals",
+    "Environment",
+    "ENVIRONMENTS",
+    "FaultInjector",
+    "DuplexTrialResult",
+    "CampaignResult",
+    "run_duplex_trial",
+    "run_campaign",
+]

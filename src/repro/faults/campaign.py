@@ -1,0 +1,269 @@
+"""End-to-end fault-injection campaigns on duplex version pairs.
+
+A *trial* runs two (diverse) versions round-by-round at the ISA level —
+each round is a fixed instruction budget, after which the canonical states
+are compared, exactly the paper's detection loop — injects one fault into
+the configured victim, and classifies the outcome
+(:class:`~repro.faults.models.FaultOutcome`).
+
+Permanent faults are installed on *both* machines (they share the
+processor); this is where diversity earns its keep: with diverse versions
+the common stuck-at perturbs the two states differently and the comparison
+fires, while with two identical copies it corrupts both states identically
+and slips through — the contrast measured by experiment COV-1.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.diversity.generator import DiverseVersion
+from repro.errors import FaultModelError, MachineFault
+from repro.faults.effects import apply_transient, install_permanent
+from repro.faults.injector import FaultInjector
+from repro.faults.models import FaultKind, FaultOutcome, FaultSpec
+from repro.isa.machine import Machine
+
+__all__ = ["DuplexTrialResult", "CampaignResult", "run_duplex_trial",
+           "run_campaign"]
+
+#: Hard cap on rounds per trial (runaway guard for pc-flip loops).
+_MAX_ROUNDS = 4000
+
+
+@dataclass(frozen=True)
+class DuplexTrialResult:
+    """Outcome of one injection trial."""
+
+    spec: FaultSpec
+    victim: int                   #: 1-based victim version index
+    outcome: FaultOutcome
+    injected_round: Optional[int]  #: round during which the fault struck
+    detected_round: Optional[int]  #: round at which detection happened
+    rounds_executed: int
+
+    @property
+    def detection_latency(self) -> Optional[int]:
+        """Rounds from injection to detection (None if not applicable)."""
+        if self.injected_round is None or self.detected_round is None:
+            return None
+        return self.detected_round - self.injected_round
+
+
+@dataclass
+class CampaignResult:
+    """Aggregated campaign statistics."""
+
+    trials: list[DuplexTrialResult] = field(default_factory=list)
+
+    def count(self, outcome: FaultOutcome) -> int:
+        return sum(t.outcome is outcome for t in self.trials)
+
+    @property
+    def n(self) -> int:
+        return len(self.trials)
+
+    @property
+    def coverage(self) -> float:
+        """Detected / (detected + silent corruptions).
+
+        Benign faults are excluded: a masked fault needs no detection.
+        """
+        detected = sum(t.outcome.is_detected for t in self.trials)
+        silent = self.count(FaultOutcome.SILENT_CORRUPTION)
+        total = detected + silent
+        return detected / total if total else 1.0
+
+    def mean_detection_latency(self) -> Optional[float]:
+        """Mean rounds-to-detection over comparison-detected trials."""
+        lat = [t.detection_latency for t in self.trials
+               if t.outcome is FaultOutcome.DETECTED_COMPARISON
+               and t.detection_latency is not None]
+        return float(np.mean(lat)) if lat else None
+
+    def by_kind(self) -> dict[FaultKind, dict[FaultOutcome, int]]:
+        """Outcome histogram per fault class."""
+        out: dict[FaultKind, dict[FaultOutcome, int]] = {}
+        for t in self.trials:
+            bucket = out.setdefault(t.spec.kind, {})
+            bucket[t.outcome] = bucket.get(t.outcome, 0) + 1
+        return out
+
+
+def _duplex_mismatch(m0: Machine, m1: Machine,
+                     mask0: int, mask1: int) -> bool:
+    """End-of-round state comparison across (possibly encoded) versions.
+
+    Rounds end at ``sync`` instructions, which diverse versions reach at
+    the same *logical* points, so outputs, halt status and the decoded
+    memory images are directly comparable.  ``mask0``/``mask1`` are the
+    versions' encoded-execution masks (0 for plaintext versions).
+    """
+    if m0.output != m1.output:
+        return True
+    if m0.halted != m1.halted:
+        return True
+    mem0 = m0.memory ^ np.uint32(mask0)
+    mem1 = m1.memory ^ np.uint32(mask1)
+    return not np.array_equal(mem0, mem1)
+
+
+def _run_round_with_injection(machine: Machine, budget: int,
+                              spec: Optional[FaultSpec]
+                              ) -> tuple[Optional[FaultSpec], bool]:
+    """Run one sync-delimited round; strike mid-round if the instant falls
+    inside it.  Returns ``(pending_spec, hung)`` — ``hung`` is True when
+    the round exhausted its instruction budget without reaching a ``sync``
+    or ``halt`` (a corrupted loop that will never converge; a real system's
+    watchdog timer fires here).
+    """
+    if spec is None or spec.kind.is_permanent:
+        r = machine.run_round(budget)
+        return spec, r.budget_exhausted
+    remaining_to_strike = spec.at_instruction - machine.instret
+    if remaining_to_strike > 0:
+        r = machine.run(min(remaining_to_strike, budget), stop_at_sync=True)
+        if r.hit_sync:
+            return spec, False  # the strike instant lies in a later round
+        budget -= r.executed
+        if budget <= 0:
+            return spec, True
+    if machine.halted:
+        return None, False  # program finished before the strike: no effect
+    apply_transient(machine, spec)  # may raise MachineFault (crash)
+    r = machine.run_round(budget)
+    return None, r.budget_exhausted
+
+
+def run_duplex_trial(version_a: DiverseVersion, version_b: DiverseVersion,
+                     spec: FaultSpec, victim: int,
+                     oracle_output: Sequence[int],
+                     round_instructions: int = 2_000,
+                     memory_words: int = 256) -> DuplexTrialResult:
+    """Run one duplex execution with one injected fault.
+
+    Parameters
+    ----------
+    version_a, version_b:
+        The two versions under test (version_a is "version 1").
+    spec:
+        The fault plan.
+    victim:
+        1 or 2 — which version the transient/crash fault strikes.
+        Permanent and processor-stop faults hit the shared hardware.
+    oracle_output:
+        The correct output stream (for silent-corruption classification).
+    round_instructions:
+        Safety cap on instructions per round; rounds normally end at the
+        program's ``sync`` boundaries ("a well defined portion of process
+        activity"), which diverse versions reach at the same logical points.
+    """
+    if victim not in (1, 2):
+        raise FaultModelError(f"victim must be 1 or 2, got {victim}")
+    if round_instructions < 1:
+        raise FaultModelError("round_instructions must be >= 1")
+
+    masks = [version_a.encoding_mask or 0, version_b.encoding_mask or 0]
+    machines = [
+        Machine(list(version_a.program), memory_words=memory_words,
+                inputs=list(version_a.inputs), name="V1", fill=masks[0]),
+        Machine(list(version_b.program), memory_words=memory_words,
+                inputs=list(version_b.inputs), name="V2", fill=masks[1]),
+    ]
+    if spec.kind.is_permanent:
+        for m in machines:
+            install_permanent(m, spec)
+    pending: list[Optional[FaultSpec]] = [None, None]
+    if spec.kind is FaultKind.PROCESSOR_STOP:
+        pending[0] = spec  # strikes whichever side reaches the instant first
+        pending[1] = spec
+    elif not spec.kind.is_permanent:
+        pending[victim - 1] = spec
+
+    injected_round: Optional[int] = 1 if spec.kind.is_permanent else None
+    rounds = 0
+    while rounds < _MAX_ROUNDS:
+        rounds += 1
+        for idx, m in enumerate(machines):
+            if m.halted:
+                continue
+            before = pending[idx]
+            try:
+                pending[idx], hung = _run_round_with_injection(
+                    m, round_instructions, pending[idx]
+                )
+            except MachineFault:
+                if before is not None and injected_round is None:
+                    injected_round = rounds
+                return DuplexTrialResult(
+                    spec, victim, FaultOutcome.DETECTED_TRAP,
+                    injected_round if injected_round is not None else rounds,
+                    rounds, rounds,
+                )
+            if before is not None and pending[idx] is None \
+                    and injected_round is None:
+                injected_round = rounds
+            if hung:
+                # Watchdog: the version stopped making round progress.
+                return DuplexTrialResult(
+                    spec, victim, FaultOutcome.DETECTED_TRAP,
+                    injected_round if injected_round is not None else rounds,
+                    rounds, rounds,
+                )
+        # End-of-round state comparison (the VDS detection mechanism).
+        if _duplex_mismatch(machines[0], machines[1], masks[0], masks[1]):
+            return DuplexTrialResult(
+                spec, victim, FaultOutcome.DETECTED_COMPARISON,
+                injected_round, rounds, rounds,
+            )
+        if machines[0].halted and machines[1].halted:
+            break
+    else:
+        # A control-flow fault sent a version into an endless loop without
+        # ever diverging in *output*; real systems catch this with a
+        # watchdog timer — classify as a trap-detected hang.
+        return DuplexTrialResult(spec, victim, FaultOutcome.DETECTED_TRAP,
+                                 injected_round, rounds, rounds)
+
+    outputs = tuple(machines[0].output)
+    if outputs == tuple(oracle_output):
+        outcome = FaultOutcome.BENIGN
+    else:
+        outcome = FaultOutcome.SILENT_CORRUPTION
+    return DuplexTrialResult(spec, victim, outcome, injected_round, None,
+                             rounds)
+
+
+def run_campaign(version_a: DiverseVersion, version_b: DiverseVersion,
+                 oracle_output: Sequence[int], n_trials: int,
+                 rng: np.random.Generator,
+                 injector: Optional[FaultInjector] = None,
+                 round_instructions: int = 2_000,
+                 memory_words: int = 256) -> CampaignResult:
+    """Run ``n_trials`` independent single-fault trials.
+
+    When no injector is given, one is built whose strike instants span
+    version 1's actual fault-free execution length, so faults land during
+    the computation rather than after it.
+    """
+    if n_trials < 1:
+        raise FaultModelError(f"n_trials must be >= 1, got {n_trials}")
+    if injector is None:
+        probe = Machine(list(version_a.program), memory_words=memory_words,
+                        inputs=list(version_a.inputs), name="probe",
+                        fill=version_a.encoding_mask or 0)
+        probe.run_to_halt()
+        injector = FaultInjector(rng, memory_words=memory_words,
+                                 max_instruction=max(probe.instret, 1))
+    result = CampaignResult()
+    for _ in range(n_trials):
+        spec = injector.draw()
+        victim = int(rng.integers(1, 3))
+        result.trials.append(
+            run_duplex_trial(version_a, version_b, spec, victim,
+                             oracle_output, round_instructions, memory_words)
+        )
+    return result

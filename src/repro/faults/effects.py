@@ -1,0 +1,76 @@
+"""Applying fault specifications to a running machine.
+
+Transients mutate state once; permanents install hooks that corrupt every
+subsequent use of the faulty unit.  Because diverse versions exercise the
+hardware differently (different opcode mix, different memory images), the
+*same* permanent hook produces different state perturbations across
+versions — the mechanism that lets a VDS detect permanent faults at all.
+"""
+
+from __future__ import annotations
+
+from repro.errors import FaultModelError, MachineFault
+from repro.faults.models import FaultKind, FaultSpec
+from repro.isa.instructions import Opcode, WORD_MASK
+from repro.isa.machine import Machine
+
+__all__ = ["apply_transient", "install_permanent", "clear_permanent"]
+
+
+def apply_transient(machine: Machine, spec: FaultSpec) -> None:
+    """Apply a transient (or crash) fault to ``machine`` right now."""
+    if spec.kind is FaultKind.TRANSIENT_REGISTER:
+        machine.flip_register_bit(spec.register, spec.bit)
+    elif spec.kind is FaultKind.TRANSIENT_MEMORY:
+        machine.flip_memory_bit(spec.address % len(machine.memory), spec.bit)
+    elif spec.kind is FaultKind.TRANSIENT_PC:
+        machine.flip_pc_bit(spec.bit)
+    elif spec.kind is FaultKind.CRASH:
+        raise MachineFault(f"{machine.name}: injected crash fault",
+                           kind="crash", pc=machine.pc)
+    elif spec.kind is FaultKind.PROCESSOR_STOP:
+        raise MachineFault(f"{machine.name}: injected processor stop",
+                           kind="processor-stop", pc=machine.pc)
+    else:
+        raise FaultModelError(
+            f"{spec.kind} is not a transient fault; use install_permanent()"
+        )
+
+
+def install_permanent(machine: Machine, spec: FaultSpec) -> None:
+    """Install a permanent stuck-at fault hook on ``machine``."""
+    mask = 1 << spec.bit
+
+    if spec.kind is FaultKind.PERMANENT_ALU:
+        def alu_stuck(op: Opcode, result: int) -> int:
+            if spec.stuck_value:
+                return (result | mask) & WORD_MASK
+            return result & ~mask & WORD_MASK
+
+        machine.alu_fault = alu_stuck
+    elif spec.kind is FaultKind.PERMANENT_MEMORY:
+        victim = spec.address % len(machine.memory)
+
+        def store_stuck(address: int, value: int) -> int:
+            if address != victim:
+                return value
+            if spec.stuck_value:
+                return (value | mask) & WORD_MASK
+            return value & ~mask & WORD_MASK
+
+        machine.store_fault = store_stuck
+        # A stuck cell corrupts its current content immediately as well.
+        current = int(machine.memory[victim])
+        machine.memory[victim] = (
+            (current | mask) if spec.stuck_value else (current & ~mask)
+        ) & WORD_MASK
+    else:
+        raise FaultModelError(
+            f"{spec.kind} is not a permanent fault; use apply_transient()"
+        )
+
+
+def clear_permanent(machine: Machine) -> None:
+    """Remove permanent-fault hooks (models repair / fault-free hardware)."""
+    machine.alu_fault = None
+    machine.store_fault = None

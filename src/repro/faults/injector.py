@@ -1,0 +1,101 @@
+"""Random fault-specification generation.
+
+:class:`FaultInjector` draws :class:`~repro.faults.models.FaultSpec` plans
+from a seeded stream.  The default mix follows the paper's emphasis:
+transients dominate ("transient faults … much more frequent"), register
+flips are the canonical model ("modeled as bit flips in registers"), and a
+small crash/permanent tail exercises the other recovery paths.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping, Optional
+
+import numpy as np
+
+from repro.errors import FaultModelError
+from repro.faults.models import FaultKind, FaultSpec
+from repro.isa.instructions import REGISTER_COUNT, WORD_BITS
+
+__all__ = ["FaultInjector", "DEFAULT_MIX"]
+
+#: Default fault-class mix (probabilities; sums to 1).
+DEFAULT_MIX: Mapping[FaultKind, float] = {
+    FaultKind.TRANSIENT_REGISTER: 0.45,
+    FaultKind.TRANSIENT_MEMORY: 0.25,
+    FaultKind.TRANSIENT_PC: 0.10,
+    FaultKind.CRASH: 0.08,
+    FaultKind.PERMANENT_ALU: 0.07,
+    FaultKind.PERMANENT_MEMORY: 0.05,
+}
+
+
+@dataclass
+class FaultInjector:
+    """Draws random fault plans.
+
+    Parameters
+    ----------
+    rng:
+        A NumPy generator (use :class:`repro.sim.rng.RandomStreams` for
+        reproducible campaigns).
+    mix:
+        Probability of each fault class.
+    memory_words:
+        Size of the victim's memory (for address draws).
+    max_instruction:
+        Upper bound (exclusive) for the strike instant within the victim's
+        execution.
+    """
+
+    rng: np.random.Generator
+    mix: Mapping[FaultKind, float] = field(default_factory=lambda: dict(DEFAULT_MIX))
+    memory_words: int = 256
+    max_instruction: int = 1000
+
+    def __post_init__(self) -> None:
+        total = float(sum(self.mix.values()))
+        if not np.isclose(total, 1.0, atol=1e-9):
+            raise FaultModelError(f"fault mix must sum to 1, got {total}")
+        if any(p < 0 for p in self.mix.values()):
+            raise FaultModelError("fault mix probabilities must be >= 0")
+        if self.memory_words < 1 or self.max_instruction < 1:
+            raise FaultModelError("memory_words and max_instruction must be >= 1")
+        self._kinds = list(self.mix.keys())
+        self._probs = np.asarray([self.mix[k] for k in self._kinds], dtype=float)
+        self._probs /= self._probs.sum()
+
+    def draw_kind(self) -> FaultKind:
+        """Draw a fault class according to the mix."""
+        idx = int(self.rng.choice(len(self._kinds), p=self._probs))
+        return self._kinds[idx]
+
+    def draw(self, kind: Optional[FaultKind] = None) -> FaultSpec:
+        """Draw a complete fault plan (optionally of a forced class)."""
+        kind = kind or self.draw_kind()
+        at = int(self.rng.integers(0, self.max_instruction))
+        bit = int(self.rng.integers(0, WORD_BITS))
+        if kind is FaultKind.TRANSIENT_REGISTER:
+            return FaultSpec(kind, at, register=int(self.rng.integers(0, REGISTER_COUNT)),
+                             bit=bit)
+        if kind in (FaultKind.TRANSIENT_MEMORY, FaultKind.PERMANENT_MEMORY):
+            return FaultSpec(kind, at,
+                             address=int(self.rng.integers(0, self.memory_words)),
+                             bit=bit,
+                             stuck_value=int(self.rng.integers(0, 2)))
+        if kind is FaultKind.TRANSIENT_PC:
+            # Restrict to low pc bits so the flip lands near the program.
+            return FaultSpec(kind, at, bit=int(self.rng.integers(0, 8)))
+        if kind is FaultKind.PERMANENT_ALU:
+            return FaultSpec(kind, at, bit=bit,
+                             stuck_value=int(self.rng.integers(0, 2)))
+        if kind in (FaultKind.CRASH, FaultKind.PROCESSOR_STOP):
+            return FaultSpec(kind, at)
+        raise FaultModelError(f"unhandled fault kind {kind}")  # pragma: no cover
+
+    def draw_many(self, n: int, kind: Optional[FaultKind] = None) -> list[FaultSpec]:
+        """Draw ``n`` independent fault plans."""
+        if n < 0:
+            raise FaultModelError(f"n must be >= 0, got {n}")
+        return [self.draw(kind) for _ in range(n)]

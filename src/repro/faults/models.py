@@ -1,0 +1,127 @@
+"""Fault taxonomy.
+
+A :class:`FaultSpec` is a *plan*: what to corrupt, where, and when (at
+which retired-instruction count within the victim's execution).  Specs are
+pure data so campaigns can log, replay and compare them across recovery
+schemes with common random numbers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import Optional
+
+from repro.errors import FaultModelError
+from repro.isa.instructions import REGISTER_COUNT, WORD_BITS
+
+__all__ = ["FaultKind", "FaultSpec", "FaultOutcome"]
+
+
+class FaultKind(Enum):
+    """The fault classes of the paper's model."""
+
+    TRANSIENT_REGISTER = "transient-register"  #: bit flip in a register
+    TRANSIENT_MEMORY = "transient-memory"      #: bit flip in private memory
+    TRANSIENT_PC = "transient-pc"              #: bit flip in the pc
+    PERMANENT_ALU = "permanent-alu"            #: stuck-at bit in an ALU result
+    PERMANENT_MEMORY = "permanent-memory"      #: stuck-at bit on memory writes
+    CRASH = "crash"                            #: version stops (trap)
+    PROCESSOR_STOP = "processor-stop"          #: whole processor stops
+
+    @property
+    def is_transient(self) -> bool:
+        return self in (FaultKind.TRANSIENT_REGISTER,
+                        FaultKind.TRANSIENT_MEMORY,
+                        FaultKind.TRANSIENT_PC)
+
+    @property
+    def is_permanent(self) -> bool:
+        return self in (FaultKind.PERMANENT_ALU, FaultKind.PERMANENT_MEMORY)
+
+
+@dataclass(frozen=True, slots=True)
+class FaultSpec:
+    """A concrete fault to inject.
+
+    Attributes
+    ----------
+    kind:
+        Fault class.
+    at_instruction:
+        Retired-instruction count of the victim at which the fault strikes
+        (transients/crash) or from which the permanent fault is active.
+    register:
+        Victim register (TRANSIENT_REGISTER).
+    address:
+        Victim memory word (TRANSIENT_MEMORY) — interpreted modulo the
+        victim's memory size.
+    bit:
+        Bit index to flip / stick.
+    stuck_value:
+        0 or 1 — the value a permanent fault forces (stuck-at).
+    """
+
+    kind: FaultKind
+    at_instruction: int = 0
+    register: Optional[int] = None
+    address: Optional[int] = None
+    bit: int = 0
+    stuck_value: int = 0
+
+    def __post_init__(self) -> None:
+        if self.at_instruction < 0:
+            raise FaultModelError("at_instruction must be >= 0")
+        if not (0 <= self.bit < WORD_BITS):
+            raise FaultModelError(f"bit must lie in [0, {WORD_BITS}), got {self.bit}")
+        if self.stuck_value not in (0, 1):
+            raise FaultModelError("stuck_value must be 0 or 1")
+        if self.kind is FaultKind.TRANSIENT_REGISTER:
+            if self.register is None or not (0 <= self.register < REGISTER_COUNT):
+                raise FaultModelError(
+                    f"TRANSIENT_REGISTER needs register in [0, {REGISTER_COUNT})"
+                )
+        if self.kind is FaultKind.TRANSIENT_MEMORY and self.address is None:
+            raise FaultModelError("TRANSIENT_MEMORY needs an address")
+        if self.kind is FaultKind.PERMANENT_MEMORY and self.address is None:
+            raise FaultModelError("PERMANENT_MEMORY needs an address")
+
+    def describe(self) -> str:
+        """One-line human-readable description for campaign logs."""
+        loc = ""
+        if self.register is not None:
+            loc = f" r{self.register}"
+        elif self.address is not None:
+            loc = f" mem[{self.address}]"
+        extra = ""
+        if self.kind.is_permanent:
+            extra = f" stuck-at-{self.stuck_value}"
+        return (f"{self.kind.value}{loc} bit {self.bit}{extra} "
+                f"@instr {self.at_instruction}")
+
+
+class FaultOutcome(Enum):
+    """Classification of one injection trial (campaign terminology).
+
+    ``DETECTED_COMPARISON``
+        the duplex state comparison caught a mismatch (the paper's primary
+        detection mechanism);
+    ``DETECTED_TRAP``
+        hardware/OS protection trapped first (access violation, crash) —
+        "signaled as a fault" (§2.1);
+    ``SILENT_CORRUPTION``
+        both versions completed with *equal but wrong* results — the fault
+        defeated the diversity assumption (should be rare);
+    ``BENIGN``
+        the fault was masked; results correct.
+    """
+
+    DETECTED_COMPARISON = "detected-comparison"
+    DETECTED_TRAP = "detected-trap"
+    SILENT_CORRUPTION = "silent-corruption"
+    BENIGN = "benign"
+
+    @property
+    def is_detected(self) -> bool:
+        return self in (FaultOutcome.DETECTED_COMPARISON,
+                        FaultOutcome.DETECTED_TRAP)

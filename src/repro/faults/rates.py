@@ -1,0 +1,135 @@
+"""Fault arrival processes and radiation-environment presets.
+
+The paper motivates VDS with environments where "transient faults are much
+more frequent due to radiation" (space missions) and predicts that
+shrinking feature sizes make them frequent on the ground too (ref [10],
+Shivakumar et al. DSN'02).  We model arrivals as renewal processes:
+
+* :class:`PoissonArrivals` — exponential inter-arrivals (the standard SEU
+  model; memoryless, matching the paper's uniform-round-of-fault
+  assumption when conditioned on one fault per interval);
+* :class:`WeibullArrivals` — shape < 1 gives *bursty* arrivals (solar
+  events), shape > 1 wear-out-like clustering.  Bursty streams are what
+  make the fault-history predictors of :mod:`repro.predict` useful (§5).
+
+:class:`Environment` presets give relative SEU rates; absolute numbers are
+synthetic but ordered like the literature (ground ≪ avionics ≪ LEO ≪ deep
+space).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import Iterator
+
+import numpy as np
+
+from repro.errors import FaultModelError
+
+__all__ = ["ArrivalProcess", "PoissonArrivals", "WeibullArrivals",
+           "Environment", "ENVIRONMENTS"]
+
+
+class ArrivalProcess(ABC):
+    """A stream of fault arrival times."""
+
+    @abstractmethod
+    def inter_arrival(self, rng: np.random.Generator) -> float:
+        """Draw the next inter-arrival time (> 0)."""
+
+    def arrivals_until(self, rng: np.random.Generator,
+                       horizon: float) -> list[float]:
+        """All arrival times in ``[0, horizon)``."""
+        if horizon < 0:
+            raise FaultModelError(f"horizon must be >= 0, got {horizon}")
+        out: list[float] = []
+        t = 0.0
+        while True:
+            t += self.inter_arrival(rng)
+            if t >= horizon:
+                return out
+            out.append(t)
+
+    def stream(self, rng: np.random.Generator) -> Iterator[float]:
+        """Unbounded generator of arrival times."""
+        t = 0.0
+        while True:
+            t += self.inter_arrival(rng)
+            yield t
+
+
+@dataclass(frozen=True)
+class PoissonArrivals(ArrivalProcess):
+    """Homogeneous Poisson process with ``rate`` faults per time unit."""
+
+    rate: float
+
+    def __post_init__(self) -> None:
+        if not (self.rate > 0):
+            raise FaultModelError(f"rate must be > 0, got {self.rate}")
+
+    def inter_arrival(self, rng: np.random.Generator) -> float:
+        return float(rng.exponential(1.0 / self.rate))
+
+    def expected_faults(self, horizon: float) -> float:
+        """Mean number of faults in ``[0, horizon)``."""
+        return self.rate * horizon
+
+    def p_fault_in_interval(self, length: float) -> float:
+        """P(at least one fault in an interval of the given length)."""
+        return 1.0 - float(np.exp(-self.rate * length))
+
+
+@dataclass(frozen=True)
+class WeibullArrivals(ArrivalProcess):
+    """Weibull renewal process.
+
+    ``shape < 1``: heavy clustering (a fault makes another one soon more
+    likely — radiation bursts); ``shape = 1``: Poisson; ``shape > 1``:
+    regular arrivals.
+    """
+
+    scale: float
+    shape: float = 0.7
+
+    def __post_init__(self) -> None:
+        if not (self.scale > 0) or not (self.shape > 0):
+            raise FaultModelError("scale and shape must be > 0")
+
+    def inter_arrival(self, rng: np.random.Generator) -> float:
+        draw = float(self.scale * rng.weibull(self.shape))
+        # Guard the (measure-zero) exact-0 draw to keep processes proper.
+        return max(draw, 1e-12)
+
+
+@dataclass(frozen=True)
+class Environment:
+    """A named radiation environment with a relative SEU rate."""
+
+    name: str
+    description: str
+    #: transient faults per million rounds (synthetic but ordered per the
+    #: literature's qualitative ranking)
+    seu_per_million_rounds: float
+    #: fraction of faults that are bursts (motivates Weibull modelling)
+    burst_fraction: float = 0.0
+
+    def poisson(self, rounds_per_time_unit: float = 1.0) -> PoissonArrivals:
+        """The Poisson process for this environment, in round time units."""
+        rate = self.seu_per_million_rounds * rounds_per_time_unit / 1e6
+        return PoissonArrivals(rate=rate)
+
+
+#: Presets, ordered by harshness.
+ENVIRONMENTS: dict[str, Environment] = {
+    env.name: env
+    for env in (
+        Environment("ground", "sea level, modern feature size", 0.5),
+        Environment("avionics", "civil aviation altitude", 150.0, 0.05),
+        Environment("leo", "low earth orbit (e.g. ISS experiments)",
+                    2_000.0, 0.2),
+        Environment("deep-space", "interplanetary mission, solar events",
+                    20_000.0, 0.45),
+    )
+}

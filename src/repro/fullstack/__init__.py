@@ -1,0 +1,39 @@
+"""repro.fullstack — the whole paper, executed for real.
+
+Everything below the analytical model at once: three *diverse* versions of
+a real program (:mod:`repro.diversity` over :mod:`repro.isa`) run as a
+virtual duplex system on the slot-level SMT core (:mod:`repro.smt`), with
+cycle-granular rounds, state comparison on the decoded canonical state,
+checkpointing, fault injection, and recovery:
+
+* **conventional mode** — one hardware thread, versions time-share with
+  context-switch costs; stop-and-retry recovery (paper §3.1, Fig. 1(a));
+* **SMT mode** — two hardware threads; §4's prediction-based roll-forward.
+
+One deliberate refinement over the paper (documented in EXPERIMENTS.md):
+the paper finishes a roll-forward by "copying" the fault-free state to
+version 3, which is impossible across *design-diverse* code.  Here version
+3 instead *catches up* by running its missing rounds in the spare hardware
+thread, overlapped with normal processing — the roll-forward-checkpointing
+idea of the paper's own refs [7, 8].  Comparisons pause until the pair is
+re-aligned, so the catch-up is visible as a short detection gap rather
+than as lost time.
+
+The headline use is experiment ``FULL-1``: measure the conventional→SMT
+cycle-count gain of the full stack and check it lands where the analytical
+model (fed the *measured* α of the workload) predicts.
+"""
+
+from repro.fullstack.system import (
+    FullStackConfig,
+    FullStackResult,
+    FullStackVDS,
+    FullRecoveryRecord,
+)
+
+__all__ = [
+    "FullStackConfig",
+    "FullStackResult",
+    "FullStackVDS",
+    "FullRecoveryRecord",
+]

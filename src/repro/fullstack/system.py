@@ -1,0 +1,417 @@
+"""Cycle-level VDS over real diverse versions on the SMT core.
+
+See the package docstring for the design rationale.  Key mechanics:
+
+**Rounds** are the programs' ``sync`` boundaries; every diversity transform
+preserves the sync structure, so all versions agree on the round count and
+reach logically identical canonical states at each boundary.
+
+**Canonical state** of a version at a round boundary = (output stream,
+XOR-decoded memory image, halted flag).  Comparison and majority voting
+operate on it — exactly what the ISA-level campaigns validated.
+
+**Checkpoints** are application-level: every version can export/restore its
+state at a round boundary (the standard assumption of deployed VDSs, where
+checkpoints hold externalised application state).  The reference snapshots
+are precomputed on a pristine machine once, before the mission; *retries
+still re-execute for real* on the (shared, possibly contended) core — the
+snapshots only provide the starting states that the paper's model assumes
+to exist.
+
+**Costs**: execution burns real core cycles (issue-slot contention, cache
+misses and all); context switches, comparisons, votes and checkpoint
+writes are charged as configurable cycle overheads.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.diversity.generator import DiverseVersion, generate_versions
+from repro.diversity.verification import verify_version_set
+from repro.errors import ConfigurationError, RecoveryError
+from repro.isa.machine import Machine
+from repro.isa.programs import load_program
+from repro.isa.state import ArchState
+from repro.smt.processor import CoreConfig, SMTProcessor
+
+__all__ = ["FullStackConfig", "FullFault", "FullRecoveryRecord",
+           "FullStackResult", "FullStackVDS"]
+
+#: Safety cap on instructions per round (watchdog; cf. the campaign layer).
+_ROUND_BUDGET = 50_000
+
+
+@dataclass(frozen=True)
+class FullStackConfig:
+    """Configuration of a full-stack VDS run."""
+
+    program: str = "insertion_sort"
+    program_params: dict = field(default_factory=dict)
+    diversity_seed: int = 42
+    mode: str = "smt"                 #: ``"conventional"`` or ``"smt"``
+    #: recovery scheme: ``"auto"`` (stop-and-retry on conventional,
+    #: prediction roll-forward on SMT), or force ``"stop-and-retry"`` —
+    #: on SMT the lone retry then runs at single-thread speed (footnote 1)
+    scheme: str = "auto"
+    s: int = 5                        #: checkpoint interval in rounds
+    core: CoreConfig = None           #: defaults chosen per mode
+    switch_cycles: int = 50           #: context switch (conventional mode)
+    compare_cycles: int = 10          #: end-of-round state comparison
+    vote_cycles: int = 20             #: the 2-out-of-3 majority vote
+    restore_cycles: int = 30          #: loading a checkpoint state
+    checkpoint_cycles: int = 40       #: writing a checkpoint
+    memory_words: int = 256
+
+    def __post_init__(self) -> None:
+        if self.mode not in ("conventional", "smt"):
+            raise ConfigurationError(
+                f"mode must be 'conventional' or 'smt', got {self.mode!r}"
+            )
+        if self.scheme not in ("auto", "stop-and-retry", "prediction"):
+            raise ConfigurationError(
+                f"scheme must be auto/stop-and-retry/prediction, got "
+                f"{self.scheme!r}"
+            )
+        if self.scheme == "prediction" and self.mode != "smt":
+            raise ConfigurationError(
+                "the prediction roll-forward needs the smt mode"
+            )
+        if self.s < 1:
+            raise ConfigurationError("s must be >= 1")
+        for name in ("switch_cycles", "compare_cycles", "vote_cycles",
+                     "restore_cycles", "checkpoint_cycles"):
+            if getattr(self, name) < 0:
+                raise ConfigurationError(f"{name} must be >= 0")
+        if self.core is None:
+            threads = 1 if self.mode == "conventional" else 2
+            object.__setattr__(
+                self, "core", CoreConfig(hardware_threads=threads)
+            )
+        elif self.mode == "smt" and self.core.hardware_threads < 2:
+            raise ConfigurationError("smt mode needs >= 2 hardware threads")
+
+
+@dataclass(frozen=True)
+class FullFault:
+    """A transient memory fault injected at a round boundary.
+
+    ``address``/``bit`` locate the flip in the victim's *raw* memory; the
+    flip lands right after the victim completes round ``round`` and is
+    screened by that round's comparison.
+    """
+
+    round: int
+    victim: int = 1                   #: 1 or 2 (active pair slot)
+    address: int = 1
+    bit: int = 20
+    during_retry: bool = False        #: second fault corrupts the retry
+
+    def __post_init__(self) -> None:
+        if self.round < 1:
+            raise ConfigurationError("round must be >= 1")
+        if self.victim not in (1, 2):
+            raise ConfigurationError("victim must be 1 or 2")
+
+
+@dataclass(frozen=True)
+class FullRecoveryRecord:
+    """One cycle-measured recovery episode."""
+
+    round: int                    #: mission round of the mismatch
+    i: int                        #: round index within the interval
+    cycles: int                   #: total recovery cycles (exec + overhead)
+    rollforward_rounds: int
+    prediction_hit: Optional[bool]
+    resolved: bool                #: False → rollback happened
+
+
+@dataclass
+class FullStackResult:
+    """Measured outcome of one full-stack mission."""
+
+    mode: str
+    program: str
+    total_rounds: int
+    total_cycles: int
+    execution_cycles: int
+    overhead_cycles: int
+    recoveries: list[FullRecoveryRecord] = field(default_factory=list)
+    checkpoints: int = 0
+    outputs_ok: bool = False
+
+    @property
+    def cycles_per_round(self) -> float:
+        return self.total_cycles / self.total_rounds if self.total_rounds \
+            else 0.0
+
+
+class FullStackVDS:
+    """A runnable full-stack VDS (build once, run once)."""
+
+    def __init__(self, config: FullStackConfig):
+        self.config = config
+        program, inputs, spec = load_program(config.program,
+                                             **config.program_params)
+        self.oracle_output = tuple(spec.oracle(**config.program_params))
+        self.versions: list[DiverseVersion] = generate_versions(
+            program, inputs, n=3, seed=config.diversity_seed
+        )
+        verify_version_set(self.versions, memory_words=config.memory_words,
+                           expected_output=self.oracle_output)
+        self.masks = [v.encoding_mask or 0 for v in self.versions]
+        # Reference snapshots: state of each version after every round,
+        # computed on a pristine (uncontended, fault-free) machine.
+        self.snapshots: list[list[ArchState]] = [
+            self._reference_run(v, m) for v, m in zip(self.versions,
+                                                      self.masks)
+        ]
+        counts = {len(s) for s in self.snapshots}
+        if len(counts) != 1:
+            raise ConfigurationError(
+                "diverse versions disagree on round count; transforms must "
+                "preserve sync structure"
+            )
+        #: mission length in rounds (program runs to completion)
+        self.total_rounds = len(self.snapshots[0]) - 1
+
+    # -- construction helpers ------------------------------------------------
+    def _fresh_machine(self, index: int) -> Machine:
+        v = self.versions[index]
+        return Machine(list(v.program), memory_words=self.config.memory_words,
+                       inputs=list(v.inputs), name=f"V{index + 1}",
+                       fill=self.masks[index])
+
+    def _reference_run(self, version: DiverseVersion,
+                       mask: int) -> list[ArchState]:
+        m = Machine(list(version.program),
+                    memory_words=self.config.memory_words,
+                    inputs=list(version.inputs), fill=mask)
+        snaps = [m.snapshot()]
+        while not m.halted:
+            r = m.run_round(_ROUND_BUDGET)
+            if r.budget_exhausted:
+                raise ConfigurationError(
+                    "reference run exceeded the round budget"
+                )
+            snaps.append(m.snapshot())
+        return snaps
+
+    # -- canonical state ----------------------------------------------------
+    def _canonical(self, machine: Machine, mask: int) -> tuple:
+        decoded = (machine.memory ^ np.uint32(mask)).tobytes()
+        return (tuple(machine.output), decoded, machine.halted)
+
+    # -- execution primitives ----------------------------------------------
+    def _run_rounds(self, core: SMTProcessor,
+                    jobs: Sequence[tuple[Machine, int]]) -> None:
+        """Run each (machine, rounds) job to completion on the core.
+
+        All unfinished jobs stay loaded simultaneously (contention is
+        real); a job that finishes early is unloaded and the rest continue
+        at the resulting lower contention.
+        """
+        remaining = {id(m): n for m, n in jobs}
+        machines = {id(m): m for m, _n in jobs}
+        for hw, (m, _n) in enumerate(jobs):
+            core.load_context(hw, m)
+
+        targets = {}
+        while any(n > 0 for n in remaining.values()):
+            for hw in range(len(jobs)):
+                t = core.threads[hw]
+                if t.machine is not None and remaining[id(t.machine)] <= 0:
+                    core.unload_context(hw)
+            # Advance every loaded machine by one round.
+            active = [t.machine for t in core.threads
+                      if t.machine is not None]
+            if not active:
+                break
+            core.run_machines_round(max_cycles=10_000_000)
+            for m in active:
+                remaining[id(m)] -= 1
+                if m.halted:
+                    remaining[id(m)] = 0
+        for hw in range(core.config.hardware_threads):
+            if core.threads[hw].machine is not None:
+                core.unload_context(hw)
+
+    def _run_serial_round(self, core: SMTProcessor, machine: Machine) -> int:
+        """One round of one version alone on thread 0; returns switch cost."""
+        core.load_context(0, machine)
+        core.run_machines_round(max_cycles=10_000_000)
+        core.unload_context(0)
+        return self.config.switch_cycles
+
+    # -- the mission ----------------------------------------------------------
+    def run(self, faults: Sequence[FullFault] = (),
+            predictor_accuracy: float = 1.0,
+            seed: int = 0) -> FullStackResult:
+        """Execute the mission with the given fault plan.
+
+        Parameters
+        ----------
+        faults:
+            Round-boundary transient faults (at most one per round).
+        predictor_accuracy:
+            The p of the §4 prediction scheme in SMT mode (oracle-style,
+            Bernoulli per recovery).
+        """
+        cfg = self.config
+        by_round = {}
+        for f in faults:
+            if f.round in by_round:
+                raise ConfigurationError(
+                    f"duplicate fault at round {f.round}"
+                )
+            if f.round > self.total_rounds:
+                raise ConfigurationError(
+                    f"fault round {f.round} beyond mission "
+                    f"({self.total_rounds} rounds)"
+                )
+            by_round[f.round] = f
+        rng = np.random.default_rng(seed)
+
+        core = SMTProcessor(cfg.core)
+        actives = [self._fresh_machine(0), self._fresh_machine(1)]
+        overhead = 0
+        result = FullStackResult(mode=cfg.mode, program=cfg.program,
+                                 total_rounds=self.total_rounds,
+                                 total_cycles=0, execution_cycles=0,
+                                 overhead_cycles=0)
+        r = 0                      # completed, certified rounds
+        interval_base = 0          # round of the last checkpoint
+        consumed: set[int] = set()
+        while r < self.total_rounds:
+            round_no = r + 1
+            # ---- one normal round -------------------------------------
+            if cfg.mode == "conventional":
+                overhead += self._run_serial_round(core, actives[0])
+                overhead += self._run_serial_round(core, actives[1])
+            else:
+                self._run_rounds(core, [(actives[0], 1), (actives[1], 1)])
+            overhead += cfg.compare_cycles
+
+            # ---- fault injection (round boundary) -----------------------
+            fault = by_round.get(round_no)
+            if fault is not None and round_no not in consumed:
+                consumed.add(round_no)
+                actives[fault.victim - 1].flip_memory_bit(
+                    fault.address % cfg.memory_words, fault.bit
+                )
+            else:
+                fault = None
+
+            # ---- comparison -------------------------------------------
+            c0 = self._canonical(actives[0], self.masks[0])
+            c1 = self._canonical(actives[1], self.masks[1])
+            if c0 == c1:
+                r = round_no
+            else:
+                i = round_no - interval_base
+                rec, extra = self._recover(core, actives, (c0, c1),
+                                           interval_base, i, fault,
+                                           predictor_accuracy, rng)
+                overhead += extra
+                result.recoveries.append(rec)
+                if rec.resolved:
+                    r = interval_base + i + rec.rollforward_rounds
+                else:
+                    r = interval_base  # rollback re-executes the interval
+
+            # ---- checkpoint --------------------------------------------
+            if r > interval_base and r % cfg.s == 0:
+                interval_base = r
+                overhead += cfg.checkpoint_cycles
+                result.checkpoints += 1
+
+        result.execution_cycles = core.cycle
+        result.overhead_cycles = overhead
+        result.total_cycles = core.cycle + overhead
+        result.outputs_ok = (
+            tuple(actives[0].output) == self.oracle_output
+            and tuple(actives[1].output) == self.oracle_output
+        )
+        return result
+
+    # -- recovery -----------------------------------------------------------
+    def _recover(self, core: SMTProcessor, actives: list[Machine],
+                 saved_canonicals: tuple, interval_base: int, i: int,
+                 fault: Optional[FullFault], p: float,
+                 rng: np.random.Generator,
+                 ) -> tuple[FullRecoveryRecord, int]:
+        """Run one recovery episode.
+
+        ``saved_canonicals`` are the states P, Q at the mismatching round
+        (Fig. 2: the vote compares "State P = State S?" / "State Q =
+        State S?" against the *saved* states, since a roll-forward mutates
+        the chosen active).  Returns (record, overhead_cycles).
+        """
+        cfg = self.config
+        overhead = cfg.restore_cycles  # load V3's checkpoint state
+        start_cycles = core.cycle
+        v3 = self._fresh_machine(2)
+        v3.restore(self.snapshots[2][interval_base])
+
+        stop_and_retry = (cfg.mode == "conventional"
+                          or cfg.scheme == "stop-and-retry")
+        chosen: Optional[int] = None
+        k = 0
+        if stop_and_retry:
+            # The lone retry: on SMT the second thread idles and the retry
+            # runs at single-thread speed (footnote 1).
+            self._run_rounds(core, [(v3, i)])
+        else:
+            # §4 prediction roll-forward: guess the faulty active (correct
+            # with probability p) and roll the other one forward
+            # min(i, s − i) rounds concurrently with the retry.
+            correct_guess = p >= 1.0 or rng.random() < p
+            actual_faulty = (fault.victim - 1) if fault is not None else 0
+            guessed_faulty = actual_faulty if correct_guess \
+                else 1 - actual_faulty
+            chosen = 1 - guessed_faulty
+            remaining_in_interval = cfg.s - i if i < cfg.s else 0
+            remaining_in_mission = self.total_rounds - (interval_base + i)
+            k = max(0, min(i, remaining_in_interval, remaining_in_mission))
+            self._run_rounds(core, [(v3, i), (actives[chosen], k)])
+
+        overhead += cfg.vote_cycles
+        if fault is not None and fault.during_retry:
+            # A second fault corrupts the retry: three-way disagreement.
+            v3.flip_memory_bit(1, 5)
+        c3 = self._canonical(v3, self.masks[2])
+        agree = [saved_canonicals[0] == c3, saved_canonicals[1] == c3]
+        cycles = core.cycle - start_cycles + overhead
+        detect_round = interval_base + i
+
+        if not any(agree):
+            # No majority: roll both actives back to the checkpoint.
+            for idx in (0, 1):
+                actives[idx].restore(self.snapshots[idx][interval_base])
+            overhead += 2 * cfg.restore_cycles
+            return (FullRecoveryRecord(detect_round, i, cycles, 0, None,
+                                       resolved=False), overhead)
+        if all(agree):  # pragma: no cover - P != Q by construction
+            raise RecoveryError("vote saw three equal states after mismatch")
+
+        faulty = 0 if agree[1] else 1
+        hit: Optional[bool] = None
+        rollforward = 0
+        if not stop_and_retry:
+            hit = chosen != faulty
+            rollforward = k if hit else 0
+        certified = detect_round + rollforward
+
+        # Repair: the faulty active is restored from its own reference
+        # state at the certified round (application-level checkpoint
+        # import — the paper's "state ... is copied to version 3" step).
+        actives[faulty].restore(self.snapshots[faulty][certified])
+        overhead += cfg.restore_cycles
+        # On a miss the chosen (faulty) active already got restored above;
+        # the clean one sits at detect_round == certified.  On a hit the
+        # clean one reached `certified` by execution.  Nothing else to do.
+        return (FullRecoveryRecord(detect_round, i, cycles, rollforward,
+                                   hit, resolved=True), overhead)

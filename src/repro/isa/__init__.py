@@ -1,0 +1,42 @@
+"""repro.isa — a tiny register-machine ISA for program *versions*.
+
+The paper's system model (§2.1) treats versions as "functions that can be
+executed as processes … run for a specified number of rounds".  To make the
+fault model concrete (bit flips in registers, access violations between
+version address spaces, crash faults) the reproduction runs versions as real
+programs on a small interpreted register machine:
+
+* 16 × 32-bit general-purpose registers (``r0`` … ``r15``),
+* word-addressed private memory with base/limit protection — an access
+  outside a version's subspace traps ("an access to the data of another
+  version then leads to an access violation which is signaled as a fault"),
+* a compact RISC-ish instruction set (see :mod:`repro.isa.instructions`),
+* an assembler with labels (:mod:`repro.isa.assembler`),
+* an interpreter with instruction budgets so a version can execute a
+  "well defined portion of process activity" per round and later "be
+  continued from the point" (:mod:`repro.isa.machine`),
+* a library of deterministic workload programs (:mod:`repro.isa.programs`).
+
+Diverse versions are produced from these programs by
+:mod:`repro.diversity`.
+"""
+
+from repro.isa.instructions import Instruction, Opcode, REGISTER_COUNT, WORD_MASK
+from repro.isa.assembler import assemble, disassemble
+from repro.isa.machine import Machine, StepResult
+from repro.isa.state import ArchState
+from repro.isa.programs import PROGRAMS, load_program
+
+__all__ = [
+    "Instruction",
+    "Opcode",
+    "REGISTER_COUNT",
+    "WORD_MASK",
+    "assemble",
+    "disassemble",
+    "Machine",
+    "StepResult",
+    "ArchState",
+    "PROGRAMS",
+    "load_program",
+]

@@ -1,0 +1,211 @@
+"""Two-pass assembler (and disassembler) for the repro ISA.
+
+Source format — one instruction per line:
+
+.. code-block:: text
+
+    ; comments start with ';' or '#'
+    loadi r1, 10        ; immediates are decimal, hex (0x..) or negative
+    loadi r2, 0
+    loop:               ; labels end with ':'
+    add   r2, r2, r1
+    sub   r1, r1, r3
+    bne   r1, r3, loop
+    out   r2
+    halt
+
+Register operands are written ``r0`` … ``r15``; branch targets are label
+names (resolved to absolute instruction indices) or bare integers.  The
+disassembler regenerates equivalent source (labels are synthesised as
+``L<index>:``), so ``assemble(disassemble(prog)) == prog`` round-trips —
+a property test in ``tests/isa/test_assembler.py`` pins this down.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Sequence
+
+from repro.errors import AssemblerError
+from repro.isa.instructions import (
+    BRANCH_OPS,
+    Instruction,
+    Opcode,
+    REGISTER_COUNT,
+    WORD_MASK,
+)
+
+__all__ = ["assemble", "disassemble", "REGISTER_OPERANDS", "BRANCH_TARGET_POS"]
+
+_LABEL_RE = re.compile(r"^[A-Za-z_][A-Za-z0-9_]*$")
+_BY_NAME = {op.value: op for op in Opcode}
+
+# Which operand positions are branch targets, per opcode.
+_TARGET_POS = {Opcode.JMP: 0, Opcode.BEQ: 2, Opcode.BNE: 2,
+               Opcode.BLT: 2, Opcode.BGE: 2}
+# Which operand positions are registers, per opcode (others are immediates).
+_REG_POS: dict[Opcode, tuple[int, ...]] = {
+    Opcode.LOADI: (0,), Opcode.MOV: (0, 1),
+    Opcode.LOAD: (0, 1), Opcode.STORE: (0, 2),
+    Opcode.JMP: (), Opcode.BEQ: (0, 1), Opcode.BNE: (0, 1),
+    Opcode.BLT: (0, 1), Opcode.BGE: (0, 1),
+    Opcode.OUT: (0,), Opcode.NOP: (), Opcode.SYNC: (), Opcode.HALT: (),
+}
+for _op in (Opcode.ADD, Opcode.SUB, Opcode.MUL, Opcode.DIV, Opcode.MOD,
+            Opcode.AND, Opcode.OR, Opcode.XOR, Opcode.SHL, Opcode.SHR):
+    _REG_POS[_op] = (0, 1, 2)
+
+#: Public view of the register-operand positions per opcode (used by the
+#: diversity transforms to rewrite register references).
+REGISTER_OPERANDS = _REG_POS
+#: Public view of the branch-target operand position per branch opcode.
+BRANCH_TARGET_POS = _TARGET_POS
+
+
+def _strip(line: str) -> str:
+    for marker in (";", "#"):
+        idx = line.find(marker)
+        if idx >= 0:
+            line = line[:idx]
+    return line.strip()
+
+
+def _parse_int(token: str, lineno: int) -> int:
+    try:
+        value = int(token, 0)
+    except ValueError:
+        raise AssemblerError(
+            f"line {lineno}: expected a number, got {token!r}"
+        ) from None
+    return value & WORD_MASK
+
+
+def _parse_reg(token: str, lineno: int) -> int:
+    if not token.lower().startswith("r"):
+        raise AssemblerError(
+            f"line {lineno}: expected a register (r0..r{REGISTER_COUNT-1}), "
+            f"got {token!r}"
+        )
+    try:
+        idx = int(token[1:])
+    except ValueError:
+        raise AssemblerError(
+            f"line {lineno}: bad register {token!r}"
+        ) from None
+    if not (0 <= idx < REGISTER_COUNT):
+        raise AssemblerError(
+            f"line {lineno}: register index out of range in {token!r}"
+        )
+    return idx
+
+
+def assemble(source: str) -> list[Instruction]:
+    """Assemble source text into a program (list of instructions)."""
+    # Pass 1: collect labels and raw statements.
+    statements: list[tuple[int, str, list[str]]] = []  # (lineno, op, operands)
+    labels: dict[str, int] = {}
+    for lineno, raw in enumerate(source.splitlines(), start=1):
+        line = _strip(raw)
+        if not line:
+            continue
+        while True:  # possibly several labels on one line
+            head, sep, rest = line.partition(":")
+            if sep and _LABEL_RE.match(head.strip()):
+                name = head.strip()
+                if name in labels:
+                    raise AssemblerError(
+                        f"line {lineno}: duplicate label {name!r}"
+                    )
+                if name in _BY_NAME:
+                    raise AssemblerError(
+                        f"line {lineno}: label {name!r} shadows an opcode"
+                    )
+                labels[name] = len(statements)
+                line = rest.strip()
+                if not line:
+                    break
+            else:
+                break
+        if not line:
+            continue
+        parts = line.split(None, 1)
+        mnemonic = parts[0].lower()
+        operands = (
+            [tok.strip() for tok in parts[1].split(",")] if len(parts) > 1 else []
+        )
+        statements.append((lineno, mnemonic, operands))
+
+    for name, target in labels.items():
+        if target > len(statements):  # pragma: no cover - defensive
+            raise AssemblerError(f"label {name!r} beyond end of program")
+
+    # Pass 2: encode.
+    program: list[Instruction] = []
+    for index, (lineno, mnemonic, operands) in enumerate(statements):
+        op = _BY_NAME.get(mnemonic)
+        if op is None:
+            raise AssemblerError(f"line {lineno}: unknown opcode {mnemonic!r}")
+        reg_pos = _REG_POS[op]
+        target_pos = _TARGET_POS.get(op)
+        args: list[int] = []
+        for pos, token in enumerate(operands):
+            if pos == target_pos:
+                if _LABEL_RE.match(token) and token not in _BY_NAME:
+                    if token not in labels:
+                        raise AssemblerError(
+                            f"line {lineno}: undefined label {token!r}"
+                        )
+                    args.append(labels[token])
+                else:
+                    args.append(_parse_int(token, lineno))
+            elif pos in reg_pos:
+                args.append(_parse_reg(token, lineno))
+            else:
+                args.append(_parse_int(token, lineno))
+        try:
+            instr = Instruction(op, tuple(args))
+        except ValueError as exc:
+            raise AssemblerError(f"line {lineno}: {exc}") from None
+        program.append(instr)
+
+    # Validate branch targets.
+    for idx, instr in enumerate(program):
+        if instr.op in BRANCH_OPS:
+            target = instr.args[_TARGET_POS[instr.op]]
+            if not (0 <= target <= len(program)):
+                raise AssemblerError(
+                    f"instruction {idx}: branch target {target} out of range"
+                )
+    return program
+
+
+def disassemble(program: Sequence[Instruction]) -> str:
+    """Render a program back to assembly source with synthetic labels."""
+    targets: set[int] = set()
+    for instr in program:
+        if instr.op in BRANCH_OPS:
+            targets.add(instr.args[_TARGET_POS[instr.op]])
+
+    lines: list[str] = []
+    for idx, instr in enumerate(program):
+        if idx in targets:
+            lines.append(f"L{idx}:")
+        rendered: list[str] = []
+        reg_pos = _REG_POS[instr.op]
+        target_pos = _TARGET_POS.get(instr.op)
+        for pos, arg in enumerate(instr.args):
+            if pos == target_pos:
+                rendered.append(f"L{arg}")
+            elif pos in reg_pos:
+                rendered.append(f"r{arg}")
+            else:
+                rendered.append(str(arg))
+        lines.append(
+            f"    {instr.op.value}"
+            + (" " + ", ".join(rendered) if rendered else "")
+        )
+    # A branch may target one-past-the-end (fall-through halt position).
+    if len(program) in targets:
+        lines.append(f"L{len(program)}:")
+        lines.append("    halt")
+    return "\n".join(lines) + "\n"

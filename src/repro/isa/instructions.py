@@ -1,0 +1,130 @@
+"""Instruction set of the repro register machine.
+
+A deliberately small RISC-style ISA: three-operand ALU ops, load/store with
+base+offset addressing, compare-and-branch, and a few system ops.  All
+values are 32-bit unsigned words (wrap-around arithmetic); signedness only
+matters to the ``BLT``/``BGE`` comparisons, which are signed.
+
+The encoding is symbolic (dataclasses, not packed bits): fault injection
+flips bits in *data* (registers, memory, pc), not in instruction encodings —
+matching the paper's fault model of "bit flips in registers".  Permanent
+datapath faults are modelled in :mod:`repro.faults.effects` as corrupted
+functional units instead.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import Tuple
+
+__all__ = ["Opcode", "Instruction", "REGISTER_COUNT", "WORD_BITS", "WORD_MASK",
+           "ALU_OPS", "BRANCH_OPS", "MEMORY_OPS"]
+
+#: Number of general-purpose registers.
+REGISTER_COUNT = 16
+#: Word width in bits.
+WORD_BITS = 32
+#: Mask for wrap-around arithmetic.
+WORD_MASK = (1 << WORD_BITS) - 1
+
+
+class Opcode(Enum):
+    """All operations of the ISA."""
+
+    # register/immediate moves
+    LOADI = "loadi"    # rd, imm           rd ← imm
+    MOV = "mov"        # rd, rs            rd ← rs
+    # three-operand ALU
+    ADD = "add"        # rd, ra, rb        rd ← ra + rb
+    SUB = "sub"        # rd, ra, rb        rd ← ra − rb
+    MUL = "mul"        # rd, ra, rb        rd ← ra · rb (low word)
+    DIV = "div"        # rd, ra, rb        rd ← ra // rb (unsigned; rb=0 traps)
+    MOD = "mod"        # rd, ra, rb        rd ← ra mod rb (unsigned; rb=0 traps)
+    AND = "and"        # rd, ra, rb
+    OR = "or"          # rd, ra, rb
+    XOR = "xor"        # rd, ra, rb
+    SHL = "shl"        # rd, ra, rb        shift amount rb mod 32
+    SHR = "shr"        # rd, ra, rb        logical right shift
+    # memory (word addressed, version-private)
+    LOAD = "load"      # rd, ra, off       rd ← mem[ra + off]
+    STORE = "store"    # ra, off, rs       mem[ra + off] ← rs
+    # control flow (targets are absolute instruction indices post-assembly)
+    JMP = "jmp"        # target
+    BEQ = "beq"        # ra, rb, target
+    BNE = "bne"        # ra, rb, target
+    BLT = "blt"        # ra, rb, target    signed <
+    BGE = "bge"        # ra, rb, target    signed >=
+    # system
+    OUT = "out"        # rs                append rs to the output stream
+    NOP = "nop"
+    SYNC = "sync"      # end of a logical *round* (comparison point)
+    HALT = "halt"
+
+
+#: Opcodes computed by the ALU (permanent datapath faults attach here).
+ALU_OPS = frozenset({
+    Opcode.ADD, Opcode.SUB, Opcode.MUL, Opcode.DIV, Opcode.MOD,
+    Opcode.AND, Opcode.OR, Opcode.XOR, Opcode.SHL, Opcode.SHR,
+})
+
+#: Conditional/unconditional branches.
+BRANCH_OPS = frozenset({Opcode.JMP, Opcode.BEQ, Opcode.BNE, Opcode.BLT,
+                        Opcode.BGE})
+
+#: Memory-touching opcodes.
+MEMORY_OPS = frozenset({Opcode.LOAD, Opcode.STORE})
+
+# Expected operand-tuple length per opcode (operands are ints after
+# assembly; labels have been resolved to instruction indices).
+_ARITY = {
+    Opcode.LOADI: 2, Opcode.MOV: 2,
+    Opcode.ADD: 3, Opcode.SUB: 3, Opcode.MUL: 3, Opcode.DIV: 3,
+    Opcode.MOD: 3, Opcode.AND: 3, Opcode.OR: 3, Opcode.XOR: 3,
+    Opcode.SHL: 3, Opcode.SHR: 3,
+    Opcode.LOAD: 3, Opcode.STORE: 3,
+    Opcode.JMP: 1, Opcode.BEQ: 3, Opcode.BNE: 3, Opcode.BLT: 3,
+    Opcode.BGE: 3,
+    Opcode.OUT: 1, Opcode.NOP: 0, Opcode.SYNC: 0, Opcode.HALT: 0,
+}
+
+
+@dataclass(frozen=True, slots=True)
+class Instruction:
+    """One decoded instruction: an opcode plus integer operands.
+
+    Register operands are indices 0..15; immediates/offsets are words;
+    branch targets are absolute instruction indices.
+    """
+
+    op: Opcode
+    args: Tuple[int, ...] = ()
+
+    def __post_init__(self) -> None:
+        expected = _ARITY[self.op]
+        if len(self.args) != expected:
+            raise ValueError(
+                f"{self.op.value} expects {expected} operands, "
+                f"got {len(self.args)}"
+            )
+
+    @property
+    def is_branch(self) -> bool:
+        return self.op in BRANCH_OPS
+
+    @property
+    def is_memory(self) -> bool:
+        return self.op in MEMORY_OPS
+
+    @property
+    def is_alu(self) -> bool:
+        return self.op in ALU_OPS
+
+    def __str__(self) -> str:
+        return f"{self.op.value} " + ", ".join(str(a) for a in self.args)
+
+
+def to_signed(word: int) -> int:
+    """Interpret a 32-bit word as a signed integer."""
+    word &= WORD_MASK
+    return word - (1 << WORD_BITS) if word >= (1 << (WORD_BITS - 1)) else word

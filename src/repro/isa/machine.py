@@ -1,0 +1,302 @@
+"""The register-machine interpreter.
+
+A :class:`Machine` executes a program over a private, base/limit-protected
+word memory.  Execution is *budgeted*: :meth:`Machine.run` retires at most
+``max_instructions`` instructions and stops — this is exactly the paper's
+round: "a well defined portion of process activity is executed and then the
+function returns.  Later, the version can be continued from the point."
+
+Fault hooks
+-----------
+The machine exposes the mutation points the fault models need:
+
+* :meth:`flip_register_bit` / :meth:`flip_memory_bit` / :meth:`flip_pc_bit`
+  — transient single-event upsets;
+* :attr:`alu_fault` — an optional callable corrupting ALU results, used for
+  *permanent* datapath faults (stuck-at).  Because diverse versions use the
+  datapath differently, the same permanent fault perturbs their states
+  differently — the diversity assumption of the paper's fault model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional, Sequence
+
+import numpy as np
+
+from repro.errors import MachineFault
+from repro.isa.instructions import (
+    Instruction,
+    Opcode,
+    REGISTER_COUNT,
+    WORD_BITS,
+    WORD_MASK,
+    to_signed,
+)
+from repro.isa.state import ArchState
+
+__all__ = ["Machine", "StepResult"]
+
+#: Safety valve for free-running execution.
+DEFAULT_STEP_LIMIT = 1_000_000
+
+
+@dataclass(frozen=True, slots=True)
+class StepResult:
+    """Outcome of a :meth:`Machine.run` call."""
+
+    executed: int          #: instructions retired in this call
+    halted: bool           #: program has executed ``halt``
+    budget_exhausted: bool  #: stopped because the budget ran out
+    hit_sync: bool = False  #: stopped at a ``sync`` round boundary
+
+
+class Machine:
+    """Interpreter state + program for one version.
+
+    Parameters
+    ----------
+    program:
+        Decoded instruction list.
+    memory_words:
+        Size of the version's private memory (words).
+    inputs:
+        Words preloaded at the *start* of memory (the version's input data).
+    name:
+        Label used in traps and diagnostics.
+
+    Each machine carries a unique address-space id (:attr:`asid`): caches
+    and other shared structures key on it so two versions' same-numbered
+    addresses never alias ("separate address spaces … protected against
+    each other", paper §2.1).
+    """
+
+    _next_asid = 0
+
+    def __init__(self, program: Sequence[Instruction], memory_words: int = 256,
+                 inputs: Optional[Sequence[int]] = None, name: str = "machine",
+                 fill: int = 0):
+        if memory_words < 1:
+            raise MachineFault(f"memory_words must be >= 1, got {memory_words}",
+                               kind="config")
+        self.program = list(program)
+        self.name = name
+        #: unique address-space id (cache accessor key)
+        self.asid = Machine._next_asid
+        Machine._next_asid += 1
+        # ``fill`` is the encoded representation of zero: an encoded-
+        # execution version initialises its whole space to mask^0 so its
+        # decoded memory image matches a plain version's zeros.
+        self.memory = np.full(memory_words, fill & WORD_MASK, dtype=np.uint32)
+        if inputs is not None:
+            if len(inputs) > memory_words:
+                raise MachineFault("inputs larger than memory", kind="config")
+            self.memory[: len(inputs)] = np.asarray(
+                [v & WORD_MASK for v in inputs], dtype=np.uint32
+            )
+        self.registers = [0] * REGISTER_COUNT
+        self.pc = 0
+        self.halted = False
+        self.output: list[int] = []
+        self.instret = 0
+        #: Optional permanent-fault hook: (opcode, result) -> corrupted result.
+        self.alu_fault: Optional[Callable[[Opcode, int], int]] = None
+        #: Optional permanent-fault hook: (address, value) -> stored value.
+        self.store_fault: Optional[Callable[[int, int], int]] = None
+
+    # -- fault hooks ---------------------------------------------------------
+    def flip_register_bit(self, reg: int, bit: int) -> None:
+        """Transient fault: flip one bit of one register."""
+        if not (0 <= reg < REGISTER_COUNT):
+            raise MachineFault(f"bad register {reg}", kind="config")
+        if not (0 <= bit < WORD_BITS):
+            raise MachineFault(f"bad bit {bit}", kind="config")
+        self.registers[reg] ^= 1 << bit
+
+    def flip_memory_bit(self, address: int, bit: int) -> None:
+        """Transient fault: flip one bit of one private-memory word."""
+        if not (0 <= address < len(self.memory)):
+            raise MachineFault(f"bad address {address}", kind="config")
+        if not (0 <= bit < WORD_BITS):
+            raise MachineFault(f"bad bit {bit}", kind="config")
+        self.memory[address] ^= np.uint32(1 << bit)
+
+    def flip_pc_bit(self, bit: int) -> None:
+        """Transient control-flow fault: flip one bit of the pc."""
+        if not (0 <= bit < WORD_BITS):
+            raise MachineFault(f"bad bit {bit}", kind="config")
+        self.pc ^= 1 << bit
+
+    # -- state ---------------------------------------------------------------
+    def snapshot(self) -> ArchState:
+        """Immutable copy of the full architectural state."""
+        return ArchState(
+            registers=tuple(self.registers),
+            memory=self.memory.copy(),
+            pc=self.pc,
+            halted=self.halted,
+            output=tuple(self.output),
+            instret=self.instret,
+        )
+
+    def restore(self, state: ArchState) -> None:
+        """Restore a snapshot (rollback to a checkpoint)."""
+        if len(state.memory) != len(self.memory):
+            raise MachineFault("snapshot memory size mismatch", kind="config")
+        self.registers = list(state.registers)
+        self.memory = state.memory.copy()
+        self.pc = state.pc
+        self.halted = state.halted
+        self.output = list(state.output)
+        self.instret = state.instret
+
+    # -- execution -----------------------------------------------------------
+    def _read_mem(self, address: int) -> int:
+        if not (0 <= address < len(self.memory)):
+            raise MachineFault(
+                f"{self.name}: load access violation at {address}",
+                kind="access-violation", pc=self.pc,
+            )
+        return int(self.memory[address])
+
+    def _write_mem(self, address: int, value: int) -> None:
+        if not (0 <= address < len(self.memory)):
+            raise MachineFault(
+                f"{self.name}: store access violation at {address}",
+                kind="access-violation", pc=self.pc,
+            )
+        if self.store_fault is not None:
+            value = self.store_fault(address, value & WORD_MASK)
+        self.memory[address] = np.uint32(value & WORD_MASK)
+
+    def _alu(self, op: Opcode, a: int, b: int) -> int:
+        if op is Opcode.ADD:
+            result = a + b
+        elif op is Opcode.SUB:
+            result = a - b
+        elif op is Opcode.MUL:
+            result = a * b
+        elif op is Opcode.DIV:
+            if b == 0:
+                raise MachineFault(f"{self.name}: division by zero",
+                                   kind="arithmetic", pc=self.pc)
+            result = a // b
+        elif op is Opcode.MOD:
+            if b == 0:
+                raise MachineFault(f"{self.name}: modulo by zero",
+                                   kind="arithmetic", pc=self.pc)
+            result = a % b
+        elif op is Opcode.AND:
+            result = a & b
+        elif op is Opcode.OR:
+            result = a | b
+        elif op is Opcode.XOR:
+            result = a ^ b
+        elif op is Opcode.SHL:
+            result = a << (b % WORD_BITS)
+        elif op is Opcode.SHR:
+            result = a >> (b % WORD_BITS)
+        else:  # pragma: no cover - guarded by caller
+            raise MachineFault(f"not an ALU op: {op}", kind="decode")
+        result &= WORD_MASK
+        if self.alu_fault is not None:
+            result = self.alu_fault(op, result) & WORD_MASK
+        return result
+
+    def step(self) -> None:
+        """Execute one instruction."""
+        if self.halted:
+            return
+        if not (0 <= self.pc < len(self.program)):
+            raise MachineFault(
+                f"{self.name}: pc {self.pc} outside program",
+                kind="control-flow", pc=self.pc,
+            )
+        instr = self.program[self.pc]
+        op, args = instr.op, instr.args
+        next_pc = self.pc + 1
+        regs = self.registers
+
+        if op is Opcode.LOADI:
+            regs[args[0]] = args[1] & WORD_MASK
+        elif op is Opcode.MOV:
+            regs[args[0]] = regs[args[1]]
+        elif instr.is_alu:
+            regs[args[0]] = self._alu(op, regs[args[1]], regs[args[2]])
+        elif op is Opcode.LOAD:
+            regs[args[0]] = self._read_mem((regs[args[1]] + args[2]) & WORD_MASK)
+        elif op is Opcode.STORE:
+            self._write_mem((regs[args[0]] + args[1]) & WORD_MASK, regs[args[2]])
+        elif op is Opcode.JMP:
+            next_pc = args[0]
+        elif op is Opcode.BEQ:
+            if regs[args[0]] == regs[args[1]]:
+                next_pc = args[2]
+        elif op is Opcode.BNE:
+            if regs[args[0]] != regs[args[1]]:
+                next_pc = args[2]
+        elif op is Opcode.BLT:
+            if to_signed(regs[args[0]]) < to_signed(regs[args[1]]):
+                next_pc = args[2]
+        elif op is Opcode.BGE:
+            if to_signed(regs[args[0]]) >= to_signed(regs[args[1]]):
+                next_pc = args[2]
+        elif op is Opcode.OUT:
+            self.output.append(regs[args[0]])
+        elif op is Opcode.NOP or op is Opcode.SYNC:
+            pass
+        elif op is Opcode.HALT:
+            self.halted = True
+            next_pc = self.pc
+        else:  # pragma: no cover - all opcodes handled
+            raise MachineFault(f"{self.name}: illegal opcode {op}",
+                               kind="decode", pc=self.pc)
+
+        self.pc = next_pc
+        self.instret += 1
+
+    def run(self, max_instructions: int = DEFAULT_STEP_LIMIT,
+            stop_at_sync: bool = False) -> StepResult:
+        """Run for at most ``max_instructions`` instructions.
+
+        With ``stop_at_sync=True`` execution also stops right after a
+        ``sync`` instruction retires — the end of one logical *round*
+        (the paper's "well defined portion of process activity … then the
+        function returns").
+        """
+        if max_instructions < 0:
+            raise MachineFault("max_instructions must be >= 0", kind="config")
+        executed = 0
+        hit_sync = False
+        while executed < max_instructions and not self.halted:
+            was_sync = (
+                0 <= self.pc < len(self.program)
+                and self.program[self.pc].op is Opcode.SYNC
+            )
+            self.step()
+            executed += 1
+            if stop_at_sync and was_sync:
+                hit_sync = True
+                break
+        return StepResult(
+            executed=executed,
+            halted=self.halted,
+            budget_exhausted=(executed >= max_instructions
+                              and not self.halted and not hit_sync),
+            hit_sync=hit_sync,
+        )
+
+    def run_round(self, max_instructions: int = DEFAULT_STEP_LIMIT) -> StepResult:
+        """Run until the next ``sync`` boundary, ``halt``, or the budget."""
+        return self.run(max_instructions, stop_at_sync=True)
+
+    def run_to_halt(self, step_limit: int = DEFAULT_STEP_LIMIT) -> StepResult:
+        """Run until ``halt`` or the step limit (raises if the limit hits)."""
+        result = self.run(step_limit)
+        if not result.halted:
+            raise MachineFault(
+                f"{self.name}: did not halt within {step_limit} instructions",
+                kind="timeout", pc=self.pc,
+            )
+        return result

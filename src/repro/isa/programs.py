@@ -1,0 +1,502 @@
+"""Library of deterministic workload programs for the register machine.
+
+These are the "versions" the VDS executes.  Conventions:
+
+* inputs are preloaded at the bottom of the version's private memory,
+* results are emitted with ``out`` (the duplex comparator votes on the
+  output stream) and usually also stored back to memory,
+* programs use only registers ``r0`` … ``r11`` — ``r12``–``r15`` are
+  reserved as scratch for the :mod:`repro.diversity` transforms (encoded
+  execution needs spare registers),
+* every program terminates for all valid parameters.
+
+The mix intentionally spans ALU-heavy (``fibonacci``, ``gcd``),
+memory-heavy (``insertion_sort``, ``checksum``) and branch-heavy
+(``primes``) behaviour — the same dimension along which SMT contention (the
+α of the paper) varies in :mod:`repro.smt`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+from repro.errors import ConfigurationError
+from repro.isa.assembler import assemble
+from repro.isa.instructions import Instruction
+
+__all__ = ["ProgramSpec", "PROGRAMS", "load_program"]
+
+
+@dataclass(frozen=True)
+class ProgramSpec:
+    """A loadable workload: source template + input builder + oracle."""
+
+    name: str
+    description: str
+    source: str
+    #: builds the preloaded memory image from keyword parameters
+    build_inputs: Callable[..., list[int]]
+    #: pure-Python reference result (the expected ``out`` stream)
+    oracle: Callable[..., list[int]]
+    memory_words: int = 256
+
+
+# --------------------------------------------------------------------------
+# sum_range: sum of 1..n
+# --------------------------------------------------------------------------
+
+_SUM_SRC = """
+    loadi r1, 0        ; base pointer
+    load  r2, r1, 0    ; n
+    loadi r3, 0        ; acc
+    loadi r4, 0        ; i
+    loadi r5, 1
+loop:
+    bge   r4, r2, done
+    add   r4, r4, r5
+    add   r3, r3, r4
+    sync
+    jmp   loop
+done:
+    out   r3
+    store r1, 1, r3    ; result at mem[1]
+    halt
+"""
+
+
+def _sum_inputs(n: int = 100) -> list[int]:
+    if n < 0:
+        raise ConfigurationError(f"n must be >= 0, got {n}")
+    return [n]
+
+
+def _sum_oracle(n: int = 100) -> list[int]:
+    return [(n * (n + 1) // 2) & 0xFFFFFFFF]
+
+
+# --------------------------------------------------------------------------
+# fibonacci: F(n) mod 2^32
+# --------------------------------------------------------------------------
+
+_FIB_SRC = """
+    loadi r1, 0
+    load  r2, r1, 0    ; n
+    loadi r3, 0        ; a = F(0)
+    loadi r4, 1        ; b = F(1)
+    loadi r5, 0        ; i
+    loadi r6, 1
+loop:
+    bge   r5, r2, done
+    add   r7, r3, r4   ; a+b
+    mov   r3, r4
+    mov   r4, r7
+    add   r5, r5, r6
+    sync
+    jmp   loop
+done:
+    out   r3
+    store r1, 1, r3
+    halt
+"""
+
+
+def _fib_inputs(n: int = 30) -> list[int]:
+    if n < 0:
+        raise ConfigurationError(f"n must be >= 0, got {n}")
+    return [n]
+
+
+def _fib_oracle(n: int = 30) -> list[int]:
+    a, b = 0, 1
+    for _ in range(n):
+        a, b = b, (a + b) & 0xFFFFFFFF
+    return [a]
+
+
+# --------------------------------------------------------------------------
+# checksum: additive + xor checksum over an input array
+# --------------------------------------------------------------------------
+
+_CHECKSUM_SRC = """
+    loadi r1, 0
+    load  r2, r1, 0    ; length
+    loadi r3, 0        ; additive acc
+    loadi r4, 0        ; xor acc
+    loadi r5, 0        ; i
+    loadi r6, 1
+loop:
+    bge   r5, r2, done
+    add   r7, r5, r6   ; index + 1 (array starts at mem[1])
+    load  r8, r7, 0
+    add   r3, r3, r8
+    xor   r4, r4, r8
+    add   r5, r5, r6
+    sync
+    jmp   loop
+done:
+    out   r3
+    out   r4
+    halt
+"""
+
+
+def _checksum_inputs(data: Sequence[int] = (3, 1, 4, 1, 5, 9, 2, 6)) -> list[int]:
+    return [len(data), *[v & 0xFFFFFFFF for v in data]]
+
+
+def _checksum_oracle(data: Sequence[int] = (3, 1, 4, 1, 5, 9, 2, 6)) -> list[int]:
+    add_acc = 0
+    xor_acc = 0
+    for v in data:
+        add_acc = (add_acc + (v & 0xFFFFFFFF)) & 0xFFFFFFFF
+        xor_acc ^= v & 0xFFFFFFFF
+    return [add_acc, xor_acc]
+
+
+# --------------------------------------------------------------------------
+# insertion_sort: sort array in memory, emit sorted elements
+# --------------------------------------------------------------------------
+
+_SORT_SRC = """
+    loadi r1, 0
+    load  r2, r1, 0    ; length
+    loadi r6, 1
+    mov   r3, r6       ; i = 1
+outer:
+    bge   r3, r2, emit
+    add   r7, r3, r6   ; address of a[i] = i + 1
+    load  r4, r7, 0    ; key
+    mov   r5, r3       ; j = i
+inner:
+    blt   r5, r6, place ; while j >= 1
+    mov   r8, r5        ; addr of a[j-1] = (j-1)+1 = j
+    load  r9, r8, 0
+    bge   r4, r9, place ; stop if key >= a[j-1]  (unsigned compare via signed ok for small values)
+    add   r10, r5, r6   ; addr of a[j] = j + 1
+    store r10, 0, r9    ; a[j] = a[j-1]
+    sub   r5, r5, r6
+    jmp   inner
+place:
+    add   r10, r5, r6
+    store r10, 0, r4    ; a[j] = key
+    add   r3, r3, r6
+    sync
+    jmp   outer
+emit:
+    loadi r5, 0
+emit_loop:
+    bge   r5, r2, done
+    add   r7, r5, r6
+    load  r8, r7, 0
+    out   r8
+    add   r5, r5, r6
+    sync
+    jmp   emit_loop
+done:
+    halt
+"""
+
+
+def _sort_inputs(data: Sequence[int] = (9, 3, 7, 1, 8, 2, 5)) -> list[int]:
+    for v in data:
+        if not (0 <= v < 2**31):
+            raise ConfigurationError(
+                "insertion_sort uses signed compares; values must be < 2^31"
+            )
+    return [len(data), *data]
+
+
+def _sort_oracle(data: Sequence[int] = (9, 3, 7, 1, 8, 2, 5)) -> list[int]:
+    return sorted(data)
+
+
+# --------------------------------------------------------------------------
+# gcd: Euclid's algorithm
+# --------------------------------------------------------------------------
+
+_GCD_SRC = """
+    loadi r1, 0
+    load  r2, r1, 0    ; a
+    load  r3, r1, 1    ; b
+    loadi r4, 0
+loop:
+    beq   r3, r4, done
+    mod   r5, r2, r3
+    mov   r2, r3
+    mov   r3, r5
+    sync
+    jmp   loop
+done:
+    out   r2
+    store r1, 2, r2
+    halt
+"""
+
+
+def _gcd_inputs(a: int = 252, b: int = 105) -> list[int]:
+    if a <= 0 or b < 0:
+        raise ConfigurationError("gcd needs a > 0, b >= 0")
+    return [a, b]
+
+
+def _gcd_oracle(a: int = 252, b: int = 105) -> list[int]:
+    import math
+
+    return [math.gcd(a, b)]
+
+
+# --------------------------------------------------------------------------
+# primes: count primes below n by trial division (branch heavy)
+# --------------------------------------------------------------------------
+
+_PRIMES_SRC = """
+    loadi r1, 0
+    load  r2, r1, 0    ; n
+    loadi r3, 0        ; count
+    loadi r4, 2        ; candidate
+    loadi r6, 1
+    loadi r11, 0
+cand_loop:
+    bge   r4, r2, done
+    loadi r5, 2        ; divisor
+div_loop:
+    mul   r7, r5, r5
+    blt   r4, r7, is_prime   ; divisor^2 > candidate -> prime
+    mod   r8, r4, r5
+    beq   r8, r11, not_prime
+    add   r5, r5, r6
+    jmp   div_loop
+is_prime:
+    add   r3, r3, r6
+not_prime:
+    add   r4, r4, r6
+    sync
+    jmp   cand_loop
+done:
+    out   r3
+    store r1, 1, r3
+    halt
+"""
+
+
+def _primes_inputs(n: int = 50) -> list[int]:
+    if n < 2:
+        raise ConfigurationError(f"n must be >= 2, got {n}")
+    return [n]
+
+
+def _primes_oracle(n: int = 50) -> list[int]:
+    count = 0
+    for cand in range(2, n):
+        d = 2
+        is_prime = True
+        while d * d <= cand:
+            if cand % d == 0:
+                is_prime = False
+                break
+            d += 1
+        count += is_prime
+    return [count]
+
+
+# --------------------------------------------------------------------------
+# polynomial: Horner evaluation of a polynomial with memory coefficients
+# --------------------------------------------------------------------------
+
+_POLY_SRC = """
+    loadi r1, 0
+    load  r2, r1, 0    ; degree+1 (number of coefficients)
+    load  r3, r1, 1    ; x
+    loadi r4, 0        ; acc
+    loadi r5, 0        ; i
+    loadi r6, 1
+loop:
+    bge   r5, r2, done
+    mul   r4, r4, r3
+    add   r7, r5, r6
+    add   r7, r7, r6   ; coeff address = i + 2
+    load  r8, r7, 0
+    add   r4, r4, r8
+    add   r5, r5, r6
+    sync
+    jmp   loop
+done:
+    out   r4
+    store r1, 1, r4
+    halt
+"""
+
+
+def _poly_inputs(coeffs: Sequence[int] = (2, 0, 1, 5), x: int = 3) -> list[int]:
+    if not coeffs:
+        raise ConfigurationError("need at least one coefficient")
+    return [len(coeffs), x & 0xFFFFFFFF, *[c & 0xFFFFFFFF for c in coeffs]]
+
+
+def _poly_oracle(coeffs: Sequence[int] = (2, 0, 1, 5), x: int = 3) -> list[int]:
+    acc = 0
+    for c in coeffs:
+        acc = (acc * x + c) & 0xFFFFFFFF
+    return [acc]
+
+
+# --------------------------------------------------------------------------
+# matmul: dense n×n matrix multiply (memory + ALU mixed, long rounds)
+# --------------------------------------------------------------------------
+# Memory layout: [n, A (n*n words), B (n*n words), C (n*n words)].
+# One outer round per result row (sync in the i-loop).
+
+_MATMUL_SRC = """
+    loadi r1, 0
+    load  r2, r1, 0    ; n
+    loadi r6, 1
+    mul   r9, r2, r2   ; n*n
+    loadi r3, 0        ; i
+i_loop:
+    bge   r3, r2, done
+    loadi r4, 0        ; j
+j_loop:
+    bge   r4, r2, i_next
+    loadi r7, 0        ; acc
+    loadi r5, 0        ; k
+k_loop:
+    bge   r5, r2, k_done
+    mul   r8, r3, r2
+    add   r8, r8, r5
+    add   r8, r8, r6   ; &A[i][k] = 1 + i*n + k
+    load  r10, r8, 0
+    mul   r8, r5, r2
+    add   r8, r8, r4
+    add   r8, r8, r9
+    add   r8, r8, r6   ; &B[k][j] = 1 + n*n + k*n + j
+    load  r11, r8, 0
+    mul   r10, r10, r11
+    add   r7, r7, r10
+    add   r5, r5, r6
+    jmp   k_loop
+k_done:
+    mul   r8, r3, r2
+    add   r8, r8, r4
+    add   r8, r8, r9
+    add   r8, r8, r9
+    add   r8, r8, r6   ; &C[i][j] = 1 + 2*n*n + i*n + j
+    store r8, 0, r7
+    out   r7
+    add   r4, r4, r6
+    jmp   j_loop
+i_next:
+    add   r3, r3, r6
+    sync
+    jmp   i_loop
+done:
+    halt
+"""
+
+
+def _matmul_inputs(a: Sequence[Sequence[int]] = ((1, 2), (3, 4)),
+                   b: Sequence[Sequence[int]] = ((5, 6), (7, 8))) -> list[int]:
+    n = len(a)
+    if n == 0 or any(len(row) != n for row in a) \
+            or len(b) != n or any(len(row) != n for row in b):
+        raise ConfigurationError("matmul needs two square same-size matrices")
+    flat = [n]
+    for m in (a, b):
+        for row in m:
+            flat.extend(v & 0xFFFFFFFF for v in row)
+    return flat
+
+
+def _matmul_oracle(a: Sequence[Sequence[int]] = ((1, 2), (3, 4)),
+                   b: Sequence[Sequence[int]] = ((5, 6), (7, 8))) -> list[int]:
+    n = len(a)
+    out = []
+    for i in range(n):
+        for j in range(n):
+            acc = 0
+            for k in range(n):
+                acc = (acc + a[i][k] * b[k][j]) & 0xFFFFFFFF
+            out.append(acc)
+    return out
+
+
+# --------------------------------------------------------------------------
+# popcount: total set bits over an input array (bit-twiddling heavy)
+# --------------------------------------------------------------------------
+
+_POPCOUNT_SRC = """
+    loadi r1, 0
+    load  r2, r1, 0    ; length
+    loadi r3, 0        ; total
+    loadi r5, 0        ; i
+    loadi r6, 1
+loop:
+    bge   r5, r2, done
+    add   r7, r5, r6
+    load  r8, r7, 0    ; word
+    loadi r9, 0        ; word's count
+bit_loop:
+    beq   r8, r1, bit_done   ; r1 == 0 here (base pointer reused as zero)
+    and   r10, r8, r6
+    add   r9, r9, r10
+    shr   r8, r8, r6
+    jmp   bit_loop
+bit_done:
+    add   r3, r3, r9
+    add   r5, r5, r6
+    sync
+    jmp   loop
+done:
+    out   r3
+    store r1, 1, r3
+    halt
+"""
+
+
+def _popcount_inputs(data: Sequence[int] = (0xFF, 0x0F0F0F0F, 1, 0)) -> list[int]:
+    return [len(data), *[v & 0xFFFFFFFF for v in data]]
+
+
+def _popcount_oracle(data: Sequence[int] = (0xFF, 0x0F0F0F0F, 1, 0)) -> list[int]:
+    return [sum(bin(v & 0xFFFFFFFF).count("1") for v in data)]
+
+
+# --------------------------------------------------------------------------
+# registry
+# --------------------------------------------------------------------------
+
+PROGRAMS: dict[str, ProgramSpec] = {
+    spec.name: spec
+    for spec in (
+        ProgramSpec("sum_range", "sum of 1..n", _SUM_SRC,
+                    _sum_inputs, _sum_oracle),
+        ProgramSpec("fibonacci", "F(n) mod 2^32", _FIB_SRC,
+                    _fib_inputs, _fib_oracle),
+        ProgramSpec("checksum", "add+xor checksum of an array", _CHECKSUM_SRC,
+                    _checksum_inputs, _checksum_oracle),
+        ProgramSpec("insertion_sort", "in-memory insertion sort", _SORT_SRC,
+                    _sort_inputs, _sort_oracle),
+        ProgramSpec("gcd", "Euclid's gcd", _GCD_SRC, _gcd_inputs, _gcd_oracle),
+        ProgramSpec("primes", "prime counting by trial division", _PRIMES_SRC,
+                    _primes_inputs, _primes_oracle),
+        ProgramSpec("polynomial", "Horner polynomial evaluation", _POLY_SRC,
+                    _poly_inputs, _poly_oracle),
+        ProgramSpec("matmul", "dense n x n matrix multiply", _MATMUL_SRC,
+                    _matmul_inputs, _matmul_oracle),
+        ProgramSpec("popcount", "total set bits over an array",
+                    _POPCOUNT_SRC, _popcount_inputs, _popcount_oracle),
+    )
+}
+
+
+def load_program(name: str, **params) -> tuple[list[Instruction], list[int], ProgramSpec]:
+    """Assemble a library program and build its input image.
+
+    Returns ``(instructions, inputs, spec)``.
+    """
+    spec = PROGRAMS.get(name)
+    if spec is None:
+        raise ConfigurationError(
+            f"unknown program {name!r}; available: {sorted(PROGRAMS)}"
+        )
+    return assemble(spec.source), spec.build_inputs(**params), spec

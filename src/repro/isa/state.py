@@ -1,0 +1,131 @@
+"""Architectural state of the register machine: snapshot, hash, compare.
+
+The VDS compares *states* of two versions at the end of each round (paper
+§3.1).  For diverse versions the raw states differ by construction (diverse
+register allocation, encoded data …), so comparison happens on the
+*canonical* state: the output stream plus a caller-chosen projection of
+memory (the "result" region), after the version's decode step.  Both views
+are provided here:
+
+* :meth:`ArchState.signature` — hash of the full raw state (used for
+  checkpoint integrity),
+* :meth:`ArchState.comparable` — the canonical tuple the VDS comparator
+  votes on.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from typing import Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.isa.instructions import REGISTER_COUNT, WORD_MASK
+
+__all__ = ["ArchState"]
+
+
+@dataclass(frozen=True)
+class ArchState:
+    """An immutable snapshot of machine state.
+
+    Attributes
+    ----------
+    registers:
+        Tuple of 16 words.
+    memory:
+        Word array copy (numpy ``uint32``) of the version's private space.
+    pc:
+        Program counter (absolute instruction index).
+    halted:
+        True if the program executed ``halt``.
+    output:
+        The words emitted by ``out`` so far.
+    instret:
+        Retired-instruction counter (for round accounting).
+    """
+
+    registers: Tuple[int, ...]
+    memory: np.ndarray
+    pc: int
+    halted: bool
+    output: Tuple[int, ...]
+    instret: int = 0
+
+    def __post_init__(self) -> None:
+        if len(self.registers) != REGISTER_COUNT:
+            raise ValueError(
+                f"need {REGISTER_COUNT} registers, got {len(self.registers)}"
+            )
+        mem = np.ascontiguousarray(self.memory, dtype=np.uint32)
+        object.__setattr__(self, "memory", mem)
+        mem.setflags(write=False)
+
+    # -- hashing -------------------------------------------------------------
+    def signature(self) -> str:
+        """SHA-256 over the full raw state (hex digest).
+
+        Used as the checkpoint integrity tag; any single bit flip anywhere
+        in the state changes the signature.
+        """
+        h = hashlib.sha256()
+        h.update(np.asarray(self.registers, dtype=np.uint32).tobytes())
+        h.update(self.memory.tobytes())
+        h.update(self.pc.to_bytes(8, "little"))
+        h.update(b"\x01" if self.halted else b"\x00")
+        h.update(np.asarray(self.output, dtype=np.uint32).tobytes())
+        return h.hexdigest()
+
+    def comparable(self, result_region: Optional[Sequence[int]] = None
+                   ) -> tuple:
+        """The canonical view used for duplex state comparison.
+
+        Parameters
+        ----------
+        result_region:
+            Word addresses of the program's result area.  If ``None``, only
+            the output stream and halt flag are compared (sufficient for
+            the bundled programs, which emit their results with ``out``).
+        """
+        mem_part: Tuple[int, ...] = ()
+        if result_region is not None:
+            mem_part = tuple(int(self.memory[a]) for a in result_region)
+        return (self.output, self.halted, mem_part)
+
+    # -- utilities -----------------------------------------------------------
+    def with_register(self, index: int, value: int) -> "ArchState":
+        """Copy with one register replaced (masked to the word width)."""
+        regs = list(self.registers)
+        regs[index] = value & WORD_MASK
+        return ArchState(tuple(regs), self.memory.copy(), self.pc,
+                         self.halted, self.output, self.instret)
+
+    def with_memory_word(self, address: int, value: int) -> "ArchState":
+        """Copy with one memory word replaced."""
+        mem = self.memory.copy()
+        mem[address] = value & WORD_MASK
+        return ArchState(self.registers, mem, self.pc, self.halted,
+                         self.output, self.instret)
+
+    def diff(self, other: "ArchState") -> dict[str, list]:
+        """Human-readable structural difference (for diagnostics)."""
+        out: dict[str, list] = {"registers": [], "memory": [], "other": []}
+        for i, (a, b) in enumerate(zip(self.registers, other.registers)):
+            if a != b:
+                out["registers"].append((i, a, b))
+        if self.memory.shape == other.memory.shape:
+            for addr in np.nonzero(self.memory != other.memory)[0]:
+                out["memory"].append(
+                    (int(addr), int(self.memory[addr]), int(other.memory[addr]))
+                )
+        else:
+            out["other"].append(("memory-size", len(self.memory),
+                                 len(other.memory)))
+        if self.pc != other.pc:
+            out["other"].append(("pc", self.pc, other.pc))
+        if self.halted != other.halted:
+            out["other"].append(("halted", self.halted, other.halted))
+        if self.output != other.output:
+            out["other"].append(("output", self.output, other.output))
+        return out

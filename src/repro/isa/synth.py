@@ -1,0 +1,182 @@
+"""Synthetic workload generation with a parametrisable instruction mix.
+
+The library programs (:mod:`repro.isa.programs`) cover a handful of fixed
+points in workload space; the paper's α, however, is a property of the
+*mix* of ALU, memory and branch pressure two threads put on the shared
+core.  :func:`synth_workload` generates deterministic loop programs with a
+requested mix so experiments can chart α over the whole space
+(experiment ALPHA-2).
+
+Generated shape: a counted loop of ``rounds`` iterations (one ``sync``
+per iteration), whose body holds ``ops_per_round`` instructions drawn
+from the mix:
+
+* ``alu`` — three-operand ops over a rotating register window (division
+  is excluded — no trap risk),
+* ``mem`` — alternating stores/loads over a private array, address
+  computed from the loop counter (cache-predictable but not constant),
+* ``branch`` — a compare-and-skip diamond whose outcome alternates with
+  the loop parity (taken ~half the time, like real branchy code).
+
+Programs accumulate a checksum in ``r3`` and emit it at the end, so the
+standard oracle machinery (differential execution) applies and the
+generated versions can be used anywhere a library program can.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.isa.instructions import Instruction, Opcode
+
+__all__ = ["SynthWorkload", "synth_workload"]
+
+# Registers: r1 base/zero, r2 loop limit, r3 checksum, r4 loop counter,
+# r5 constant 1, r6..r10 ALU rotation window, r11 scratch address.
+_WINDOW = (6, 7, 8, 9, 10)
+_ALU_OPS = (Opcode.ADD, Opcode.SUB, Opcode.XOR, Opcode.AND, Opcode.OR,
+            Opcode.MUL, Opcode.SHR)
+
+
+@dataclass(frozen=True)
+class SynthWorkload:
+    """A generated workload: program + inputs + provenance."""
+
+    program: tuple[Instruction, ...]
+    inputs: tuple[int, ...]
+    memory_words: int
+    mix: dict[str, float]
+    rounds: int
+    ops_per_round: int
+
+    def machine(self, name: str = "synth"):
+        """A fresh machine loaded with this workload."""
+        from repro.isa.machine import Machine
+
+        return Machine(list(self.program), memory_words=self.memory_words,
+                       inputs=list(self.inputs), name=name)
+
+    def reference_output(self) -> list[int]:
+        """Oracle by (single) reference execution on a pristine machine."""
+        m = self.machine("oracle")
+        m.run_to_halt(step_limit=5_000_000)
+        return list(m.output)
+
+
+def synth_workload(seed: int, rounds: int = 50, ops_per_round: int = 24,
+                   mix: Mapping[str, float] | None = None,
+                   array_words: int = 32) -> SynthWorkload:
+    """Generate a deterministic workload with the given instruction mix.
+
+    Parameters
+    ----------
+    seed:
+        Generation seed (same seed → identical program).
+    rounds:
+        Loop iterations (= VDS rounds; one ``sync`` each).
+    ops_per_round:
+        Body instructions per iteration (excluding loop control).
+    mix:
+        Weights for ``{"alu", "mem", "branch"}`` (normalised; default
+        60/25/15).
+    array_words:
+        Size of the private data array the memory ops walk.
+    """
+    if rounds < 1 or ops_per_round < 1:
+        raise ConfigurationError("rounds and ops_per_round must be >= 1")
+    if array_words < 4:
+        raise ConfigurationError("array_words must be >= 4")
+    weights = dict(mix or {"alu": 0.60, "mem": 0.25, "branch": 0.15})
+    unknown = set(weights) - {"alu", "mem", "branch"}
+    if unknown:
+        raise ConfigurationError(f"unknown mix classes: {sorted(unknown)}")
+    total = sum(weights.values())
+    if total <= 0 or any(w < 0 for w in weights.values()):
+        raise ConfigurationError("mix weights must be >= 0 and not all zero")
+    probs = np.array([weights.get("alu", 0.0), weights.get("mem", 0.0),
+                      weights.get("branch", 0.0)]) / total
+    rng = np.random.default_rng(seed)
+
+    body: list[Instruction] = []
+    win = list(_WINDOW)
+    for k in range(ops_per_round):
+        kind = ("alu", "mem", "branch")[int(rng.choice(3, p=probs))]
+        if kind == "alu":
+            op = _ALU_OPS[int(rng.integers(len(_ALU_OPS)))]
+            rd = win[k % len(win)]
+            ra = win[(k + 1) % len(win)]
+            rb = win[(k + 2) % len(win)]
+            body.append(Instruction(op, (rd, ra, rb)))
+        elif kind == "mem":
+            # r11 <- 1 + (counter + k) mod array_words, then store/load.
+            body.append(Instruction(Opcode.ADD, (11, 4, win[k % len(win)])))
+            body.append(Instruction(Opcode.AND,
+                                    (11, 11, 12)))  # r12 = array mask
+            body.append(Instruction(Opcode.ADD, (11, 11, 5)))
+            if rng.random() < 0.5:
+                body.append(Instruction(Opcode.STORE,
+                                        (11, 0, win[(k + 1) % len(win)])))
+            else:
+                body.append(Instruction(Opcode.LOAD,
+                                        (win[(k + 1) % len(win)], 11, 0)))
+        else:  # branch: skip one add when the counter is even.
+            body.append(Instruction(Opcode.AND, (11, 4, 5)))
+            # placeholder target fixed after assembly below
+            body.append(Instruction(Opcode.BEQ, (11, 1, -1)))
+            body.append(Instruction(Opcode.ADD, (3, 3, 5)))
+        # Fold the window head into the checksum now and then.
+        if k % 4 == 0:
+            body.append(Instruction(Opcode.XOR, (3, 3, win[k % len(win)])))
+
+    # Fix branch targets: each BEQ skips exactly the next instruction.
+    fixed_body: list[Instruction] = []
+    for instr in body:
+        fixed_body.append(instr)
+    # (targets are patched once absolute positions are known, below)
+
+    header = [
+        Instruction(Opcode.LOADI, (1, 0)),            # base/zero
+        Instruction(Opcode.LOADI, (2, rounds)),       # loop limit
+        Instruction(Opcode.LOADI, (3, 0)),            # checksum
+        Instruction(Opcode.LOADI, (4, 0)),            # counter
+        Instruction(Opcode.LOADI, (5, 1)),            # one
+        Instruction(Opcode.LOADI, (12, array_words - 1)),  # address mask
+    ]
+    for reg, value in zip(_WINDOW, (0x1234, 0x77, 0x9E3779B9, 3, 21)):
+        header.append(Instruction(Opcode.LOADI, (reg, value)))
+
+    loop_start = len(header)
+    program: list[Instruction] = list(header)
+    for instr in fixed_body:
+        if instr.op is Opcode.BEQ and instr.args[2] == -1:
+            # Skip the single instruction that follows.
+            program.append(Instruction(Opcode.BEQ,
+                                       (instr.args[0], instr.args[1],
+                                        len(program) + 2)))
+        else:
+            program.append(instr)
+    # Loop control: counter++, sync, loop back while counter < limit.
+    program.append(Instruction(Opcode.ADD, (4, 4, 5)))
+    program.append(Instruction(Opcode.SYNC))
+    program.append(Instruction(Opcode.BLT, (4, 2, loop_start)))
+    program.append(Instruction(Opcode.OUT, (3,)))
+    program.append(Instruction(Opcode.HALT))
+
+    # Memory image: the private array, pre-filled deterministically.  Two
+    # words of slack cover the address range [1, array_words] the body's
+    # masked indexing can reach.
+    inputs = [int(v) for v in
+              rng.integers(0, 2**31, size=array_words + 2, dtype=np.int64)]
+    return SynthWorkload(
+        program=tuple(program),
+        inputs=tuple(inputs),
+        memory_words=max(64, array_words + 8),
+        mix={k: float(v) for k, v in
+             zip(("alu", "mem", "branch"), probs)},
+        rounds=rounds,
+        ops_per_round=ops_per_round,
+    )

@@ -1,0 +1,54 @@
+"""repro.predict — fault predictors for the roll-forward schemes.
+
+The §4 prediction-based scheme needs a guess at which version is faulty;
+§5 proposes improving the guess "using techniques similar to branch
+prediction in microprocessors: we keep a history of faults".  This package
+implements the spectrum:
+
+* :class:`~repro.predict.random_predictor.RandomPredictor` — p = 0.5, the
+  paper's worst case;
+* :class:`~repro.predict.crash_evidence.CrashEvidencePredictor` — exploits
+  hard evidence ("e.g. in the case of a crash fault"), random otherwise;
+* :class:`~repro.predict.history.OneBitPredictor` /
+  :class:`~repro.predict.history.TwoBitPredictor` — last-victim and
+  saturating-counter predictors, direct ports of branch-predictor
+  structures to the fault domain;
+* :class:`~repro.predict.history.FaultHistoryTable` — per-context counters
+  (the "more sophisticated algorithms" §5 allows because "our fault
+  prediction can be done in software as we are operating on much larger
+  time scales");
+* :class:`~repro.predict.bayesian.BayesianPredictor` — a Beta-posterior
+  estimator of the victim bias.
+
+:func:`~repro.predict.evaluation.measure_accuracy` measures the achieved
+``p`` on a fault stream, which plugs straight into
+:func:`repro.core.prediction_scheme_mean_gain` (experiment EXT-2).
+"""
+
+from repro.predict.base import Predictor
+from repro.predict.random_predictor import RandomPredictor
+from repro.predict.crash_evidence import CrashEvidencePredictor
+from repro.predict.history import (
+    OneBitPredictor,
+    TwoBitPredictor,
+    FaultHistoryTable,
+)
+from repro.predict.bayesian import BayesianPredictor
+from repro.predict.pattern import GsharePredictor, TournamentPredictor
+from repro.predict.oracle import OraclePredictor
+from repro.predict.evaluation import measure_accuracy, AccuracyReport
+
+__all__ = [
+    "Predictor",
+    "RandomPredictor",
+    "CrashEvidencePredictor",
+    "OneBitPredictor",
+    "TwoBitPredictor",
+    "FaultHistoryTable",
+    "BayesianPredictor",
+    "GsharePredictor",
+    "TournamentPredictor",
+    "OraclePredictor",
+    "measure_accuracy",
+    "AccuracyReport",
+]

@@ -1,0 +1,42 @@
+"""Predictor interface.
+
+A predictor answers one question at fault-detection time: *which of the
+two active versions is the faulty one?*  After recovery resolves the truth
+(majority vote), :meth:`Predictor.observe` feeds the outcome back — the
+"history of faults" of §5.
+
+The only observable a real system would have at prediction time is the
+crash evidence flag; predictors must not peek at
+:attr:`~repro.vds.faultplan.FaultEvent.victim` unless ``crash`` is set
+(the crash identifies the victim by construction).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # break the predict <-> vds import cycle
+    from repro.vds.faultplan import FaultEvent
+
+__all__ = ["Predictor"]
+
+
+class Predictor(ABC):
+    """Guesses the faulty version; learns from vote outcomes."""
+
+    name: str = "predictor"
+
+    @abstractmethod
+    def predict(self, fault: FaultEvent) -> int:
+        """Return the predicted *faulty* version (1 or 2)."""
+
+    def observe(self, actual_victim: int, fault: FaultEvent) -> None:
+        """Feed back the vote-confirmed victim (default: no learning)."""
+
+    def reset(self) -> None:
+        """Drop learned state (new mission)."""
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<{type(self).__name__} {self.name}>"

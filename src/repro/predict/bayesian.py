@@ -1,0 +1,63 @@
+"""A Beta-posterior victim-bias estimator.
+
+The software time scales of VDS fault prediction permit real inference
+(§5: "we may be able to apply more sophisticated algorithms").  This
+predictor maintains a Beta(a, b) posterior over θ = P(victim = 1) and
+predicts the *maximum a posteriori* victim; with a biased fault source it
+converges to always predicting the dominant victim, achieving
+p → max(θ, 1−θ).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.predict.base import Predictor
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # break the predict <-> vds import cycle
+    from repro.vds.faultplan import FaultEvent
+
+__all__ = ["BayesianPredictor"]
+
+
+class BayesianPredictor(Predictor):
+    """Beta–Bernoulli estimator of the victim distribution."""
+
+    name = "bayesian"
+
+    def __init__(self, rng: np.random.Generator,
+                 prior_a: float = 1.0, prior_b: float = 1.0):
+        if prior_a <= 0 or prior_b <= 0:
+            raise ConfigurationError("Beta prior parameters must be > 0")
+        self.rng = rng
+        self.prior_a = prior_a
+        self.prior_b = prior_b
+        self._a = prior_a
+        self._b = prior_b
+
+    @property
+    def posterior_mean(self) -> float:
+        """E[P(victim = 1)] under the current posterior."""
+        return self._a / (self._a + self._b)
+
+    def predict(self, fault: FaultEvent) -> int:
+        if fault.crash:
+            return fault.victim
+        mean = self.posterior_mean
+        if mean > 0.5:
+            return 1
+        if mean < 0.5:
+            return 2
+        return 1 if self.rng.random() < 0.5 else 2
+
+    def observe(self, actual_victim: int, fault: FaultEvent) -> None:
+        if actual_victim == 1:
+            self._a += 1.0
+        else:
+            self._b += 1.0
+
+    def reset(self) -> None:
+        self._a = self.prior_a
+        self._b = self.prior_b

@@ -1,0 +1,46 @@
+"""Crash-evidence predictor.
+
+§4: "sometimes there is evidence that a particular version is most likely
+to be the faulty one, e.g. in the case of a crash fault."  When the fault
+crashed its victim the OS knows exactly which process died — a guaranteed
+hit; otherwise this predictor delegates (random by default).
+
+With crash fraction ``f`` in the fault stream the achieved accuracy is
+``p = f + (1 − f)·p_fallback``.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.predict.base import Predictor
+from repro.predict.random_predictor import RandomPredictor
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # break the predict <-> vds import cycle
+    from repro.vds.faultplan import FaultEvent
+
+__all__ = ["CrashEvidencePredictor"]
+
+
+class CrashEvidencePredictor(Predictor):
+    """Perfect on crash faults, fallback predictor otherwise."""
+
+    name = "crash-evidence"
+
+    def __init__(self, rng: np.random.Generator,
+                 fallback: Optional[Predictor] = None):
+        self.fallback = fallback or RandomPredictor(rng)
+
+    def predict(self, fault: FaultEvent) -> int:
+        if fault.crash:
+            return fault.victim  # the crashed process is known to the OS
+        return self.fallback.predict(fault)
+
+    def observe(self, actual_victim: int, fault: FaultEvent) -> None:
+        self.fallback.observe(actual_victim, fault)
+
+    def reset(self) -> None:
+        self.fallback.reset()

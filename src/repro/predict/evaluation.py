@@ -1,0 +1,112 @@
+"""Measuring the achieved prediction accuracy ``p`` on a fault stream.
+
+The measured ``p`` is the bridge between the predictor substrate and the
+analytical model: plugging it into Eq. (13)
+(:func:`repro.core.prediction_scheme_mean_gain`) yields the expected
+recovery gain the predictor buys (experiment EXT-2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.predict.base import Predictor
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # break the predict <-> vds import cycle
+    from repro.vds.faultplan import FaultEvent
+
+__all__ = ["AccuracyReport", "measure_accuracy", "synthetic_fault_stream",
+           "patterned_fault_stream"]
+
+
+@dataclass(frozen=True)
+class AccuracyReport:
+    """Prediction accuracy on one fault stream."""
+
+    predictor: str
+    hits: int
+    total: int
+
+    @property
+    def p(self) -> float:
+        """The achieved prediction accuracy (the paper's p)."""
+        return self.hits / self.total if self.total else 0.5
+
+    def wilson_interval(self, z: float = 1.96) -> tuple[float, float]:
+        """Wilson score confidence interval for p."""
+        if self.total == 0:
+            return (0.0, 1.0)
+        n = self.total
+        phat = self.hits / n
+        denom = 1.0 + z * z / n
+        centre = (phat + z * z / (2 * n)) / denom
+        half = z * np.sqrt(phat * (1 - phat) / n + z * z / (4 * n * n)) / denom
+        return (max(0.0, centre - half), min(1.0, centre + half))
+
+
+def synthetic_fault_stream(rng: np.random.Generator, n: int,
+                           victim_bias: float = 0.5,
+                           crash_fraction: float = 0.0) -> list[FaultEvent]:
+    """A stream of fault events with a given victim bias and crash mix."""
+    if n < 1:
+        raise ConfigurationError(f"n must be >= 1, got {n}")
+    if not (0.0 <= victim_bias <= 1.0 and 0.0 <= crash_fraction <= 1.0):
+        raise ConfigurationError("victim_bias and crash_fraction must lie in [0, 1]")
+    from repro.vds.faultplan import FaultEvent  # runtime use; lazy to
+    # avoid the predict <-> vds import cycle
+
+    return [
+        FaultEvent(round=k + 1,
+                   victim=1 if rng.random() < victim_bias else 2,
+                   crash=bool(rng.random() < crash_fraction))
+        for k in range(n)
+    ]
+
+
+def patterned_fault_stream(rng: np.random.Generator, n: int,
+                           pattern: Sequence[int] = (1, 2),
+                           noise: float = 0.05,
+                           crash_fraction: float = 0.0) -> list[FaultEvent]:
+    """A victim stream following a repeating pattern with flip noise.
+
+    Models sequential fault structure (e.g. a thermal cycle alternating
+    which unit is marginal) — static-bias predictors cannot learn it, the
+    pattern predictors (:mod:`repro.predict.pattern`) can.
+    """
+    if n < 1:
+        raise ConfigurationError(f"n must be >= 1, got {n}")
+    if not pattern or any(v not in (1, 2) for v in pattern):
+        raise ConfigurationError("pattern must be a non-empty 1/2 sequence")
+    if not (0.0 <= noise <= 1.0 and 0.0 <= crash_fraction <= 1.0):
+        raise ConfigurationError("noise and crash_fraction must lie in [0, 1]")
+    from repro.vds.faultplan import FaultEvent  # lazy: see above
+
+    out = []
+    for k in range(n):
+        victim = pattern[k % len(pattern)]
+        if rng.random() < noise:
+            victim = 2 if victim == 1 else 1
+        out.append(FaultEvent(round=k + 1, victim=victim,
+                              crash=bool(rng.random() < crash_fraction)))
+    return out
+
+
+def measure_accuracy(predictor: Predictor,
+                     stream: Sequence[FaultEvent]) -> AccuracyReport:
+    """Run the predict → resolve → observe loop over a fault stream.
+
+    The predictor sees each event (with only its legitimate observables),
+    predicts, is scored against the true victim, then receives the truth —
+    the same order of events as in a real recovery.
+    """
+    hits = 0
+    for fault in stream:
+        guess = predictor.predict(fault)
+        hits += guess == fault.victim
+        predictor.observe(fault.victim, fault)
+    return AccuracyReport(predictor.name, hits, len(stream))

@@ -1,0 +1,135 @@
+"""History-based fault predictors — branch-predictor structures in software.
+
+§5: "The prediction probability p could be further improved using
+techniques similar to branch prediction in microprocessors: we keep a
+history of faults. … If a particular part of the hardware is more likely
+to be affected by faults of this kind due to process variations, this can
+be detected."
+
+A biased victim distribution (one version exercises the weak hardware part
+more) is the signal these predictors extract:
+
+* :class:`OneBitPredictor` — predict the last confirmed victim;
+* :class:`TwoBitPredictor` — 2-bit saturating counter (hysteresis against
+  single outliers, exactly like the classic Smith branch predictor);
+* :class:`FaultHistoryTable` — per-context saturating counters indexed by
+  a caller-supplied context key (e.g. fault kind or interval phase),
+  the "more sophisticated algorithms" §5 anticipates.
+
+All honour crash evidence first — it is free and exact.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.predict.base import Predictor
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # break the predict <-> vds import cycle
+    from repro.vds.faultplan import FaultEvent
+
+__all__ = ["OneBitPredictor", "TwoBitPredictor", "FaultHistoryTable"]
+
+
+class OneBitPredictor(Predictor):
+    """Predicts the victim of the most recent confirmed fault."""
+
+    name = "one-bit"
+
+    def __init__(self, rng: np.random.Generator, initial: int = 1):
+        if initial not in (1, 2):
+            raise ConfigurationError("initial prediction must be 1 or 2")
+        self.rng = rng
+        self._initial = initial
+        self._last: Optional[int] = None
+
+    def predict(self, fault: FaultEvent) -> int:
+        if fault.crash:
+            return fault.victim
+        return self._last if self._last is not None else self._initial
+
+    def observe(self, actual_victim: int, fault: FaultEvent) -> None:
+        self._last = actual_victim
+
+    def reset(self) -> None:
+        self._last = None
+
+
+class _SaturatingCounter:
+    """A 2-bit saturating counter over {strong-1, weak-1, weak-2, strong-2}."""
+
+    __slots__ = ("value",)
+
+    def __init__(self, value: int = 1):
+        # 0,1 predict version 1; 2,3 predict version 2.
+        self.value = value
+
+    def predict(self) -> int:
+        return 1 if self.value <= 1 else 2
+
+    def update(self, victim: int) -> None:
+        if victim == 1:
+            self.value = max(0, self.value - 1)
+        else:
+            self.value = min(3, self.value + 1)
+
+
+class TwoBitPredictor(Predictor):
+    """Classic 2-bit saturating counter over the victim stream."""
+
+    name = "two-bit"
+
+    def __init__(self, rng: np.random.Generator):
+        self.rng = rng
+        self._counter = _SaturatingCounter()
+
+    def predict(self, fault: FaultEvent) -> int:
+        if fault.crash:
+            return fault.victim
+        return self._counter.predict()
+
+    def observe(self, actual_victim: int, fault: FaultEvent) -> None:
+        self._counter.update(actual_victim)
+
+    def reset(self) -> None:
+        self._counter = _SaturatingCounter()
+
+
+class FaultHistoryTable(Predictor):
+    """Per-context 2-bit counters (a pattern-history table for faults).
+
+    ``context_key(fault)`` buckets fault events; each bucket learns its own
+    victim bias.  With the default key (crash flag) the table separates
+    crash-prone from silent fault sources.
+    """
+
+    name = "history-table"
+
+    def __init__(self, rng: np.random.Generator,
+                 context_key: Optional[Callable[[FaultEvent], object]] = None):
+        self.rng = rng
+        self.context_key = context_key or (lambda fault: fault.crash)
+        self._table: dict[object, _SaturatingCounter] = {}
+
+    def _counter(self, fault: FaultEvent) -> _SaturatingCounter:
+        key = self.context_key(fault)
+        counter = self._table.get(key)
+        if counter is None:
+            counter = _SaturatingCounter()
+            self._table[key] = counter
+        return counter
+
+    def predict(self, fault: FaultEvent) -> int:
+        if fault.crash:
+            return fault.victim
+        return self._counter(fault).predict()
+
+    def observe(self, actual_victim: int, fault: FaultEvent) -> None:
+        self._counter(fault).update(actual_victim)
+
+    def reset(self) -> None:
+        self._table.clear()

@@ -1,0 +1,41 @@
+"""Instrumentation predictor with a dialled-in accuracy.
+
+Not a real predictor — it peeks at the fault's true victim, which no
+deployed system could.  It exists so experiments can *set* the paper's p
+exactly (p = 1: always right, p = 0: always wrong, anything between:
+Bernoulli) and measure the recovery behaviour the model predicts for that
+p (experiments VAL-1, EXT-1).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.predict.base import Predictor
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # break the predict <-> vds import cycle
+    from repro.vds.faultplan import FaultEvent
+
+__all__ = ["OraclePredictor"]
+
+
+class OraclePredictor(Predictor):
+    """Predicts the true victim with a configured probability."""
+
+    name = "oracle"
+
+    def __init__(self, rng: np.random.Generator, accuracy: float = 1.0):
+        if not (0.0 <= accuracy <= 1.0):
+            raise ConfigurationError(
+                f"accuracy must lie in [0, 1], got {accuracy!r}"
+            )
+        self.rng = rng
+        self.accuracy = accuracy
+
+    def predict(self, fault: FaultEvent) -> int:
+        correct = self.accuracy >= 1.0 or self.rng.random() < self.accuracy
+        if correct:
+            return fault.victim
+        return 2 if fault.victim == 1 else 1

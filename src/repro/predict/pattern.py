@@ -1,0 +1,124 @@
+"""Pattern-capable predictors: gshare and a tournament chooser.
+
+The counter/Bayesian predictors of :mod:`repro.predict.history` learn a
+*static* victim bias; they are blind to *sequential* structure (e.g. a
+thermal cycle alternating which unit is marginal, producing an alternating
+victim stream).  Branch prediction solved the same problem with history
+patterns:
+
+* :class:`GsharePredictor` — a global history register of the last ``h``
+  victims indexes a table of 2-bit saturating counters (the gshare/GAp
+  family, applied to faults as §5 suggests);
+* :class:`TournamentPredictor` — a 2-bit chooser per history pattern picks
+  between two component predictors, learning which one is right *when*
+  (the Alpha 21264 structure).
+
+Both honour crash evidence first, like every predictor here.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.predict.base import Predictor
+from repro.predict.history import TwoBitPredictor, _SaturatingCounter
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # break the predict <-> vds import cycle
+    from repro.vds.faultplan import FaultEvent
+
+__all__ = ["GsharePredictor", "TournamentPredictor"]
+
+
+class GsharePredictor(Predictor):
+    """Global-victim-history indexed pattern table of 2-bit counters."""
+
+    name = "gshare"
+
+    def __init__(self, rng: np.random.Generator, history_bits: int = 4):
+        if not (1 <= history_bits <= 16):
+            raise ConfigurationError("history_bits must lie in [1, 16]")
+        self.rng = rng
+        self.history_bits = history_bits
+        self._mask = (1 << history_bits) - 1
+        self._history = 0        # bit k: victim of the k-th last fault − 1
+        self._table: dict[int, _SaturatingCounter] = {}
+
+    def _counter(self) -> _SaturatingCounter:
+        counter = self._table.get(self._history)
+        if counter is None:
+            counter = _SaturatingCounter()
+            self._table[self._history] = counter
+        return counter
+
+    def predict(self, fault: FaultEvent) -> int:
+        if fault.crash:
+            return fault.victim
+        return self._counter().predict()
+
+    def observe(self, actual_victim: int, fault: FaultEvent) -> None:
+        self._counter().update(actual_victim)
+        self._history = ((self._history << 1) | (actual_victim - 1)) \
+            & self._mask
+
+    def reset(self) -> None:
+        self._history = 0
+        self._table.clear()
+
+
+class TournamentPredictor(Predictor):
+    """Per-history chooser between a bias learner and a pattern learner.
+
+    Defaults: component A = :class:`TwoBitPredictor` (bias), component B =
+    :class:`GsharePredictor` (patterns).  The chooser counter moves toward
+    the component that was correct on each resolved fault; ties leave it
+    unchanged.
+    """
+
+    name = "tournament"
+
+    def __init__(self, rng: np.random.Generator,
+                 component_a: Optional[Predictor] = None,
+                 component_b: Optional[Predictor] = None,
+                 history_bits: int = 4):
+        self.rng = rng
+        self.a = component_a or TwoBitPredictor(rng)
+        self.b = component_b or GsharePredictor(rng, history_bits)
+        self._history = 0
+        self._mask = (1 << history_bits) - 1
+        self._choosers: dict[int, _SaturatingCounter] = {}
+
+    def _chooser(self) -> _SaturatingCounter:
+        c = self._choosers.get(self._history)
+        if c is None:
+            c = _SaturatingCounter()
+            self._choosers[self._history] = c
+        return c
+
+    def predict(self, fault: FaultEvent) -> int:
+        if fault.crash:
+            return fault.victim
+        pick_a = self._chooser().predict() == 1
+        return (self.a if pick_a else self.b).predict(fault)
+
+    def observe(self, actual_victim: int, fault: FaultEvent) -> None:
+        guess_a = self.a.predict(fault)
+        guess_b = self.b.predict(fault)
+        chooser = self._chooser()
+        if guess_a != guess_b:
+            # Train the chooser toward whichever component was right:
+            # "victim 1" == prefer A, "victim 2" == prefer B.
+            chooser.update(1 if guess_a == actual_victim else 2)
+        self.a.observe(actual_victim, fault)
+        self.b.observe(actual_victim, fault)
+        self._history = ((self._history << 1) | (actual_victim - 1)) \
+            & self._mask
+
+    def reset(self) -> None:
+        self.a.reset()
+        self.b.reset()
+        self._history = 0
+        self._choosers.clear()

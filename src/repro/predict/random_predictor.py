@@ -1,0 +1,30 @@
+"""The paper's baseline: a random guess, p = 0.5.
+
+"Our choice can be random, so that the probability to choose the correct
+version is 0.5" (§3.2); Figure 4 uses this as the worst case since "we do
+not expect any strategy to be worse than a random choice".
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.predict.base import Predictor
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # break the predict <-> vds import cycle
+    from repro.vds.faultplan import FaultEvent
+
+__all__ = ["RandomPredictor"]
+
+
+class RandomPredictor(Predictor):
+    """Uniformly random victim guess."""
+
+    name = "random"
+
+    def __init__(self, rng: np.random.Generator):
+        self.rng = rng
+
+    def predict(self, fault: FaultEvent) -> int:
+        return 1 if self.rng.random() < 0.5 else 2

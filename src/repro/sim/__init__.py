@@ -1,0 +1,52 @@
+"""repro.sim — a from-scratch discrete-event simulation (DES) engine.
+
+The VDS runtime (:mod:`repro.vds`) and the SMT processor simulator
+(:mod:`repro.smt`) are built on this engine.  It follows the classic
+event-queue + generator-based-process design (the same programming model as
+SimPy, which is not available in this offline environment):
+
+* :class:`Simulator` owns the virtual clock and the event queue.
+* :class:`Event` is a one-shot occurrence with callbacks and a value.
+* :class:`Process` wraps a Python generator; the generator ``yield``\\ s
+  events (e.g. :meth:`Simulator.timeout`) and is resumed when they fire.
+* :class:`Resource` / :class:`Store` provide queued mutual exclusion and
+  producer/consumer channels.
+* :class:`~repro.sim.trace.TraceRecorder` records timestamped events and can
+  reconstruct Gantt-style timelines (used to regenerate the paper's Fig. 1).
+* :mod:`repro.sim.rng` provides named, reproducible random substreams.
+
+Example
+-------
+>>> from repro.sim import Simulator
+>>> sim = Simulator()
+>>> log = []
+>>> def proc(sim):
+...     yield sim.timeout(2.0)
+...     log.append(sim.now)
+>>> _ = sim.process(proc(sim))
+>>> sim.run()
+>>> log
+[2.0]
+"""
+
+from repro.sim.engine import Simulator, Event, EventStatus, Interrupt
+from repro.sim.process import Process, ProcessKilled
+from repro.sim.resources import Resource, PriorityResource, Store
+from repro.sim.trace import TraceRecorder, TraceEntry, GanttSegment
+from repro.sim.rng import RandomStreams
+
+__all__ = [
+    "Simulator",
+    "Event",
+    "EventStatus",
+    "Interrupt",
+    "Process",
+    "ProcessKilled",
+    "Resource",
+    "PriorityResource",
+    "Store",
+    "TraceRecorder",
+    "TraceEntry",
+    "GanttSegment",
+    "RandomStreams",
+]

@@ -1,0 +1,314 @@
+"""Core of the discrete-event engine: virtual clock, event queue, events.
+
+Design notes
+------------
+The engine is a single-threaded event loop over a binary heap keyed by
+``(time, priority, sequence)``.  The sequence number makes the ordering of
+simultaneous events deterministic (FIFO within equal time/priority), which is
+essential for reproducible VDS traces: the paper's timelines (Fig. 1) contain
+many back-to-back zero-length orderings (end-of-round → comparison →
+checkpoint) whose relative order must be stable across runs.
+
+Priorities: lower fires first.  :data:`URGENT` is used internally for
+process resumption so that a process resumed at time ``T`` runs before
+ordinary events scheduled at ``T``.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from enum import Enum
+from typing import Any, Callable, Iterable, Optional
+
+from repro.errors import SimulationError
+
+#: Priority for ordinary events.
+NORMAL = 1
+#: Priority for events that must fire before ordinary same-time events.
+URGENT = 0
+
+__all__ = ["Simulator", "Event", "EventStatus", "Interrupt", "NORMAL", "URGENT"]
+
+
+class EventStatus(Enum):
+    """Lifecycle of an :class:`Event`."""
+
+    PENDING = "pending"       #: created, not yet scheduled to fire
+    SCHEDULED = "scheduled"   #: in the queue with a fire time
+    SUCCEEDED = "succeeded"   #: fired with a value
+    FAILED = "failed"         #: fired with an exception
+
+
+class Event:
+    """A one-shot occurrence in virtual time.
+
+    Events carry a *value* (on success) or an *exception* (on failure) and a
+    list of callbacks invoked when the event fires.  Processes waiting on an
+    event are resumed through such a callback.
+    """
+
+    __slots__ = ("sim", "name", "_status", "_value", "_callbacks", "_defused")
+
+    def __init__(self, sim: "Simulator", name: str = ""):
+        self.sim = sim
+        self.name = name
+        self._status = EventStatus.PENDING
+        self._value: Any = None
+        self._callbacks: list[Callable[[Event], None]] = []
+        self._defused = False
+
+    # -- introspection ----------------------------------------------------
+    @property
+    def status(self) -> EventStatus:
+        return self._status
+
+    @property
+    def triggered(self) -> bool:
+        """True once the event has fired (successfully or not)."""
+        return self._status in (EventStatus.SUCCEEDED, EventStatus.FAILED)
+
+    @property
+    def ok(self) -> bool:
+        return self._status is EventStatus.SUCCEEDED
+
+    @property
+    def value(self) -> Any:
+        """The event's value; raises if the event failed or is pending."""
+        if self._status is EventStatus.SUCCEEDED:
+            return self._value
+        if self._status is EventStatus.FAILED:
+            raise self._value
+        raise SimulationError(f"value of {self!r} not yet available")
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        label = self.name or self.__class__.__name__
+        return f"<Event {label} {self._status.value}>"
+
+    # -- wiring ------------------------------------------------------------
+    def add_callback(self, fn: Callable[["Event"], None]) -> None:
+        """Register ``fn(event)``; called immediately if already fired."""
+        if self.triggered:
+            fn(self)
+        else:
+            self._callbacks.append(fn)
+
+    def remove_callback(self, fn: Callable[["Event"], None]) -> None:
+        """Remove a previously registered callback (no-op if absent)."""
+        try:
+            self._callbacks.remove(fn)
+        except ValueError:
+            pass
+
+    # -- triggering ---------------------------------------------------------
+    def succeed(self, value: Any = None, delay: float = 0.0) -> "Event":
+        """Schedule this event to fire successfully after ``delay``."""
+        self._pre_trigger()
+        self._value = value
+        self._status = EventStatus.SCHEDULED
+        self.sim._schedule(self, delay, NORMAL, ok=True)
+        return self
+
+    def fail(self, exc: BaseException, delay: float = 0.0) -> "Event":
+        """Schedule this event to fire with exception ``exc``."""
+        if not isinstance(exc, BaseException):
+            raise TypeError(f"fail() needs an exception, got {exc!r}")
+        self._pre_trigger()
+        self._value = exc
+        self._status = EventStatus.SCHEDULED
+        self.sim._schedule(self, delay, NORMAL, ok=False)
+        return self
+
+    def defuse(self) -> None:
+        """Mark a failed event as handled so it does not crash the run."""
+        self._defused = True
+
+    def _pre_trigger(self) -> None:
+        if self._status is not EventStatus.PENDING:
+            raise SimulationError(f"{self!r} already triggered/scheduled")
+
+    def _fire(self, ok: bool) -> None:
+        self._status = EventStatus.SUCCEEDED if ok else EventStatus.FAILED
+        callbacks, self._callbacks = self._callbacks, []
+        for fn in callbacks:
+            fn(self)
+        if not ok and not self._defused and not callbacks:
+            # Nobody is listening to this failure: surface it.
+            raise self._value
+
+
+class Timeout(Event):
+    """An event that fires automatically after a fixed delay."""
+
+    __slots__ = ()
+
+    def __init__(self, sim: "Simulator", delay: float, value: Any = None,
+                 name: str = ""):
+        if delay < 0:
+            raise SimulationError(f"negative timeout delay {delay!r}")
+        super().__init__(sim, name or f"timeout({delay:g})")
+        self._value = value
+        self._status = EventStatus.SCHEDULED
+        sim._schedule(self, delay, NORMAL, ok=True)
+
+
+class AllOf(Event):
+    """Fires when all child events have succeeded; value = list of values.
+
+    Fails as soon as any child fails (children's failures are defused so
+    they are reported exactly once, through this event).
+    """
+
+    __slots__ = ("_children", "_remaining")
+
+    def __init__(self, sim: "Simulator", events: Iterable[Event]):
+        super().__init__(sim, "all_of")
+        self._children = list(events)
+        self._remaining = len(self._children)
+        if self._remaining == 0:
+            self.succeed([])
+            return
+        for ev in self._children:
+            ev.add_callback(self._on_child)
+
+    def _on_child(self, ev: Event) -> None:
+        if self.triggered or self._status is EventStatus.SCHEDULED:
+            return
+        if not ev.ok:
+            ev.defuse()
+            self.fail(ev._value)
+            return
+        self._remaining -= 1
+        if self._remaining == 0:
+            self.succeed([c._value for c in self._children])
+
+
+class AnyOf(Event):
+    """Fires when the first child event fires; value = (index, value)."""
+
+    __slots__ = ("_children",)
+
+    def __init__(self, sim: "Simulator", events: Iterable[Event]):
+        super().__init__(sim, "any_of")
+        self._children = list(events)
+        if not self._children:
+            raise SimulationError("AnyOf needs at least one event")
+        for ev in self._children:
+            ev.add_callback(self._on_child)
+
+    def _on_child(self, ev: Event) -> None:
+        if self.triggered or self._status is EventStatus.SCHEDULED:
+            return
+        idx = self._children.index(ev)
+        if ev.ok:
+            self.succeed((idx, ev._value))
+        else:
+            ev.defuse()
+            self.fail(ev._value)
+
+
+class Interrupt(Exception):
+    """Thrown *into* a process by :meth:`repro.sim.process.Process.interrupt`.
+
+    The VDS fault injector uses interrupts to model a fault striking a
+    version mid-round (paper §2.1: "a fault is able to stop a version").
+    """
+
+    def __init__(self, cause: Any = None):
+        super().__init__(cause)
+        self.cause = cause
+
+
+class Simulator:
+    """Virtual clock + event queue; the hub every model component shares."""
+
+    def __init__(self, start_time: float = 0.0):
+        self._now = float(start_time)
+        self._queue: list[tuple[float, int, int, bool, Event]] = []
+        self._seq = itertools.count()
+        self._active_process = None  # set by Process while running
+
+    # -- clock ---------------------------------------------------------------
+    @property
+    def now(self) -> float:
+        """Current virtual time."""
+        return self._now
+
+    # -- event factories -------------------------------------------------
+    def event(self, name: str = "") -> Event:
+        """A fresh pending event, to be triggered manually."""
+        return Event(self, name)
+
+    def timeout(self, delay: float, value: Any = None, name: str = "") -> Timeout:
+        """An event firing ``delay`` time units from now."""
+        return Timeout(self, delay, value, name)
+
+    def all_of(self, events: Iterable[Event]) -> AllOf:
+        return AllOf(self, events)
+
+    def any_of(self, events: Iterable[Event]) -> AnyOf:
+        return AnyOf(self, events)
+
+    def process(self, generator, name: str = ""):
+        """Spawn a :class:`~repro.sim.process.Process` from a generator."""
+        from repro.sim.process import Process
+
+        return Process(self, generator, name=name)
+
+    # -- scheduling ---------------------------------------------------------
+    def _schedule(self, event: Event, delay: float, priority: int, *,
+                  ok: bool) -> None:
+        if delay < 0:
+            raise SimulationError(f"cannot schedule into the past: {delay!r}")
+        heapq.heappush(
+            self._queue, (self._now + delay, priority, next(self._seq), ok, event)
+        )
+
+    def _schedule_urgent(self, event: Event, *, ok: bool) -> None:
+        heapq.heappush(
+            self._queue, (self._now, URGENT, next(self._seq), ok, event)
+        )
+
+    # -- main loop ---------------------------------------------------------
+    def peek(self) -> float:
+        """Time of the next event, or ``inf`` if the queue is empty."""
+        return self._queue[0][0] if self._queue else float("inf")
+
+    def step(self) -> None:
+        """Process exactly one event."""
+        if not self._queue:
+            raise SimulationError("step() on an empty event queue")
+        when, _prio, _seq, ok, event = heapq.heappop(self._queue)
+        if when < self._now:  # pragma: no cover - guarded by _schedule
+            raise SimulationError("event queue corrupted: time went backwards")
+        self._now = when
+        event._fire(ok)
+
+    def run(self, until: Optional[float] = None) -> None:
+        """Run until the queue drains or the clock reaches ``until``.
+
+        When ``until`` is given the clock is advanced to exactly ``until``
+        even if no event fires there.
+        """
+        if until is not None and until < self._now:
+            raise SimulationError(
+                f"run(until={until!r}) is in the past (now={self._now!r})"
+            )
+        while self._queue:
+            if until is not None and self._queue[0][0] > until:
+                break
+            self.step()
+        if until is not None:
+            self._now = max(self._now, until)
+
+    def run_until_event(self, event: Event) -> Any:
+        """Run until ``event`` fires; returns its value."""
+        while not event.triggered:
+            if not self._queue:
+                from repro.errors import DeadlockError
+
+                raise DeadlockError(
+                    f"queue drained before {event!r} fired"
+                )
+            self.step()
+        return event.value

@@ -1,0 +1,147 @@
+"""Generator-based simulation processes.
+
+A process wraps a Python generator.  The generator ``yield``\\ s
+:class:`~repro.sim.engine.Event` objects; the process sleeps until the
+yielded event fires and is then resumed with the event's value (or, if the
+event failed, the exception is thrown into the generator).
+
+A :class:`Process` is itself an event: it fires when the generator returns
+(value = the generator's return value) or raises.  This lets processes wait
+for each other (fork/join), which the VDS controller uses to join the two
+version threads at a comparison barrier.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator, Optional
+
+from repro.errors import SimulationError
+from repro.sim.engine import Event, EventStatus, Interrupt, Simulator
+
+__all__ = ["Process", "ProcessKilled"]
+
+
+class ProcessKilled(Exception):
+    """Raised inside a process that was killed via :meth:`Process.kill`."""
+
+
+class Process(Event):
+    """A running generator inside the simulation.
+
+    Parameters
+    ----------
+    sim:
+        Owning simulator.
+    generator:
+        A generator yielding events.
+    name:
+        Optional label used in traces and error messages.
+    """
+
+    __slots__ = ("_generator", "_waiting_on", "_started")
+
+    def __init__(self, sim: Simulator, generator: Generator, name: str = ""):
+        if not hasattr(generator, "send") or not hasattr(generator, "throw"):
+            raise SimulationError(
+                f"process body must be a generator, got {type(generator).__name__}"
+            )
+        super().__init__(sim, name or getattr(generator, "__name__", "process"))
+        self._generator = generator
+        self._waiting_on: Optional[Event] = None
+        self._started = False
+        # Kick off the generator as an urgent event at the current time.
+        boot = Event(sim, f"{self.name}.boot")
+        boot._value = None
+        boot._status = EventStatus.SCHEDULED
+        sim._schedule_urgent(boot, ok=True)
+        boot.add_callback(self._resume)
+
+    # -- introspection ----------------------------------------------------
+    @property
+    def is_alive(self) -> bool:
+        """True while the generator has not finished."""
+        return not self.triggered and self._status is not EventStatus.SCHEDULED
+
+    @property
+    def waiting_on(self) -> Optional[Event]:
+        """The event this process currently sleeps on (None if running/done)."""
+        return self._waiting_on
+
+    # -- control ------------------------------------------------------------
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw :class:`Interrupt` into the process at the current time.
+
+        The process stops waiting on its current event and receives the
+        interrupt at its ``yield`` statement.  Used by the fault injector to
+        strike a version mid-round.
+        """
+        if self.triggered or self._status is EventStatus.SCHEDULED:
+            raise SimulationError(f"cannot interrupt finished {self!r}")
+        if self._waiting_on is None and not self._started:
+            raise SimulationError(f"cannot interrupt unstarted {self!r}")
+        target = self._waiting_on
+        if target is not None:
+            target.remove_callback(self._resume)
+            self._waiting_on = None
+        kick = Event(self.sim, f"{self.name}.interrupt")
+        kick._value = Interrupt(cause)
+        kick._status = EventStatus.SCHEDULED
+        self.sim._schedule_urgent(kick, ok=False)
+        kick.defuse()
+        kick.add_callback(self._resume)
+
+    def kill(self) -> None:
+        """Terminate the process; it fires as *failed* with ProcessKilled.
+
+        Downstream waiters must defuse/handle the failure.  Models the
+        paper's "a fault is able to stop a version and also to stop the
+        entire processor including all versions" (§2.1).
+        """
+        if self.triggered or self._status is EventStatus.SCHEDULED:
+            return
+        if self._waiting_on is not None:
+            self._waiting_on.remove_callback(self._resume)
+            self._waiting_on = None
+        self._generator.close()
+        self.fail(ProcessKilled(self.name))
+        self._defused = True
+
+    # -- engine callback ---------------------------------------------------
+    def _resume(self, event: Event) -> None:
+        self._started = True
+        self._waiting_on = None
+        prev = self.sim._active_process
+        self.sim._active_process = self
+        try:
+            if event.ok:
+                target = self._generator.send(event._value)
+            elif isinstance(event._value, Interrupt):
+                target = self._generator.throw(event._value)
+            else:
+                event.defuse()
+                target = self._generator.throw(event._value)
+        except StopIteration as stop:
+            self.succeed(stop.value)
+            return
+        except BaseException as exc:
+            if isinstance(exc, (KeyboardInterrupt, SystemExit)):  # pragma: no cover
+                raise
+            self.fail(exc)
+            return
+        finally:
+            self.sim._active_process = prev
+
+        if not isinstance(target, Event):
+            self._generator.close()
+            self.fail(
+                SimulationError(
+                    f"process {self.name!r} yielded non-event {target!r}"
+                )
+            )
+            return
+        if target is self:
+            self._generator.close()
+            self.fail(SimulationError(f"process {self.name!r} waits on itself"))
+            return
+        self._waiting_on = target
+        target.add_callback(self._resume)

@@ -1,0 +1,182 @@
+"""Queued resources for the DES engine.
+
+:class:`Resource`
+    Classic counted resource with FIFO queueing.  The conventional
+    processor in :mod:`repro.smt` is a ``Resource(capacity=1)``: only one
+    version runs at a time, which is exactly the time-shared execution of
+    the paper's Fig. 1(a).
+
+:class:`PriorityResource`
+    Like :class:`Resource` but requests carry a priority (lower = sooner).
+    Used by the OS-level scheduler to favour the retry thread during
+    recovery.
+
+:class:`Store`
+    An unbounded FIFO channel of Python objects; producers ``put``,
+    consumers ``get``.  Used for checkpoint-write queues.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from collections import deque
+from typing import Any, Optional
+
+from repro.errors import SimulationError
+from repro.sim.engine import Event, Simulator
+
+__all__ = ["Resource", "PriorityResource", "Store"]
+
+
+class _Request(Event):
+    """Event that fires when the resource grant happens."""
+
+    __slots__ = ("resource", "priority")
+
+    def __init__(self, sim: Simulator, resource: "Resource", priority: int = 0):
+        super().__init__(sim, f"request({resource.name})")
+        self.resource = resource
+        self.priority = priority
+
+    # Context-manager sugar: ``with res.request() as req: yield req``
+    def __enter__(self) -> "_Request":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.resource.release(self)
+
+
+class Resource:
+    """A counted resource with FIFO waiters.
+
+    Parameters
+    ----------
+    sim:
+        Owning simulator.
+    capacity:
+        Number of simultaneous holders (≥ 1).
+    name:
+        Label for traces/debugging.
+    """
+
+    def __init__(self, sim: Simulator, capacity: int = 1, name: str = "resource"):
+        if capacity < 1:
+            raise SimulationError(f"capacity must be >= 1, got {capacity}")
+        self.sim = sim
+        self.capacity = capacity
+        self.name = name
+        self._holders: set[_Request] = set()
+        self._waiters: deque[_Request] = deque()
+
+    # -- introspection ----------------------------------------------------
+    @property
+    def count(self) -> int:
+        """Number of current holders."""
+        return len(self._holders)
+
+    @property
+    def queue_length(self) -> int:
+        return len(self._waiters)
+
+    # -- protocol -----------------------------------------------------------
+    def request(self, priority: int = 0) -> _Request:
+        """Return an event that fires once the resource is granted."""
+        req = _Request(self.sim, self, priority)
+        self._enqueue(req)
+        self._grant()
+        return req
+
+    def release(self, request: _Request) -> None:
+        """Release a granted request (or cancel a still-waiting one)."""
+        if request in self._holders:
+            self._holders.discard(request)
+            self._grant()
+        else:
+            try:
+                self._waiters.remove(request)
+            except ValueError:
+                raise SimulationError(
+                    f"release of unknown request on {self.name!r}"
+                ) from None
+
+    # -- internals ---------------------------------------------------------
+    def _enqueue(self, req: _Request) -> None:
+        self._waiters.append(req)
+
+    def _next_waiter(self) -> Optional[_Request]:
+        return self._waiters.popleft() if self._waiters else None
+
+    def _grant(self) -> None:
+        while len(self._holders) < self.capacity:
+            req = self._next_waiter()
+            if req is None:
+                return
+            self._holders.add(req)
+            req.succeed(req)
+
+
+class PriorityResource(Resource):
+    """Resource whose waiters are ordered by (priority, arrival)."""
+
+    def __init__(self, sim: Simulator, capacity: int = 1,
+                 name: str = "priority-resource"):
+        super().__init__(sim, capacity, name)
+        self._heap: list[tuple[int, int, _Request]] = []
+        self._arrival = itertools.count()
+
+    @property
+    def queue_length(self) -> int:
+        return len(self._heap)
+
+    def _enqueue(self, req: _Request) -> None:
+        heapq.heappush(self._heap, (req.priority, next(self._arrival), req))
+
+    def _next_waiter(self) -> Optional[_Request]:
+        if not self._heap:
+            return None
+        return heapq.heappop(self._heap)[2]
+
+    def release(self, request: _Request) -> None:
+        if request in self._holders:
+            self._holders.discard(request)
+            self._grant()
+        else:
+            for i, (_p, _a, r) in enumerate(self._heap):
+                if r is request:
+                    self._heap.pop(i)
+                    heapq.heapify(self._heap)
+                    return
+            raise SimulationError(
+                f"release of unknown request on {self.name!r}"
+            )
+
+
+class Store:
+    """Unbounded FIFO object channel with blocking ``get``."""
+
+    def __init__(self, sim: Simulator, name: str = "store"):
+        self.sim = sim
+        self.name = name
+        self._items: deque[Any] = deque()
+        self._getters: deque[Event] = deque()
+
+    @property
+    def size(self) -> int:
+        return len(self._items)
+
+    def put(self, item: Any) -> None:
+        """Deposit ``item``; wakes the oldest waiting getter, if any."""
+        if self._getters:
+            self._getters.popleft().succeed(item)
+        else:
+            self._items.append(item)
+
+    def get(self) -> Event:
+        """Event that fires with the next item (immediately if available)."""
+        ev = Event(self.sim, f"get({self.name})")
+        if self._items:
+            ev.succeed(self._items.popleft())
+        else:
+            self._getters.append(ev)
+        return ev

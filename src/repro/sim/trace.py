@@ -1,0 +1,151 @@
+"""Trace recording and Gantt-timeline reconstruction.
+
+The paper's Fig. 1 shows the execution models of a VDS on a conventional and
+on a multithreaded processor as timelines of *segments* (version rounds,
+context switches, state comparisons, checkpoints, majority votes).  The VDS
+runtime emits point events into a :class:`TraceRecorder`; paired
+``begin``/``end`` events are folded into :class:`GanttSegment` rows so the
+figure can be regenerated as text (see :mod:`repro.analysis.report`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Iterator, Optional
+
+__all__ = ["TraceEntry", "GanttSegment", "TraceRecorder"]
+
+
+@dataclass(frozen=True, slots=True)
+class TraceEntry:
+    """One timestamped event."""
+
+    time: float
+    category: str           #: e.g. ``"round"``, ``"compare"``, ``"switch"``
+    label: str              #: e.g. ``"V1.R3"``
+    lane: str = ""          #: timeline row, e.g. ``"T1"`` (hardware thread 1)
+    phase: str = "begin"    #: ``"begin"`` | ``"end"`` | ``"point"``
+    data: Any = None
+
+
+@dataclass(frozen=True, slots=True)
+class GanttSegment:
+    """A closed interval on one lane of the timeline."""
+
+    lane: str
+    category: str
+    label: str
+    start: float
+    end: float
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+    def overlaps(self, other: "GanttSegment") -> bool:
+        """True if the two segments share a time interval of positive length."""
+        return self.start < other.end and other.start < self.end
+
+
+@dataclass
+class TraceRecorder:
+    """Collects :class:`TraceEntry` rows and builds Gantt timelines."""
+
+    entries: list[TraceEntry] = field(default_factory=list)
+    enabled: bool = True
+
+    # -- recording ---------------------------------------------------------
+    def point(self, time: float, category: str, label: str, lane: str = "",
+              data: Any = None) -> None:
+        """Record an instantaneous event."""
+        if self.enabled:
+            self.entries.append(
+                TraceEntry(time, category, label, lane, "point", data)
+            )
+
+    def begin(self, time: float, category: str, label: str, lane: str = "",
+              data: Any = None) -> None:
+        if self.enabled:
+            self.entries.append(
+                TraceEntry(time, category, label, lane, "begin", data)
+            )
+
+    def end(self, time: float, category: str, label: str, lane: str = "",
+            data: Any = None) -> None:
+        if self.enabled:
+            self.entries.append(
+                TraceEntry(time, category, label, lane, "end", data)
+            )
+
+    def clear(self) -> None:
+        self.entries.clear()
+
+    # -- queries ------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    def __iter__(self) -> Iterator[TraceEntry]:
+        return iter(self.entries)
+
+    def filter(self, category: Optional[str] = None,
+               lane: Optional[str] = None) -> list[TraceEntry]:
+        """Entries matching the given category and/or lane."""
+        out = self.entries
+        if category is not None:
+            out = [e for e in out if e.category == category]
+        if lane is not None:
+            out = [e for e in out if e.lane == lane]
+        return list(out)
+
+    def segments(self, lane: Optional[str] = None) -> list[GanttSegment]:
+        """Fold begin/end pairs into closed segments, ordered by start time.
+
+        Pairing is per ``(lane, category, label)`` and FIFO, so re-entrant
+        labels (the same version re-running a round during recovery) pair
+        correctly.  Unclosed ``begin`` entries are ignored.
+        """
+        open_stack: dict[tuple[str, str, str], list[float]] = {}
+        out: list[GanttSegment] = []
+        for e in self.entries:
+            if lane is not None and e.lane != lane:
+                continue
+            key = (e.lane, e.category, e.label)
+            if e.phase == "begin":
+                open_stack.setdefault(key, []).append(e.time)
+            elif e.phase == "end":
+                starts = open_stack.get(key)
+                if starts:
+                    out.append(
+                        GanttSegment(e.lane, e.category, e.label,
+                                     starts.pop(0), e.time)
+                    )
+        out.sort(key=lambda s: (s.start, s.lane, s.end))
+        return out
+
+    def lanes(self) -> list[str]:
+        """All lane names in first-appearance order."""
+        seen: dict[str, None] = {}
+        for e in self.entries:
+            if e.lane and e.lane not in seen:
+                seen[e.lane] = None
+        return list(seen)
+
+    def total_time(self, category: str, lane: Optional[str] = None) -> float:
+        """Sum of segment durations of one category."""
+        return sum(
+            s.duration for s in self.segments(lane) if s.category == category
+        )
+
+    def makespan(self) -> float:
+        """Latest segment end (0.0 for an empty trace)."""
+        segs = self.segments()
+        return max((s.end for s in segs), default=0.0)
+
+
+def merge_traces(traces: Iterable[TraceRecorder]) -> TraceRecorder:
+    """Merge several recorders into one, sorted by time (stable)."""
+    merged = TraceRecorder()
+    for t in traces:
+        merged.entries.extend(t.entries)
+    merged.entries.sort(key=lambda e: e.time)
+    return merged

@@ -1,0 +1,49 @@
+"""repro.smt — a slot-level simultaneous-multithreaded processor simulator.
+
+The paper abstracts the whole processor into one number: α, the SMT
+efficiency ("one round will now take only time 2·α·t").  This package
+builds the processor underneath that abstraction so α *emerges* instead of
+being assumed:
+
+* :class:`~repro.smt.processor.SMTProcessor` — an in-order, slot-level core:
+  every cycle, up to ``issue_width`` instructions issue across the active
+  hardware threads, competing for ALU ports, the memory port and the branch
+  unit (the classic SMT resource-sharing model of Tullsen/Eggers/Levy,
+  paper ref [11]);
+* :class:`~repro.smt.cache.DirectMappedCache` — a shared data cache; misses
+  block only the issuing thread, which is exactly where SMT latency hiding
+  comes from;
+* :class:`~repro.smt.thread.HardwareThread` — architectural state
+  (a :class:`repro.isa.machine.Machine`) plus pipeline bookkeeping;
+* :class:`~repro.smt.scheduler.TimeSliceScheduler` — the OS view: maps
+  software versions onto hardware threads; on a single-threaded
+  configuration it produces the conventional processor of Fig. 1(a),
+  context switches included;
+* :func:`~repro.smt.contention.measure_alpha` — runs two workloads alone
+  and together and reports the resulting α, validating the paper's
+  α ∈ (½, 1) band and the Pentium-4 operating point α ≈ 0.65 for mixed
+  workloads (experiment VAL-2).
+"""
+
+from repro.smt.processor import SMTProcessor, CoreConfig
+from repro.smt.thread import HardwareThread, ThreadState
+from repro.smt.cache import DirectMappedCache, CacheConfig, CacheStats
+from repro.smt.scheduler import TimeSliceScheduler, ContextSwitchCost
+from repro.smt.contention import measure_alpha, alpha_table, AlphaMeasurement
+from repro.smt.perf_counters import PerfCounters
+
+__all__ = [
+    "SMTProcessor",
+    "CoreConfig",
+    "HardwareThread",
+    "ThreadState",
+    "DirectMappedCache",
+    "CacheConfig",
+    "CacheStats",
+    "TimeSliceScheduler",
+    "ContextSwitchCost",
+    "measure_alpha",
+    "alpha_table",
+    "AlphaMeasurement",
+    "PerfCounters",
+]

@@ -1,0 +1,109 @@
+"""Measuring the paper's α from the slot-level core (experiment VAL-2).
+
+Definition (from Eq. (3)): two threads that each need time ``t`` alone
+finish together in ``2·α·t``.  Generalised to heterogeneous workloads:
+
+    α = T_together / (T_alone(A) + T_alone(B))
+
+α = ½ means perfect overlap; α = 1 means no overlap at all.  Values
+slightly *below* ½ are possible in principle with shared-cache constructive
+interference but do not occur with disjoint accessor spaces.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.errors import ConfigurationError
+from repro.isa.machine import Machine
+from repro.isa.programs import load_program
+from repro.smt.processor import CoreConfig, SMTProcessor
+
+__all__ = ["AlphaMeasurement", "measure_alpha", "measure_alpha_machines",
+           "alpha_table"]
+
+
+@dataclass(frozen=True)
+class AlphaMeasurement:
+    """Result of one α measurement."""
+
+    workload_a: str
+    workload_b: str
+    cycles_alone_a: int
+    cycles_alone_b: int
+    cycles_together: int
+
+    @property
+    def alpha(self) -> float:
+        return self.cycles_together / (self.cycles_alone_a + self.cycles_alone_b)
+
+    @property
+    def speedup(self) -> float:
+        """Throughput gain of SMT over time-sharing (≈ 1/α without c)."""
+        return 1.0 / self.alpha
+
+
+def _machine_for(name: str, **params) -> Machine:
+    prog, inputs, _spec = load_program(name, **params)
+    return Machine(prog, inputs=inputs, name=name)
+
+
+def _run_alone(name: str, config: CoreConfig, **params) -> int:
+    core = SMTProcessor(config)
+    core.load_context(0, _machine_for(name, **params))
+    return core.run_to_halt()
+
+
+def measure_alpha_machines(make_a, make_b,
+                           config: CoreConfig = CoreConfig(),
+                           label_a: str = "a",
+                           label_b: str = "b") -> AlphaMeasurement:
+    """α for arbitrary machine factories (e.g. synthetic workloads).
+
+    ``make_a()``/``make_b()`` must return *fresh* machines each call (the
+    measurement runs each workload alone and then both together).
+    """
+    if config.hardware_threads < 2:
+        raise ConfigurationError("measuring alpha needs >= 2 hardware threads")
+    alone = []
+    for make in (make_a, make_b):
+        core = SMTProcessor(config)
+        core.load_context(0, make())
+        alone.append(core.run_to_halt())
+    core = SMTProcessor(config)
+    core.load_context(0, make_a())
+    core.load_context(1, make_b())
+    together = core.run_to_halt()
+    return AlphaMeasurement(label_a, label_b, alone[0], alone[1], together)
+
+
+def measure_alpha(workload_a: str, workload_b: str,
+                  config: CoreConfig = CoreConfig(),
+                  params_a: dict | None = None,
+                  params_b: dict | None = None) -> AlphaMeasurement:
+    """Run the two workloads alone and together; report α.
+
+    Workload names come from :data:`repro.isa.programs.PROGRAMS`.
+    """
+    if config.hardware_threads < 2:
+        raise ConfigurationError("measuring alpha needs >= 2 hardware threads")
+    params_a = params_a or {}
+    params_b = params_b or {}
+    alone_a = _run_alone(workload_a, config, **params_a)
+    alone_b = _run_alone(workload_b, config, **params_b)
+    core = SMTProcessor(config)
+    core.load_context(0, _machine_for(workload_a, **params_a))
+    core.load_context(1, _machine_for(workload_b, **params_b))
+    together = core.run_to_halt()
+    return AlphaMeasurement(workload_a, workload_b, alone_a, alone_b, together)
+
+
+def alpha_table(workloads: Sequence[str],
+                config: CoreConfig = CoreConfig()) -> list[AlphaMeasurement]:
+    """α for every unordered workload pair (the VAL-2 table)."""
+    out: list[AlphaMeasurement] = []
+    for i, a in enumerate(workloads):
+        for b in workloads[i:]:
+            out.append(measure_alpha(a, b, config))
+    return out

@@ -1,0 +1,41 @@
+"""Per-thread performance counters of the SMT core."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["PerfCounters"]
+
+
+@dataclass
+class PerfCounters:
+    """Counters a real core would expose via PMU registers."""
+
+    cycles: int = 0                 #: core cycles elapsed
+    instructions: dict[int, int] = field(default_factory=dict)
+    issue_stalls: dict[int, int] = field(default_factory=dict)
+    memory_blocks: dict[int, int] = field(default_factory=dict)
+    context_switches: int = 0
+
+    def retire(self, thread: int, n: int = 1) -> None:
+        self.instructions[thread] = self.instructions.get(thread, 0) + n
+
+    def stall(self, thread: int, n: int = 1) -> None:
+        self.issue_stalls[thread] = self.issue_stalls.get(thread, 0) + n
+
+    def block(self, thread: int, n: int) -> None:
+        self.memory_blocks[thread] = self.memory_blocks.get(thread, 0) + n
+
+    def ipc(self, thread: int | None = None) -> float:
+        """Instructions per cycle, per thread or total."""
+        if self.cycles == 0:
+            return 0.0
+        if thread is None:
+            return sum(self.instructions.values()) / self.cycles
+        return self.instructions.get(thread, 0) / self.cycles
+
+    def utilization(self, issue_width: int) -> float:
+        """Fraction of issue slots used."""
+        if self.cycles == 0:
+            return 0.0
+        return sum(self.instructions.values()) / (self.cycles * issue_width)

@@ -1,0 +1,122 @@
+"""OS-level scheduling of software versions onto hardware threads.
+
+Two configurations matter for the paper:
+
+* **Conventional processor** (Fig. 1(a)): one hardware thread; the
+  scheduler runs version 1 for a round, context-switches (cost ``c``
+  cycles, optionally flushing the cache), runs version 2 for a round, then
+  the states are compared.
+* **SMT processor** (Fig. 1(b)): two hardware threads; both versions are
+  resident, no context switches in the normal phase.
+
+The scheduler works in *round* granularity (``sync``-delimited), which is
+how the VDS uses it — the serial mode reproduces Fig. 1(a)'s
+run/switch/run/switch cadence cycle by cycle.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.errors import ConfigurationError
+from repro.isa.machine import Machine
+from repro.smt.processor import SMTProcessor
+
+__all__ = ["ContextSwitchCost", "TimeSliceScheduler"]
+
+
+@dataclass(frozen=True)
+class ContextSwitchCost:
+    """Cycle cost of a context switch on the conventional configuration."""
+
+    cycles: int = 50
+    flush_cache: bool = True
+
+    def __post_init__(self) -> None:
+        if self.cycles < 0:
+            raise ConfigurationError("context-switch cycles must be >= 0")
+
+
+class TimeSliceScheduler:
+    """Runs a set of software contexts on an :class:`SMTProcessor`.
+
+    With ``processor.config.hardware_threads >= len(contexts)`` every
+    context gets its own hardware thread and runs truly simultaneously;
+    otherwise contexts share hardware threads through context switches.
+    """
+
+    def __init__(self, processor: SMTProcessor,
+                 switch_cost: ContextSwitchCost = ContextSwitchCost()):
+        self.processor = processor
+        self.switch_cost = switch_cost
+        self.contexts: list[Machine] = []
+        self._resident: dict[int, int] = {}  # hw_id -> context index
+
+    # -- setup ---------------------------------------------------------------
+    def add_context(self, machine: Machine) -> int:
+        """Register a software version; returns its context id."""
+        self.contexts.append(machine)
+        return len(self.contexts) - 1
+
+    @property
+    def fits_in_hardware(self) -> bool:
+        return len(self.contexts) <= self.processor.config.hardware_threads
+
+    # -- context switching ----------------------------------------------------
+    def _switch_in(self, hw_id: int, ctx: int) -> None:
+        """Load context ``ctx`` on hardware thread ``hw_id`` (paying c)."""
+        current = self._resident.get(hw_id)
+        if current == ctx:
+            return
+        self.processor.unload_context(hw_id)
+        if current is not None:
+            # Charge the switch cost as idle cycles *before* the new
+            # context becomes runnable (save/restore happens here).
+            for _ in range(self.switch_cost.cycles):
+                self.processor.step_cycle()
+            self.processor.counters.context_switches += 1
+            if self.switch_cost.flush_cache:
+                self.processor.cache.flush()
+        self.processor.load_context(hw_id, self.contexts[ctx])
+        self._resident[hw_id] = ctx
+
+    # -- round execution ------------------------------------------------------
+    def run_round_parallel(self, context_ids: Sequence[int],
+                           max_cycles: int = 10_000_000) -> int:
+        """Run one round of each listed context simultaneously (SMT mode).
+
+        Requires enough hardware threads.  Returns cycles consumed.
+        """
+        if len(context_ids) > self.processor.config.hardware_threads:
+            raise ConfigurationError(
+                f"{len(context_ids)} contexts do not fit on "
+                f"{self.processor.config.hardware_threads} hardware threads"
+            )
+        start = self.processor.cycle
+        for hw_id, ctx in enumerate(context_ids):
+            self._switch_in(hw_id, ctx)
+        # Unload any stale residents beyond the requested set.
+        for hw_id in range(len(context_ids),
+                           self.processor.config.hardware_threads):
+            if hw_id in self._resident:
+                self.processor.unload_context(hw_id)
+                del self._resident[hw_id]
+        self.processor.run_machines_round(max_cycles)
+        return self.processor.cycle - start
+
+    def run_round_serial(self, context_ids: Sequence[int],
+                         max_cycles: int = 10_000_000) -> int:
+        """Run one round of each context one after another on hardware
+        thread 0 with context switches — the conventional execution of
+        Fig. 1(a).  Returns cycles consumed (switch costs included)."""
+        start = self.processor.cycle
+        for ctx in context_ids:
+            # Make room: only thread 0 is used in conventional mode.
+            self._switch_in(0, ctx)
+            for hw_id in range(1, self.processor.config.hardware_threads):
+                if hw_id in self._resident:
+                    self.processor.unload_context(hw_id)
+                    del self._resident[hw_id]
+            self.processor.run_machines_round(max_cycles)
+        return self.processor.cycle - start

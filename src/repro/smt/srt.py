@@ -1,0 +1,99 @@
+"""A lockstep SRT baseline (Reinhardt & Mukherjee, paper ref [9]).
+
+§2.2: "Using a multithreaded processor to achieve fault detection has been
+investigated by Reinhardt and Mukherjee.  They run two identical versions,
+and they work in a cycle-by-cycle lockstep, to reduce detection time to a
+minimum.  The price they pay is a loss in performance and extra hardware
+for state comparison after each cycle."
+
+This module models that design point on the same slot-level core so the
+trade the paper describes can be *measured* against the VDS:
+
+* two identical copies run simultaneously (no diversity — SRT targets
+  transients only);
+* every cycle, the comparison hardware claims ``compare_slots`` of the
+  issue bandwidth (the "extra hardware" shows up as stolen slots; with a
+  dedicated comparator set it to 0 and pay only area);
+* detection latency is O(cycles), versus the VDS's O(round).
+
+The model deliberately stays at the throughput/latency level — SRT's
+microarchitectural details (slack fetch, branch outcome queues) are out of
+scope; what matters for the paper's comparison is the performance price of
+cycle-level lockstep versus round-level comparison.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+from repro.smt.processor import CoreConfig, SMTProcessor
+
+__all__ = ["SRTResult", "run_srt_lockstep"]
+
+
+@dataclass(frozen=True)
+class SRTResult:
+    """Measured lockstep execution."""
+
+    cycles: int                   #: total cycles for both copies
+    cycles_solo: int              #: one copy alone on the full core
+    instructions: int             #: retired, both copies
+    detection_latency_cycles: float  #: one cycle (by construction)
+
+    @property
+    def slowdown_vs_solo(self) -> float:
+        """Time of the protected run relative to one unprotected copy."""
+        return self.cycles / self.cycles_solo
+
+    @property
+    def alpha_effective(self) -> float:
+        """The α the lockstep pair exhibits (incl. comparison pressure)."""
+        return self.cycles / (2.0 * self.cycles_solo)
+
+
+def run_srt_lockstep(make_machine, config: CoreConfig = CoreConfig(),
+                     compare_slots: int = 1) -> SRTResult:
+    """Run two identical copies in lockstep with per-cycle comparison.
+
+    Parameters
+    ----------
+    make_machine:
+        Factory returning a fresh machine (called three times: solo run
+        plus the two lockstep copies).
+    compare_slots:
+        Issue slots the per-cycle state comparison consumes (0 = fully
+        dedicated comparator hardware).
+    """
+    if compare_slots < 0:
+        raise ConfigurationError("compare_slots must be >= 0")
+    if compare_slots >= config.issue_width:
+        raise ConfigurationError(
+            "comparison cannot consume the whole issue bandwidth"
+        )
+    solo_core = SMTProcessor(config)
+    solo_core.load_context(0, make_machine())
+    cycles_solo = solo_core.run_to_halt()
+
+    # Lockstep run: shrink the usable issue width by the comparison slots.
+    lockstep_cfg = CoreConfig(
+        hardware_threads=config.hardware_threads,
+        issue_width=config.issue_width - compare_slots,
+        alu_ports=config.alu_ports,
+        mem_ports=config.mem_ports,
+        branch_ports=config.branch_ports,
+        cache=config.cache,
+    )
+    core = SMTProcessor(lockstep_cfg)
+    a, b = make_machine(), make_machine()
+    core.load_context(0, a)
+    core.load_context(1, b)
+    cycles = core.run_to_halt()
+    if a.output != b.output:  # pragma: no cover - identical copies
+        raise ConfigurationError("lockstep copies diverged without faults")
+    return SRTResult(
+        cycles=cycles,
+        cycles_solo=cycles_solo,
+        instructions=a.instret + b.instret,
+        detection_latency_cycles=1.0,
+    )

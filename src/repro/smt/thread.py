@@ -1,0 +1,67 @@
+"""Hardware thread contexts.
+
+A hardware thread couples architectural state (a
+:class:`repro.isa.machine.Machine`) with the pipeline bookkeeping the core
+needs: run state and the cycle until which the thread is blocked on a
+memory miss.  Swapping the machine in and out is what a context switch does
+(on the conventional configuration of Fig. 1(a)).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import Optional
+
+from repro.isa.machine import Machine
+
+__all__ = ["ThreadState", "HardwareThread"]
+
+
+class ThreadState(Enum):
+    IDLE = "idle"          #: no software context loaded
+    READY = "ready"        #: can issue this cycle
+    BLOCKED = "blocked"    #: waiting on a memory miss
+    PARKED = "parked"      #: reached its round boundary, waiting for peers
+    HALTED = "halted"      #: loaded program has finished
+
+
+@dataclass
+class HardwareThread:
+    """One hardware thread slot of the core."""
+
+    hw_id: int
+    machine: Optional[Machine] = None
+    blocked_until: int = 0
+    #: retired instructions for the *currently loaded* context
+    retired: int = 0
+    #: instret at which the thread parks (end of its current round); the
+    #: core must not issue past this point or lockstep round execution
+    #: would drift (set/cleared by ``SMTProcessor.run_machines_round``)
+    stop_at_instret: Optional[int] = None
+
+    def state(self, cycle: int) -> ThreadState:
+        if self.machine is None:
+            return ThreadState.IDLE
+        if self.machine.halted:
+            return ThreadState.HALTED
+        if (self.stop_at_instret is not None
+                and self.machine.instret >= self.stop_at_instret):
+            return ThreadState.PARKED
+        if cycle < self.blocked_until:
+            return ThreadState.BLOCKED
+        return ThreadState.READY
+
+    def load(self, machine: Machine) -> None:
+        """Context-switch a software version onto this hardware thread."""
+        self.machine = machine
+        self.blocked_until = 0
+        self.retired = 0
+        self.stop_at_instret = None
+
+    def unload(self) -> Optional[Machine]:
+        """Remove the current context (returns it for later resumption)."""
+        m, self.machine = self.machine, None
+        self.blocked_until = 0
+        self.stop_at_instret = None
+        return m

@@ -1,0 +1,58 @@
+"""repro.vds — the virtual duplex system runtime.
+
+This package implements the paper's §3 system as a discrete-event
+simulation over :mod:`repro.sim`:
+
+* two versions proceed in *rounds*; after both complete a round their
+  states are compared; every ``s`` rounds a checkpoint is saved;
+* on a mismatch at round ``i`` of the interval, the configured
+  :mod:`recovery scheme <repro.vds.recovery>` takes over: stop-and-retry
+  on the conventional processor, roll-forward variants on the SMT
+  processor (Figs. 2/3 and §4), or the ≥3-thread boosted schemes (§5);
+* the architecture's timing comes from :mod:`repro.vds.timing`
+  (conventional vs 2-way SMT vs n-way SMT);
+* everything is traced, and :mod:`repro.vds.timeline` rebuilds the
+  paper's Fig. 1 execution timelines from the trace.
+
+The top-level entry point is :class:`repro.vds.system.VDSMission` /
+:func:`repro.vds.system.run_mission`, which executes a mission of N rounds
+under a :class:`repro.vds.faultplan.FaultPlan` and reports measured round
+and recovery times — the quantities the analytical model in
+:mod:`repro.core` predicts (experiment VAL-1 checks they agree).
+"""
+
+from repro.vds.state import VersionState, clean_state, corrupt_state
+from repro.vds.comparator import states_match, majority_vote, VoteResult
+from repro.vds.checkpoint import CheckpointStore, Checkpoint
+from repro.vds.faultplan import FaultEvent, FaultPlan
+from repro.vds.timing import (
+    ArchTiming,
+    ConventionalTiming,
+    SMT2Timing,
+    SMTnTiming,
+)
+from repro.vds.system import VDSMission, MissionResult, RecoveryRecord, run_mission
+from repro.vds.timeline import build_timeline, render_timeline
+
+__all__ = [
+    "VersionState",
+    "clean_state",
+    "corrupt_state",
+    "states_match",
+    "majority_vote",
+    "VoteResult",
+    "CheckpointStore",
+    "Checkpoint",
+    "FaultEvent",
+    "FaultPlan",
+    "ArchTiming",
+    "ConventionalTiming",
+    "SMT2Timing",
+    "SMTnTiming",
+    "VDSMission",
+    "MissionResult",
+    "RecoveryRecord",
+    "run_mission",
+    "build_timeline",
+    "render_timeline",
+]

@@ -1,0 +1,67 @@
+"""State comparison and 2-out-of-3 majority voting.
+
+Comparison semantics follow :mod:`repro.vds.state`: two states match iff
+they are at the same round and carry the same corruption identity (both
+``None`` for clean states).  The majority vote is the paper's §3.1
+stop-and-retry decision: "a majority vote over three available states
+allows to distinguish the faulty state".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.errors import RecoveryError
+from repro.vds.state import VersionState
+
+__all__ = ["states_match", "majority_vote", "VoteResult"]
+
+
+def states_match(a: VersionState, b: VersionState) -> bool:
+    """True iff the two versions' states would compare equal."""
+    return a.round == b.round and a.corruption_id == b.corruption_id
+
+
+@dataclass(frozen=True, slots=True)
+class VoteResult:
+    """Outcome of a 2-out-of-3 vote.
+
+    ``faulty_version`` is ``None`` when no majority exists (all three
+    states differ — the paper's "additional fault during recovery" case,
+    which forces a rollback).
+    """
+
+    faulty_version: Optional[int]
+    majority_state: Optional[VersionState]
+
+    @property
+    def has_majority(self) -> bool:
+        return self.faulty_version is not None
+
+
+def majority_vote(a: VersionState, b: VersionState,
+                  c: VersionState) -> VoteResult:
+    """2-out-of-3 vote over the states of versions a, b and the retry c.
+
+    Exactly one pair matching identifies the odd one out as faulty.  All
+    three matching is rejected (a vote is only taken after a mismatch was
+    detected, so this indicates a protocol bug).  No pair matching returns
+    the no-majority result.
+    """
+    ab = states_match(a, b)
+    ac = states_match(a, c)
+    bc = states_match(b, c)
+    if ab and ac and bc:
+        raise RecoveryError(
+            "majority vote called although all three states agree"
+        )
+    if ac and not ab:
+        return VoteResult(faulty_version=b.version, majority_state=a)
+    if bc and not ab:
+        return VoteResult(faulty_version=a.version, majority_state=b)
+    if ab:
+        # The two original versions agree and the retry differs: the retry
+        # (or its processor) took the fault.
+        return VoteResult(faulty_version=c.version, majority_state=a)
+    return VoteResult(faulty_version=None, majority_state=None)

@@ -1,0 +1,141 @@
+"""Deterministic fault plans for VDS missions.
+
+A :class:`FaultPlan` maps mission round numbers (global, 1-based) to
+:class:`FaultEvent` descriptions.  Plans are either constructed explicitly
+(unit tests, worked examples) or drawn from an arrival process
+(:meth:`FaultPlan.from_arrivals`), and the *same* plan can then be replayed
+against every architecture/scheme combination — common random numbers, so
+measured gains compare like with like.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Mapping, Optional
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.faults.rates import ArrivalProcess
+
+__all__ = ["FaultEvent", "FaultPlan"]
+
+
+@dataclass(frozen=True, slots=True)
+class FaultEvent:
+    """A fault striking during one mission round.
+
+    Attributes
+    ----------
+    round:
+        Global mission round (1-based) whose end-of-round comparison
+        detects the mismatch.
+    victim:
+        Which of the two active versions (1 or 2) is corrupted.
+    crash:
+        The fault crashed the victim (gives the predictor hard evidence —
+        §4: "sometimes there is evidence that a particular version is most
+        likely to be the faulty one, e.g. in the case of a crash fault").
+    also_during_retry:
+        A second fault corrupts the retry of version 3 → no majority →
+        rollback (§3.1 "in this case, one has to resort to a rollback
+        scheme").
+    also_during_rollforward:
+        A second fault strikes the roll-forward in thread 2 → the
+        detecting schemes discard the roll-forward ("the roll-forward has
+        to be discarded"); the non-detecting §4 scheme carries the
+        corruption into the next round.
+    both_victims:
+        Two near-simultaneous faults corrupt *both* versions within the
+        same round — in different ways, as the §2.1 constraint only rules
+        out identical corruption.  Detection still fires (the states
+        differ), but the retry agrees with neither state: no majority,
+        forced rollback.
+    """
+
+    round: int
+    victim: int = 1
+    crash: bool = False
+    also_during_retry: bool = False
+    also_during_rollforward: bool = False
+    both_victims: bool = False
+
+    def __post_init__(self) -> None:
+        if self.round < 1:
+            raise ConfigurationError(f"round must be >= 1, got {self.round}")
+        if self.victim not in (1, 2):
+            raise ConfigurationError(f"victim must be 1 or 2, got {self.victim}")
+
+
+@dataclass
+class FaultPlan:
+    """An immutable schedule of fault events keyed by mission round."""
+
+    events: dict[int, FaultEvent] = field(default_factory=dict)
+
+    @classmethod
+    def from_events(cls, events: Iterable[FaultEvent]) -> "FaultPlan":
+        plan: dict[int, FaultEvent] = {}
+        for ev in events:
+            if ev.round in plan:
+                raise ConfigurationError(
+                    f"duplicate fault at round {ev.round} (single-fault-per-"
+                    "round model)"
+                )
+            plan[ev.round] = ev
+        return cls(plan)
+
+    @classmethod
+    def from_arrivals(cls, process: ArrivalProcess, rng: np.random.Generator,
+                      mission_rounds: int, round_time: float = 1.0,
+                      crash_fraction: float = 0.0,
+                      victim_bias: float = 0.5) -> "FaultPlan":
+        """Draw a plan from an arrival process.
+
+        Parameters
+        ----------
+        process:
+            Fault arrival process in *time* units.
+        round_time:
+            Duration of one round in the process's time units.
+        crash_fraction:
+            Probability a fault manifests as a crash.
+        victim_bias:
+            P(victim = 1); values ≠ 0.5 model a fault-prone hardware part
+            exercised more by one version (the predictable situation of
+            §5's fault-history prediction).
+        """
+        if mission_rounds < 1:
+            raise ConfigurationError("mission_rounds must be >= 1")
+        if not (0.0 <= crash_fraction <= 1.0):
+            raise ConfigurationError("crash_fraction must lie in [0, 1]")
+        if not (0.0 <= victim_bias <= 1.0):
+            raise ConfigurationError("victim_bias must lie in [0, 1]")
+        horizon = mission_rounds * round_time
+        events: dict[int, FaultEvent] = {}
+        for t in process.arrivals_until(rng, horizon):
+            rnd = int(t / round_time) + 1
+            if rnd in events or rnd > mission_rounds:
+                continue  # at most one fault per round (model constraint)
+            events[rnd] = FaultEvent(
+                round=rnd,
+                victim=1 if rng.random() < victim_bias else 2,
+                crash=bool(rng.random() < crash_fraction),
+            )
+        return cls(events)
+
+    # -- queries ------------------------------------------------------------
+    def fault_at(self, round_: int) -> Optional[FaultEvent]:
+        return self.events.get(round_)
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def rounds(self) -> list[int]:
+        return sorted(self.events)
+
+    def victim_distribution(self) -> Mapping[int, int]:
+        out = {1: 0, 2: 0}
+        for ev in self.events.values():
+            out[ev.victim] += 1
+        return out

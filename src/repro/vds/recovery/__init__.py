@@ -1,0 +1,58 @@
+"""repro.vds.recovery — every recovery scheme the paper discusses.
+
+========================  =========  ========================================
+Scheme                     threads    Paper source
+========================  =========  ========================================
+:class:`PureRollback`      1          §2.2 "Rollback recovery"
+:class:`StopAndRetry`      1          §2.2/§3.1 "Stop and retry recovery"
+:class:`RollForwardProbabilistic` 2   §3.2 + Fig. 2
+:class:`RollForwardDeterministic` 2   §3.2 + Fig. 3
+:class:`PredictionScheme`  2          §4 (no detection during roll-forward)
+:class:`BoostedProbabilistic` 3       §5 outlook
+:class:`BoostedDeterministic` 5       §5 outlook
+========================  =========  ========================================
+
+Every scheme is a generator-based policy over the architecture timing
+primitives (:mod:`repro.vds.timing`); the controller in
+:mod:`repro.vds.system` drives it inside the DES and applies the returned
+:class:`~repro.vds.recovery.base.RecoveryOutcome`.
+"""
+
+from repro.vds.recovery.base import (
+    RecoveryContext,
+    RecoveryOutcome,
+    RecoveryScheme,
+)
+from repro.vds.recovery.rollback import PureRollback
+from repro.vds.recovery.stop_and_retry import StopAndRetry
+from repro.vds.recovery.roll_forward_prob import RollForwardProbabilistic
+from repro.vds.recovery.roll_forward_det import RollForwardDeterministic
+from repro.vds.recovery.prediction import PredictionScheme
+from repro.vds.recovery.multi_thread import (
+    BoostedProbabilistic,
+    BoostedDeterministic,
+)
+
+ALL_SCHEMES = (
+    PureRollback,
+    StopAndRetry,
+    RollForwardProbabilistic,
+    RollForwardDeterministic,
+    PredictionScheme,
+    BoostedProbabilistic,
+    BoostedDeterministic,
+)
+
+__all__ = [
+    "RecoveryContext",
+    "RecoveryOutcome",
+    "RecoveryScheme",
+    "PureRollback",
+    "StopAndRetry",
+    "RollForwardProbabilistic",
+    "RollForwardDeterministic",
+    "PredictionScheme",
+    "BoostedProbabilistic",
+    "BoostedDeterministic",
+    "ALL_SCHEMES",
+]

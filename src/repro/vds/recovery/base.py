@@ -1,0 +1,153 @@
+"""Recovery-scheme interface.
+
+A scheme's :meth:`RecoveryScheme.recover` is a *generator* (it runs inside
+the mission's DES process via ``yield from``).  It receives the
+:class:`RecoveryContext` — the states of the active versions, the last
+checkpoint, timing primitives, predictor, trace — performs its timed
+actions, carries out the majority vote, and returns a
+:class:`RecoveryOutcome` that tells the controller how far the mission
+advanced and whether a rollback is needed.
+
+Transition records: every scheme appends the flow-chart decisions it takes
+to ``ctx.transitions`` (e.g. ``"state-p==state-s"``, ``"discard-rollforward"``)
+so the Fig. 2/Fig. 3 conformance tests can assert the exact decision path.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+from typing import Generator, Optional
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.predict.base import Predictor
+from repro.sim.engine import Simulator
+from repro.sim.trace import TraceRecorder
+from repro.vds.checkpoint import Checkpoint
+from repro.vds.faultplan import FaultEvent
+from repro.vds.state import VersionState
+from repro.vds.timing import ArchTiming
+
+__all__ = ["RecoveryContext", "RecoveryOutcome", "RecoveryScheme"]
+
+
+@dataclass
+class RecoveryContext:
+    """Everything a recovery scheme may see and touch."""
+
+    sim: Simulator
+    timing: ArchTiming
+    trace: TraceRecorder
+    rng: np.random.Generator
+    predictor: Predictor
+    #: states of the active versions, keyed 1 and 2
+    states: dict[int, VersionState]
+    #: last committed checkpoint (recovery baseline)
+    checkpoint: Checkpoint
+    #: flow-chart decision log (reset per recovery by the controller)
+    transitions: list[str] = field(default_factory=list)
+    #: timeline lane of the controlling processor ("CPU" on the
+    #: conventional architecture, "T1" on SMT)
+    main_lane: str = "T1"
+
+    def elapse(self, duration: float, category: str, label: str,
+               lane: str = "") -> Generator:
+        """Timed, traced action (generator — use ``yield from``)."""
+        if duration < 0:
+            raise ConfigurationError(f"negative duration {duration!r}")
+        self.trace.begin(self.sim.now, category, label, lane)
+        yield self.sim.timeout(duration)
+        self.trace.end(self.sim.now, category, label, lane)
+
+    def elapse_parallel(self, duration: float, category: str,
+                        labels_by_lane: dict[str, str]) -> Generator:
+        """One wall-clock interval shown on several lanes (SMT threads)."""
+        if duration < 0:
+            raise ConfigurationError(f"negative duration {duration!r}")
+        now = self.sim.now
+        for lane, label in labels_by_lane.items():
+            self.trace.begin(now, category, label, lane)
+        yield self.sim.timeout(duration)
+        for lane, label in labels_by_lane.items():
+            self.trace.end(self.sim.now, category, label, lane)
+
+    def note(self, transition: str) -> None:
+        """Record one flow-chart decision."""
+        self.transitions.append(transition)
+
+
+@dataclass(frozen=True)
+class RecoveryOutcome:
+    """What the controller must apply after a recovery completes.
+
+    Attributes
+    ----------
+    resolved:
+        ``False`` → no majority / unrecoverable: roll back to the last
+        checkpoint ("resort to rollback", §3.1).
+    progress:
+        Certified rounds *beyond* the faulty round ``i`` gained by
+        roll-forward (0 for stop-and-retry; never pushes past round ``s``).
+    duration:
+        Virtual time the recovery consumed (informational; the controller
+        clock already advanced through the scheme's ``elapse`` calls).
+    prediction_hit:
+        Whether the predictor picked the fault-free state/version
+        (``None`` for schemes that do not predict).
+    discarded_rollforward:
+        A second fault forced the detecting schemes to throw the
+        roll-forward away.
+    residual_fault:
+        For the §4 scheme without roll-forward detection: a corruption
+        carried into the next round (the controller schedules it).
+    """
+
+    resolved: bool
+    progress: int = 0
+    duration: float = 0.0
+    prediction_hit: Optional[bool] = None
+    discarded_rollforward: bool = False
+    residual_fault: Optional[FaultEvent] = None
+
+    def __post_init__(self) -> None:
+        if self.progress < 0:
+            raise ConfigurationError("progress must be >= 0")
+
+
+class RecoveryScheme(ABC):
+    """Base class of all recovery policies."""
+
+    #: identifier used in results, traces and experiment tables
+    name: str = "scheme"
+    #: hardware threads the scheme needs
+    requires_threads: int = 1
+
+    def check_architecture(self, timing: ArchTiming) -> None:
+        """Raise if the architecture cannot host this scheme."""
+        if timing.hardware_threads < self.requires_threads:
+            raise ConfigurationError(
+                f"{self.name} needs {self.requires_threads} hardware "
+                f"threads; {timing.name} provides {timing.hardware_threads}"
+            )
+
+    @abstractmethod
+    def recover(self, ctx: RecoveryContext, i: int,
+                fault: FaultEvent) -> Generator:
+        """Run the recovery (generator returning a RecoveryOutcome).
+
+        ``i`` is the 1-based round within the checkpoint interval at which
+        the mismatch was detected; ``ctx.states`` holds the diverged
+        states P and Q.
+        """
+
+    # -- shared helpers ------------------------------------------------------
+    @staticmethod
+    def _retry_state(ctx: RecoveryContext, i: int,
+                     fault: FaultEvent) -> VersionState:
+        """The state version 3 reaches after re-executing i rounds."""
+        v3 = ctx.checkpoint.state.as_version(3).advanced(i)
+        if fault.also_during_retry:
+            v3 = v3.corrupted()
+        return v3

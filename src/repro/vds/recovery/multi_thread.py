@@ -1,0 +1,126 @@
+"""§5 boosted schemes for processors with > 2 hardware threads.
+
+"For a multithreaded processor supporting more than two threads in
+hardware, we are able to boost the variants with fault detection during
+roll-forward: in the probabilistic scheme we could execute versions 1 and
+2 for i rounds each in two separate threads (needing 3 threads in total),
+in the deterministic scheme we could execute versions 1 and 2, starting
+from states P and Q, for i rounds each (needing 5 threads in total)."
+
+Both therefore reach the §4 scheme's full roll-forward length
+``min(i, s−i)`` while *keeping* detection; the price is running 3 (resp. 5)
+threads concurrently, i.e. a recovery makespan of ``n·α(n)·i·t + 2t′``.
+The boosted probabilistic variant still depends on choosing the fault-free
+candidate state; the 5-thread deterministic variant hedges both states and
+is prediction-free.
+"""
+
+from __future__ import annotations
+
+from typing import Generator
+
+from repro.vds.comparator import majority_vote
+from repro.vds.faultplan import FaultEvent
+from repro.vds.recovery.base import (
+    RecoveryContext,
+    RecoveryOutcome,
+    RecoveryScheme,
+)
+
+__all__ = ["BoostedProbabilistic", "BoostedDeterministic"]
+
+
+class _BoostedBase(RecoveryScheme):
+    """Shared §5 recovery skeleton (n-thread retry + roll-forward)."""
+
+    def _labels(self, ctx: RecoveryContext, i: int, k: int) -> dict[str, str]:
+        raise NotImplementedError
+
+    def _run(self, ctx: RecoveryContext, i: int,
+             fault: FaultEvent) -> Generator:
+        yield from ctx.elapse_parallel(
+            ctx.timing.run_n(i, self.requires_threads), "recovery",
+            self._labels(ctx, i, min(i, ctx.timing.params.s - i)),
+        )
+        v3 = self._retry_state(ctx, i, fault)
+        yield from ctx.elapse(ctx.timing.vote_overhead(), "vote",
+                              f"vote@i={i}", lane="T1")
+        return majority_vote(ctx.states[1], ctx.states[2], v3)
+
+
+class BoostedProbabilistic(_BoostedBase):
+    """3 threads: retry ∥ both versions i rounds each from the chosen state."""
+
+    name = "boosted-probabilistic"
+    requires_threads = 3
+
+    def _labels(self, ctx: RecoveryContext, i: int, k: int) -> dict[str, str]:
+        return {"T1": f"V3.R1-{i}",
+                "T2": f"rollfwd(V1@R)+{k}",
+                "T3": f"rollfwd(V2@R)+{k}"}
+
+    def recover(self, ctx: RecoveryContext, i: int,
+                fault: FaultEvent) -> Generator:
+        start = ctx.sim.now
+        s = ctx.timing.params.s
+        ctx.note("state-p!=state-q")
+        predicted_faulty = ctx.predictor.predict(fault)
+        chosen = 1 if predicted_faulty == 2 else 2
+        hit = ctx.states[chosen].is_clean
+        ctx.note(f"choose-R=state-of-V{chosen}")
+
+        vote = yield from self._run(ctx, i, fault)
+        if not vote.has_majority:
+            ctx.note("no-majority")
+            return RecoveryOutcome(resolved=False, prediction_hit=hit,
+                                   duration=ctx.sim.now - start)
+        ctx.note(f"vote:V{vote.faulty_version}-faulty")
+        ctx.predictor.observe(vote.faulty_version, fault)
+
+        if fault.also_during_rollforward:
+            ctx.note("rollforward-fault-detected:discard")
+            return RecoveryOutcome(resolved=True, progress=0,
+                                   prediction_hit=hit,
+                                   discarded_rollforward=True,
+                                   duration=ctx.sim.now - start)
+        progress = min(i, s - i) if hit else 0
+        ctx.note("rollforward-valid" if hit else
+                 "state-R-was-faulty:no-benefit")
+        return RecoveryOutcome(resolved=True, progress=progress,
+                               prediction_hit=hit,
+                               duration=ctx.sim.now - start)
+
+
+class BoostedDeterministic(_BoostedBase):
+    """5 threads: retry ∥ (V1, V2) × (state P, state Q), i rounds each."""
+
+    name = "boosted-deterministic"
+    requires_threads = 5
+
+    def _labels(self, ctx: RecoveryContext, i: int, k: int) -> dict[str, str]:
+        return {"T1": f"V3.R1-{i}",
+                "T2": f"rollfwd(V1@P)+{k}", "T3": f"rollfwd(V2@P)+{k}",
+                "T4": f"rollfwd(V1@Q)+{k}", "T5": f"rollfwd(V2@Q)+{k}"}
+
+    def recover(self, ctx: RecoveryContext, i: int,
+                fault: FaultEvent) -> Generator:
+        start = ctx.sim.now
+        s = ctx.timing.params.s
+        ctx.note("state-p!=state-q")
+
+        vote = yield from self._run(ctx, i, fault)
+        if not vote.has_majority:
+            ctx.note("no-majority")
+            return RecoveryOutcome(resolved=False,
+                                   duration=ctx.sim.now - start)
+        ctx.note(f"vote:V{vote.faulty_version}-faulty")
+        ctx.predictor.observe(vote.faulty_version, fault)
+
+        if fault.also_during_rollforward:
+            ctx.note("rollforward-fault-detected:discard")
+            return RecoveryOutcome(resolved=True, progress=0,
+                                   discarded_rollforward=True,
+                                   duration=ctx.sim.now - start)
+        ctx.note("rollforward-valid:fault-free-candidate-half")
+        return RecoveryOutcome(resolved=True, progress=min(i, s - i),
+                               duration=ctx.sim.now - start)

@@ -1,0 +1,90 @@
+"""Prediction-based roll-forward (§4): full-length, detection-free.
+
+"If we refrain from the detection of faults during roll-forward, we can
+simply execute i further rounds of one of the versions in the second
+thread while version 3 does the retry in the first thread" — truncated at
+the checkpoint boundary: ``min(i, s−i)`` rounds.
+
+* Correct prediction (probability ``p``): "we indeed achieve a
+  roll-forward of min(i, s−i) rounds during the retry" (Eqs. (9)/(10)).
+* Wrong prediction: "the roll-forward does not provide any benefit"
+  (Eq. (11)).
+* A second fault during roll-forward is *not* detected here — the
+  corruption rides along and is caught by the first normal-phase
+  comparison after recovery (returned as ``residual_fault``).
+
+Recovery completes by copying the fault-free state to version 3 ("version
+3 is rolled forward to the fault-free version and forms a new VDS with the
+remaining fault-free version").
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Generator
+
+from repro.vds.comparator import majority_vote
+from repro.vds.faultplan import FaultEvent
+from repro.vds.recovery.base import (
+    RecoveryContext,
+    RecoveryOutcome,
+    RecoveryScheme,
+)
+
+__all__ = ["PredictionScheme"]
+
+
+class PredictionScheme(RecoveryScheme):
+    """§4: roll one predicted-fault-free version forward min(i, s−i)."""
+
+    name = "prediction"
+    requires_threads = 2
+
+    def recover(self, ctx: RecoveryContext, i: int,
+                fault: FaultEvent) -> Generator:
+        start = ctx.sim.now
+        s = ctx.timing.params.s
+        ctx.note("state-p!=state-q")
+
+        predicted_faulty = ctx.predictor.predict(fault)
+        chosen = 1 if predicted_faulty == 2 else 2
+        hit = ctx.states[chosen].is_clean
+        ctx.note(f"predict-faulty=V{predicted_faulty};rollfwd=V{chosen}")
+
+        rollforward_rounds = min(i, s - i)
+        yield from ctx.elapse_parallel(
+            ctx.timing.run_pair(i), "recovery",
+            {"T1": f"V3.R1-{i}",
+             "T2": f"rollfwd(V{chosen})+{rollforward_rounds}"},
+        )
+        v3 = self._retry_state(ctx, i, fault)
+        yield from ctx.elapse(ctx.timing.vote_overhead(), "vote",
+                              f"vote@i={i}", lane="T1")
+        vote = majority_vote(ctx.states[1], ctx.states[2], v3)
+        if not vote.has_majority:
+            ctx.note("no-majority")
+            return RecoveryOutcome(resolved=False, prediction_hit=hit,
+                                   duration=ctx.sim.now - start)
+        faulty = vote.faulty_version
+        ctx.note(f"vote:V{faulty}-faulty")
+        ctx.predictor.observe(faulty, fault)
+
+        if not hit:
+            ctx.note("miss:rolled-forward-the-faulty-version")
+            return RecoveryOutcome(resolved=True, progress=0,
+                                   prediction_hit=False,
+                                   duration=ctx.sim.now - start)
+
+        residual = None
+        if fault.also_during_rollforward and rollforward_rounds > 0:
+            # No detection during roll-forward: the corruption survives and
+            # surfaces at the next normal-phase comparison.
+            ctx.note("undetected-rollforward-fault:carried")
+            residual = replace(fault, also_during_retry=False,
+                               also_during_rollforward=False,
+                               crash=False, victim=chosen)
+        ctx.note("hit:rollforward-committed;V3-adopts-state")
+        return RecoveryOutcome(resolved=True, progress=rollforward_rounds,
+                               prediction_hit=True,
+                               residual_fault=residual,
+                               duration=ctx.sim.now - start)

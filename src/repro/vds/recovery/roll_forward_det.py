@@ -1,0 +1,71 @@
+"""Deterministic roll-forward (§3.2, flow chart Fig. 3).
+
+Thread 2 hedges over *both* candidate states: "we first execute i/4 rounds
+of version 2 starting from state P, … then i/4 rounds of version 1
+starting from state P, then i/4 rounds of version 1 starting from state Q,
+and finally i/4 rounds of version 2 starting from state Q.  In this way,
+only a single context switch is necessary."  Whatever the vote decides,
+the half of the work that started from the fault-free state is valid, so
+
+    progress = min(i/4, s−i)   rounds, guaranteed,
+
+with fault detection preserved by comparing the segment pairs (states
+V = W and T = U in Fig. 3).  Recovery time Eq. (5): ``2·i·α·t + 2·t′``.
+"""
+
+from __future__ import annotations
+
+from typing import Generator
+
+from repro.vds.comparator import majority_vote
+from repro.vds.faultplan import FaultEvent
+from repro.vds.recovery.base import (
+    RecoveryContext,
+    RecoveryOutcome,
+    RecoveryScheme,
+)
+
+__all__ = ["RollForwardDeterministic"]
+
+
+class RollForwardDeterministic(RecoveryScheme):
+    """Fig. 3: both-candidate roll-forward with detection, no prediction."""
+
+    name = "roll-forward-deterministic"
+    requires_threads = 2
+
+    def recover(self, ctx: RecoveryContext, i: int,
+                fault: FaultEvent) -> Generator:
+        start = ctx.sim.now
+        s = ctx.timing.params.s
+        ctx.note("state-p!=state-q")
+
+        rollforward_rounds = min(i // 4, s - i)
+        # Thread 1: retry V3 (i rounds); thread 2: the four i/4 segments
+        # (V2@P, V1@P, V1@Q, V2@Q) — i rounds of work in total.
+        yield from ctx.elapse_parallel(
+            ctx.timing.run_pair(i), "recovery",
+            {"T1": f"V3.R1-{i}",
+             "T2": f"rollfwd(V2@P,V1@P,V1@Q,V2@Q)+{rollforward_rounds}"},
+        )
+        v3 = self._retry_state(ctx, i, fault)
+        yield from ctx.elapse(ctx.timing.vote_overhead(), "vote",
+                              f"vote@i={i}", lane="T1")
+        vote = majority_vote(ctx.states[1], ctx.states[2], v3)
+        if not vote.has_majority:
+            ctx.note("no-majority")
+            return RecoveryOutcome(resolved=False,
+                                   duration=ctx.sim.now - start)
+        faulty = vote.faulty_version
+        ctx.note(f"vote:V{faulty}-faulty")
+        ctx.predictor.observe(faulty, fault)
+
+        if fault.also_during_rollforward:
+            # The affected segment pair mismatches (state T != U or V != W).
+            ctx.note("rollforward-fault-detected:discard")
+            return RecoveryOutcome(resolved=True, progress=0,
+                                   discarded_rollforward=True,
+                                   duration=ctx.sim.now - start)
+        ctx.note("rollforward-valid:fault-free-half")
+        return RecoveryOutcome(resolved=True, progress=rollforward_rounds,
+                               duration=ctx.sim.now - start)

@@ -1,0 +1,91 @@
+"""Probabilistic roll-forward (§3.2, flow chart Fig. 2).
+
+While thread 1 retries version 3 for ``i`` rounds, thread 2 picks ONE of
+the two candidate states P, Q (we "do not know which of these states is
+affected by the fault just detected") and advances *both* versions from it,
+``i/2`` rounds each with a single context switch ("we first execute i/2
+rounds of version 2, and then switch to version 1").  The final comparison
+of the two roll-forward states T, U preserves fault detection: "if those
+states are different, then an additional fault has been detected during
+roll-forward.  Hence, the roll-forward has to be discarded."
+
+* chosen state fault-free (probability ``p``) → progress
+  ``min(i/2, s−i)`` rounds;
+* chosen state faulty → "we did not gain anything by the roll-forward";
+* second fault during roll-forward → discard.
+
+Recovery time Eq. (5): ``2·i·α·t + 2·t′``.
+"""
+
+from __future__ import annotations
+
+from typing import Generator
+
+from repro.vds.comparator import majority_vote
+from repro.vds.faultplan import FaultEvent
+from repro.vds.recovery.base import (
+    RecoveryContext,
+    RecoveryOutcome,
+    RecoveryScheme,
+)
+
+__all__ = ["RollForwardProbabilistic"]
+
+
+class RollForwardProbabilistic(RecoveryScheme):
+    """Fig. 2: single-candidate roll-forward with detection."""
+
+    name = "roll-forward-probabilistic"
+    requires_threads = 2
+
+    def recover(self, ctx: RecoveryContext, i: int,
+                fault: FaultEvent) -> Generator:
+        start = ctx.sim.now
+        s = ctx.timing.params.s
+        ctx.note("state-p!=state-q")
+
+        # Choose R among P and Q: roll forward the version predicted
+        # fault-free (random choice == RandomPredictor, p = 0.5).
+        predicted_faulty = ctx.predictor.predict(fault)
+        chosen = 1 if predicted_faulty == 2 else 2
+        chosen_state = ctx.states[chosen]
+        hit = chosen_state.is_clean
+        ctx.note(f"choose-R=state-of-V{chosen}")
+
+        rollforward_rounds = min(i // 2, s - i)
+        # Thread 1: retry V3 for i rounds; thread 2: i/2 rounds of V2 then
+        # i/2 rounds of V1 from R (one context switch, c ≪ t neglected in
+        # Eq. (5)); both threads stay busy for the whole retry.
+        yield from ctx.elapse_parallel(
+            ctx.timing.run_pair(i), "recovery",
+            {"T1": f"V3.R1-{i}",
+             "T2": f"rollfwd(V2,V1)@R{i}+{rollforward_rounds}"},
+        )
+        v3 = self._retry_state(ctx, i, fault)
+        yield from ctx.elapse(ctx.timing.vote_overhead(), "vote",
+                              f"vote@i={i}", lane="T1")
+        vote = majority_vote(ctx.states[1], ctx.states[2], v3)
+        if not vote.has_majority:
+            ctx.note("no-majority")
+            return RecoveryOutcome(resolved=False, prediction_hit=hit,
+                                   duration=ctx.sim.now - start)
+        faulty = vote.faulty_version
+        ctx.note(f"vote:V{faulty}-faulty")
+        ctx.predictor.observe(faulty, fault)
+
+        if fault.also_during_rollforward:
+            # Final comparison state T != state U.
+            ctx.note("rollforward-fault-detected:discard")
+            return RecoveryOutcome(resolved=True, progress=0,
+                                   prediction_hit=hit,
+                                   discarded_rollforward=True,
+                                   duration=ctx.sim.now - start)
+        if not hit:
+            ctx.note("state-R-was-faulty:no-benefit")
+            return RecoveryOutcome(resolved=True, progress=0,
+                                   prediction_hit=False,
+                                   duration=ctx.sim.now - start)
+        ctx.note("rollforward-valid")
+        return RecoveryOutcome(resolved=True, progress=rollforward_rounds,
+                               prediction_hit=True,
+                               duration=ctx.sim.now - start)

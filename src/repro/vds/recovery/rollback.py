@@ -1,0 +1,44 @@
+"""Pure rollback recovery (§2.2, first strategy).
+
+"Both processes/versions are set back to the state of the last checkpoint
+and the processing interval is retried."  No third version, no vote —
+cheap per recovery but all progress since the checkpoint is lost, and the
+retry itself runs at normal-phase speed.  Included as the classic baseline
+against which stop-and-retry and roll-forward are measured.
+"""
+
+from __future__ import annotations
+
+from typing import Generator
+
+from repro.vds.faultplan import FaultEvent
+from repro.vds.recovery.base import (
+    RecoveryContext,
+    RecoveryOutcome,
+    RecoveryScheme,
+)
+
+__all__ = ["PureRollback"]
+
+
+class PureRollback(RecoveryScheme):
+    """Restore the checkpoint and retry the whole interval."""
+
+    name = "rollback"
+    requires_threads = 1
+
+    def __init__(self, restore_time: float = 0.0):
+        if restore_time < 0:
+            raise ValueError("restore_time must be >= 0")
+        self.restore_time = restore_time
+
+    def recover(self, ctx: RecoveryContext, i: int,
+                fault: FaultEvent) -> Generator:
+        start = ctx.sim.now
+        ctx.note("mismatch-detected")
+        if self.restore_time > 0:
+            yield from ctx.elapse(self.restore_time, "restore",
+                                  f"restore@i={i}", lane=ctx.main_lane)
+        ctx.note("rollback-to-checkpoint")
+        return RecoveryOutcome(resolved=False,
+                               duration=ctx.sim.now - start)

@@ -1,0 +1,59 @@
+"""Stop-and-retry recovery (§3.1, the conventional VDS scheme).
+
+"If two differing states are detected at the end of round i after the last
+checkpoint, then version 3 is started with the state from that checkpoint
+and executed for i rounds.  Then a majority vote over three available
+states allows to distinguish the faulty state, and proceed with the two
+versions that have correct states."  Correction time Eq. (2):
+``T1,corr = i·t + 2·t′``.
+
+If an additional fault corrupts the retry (or a permanent fault defeats
+diversity), "we will have three different states, and no majority vote is
+possible.  In this case, one has to resort to a rollback scheme."
+"""
+
+from __future__ import annotations
+
+from typing import Generator
+
+from repro.vds.comparator import majority_vote
+from repro.vds.faultplan import FaultEvent
+from repro.vds.recovery.base import (
+    RecoveryContext,
+    RecoveryOutcome,
+    RecoveryScheme,
+)
+
+__all__ = ["StopAndRetry"]
+
+
+class StopAndRetry(RecoveryScheme):
+    """The paper's conventional-processor recovery (also valid on SMT,
+    where it simply leaves the second hardware thread idle — "we would not
+    gain any time")."""
+
+    name = "stop-and-retry"
+    requires_threads = 1
+
+    def recover(self, ctx: RecoveryContext, i: int,
+                fault: FaultEvent) -> Generator:
+        start = ctx.sim.now
+        ctx.note("mismatch-detected")
+        # Version 3 re-executes the i rounds from the checkpoint, alone.
+        yield from ctx.elapse(ctx.timing.run_single(i), "retry",
+                              f"V3.R1-{i}", lane=ctx.main_lane)
+        v3 = self._retry_state(ctx, i, fault)
+        yield from ctx.elapse(ctx.timing.vote_overhead(), "vote",
+                              f"vote@i={i}", lane=ctx.main_lane)
+        vote = majority_vote(ctx.states[1], ctx.states[2], v3)
+        if not vote.has_majority:
+            ctx.note("no-majority")
+            return RecoveryOutcome(resolved=False,
+                                   duration=ctx.sim.now - start)
+        faulty = vote.faulty_version
+        ctx.note(f"vote:V{faulty}-faulty")
+        # The fault-free pair continues: the faulty slot adopts the
+        # majority state (V3's correct state takes over that slot).
+        ctx.states[faulty] = vote.majority_state.as_version(faulty)
+        return RecoveryOutcome(resolved=True, progress=0,
+                               duration=ctx.sim.now - start)

@@ -1,0 +1,86 @@
+"""Abstract version states for the timing-level VDS simulation.
+
+The DES does not re-execute programs (the ISA level does that in
+:mod:`repro.faults.campaign`); it tracks the *logical* state each version
+has reached: which round it has completed and whether a fault has
+corrupted it.  Two constraints from the paper's fault model (§2.1) shape
+the representation:
+
+* "a fault may not corrupt states/output of any two versions in the same
+  way" — each corruption carries a unique ``corruption_id``, so corrupted
+  states never compare equal to each other or to clean states;
+* a clean state is fully determined by the round number — all fault-free
+  versions at round ``r`` compare equal.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.errors import ConfigurationError
+
+__all__ = ["VersionState", "clean_state", "corrupt_state"]
+
+_corruption_ids = itertools.count(1)
+
+
+@dataclass(frozen=True, slots=True)
+class VersionState:
+    """The logical state of one version.
+
+    Attributes
+    ----------
+    version:
+        1-based version number (1, 2 = active pair; 3 = spare).
+    round:
+        Rounds completed since the last checkpoint.
+    corruption_id:
+        ``None`` for a fault-free state; otherwise a unique token
+        identifying the corrupting fault.
+    """
+
+    version: int
+    round: int
+    corruption_id: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.version < 1:
+            raise ConfigurationError(f"version must be >= 1, got {self.version}")
+        if self.round < 0:
+            raise ConfigurationError(f"round must be >= 0, got {self.round}")
+
+    @property
+    def is_clean(self) -> bool:
+        return self.corruption_id is None
+
+    def advanced(self, rounds: int = 1) -> "VersionState":
+        """The state after completing ``rounds`` more rounds.
+
+        Corruption propagates: a corrupted version stays corrupted (with
+        the same identity) as it keeps computing on bad data.
+        """
+        if rounds < 0:
+            raise ConfigurationError(f"rounds must be >= 0, got {rounds}")
+        return VersionState(self.version, self.round + rounds,
+                            self.corruption_id)
+
+    def corrupted(self) -> "VersionState":
+        """The state after a fresh fault strikes this version."""
+        return VersionState(self.version, self.round, next(_corruption_ids))
+
+    def as_version(self, version: int) -> "VersionState":
+        """The same logical state adopted by another version (state copy,
+        e.g. 'the state of the fault-free version is copied to version 3')."""
+        return VersionState(version, self.round, self.corruption_id)
+
+
+def clean_state(version: int, round_: int = 0) -> VersionState:
+    """A fault-free state of ``version`` at ``round_``."""
+    return VersionState(version, round_)
+
+
+def corrupt_state(version: int, round_: int) -> VersionState:
+    """A freshly corrupted state (unique corruption identity)."""
+    return VersionState(version, round_).corrupted()

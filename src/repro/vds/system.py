@@ -1,0 +1,254 @@
+"""The VDS mission controller — §3 end to end.
+
+A *mission* executes ``mission_rounds`` certified rounds of the duplex
+pair under a :class:`~repro.vds.faultplan.FaultPlan`, checkpointing every
+``s`` rounds and recovering from every detected mismatch with the
+configured scheme.  The run happens inside the DES, so every segment
+(rounds, switches, comparisons, retries, roll-forwards, votes,
+checkpoints) lands in the trace with its paper-faithful duration — the
+measured times are what experiments VAL-1 and FIG1 compare against the
+analytical model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Generator, Optional
+
+from repro.errors import ConfigurationError
+from repro.predict.base import Predictor
+from repro.predict.random_predictor import RandomPredictor
+from repro.sim.engine import Simulator
+from repro.sim.rng import RandomStreams
+from repro.sim.trace import TraceRecorder
+from repro.vds.checkpoint import CheckpointStore
+from repro.vds.faultplan import FaultEvent, FaultPlan
+from repro.vds.recovery.base import RecoveryContext, RecoveryScheme
+from repro.vds.state import clean_state
+from repro.vds.timing import ArchTiming, ConventionalTiming
+
+__all__ = ["RecoveryRecord", "MissionResult", "VDSMission", "run_mission"]
+
+
+@dataclass(frozen=True)
+class RecoveryRecord:
+    """One recovery episode in a mission."""
+
+    global_round: int        #: mission round whose comparison mismatched
+    i: int                   #: round index within the checkpoint interval
+    scheme: str
+    duration: float
+    progress: int            #: certified roll-forward rounds gained
+    resolved: bool           #: False → the episode ended in a rollback
+    prediction_hit: Optional[bool]
+    discarded_rollforward: bool
+    transitions: tuple[str, ...]
+
+
+@dataclass
+class MissionResult:
+    """Everything measured during one mission run."""
+
+    scheme: str
+    timing: str
+    mission_rounds: int
+    total_time: float
+    recoveries: list[RecoveryRecord] = field(default_factory=list)
+    checkpoints_written: int = 0
+    rollbacks: int = 0
+    trace: Optional[TraceRecorder] = None
+    normal_round_time: float = 0.0   #: per-round time of the fault-free phase
+
+    @property
+    def throughput(self) -> float:
+        """Certified rounds per unit time."""
+        return self.mission_rounds / self.total_time if self.total_time else 0.0
+
+    @property
+    def recovery_time_total(self) -> float:
+        return sum(r.duration for r in self.recoveries)
+
+    @property
+    def prediction_accuracy(self) -> Optional[float]:
+        """Fraction of recoveries whose prediction hit (None if n/a)."""
+        scored = [r.prediction_hit for r in self.recoveries
+                  if r.prediction_hit is not None]
+        if not scored:
+            return None
+        return sum(scored) / len(scored)
+
+    def mean_recovery_duration(self) -> Optional[float]:
+        if not self.recoveries:
+            return None
+        return self.recovery_time_total / len(self.recoveries)
+
+
+class VDSMission:
+    """Configured, runnable VDS mission."""
+
+    def __init__(self, timing: ArchTiming, scheme: RecoveryScheme,
+                 fault_plan: FaultPlan, mission_rounds: int,
+                 checkpoint_write_time: float = 0.0,
+                 checkpoint_restore_time: float = 0.0,
+                 predictor: Optional[Predictor] = None,
+                 seed: int = 0, record_trace: bool = True,
+                 max_rollbacks: int = 1000):
+        if mission_rounds < 1:
+            raise ConfigurationError("mission_rounds must be >= 1")
+        scheme.check_architecture(timing)
+        self.timing = timing
+        self.scheme = scheme
+        self.fault_plan = fault_plan
+        self.mission_rounds = mission_rounds
+        self.checkpoint_write_time = checkpoint_write_time
+        self.checkpoint_restore_time = checkpoint_restore_time
+        self.streams = RandomStreams(seed)
+        self.predictor = predictor or RandomPredictor(
+            self.streams.get("predictor")
+        )
+        self.record_trace = record_trace
+        self.max_rollbacks = max_rollbacks
+
+    @property
+    def _main_lane(self) -> str:
+        """Timeline lane of controller activities (CPU vs hardware thread 1)."""
+        return "CPU" if isinstance(self.timing, ConventionalTiming) else "T1"
+
+    # -- normal-phase execution --------------------------------------------
+    def _normal_round(self, ctx: RecoveryContext, global_round: int,
+                      i: int) -> Generator:
+        """One complete round of both versions + comparison (Fig. 1)."""
+        p = self.timing.params
+        if isinstance(self.timing, ConventionalTiming):
+            yield from ctx.elapse(p.t, "round", f"V1.R{i}", lane="CPU")
+            yield from ctx.elapse(p.c, "switch", f"cs@{global_round}a",
+                                  lane="CPU")
+            yield from ctx.elapse(p.t, "round", f"V2.R{i}", lane="CPU")
+            yield from ctx.elapse(p.c, "switch", f"cs@{global_round}b",
+                                  lane="CPU")
+            yield from ctx.elapse(p.t_cmp, "compare", f"cmp@{global_round}",
+                                  lane="CPU")
+        else:
+            yield from ctx.elapse_parallel(
+                2.0 * p.alpha * p.t, "round",
+                {"T1": f"V1.R{i}", "T2": f"V2.R{i}"},
+            )
+            yield from ctx.elapse(p.t_cmp, "compare", f"cmp@{global_round}",
+                                  lane="T1")
+
+    # -- the mission process ----------------------------------------------
+    def _process(self, sim: Simulator, trace: TraceRecorder,
+                 result: MissionResult) -> Generator:
+        p = self.timing.params
+        s = p.s
+        store = CheckpointStore(write_time=self.checkpoint_write_time,
+                                restore_time=self.checkpoint_restore_time)
+        states = {1: clean_state(1, 0), 2: clean_state(2, 0)}
+        checkpoint = store.save(clean_state(1, 0), global_round=0, time=sim.now)
+        ctx = RecoveryContext(
+            sim=sim, timing=self.timing, trace=trace,
+            rng=self.streams.get("recovery"), predictor=self.predictor,
+            states=states, checkpoint=checkpoint,
+            main_lane=self._main_lane,
+        )
+
+        completed = 0
+        pending: Optional[FaultEvent] = None
+        rollbacks = 0
+        consumed: set[int] = set()  # transients strike once; a re-executed
+        # round after a rollback does not see the same fault again
+        while completed < self.mission_rounds:
+            global_round = completed + 1
+            interval_base = (global_round - 1) // s * s
+            i = completed - interval_base + 1
+
+            yield from self._normal_round(ctx, global_round, i)
+            states[1] = states[1].advanced(1)
+            states[2] = states[2].advanced(1)
+
+            fault = pending
+            if fault is None and global_round not in consumed:
+                fault = self.fault_plan.fault_at(global_round)
+                if fault is not None:
+                    consumed.add(global_round)
+            pending = None
+            if fault is None:
+                completed += 1
+            else:
+                states[fault.victim] = states[fault.victim].corrupted()
+                if fault.both_victims:
+                    # Near-simultaneous second fault on the other version
+                    # (different corruption by the §2.1 constraint).
+                    other = 2 if fault.victim == 1 else 1
+                    states[other] = states[other].corrupted()
+                ctx.transitions = []
+                outcome = yield from self.scheme.recover(ctx, i, fault)
+                result.recoveries.append(RecoveryRecord(
+                    global_round=global_round, i=i, scheme=self.scheme.name,
+                    duration=outcome.duration, progress=outcome.progress,
+                    resolved=outcome.resolved,
+                    prediction_hit=outcome.prediction_hit,
+                    discarded_rollforward=outcome.discarded_rollforward,
+                    transitions=tuple(ctx.transitions),
+                ))
+                if outcome.resolved:
+                    completed = interval_base + i + outcome.progress
+                    new_round = i + outcome.progress
+                    states[1] = clean_state(1, new_round)
+                    states[2] = clean_state(2, new_round)
+                    pending = outcome.residual_fault
+                else:
+                    rollbacks += 1
+                    result.rollbacks = rollbacks
+                    if rollbacks > self.max_rollbacks:
+                        raise ConfigurationError(
+                            "mission exceeded max_rollbacks — the fault "
+                            "plan re-faults the same interval forever"
+                        )
+                    if store.restore_time > 0:
+                        yield from ctx.elapse(store.restore_time, "restore",
+                                              f"rollback@{global_round}",
+                                              lane=self._main_lane)
+                    completed = interval_base
+                    states[1] = clean_state(1, 0)
+                    states[2] = clean_state(2, 0)
+
+            if completed > 0 and completed % s == 0 \
+                    and completed > checkpoint.global_round:
+                if store.write_time > 0:
+                    yield from ctx.elapse(store.write_time, "checkpoint",
+                                          f"ckpt@{completed}",
+                                          lane=self._main_lane)
+                trace.point(sim.now, "checkpoint", f"ckpt@{completed}",
+                            lane=self._main_lane)
+                checkpoint = store.save(clean_state(1, 0),
+                                        global_round=completed, time=sim.now)
+                ctx.checkpoint = checkpoint
+                states[1] = clean_state(1, 0)
+                states[2] = clean_state(2, 0)
+
+        result.checkpoints_written = store.total_saved - 1  # minus t=0 seed
+        return result
+
+    def run(self) -> MissionResult:
+        """Execute the mission; returns the measured results."""
+        sim = Simulator()
+        trace = TraceRecorder(enabled=self.record_trace)
+        result = MissionResult(
+            scheme=self.scheme.name, timing=self.timing.name,
+            mission_rounds=self.mission_rounds, total_time=0.0,
+            trace=trace if self.record_trace else None,
+            normal_round_time=self.timing.normal_round(),
+        )
+        proc = sim.process(self._process(sim, trace, result), name="vds")
+        sim.run_until_event(proc)
+        result.total_time = sim.now
+        return result
+
+
+def run_mission(timing: ArchTiming, scheme: RecoveryScheme,
+                fault_plan: FaultPlan, mission_rounds: int,
+                **kwargs) -> MissionResult:
+    """Convenience wrapper: configure and run a mission in one call."""
+    return VDSMission(timing, scheme, fault_plan, mission_rounds,
+                      **kwargs).run()

@@ -1,0 +1,116 @@
+"""Rebuilding the paper's Fig. 1 execution timelines from mission traces.
+
+Fig. 1 shows, per processor architecture, the sequence of version rounds,
+context switches, state comparisons, checkpoints and recovery activities
+as bars over time.  :func:`build_timeline` extracts the Gantt segments per
+lane from a mission trace; :func:`render_timeline` draws them as ASCII art
+(one row per lane), which is how the FIG1 benchmark regenerates the figure
+in a terminal.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from repro.sim.trace import GanttSegment, TraceRecorder
+
+__all__ = ["Timeline", "build_timeline", "render_timeline",
+           "timeline_to_json"]
+
+#: Glyph per segment category in the ASCII rendering.
+_GLYPHS = {
+    "round": "█",
+    "switch": "▒",
+    "compare": "│",
+    "vote": "V",
+    "recovery": "R",
+    "retry": "R",
+    "checkpoint": "C",
+    "restore": "r",
+}
+
+
+@dataclass(frozen=True)
+class Timeline:
+    """Per-lane Gantt segments of one mission (or a window of it)."""
+
+    lanes: tuple[str, ...]
+    segments: tuple[GanttSegment, ...]
+    t_start: float
+    t_end: float
+
+    def lane_segments(self, lane: str) -> list[GanttSegment]:
+        return [s for s in self.segments if s.lane == lane]
+
+    def category_time(self, category: str) -> float:
+        """Total time covered by one category across all lanes."""
+        return sum(s.duration for s in self.segments
+                   if s.category == category)
+
+
+def build_timeline(trace: TraceRecorder, t_start: float = 0.0,
+                   t_end: Optional[float] = None) -> Timeline:
+    """Extract the [t_start, t_end) window of a trace as a timeline."""
+    if t_end is None:
+        t_end = trace.makespan()
+    segs = [s for s in trace.segments()
+            if s.end > t_start and s.start < t_end]
+    lanes = tuple(trace.lanes())
+    return Timeline(lanes=lanes, segments=tuple(segs),
+                    t_start=t_start, t_end=t_end)
+
+
+def timeline_to_json(timeline: Timeline) -> str:
+    """Serialise a timeline for external tooling (e.g. a Gantt viewer).
+
+    Schema: ``{"t_start", "t_end", "lanes": [...], "segments":
+    [{"lane", "category", "label", "start", "end"}, ...]}``.
+    """
+    import json
+
+    return json.dumps({
+        "t_start": timeline.t_start,
+        "t_end": timeline.t_end,
+        "lanes": list(timeline.lanes),
+        "segments": [
+            {"lane": s.lane, "category": s.category, "label": s.label,
+             "start": s.start, "end": s.end}
+            for s in timeline.segments
+        ],
+    }, indent=2)
+
+
+def render_timeline(timeline: Timeline, width: int = 100,
+                    lanes: Optional[Sequence[str]] = None) -> str:
+    """ASCII Gantt chart, one row per lane.
+
+    Each segment paints its category glyph over its time extent; later
+    segments overwrite earlier ones at the same cell (zero-length segments
+    paint one cell when room allows).
+    """
+    if width < 10:
+        raise ValueError("width must be >= 10")
+    span = timeline.t_end - timeline.t_start
+    if span <= 0:
+        return "(empty timeline)\n"
+    scale = width / span
+    rows: list[str] = []
+    lane_names = list(lanes) if lanes is not None else list(timeline.lanes)
+    label_w = max((len(l) for l in lane_names), default=4) + 1
+    for lane in lane_names:
+        cells = [" "] * width
+        for seg in timeline.lane_segments(lane):
+            glyph = _GLYPHS.get(seg.category, "?")
+            a = int((max(seg.start, timeline.t_start) - timeline.t_start)
+                    * scale)
+            b = int((min(seg.end, timeline.t_end) - timeline.t_start)
+                    * scale)
+            b = max(b, a + 1)
+            for x in range(a, min(b, width)):
+                cells[x] = glyph
+        rows.append(f"{lane:<{label_w}}|" + "".join(cells) + "|")
+    legend = "  ".join(f"{g}={c}" for c, g in _GLYPHS.items())
+    header = (f"t = [{timeline.t_start:g}, {timeline.t_end:g})  "
+              f"({span:g} time units)")
+    return "\n".join([header] + rows + [legend]) + "\n"

@@ -1,0 +1,147 @@
+"""Architecture timing primitives for the VDS simulation.
+
+The recovery schemes are *policies*; how long their primitive actions take
+depends on the processor architecture.  Each :class:`ArchTiming` exposes:
+
+``normal_round()``
+    one complete VDS round of the two active versions, including the state
+    comparison (Eq. (1) on the conventional CPU, Eq. (3) on 2-way SMT);
+``run_single(k)``
+    ``k`` rounds of a single version with no other thread active (footnote
+    1: a lone thread runs at conventional speed — ``k·t`` everywhere);
+``run_pair(k)``
+    ``k`` rounds in each of two concurrently busy hardware threads
+    (``2·k·α·t`` on SMT; on the conventional CPU the work serialises to
+    ``2·k·(t + c)``, context switches included);
+``run_n(k, n)``
+    ``k`` rounds in each of ``n`` busy threads (§5 extension);
+``compare()`` / ``switch()``
+    one state comparison ``t′`` / one context switch ``c``;
+``vote_overhead()``
+    the trailing ``2·t′`` of a recovery (Eq. (2) / Eq. (5); honours the
+    footnote-3 ``max(t′, c)`` option on SMT).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+
+from repro.core.params import AlphaCurve, VDSParameters
+from repro.errors import ConfigurationError
+
+__all__ = ["ArchTiming", "ConventionalTiming", "SMT2Timing", "SMTnTiming"]
+
+
+@dataclass(frozen=True)
+class ArchTiming(ABC):
+    """Timing primitives of one processor architecture."""
+
+    params: VDSParameters
+
+    #: hardware threads available to recovery schemes
+    hardware_threads: int = 1
+
+    @property
+    def name(self) -> str:
+        return type(self).__name__
+
+    @abstractmethod
+    def normal_round(self) -> float:
+        """One complete VDS round (both versions + comparison)."""
+
+    def run_single(self, k: float) -> float:
+        """``k`` rounds of one version alone (α = 1 alone, footnote 1)."""
+        if k < 0:
+            raise ConfigurationError(f"k must be >= 0, got {k}")
+        return k * self.params.t
+
+    @abstractmethod
+    def run_pair(self, k: float) -> float:
+        """``k`` rounds in each of two concurrently executing versions."""
+
+    def run_n(self, k: float, n: int) -> float:
+        """``k`` rounds in each of ``n`` concurrent versions."""
+        if n == 1:
+            return self.run_single(k)
+        if n == 2:
+            return self.run_pair(k)
+        raise ConfigurationError(
+            f"{self.name} supports at most 2 concurrent versions"
+        )
+
+    def compare(self) -> float:
+        return self.params.t_cmp
+
+    def switch(self) -> float:
+        return self.params.c
+
+    def vote_overhead(self) -> float:
+        """The two comparisons of the majority vote."""
+        return 2.0 * self.params.t_cmp
+
+
+@dataclass(frozen=True)
+class ConventionalTiming(ArchTiming):
+    """Single-threaded processor (Fig. 1(a))."""
+
+    hardware_threads: int = 1
+
+    def normal_round(self) -> float:
+        # Eq. (1): V1 round, switch, V2 round, switch, compare.
+        p = self.params
+        return 2.0 * (p.t + p.c) + p.t_cmp
+
+    def run_pair(self, k: float) -> float:
+        """Two versions time-share: 2k rounds plus 2k context switches."""
+        if k < 0:
+            raise ConfigurationError(f"k must be >= 0, got {k}")
+        p = self.params
+        return 2.0 * k * (p.t + p.c)
+
+
+@dataclass(frozen=True)
+class SMT2Timing(ArchTiming):
+    """2-way simultaneous multithreaded processor (Fig. 1(b))."""
+
+    hardware_threads: int = 2
+
+    def normal_round(self) -> float:
+        # Eq. (3): both versions in parallel, then compare.
+        p = self.params
+        return 2.0 * p.alpha * p.t + p.t_cmp
+
+    def run_pair(self, k: float) -> float:
+        if k < 0:
+            raise ConfigurationError(f"k must be >= 0, got {k}")
+        return 2.0 * k * self.params.alpha * self.params.t
+
+    def vote_overhead(self) -> float:
+        # Eq. (5) trailing term; footnote 3: exactly, max(t′, c).
+        return 2.0 * self.params.cmp_or_switch
+
+
+@dataclass(frozen=True)
+class SMTnTiming(SMT2Timing):
+    """SMT processor with ``n`` hardware threads (§5 extension)."""
+
+    hardware_threads: int = 3
+    curve: AlphaCurve = AlphaCurve()
+
+    def __post_init__(self) -> None:
+        if self.hardware_threads < 2:
+            raise ConfigurationError("SMTnTiming needs >= 2 hardware threads")
+
+    def run_n(self, k: float, n: int) -> float:
+        if n < 1:
+            raise ConfigurationError(f"n must be >= 1, got {n}")
+        if n > self.hardware_threads:
+            raise ConfigurationError(
+                f"{n} concurrent versions exceed {self.hardware_threads} "
+                "hardware threads"
+            )
+        if k < 0:
+            raise ConfigurationError(f"k must be >= 0, got {k}")
+        if n == 1:
+            return self.run_single(k)
+        return n * self.curve(n) * k * self.params.t

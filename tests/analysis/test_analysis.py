@@ -1,0 +1,135 @@
+"""Tests for the analysis package (sweep, metrics, statistics, report)."""
+
+import math
+
+import pytest
+
+from repro.analysis.metrics import (
+    availability,
+    detection_latency_bound,
+    double_fault_probability,
+    interval_completion_probability,
+)
+from repro.analysis.report import format_value, render_surface, render_table
+from repro.analysis.statistics import summarize
+from repro.analysis.sweep import sweep
+from repro.core.params import VDSParameters
+from repro.core.surfaces import figure4_surface
+from repro.errors import ConfigurationError
+
+P = VDSParameters(alpha=0.65, beta=0.1, s=20)
+
+
+class TestSweep:
+    def test_cartesian_product(self):
+        recs = sweep({"x": [1, 2], "y": [10, 20]},
+                     lambda x, y: {"sum": x + y})
+        assert len(recs) == 4
+        assert recs[0].point == {"x": 1, "y": 10}
+        assert recs[-1].outputs == {"sum": 22}
+
+    def test_row_extraction(self):
+        recs = sweep({"x": [3]}, lambda x: {"sq": x * x})
+        assert recs[0].row(["x", "sq"]) == [3, 9]
+        with pytest.raises(KeyError):
+            recs[0].row(["unknown"])
+
+    def test_empty_axes_rejected(self):
+        with pytest.raises(ValueError):
+            sweep({}, lambda: {})
+
+
+class TestMetrics:
+    def test_latency_bound_is_one_round(self):
+        assert detection_latency_bound(P) == pytest.approx(2.3)
+        assert detection_latency_bound(P, smt=True) == pytest.approx(1.4)
+
+    def test_interval_completion_probability(self):
+        assert interval_completion_probability(0.0, 100.0) == 1.0
+        assert interval_completion_probability(0.01, 100.0) == \
+            pytest.approx(math.exp(-1.0))
+
+    def test_double_fault_probability_small_window(self):
+        """Shortening comparison windows suppresses double faults
+        quadratically — the ref [14] motivation for frequent tests."""
+        p_long = double_fault_probability(0.01, 10.0)
+        p_short = double_fault_probability(0.01, 1.0)
+        assert p_short < p_long / 50
+
+    def test_availability(self):
+        assert availability(100.0, 10.0) == pytest.approx(0.9)
+        with pytest.raises(ConfigurationError):
+            availability(0.0, 0.0)
+        with pytest.raises(ConfigurationError):
+            availability(10.0, 20.0)
+
+
+class TestStatistics:
+    def test_summary_of_constant(self):
+        s = summarize([5.0] * 10)
+        assert s.mean == 5.0 and s.std == 0.0
+        assert s.contains(5.0) and not s.contains(5.1)
+
+    def test_single_value(self):
+        s = summarize([3.0])
+        assert s.ci_low == s.ci_high == 3.0
+
+    def test_interval_covers_true_mean(self, rng):
+        values = rng.normal(10.0, 2.0, size=500)
+        s = summarize(values)
+        assert s.contains(10.0)
+        assert s.half_width < 0.4
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            summarize([])
+
+
+class TestReport:
+    def test_format_value(self):
+        assert format_value(1.23456) == "1.235"
+        assert format_value(True) == "yes"
+        assert format_value("abc") == "abc"
+        assert format_value(float("nan")) == "-"
+
+    def test_render_table_alignment(self):
+        text = render_table(["name", "value"],
+                            [["alpha", 0.65], ["beta", 0.1]],
+                            title="params")
+        lines = text.splitlines()
+        assert lines[0] == "params"
+        assert all(line.startswith("|") for line in lines[1:])
+        widths = {len(line) for line in lines[1:]}
+        assert len(widths) == 1  # perfectly aligned
+
+    def test_render_surface_marks_breakeven(self):
+        text = render_surface(figure4_surface())
+        assert "+" in text           # some cells gain
+        assert "beta\\alpha" in text
+        # The alpha=1, beta=0 corner loses: its cell must not carry '+'.
+        lines = [l for l in text.splitlines() if l.startswith("| 0.00")]
+        assert lines and not lines[0].rstrip("| ").endswith("+")
+
+
+class TestRenderCSV:
+    def test_basic_csv(self):
+        from repro.analysis.report import render_csv
+
+        text = render_csv(["a", "b"], [[1, 2.5], ["x,y", 'say "hi"']])
+        lines = text.splitlines()
+        assert lines[0] == "a,b"
+        assert lines[1] == "1,2.500000"
+        assert lines[2] == '"x,y","say ""hi"""'
+
+    def test_round_trips_through_csv_module(self):
+        import csv
+        import io
+
+        from repro.analysis.report import render_csv
+
+        rows = [["alpha", 0.65], ["with,comma", 'quo"te']]
+        text = render_csv(["k", "v"], rows)
+        parsed = list(csv.reader(io.StringIO(text)))
+        assert parsed[0] == ["k", "v"]
+        assert parsed[1] == ["alpha", "0.650000"]
+        assert parsed[2] == ["with,comma", 'quo"te']

@@ -1,0 +1,90 @@
+"""Tests for checkpoint-interval optimisation."""
+
+import pytest
+
+from repro.analysis.checkpoint_opt import (
+    expected_net_recovery_cost,
+    optimal_checkpoint_interval,
+    time_per_round,
+    young_approximation,
+)
+from repro.core.params import VDSParameters
+from repro.errors import ConfigurationError
+
+P = VDSParameters(alpha=0.65, beta=0.1, s=20)
+
+
+class TestNetRecoveryCost:
+    def test_stop_and_retry_is_mean_correction(self):
+        # E[i t + 2t'] = (s+1)/2 + 0.2 = 10.7 at s = 20.
+        assert expected_net_recovery_cost(P, "stop-and-retry") == \
+            pytest.approx(10.7)
+
+    def test_prediction_subtracts_rollforward(self):
+        plain = expected_net_recovery_cost(P, "smt-stop-and-retry")
+        pred_p0 = expected_net_recovery_cost(P, "prediction", p=0.0)
+        pred_p1 = expected_net_recovery_cost(P, "prediction", p=1.0)
+        assert pred_p1 < pred_p0
+        assert pred_p1 < plain
+
+    def test_unknown_scheme(self):
+        with pytest.raises(ConfigurationError):
+            expected_net_recovery_cost(P, "magic")
+
+
+class TestTimePerRound:
+    def test_components(self):
+        # No faults, no write: just the round time.
+        assert time_per_round(P, "stop-and-retry", 0.0, 0.0) == \
+            pytest.approx(2.3)
+        # Write cost amortises by 1/s.
+        assert time_per_round(P, "stop-and-retry", 0.0, 20.0) == \
+            pytest.approx(2.3 + 1.0)
+
+    def test_fault_rate_adds_linear_term(self):
+        base = time_per_round(P, "stop-and-retry", 0.0, 0.0)
+        risky = time_per_round(P, "stop-and-retry", 1e-3, 0.0)
+        assert risky == pytest.approx(base + 1e-3 * 2.3 * 10.7)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            time_per_round(P, "stop-and-retry", -1.0, 0.0)
+
+
+class TestOptimalInterval:
+    def test_square_root_scaling_in_write_cost(self):
+        s_small = optimal_checkpoint_interval(P, "stop-and-retry", 1e-3,
+                                              5.0).s_star
+        s_big = optimal_checkpoint_interval(P, "stop-and-retry", 1e-3,
+                                            20.0).s_star
+        # W quadrupled -> s* roughly doubles.
+        assert s_big == pytest.approx(2 * s_small, rel=0.15)
+
+    def test_inverse_square_root_in_rate(self):
+        s_lo = optimal_checkpoint_interval(P, "stop-and-retry", 1e-3,
+                                           5.0).s_star
+        s_hi = optimal_checkpoint_interval(P, "stop-and-retry", 4e-3,
+                                           5.0).s_star
+        assert s_hi == pytest.approx(s_lo / 2, rel=0.15)
+
+    def test_young_tracks_integer_optimum(self):
+        plan = optimal_checkpoint_interval(P, "stop-and-retry", 1e-2, 5.0)
+        young = young_approximation(P, 1e-2, 5.0)
+        assert plan.s_star == pytest.approx(young, rel=0.1)
+
+    def test_smt_prefers_longer_intervals(self):
+        conv = optimal_checkpoint_interval(P, "stop-and-retry", 1e-2, 5.0)
+        smt = optimal_checkpoint_interval(P, "prediction", 1e-2, 5.0, p=0.5)
+        assert smt.s_star >= conv.s_star
+
+    def test_penalty_at_off_optimum(self):
+        plan = optimal_checkpoint_interval(P, "stop-and-retry", 1e-2, 5.0,
+                                           s_max=100)
+        assert plan.penalty_at(plan.s_star) == 0.0
+        assert plan.penalty_at(1) > 0.0
+        with pytest.raises(ConfigurationError):
+            plan.penalty_at(101)
+
+    def test_young_needs_positive_rate(self):
+        with pytest.raises(ConfigurationError):
+            young_approximation(P, 0.0, 5.0)

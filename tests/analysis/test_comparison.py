@@ -1,0 +1,69 @@
+"""Tests for the VAL-1 comparison machinery."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.comparison import (
+    compare_architectures,
+    measured_recovery_gain,
+)
+from repro.core.gains import deterministic_gain
+from repro.core.params import VDSParameters
+from repro.errors import ConfigurationError
+from repro.vds.faultplan import FaultEvent, FaultPlan
+from repro.vds.recovery import RollForwardDeterministic, StopAndRetry
+from repro.vds.system import RecoveryRecord
+
+P = VDSParameters(alpha=0.65, beta=0.1, s=20)
+
+
+def _rec(i, duration, progress=0):
+    return RecoveryRecord(global_round=i, i=i, scheme="x",
+                          duration=duration, progress=progress,
+                          resolved=True, prediction_hit=None,
+                          discarded_rollforward=False, transitions=())
+
+
+class TestMeasuredGain:
+    def test_formula(self):
+        g = measured_recovery_gain(_rec(7, 7.2), _rec(7, 9.3, progress=2),
+                                   conv_round_time=2.3)
+        assert g == pytest.approx((7.2 + 2 * 2.3) / 9.3)
+
+    def test_round_mismatch_rejected(self):
+        with pytest.raises(ConfigurationError):
+            measured_recovery_gain(_rec(7, 7.2), _rec(8, 9.3), 2.3)
+
+
+class TestCompareArchitectures:
+    def test_deterministic_scheme_agrees_with_model(self):
+        plan = FaultPlan.from_events([FaultEvent(round=8, victim=2)])
+
+        def predicted(params, i, hit):
+            # i = 8: integer progress equals the model's fractional i/4.
+            return deterministic_gain(params, i)
+
+        comp = compare_architectures(P, RollForwardDeterministic(),
+                                     StopAndRetry(), plan, 20, predicted)
+        assert comp.max_recovery_gain_error() < 1e-9
+        assert comp.measured_round_gain == pytest.approx(2.3 / 1.4)
+        assert comp.mission_speedup > 1.0
+
+    def test_empty_fault_plan(self):
+        comp = compare_architectures(
+            P, RollForwardDeterministic(), StopAndRetry(), FaultPlan(), 20,
+            lambda *a: 1.0,
+        )
+        assert comp.measured_recovery_gains == ()
+        assert comp.mean_measured_recovery_gain is None
+        assert comp.max_recovery_gain_error() == 0.0
+
+    def test_keep_results(self):
+        plan = FaultPlan.from_events([FaultEvent(round=4)])
+        comp = compare_architectures(
+            P, RollForwardDeterministic(), StopAndRetry(), plan, 20,
+            lambda params, i, hit: deterministic_gain(params, i),
+            keep_results=True,
+        )
+        assert comp.conv_result is not None
+        assert comp.smt_result is not None

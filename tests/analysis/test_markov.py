@@ -1,0 +1,81 @@
+"""Tests for the CTMC dependability models."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.markov import (
+    CTMC,
+    compare_dependability,
+    simplex_model,
+    vds_model,
+)
+from repro.errors import ConfigurationError
+
+
+class TestCTMC:
+    def test_two_state_steady_state_closed_form(self):
+        chain = CTMC(["A", "B"], {("A", "B"): 2.0, ("B", "A"): 3.0})
+        pi = chain.steady_state()
+        assert pi[chain.index["A"]] == pytest.approx(3 / 5)
+        assert pi[chain.index["B"]] == pytest.approx(2 / 5)
+
+    def test_rows_sum_to_zero(self):
+        chain = CTMC(["A", "B", "C"],
+                     {("A", "B"): 1.0, ("B", "C"): 2.0, ("C", "A"): 0.5})
+        assert np.allclose(chain.Q.sum(axis=1), 0.0)
+
+    def test_mtta_exponential(self):
+        chain = CTMC(["UP", "DOWN"], {("UP", "DOWN"): 0.25,
+                                      ("DOWN", "UP"): 1.0})
+        assert chain.mean_time_to_absorption("UP", ["DOWN"]) == \
+            pytest.approx(4.0)
+
+    def test_mtta_from_absorbing_state_is_zero(self):
+        chain = CTMC(["A", "B"], {("A", "B"): 1.0, ("B", "A"): 1.0})
+        assert chain.mean_time_to_absorption("B", ["B"]) == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            CTMC(["A", "A"], {})
+        with pytest.raises(ConfigurationError):
+            CTMC(["A", "B"], {("A", "A"): 1.0})
+        with pytest.raises(ConfigurationError):
+            CTMC(["A", "B"], {("A", "X"): 1.0})
+        with pytest.raises(ConfigurationError):
+            CTMC(["A", "B"], {("A", "B"): -1.0})
+
+
+class TestModels:
+    def test_simplex_availability_closed_form(self):
+        chain = simplex_model(fault_rate=0.01, repair_rate=0.09)
+        assert chain.probability(["UP"]) == pytest.approx(0.9)
+
+    def test_vds_beats_simplex(self):
+        rep = compare_dependability(1e-3, 10.0, 8.0, repair_rate=1e-3)
+        assert rep.availability_vds_conv > rep.availability_simplex
+        assert rep.mttf_vds_conv > rep.mttf_simplex * 10
+
+    def test_faster_recovery_strictly_better(self):
+        rep = compare_dependability(1e-2, 10.0, 5.0, repair_rate=1e-3)
+        assert rep.availability_vds_smt > rep.availability_vds_conv
+        assert rep.mttf_vds_smt > rep.mttf_vds_conv
+
+    def test_equal_recovery_equal_result(self):
+        rep = compare_dependability(1e-2, 10.0, 10.0, repair_rate=1e-3)
+        assert rep.availability_vds_smt == pytest.approx(
+            rep.availability_vds_conv
+        )
+
+    def test_coverage_dominates_mttf(self):
+        lo = vds_model(1e-3, 0.1, 1e-3, coverage=0.9)
+        hi = vds_model(1e-3, 0.1, 1e-3, coverage=0.999)
+        assert hi.mean_time_to_absorption("UP", ["FAILED"]) > \
+            5 * lo.mean_time_to_absorption("UP", ["FAILED"])
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            simplex_model(0.0, 1.0)
+        with pytest.raises(ConfigurationError):
+            vds_model(1e-3, 0.1, 1e-3, coverage=1.5)
+        with pytest.raises(ConfigurationError):
+            compare_dependability(1e-3, 0.0, 1.0, 1e-3)

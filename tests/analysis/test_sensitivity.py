@@ -1,0 +1,49 @@
+"""Tests for the gain-sensitivity analysis."""
+
+import pytest
+
+from repro.analysis.sensitivity import gain_elasticities, tornado
+from repro.errors import ConfigurationError
+
+
+class TestElasticities:
+    def test_alpha_dominates_at_p4_point(self):
+        e = gain_elasticities()
+        assert e.dominant() == "alpha"
+        assert e.alpha < 0  # gain falls as alpha rises
+        assert abs(e.alpha) > abs(e.p) > abs(e.beta)
+
+    def test_gain_matches_model(self):
+        e = gain_elasticities()
+        assert e.gain == pytest.approx(1.3466, abs=1e-3)
+
+    def test_p_elasticity_positive(self):
+        assert gain_elasticities().p > 0
+
+    def test_alpha_elasticity_near_minus_one(self):
+        """G ∝ 1/α up to the roll-forward term → elasticity ≈ −1."""
+        e = gain_elasticities()
+        assert -1.2 < e.alpha < -0.7
+
+    def test_step_validated(self):
+        with pytest.raises(ConfigurationError):
+            gain_elasticities(rel_step=0.5)
+
+
+class TestTornado:
+    def test_rows_sorted_by_swing(self):
+        rows = tornado()
+        swings = [abs(hi - lo) for _n, lo, hi in rows]
+        assert swings == sorted(swings, reverse=True)
+
+    def test_alpha_first(self):
+        assert tornado()[0][0] == "alpha"
+
+    def test_alpha_swing_direction(self):
+        rows = {n: (lo, hi) for n, lo, hi in tornado()}
+        lo, hi = rows["alpha"]
+        assert lo > hi  # lower alpha → higher gain
+
+    def test_range_validated(self):
+        with pytest.raises(ConfigurationError):
+            tornado(rel_range=0.9)

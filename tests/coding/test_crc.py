@@ -1,0 +1,55 @@
+"""Tests for the from-scratch CRC implementations."""
+
+import zlib
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.coding.crc import crc16_ccitt, crc32, crc32_words
+
+
+class TestCRC32:
+    @given(data=st.binary(max_size=500))
+    @settings(max_examples=60)
+    def test_matches_zlib(self, data):
+        assert crc32(data) == zlib.crc32(data)
+
+    def test_known_vector(self):
+        # The classic check value for CRC-32: "123456789" -> 0xCBF43926.
+        assert crc32(b"123456789") == 0xCBF43926
+
+    def test_empty(self):
+        assert crc32(b"") == 0
+
+    @given(data=st.binary(min_size=1, max_size=100),
+           pos=st.integers(0, 99), bit=st.integers(0, 7))
+    @settings(max_examples=60)
+    def test_detects_single_bit_flip(self, data, pos, bit):
+        pos %= len(data)
+        corrupted = bytearray(data)
+        corrupted[pos] ^= 1 << bit
+        assert crc32(bytes(corrupted)) != crc32(data)
+
+    def test_crc32_words(self):
+        words = np.array([1, 2, 3], dtype=np.uint32)
+        expected = zlib.crc32(words.astype("<u4").tobytes())
+        assert crc32_words(words) == expected
+
+
+class TestCRC16:
+    def test_known_vector(self):
+        # CRC-16/CCITT-FALSE check value: "123456789" -> 0x29B1.
+        assert crc16_ccitt(b"123456789") == 0x29B1
+
+    @given(data=st.binary(min_size=1, max_size=60),
+           pos=st.integers(0, 59), bit=st.integers(0, 7))
+    @settings(max_examples=60)
+    def test_detects_single_bit_flip(self, data, pos, bit):
+        pos %= len(data)
+        corrupted = bytearray(data)
+        corrupted[pos] ^= 1 << bit
+        assert crc16_ccitt(bytes(corrupted)) != crc16_ccitt(data)
+
+    def test_initial_value_matters(self):
+        assert crc16_ccitt(b"abc", initial=0) != crc16_ccitt(b"abc")

@@ -1,0 +1,110 @@
+"""Tests for parity and the protected memory wrapper."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.coding.memory import MemoryErrorEvent, ProtectedMemory, Protection
+from repro.coding.parity import check_parity, encode_parity, parity_bit
+from repro.errors import FaultModelError
+
+
+class TestParity:
+    @pytest.mark.parametrize("word,expected", [
+        (0, 0), (1, 1), (3, 0), (0xFFFFFFFF, 0), (0x80000001, 0),
+        (0x80000000, 1),
+    ])
+    def test_even_parity(self, word, expected):
+        assert parity_bit(word) == expected
+
+    def test_odd_parity_complements(self):
+        for w in (0, 1, 0xDEADBEEF):
+            assert parity_bit(w, odd=True) == parity_bit(w) ^ 1
+
+    @given(st.lists(st.integers(0, 2**32 - 1), min_size=1, max_size=50))
+    def test_vectorized_matches_scalar(self, words):
+        arr = np.array(words, dtype=np.uint32)
+        vec = encode_parity(arr)
+        assert list(vec) == [parity_bit(w) for w in words]
+
+    @given(st.integers(0, 2**32 - 1), st.integers(0, 31))
+    @settings(max_examples=60)
+    def test_single_flip_always_detected(self, word, bit):
+        arr = np.array([word], dtype=np.uint32)
+        p = encode_parity(arr)
+        corrupted = np.array([word ^ (1 << bit)], dtype=np.uint32)
+        assert check_parity(corrupted, p)[0]
+
+    def test_double_flip_missed(self):
+        """Parity's known blind spot."""
+        arr = np.array([0], dtype=np.uint32)
+        p = encode_parity(arr)
+        corrupted = np.array([0b11], dtype=np.uint32)
+        assert not check_parity(corrupted, p)[0]
+
+
+class TestProtectedMemory:
+    @pytest.mark.parametrize("protection", list(Protection))
+    def test_write_read_roundtrip(self, protection):
+        mem = ProtectedMemory(8, protection)
+        mem.write(3, 0xCAFEBABE)
+        value, status = mem.read(3)
+        assert value == 0xCAFEBABE and status is None
+
+    def test_secded_corrects_data_flip(self):
+        mem = ProtectedMemory(4, Protection.SECDED)
+        mem.write(0, 0x12345678)
+        mem.flip_data_bit(0, 13)
+        value, status = mem.read(0)
+        assert value == 0x12345678 and status == "corrected"
+        # Correction is written back: the next read is clean.
+        assert mem.read(0) == (0x12345678, None)
+
+    @pytest.mark.parametrize("protection", [Protection.PARITY,
+                                            Protection.CRC])
+    def test_detecting_codes_flag_flip(self, protection):
+        mem = ProtectedMemory(4, protection)
+        mem.write(1, 77)
+        mem.flip_data_bit(1, 3)
+        _value, status = mem.read(1)
+        assert status == "detected"
+        assert mem.events == [MemoryErrorEvent(1, "detected", protection)]
+
+    def test_unprotected_misses_flip(self):
+        mem = ProtectedMemory(4, Protection.NONE)
+        mem.write(1, 8)
+        mem.flip_data_bit(1, 3)
+        value, status = mem.read(1)
+        assert status is None and value == 0  # 8 ^ 8 = 0: silent corruption
+
+    def test_code_bit_flip_detected(self):
+        mem = ProtectedMemory(4, Protection.PARITY)
+        mem.write(0, 5)
+        mem.flip_code_bit(0)
+        assert mem.read(0)[1] == "detected"
+
+    def test_secded_code_bit_flip_corrected(self):
+        mem = ProtectedMemory(4, Protection.SECDED)
+        mem.write(0, 5)
+        mem.flip_code_bit(0, 1)
+        value, status = mem.read(0)
+        assert value == 5 and status == "corrected"
+
+    def test_scrub_repairs_everything(self):
+        mem = ProtectedMemory(8, Protection.SECDED)
+        for a in range(8):
+            mem.write(a, a * 3)
+        mem.flip_data_bit(2, 7)
+        mem.flip_data_bit(5, 0)
+        assert mem.scrub() == 2
+        assert mem.scrub() == 0
+        assert mem.read(2) == (6, None) and mem.read(5) == (15, None)
+
+    def test_address_validation(self):
+        mem = ProtectedMemory(4)
+        with pytest.raises(FaultModelError):
+            mem.read(9)
+        with pytest.raises(FaultModelError):
+            mem.write(-1, 0)
+        with pytest.raises(FaultModelError):
+            ProtectedMemory(0)

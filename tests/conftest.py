@@ -1,0 +1,38 @@
+"""Shared fixtures and hypothesis profiles for the test suite."""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, settings
+
+from repro.core.params import VDSParameters
+
+# Profiles: "default" for everyday runs; "thorough" (HYPOTHESIS_PROFILE=
+# thorough or --hypothesis-profile) multiplies example counts for long
+# soak runs.
+settings.register_profile("default", deadline=None)
+settings.register_profile(
+    "thorough",
+    deadline=None,
+    max_examples=500,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+import os
+
+settings.load_profile(os.environ.get("HYPOTHESIS_PROFILE", "default"))
+
+
+@pytest.fixture
+def p4_params() -> VDSParameters:
+    """The paper's headline operating point: alpha=0.65, beta=0.1, s=20."""
+    return VDSParameters(alpha=0.65, beta=0.1, s=20)
+
+
+@pytest.fixture
+def zero_overhead_params() -> VDSParameters:
+    """beta = 0: the regime where the printed approximations are exact."""
+    return VDSParameters(alpha=0.65, beta=0.0, s=20)
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(12345)

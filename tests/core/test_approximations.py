@@ -1,0 +1,71 @@
+"""Tests for the harmonic-sum helpers."""
+
+import math
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.approximations import (
+    harmonic,
+    harmonic_range,
+    harmonic_range_error_bound,
+    harmonic_range_log_approx,
+    mean_over_rounds,
+)
+
+
+class TestHarmonic:
+    def test_small_values(self):
+        assert harmonic(0) == 0.0
+        assert harmonic(1) == 1.0
+        assert harmonic(4) == pytest.approx(1 + 0.5 + 1 / 3 + 0.25)
+
+    def test_asymptotic_matches_exact(self):
+        """The large-n expansion agrees with direct summation."""
+        exact = float(sum(1.0 / i for i in range(1, 10_001)))
+        assert harmonic(10_000) == pytest.approx(exact, rel=1e-12)
+        # Just above the switch point the expansion must be seamless.
+        direct = exact + 1.0 / 10_001
+        assert harmonic(10_001) == pytest.approx(direct, rel=1e-10)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            harmonic(-1)
+
+
+class TestHarmonicRange:
+    def test_empty_range(self):
+        assert harmonic_range(5, 5) == 0.0
+        assert harmonic_range(5, 3) == 0.0
+
+    def test_paper_constants(self):
+        """The three log constants behind Eqs. (7), (8), (13)."""
+        s = 100_000
+        assert harmonic_range(4 * s // 5, s) == pytest.approx(
+            math.log(5 / 4), abs=1e-4
+        )
+        assert harmonic_range(2 * s // 3, s) == pytest.approx(
+            math.log(3 / 2), abs=1e-4
+        )
+        assert harmonic_range(s // 2, s) == pytest.approx(
+            math.log(2), abs=1e-4
+        )
+
+    @given(n=st.integers(1, 2000), m=st.integers(1, 4000))
+    @settings(max_examples=80)
+    def test_error_bound_holds(self, n, m):
+        err = abs(harmonic_range(n, m) - harmonic_range_log_approx(n, m))
+        assert err <= harmonic_range_error_bound(n, m) + 1e-12
+
+    def test_log_approx_needs_positive_n(self):
+        with pytest.raises(ValueError):
+            harmonic_range_log_approx(0, 5)
+
+
+class TestMeanOverRounds:
+    def test_plain_mean(self):
+        assert mean_over_rounds([1.0, 2.0, 3.0]) == 2.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            mean_over_rounds([])

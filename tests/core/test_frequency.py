@@ -1,0 +1,80 @@
+"""Tests for the §5 frequency/power trade-off model."""
+
+import pytest
+
+from repro.core.frequency import (
+    PowerModel,
+    duplex_die_area_factor,
+    equal_performance_frequency_scale,
+    smt_die_area_factor,
+)
+from repro.core.gains import round_gain
+from repro.core.params import VDSParameters
+from repro.errors import ConfigurationError
+
+P4 = VDSParameters(alpha=0.65, beta=0.1, s=20)
+
+
+class TestFrequencyScale:
+    def test_exact_is_inverse_round_gain(self):
+        assert equal_performance_frequency_scale(P4) == pytest.approx(
+            1.0 / round_gain(P4)
+        )
+
+    def test_approx_is_alpha(self):
+        """'Clock frequency reduced by a factor of at least 1/α.'"""
+        assert equal_performance_frequency_scale(P4, exact=False) == 0.65
+
+    def test_exact_at_most_approx(self):
+        # Overheads make the SMT side even faster relative to conventional,
+        # so the exact scale can go below α.
+        assert equal_performance_frequency_scale(P4) <= 0.65 + 1e-12
+
+    def test_scale_in_unit_interval(self):
+        for alpha in (0.5, 0.65, 0.9, 1.0):
+            p = VDSParameters(alpha=alpha, beta=0.1, s=20)
+            assert 0 < equal_performance_frequency_scale(p) <= 1.0
+
+
+class TestPowerModel:
+    def test_cubic_dynamic_power(self):
+        m = PowerModel(voltage_exponent=1.0, static_fraction=0.0)
+        assert m.relative_power(0.5) == pytest.approx(0.125)
+
+    def test_linear_frequency_only(self):
+        m = PowerModel(voltage_exponent=0.0, static_fraction=0.0)
+        assert m.relative_power(0.5) == pytest.approx(0.5)
+
+    def test_static_fraction_floors_power(self):
+        m = PowerModel(voltage_exponent=1.0, static_fraction=0.2)
+        assert m.relative_power(0.01) == pytest.approx(0.2, abs=1e-4)
+
+    def test_nominal_power_is_one(self):
+        for m in (PowerModel(), PowerModel(0.0, 0.3)):
+            assert m.relative_power(1.0) == pytest.approx(1.0)
+
+    def test_equal_performance_power_saves(self):
+        """§5's point: same VDS performance, much less power."""
+        m = PowerModel()
+        assert m.equal_performance_power(P4) < 0.5
+
+    def test_energy_per_round_less_than_one(self):
+        m = PowerModel()
+        scale = equal_performance_frequency_scale(P4)
+        assert m.relative_energy_per_round(P4, scale) < 1.0
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            PowerModel(voltage_exponent=-1.0)
+        with pytest.raises(ConfigurationError):
+            PowerModel(static_fraction=1.0)
+        with pytest.raises(ConfigurationError):
+            PowerModel().relative_power(0.0)
+
+
+class TestDieArea:
+    def test_smt_five_percent(self):
+        assert smt_die_area_factor() == pytest.approx(1.05)
+
+    def test_duplex_doubles(self):
+        assert duplex_die_area_factor() == 2.0

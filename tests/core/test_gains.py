@@ -1,0 +1,151 @@
+"""Tests for Eqs. (4), (6)–(8) in repro.core.gains."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.gains import (
+    deterministic_breakeven_alpha,
+    deterministic_gain,
+    deterministic_gain_approx,
+    deterministic_mean_gain,
+    deterministic_mean_gain_approx,
+    deterministic_rollforward_rounds,
+    probabilistic_gain,
+    probabilistic_gain_approx,
+    probabilistic_mean_gain,
+    probabilistic_mean_gain_approx,
+    probabilistic_rollforward_rounds,
+    round_gain,
+    round_gain_approx,
+)
+from repro.core.params import VDSParameters
+from repro.errors import ConfigurationError
+
+ZERO = VDSParameters(alpha=0.65, beta=0.0, s=20)
+
+
+class TestRoundGain:
+    def test_approx_is_one_over_alpha(self):
+        assert round_gain_approx(ZERO) == pytest.approx(1 / 0.65)
+
+    def test_exact_at_zero_overhead(self):
+        assert round_gain(ZERO) == pytest.approx(1 / 0.65)
+
+    def test_overhead_increases_gain(self):
+        # Context switches only burden the conventional side.
+        p_oh = VDSParameters(alpha=0.65, beta=0.1, s=20)
+        assert round_gain(p_oh) > round_gain(ZERO)
+
+    @given(alpha=st.floats(0.5, 1.0), beta=st.floats(0.0, 1.0))
+    def test_gain_at_least_one(self, alpha, beta):
+        p = VDSParameters(alpha=alpha, beta=beta, s=20)
+        assert round_gain(p) >= 1.0 - 1e-12
+
+
+class TestDeterministicScheme:
+    def test_rollforward_truncation(self):
+        # min(i/4, s-i): binding from i > 4s/5 = 16.
+        assert deterministic_rollforward_rounds(ZERO, 8) == pytest.approx(2.0)
+        assert deterministic_rollforward_rounds(ZERO, 16) == pytest.approx(4.0)
+        assert deterministic_rollforward_rounds(ZERO, 18) == pytest.approx(2.0)
+        assert deterministic_rollforward_rounds(ZERO, 20) == pytest.approx(0.0)
+
+    def test_approx_piecewise(self):
+        # i <= 4s/5: 3/(4α).
+        assert deterministic_gain_approx(ZERO, 8) == pytest.approx(
+            3 / (4 * 0.65)
+        )
+        # i > 4s/5: (2s − i)/(2 i α).
+        assert deterministic_gain_approx(ZERO, 18) == pytest.approx(
+            (40 - 18) / (2 * 18 * 0.65)
+        )
+
+    def test_exact_matches_approx_at_zero_overhead(self):
+        for i in ZERO.rounds():
+            assert deterministic_gain(ZERO, i) == pytest.approx(
+                deterministic_gain_approx(ZERO, i), rel=1e-12
+            )
+
+    def test_mean_closed_form(self):
+        # Ḡ_det ≈ (1 + 2 ln(5/4))/(2α); exact mean is within ~2% at s=20.
+        assert deterministic_mean_gain_approx(ZERO) == pytest.approx(
+            (1 + 2 * math.log(1.25)) / (2 * 0.65)
+        )
+        assert deterministic_mean_gain(ZERO) == pytest.approx(
+            deterministic_mean_gain_approx(ZERO), rel=0.02
+        )
+
+    def test_breakeven_alpha_is_0723(self):
+        b = deterministic_breakeven_alpha()
+        assert b == pytest.approx(0.7231, abs=1e-4)
+        # The claim: gain > 1 strictly below, < 1 strictly above.
+        lo = VDSParameters(alpha=0.70, beta=0.0, s=1000)
+        hi = VDSParameters(alpha=0.75, beta=0.0, s=1000)
+        assert deterministic_mean_gain(lo) > 1.0
+        assert deterministic_mean_gain(hi) < 1.0
+
+    @given(alpha=st.floats(0.5, 1.0), s=st.integers(2, 60))
+    def test_gain_decreasing_in_alpha(self, alpha, s):
+        p = VDSParameters(alpha=alpha, beta=0.0, s=s)
+        g = deterministic_mean_gain(p)
+        q = VDSParameters(alpha=min(1.0, alpha + 0.05), beta=0.0, s=s)
+        assert deterministic_mean_gain(q) <= g + 1e-12
+
+
+class TestProbabilisticScheme:
+    def test_rollforward_truncation(self):
+        # min(i/2, s−i): binding from i > 2s/3 ≈ 13.3.
+        assert probabilistic_rollforward_rounds(ZERO, 10) == pytest.approx(5.0)
+        assert probabilistic_rollforward_rounds(ZERO, 14) == pytest.approx(6.0)
+        assert probabilistic_rollforward_rounds(ZERO, 18) == pytest.approx(2.0)
+
+    def test_approx_piecewise(self):
+        assert probabilistic_gain_approx(ZERO, 10, 0.5) == pytest.approx(
+            1.5 / (2 * 0.65)
+        )
+        assert probabilistic_gain_approx(ZERO, 18, 0.5) == pytest.approx(
+            (1 + 2 * 0.5 * (20 / 18 - 1)) / (2 * 0.65)
+        )
+
+    def test_exact_matches_approx_at_zero_overhead(self):
+        for i in ZERO.rounds():
+            for p in (0.0, 0.5, 1.0):
+                assert probabilistic_gain(ZERO, i, p) == pytest.approx(
+                    probabilistic_gain_approx(ZERO, i, p), rel=1e-12
+                )
+
+    def test_mean_closed_form(self):
+        assert probabilistic_mean_gain_approx(ZERO, 0.5) == pytest.approx(
+            (1 + math.log(1.5)) / (2 * 0.65)
+        )
+        assert probabilistic_mean_gain(ZERO, 0.5) == pytest.approx(
+            probabilistic_mean_gain_approx(ZERO, 0.5), rel=0.02
+        )
+
+    def test_p_half_approx_equals_deterministic(self):
+        """The paper: 'both expressions have approximately equal values'."""
+        prob = probabilistic_mean_gain_approx(ZERO, 0.5)
+        det = deterministic_mean_gain_approx(ZERO)
+        assert prob == pytest.approx(det, rel=0.03)
+
+    def test_larger_p_larger_gain(self):
+        """'For p > 0.5, the probabilistic scheme provides a larger gain.'"""
+        det = deterministic_mean_gain(ZERO)
+        assert probabilistic_mean_gain(ZERO, 0.75) > det
+        assert probabilistic_mean_gain(ZERO, 1.0) > \
+            probabilistic_mean_gain(ZERO, 0.75)
+
+    @pytest.mark.parametrize("p", [-0.1, 1.1])
+    def test_p_domain(self, p):
+        with pytest.raises(ConfigurationError):
+            probabilistic_mean_gain(ZERO, p)
+
+    @given(p=st.floats(0.0, 1.0), alpha=st.floats(0.5, 1.0),
+           i=st.integers(1, 20))
+    def test_gain_monotone_in_p(self, p, alpha, i):
+        params = VDSParameters(alpha=alpha, beta=0.0, s=20)
+        g1 = probabilistic_gain(params, i, p)
+        g2 = probabilistic_gain(params, i, min(1.0, p + 0.1))
+        assert g2 >= g1 - 1e-12

@@ -1,0 +1,87 @@
+"""Tests for the §5 multi-thread extension model."""
+
+import math
+
+import pytest
+
+from repro.core.multi_thread_ext import (
+    best_scheme,
+    boosted_deterministic_gain,
+    boosted_deterministic_mean_gain,
+    boosted_mean_gain_approx,
+    boosted_probabilistic_gain,
+    boosted_probabilistic_mean_gain,
+    n_thread_correction_time,
+)
+from repro.core.params import AlphaCurve, VDSParameters
+
+ZERO = VDSParameters(alpha=0.65, beta=0.0, s=20)
+CURVE = AlphaCurve(alpha2=0.65)
+
+
+class TestCorrectionTime:
+    def test_n_thread_time(self):
+        # n alpha(n) i t + 2 t'.
+        t = n_thread_correction_time(ZERO, 4, 3, CURVE)
+        assert t == pytest.approx(3 * CURVE(3) * 4)
+
+    def test_reduces_to_eq5_for_n2(self):
+        from repro.core.smt_model import smt_correction_time
+        t = n_thread_correction_time(ZERO, 7, 2, CURVE)
+        assert t == pytest.approx(smt_correction_time(ZERO, 7))
+
+
+class TestBoostedGains:
+    def test_det_guaranteed_progress(self):
+        """5-thread deterministic achieves min(i, s−i) regardless of p."""
+        g8 = boosted_deterministic_gain(ZERO, 8, CURVE)
+        # numerator ≈ 8 t + min(8,12)·2t = 24; denominator 5 α5 · 8.
+        expected = (8 + 8 * 2) / (5 * CURVE(5) * 8)
+        assert g8 == pytest.approx(expected, rel=1e-9)
+
+    def test_prob_depends_on_p(self):
+        g_low = boosted_probabilistic_gain(ZERO, 8, CURVE, p=0.0)
+        g_high = boosted_probabilistic_gain(ZERO, 8, CURVE, p=1.0)
+        assert g_high > g_low
+        mid = boosted_probabilistic_gain(ZERO, 8, CURVE, p=0.5)
+        assert mid == pytest.approx((g_low + g_high) / 2)
+
+    def test_mean_gain_approx_formula(self):
+        assert boosted_mean_gain_approx(0.6, 3) == pytest.approx(
+            (1 + 2 * math.log(2)) / (3 * 0.6)
+        )
+
+    def test_mean_close_to_approx(self):
+        # p = 1 boosted-prob has the approx's guaranteed-progress shape.
+        params = VDSParameters(alpha=0.65, beta=0.0, s=2000)
+        g = boosted_probabilistic_mean_gain(params, CURVE, p=1.0)
+        assert g == pytest.approx(
+            boosted_mean_gain_approx(CURVE(3), 3), rel=0.01
+        )
+
+    def test_boost5_needs_wide_core_to_win(self):
+        """With saturating α(n) the 5-thread variant pays a big
+        denominator; at α₂ = 0.65 it loses to the 2-thread prediction
+        scheme even at p = 0.5."""
+        from repro.core.prediction_model import prediction_scheme_mean_gain
+        g5 = boosted_deterministic_mean_gain(ZERO, CURVE)
+        g_pred = prediction_scheme_mean_gain(ZERO, 0.5)
+        assert g5 < g_pred
+
+    def test_boost_wins_with_ideal_scaling(self):
+        """With a perfectly scaling core (α(n) = 1/n … table) the boosted
+        deterministic scheme beats everything at p = 0.5."""
+        ideal = AlphaCurve(alpha2=0.5,
+                           table={3: 1 / 3, 5: 1 / 5})
+        params = VDSParameters(alpha=0.5, beta=0.0, s=20)
+        name, gain = best_scheme(params, 0.5, ideal)
+        assert name in ("boosted-deterministic", "boosted-probabilistic")
+        assert gain > 1.0
+
+
+class TestBestScheme:
+    def test_returns_max(self):
+        name, gain = best_scheme(ZERO, 0.9, CURVE)
+        # High p → the 2-thread prediction scheme dominates at alpha2=0.65.
+        assert name == "prediction"
+        assert gain > 1.0

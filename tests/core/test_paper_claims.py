@@ -1,0 +1,179 @@
+"""Every quantitative sentence of the paper, as one assertion each.
+
+This file is the reviewer's index: each test quotes the paper and pins the
+claim to the implementing function.  The individual modules' test files
+cover the same ground more broadly; this one exists so the full claim list
+can be read top to bottom (it is the file DESIGN.md §2 points at).
+"""
+
+import math
+
+import pytest
+
+from repro.core import (
+    VDSParameters,
+    breakeven_alpha_random_guess,
+    breakeven_p,
+    conventional_correction_time,
+    conventional_round_time,
+    deterministic_breakeven_alpha,
+    deterministic_mean_gain,
+    deterministic_mean_gain_approx,
+    gain_limit,
+    gain_limit_closed_form,
+    prediction_scheme_mean_gain,
+    prediction_scheme_mean_gain_approx,
+    probabilistic_mean_gain,
+    probabilistic_mean_gain_approx,
+    round_gain,
+    smt_correction_time,
+    smt_round_time,
+)
+from repro.core.limits import s_for_convergence
+
+P4 = VDSParameters(alpha=0.65, beta=0.1, s=20)
+ZERO = VDSParameters(alpha=0.65, beta=0.0, s=20)
+
+
+class TestSection1And2:
+    def test_35_percent_runtime_reduction_is_alpha_065(self):
+        """'runtime reduction up to 35 % has been reported' (ref [13]):
+        two threads in 2·0.65·t vs 2·t sequentially → 35 % less time."""
+        sequential = 2.0
+        smt = 2.0 * 0.65
+        assert 1.0 - smt / sequential == pytest.approx(0.35)
+
+
+class TestSection3:
+    def test_eq1_round_time(self):
+        """Eq. (1): 'a complete round will take time 2(t+c) + t′'."""
+        assert conventional_round_time(P4) == pytest.approx(2.3)
+
+    def test_eq2_correction(self):
+        """Eq. (2): 'Correction thus takes time i·t + 2t′.'"""
+        assert conventional_correction_time(P4, 7) == pytest.approx(7.2)
+
+    def test_eq3_smt_round(self):
+        """Eq. (3): 'one round will now take only time 2αt + t′'."""
+        assert smt_round_time(P4) == pytest.approx(1.4)
+
+    def test_alpha_band(self):
+        """'In the optimal case α = 0.5 … in the worst case α = 1.'"""
+        for alpha in (0.5, 1.0):
+            VDSParameters(alpha=alpha, beta=0.1, s=20)  # accepted
+        with pytest.raises(Exception):
+            VDSParameters(alpha=0.49, beta=0.1, s=20)
+
+    def test_eq4_gain(self):
+        """Eq. (4): 'G_round ≈ 1/α if c, t′ ≪ t.'"""
+        assert round_gain(ZERO) == pytest.approx(1 / 0.65)
+
+    def test_eq5_recovery_time(self):
+        """Eq. (5): 'The recovery will take time 2iαt + 2t′.'"""
+        assert smt_correction_time(P4, 7) == pytest.approx(9.3)
+
+    def test_eq7_deterministic_mean(self):
+        """Eq. (7): Ḡ_det ≈ (1 + 2 ln(5/4))/(2α) (re-derived)."""
+        assert deterministic_mean_gain_approx(ZERO) == pytest.approx(
+            (1 + 2 * math.log(1.25)) / 1.3
+        )
+        assert deterministic_mean_gain(ZERO) == pytest.approx(
+            deterministic_mean_gain_approx(ZERO), rel=0.02
+        )
+
+    def test_deterministic_breakeven_0723(self):
+        """'The gain of the deterministic scheme is larger than one for
+        α < 0.723.'"""
+        assert deterministic_breakeven_alpha() == pytest.approx(0.7231,
+                                                                abs=1e-4)
+
+    def test_eq8_probabilistic_mean(self):
+        """Eq. (8): Ḡ_prob ≈ (1 + 2p ln(3/2))/(2α); ln(3/2) ≈ 0.405."""
+        assert math.log(1.5) == pytest.approx(0.405, abs=1e-3)
+        assert probabilistic_mean_gain_approx(ZERO, 0.5) == pytest.approx(
+            (1 + math.log(1.5)) / 1.3
+        )
+
+    def test_p_half_equals_deterministic(self):
+        """'For p = 0.5 … both expressions have approximately equal
+        values, as one would expect.'"""
+        assert probabilistic_mean_gain(ZERO, 0.5) == pytest.approx(
+            deterministic_mean_gain(ZERO), rel=0.05
+        )
+
+    def test_p_above_half_prob_wins(self):
+        """'For p > 0.5, the probabilistic scheme provides a larger gain.'"""
+        assert probabilistic_mean_gain(ZERO, 0.75) > \
+            deterministic_mean_gain(ZERO)
+
+
+class TestSection4:
+    def test_eq13_closed_form(self):
+        """Eq. (13): Ḡ_corr ≈ (1 + 2p ln 2)/(2α)."""
+        assert prediction_scheme_mean_gain_approx(ZERO, 0.5) == \
+            pytest.approx((1 + math.log(2)) / 1.3)
+
+    def test_dominates_previous_schemes(self):
+        """'If we do not make intentionally false guesses, this improvement
+        will on average perform better … than the previous ones.'"""
+        for p in (0.5, 0.75, 1.0):
+            assert prediction_scheme_mean_gain(ZERO, p) >= \
+                probabilistic_mean_gain(ZERO, p) - 1e-9
+
+    def test_breakeven_p(self):
+        """'For p ≥ (α − 0.5)/ln 2, the gain is at least one.'"""
+        assert breakeven_p(0.65) == pytest.approx(0.15 / math.log(2))
+
+    def test_alpha_half_always_gains(self):
+        """'In the best case α = 0.5, we always gain no matter how bad our
+        guesses are.'"""
+        half = VDSParameters(alpha=0.5, beta=0.0, s=20)
+        assert prediction_scheme_mean_gain(half, 0.0) >= 1.0 - 1e-9
+
+    def test_random_guess_threshold_0847(self):
+        """'For random guesses (p = 0.5) we gain for
+        α ≤ (1 + ln 2)/2 ≈ 0.847.'"""
+        assert breakeven_alpha_random_guess() == pytest.approx(0.8466,
+                                                               abs=1e-3)
+
+    def test_gmax_138(self):
+        """'If we pessimistically set p = 0.5, we get an acceleration of
+        G_max ≈ 1.38 over the non-hyperthreaded version.'"""
+        assert gain_limit(P4, 0.5) == pytest.approx(1.38, abs=0.005)
+
+    def test_gmax_closed_form_decoded(self):
+        """The garbled 'G_max = … 23 ln 2 p + 10 …' decodes to
+        (23·p·ln2 + 10)/(20α) at β = 0.1."""
+        for p in (0.0, 0.5, 1.0):
+            assert gain_limit_closed_form(0.65, 0.1, p) == pytest.approx(
+                (23 * p * math.log(2) + 10) / (20 * 0.65)
+            )
+
+    def test_lim_bianchini_no_loss(self):
+        """'Even if we apply the results from [5] … we still would not
+        lose as G_max ≈ 1.0' (α ≈ 0.9)."""
+        assert gain_limit(VDSParameters(alpha=0.9, beta=0.1, s=20), 0.5) \
+            == pytest.approx(1.0, abs=0.01)
+
+    def test_s20_near_limit(self):
+        """'Beyond s = 20, Ḡ_corr is already very close to the limit' —
+        within 5 % for the paper's own β = 0.1 regime."""
+        for alpha in (0.5, 0.65, 0.9):
+            params = VDSParameters(alpha=alpha, beta=0.1, s=20)
+            assert s_for_convergence(params, 0.5, rel_tol=0.05) <= 20
+
+
+class TestSection5:
+    def test_frequency_reduction_claim(self):
+        """'We could employ a multithreaded processor with a clock
+        frequency reduced by a factor of at least 1/α' — the exact
+        equal-performance scale is ≤ α."""
+        from repro.core.frequency import equal_performance_frequency_scale
+
+        assert equal_performance_frequency_scale(P4) <= 0.65 + 1e-12
+
+    def test_five_percent_die_area(self):
+        """'The die area increases by only 5 %' (ref [13])."""
+        from repro.core.frequency import smt_die_area_factor
+
+        assert smt_die_area_factor() == pytest.approx(1.05)

@@ -1,0 +1,147 @@
+"""Tests for repro.core.params."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.params import (
+    AlphaCurve,
+    PENTIUM4_ALPHA,
+    REALISTIC_BETA,
+    VDSParameters,
+)
+from repro.errors import ConfigurationError
+
+
+class TestVDSParameters:
+    def test_beta_coupling_sets_c_and_t_cmp(self):
+        p = VDSParameters(alpha=0.65, beta=0.2, s=10, t=2.0)
+        assert p.c == pytest.approx(0.4)
+        assert p.t_cmp == pytest.approx(0.4)
+        assert p.overhead_coupled
+
+    def test_default_beta_is_realistic(self):
+        p = VDSParameters(alpha=0.65, s=20)
+        assert p.beta == REALISTIC_BETA
+
+    def test_explicit_overheads(self):
+        p = VDSParameters(alpha=0.6, s=5, c=0.02, t_cmp=0.07)
+        assert p.beta is None
+        assert not p.overhead_coupled
+        assert p.c == 0.02 and p.t_cmp == 0.07
+
+    def test_explicit_and_beta_conflict(self):
+        with pytest.raises(ConfigurationError):
+            VDSParameters(alpha=0.6, beta=0.1, s=5, c=0.02, t_cmp=0.07)
+
+    def test_explicit_needs_both(self):
+        with pytest.raises(ConfigurationError):
+            VDSParameters(alpha=0.6, s=5, c=0.02)
+
+    @pytest.mark.parametrize("alpha", [0.49, 1.01, -1.0, 2.0])
+    def test_alpha_domain(self, alpha):
+        with pytest.raises(ConfigurationError):
+            VDSParameters(alpha=alpha, s=5)
+
+    @pytest.mark.parametrize("beta", [-0.01, 1.01])
+    def test_beta_domain(self, beta):
+        with pytest.raises(ConfigurationError):
+            VDSParameters(alpha=0.6, beta=beta, s=5)
+
+    @pytest.mark.parametrize("s", [0, -3, 1.5, True])
+    def test_s_domain(self, s):
+        with pytest.raises(ConfigurationError):
+            VDSParameters(alpha=0.6, beta=0.1, s=s)
+
+    def test_t_must_be_positive(self):
+        with pytest.raises(ConfigurationError):
+            VDSParameters(alpha=0.6, beta=0.1, s=5, t=0.0)
+
+    def test_negative_overheads_rejected(self):
+        with pytest.raises(ConfigurationError):
+            VDSParameters(alpha=0.6, s=5, c=-0.1, t_cmp=0.1)
+
+    def test_rounds_domain(self):
+        p = VDSParameters(alpha=0.6, beta=0.1, s=4)
+        assert list(p.rounds()) == [1, 2, 3, 4]
+
+    def test_cmp_or_switch_footnote3(self):
+        p = VDSParameters(alpha=0.6, s=5, c=0.3, t_cmp=0.1,
+                          use_footnote3=True)
+        assert p.cmp_or_switch == 0.3
+        q = VDSParameters(alpha=0.6, s=5, c=0.3, t_cmp=0.1)
+        assert q.cmp_or_switch == 0.1
+
+    def test_with_preserves_beta_mode(self):
+        p = VDSParameters(alpha=0.65, beta=0.1, s=20)
+        q = p.with_(s=100)
+        assert q.s == 100 and q.beta == 0.1 and q.c == pytest.approx(0.1)
+
+    def test_with_switches_to_explicit(self):
+        p = VDSParameters(alpha=0.65, beta=0.1, s=20)
+        q = p.with_(c=0.05, t_cmp=0.02)
+        assert q.beta is None and q.c == 0.05 and q.t_cmp == 0.02
+
+    def test_with_preserves_explicit_mode(self):
+        p = VDSParameters(alpha=0.65, s=20, c=0.05, t_cmp=0.02)
+        q = p.with_(alpha=0.7)
+        assert q.alpha == 0.7 and q.c == 0.05 and q.beta is None
+
+    def test_with_revalidates(self):
+        p = VDSParameters(alpha=0.65, beta=0.1, s=20)
+        with pytest.raises(ConfigurationError):
+            p.with_(alpha=0.3)
+
+    @given(alpha=st.floats(0.5, 1.0), beta=st.floats(0.0, 1.0),
+           s=st.integers(1, 500))
+    def test_valid_domain_always_constructs(self, alpha, beta, s):
+        p = VDSParameters(alpha=alpha, beta=beta, s=s)
+        assert p.c == pytest.approx(beta * p.t)
+        assert p.t_cmp == pytest.approx(beta * p.t)
+
+
+class TestAlphaCurve:
+    def test_alpha_one_thread_is_one(self):
+        assert AlphaCurve(alpha2=0.65)(1) == 1.0
+
+    def test_alpha_two_matches_alpha2(self):
+        assert AlphaCurve(alpha2=0.65)(2) == pytest.approx(0.65)
+
+    def test_default_alpha2_is_pentium4(self):
+        assert AlphaCurve()(2) == pytest.approx(PENTIUM4_ALPHA)
+
+    def test_monotone_in_n(self):
+        curve = AlphaCurve(alpha2=0.65)
+        # alpha(n)*n (total time) grows, per-thread efficiency saturates.
+        speedups = [curve.aggregate_speedup(n) for n in range(1, 9)]
+        assert all(b >= a - 1e-12 for a, b in zip(speedups, speedups[1:]))
+
+    def test_saturating_speedup_limit(self):
+        curve = AlphaCurve(alpha2=0.65)
+        limit = 1.0 / (2 * 0.65 - 1.0)
+        assert curve.aggregate_speedup(10_000) == pytest.approx(limit, rel=1e-3)
+
+    def test_table_override(self):
+        curve = AlphaCurve(alpha2=0.65, table={3: 0.5})
+        assert curve(3) == 0.5
+        assert curve(2) == pytest.approx(0.65)
+
+    def test_table_validation(self):
+        with pytest.raises(ConfigurationError):
+            AlphaCurve(alpha2=0.65, table={3: 0.1})  # below 1/3
+        with pytest.raises(ConfigurationError):
+            AlphaCurve(alpha2=0.65, table={0: 0.5})
+
+    def test_bad_alpha2(self):
+        with pytest.raises(ConfigurationError):
+            AlphaCurve(alpha2=0.4)
+
+    def test_bad_thread_count(self):
+        with pytest.raises(ConfigurationError):
+            AlphaCurve()(0)
+
+    @given(alpha2=st.floats(0.5, 1.0), n=st.integers(1, 64))
+    def test_alpha_in_valid_band(self, alpha2, n):
+        a = AlphaCurve(alpha2=alpha2)(n)
+        assert 1.0 / n - 1e-12 <= a <= 1.0 + 1e-12

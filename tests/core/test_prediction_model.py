@@ -1,0 +1,154 @@
+"""Tests for Eqs. (9)–(13) in repro.core.prediction_model."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.params import VDSParameters
+from repro.core.prediction_model import (
+    breakeven_alpha_random_guess,
+    breakeven_p,
+    hit_gain,
+    hit_gain_approx,
+    miss_loss,
+    miss_loss_approx,
+    prediction_rollforward_rounds,
+    prediction_scheme_gain,
+    prediction_scheme_gain_approx,
+    prediction_scheme_mean_gain,
+    prediction_scheme_mean_gain_approx,
+)
+
+ZERO = VDSParameters(alpha=0.65, beta=0.0, s=20)
+P4 = VDSParameters(alpha=0.65, beta=0.1, s=20)
+
+
+class TestHitGain:
+    def test_rollforward_truncation(self):
+        assert prediction_rollforward_rounds(ZERO, 5) == 5
+        assert prediction_rollforward_rounds(ZERO, 10) == 10
+        assert prediction_rollforward_rounds(ZERO, 15) == 5
+        assert prediction_rollforward_rounds(ZERO, 20) == 0
+
+    def test_approx_piecewise(self):
+        assert hit_gain_approx(ZERO, 8) == pytest.approx(3 / (2 * 0.65))
+        assert hit_gain_approx(ZERO, 16) == pytest.approx(
+            (2 * 20 / 16 - 1) / (2 * 0.65)
+        )
+
+    def test_exact_matches_paper_printed_form(self):
+        """Eq. (10)'s printed exact numerators with β = 0.1."""
+        p = P4
+        t, tp, c = p.t, p.t_cmp, p.c
+        for i in (3, 10):  # i ≤ s/2 branch
+            expected = (3 * i * t + (2 + i) * tp + 2 * i * c) / \
+                (2 * i * p.alpha * t + 2 * tp)
+            assert hit_gain(p, i) == pytest.approx(expected)
+        for i in (12, 19):  # i > s/2 branch
+            s = p.s
+            expected = ((2 * s - i) * t + (2 + s - i) * tp
+                        + 2 * (s - i) * c) / (2 * i * p.alpha * t + 2 * tp)
+            assert hit_gain(p, i) == pytest.approx(expected)
+
+    def test_exact_matches_approx_at_zero_overhead(self):
+        for i in ZERO.rounds():
+            assert hit_gain(ZERO, i) == pytest.approx(
+                hit_gain_approx(ZERO, i), rel=1e-12
+            )
+
+
+class TestMissLoss:
+    def test_approx(self):
+        assert miss_loss_approx(ZERO, 5) == pytest.approx(1 / (2 * 0.65))
+
+    def test_best_case_alpha_half_no_loss(self):
+        """'In the best case, the hyperthreaded processor loses nothing.'"""
+        p = VDSParameters(alpha=0.5, beta=0.0, s=20)
+        for i in p.rounds():
+            assert miss_loss(p, i) == pytest.approx(1.0)
+
+    def test_worst_case_loses_factor_two(self):
+        p = VDSParameters(alpha=1.0, beta=0.0, s=20)
+        assert miss_loss(p, 20) == pytest.approx(0.5)
+
+    @given(alpha=st.floats(0.5, 1.0), i=st.integers(1, 20))
+    def test_loss_in_band(self, alpha, i):
+        p = VDSParameters(alpha=alpha, beta=0.0, s=20)
+        assert 0.5 - 1e-12 <= miss_loss(p, i) <= 1.0 + 1e-12
+
+
+class TestExpectedGain:
+    def test_eq12_is_convex_combination(self):
+        for i in (4, 12, 19):
+            for prob in (0.0, 0.3, 1.0):
+                expected = prob * hit_gain(P4, i) + \
+                    (1 - prob) * miss_loss(P4, i)
+                assert prediction_scheme_gain(P4, i, prob) == \
+                    pytest.approx(expected)
+
+    def test_approx_piecewise(self):
+        assert prediction_scheme_gain_approx(ZERO, 8, 0.5) == pytest.approx(
+            2 / (2 * 0.65)
+        )
+        assert prediction_scheme_gain_approx(ZERO, 16, 0.5) == pytest.approx(
+            (2 * 0.5 * (20 / 16 - 1) + 1) / (2 * 0.65)
+        )
+
+    def test_eq13_closed_form(self):
+        assert prediction_scheme_mean_gain_approx(ZERO, 0.5) == \
+            pytest.approx((1 + math.log(2)) / (2 * 0.65))
+
+    def test_exact_mean_close_to_closed_form(self):
+        assert prediction_scheme_mean_gain(ZERO, 0.5) == pytest.approx(
+            prediction_scheme_mean_gain_approx(ZERO, 0.5), rel=0.03
+        )
+
+    def test_headline_value_138(self):
+        """α=0.65, β=0.1, p=0.5 → gain ≈ 1.35 at s=20 (limit 1.38)."""
+        g = prediction_scheme_mean_gain(P4, 0.5)
+        assert g == pytest.approx(1.35, abs=0.01)
+
+    def test_dominates_other_schemes_at_p_half(self):
+        """Ḡ_corr > Ḡ_prob ≥ Ḡ_det for p ≥ 0.5 (§4.3)."""
+        from repro.core.gains import (
+            deterministic_mean_gain,
+            probabilistic_mean_gain,
+        )
+        for prob in (0.5, 0.75, 1.0):
+            g_corr = prediction_scheme_mean_gain(ZERO, prob)
+            g_prob = probabilistic_mean_gain(ZERO, prob)
+            g_det = deterministic_mean_gain(ZERO)
+            assert g_corr > g_prob - 1e-9
+            assert g_prob >= g_det - 0.05  # ≈-equal at p = 0.5 (paper:
+            # (1 + ln 1.5)/2α vs (1 + 2 ln 1.25)/2α, ~3 % apart)
+
+
+class TestThresholds:
+    def test_breakeven_p_formula(self):
+        assert breakeven_p(0.65) == pytest.approx((0.65 - 0.5) / math.log(2))
+
+    def test_breakeven_p_clamped_at_alpha_half(self):
+        assert breakeven_p(0.5) == 0.0
+
+    def test_breakeven_alpha_random_guess(self):
+        assert breakeven_alpha_random_guess() == pytest.approx(
+            (1 + math.log(2)) / 2
+        )
+        assert breakeven_alpha_random_guess() == pytest.approx(0.8466, abs=1e-4)
+
+    @given(alpha=st.floats(0.5, 1.0))
+    def test_breakeven_p_is_actual_breakeven(self, alpha):
+        """The closed-form gain at p = breakeven is exactly 1."""
+        p_star = breakeven_p(alpha)
+        if p_star <= 1.0:
+            params = VDSParameters(alpha=alpha, beta=0.0, s=20)
+            g = prediction_scheme_mean_gain_approx(params, p_star)
+            assert g == pytest.approx(1.0, abs=1e-9)
+
+    def test_always_gain_at_alpha_half(self):
+        """'In the best case α = 0.5, we always gain no matter how bad our
+        guesses are.'"""
+        p = VDSParameters(alpha=0.5, beta=0.0, s=20)
+        for prob in (0.0, 0.1, 0.5):
+            assert prediction_scheme_mean_gain(p, prob) >= 1.0 - 1e-9

@@ -1,0 +1,86 @@
+"""Tests for the Fig. 4/5 gain surfaces."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.params import VDSParameters
+from repro.core.prediction_model import prediction_scheme_mean_gain
+from repro.core.surfaces import (
+    figure4_surface,
+    figure5_surface,
+    gain_surface,
+)
+from repro.errors import ConfigurationError
+
+
+class TestGainSurface:
+    def test_matches_scalar_model_pointwise(self):
+        surface = gain_surface(0.5, s=20, alphas=[0.5, 0.65, 1.0],
+                               betas=[0.0, 0.1, 1.0])
+        for ai, alpha in enumerate(surface.alphas):
+            for bi, beta in enumerate(surface.betas):
+                params = VDSParameters(alpha=float(alpha), beta=float(beta),
+                                       s=20)
+                assert surface.values[ai, bi] == pytest.approx(
+                    prediction_scheme_mean_gain(params, 0.5), rel=1e-12
+                )
+
+    def test_value_at_recomputes_exactly(self):
+        surface = figure4_surface()
+        params = VDSParameters(alpha=0.65, beta=0.1, s=20)
+        assert surface.value_at(0.65, 0.1) == pytest.approx(
+            prediction_scheme_mean_gain(params, 0.5), rel=1e-12
+        )
+
+    def test_fig4_headline(self):
+        assert figure4_surface().value_at(0.65, 0.1) == pytest.approx(
+            1.35, abs=0.01
+        )
+
+    def test_fig5_exceeds_fig4_everywhere(self):
+        """p = 1 dominates p = 0.5 pointwise."""
+        f4 = figure4_surface()
+        f5 = figure5_surface()
+        assert np.all(f5.values >= f4.values - 1e-12)
+
+    def test_monotone_decreasing_in_alpha(self):
+        surface = figure4_surface()
+        diffs = np.diff(surface.values, axis=0)
+        assert np.all(diffs <= 1e-12)
+
+    def test_max_at_alpha_half(self):
+        f4 = figure4_surface()
+        a_max, _b, _v = f4.max()
+        assert a_max == pytest.approx(0.5)
+
+    def test_min_at_alpha_one_beta_zero(self):
+        # Gain decreases in alpha; beta helps the SMT side (the
+        # conventional baseline pays switches), so the minimum sits at
+        # (alpha=1, beta=0).
+        f4 = figure4_surface()
+        a_min, b_min, v_min = f4.min()
+        assert a_min == pytest.approx(1.0)
+        assert v_min < 1.0
+
+    def test_gain_region_fraction_grows_with_p(self):
+        assert figure5_surface().gain_region_fraction() >= \
+            figure4_surface().gain_region_fraction()
+
+    def test_axis_validation(self):
+        with pytest.raises(ConfigurationError):
+            gain_surface(0.5, alphas=[0.4], betas=[0.1])
+        with pytest.raises(ConfigurationError):
+            gain_surface(0.5, alphas=[0.6], betas=[1.5])
+        with pytest.raises(ConfigurationError):
+            gain_surface(0.5, s=0)
+        with pytest.raises(ConfigurationError):
+            gain_surface(1.5)
+
+    @given(p=st.floats(0.0, 1.0), s=st.integers(1, 40))
+    @settings(max_examples=20)
+    def test_surface_finite_and_positive(self, p, s):
+        surface = gain_surface(p, s=s, alphas=[0.5, 0.75, 1.0],
+                               betas=[0.0, 0.5, 1.0])
+        assert np.all(np.isfinite(surface.values))
+        assert np.all(surface.values > 0)

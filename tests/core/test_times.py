@@ -1,0 +1,106 @@
+"""Tests for the Eq. (1)–(5) timing functions."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.conventional import (
+    checkpoint_overhead_fraction,
+    conventional_correction_time,
+    conventional_interval_time,
+    conventional_round_time,
+)
+from repro.core.params import VDSParameters
+from repro.core.smt_model import (
+    smt_correction_time,
+    smt_interval_time,
+    smt_n_thread_round_time,
+    smt_round_time,
+)
+from repro.errors import ConfigurationError
+
+P = VDSParameters(alpha=0.65, beta=0.1, s=20)
+
+
+class TestConventional:
+    def test_eq1_round_time(self):
+        # T1,round = 2(t + c) + t' = 2(1 + 0.1) + 0.1 = 2.3
+        assert conventional_round_time(P) == pytest.approx(2.3)
+
+    def test_eq2_correction_time(self):
+        # T1,corr = i t + 2 t'
+        assert conventional_correction_time(P, 7) == pytest.approx(7.2)
+        assert conventional_correction_time(P, 1) == pytest.approx(1.2)
+
+    @pytest.mark.parametrize("i", [0, 21, -1])
+    def test_correction_round_domain(self, i):
+        with pytest.raises(ConfigurationError):
+            conventional_correction_time(P, i)
+
+    def test_correction_round_must_be_int(self):
+        with pytest.raises(ConfigurationError):
+            conventional_correction_time(P, 2.5)
+
+    def test_interval_time(self):
+        assert conventional_interval_time(P) == pytest.approx(20 * 2.3)
+        assert conventional_interval_time(P, checkpoint_write=1.0) == \
+            pytest.approx(20 * 2.3 + 1.0)
+
+    def test_interval_negative_write_rejected(self):
+        with pytest.raises(ConfigurationError):
+            conventional_interval_time(P, checkpoint_write=-1.0)
+
+    def test_checkpoint_overhead_fraction(self):
+        f = checkpoint_overhead_fraction(P, 46.0)
+        assert f == pytest.approx(0.5)
+
+    @given(alpha=st.floats(0.5, 1.0), beta=st.floats(0.0, 1.0),
+           i=st.integers(1, 20))
+    def test_correction_grows_linearly_in_i(self, alpha, beta, i):
+        p = VDSParameters(alpha=alpha, beta=beta, s=20)
+        t1 = conventional_correction_time(p, i)
+        assert t1 == pytest.approx(i * p.t + 2 * p.t_cmp)
+
+
+class TestSMT:
+    def test_eq3_round_time(self):
+        # THT2,round = 2 α t + t' = 1.3 + 0.1 = 1.4
+        assert smt_round_time(P) == pytest.approx(1.4)
+
+    def test_smt_round_faster_than_conventional(self):
+        for alpha in [0.5, 0.65, 0.8, 1.0]:
+            p = VDSParameters(alpha=alpha, beta=0.1, s=20)
+            assert smt_round_time(p) < conventional_round_time(p)
+
+    def test_eq5_correction_time(self):
+        # THT2,corr = 2 i α t + 2 t' = 2*7*0.65 + 0.2 = 9.3
+        assert smt_correction_time(P, 7) == pytest.approx(9.3)
+
+    def test_footnote3_max_form(self):
+        p = VDSParameters(alpha=0.65, s=20, c=0.3, t_cmp=0.1,
+                          use_footnote3=True)
+        assert smt_correction_time(p, 1) == pytest.approx(
+            2 * 0.65 + 2 * 0.3
+        )
+
+    def test_interval_time(self):
+        assert smt_interval_time(P) == pytest.approx(20 * 1.4)
+
+    def test_n_thread_round_time(self):
+        # n rounds in n alpha_n t, plus n-1 comparisons.
+        assert smt_n_thread_round_time(P, 2, 0.65) == pytest.approx(
+            2 * 0.65 + 0.1
+        )
+        assert smt_n_thread_round_time(P, 3, 0.6) == pytest.approx(
+            3 * 0.6 + 0.2
+        )
+
+    def test_n_thread_rejects_bad_n(self):
+        with pytest.raises(ValueError):
+            smt_n_thread_round_time(P, 0, 0.65)
+
+    @given(alpha=st.floats(0.5, 1.0), i=st.integers(1, 20))
+    def test_smt_correction_vs_conventional_ratio(self, alpha, i):
+        """The exact per-round loss ratio of Eq. (11) stays in [1/(2α), 1]."""
+        p = VDSParameters(alpha=alpha, beta=0.0, s=20)
+        ratio = conventional_correction_time(p, i) / smt_correction_time(p, i)
+        assert 1.0 / (2 * alpha) - 1e-9 <= ratio <= 1.0 + 1e-9

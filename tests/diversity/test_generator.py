@@ -1,0 +1,107 @@
+"""Tests for diverse-version generation and verification."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.diversity.generator import DiverseVersion, generate_versions
+from repro.diversity.transforms import EncodedExecution, OperandSwap
+from repro.diversity.verification import (
+    semantically_equivalent,
+    verify_version_set,
+)
+from repro.errors import ConfigurationError
+from repro.isa.programs import PROGRAMS, load_program
+
+
+class TestGenerateVersions:
+    def test_version_one_is_original(self):
+        prog, inputs, _ = load_program("gcd")
+        versions = generate_versions(prog, inputs, n=3, seed=0)
+        v1 = versions[0]
+        assert v1.is_original and v1.index == 1
+        assert v1.program == tuple(prog) and v1.inputs == tuple(inputs)
+
+    def test_three_versions_all_differ(self):
+        prog, inputs, _ = load_program("fibonacci")
+        versions = generate_versions(prog, inputs, n=3, seed=1)
+        programs = {v.program for v in versions}
+        assert len(programs) == 3
+
+    def test_systematic_version_has_mask(self):
+        prog, inputs, _ = load_program("fibonacci")
+        versions = generate_versions(prog, inputs, n=3, seed=1)
+        assert versions[2].encoding_mask is not None
+        assert versions[1].encoding_mask is None
+
+    def test_needs_at_least_two(self):
+        prog, inputs, _ = load_program("gcd")
+        with pytest.raises(ConfigurationError):
+            generate_versions(prog, inputs, n=1)
+
+    def test_explicit_pipelines(self):
+        prog, inputs, _ = load_program("gcd")
+        versions = generate_versions(
+            prog, inputs, n=3,
+            pipelines=[[OperandSwap()], [EncodedExecution(mask=0x1)]],
+        )
+        assert versions[1].transforms == ("opswap",)
+        assert versions[2].transforms == ("encoded",)
+        assert versions[2].encoding_mask == 0x1
+
+    def test_pipelines_length_checked(self):
+        prog, inputs, _ = load_program("gcd")
+        with pytest.raises(ConfigurationError):
+            generate_versions(prog, inputs, n=3, pipelines=[[OperandSwap()]])
+
+    def test_deterministic_per_seed(self):
+        prog, inputs, _ = load_program("checksum")
+        a = generate_versions(prog, inputs, n=3, seed=9)
+        b = generate_versions(prog, inputs, n=3, seed=9)
+        assert [v.program for v in a] == [v.program for v in b]
+
+    @pytest.mark.parametrize("name", sorted(PROGRAMS))
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_all_generated_sets_verify(self, name, seed):
+        prog, inputs, spec = load_program(name)
+        versions = generate_versions(prog, inputs, n=3, seed=seed)
+        verify_version_set(versions, expected_output=spec.oracle())
+
+
+class TestVerification:
+    def test_equivalence_of_identical(self):
+        prog, inputs, _ = load_program("gcd")
+        v = generate_versions(prog, inputs, n=2, seed=0)
+        assert semantically_equivalent(v[0], v[0])
+
+    def test_detects_divergent_version(self):
+        prog, inputs, _ = load_program("sum_range")
+        versions = generate_versions(prog, inputs, n=2, seed=0)
+        # Corrupt the loop increment (loadi r5, 1 -> loadi r5, 2): the
+        # "version" now sums every other number — same shape, wrong result.
+        from repro.isa.instructions import Instruction, Opcode
+
+        program = list(versions[0].program)
+        idx = next(k for k, ins in enumerate(program)
+                   if ins.op is Opcode.LOADI and ins.args == (5, 1))
+        program[idx] = Instruction(Opcode.LOADI, (5, 2))
+        broken = DiverseVersion(
+            index=2,
+            program=tuple(program),
+            inputs=versions[0].inputs,
+            transforms=("broken",),
+        )
+        assert not semantically_equivalent(versions[0], broken)
+        with pytest.raises(ConfigurationError, match="diverges"):
+            verify_version_set([versions[0], broken])
+
+    def test_oracle_mismatch_detected(self):
+        prog, inputs, _ = load_program("gcd")
+        versions = generate_versions(prog, inputs, n=2, seed=0)
+        with pytest.raises(ConfigurationError, match="oracle"):
+            verify_version_set(versions, expected_output=[999])
+
+    def test_needs_two_versions(self):
+        prog, inputs, _ = load_program("gcd")
+        versions = generate_versions(prog, inputs, n=2, seed=0)
+        with pytest.raises(ConfigurationError):
+            verify_version_set(versions[:1])

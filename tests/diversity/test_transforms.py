@@ -1,0 +1,186 @@
+"""Tests for the diversity transforms: each must preserve semantics."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.diversity.transforms import (
+    EncodedExecution,
+    InstructionReordering,
+    InstructionSubstitution,
+    NopInsertion,
+    OperandSwap,
+    RegisterPermutation,
+    remap_program,
+)
+from repro.errors import ConfigurationError
+from repro.isa.assembler import assemble
+from repro.isa.instructions import Instruction, Opcode
+from repro.isa.machine import Machine
+from repro.isa.programs import PROGRAMS, load_program
+
+ALL_PROGRAMS = sorted(PROGRAMS)
+
+
+def outputs_of(program, inputs, fill=0):
+    m = Machine(list(program), inputs=list(inputs), fill=fill)
+    m.run_to_halt()
+    return m.output
+
+
+def make_transforms(seed=0):
+    rng = np.random.default_rng(seed)
+    return [
+        RegisterPermutation.random(rng),
+        InstructionSubstitution(),
+        OperandSwap(),
+        NopInsertion(period=2),
+        NopInsertion(period=5),
+        InstructionReordering(),
+        EncodedExecution(mask=0xDEADBEEF),
+    ]
+
+
+@pytest.mark.parametrize("name", ALL_PROGRAMS)
+@pytest.mark.parametrize("t_index", range(7))
+def test_single_transform_preserves_output(name, t_index):
+    prog, inputs, spec = load_program(name)
+    transform = make_transforms()[t_index]
+    new_prog, new_inputs = transform.apply(prog, inputs)
+    fill = transform.mask if isinstance(transform, EncodedExecution) else 0
+    assert outputs_of(new_prog, new_inputs, fill) == spec.oracle()
+
+
+@pytest.mark.parametrize("name", ALL_PROGRAMS)
+def test_composed_transforms_preserve_output(name):
+    prog, inputs, spec = load_program(name)
+    cur_p, cur_i = list(prog), list(inputs)
+    fill = 0
+    for t in [RegisterPermutation.random(np.random.default_rng(3)),
+              OperandSwap(), NopInsertion(period=3)]:
+        cur_p, cur_i = t.apply(cur_p, cur_i)
+    assert outputs_of(cur_p, cur_i, fill) == spec.oracle()
+
+
+class TestRegisterPermutation:
+    def test_requires_bijection(self):
+        with pytest.raises(ConfigurationError):
+            RegisterPermutation(mapping={0: 1, 1: 1})
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ConfigurationError):
+            RegisterPermutation(mapping={0: 99, 99: 0})
+
+    def test_rewrites_only_register_operands(self):
+        t = RegisterPermutation(mapping={1: 2, 2: 1})
+        prog = assemble("loadi r1, 7\nout r1\nhalt")
+        new, _ = t.apply(prog, [])
+        assert new[0].args == (2, 7)   # register renamed, immediate kept
+        assert new[1].args == (2,)
+
+    @given(seed=st.integers(0, 1000))
+    @settings(max_examples=15, deadline=None)
+    def test_random_permutation_stays_in_range(self, seed):
+        t = RegisterPermutation.random(np.random.default_rng(seed))
+        assert set(t.mapping) == set(range(12))
+        assert sorted(t.mapping.values()) == list(range(12))
+
+
+class TestInstructionSubstitution:
+    def test_mov_becomes_or(self):
+        prog = assemble("loadi r1, 5\nmov r2, r1\nout r2\nhalt")
+        new, _ = InstructionSubstitution().apply(prog, [])
+        assert new[1].op is Opcode.OR and new[1].args == (2, 1, 1)
+
+    def test_loadi_zero_becomes_xor(self):
+        prog = assemble("loadi r1, 0\nout r1\nhalt")
+        new, _ = InstructionSubstitution().apply(prog, [])
+        assert new[0].op is Opcode.XOR
+
+    def test_nonzero_loadi_unchanged(self):
+        prog = assemble("loadi r1, 7\nhalt")
+        new, _ = InstructionSubstitution().apply(prog, [])
+        assert new[0].op is Opcode.LOADI
+
+
+class TestNopInsertion:
+    def test_length_grows(self):
+        prog, inputs, _ = load_program("fibonacci")
+        new, _ = NopInsertion(period=2).apply(prog, inputs)
+        assert len(new) > len(prog)
+
+    def test_branch_targets_remap(self):
+        prog = assemble("""
+        loop:
+            nop
+            nop
+            jmp loop
+        """)
+        new, _ = NopInsertion(period=1).apply(prog, [])
+        # Target must still point at the first instruction's group start.
+        jmp = [i for i in new if i.op is Opcode.JMP][0]
+        assert jmp.args == (0,)
+
+    def test_bad_period(self):
+        with pytest.raises(ConfigurationError):
+            NopInsertion(period=0)
+
+
+class TestInstructionReordering:
+    def test_swaps_independent_pair(self):
+        prog = assemble("loadi r1, 1\nloadi r2, 2\nout r1\nout r2\nhalt")
+        new, _ = InstructionReordering().apply(prog, [])
+        assert new[0].args[0] == 2 and new[1].args[0] == 1
+
+    def test_respects_dependencies(self):
+        prog = assemble("loadi r1, 1\nadd r2, r1, r1\nhalt")
+        new, _ = InstructionReordering().apply(prog, [])
+        assert [i.op for i in new] == [i.op for i in prog]
+
+    def test_never_moves_out_instructions(self):
+        prog = assemble("out r1\nout r2\nhalt")
+        new, _ = InstructionReordering().apply(prog, [])
+        assert new == prog
+
+
+class TestEncodedExecution:
+    def test_inputs_are_encoded(self):
+        t = EncodedExecution(mask=0xFF)
+        prog = assemble("halt")
+        _, new_inputs = t.apply(prog, [1, 2, 3])
+        assert new_inputs == [1 ^ 0xFF, 2 ^ 0xFF, 3 ^ 0xFF]
+
+    def test_memory_image_differs_but_output_matches(self):
+        prog, inputs, spec = load_program("insertion_sort")
+        t = EncodedExecution(mask=0xA5A5A5A5)
+        new_prog, new_inputs = t.apply(prog, inputs)
+        plain = Machine(list(prog), inputs=list(inputs))
+        enc = Machine(list(new_prog), inputs=list(new_inputs), fill=t.mask)
+        plain.run_to_halt()
+        enc.run_to_halt()
+        assert plain.output == enc.output == spec.oracle()
+        assert not np.array_equal(plain.memory, enc.memory)
+        assert np.array_equal(plain.memory,
+                              enc.memory ^ np.uint32(t.mask))
+
+    def test_scratch_register_constraints(self):
+        with pytest.raises(ConfigurationError):
+            EncodedExecution(mask_reg=0)
+        with pytest.raises(ConfigurationError):
+            EncodedExecution(mask_reg=13, scratch_reg=13)
+
+    def test_mask_range(self):
+        with pytest.raises(ConfigurationError):
+            EncodedExecution(mask=2**33)
+
+
+class TestRemapProgram:
+    def test_group_count_enforced(self):
+        with pytest.raises(ConfigurationError):
+            remap_program([[Instruction(Opcode.NOP)]], original_len=2)
+
+    def test_one_past_end_target(self):
+        prog = [Instruction(Opcode.BEQ, (0, 0, 2)), Instruction(Opcode.HALT)]
+        groups = [[prog[0], Instruction(Opcode.NOP)], [prog[1]]]
+        out = remap_program(groups, 2)
+        assert out[0].args[2] == 3  # past the expanded program

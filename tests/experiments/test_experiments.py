@@ -1,0 +1,176 @@
+"""Run every registered experiment in quick mode and validate key outputs.
+
+These are integration tests over the whole stack: analytical model, DES,
+SMT core, ISA campaigns, predictors.
+"""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.experiments import (
+    EXPERIMENTS,
+    all_experiment_ids,
+    run_experiment,
+)
+
+EXPECTED_IDS = {
+    "FIG1", "FIG2", "FIG3", "FIG4", "FIG5",
+    "TAB-E1", "TAB-E2", "TAB-E3", "TAB-E4", "TAB-E5", "TAB-E6",
+    "VAL-1", "VAL-2", "EXT-1", "EXT-2", "EXT-3", "COV-1",
+    "FULL-1", "OPT-1", "REL-1", "MIS-1", "ALPHA-2", "SRT-1", "CGMT-1", "SENS-1",
+}
+
+
+def test_registry_complete():
+    assert set(all_experiment_ids()) == EXPECTED_IDS
+
+
+def test_unknown_experiment_rejected():
+    with pytest.raises(ConfigurationError):
+        run_experiment("FIG99")
+
+
+@pytest.fixture(scope="module")
+def results():
+    return {exp_id: run_experiment(exp_id, quick=True, seed=0)
+            for exp_id in sorted(EXPERIMENTS)}
+
+
+def test_all_experiments_produce_text(results):
+    for exp_id, res in results.items():
+        assert res.exp_id == exp_id
+        assert len(res.text) > 50
+
+
+class TestFigureChecks:
+    def test_fig1_measured_times_match_model(self, results):
+        d = results["FIG1"].data
+        assert d["conv_round_time"] == pytest.approx(2.3)
+        assert d["smt_round_time"] == pytest.approx(1.4)
+        assert d["conv_correction_time"] == pytest.approx(4.2)   # i=4
+        assert d["smt_correction_time"] == pytest.approx(5.4)    # 2*4*0.65+0.2
+        assert d["smt_total"] < d["conv_total"]
+
+    def test_fig2_fig3_cover_all_paths(self, results):
+        for fig in ("FIG2", "FIG3"):
+            rows = results[fig].data["rows"]
+            assert len(rows) == 4
+            resolved = [r[1] for r in rows]
+            assert resolved.count(False) == 1  # only the retry-fault case
+            discarded = [r[3] for r in rows]
+            assert any(discarded)
+
+    def test_fig4_headline(self, results):
+        assert results["FIG4"].data["headline_gain"] == pytest.approx(
+            1.35, abs=0.01
+        )
+
+    def test_fig5_dominates_fig4(self, results):
+        assert results["FIG5"].data["headline_gain"] > \
+            results["FIG4"].data["headline_gain"]
+        assert results["FIG5"].data["gain_fraction"] >= \
+            results["FIG4"].data["gain_fraction"]
+
+
+class TestTableChecks:
+    def test_tab_e1_headline(self, results):
+        assert results["TAB-E1"].data["headline_gain_p4"] == pytest.approx(
+            2.3 / 1.4
+        )
+
+    def test_tab_e2_breakeven(self, results):
+        assert results["TAB-E2"].data["breakeven_alpha"] == pytest.approx(
+            0.7231, abs=1e-3
+        )
+
+    def test_tab_e3_prob_beats_det_for_high_p(self, results):
+        recs = results["TAB-E3"].data["records"]
+        for r in recs:
+            if r.point["p"] > 0.6:
+                assert r.outputs["prob_beats_det"]
+
+    def test_tab_e4_thresholds(self, results):
+        assert results["TAB-E4"].data["alpha_breakeven_random"] == \
+            pytest.approx(0.8466, abs=1e-3)
+
+    def test_tab_e5_gmax(self, results):
+        d = results["TAB-E5"].data
+        assert d["g_max"] == pytest.approx(1.3824, abs=1e-3)
+        assert d["g_max"] == pytest.approx(d["closed_form"])
+        assert d["s_for_5pct"] <= 20
+
+    def test_tab_e6_lim_bianchini(self, results):
+        assert results["TAB-E6"].data["g_max_alpha09"] == pytest.approx(
+            1.0, abs=0.01
+        )
+
+
+class TestValidationChecks:
+    def test_val1_model_agreement(self, results):
+        assert results["VAL-1"].data["worst_rel_err"] < 1e-9
+
+    def test_val2_alpha_band(self, results):
+        d = results["VAL-2"].data
+        assert all(0.5 < a < 1.0 for a in d["alphas"])
+
+    def test_ext1_boost_shape(self, results):
+        recs = results["EXT-1"].data["records"]
+        # At alpha = 0.5 / p = 0.5 the 5-thread deterministic boost wins.
+        for r in recs:
+            if r.point["alpha"] == 0.5 and r.point["p"] == 0.5:
+                assert r.outputs["best"] == "boosted-deterministic"
+            # At p = 1 the 2-thread prediction scheme is never beaten.
+            if r.point["p"] == 1.0:
+                assert r.outputs["G_pred2"] >= r.outputs["G_boost3"] - 1e-9
+
+    def test_ext2_predictors_beat_random_on_bias(self, results):
+        acc = results["EXT-2"].data["accuracy"]
+        assert acc[("biased 90/10", "bayesian")] > 0.8
+        assert abs(acc[("biased 90/10", "random")] - 0.5) < 0.1
+        assert acc[("unbiased + 30% crashes", "crash-evidence")] > 0.55
+
+    def test_ext3_power_saving(self, results):
+        assert results["EXT-3"].data["p4_power_dvfs"] < 0.5
+
+    def test_cov1_diversity_contrast(self, results):
+        d = results["COV-1"].data
+        assert d["mixed_coverage"] > 0.95
+        assert d["perm_diverse_coverage"] > d["perm_same_coverage"]
+        assert d["perm_diverse_coverage"] == 1.0
+
+    def test_full1_fullstack_gain(self, results):
+        d = results["FULL-1"].data
+        assert 0.5 < d["alpha"] < 1.0
+        assert d["faultfree_gain"] == pytest.approx(
+            d["predicted_round_gain"], rel=0.10
+        )
+        assert d["faulted_gain"] > 1.0
+
+    def test_opt1_square_root_law(self, results):
+        plans = results["OPT-1"].data["plans"]
+        conv, smt, young = plans[(1e-3, 5.0)]
+        assert conv.s_star == pytest.approx(young, rel=0.1)
+        assert smt.s_star >= conv.s_star
+
+    def test_rel1_ordering(self, results):
+        for rep, rep_p1 in results["REL-1"].data["reports"].values():
+            assert rep.availability_simplex < rep.availability_vds_conv \
+                <= rep.availability_vds_smt
+            assert rep_p1.mttf_vds_smt > rep.mttf_vds_conv
+
+    def test_mis1_crossover_shape(self, results):
+        speedups = results["MIS-1"].data["speedups"]
+        for s in speedups[0.0].values():
+            assert s == pytest.approx(2.3 / 1.4, rel=1e-9)
+        for rate, per_scheme in speedups.items():
+            if rate > 0:
+                assert per_scheme["prediction(p=.9)"] == pytest.approx(
+                    max(per_scheme.values())
+                )
+
+    def test_alpha2_band_and_ordering(self, results):
+        d = results["ALPHA-2"].data
+        assert all(0.5 < a < 1.0 for a in d["alphas"].values())
+        lat = d["latencies"][0]
+        assert d["alphas"][("pure ALU", lat)] > \
+            d["alphas"][("mem-heavy", lat)]

@@ -1,0 +1,41 @@
+"""Golden-file regression tests for the closed-form artifacts.
+
+The analytic experiments are exact and deterministic: their rendered
+output must be byte-identical across runs and code changes.  Any diff here
+means the *model* changed — which must be a deliberate, reviewed decision
+(regenerate with ``python -m tests.experiments.test_golden``).
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro.experiments import run_experiment
+
+GOLDEN_DIR = Path(__file__).parent.parent / "golden"
+GOLDEN_IDS = sorted(p.stem for p in GOLDEN_DIR.glob("*.txt"))
+
+
+def test_golden_set_is_nonempty():
+    assert len(GOLDEN_IDS) >= 9
+
+
+@pytest.mark.parametrize("exp_id", GOLDEN_IDS)
+def test_artifact_matches_golden(exp_id):
+    result = run_experiment(exp_id, quick=False, seed=0)
+    expected = (GOLDEN_DIR / f"{exp_id}.txt").read_text()
+    assert result.text == expected, (
+        f"{exp_id} drifted from its golden artifact; if the change is "
+        "intentional, regenerate tests/golden/"
+    )
+
+
+def _regenerate():  # pragma: no cover - maintenance helper
+    for exp_id in GOLDEN_IDS:
+        res = run_experiment(exp_id, quick=False, seed=0)
+        (GOLDEN_DIR / f"{exp_id}.txt").write_text(res.text)
+        print("regenerated", exp_id)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    _regenerate()

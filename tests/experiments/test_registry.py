@@ -1,0 +1,38 @@
+"""Tests for the experiment registry mechanics."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.experiments.registry import (
+    EXPERIMENTS,
+    ExperimentResult,
+    register,
+    run_experiment,
+)
+
+
+def test_duplicate_registration_rejected():
+    any_id = next(iter(EXPERIMENTS))
+    with pytest.raises(ConfigurationError, match="duplicate"):
+        register(any_id, "again")(lambda quick, seed: None)
+
+
+def test_result_str_includes_id_and_text():
+    res = ExperimentResult("X-1", "demo", "the table")
+    text = str(res)
+    assert "X-1" in text and "the table" in text
+
+
+def test_run_experiment_passes_arguments():
+    captured = {}
+
+    @register("TEST-ARGS", "argument passing")
+    def probe(quick=False, seed=0):
+        captured.update(quick=quick, seed=seed)
+        return ExperimentResult("TEST-ARGS", "t", "x")
+
+    try:
+        run_experiment("TEST-ARGS", quick=True, seed=9)
+        assert captured == {"quick": True, "seed": 9}
+    finally:
+        del EXPERIMENTS["TEST-ARGS"]

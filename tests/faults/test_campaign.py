@@ -1,0 +1,97 @@
+"""Tests for ISA-level fault-injection campaigns."""
+
+import numpy as np
+import pytest
+
+from repro.diversity import generate_versions
+from repro.errors import FaultModelError
+from repro.faults.campaign import (
+    CampaignResult,
+    run_campaign,
+    run_duplex_trial,
+)
+from repro.faults.injector import FaultInjector
+from repro.faults.models import FaultKind, FaultOutcome, FaultSpec
+from repro.isa.programs import load_program
+
+
+@pytest.fixture(scope="module")
+def sort_versions():
+    prog, inputs, spec = load_program("insertion_sort")
+    return generate_versions(prog, inputs, n=3, seed=7), spec.oracle()
+
+
+class TestSingleTrials:
+    def test_faultfree_equivalent_run_is_benign(self, sort_versions):
+        versions, oracle = sort_versions
+        # A fault beyond the program's lifetime has no effect.
+        spec = FaultSpec(FaultKind.TRANSIENT_REGISTER, at_instruction=10**6,
+                         register=3, bit=5)
+        res = run_duplex_trial(versions[0], versions[1], spec, 1, oracle)
+        assert res.outcome is FaultOutcome.BENIGN
+
+    def test_crash_detected_as_trap(self, sort_versions):
+        versions, oracle = sort_versions
+        spec = FaultSpec(FaultKind.CRASH, at_instruction=50)
+        res = run_duplex_trial(versions[0], versions[1], spec, 2, oracle)
+        assert res.outcome is FaultOutcome.DETECTED_TRAP
+
+    def test_memory_flip_in_live_data_detected(self, sort_versions):
+        versions, oracle = sort_versions
+        # Flip a high bit of an array element early on.
+        spec = FaultSpec(FaultKind.TRANSIENT_MEMORY, at_instruction=10,
+                         address=3, bit=30)
+        res = run_duplex_trial(versions[0], versions[1], spec, 1, oracle)
+        assert res.outcome is FaultOutcome.DETECTED_COMPARISON
+        assert res.detection_latency is not None
+        assert res.detection_latency <= 2
+
+    def test_victim_validated(self, sort_versions):
+        versions, oracle = sort_versions
+        spec = FaultSpec(FaultKind.CRASH)
+        with pytest.raises(FaultModelError):
+            run_duplex_trial(versions[0], versions[1], spec, 3, oracle)
+
+    def test_processor_stop_traps(self, sort_versions):
+        versions, oracle = sort_versions
+        spec = FaultSpec(FaultKind.PROCESSOR_STOP, at_instruction=5)
+        res = run_duplex_trial(versions[0], versions[1], spec, 1, oracle)
+        assert res.outcome is FaultOutcome.DETECTED_TRAP
+
+
+class TestCampaigns:
+    def test_mixed_campaign_high_coverage(self, sort_versions):
+        versions, oracle = sort_versions
+        res = run_campaign(versions[0], versions[1], oracle, 120,
+                           np.random.default_rng(3))
+        assert res.n == 120
+        assert res.coverage >= 0.95
+        assert res.count(FaultOutcome.BENIGN) > 0  # some faults are masked
+
+    def test_diversity_beats_identical_on_permanents(self, sort_versions):
+        versions, oracle = sort_versions
+        inj = lambda: FaultInjector(np.random.default_rng(5),
+                                    mix={FaultKind.PERMANENT_ALU: 1.0})
+        same = run_campaign(versions[0], versions[0], oracle, 80,
+                            np.random.default_rng(6), injector=inj())
+        div = run_campaign(versions[0], versions[2], oracle, 80,
+                           np.random.default_rng(6), injector=inj())
+        assert div.coverage > same.coverage
+        assert same.count(FaultOutcome.SILENT_CORRUPTION) > 0
+        assert div.count(FaultOutcome.SILENT_CORRUPTION) == 0
+
+    def test_by_kind_partitions_trials(self, sort_versions):
+        versions, oracle = sort_versions
+        res = run_campaign(versions[0], versions[1], oracle, 60,
+                           np.random.default_rng(9))
+        total = sum(sum(v.values()) for v in res.by_kind().values())
+        assert total == res.n
+
+    def test_n_trials_validated(self, sort_versions):
+        versions, oracle = sort_versions
+        with pytest.raises(FaultModelError):
+            run_campaign(versions[0], versions[1], oracle, 0,
+                         np.random.default_rng(0))
+
+    def test_empty_result_coverage_is_one(self):
+        assert CampaignResult().coverage == 1.0

@@ -1,0 +1,149 @@
+"""Tests for fault models and their application to machines."""
+
+import pytest
+
+from repro.errors import FaultModelError, MachineFault
+from repro.faults.effects import apply_transient, clear_permanent, install_permanent
+from repro.faults.models import FaultKind, FaultOutcome, FaultSpec
+from repro.isa.assembler import assemble
+from repro.isa.machine import Machine
+
+
+class TestFaultSpec:
+    def test_register_fault_needs_register(self):
+        with pytest.raises(FaultModelError):
+            FaultSpec(FaultKind.TRANSIENT_REGISTER)
+
+    def test_memory_fault_needs_address(self):
+        with pytest.raises(FaultModelError):
+            FaultSpec(FaultKind.TRANSIENT_MEMORY)
+        with pytest.raises(FaultModelError):
+            FaultSpec(FaultKind.PERMANENT_MEMORY)
+
+    def test_bit_range(self):
+        with pytest.raises(FaultModelError):
+            FaultSpec(FaultKind.TRANSIENT_PC, bit=32)
+
+    def test_stuck_value_binary(self):
+        with pytest.raises(FaultModelError):
+            FaultSpec(FaultKind.PERMANENT_ALU, stuck_value=2)
+
+    def test_classification(self):
+        assert FaultKind.TRANSIENT_PC.is_transient
+        assert FaultKind.PERMANENT_ALU.is_permanent
+        assert not FaultKind.CRASH.is_transient
+        assert not FaultKind.CRASH.is_permanent
+
+    def test_describe(self):
+        spec = FaultSpec(FaultKind.TRANSIENT_REGISTER, 42, register=3, bit=7)
+        text = spec.describe()
+        assert "r3" in text and "bit 7" in text and "42" in text
+
+    def test_outcome_detected_flag(self):
+        assert FaultOutcome.DETECTED_TRAP.is_detected
+        assert FaultOutcome.DETECTED_COMPARISON.is_detected
+        assert not FaultOutcome.BENIGN.is_detected
+        assert not FaultOutcome.SILENT_CORRUPTION.is_detected
+
+
+class TestApplyTransient:
+    def test_register_flip(self):
+        m = Machine(assemble("halt"))
+        apply_transient(m, FaultSpec(FaultKind.TRANSIENT_REGISTER,
+                                     register=2, bit=4))
+        assert m.registers[2] == 16
+
+    def test_memory_flip_wraps_address(self):
+        m = Machine(assemble("halt"), memory_words=8)
+        apply_transient(m, FaultSpec(FaultKind.TRANSIENT_MEMORY,
+                                     address=10, bit=0))
+        assert int(m.memory[2]) == 1  # 10 mod 8
+
+    def test_pc_flip(self):
+        m = Machine(assemble("nop\nnop\nnop\nhalt"))
+        apply_transient(m, FaultSpec(FaultKind.TRANSIENT_PC, bit=1))
+        assert m.pc == 2
+
+    def test_crash_raises(self):
+        m = Machine(assemble("halt"))
+        with pytest.raises(MachineFault) as exc:
+            apply_transient(m, FaultSpec(FaultKind.CRASH))
+        assert exc.value.kind == "crash"
+
+    def test_permanent_rejected(self):
+        m = Machine(assemble("halt"))
+        with pytest.raises(FaultModelError):
+            apply_transient(m, FaultSpec(FaultKind.PERMANENT_ALU))
+
+
+class TestInstallPermanent:
+    def test_alu_stuck_at_one(self):
+        m = Machine(assemble(
+            "loadi r1, 0\nloadi r2, 0\nadd r3, r1, r2\nout r3\nhalt"
+        ))
+        install_permanent(m, FaultSpec(FaultKind.PERMANENT_ALU, bit=6,
+                                       stuck_value=1))
+        m.run_to_halt()
+        assert m.output == [64]
+
+    def test_alu_stuck_at_zero(self):
+        m = Machine(assemble(
+            "loadi r1, 64\nloadi r2, 0\nadd r3, r1, r2\nout r3\nhalt"
+        ))
+        install_permanent(m, FaultSpec(FaultKind.PERMANENT_ALU, bit=6,
+                                       stuck_value=0))
+        m.run_to_halt()
+        assert m.output == [0]
+
+    def test_loadi_not_affected_by_alu_fault(self):
+        m = Machine(assemble("loadi r1, 0\nout r1\nhalt"))
+        install_permanent(m, FaultSpec(FaultKind.PERMANENT_ALU, bit=0,
+                                       stuck_value=1))
+        m.run_to_halt()
+        assert m.output == [0]  # loadi bypasses the ALU
+
+    def test_memory_stuck_cell(self):
+        m = Machine(assemble("""
+            loadi r1, 0
+            loadi r2, 3
+            store r1, 2, r2
+            load  r3, r1, 2
+            out   r3
+            halt
+        """), memory_words=8)
+        install_permanent(m, FaultSpec(FaultKind.PERMANENT_MEMORY,
+                                       address=2, bit=0, stuck_value=0))
+        m.run_to_halt()
+        assert m.output == [2]  # bit 0 forced to 0 on write
+
+    def test_memory_stuck_corrupts_existing_content(self):
+        m = Machine(assemble("halt"), memory_words=4, inputs=[0, 0, 1, 0])
+        install_permanent(m, FaultSpec(FaultKind.PERMANENT_MEMORY,
+                                       address=2, bit=0, stuck_value=0))
+        assert int(m.memory[2]) == 0
+
+    def test_other_cells_unaffected(self):
+        m = Machine(assemble("""
+            loadi r1, 0
+            loadi r2, 1
+            store r1, 1, r2
+            load  r3, r1, 1
+            out   r3
+            halt
+        """), memory_words=8)
+        install_permanent(m, FaultSpec(FaultKind.PERMANENT_MEMORY,
+                                       address=2, bit=0, stuck_value=0))
+        m.run_to_halt()
+        assert m.output == [1]
+
+    def test_clear_permanent(self):
+        m = Machine(assemble("halt"))
+        install_permanent(m, FaultSpec(FaultKind.PERMANENT_ALU, bit=0,
+                                       stuck_value=1))
+        clear_permanent(m)
+        assert m.alu_fault is None and m.store_fault is None
+
+    def test_transient_rejected(self):
+        m = Machine(assemble("halt"))
+        with pytest.raises(FaultModelError):
+            install_permanent(m, FaultSpec(FaultKind.TRANSIENT_PC))

@@ -1,0 +1,112 @@
+"""Tests for arrival processes and the fault injector."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import FaultModelError
+from repro.faults.injector import DEFAULT_MIX, FaultInjector
+from repro.faults.models import FaultKind
+from repro.faults.rates import (
+    ENVIRONMENTS,
+    Environment,
+    PoissonArrivals,
+    WeibullArrivals,
+)
+
+
+class TestPoisson:
+    def test_mean_rate(self, rng):
+        proc = PoissonArrivals(rate=2.0)
+        arrivals = proc.arrivals_until(rng, 2000.0)
+        assert len(arrivals) == pytest.approx(4000, rel=0.1)
+
+    def test_arrivals_sorted_within_horizon(self, rng):
+        arrivals = PoissonArrivals(0.5).arrivals_until(rng, 100.0)
+        assert arrivals == sorted(arrivals)
+        assert all(0 <= t < 100.0 for t in arrivals)
+
+    def test_p_fault_in_interval(self):
+        proc = PoissonArrivals(rate=1.0)
+        assert proc.p_fault_in_interval(0.0) == 0.0
+        assert proc.p_fault_in_interval(1e9) == pytest.approx(1.0)
+        assert proc.expected_faults(3.0) == 3.0
+
+    def test_rate_validated(self):
+        with pytest.raises(FaultModelError):
+            PoissonArrivals(rate=0.0)
+
+    def test_stream_is_monotone(self, rng):
+        stream = PoissonArrivals(1.0).stream(rng)
+        ts = [next(stream) for _ in range(50)]
+        assert all(b > a for a, b in zip(ts, ts[1:]))
+
+
+class TestWeibull:
+    def test_shape_one_is_poisson_like(self, rng):
+        w = WeibullArrivals(scale=1.0, shape=1.0)
+        draws = [w.inter_arrival(rng) for _ in range(4000)]
+        assert np.mean(draws) == pytest.approx(1.0, rel=0.1)
+
+    def test_bursty_shape_has_high_cv(self, rng):
+        """shape < 1 → coefficient of variation > 1 (burstiness)."""
+        w = WeibullArrivals(scale=1.0, shape=0.5)
+        draws = np.array([w.inter_arrival(rng) for _ in range(4000)])
+        cv = draws.std() / draws.mean()
+        assert cv > 1.2
+
+    def test_params_validated(self):
+        with pytest.raises(FaultModelError):
+            WeibullArrivals(scale=0.0)
+        with pytest.raises(FaultModelError):
+            WeibullArrivals(scale=1.0, shape=-1.0)
+
+
+class TestEnvironments:
+    def test_ordered_by_harshness(self):
+        rates = [ENVIRONMENTS[n].seu_per_million_rounds
+                 for n in ("ground", "avionics", "leo", "deep-space")]
+        assert rates == sorted(rates)
+        assert rates[0] < rates[-1] / 1000
+
+    def test_poisson_factory(self):
+        env = ENVIRONMENTS["leo"]
+        proc = env.poisson()
+        assert proc.rate == pytest.approx(2000 / 1e6)
+
+
+class TestInjector:
+    def test_mix_must_sum_to_one(self, rng):
+        with pytest.raises(FaultModelError):
+            FaultInjector(rng, mix={FaultKind.CRASH: 0.5})
+
+    def test_default_mix_sums_to_one(self):
+        assert sum(DEFAULT_MIX.values()) == pytest.approx(1.0)
+
+    def test_draws_complete_specs(self, rng):
+        inj = FaultInjector(rng, memory_words=64, max_instruction=100)
+        for spec in inj.draw_many(200):
+            assert 0 <= spec.at_instruction < 100
+            if spec.kind is FaultKind.TRANSIENT_MEMORY:
+                assert 0 <= spec.address < 64
+
+    def test_forced_kind(self, rng):
+        inj = FaultInjector(rng)
+        for spec in inj.draw_many(20, kind=FaultKind.CRASH):
+            assert spec.kind is FaultKind.CRASH
+
+    def test_mix_frequencies(self, rng):
+        inj = FaultInjector(rng, mix={FaultKind.TRANSIENT_REGISTER: 0.8,
+                                      FaultKind.CRASH: 0.2})
+        kinds = [inj.draw().kind for _ in range(1000)]
+        frac = kinds.count(FaultKind.TRANSIENT_REGISTER) / 1000
+        assert frac == pytest.approx(0.8, abs=0.05)
+
+    def test_negative_draw_count(self, rng):
+        with pytest.raises(FaultModelError):
+            FaultInjector(rng).draw_many(-1)
+
+    def test_reproducible(self):
+        a = FaultInjector(np.random.default_rng(1)).draw_many(10)
+        b = FaultInjector(np.random.default_rng(1)).draw_many(10)
+        assert a == b

@@ -1,0 +1,121 @@
+"""Tests for the two-pass assembler and disassembler."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import AssemblerError
+from repro.isa.assembler import assemble, disassemble
+from repro.isa.instructions import Instruction, Opcode
+from repro.isa.programs import PROGRAMS
+
+
+class TestAssemble:
+    def test_simple_program(self):
+        prog = assemble("loadi r1, 5\nout r1\nhalt")
+        assert [i.op for i in prog] == [Opcode.LOADI, Opcode.OUT, Opcode.HALT]
+        assert prog[0].args == (1, 5)
+
+    def test_labels_resolve(self):
+        prog = assemble("""
+        start:
+            loadi r1, 1
+            jmp start
+        """)
+        assert prog[1].op is Opcode.JMP and prog[1].args == (0,)
+
+    def test_label_on_same_line(self):
+        prog = assemble("loop: nop\njmp loop")
+        assert prog[1].args == (0,)
+
+    def test_comments_and_blank_lines(self):
+        prog = assemble("""
+        ; full-line comment
+        loadi r1, 3   # trailing comment
+        halt
+        """)
+        assert len(prog) == 2
+
+    def test_hex_and_negative_immediates(self):
+        prog = assemble("loadi r1, 0xFF\nloadi r2, -1\nhalt")
+        assert prog[0].args == (1, 0xFF)
+        assert prog[1].args == (2, 0xFFFFFFFF)  # wrapped to word
+
+    def test_undefined_label(self):
+        with pytest.raises(AssemblerError, match="undefined label"):
+            assemble("jmp nowhere")
+
+    def test_duplicate_label(self):
+        with pytest.raises(AssemblerError, match="duplicate label"):
+            assemble("a:\nnop\na:\nnop")
+
+    def test_unknown_opcode(self):
+        with pytest.raises(AssemblerError, match="unknown opcode"):
+            assemble("frobnicate r1")
+
+    def test_bad_register(self):
+        with pytest.raises(AssemblerError):
+            assemble("loadi r99, 1")
+        with pytest.raises(AssemblerError):
+            assemble("loadi x1, 1")
+
+    def test_wrong_arity(self):
+        with pytest.raises(AssemblerError):
+            assemble("add r1, r2")
+
+    def test_label_shadowing_opcode_rejected(self):
+        with pytest.raises(AssemblerError, match="shadows an opcode"):
+            assemble("add:\nnop")
+
+    def test_numeric_branch_target(self):
+        prog = assemble("nop\njmp 0")
+        assert prog[1].args == (0,)
+
+    def test_out_of_range_numeric_target(self):
+        with pytest.raises(AssemblerError, match="out of range"):
+            assemble("jmp 5")
+
+
+class TestDisassemble:
+    @pytest.mark.parametrize("name", sorted(PROGRAMS))
+    def test_roundtrip_library_programs(self, name):
+        prog = assemble(PROGRAMS[name].source)
+        again = assemble(disassemble(prog))
+        assert again == prog
+
+    def test_renders_registers_and_labels(self):
+        src = disassemble(assemble("loop: add r1, r2, r3\njmp loop"))
+        assert "add r1, r2, r3" in src
+        assert "L0:" in src and "jmp L0" in src
+
+
+# A tiny random straight-line-program generator for the roundtrip property.
+_reg = st.integers(0, 15)
+_alu = st.sampled_from([Opcode.ADD, Opcode.SUB, Opcode.MUL, Opcode.AND,
+                        Opcode.OR, Opcode.XOR, Opcode.SHL, Opcode.SHR])
+
+
+@st.composite
+def straightline_program(draw):
+    n = draw(st.integers(1, 25))
+    instrs = []
+    for _ in range(n):
+        choice = draw(st.integers(0, 3))
+        if choice == 0:
+            instrs.append(Instruction(Opcode.LOADI,
+                                      (draw(_reg),
+                                       draw(st.integers(0, 2**32 - 1)))))
+        elif choice == 1:
+            instrs.append(Instruction(draw(_alu),
+                                      (draw(_reg), draw(_reg), draw(_reg))))
+        elif choice == 2:
+            instrs.append(Instruction(Opcode.OUT, (draw(_reg),)))
+        else:
+            instrs.append(Instruction(Opcode.NOP))
+    instrs.append(Instruction(Opcode.HALT))
+    return instrs
+
+
+@given(straightline_program())
+@settings(max_examples=50)
+def test_roundtrip_property(prog):
+    assert assemble(disassemble(prog)) == prog

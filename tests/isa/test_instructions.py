@@ -1,0 +1,58 @@
+"""Tests for the instruction encoding layer."""
+
+import pytest
+
+from repro.isa.instructions import (
+    ALU_OPS,
+    BRANCH_OPS,
+    Instruction,
+    MEMORY_OPS,
+    Opcode,
+    to_signed,
+)
+
+
+class TestInstruction:
+    def test_arity_enforced(self):
+        with pytest.raises(ValueError):
+            Instruction(Opcode.ADD, (1, 2))
+        with pytest.raises(ValueError):
+            Instruction(Opcode.NOP, (1,))
+
+    def test_classification_flags(self):
+        add = Instruction(Opcode.ADD, (1, 2, 3))
+        assert add.is_alu and not add.is_branch and not add.is_memory
+        jmp = Instruction(Opcode.JMP, (0,))
+        assert jmp.is_branch
+        load = Instruction(Opcode.LOAD, (1, 2, 0))
+        assert load.is_memory
+
+    def test_str_rendering(self):
+        assert str(Instruction(Opcode.ADD, (1, 2, 3))) == "add 1, 2, 3"
+
+    def test_op_sets_disjoint(self):
+        assert not (ALU_OPS & BRANCH_OPS)
+        assert not (ALU_OPS & MEMORY_OPS)
+        assert not (BRANCH_OPS & MEMORY_OPS)
+
+    def test_instruction_hashable_and_frozen(self):
+        a = Instruction(Opcode.NOP)
+        b = Instruction(Opcode.NOP)
+        assert a == b and hash(a) == hash(b)
+        with pytest.raises(AttributeError):
+            a.op = Opcode.HALT
+
+
+class TestToSigned:
+    @pytest.mark.parametrize("word,expected", [
+        (0, 0),
+        (1, 1),
+        (0x7FFFFFFF, 2**31 - 1),
+        (0x80000000, -(2**31)),
+        (0xFFFFFFFF, -1),
+    ])
+    def test_boundaries(self, word, expected):
+        assert to_signed(word) == expected
+
+    def test_masks_oversized_input(self):
+        assert to_signed(2**32) == 0

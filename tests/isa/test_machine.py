@@ -1,0 +1,239 @@
+"""Tests for the register-machine interpreter."""
+
+import pytest
+
+from repro.errors import MachineFault
+from repro.isa.assembler import assemble
+from repro.isa.machine import Machine
+from repro.isa.instructions import WORD_MASK
+
+
+def run_src(src, **kw):
+    m = Machine(assemble(src), **kw)
+    m.run_to_halt()
+    return m
+
+
+class TestALU:
+    def test_arithmetic_wraps(self):
+        m = run_src("""
+            loadi r1, 0xFFFFFFFF
+            loadi r2, 1
+            add   r3, r1, r2
+            out   r3
+            halt
+        """)
+        assert m.output == [0]
+
+    def test_sub_wraps_negative(self):
+        m = run_src("loadi r1, 0\nloadi r2, 1\nsub r3, r1, r2\nout r3\nhalt")
+        assert m.output == [WORD_MASK]
+
+    def test_mul_low_word(self):
+        m = run_src("loadi r1, 0x10000\nmul r2, r1, r1\nout r2\nhalt")
+        assert m.output == [0]
+
+    def test_div_mod(self):
+        m = run_src("""
+            loadi r1, 17
+            loadi r2, 5
+            div r3, r1, r2
+            mod r4, r1, r2
+            out r3
+            out r4
+            halt
+        """)
+        assert m.output == [3, 2]
+
+    def test_div_by_zero_traps(self):
+        with pytest.raises(MachineFault) as exc:
+            run_src("loadi r1, 1\nloadi r2, 0\ndiv r3, r1, r2\nhalt")
+        assert exc.value.kind == "arithmetic"
+
+    def test_shifts_mod_32(self):
+        m = run_src("""
+            loadi r1, 1
+            loadi r2, 33
+            shl r3, r1, r2
+            out r3
+            halt
+        """)
+        assert m.output == [2]  # 33 mod 32 = 1
+
+
+class TestBranches:
+    def test_blt_is_signed(self):
+        m = run_src("""
+            loadi r1, 0xFFFFFFFF  ; -1 signed
+            loadi r2, 0
+            blt   r1, r2, neg
+            loadi r3, 0
+            jmp   done
+        neg:
+            loadi r3, 1
+        done:
+            out   r3
+            halt
+        """)
+        assert m.output == [1]
+
+    def test_bge_unsigned_vs_signed(self):
+        m = run_src("""
+            loadi r1, 5
+            loadi r2, 5
+            bge   r1, r2, ge
+            loadi r3, 0
+            jmp   done
+        ge:
+            loadi r3, 1
+        done:
+            out   r3
+            halt
+        """)
+        assert m.output == [1]
+
+
+class TestMemoryProtection:
+    def test_load_out_of_bounds_traps(self):
+        with pytest.raises(MachineFault) as exc:
+            run_src("loadi r1, 999\nload r2, r1, 0\nhalt", memory_words=16)
+        assert exc.value.kind == "access-violation"
+
+    def test_store_out_of_bounds_traps(self):
+        with pytest.raises(MachineFault) as exc:
+            run_src("loadi r1, 999\nstore r1, 0, r1\nhalt", memory_words=16)
+        assert exc.value.kind == "access-violation"
+
+    def test_store_load_roundtrip(self):
+        m = run_src("""
+            loadi r1, 3
+            loadi r2, 42
+            store r1, 0, r2
+            load  r3, r1, 0
+            out   r3
+            halt
+        """)
+        assert m.output == [42]
+
+    def test_memory_fill(self):
+        m = Machine(assemble("halt"), memory_words=4, fill=0xA5A5A5A5)
+        assert all(int(w) == 0xA5A5A5A5 for w in m.memory)
+
+    def test_inputs_override_fill(self):
+        m = Machine(assemble("halt"), memory_words=4, inputs=[7],
+                    fill=0xFFFFFFFF)
+        assert int(m.memory[0]) == 7 and int(m.memory[1]) == 0xFFFFFFFF
+
+
+class TestRounds:
+    def test_run_budget_stops(self):
+        m = Machine(assemble("loop: nop\njmp loop"))
+        r = m.run(10)
+        assert r.executed == 10 and r.budget_exhausted and not r.halted
+
+    def test_run_round_stops_at_sync(self):
+        m = Machine(assemble("""
+            loadi r1, 0
+        loop:
+            nop
+            sync
+            jmp loop
+        """))
+        r = m.run_round()
+        assert r.hit_sync and not r.budget_exhausted
+        pc_after_first = m.pc
+        r2 = m.run_round()
+        assert r2.hit_sync
+        assert m.pc == pc_after_first  # one loop iteration per round
+
+    def test_run_round_ends_at_halt(self):
+        m = Machine(assemble("nop\nhalt"))
+        r = m.run_round()
+        assert r.halted and not r.hit_sync
+
+    def test_run_to_halt_timeout(self):
+        m = Machine(assemble("loop: jmp loop"))
+        with pytest.raises(MachineFault) as exc:
+            m.run_to_halt(step_limit=100)
+        assert exc.value.kind == "timeout"
+
+    def test_pc_out_of_program_traps(self):
+        m = Machine(assemble("nop\nhalt"))
+        m.pc = 500
+        with pytest.raises(MachineFault) as exc:
+            m.step()
+        assert exc.value.kind == "control-flow"
+
+
+class TestSnapshotRestore:
+    def test_roundtrip(self):
+        m = Machine(assemble("""
+            loadi r1, 1
+            loadi r2, 0
+        loop:
+            add r2, r2, r1
+            sync
+            jmp loop
+        """))
+        m.run_round()
+        snap = m.snapshot()
+        m.run_round()
+        m.run_round()
+        assert m.registers[2] == 3
+        m.restore(snap)
+        assert m.registers[2] == 1
+        assert m.pc == snap.pc and m.instret == snap.instret
+
+    def test_restore_size_mismatch(self):
+        m1 = Machine(assemble("halt"), memory_words=8)
+        m2 = Machine(assemble("halt"), memory_words=16)
+        with pytest.raises(MachineFault):
+            m2.restore(m1.snapshot())
+
+
+class TestFaultHooks:
+    def test_flip_register_bit(self):
+        m = Machine(assemble("halt"))
+        m.registers[3] = 0b1000
+        m.flip_register_bit(3, 3)
+        assert m.registers[3] == 0
+        m.flip_register_bit(3, 0)
+        assert m.registers[3] == 1
+
+    def test_flip_memory_bit(self):
+        m = Machine(assemble("halt"), memory_words=4)
+        m.flip_memory_bit(2, 5)
+        assert int(m.memory[2]) == 32
+
+    def test_flip_pc_bit(self):
+        m = Machine(assemble("nop\nnop\nhalt"))
+        m.flip_pc_bit(1)
+        assert m.pc == 2
+
+    def test_alu_fault_hook(self):
+        m = Machine(assemble("loadi r1, 2\nloadi r2, 3\nadd r3, r1, r2\nout r3\nhalt"))
+        m.alu_fault = lambda op, result: result | 0x100
+        m.run_to_halt()
+        assert m.output == [5 | 0x100]
+
+    def test_store_fault_hook(self):
+        m = Machine(assemble("""
+            loadi r1, 0
+            loadi r2, 0xFF
+            store r1, 1, r2
+            load  r3, r1, 1
+            out   r3
+            halt
+        """))
+        m.store_fault = lambda addr, value: value & ~0x1
+        m.run_to_halt()
+        assert m.output == [0xFE]
+
+    def test_bad_hook_arguments(self):
+        m = Machine(assemble("halt"))
+        with pytest.raises(MachineFault):
+            m.flip_register_bit(99, 0)
+        with pytest.raises(MachineFault):
+            m.flip_memory_bit(0, 99)
+        with pytest.raises(MachineFault):
+            m.flip_pc_bit(-1)

@@ -1,0 +1,99 @@
+"""Interpreter fuzzing: random programs must fail only in sanctioned ways.
+
+Whatever program the generator produces, the machine may either complete,
+exhaust its budget, or raise :class:`~repro.errors.MachineFault` — never
+an arbitrary Python exception — and its architectural invariants (word
+masking, memory size, pc bounds reporting) must hold throughout.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import MachineFault
+from repro.isa.instructions import (
+    Instruction,
+    Opcode,
+    REGISTER_COUNT,
+    WORD_MASK,
+)
+from repro.isa.machine import Machine
+
+_reg = st.integers(0, REGISTER_COUNT - 1)
+_imm = st.integers(0, 2**32 - 1)
+_alu = st.sampled_from([Opcode.ADD, Opcode.SUB, Opcode.MUL, Opcode.DIV,
+                        Opcode.MOD, Opcode.AND, Opcode.OR, Opcode.XOR,
+                        Opcode.SHL, Opcode.SHR])
+_branch = st.sampled_from([Opcode.JMP, Opcode.BEQ, Opcode.BNE, Opcode.BLT,
+                           Opcode.BGE])
+
+
+@st.composite
+def random_program(draw):
+    n = draw(st.integers(1, 40))
+    prog = []
+    for _ in range(n):
+        kind = draw(st.integers(0, 5))
+        if kind == 0:
+            prog.append(Instruction(Opcode.LOADI, (draw(_reg), draw(_imm))))
+        elif kind == 1:
+            prog.append(Instruction(draw(_alu),
+                                    (draw(_reg), draw(_reg), draw(_reg))))
+        elif kind == 2:
+            prog.append(Instruction(Opcode.LOAD,
+                                    (draw(_reg), draw(_reg),
+                                     draw(st.integers(0, 64)))))
+        elif kind == 3:
+            prog.append(Instruction(Opcode.STORE,
+                                    (draw(_reg), draw(st.integers(0, 64)),
+                                     draw(_reg))))
+        elif kind == 4:
+            op = draw(_branch)
+            target = draw(st.integers(0, n))
+            if op is Opcode.JMP:
+                prog.append(Instruction(op, (target,)))
+            else:
+                prog.append(Instruction(op, (draw(_reg), draw(_reg),
+                                             target)))
+        else:
+            op = draw(st.sampled_from([Opcode.NOP, Opcode.SYNC,
+                                       Opcode.OUT, Opcode.HALT]))
+            args = (draw(_reg),) if op is Opcode.OUT else ()
+            prog.append(Instruction(op, args))
+    prog.append(Instruction(Opcode.HALT))
+    return prog
+
+
+@given(random_program(), st.integers(0, 2**32 - 1))
+@settings(max_examples=150, deadline=None)
+def test_fuzz_only_machine_faults(prog, seed):
+    m = Machine(prog, memory_words=32,
+                inputs=list(np.random.default_rng(seed)
+                            .integers(0, 2**31, size=8)))
+    try:
+        m.run(5000)
+    except MachineFault:
+        pass
+    # Architectural invariants hold regardless of outcome.
+    assert all(0 <= r <= WORD_MASK for r in m.registers)
+    assert len(m.memory) == 32
+    assert all(0 <= v <= WORD_MASK for v in m.output)
+    assert m.instret >= 0
+
+
+@given(random_program())
+@settings(max_examples=60, deadline=None)
+def test_fuzz_snapshot_restore_is_lossless(prog):
+    m = Machine(prog, memory_words=32)
+    try:
+        m.run(100)
+    except MachineFault:
+        return
+    snap = m.snapshot()
+    try:
+        m.run(200)
+    except MachineFault:
+        pass
+    m.restore(snap)
+    again = m.snapshot()
+    assert again.signature() == snap.signature()

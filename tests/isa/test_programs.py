@@ -1,0 +1,113 @@
+"""Tests for the workload-program library (against pure-Python oracles)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import ConfigurationError
+from repro.isa.instructions import Opcode
+from repro.isa.machine import Machine
+from repro.isa.programs import PROGRAMS, load_program
+
+
+def run(name, **params):
+    prog, inputs, spec = load_program(name, **params)
+    m = Machine(prog, memory_words=spec.memory_words, inputs=inputs,
+                name=name)
+    m.run_to_halt()
+    return m, spec
+
+
+@pytest.mark.parametrize("name", sorted(PROGRAMS))
+def test_default_parameters_match_oracle(name):
+    m, spec = run(name)
+    assert m.output == spec.oracle()
+
+
+@pytest.mark.parametrize("name", sorted(PROGRAMS))
+def test_every_program_has_sync_rounds(name):
+    prog, _inputs, _spec = load_program(name)
+    assert any(i.op is Opcode.SYNC for i in prog), \
+        f"{name} has no round boundaries"
+
+
+def test_unknown_program_rejected():
+    with pytest.raises(ConfigurationError, match="unknown program"):
+        load_program("does_not_exist")
+
+
+class TestSumRange:
+    @given(n=st.integers(0, 500))
+    @settings(max_examples=25, deadline=None)
+    def test_property(self, n):
+        m, spec = run("sum_range", n=n)
+        assert m.output == spec.oracle(n=n)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ConfigurationError):
+            load_program("sum_range", n=-1)
+
+
+class TestFibonacci:
+    @given(n=st.integers(0, 80))
+    @settings(max_examples=25, deadline=None)
+    def test_property_mod_2_32(self, n):
+        m, spec = run("fibonacci", n=n)
+        assert m.output == spec.oracle(n=n)
+
+
+class TestChecksum:
+    @given(data=st.lists(st.integers(0, 2**32 - 1), min_size=0, max_size=40))
+    @settings(max_examples=25, deadline=None)
+    def test_property(self, data):
+        m, spec = run("checksum", data=data)
+        assert m.output == spec.oracle(data=data)
+
+
+class TestInsertionSort:
+    @given(data=st.lists(st.integers(0, 2**31 - 1), min_size=0, max_size=25))
+    @settings(max_examples=25, deadline=None)
+    def test_sorts(self, data):
+        m, spec = run("insertion_sort", data=data)
+        assert m.output == sorted(data)
+
+    def test_large_values_rejected(self):
+        with pytest.raises(ConfigurationError):
+            load_program("insertion_sort", data=[2**31])
+
+
+class TestGcd:
+    @given(a=st.integers(1, 10_000), b=st.integers(0, 10_000))
+    @settings(max_examples=25, deadline=None)
+    def test_property(self, a, b):
+        import math
+        m, _ = run("gcd", a=a, b=b)
+        assert m.output == [math.gcd(a, b)]
+
+    def test_bad_inputs(self):
+        with pytest.raises(ConfigurationError):
+            load_program("gcd", a=0, b=5)
+
+
+class TestPrimes:
+    @given(n=st.integers(2, 200))
+    @settings(max_examples=15, deadline=None)
+    def test_property(self, n):
+        m, spec = run("primes", n=n)
+        assert m.output == spec.oracle(n=n)
+
+    def test_known_value(self):
+        m, _ = run("primes", n=100)
+        assert m.output == [25]
+
+
+class TestPolynomial:
+    @given(coeffs=st.lists(st.integers(0, 1000), min_size=1, max_size=8),
+           x=st.integers(0, 50))
+    @settings(max_examples=25, deadline=None)
+    def test_property(self, coeffs, x):
+        m, spec = run("polynomial", coeffs=coeffs, x=x)
+        assert m.output == spec.oracle(coeffs=coeffs, x=x)
+
+    def test_empty_coeffs_rejected(self):
+        with pytest.raises(ConfigurationError):
+            load_program("polynomial", coeffs=[])

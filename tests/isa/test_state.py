@@ -1,0 +1,83 @@
+"""Tests for architectural-state snapshots."""
+
+import numpy as np
+import pytest
+
+from repro.isa.state import ArchState
+
+
+def make_state(**overrides):
+    base = dict(
+        registers=tuple(range(16)),
+        memory=np.arange(8, dtype=np.uint32),
+        pc=3,
+        halted=False,
+        output=(1, 2),
+        instret=10,
+    )
+    base.update(overrides)
+    return ArchState(**base)
+
+
+class TestSignature:
+    def test_deterministic(self):
+        assert make_state().signature() == make_state().signature()
+
+    def test_sensitive_to_register_flip(self):
+        a = make_state()
+        b = a.with_register(5, a.registers[5] ^ 1)
+        assert a.signature() != b.signature()
+
+    def test_sensitive_to_memory_flip(self):
+        a = make_state()
+        b = a.with_memory_word(2, int(a.memory[2]) ^ (1 << 31))
+        assert a.signature() != b.signature()
+
+    def test_sensitive_to_pc_and_halt(self):
+        a = make_state()
+        assert a.signature() != make_state(pc=4).signature()
+        assert a.signature() != make_state(halted=True).signature()
+
+
+class TestComparable:
+    def test_output_only_by_default(self):
+        a = make_state()
+        b = make_state(registers=tuple(range(16))[::-1])
+        assert a.comparable() == b.comparable()
+
+    def test_result_region_included(self):
+        a = make_state()
+        b = a.with_memory_word(2, 999)
+        assert a.comparable(result_region=[2]) != \
+            b.comparable(result_region=[2])
+        assert a.comparable(result_region=[3]) == \
+            b.comparable(result_region=[3])
+
+
+class TestUtilities:
+    def test_memory_is_readonly(self):
+        a = make_state()
+        with pytest.raises(ValueError):
+            a.memory[0] = 99
+
+    def test_register_count_enforced(self):
+        with pytest.raises(ValueError):
+            make_state(registers=(1, 2, 3))
+
+    def test_with_register_masks(self):
+        a = make_state().with_register(0, 2**40)
+        assert a.registers[0] == (2**40) & 0xFFFFFFFF
+
+    def test_diff_reports_changes(self):
+        a = make_state()
+        b = a.with_register(1, 99).with_memory_word(0, 7)
+        d = a.diff(b)
+        assert (1, 1, 99) in d["registers"]
+        assert (0, 0, 7) in d["memory"]
+
+    def test_diff_other_fields(self):
+        a = make_state()
+        b = make_state(pc=9, halted=True, output=(1,))
+        d = a.diff(b)
+        kinds = {k for k, *_ in d["other"]}
+        assert {"pc", "halted", "output"} <= kinds

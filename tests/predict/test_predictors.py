@@ -1,0 +1,149 @@
+"""Tests for the fault predictors and accuracy measurement."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.predict import (
+    BayesianPredictor,
+    CrashEvidencePredictor,
+    FaultHistoryTable,
+    OneBitPredictor,
+    OraclePredictor,
+    RandomPredictor,
+    TwoBitPredictor,
+    measure_accuracy,
+)
+from repro.predict.evaluation import synthetic_fault_stream
+from repro.vds.faultplan import FaultEvent
+
+
+def stream(n, bias=0.5, crash=0.0, seed=0):
+    return synthetic_fault_stream(np.random.default_rng(seed), n,
+                                  victim_bias=bias, crash_fraction=crash)
+
+
+class TestRandomPredictor:
+    def test_accuracy_near_half(self, rng):
+        report = measure_accuracy(RandomPredictor(rng), stream(3000))
+        assert report.p == pytest.approx(0.5, abs=0.04)
+
+    def test_bias_does_not_help_random(self, rng):
+        report = measure_accuracy(RandomPredictor(rng), stream(3000, bias=0.9))
+        assert report.p == pytest.approx(0.5, abs=0.04)
+
+
+class TestCrashEvidence:
+    def test_perfect_on_crashes(self, rng):
+        pure_crash = stream(500, crash=1.0)
+        report = measure_accuracy(CrashEvidencePredictor(rng), pure_crash)
+        assert report.p == 1.0
+
+    def test_additive_formula(self, rng):
+        """p = f + (1-f)/2 for crash fraction f with a random fallback."""
+        report = measure_accuracy(CrashEvidencePredictor(rng),
+                                  stream(4000, crash=0.4))
+        assert report.p == pytest.approx(0.4 + 0.6 * 0.5, abs=0.04)
+
+
+class TestHistoryPredictors:
+    def test_one_bit_learns_bias_quadratically(self, rng):
+        """Last-victim accuracy on an i.i.d. stream is p² + (1−p)²."""
+        report = measure_accuracy(OneBitPredictor(rng), stream(3000, bias=0.85))
+        assert report.p == pytest.approx(0.85**2 + 0.15**2, abs=0.03)
+
+    @pytest.mark.parametrize("cls", [TwoBitPredictor, FaultHistoryTable,
+                                     BayesianPredictor])
+    def test_learns_bias(self, cls, rng):
+        """Hysteresis/posterior predictors converge to max(bias, 1−bias)."""
+        report = measure_accuracy(cls(rng), stream(3000, bias=0.85))
+        assert report.p > 0.8
+
+    @pytest.mark.parametrize("cls", [TwoBitPredictor, BayesianPredictor])
+    def test_unbiased_stream_near_half(self, cls, rng):
+        report = measure_accuracy(cls(rng), stream(3000, bias=0.5))
+        assert 0.4 <= report.p <= 0.6
+
+    def test_two_bit_hysteresis(self, rng):
+        """A single outlier must not flip a strongly-trained counter."""
+        pred = TwoBitPredictor(rng)
+        for _ in range(4):
+            pred.observe(1, FaultEvent(round=1))
+        pred.observe(2, FaultEvent(round=1))  # one outlier
+        assert pred.predict(FaultEvent(round=2)) == 1
+
+    def test_one_bit_flips_immediately(self, rng):
+        pred = OneBitPredictor(rng)
+        pred.observe(2, FaultEvent(round=1))
+        assert pred.predict(FaultEvent(round=2)) == 2
+        pred.observe(1, FaultEvent(round=2))
+        assert pred.predict(FaultEvent(round=3)) == 1
+
+    def test_history_table_separates_contexts(self, rng):
+        pred = FaultHistoryTable(rng, context_key=lambda f: f.round % 2)
+        for k in range(10):
+            pred.observe(1, FaultEvent(round=2))   # even context → V1
+            pred.observe(2, FaultEvent(round=3))   # odd context → V2
+        assert pred.predict(FaultEvent(round=4)) == 1
+        assert pred.predict(FaultEvent(round=5)) == 2
+
+    def test_reset_clears_learning(self, rng):
+        pred = TwoBitPredictor(rng)
+        for _ in range(5):
+            pred.observe(2, FaultEvent(round=1))
+        pred.reset()
+        assert pred.predict(FaultEvent(round=1)) == 1  # back to initial
+
+    def test_crash_evidence_short_circuits_history(self, rng):
+        pred = TwoBitPredictor(rng)
+        for _ in range(5):
+            pred.observe(1, FaultEvent(round=1))
+        crash = FaultEvent(round=9, victim=2, crash=True)
+        assert pred.predict(crash) == 2
+
+
+class TestBayesian:
+    def test_posterior_mean_tracks_bias(self, rng):
+        pred = BayesianPredictor(rng)
+        for ev in stream(800, bias=0.8, seed=3):
+            pred.observe(ev.victim, ev)
+        assert pred.posterior_mean == pytest.approx(0.8, abs=0.05)
+
+    def test_prior_validation(self, rng):
+        with pytest.raises(ConfigurationError):
+            BayesianPredictor(rng, prior_a=0.0)
+
+
+class TestOracle:
+    def test_perfect_and_inverse(self, rng):
+        events = stream(200, bias=0.7)
+        assert measure_accuracy(OraclePredictor(rng, 1.0), events).p == 1.0
+        assert measure_accuracy(OraclePredictor(rng, 0.0), events).p == 0.0
+
+    def test_dialled_accuracy(self, rng):
+        report = measure_accuracy(OraclePredictor(rng, 0.7), stream(4000))
+        assert report.p == pytest.approx(0.7, abs=0.04)
+
+    def test_accuracy_validated(self, rng):
+        with pytest.raises(ConfigurationError):
+            OraclePredictor(rng, 1.5)
+
+
+class TestAccuracyReport:
+    def test_wilson_interval_contains_p(self, rng):
+        report = measure_accuracy(OraclePredictor(rng, 0.8), stream(1000))
+        lo, hi = report.wilson_interval()
+        assert lo <= report.p <= hi
+        assert hi - lo < 0.1
+
+    def test_empty_stream_defaults(self):
+        report = measure_accuracy.__wrapped__ if hasattr(
+            measure_accuracy, "__wrapped__") else None
+        from repro.predict.evaluation import AccuracyReport
+        r = AccuracyReport("x", 0, 0)
+        assert r.p == 0.5
+        assert r.wilson_interval() == (0.0, 1.0)
+
+    def test_stream_validation(self, rng):
+        with pytest.raises(ConfigurationError):
+            synthetic_fault_stream(rng, 0)

@@ -1,0 +1,153 @@
+"""Tests for the DES engine core."""
+
+import pytest
+
+from repro.errors import DeadlockError, SimulationError
+from repro.sim.engine import EventStatus, Simulator
+
+
+class TestClockAndQueue:
+    def test_initial_time(self):
+        assert Simulator().now == 0.0
+        assert Simulator(start_time=5.0).now == 5.0
+
+    def test_timeout_advances_clock(self):
+        sim = Simulator()
+        sim.timeout(3.5)
+        sim.run()
+        assert sim.now == 3.5
+
+    def test_run_until_stops_before_later_events(self):
+        sim = Simulator()
+        fired = []
+        sim.timeout(1.0).add_callback(lambda e: fired.append(1))
+        sim.timeout(10.0).add_callback(lambda e: fired.append(10))
+        sim.run(until=5.0)
+        assert fired == [1]
+        assert sim.now == 5.0
+
+    def test_run_until_past_raises(self):
+        sim = Simulator()
+        sim.run(until=2.0)
+        with pytest.raises(SimulationError):
+            sim.run(until=1.0)
+
+    def test_negative_timeout_rejected(self):
+        with pytest.raises(SimulationError):
+            Simulator().timeout(-1.0)
+
+    def test_peek_empty_queue(self):
+        assert Simulator().peek() == float("inf")
+
+    def test_step_empty_queue_raises(self):
+        with pytest.raises(SimulationError):
+            Simulator().step()
+
+    def test_deterministic_fifo_order_at_same_time(self):
+        sim = Simulator()
+        order = []
+        for k in range(5):
+            sim.timeout(1.0).add_callback(lambda e, k=k: order.append(k))
+        sim.run()
+        assert order == [0, 1, 2, 3, 4]
+
+
+class TestEvents:
+    def test_manual_succeed(self):
+        sim = Simulator()
+        ev = sim.event("manual")
+        ev.succeed("payload")
+        sim.run()
+        assert ev.ok and ev.value == "payload"
+
+    def test_double_trigger_rejected(self):
+        sim = Simulator()
+        ev = sim.event()
+        ev.succeed(1)
+        with pytest.raises(SimulationError):
+            ev.succeed(2)
+
+    def test_fail_requires_exception(self):
+        sim = Simulator()
+        with pytest.raises(TypeError):
+            sim.event().fail("not an exception")
+
+    def test_unhandled_failure_raises_at_fire_time(self):
+        sim = Simulator()
+        sim.event().fail(RuntimeError("boom"))
+        with pytest.raises(RuntimeError, match="boom"):
+            sim.run()
+
+    def test_defused_failure_is_silent(self):
+        sim = Simulator()
+        ev = sim.event()
+        ev.fail(RuntimeError("boom"))
+        ev.defuse()
+        sim.run()
+        assert ev.status is EventStatus.FAILED
+
+    def test_callback_after_fire_runs_immediately(self):
+        sim = Simulator()
+        ev = sim.timeout(1.0, value=7)
+        sim.run()
+        got = []
+        ev.add_callback(lambda e: got.append(e.value))
+        assert got == [7]
+
+    def test_value_before_fire_raises(self):
+        sim = Simulator()
+        ev = sim.timeout(1.0)
+        with pytest.raises(SimulationError):
+            _ = ev.value
+
+
+class TestCompositeEvents:
+    def test_all_of_collects_values(self):
+        sim = Simulator()
+        a = sim.timeout(1.0, value="a")
+        b = sim.timeout(2.0, value="b")
+        both = sim.all_of([a, b])
+        sim.run()
+        assert both.value == ["a", "b"]
+        assert sim.now == 2.0
+
+    def test_all_of_empty_fires_immediately(self):
+        sim = Simulator()
+        ev = sim.all_of([])
+        sim.run()
+        assert ev.ok and ev.value == []
+
+    def test_any_of_returns_first(self):
+        sim = Simulator()
+        a = sim.timeout(5.0, value="slow")
+        b = sim.timeout(1.0, value="fast")
+        first = sim.any_of([a, b])
+        sim.run()
+        assert first.value == (1, "fast")
+
+    def test_any_of_needs_events(self):
+        with pytest.raises(SimulationError):
+            Simulator().any_of([])
+
+    def test_all_of_propagates_failure(self):
+        sim = Simulator()
+        a = sim.timeout(1.0)
+        b = sim.event()
+        b.fail(ValueError("child failed"))
+        combo = sim.all_of([a, b])
+        combo.defuse()
+        sim.run()
+        assert combo.status is EventStatus.FAILED
+
+
+class TestRunUntilEvent:
+    def test_returns_value(self):
+        sim = Simulator()
+        ev = sim.timeout(2.0, value=99)
+        assert sim.run_until_event(ev) == 99
+
+    def test_deadlock_detection(self):
+        sim = Simulator()
+        never = sim.event("never")
+        with pytest.raises(DeadlockError):
+            sim.run_until_event(never)

@@ -1,0 +1,79 @@
+"""DES engine stress properties under random process populations."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.sim.engine import Simulator
+from repro.sim.resources import Resource
+
+
+@given(delays=st.lists(st.floats(0.01, 50.0), min_size=1, max_size=40))
+@settings(max_examples=40, deadline=None)
+def test_time_is_monotone_and_complete(delays):
+    sim = Simulator()
+    done = []
+
+    def body(sim, d):
+        yield sim.timeout(d)
+        done.append(sim.now)
+
+    for d in delays:
+        sim.process(body(sim, d))
+    sim.run()
+    assert len(done) == len(delays)
+    assert done == sorted(done)
+    assert sim.now == pytest.approx(max(delays))
+
+
+@given(n_procs=st.integers(1, 25), capacity=st.integers(1, 4),
+       hold=st.floats(0.1, 3.0))
+@settings(max_examples=30, deadline=None)
+def test_resource_never_oversubscribed(n_procs, capacity, hold):
+    sim = Simulator()
+    res = Resource(sim, capacity=capacity)
+    concurrent = [0]
+    peak = [0]
+
+    def user(sim, res):
+        req = res.request()
+        yield req
+        concurrent[0] += 1
+        peak[0] = max(peak[0], concurrent[0])
+        yield sim.timeout(hold)
+        concurrent[0] -= 1
+        res.release(req)
+
+    for _ in range(n_procs):
+        sim.process(user(sim, res))
+    sim.run()
+    assert peak[0] <= capacity
+    assert concurrent[0] == 0
+    # Total serialised time: ceil(n/capacity) batches of `hold`.
+    import math
+
+    assert sim.now == pytest.approx(math.ceil(n_procs / capacity) * hold)
+
+
+@given(seed=st.integers(0, 50))
+@settings(max_examples=20, deadline=None)
+def test_interleaved_spawning(seed):
+    """Processes that spawn processes: everything completes, time flows."""
+    import numpy as np
+
+    rng = np.random.default_rng(seed)
+    sim = Simulator()
+    finished = []
+
+    def child(sim, delay):
+        yield sim.timeout(delay)
+        finished.append(sim.now)
+
+    def parent(sim):
+        for _ in range(int(rng.integers(1, 5))):
+            yield sim.timeout(float(rng.random()))
+            sim.process(child(sim, float(rng.random() * 2)))
+
+    sim.process(parent(sim))
+    sim.process(parent(sim))
+    sim.run()
+    assert finished == sorted(finished)

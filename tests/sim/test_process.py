@@ -1,0 +1,157 @@
+"""Tests for generator-based processes."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.engine import Interrupt, Simulator
+from repro.sim.process import Process, ProcessKilled
+
+
+def test_process_runs_and_returns_value():
+    sim = Simulator()
+
+    def body(sim):
+        yield sim.timeout(2.0)
+        return "done"
+
+    proc = sim.process(body(sim))
+    assert sim.run_until_event(proc) == "done"
+    assert sim.now == 2.0
+
+
+def test_process_joins_another_process():
+    sim = Simulator()
+
+    def worker(sim):
+        yield sim.timeout(3.0)
+        return 42
+
+    def waiter(sim, target):
+        value = yield target
+        return value + 1
+
+    w = sim.process(worker(sim))
+    j = sim.process(waiter(sim, w))
+    assert sim.run_until_event(j) == 43
+
+
+def test_process_sequencing_multiple_timeouts():
+    sim = Simulator()
+    times = []
+
+    def body(sim):
+        for delay in (1.0, 2.0, 0.5):
+            yield sim.timeout(delay)
+            times.append(sim.now)
+
+    sim.process(body(sim))
+    sim.run()
+    assert times == [1.0, 3.0, 3.5]
+
+
+def test_exception_inside_process_fails_the_process():
+    sim = Simulator()
+
+    def body(sim):
+        yield sim.timeout(1.0)
+        raise ValueError("inner")
+
+    proc = sim.process(body(sim))
+    proc.defuse()
+    sim.run()
+    assert not proc.ok
+    with pytest.raises(ValueError, match="inner"):
+        _ = proc.value
+
+
+def test_yielding_non_event_fails():
+    sim = Simulator()
+
+    def body(sim):
+        yield 42
+
+    proc = sim.process(body(sim))
+    proc.defuse()
+    sim.run()
+    with pytest.raises(SimulationError):
+        _ = proc.value
+
+
+def test_interrupt_delivered_at_yield():
+    sim = Simulator()
+    caught = []
+
+    def victim(sim):
+        try:
+            yield sim.timeout(10.0)
+        except Interrupt as exc:
+            caught.append((sim.now, exc.cause))
+
+    v = sim.process(victim(sim))
+
+    def striker(sim, v):
+        yield sim.timeout(2.0)
+        v.interrupt("fault")
+
+    sim.process(striker(sim, v))
+    sim.run()
+    assert caught == [(2.0, "fault")]
+
+
+def test_interrupt_finished_process_rejected():
+    sim = Simulator()
+
+    def quick(sim):
+        yield sim.timeout(0.5)
+
+    proc = sim.process(quick(sim))
+    sim.run()
+    with pytest.raises(SimulationError):
+        proc.interrupt()
+
+
+def test_kill_terminates_process():
+    sim = Simulator()
+    reached = []
+
+    def body(sim):
+        yield sim.timeout(10.0)
+        reached.append(True)
+
+    proc = sim.process(body(sim))
+
+    def killer(sim, p):
+        yield sim.timeout(1.0)
+        p.kill()
+
+    sim.process(killer(sim, proc))
+    sim.run()
+    assert not reached
+    with pytest.raises(ProcessKilled):
+        _ = proc.value
+
+
+def test_non_generator_body_rejected():
+    sim = Simulator()
+    with pytest.raises(SimulationError):
+        Process(sim, lambda: None)
+
+
+def test_failed_dependency_propagates_into_process():
+    sim = Simulator()
+    seen = []
+
+    def failing(sim):
+        yield sim.timeout(1.0)
+        raise RuntimeError("dep failed")
+
+    def dependent(sim, dep):
+        try:
+            yield dep
+        except RuntimeError as exc:
+            seen.append(str(exc))
+
+    dep = sim.process(failing(sim))
+    sim.process(dependent(sim, dep))
+    sim.run()
+    assert seen == ["dep failed"]

@@ -1,0 +1,119 @@
+"""Tests for Resource / PriorityResource / Store."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.engine import Simulator
+from repro.sim.resources import PriorityResource, Resource, Store
+
+
+def test_resource_serializes_holders():
+    sim = Simulator()
+    res = Resource(sim, capacity=1)
+    log = []
+
+    def user(sim, res, name, hold):
+        req = res.request()
+        yield req
+        log.append((name, "in", sim.now))
+        yield sim.timeout(hold)
+        res.release(req)
+        log.append((name, "out", sim.now))
+
+    sim.process(user(sim, res, "a", 2.0))
+    sim.process(user(sim, res, "b", 1.0))
+    sim.run()
+    assert log == [("a", "in", 0.0), ("a", "out", 2.0),
+                   ("b", "in", 2.0), ("b", "out", 3.0)]
+
+
+def test_capacity_two_allows_parallelism():
+    sim = Simulator()
+    res = Resource(sim, capacity=2)
+    done = []
+
+    def user(sim, res, name):
+        req = res.request()
+        yield req
+        yield sim.timeout(1.0)
+        res.release(req)
+        done.append((name, sim.now))
+
+    for name in "abc":
+        sim.process(user(sim, res, name))
+    sim.run()
+    assert done == [("a", 1.0), ("b", 1.0), ("c", 2.0)]
+
+
+def test_release_unknown_request_raises():
+    sim = Simulator()
+    r1 = Resource(sim, capacity=1)
+    r2 = Resource(sim, capacity=1)
+    req = r1.request()
+    with pytest.raises(SimulationError):
+        r2.release(req)
+
+
+def test_cancel_waiting_request():
+    sim = Simulator()
+    res = Resource(sim, capacity=1)
+    first = res.request()
+    second = res.request()
+    res.release(second)  # cancel before grant
+    res.release(first)
+    assert res.count == 0 and res.queue_length == 0
+
+
+def test_capacity_validation():
+    with pytest.raises(SimulationError):
+        Resource(Simulator(), capacity=0)
+
+
+def test_priority_resource_orders_waiters():
+    sim = Simulator()
+    res = PriorityResource(sim, capacity=1)
+    order = []
+
+    def user(sim, res, name, prio, delay):
+        yield sim.timeout(delay)
+        req = res.request(priority=prio)
+        yield req
+        order.append(name)
+        yield sim.timeout(5.0)
+        res.release(req)
+
+    sim.process(user(sim, res, "low", 5, 0.0))     # grabs it first
+    sim.process(user(sim, res, "mid", 3, 0.1))
+    sim.process(user(sim, res, "urgent", 0, 0.2))
+    sim.run()
+    assert order == ["low", "urgent", "mid"]
+
+
+def test_store_fifo_and_blocking_get():
+    sim = Simulator()
+    store = Store(sim)
+    got = []
+
+    def consumer(sim, store):
+        item = yield store.get()
+        got.append((item, sim.now))
+
+    def producer(sim, store):
+        yield sim.timeout(2.0)
+        store.put("x")
+
+    sim.process(consumer(sim, store))
+    sim.process(producer(sim, store))
+    sim.run()
+    assert got == [("x", 2.0)]
+
+
+def test_store_immediate_get_when_stocked():
+    sim = Simulator()
+    store = Store(sim)
+    store.put(1)
+    store.put(2)
+    ev = store.get()
+    sim.run()
+    assert ev.value == 1
+    assert store.size == 1

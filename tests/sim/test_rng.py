@@ -1,0 +1,53 @@
+"""Tests for named random substreams."""
+
+import numpy as np
+import pytest
+
+from repro.sim.rng import RandomStreams
+
+
+def test_same_seed_same_stream():
+    a = RandomStreams(7).get("faults").random(10)
+    b = RandomStreams(7).get("faults").random(10)
+    assert np.array_equal(a, b)
+
+
+def test_different_names_independent():
+    streams = RandomStreams(7)
+    a = streams.get("faults").random(10)
+    b = streams.get("workload").random(10)
+    assert not np.array_equal(a, b)
+
+
+def test_creation_order_does_not_matter():
+    s1 = RandomStreams(3)
+    _ = s1.get("a").random(5)
+    first = s1.get("b").random(5)
+    s2 = RandomStreams(3)
+    second = s2.get("b").random(5)  # created before "a" this time
+    _ = s2.get("a")
+    assert np.array_equal(first, second)
+
+
+def test_get_returns_same_generator_instance():
+    streams = RandomStreams(0)
+    assert streams.get("x") is streams.get("x")
+
+
+def test_spawn_children():
+    streams = RandomStreams(0)
+    children = streams.spawn("replica", 3)
+    assert len(children) == 3
+    draws = [g.random() for g in children]
+    assert len(set(draws)) == 3
+
+
+def test_seed_type_checked():
+    with pytest.raises(TypeError):
+        RandomStreams("not an int")
+
+
+def test_different_seeds_differ():
+    a = RandomStreams(1).get("x").random(8)
+    b = RandomStreams(2).get("x").random(8)
+    assert not np.array_equal(a, b)

@@ -1,0 +1,96 @@
+"""Tests for trace recording and Gantt reconstruction."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.sim.trace import GanttSegment, TraceRecorder, merge_traces
+
+
+def test_begin_end_pairs_fold_into_segments():
+    tr = TraceRecorder()
+    tr.begin(0.0, "round", "V1.R1", "CPU")
+    tr.end(1.0, "round", "V1.R1", "CPU")
+    tr.begin(1.1, "round", "V2.R1", "CPU")
+    tr.end(2.1, "round", "V2.R1", "CPU")
+    segs = tr.segments()
+    assert len(segs) == 2
+    assert segs[0].label == "V1.R1" and segs[0].duration == pytest.approx(1.0)
+
+
+def test_reentrant_labels_pair_fifo():
+    tr = TraceRecorder()
+    tr.begin(0.0, "retry", "V3", "T1")
+    tr.end(2.0, "retry", "V3", "T1")
+    tr.begin(5.0, "retry", "V3", "T1")
+    tr.end(9.0, "retry", "V3", "T1")
+    segs = tr.segments()
+    assert [(s.start, s.end) for s in segs] == [(0.0, 2.0), (5.0, 9.0)]
+
+
+def test_unclosed_begin_ignored():
+    tr = TraceRecorder()
+    tr.begin(0.0, "round", "open", "CPU")
+    assert tr.segments() == []
+
+
+def test_filter_by_category_and_lane():
+    tr = TraceRecorder()
+    tr.point(1.0, "checkpoint", "c1", "T1")
+    tr.point(2.0, "checkpoint", "c2", "T2")
+    tr.point(3.0, "fault", "f1", "T1")
+    assert len(tr.filter(category="checkpoint")) == 2
+    assert len(tr.filter(lane="T1")) == 2
+    assert len(tr.filter(category="fault", lane="T2")) == 0
+
+
+def test_lanes_in_first_appearance_order():
+    tr = TraceRecorder()
+    tr.point(0.0, "x", "a", "T2")
+    tr.point(1.0, "x", "b", "T1")
+    tr.point(2.0, "x", "c", "T2")
+    assert tr.lanes() == ["T2", "T1"]
+
+
+def test_total_time_and_makespan():
+    tr = TraceRecorder()
+    tr.begin(0.0, "round", "a", "CPU")
+    tr.end(2.0, "round", "a", "CPU")
+    tr.begin(2.0, "switch", "s", "CPU")
+    tr.end(2.5, "switch", "s", "CPU")
+    assert tr.total_time("round") == pytest.approx(2.0)
+    assert tr.total_time("switch") == pytest.approx(0.5)
+    assert tr.makespan() == pytest.approx(2.5)
+
+
+def test_disabled_recorder_records_nothing():
+    tr = TraceRecorder(enabled=False)
+    tr.point(0.0, "x", "a")
+    tr.begin(0.0, "x", "b")
+    assert len(tr) == 0
+
+
+def test_overlap_detection():
+    a = GanttSegment("T1", "round", "a", 0.0, 2.0)
+    b = GanttSegment("T2", "round", "b", 1.0, 3.0)
+    c = GanttSegment("T1", "round", "c", 2.0, 4.0)
+    assert a.overlaps(b)
+    assert not a.overlaps(c)  # touching, not overlapping
+
+
+def test_merge_traces_sorts_by_time():
+    t1, t2 = TraceRecorder(), TraceRecorder()
+    t1.point(2.0, "x", "late")
+    t2.point(1.0, "x", "early")
+    merged = merge_traces([t1, t2])
+    assert [e.label for e in merged] == ["early", "late"]
+
+
+@given(st.lists(st.tuples(st.floats(0, 100), st.floats(0.01, 10)),
+                min_size=1, max_size=30))
+def test_segments_never_negative_duration(intervals):
+    tr = TraceRecorder()
+    for k, (start, dur) in enumerate(intervals):
+        tr.begin(start, "cat", f"seg{k}")
+        tr.end(start + dur, "cat", f"seg{k}")
+    for seg in tr.segments():
+        assert seg.duration >= 0

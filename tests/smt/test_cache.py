@@ -1,0 +1,93 @@
+"""Tests for the shared set-associative data cache."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.smt.cache import CacheConfig, CacheStats, DirectMappedCache
+
+
+class TestConfig:
+    def test_defaults_valid(self):
+        cfg = CacheConfig()
+        assert cfg.sets * cfg.ways == cfg.lines
+
+    def test_lines_power_of_two(self):
+        with pytest.raises(ConfigurationError):
+            CacheConfig(lines=48)
+
+    def test_ways_divide_lines(self):
+        with pytest.raises(ConfigurationError):
+            CacheConfig(lines=64, ways=3)
+
+    def test_latency_validation(self):
+        with pytest.raises(ConfigurationError):
+            CacheConfig(hit_latency=0)
+
+
+class TestAccessBehaviour:
+    def test_cold_miss_then_hit(self):
+        c = DirectMappedCache()
+        assert c.access(0, 100) == c.config.miss_latency
+        assert c.access(0, 100) == 0
+
+    def test_same_line_hits(self):
+        c = DirectMappedCache(CacheConfig(line_words=4))
+        c.access(0, 8)
+        assert c.access(0, 9) == 0  # same 4-word line
+
+    def test_accessor_spaces_do_not_share(self):
+        """Two versions' address 0 are different data (separate address
+        spaces) and must not produce false hits."""
+        c = DirectMappedCache()
+        c.access(0, 0)
+        assert c.access(1, 0) == c.config.miss_latency
+
+    def test_two_way_keeps_both_threads_lines(self):
+        """The associativity rationale: same set, two accessors, no
+        ping-pong."""
+        c = DirectMappedCache(CacheConfig(lines=8, ways=2, line_words=1))
+        c.access(0, 0)
+        c.access(1, 0)  # same set, other way
+        assert c.access(0, 0) == 0
+        assert c.access(1, 0) == 0
+
+    def test_direct_mapped_pingpong(self):
+        c = DirectMappedCache(CacheConfig(lines=8, ways=1, line_words=1))
+        c.access(0, 0)
+        c.access(1, 0)
+        assert c.access(0, 0) == c.config.miss_latency  # evicted
+
+    def test_lru_within_set(self):
+        c = DirectMappedCache(CacheConfig(lines=2, ways=2, line_words=1))
+        # Set 0 gets addresses 0, 2, 4 (all map to set 0 of 1 set? lines=2
+        # ways=2 → sets=1). Fill ways with 0 and 2, touch 0, then 4 must
+        # evict 2 (the LRU).
+        c.access(0, 0)
+        c.access(0, 2)
+        c.access(0, 0)   # refresh 0
+        c.access(0, 4)   # evicts 2
+        assert c.access(0, 0) == 0
+        assert c.access(0, 2) == c.config.miss_latency
+
+    def test_flush_invalidates(self):
+        c = DirectMappedCache()
+        c.access(0, 0)
+        c.flush()
+        assert c.access(0, 0) == c.config.miss_latency
+
+    def test_negative_address_rejected(self):
+        with pytest.raises(ConfigurationError):
+            DirectMappedCache().access(0, -1)
+
+
+class TestStats:
+    def test_hit_rate_accounting(self):
+        c = DirectMappedCache()
+        c.access(0, 0)
+        c.access(0, 0)
+        c.access(0, 0)
+        assert c.stats.hit_rate(0) == pytest.approx(2 / 3)
+        assert c.stats.hit_rate() == pytest.approx(2 / 3)
+
+    def test_empty_hit_rate_is_one(self):
+        assert CacheStats().hit_rate() == 1.0

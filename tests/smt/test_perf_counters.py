@@ -1,0 +1,36 @@
+"""Tests for the PMU-style counters."""
+
+import pytest
+
+from repro.smt.perf_counters import PerfCounters
+
+
+class TestPerfCounters:
+    def test_ipc_total_and_per_thread(self):
+        c = PerfCounters()
+        c.cycles = 100
+        c.retire(0, 120)
+        c.retire(1, 60)
+        assert c.ipc() == pytest.approx(1.8)
+        assert c.ipc(0) == pytest.approx(1.2)
+        assert c.ipc(1) == pytest.approx(0.6)
+        assert c.ipc(7) == 0.0
+
+    def test_ipc_zero_cycles(self):
+        assert PerfCounters().ipc() == 0.0
+
+    def test_utilization(self):
+        c = PerfCounters()
+        c.cycles = 50
+        c.retire(0, 100)
+        assert c.utilization(issue_width=4) == pytest.approx(0.5)
+        assert PerfCounters().utilization(4) == 0.0
+
+    def test_stall_and_block_accounting(self):
+        c = PerfCounters()
+        c.stall(0)
+        c.stall(0)
+        c.block(1, 12)
+        c.block(1, 12)
+        assert c.issue_stalls[0] == 2
+        assert c.memory_blocks[1] == 24

@@ -1,0 +1,159 @@
+"""Tests for the slot-level SMT core."""
+
+import pytest
+
+from repro.errors import ConfigurationError, MachineFault
+from repro.isa.assembler import assemble
+from repro.isa.machine import Machine
+from repro.isa.programs import load_program
+from repro.smt.cache import CacheConfig
+from repro.smt.processor import CoreConfig, SMTProcessor
+
+
+def machine_for(name, **params):
+    prog, inputs, _ = load_program(name, **params)
+    return Machine(prog, inputs=inputs, name=name)
+
+
+class TestCoreConfig:
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            CoreConfig(hardware_threads=0)
+        with pytest.raises(ConfigurationError):
+            CoreConfig(issue_width=0)
+
+
+class TestSingleThread:
+    def test_architectural_correctness(self):
+        core = SMTProcessor()
+        m = machine_for("fibonacci")
+        core.load_context(0, m)
+        core.run_to_halt()
+        prog, inputs, spec = load_program("fibonacci")
+        assert m.output == spec.oracle()
+
+    def test_superscalar_single_thread_ipc_above_one(self):
+        core = SMTProcessor()
+        m = machine_for("fibonacci")
+        core.load_context(0, m)
+        cycles = core.run_to_halt()
+        assert m.instret / cycles > 1.0
+
+    def test_ipc_bounded_by_issue_width(self):
+        core = SMTProcessor()
+        m = machine_for("fibonacci")
+        core.load_context(0, m)
+        core.run_to_halt()
+        assert core.counters.ipc() <= core.config.issue_width
+
+    def test_load_context_bad_slot(self):
+        core = SMTProcessor(CoreConfig(hardware_threads=1))
+        with pytest.raises(ConfigurationError):
+            core.load_context(5, machine_for("gcd"))
+
+
+class TestDualThread:
+    def test_both_threads_complete_correctly(self):
+        core = SMTProcessor()
+        m1, m2 = machine_for("gcd"), machine_for("checksum")
+        core.load_context(0, m1)
+        core.load_context(1, m2)
+        core.run_to_halt()
+        assert m1.output == load_program("gcd")[2].oracle()
+        assert m2.output == load_program("checksum")[2].oracle()
+
+    def test_parallel_faster_than_serial(self):
+        solo = SMTProcessor()
+        solo.load_context(0, machine_for("fibonacci"))
+        t_solo = solo.run_to_halt()
+
+        dual = SMTProcessor()
+        dual.load_context(0, machine_for("fibonacci"))
+        dual.load_context(1, machine_for("fibonacci"))
+        t_dual = dual.run_to_halt()
+        assert t_solo < t_dual < 2 * t_solo  # 0.5 < alpha < 1
+
+    def test_trap_propagates_to_caller(self):
+        core = SMTProcessor()
+        m = Machine(assemble("loadi r1, 999\nload r2, r1, 0\nhalt"),
+                    memory_words=8)
+        core.load_context(0, m)
+        with pytest.raises(MachineFault):
+            core.run_to_halt()
+
+    def test_run_until_timeout_guard(self):
+        core = SMTProcessor()
+        core.load_context(0, Machine(assemble("loop: jmp loop")))
+        with pytest.raises(MachineFault) as exc:
+            core.run_to_halt(max_cycles=100)
+        assert exc.value.kind == "timeout"
+
+
+class TestRoundExecution:
+    def test_run_machines_round_stops_at_sync(self):
+        core = SMTProcessor()
+        m1 = machine_for("fibonacci")
+        m2 = machine_for("fibonacci")
+        core.load_context(0, m1)
+        core.load_context(1, m2)
+        core.run_machines_round()
+        # Both advanced exactly one loop iteration (or halted).
+        assert 0 < m1.instret < 25
+        assert 0 < m2.instret < 25
+
+    def test_round_boundaries_are_exact(self):
+        """Threads must *park* at their sync boundary, not overshoot —
+        lockstep round execution would otherwise drift (the full-stack
+        VDS depends on this)."""
+        solo = machine_for("fibonacci")
+        solo.run_round()
+        boundary = solo.instret
+
+        core = SMTProcessor()
+        m1 = machine_for("fibonacci")
+        m2 = machine_for("fibonacci")
+        core.load_context(0, m1)
+        core.load_context(1, m2)
+        for k in range(1, 6):
+            core.run_machines_round()
+            ref = machine_for("fibonacci")
+            for _ in range(k):
+                ref.run_round()
+            assert m1.instret == ref.instret
+            assert m2.instret == ref.instret
+
+    def test_parked_thread_frees_bandwidth(self):
+        """A short-round thread parks while a long-round one continues;
+        the parked one must not execute past its boundary."""
+        short = machine_for("gcd")        # few instructions per round
+        long_ = machine_for("primes")     # long rounds
+        core = SMTProcessor()
+        core.load_context(0, short)
+        core.load_context(1, long_)
+        ref = machine_for("gcd")
+        ref.run_round()
+        core.run_machines_round()
+        assert short.instret == ref.instret
+
+    def test_unload_returns_machine(self):
+        core = SMTProcessor()
+        m = machine_for("gcd")
+        core.load_context(0, m)
+        assert core.unload_context(0) is m
+        assert core.active_threads() == []
+
+
+class TestMemoryLatency:
+    def test_misses_block_only_the_issuer(self):
+        cfg = CoreConfig(cache=CacheConfig(miss_latency=50))
+        # Memory-heavy alongside ALU-heavy: the ALU thread should keep
+        # retiring while the memory thread stalls.
+        core = SMTProcessor(cfg)
+        mem_m = machine_for("checksum")
+        alu_m = machine_for("fibonacci")
+        core.load_context(0, mem_m)
+        core.load_context(1, alu_m)
+        core.run_to_halt()
+        blocks = core.counters.memory_blocks.get(0, 0)
+        assert blocks > 0
+        assert core.counters.ipc(1) > 0.3

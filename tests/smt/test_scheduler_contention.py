@@ -1,0 +1,98 @@
+"""Tests for the OS scheduler and alpha measurement."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.isa.programs import load_program
+from repro.isa.machine import Machine
+from repro.smt.contention import alpha_table, measure_alpha
+from repro.smt.processor import CoreConfig, SMTProcessor
+from repro.smt.scheduler import ContextSwitchCost, TimeSliceScheduler
+
+
+def make(name):
+    prog, inputs, _ = load_program(name)
+    return Machine(prog, inputs=inputs, name=name)
+
+
+class TestScheduler:
+    def _run_serial(self, switch_cycles):
+        core = SMTProcessor()
+        sched = TimeSliceScheduler(core,
+                                   ContextSwitchCost(cycles=switch_cycles))
+        c1 = sched.add_context(make("fibonacci"))
+        c2 = sched.add_context(make("fibonacci"))
+        while not all(m.halted for m in sched.contexts):
+            sched.run_round_serial([c1, c2])
+        return core
+
+    def test_serial_rounds_interleave_and_complete(self):
+        core = self._run_serial(10)
+        assert core.counters.context_switches > 0
+
+    def test_switch_cost_charged(self):
+        free = self._run_serial(0).cycle
+        costly = self._run_serial(20).cycle
+        switches = self._run_serial(20).counters.context_switches
+        assert costly == free + 20 * switches
+
+    def test_parallel_mode_no_switches(self):
+        core = SMTProcessor()
+        sched = TimeSliceScheduler(core)
+        c1 = sched.add_context(make("fibonacci"))
+        c2 = sched.add_context(make("fibonacci"))
+        while not all(m.halted for m in sched.contexts):
+            sched.run_round_parallel([c1, c2])
+        assert core.counters.context_switches == 0
+
+    def test_parallel_overflow_rejected(self):
+        core = SMTProcessor(CoreConfig(hardware_threads=2))
+        sched = TimeSliceScheduler(core)
+        ids = [sched.add_context(make("gcd")) for _ in range(3)]
+        with pytest.raises(ConfigurationError):
+            sched.run_round_parallel(ids)
+
+    def test_serial_beats_parallel_with_heavy_switches(self):
+        """Sanity direction check: serial pays switches, parallel doesn't."""
+        serial = self._run_serial(30).cycle
+        core = SMTProcessor()
+        sched = TimeSliceScheduler(core)
+        c1 = sched.add_context(make("fibonacci"))
+        c2 = sched.add_context(make("fibonacci"))
+        while not all(m.halted for m in sched.contexts):
+            sched.run_round_parallel([c1, c2])
+        assert core.cycle < serial
+
+    def test_negative_switch_cost_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ContextSwitchCost(cycles=-1)
+
+
+class TestAlphaMeasurement:
+    def test_alpha_in_open_interval(self):
+        m = measure_alpha("fibonacci", "fibonacci")
+        assert 0.5 < m.alpha < 1.0
+
+    def test_speedup_is_inverse(self):
+        m = measure_alpha("gcd", "gcd")
+        assert m.speedup == pytest.approx(1.0 / m.alpha)
+
+    def test_default_core_hits_pentium4_band(self):
+        """The calibrated default core measures mean alpha ≈ 0.65 over the
+        same-program pairs (the VAL-2 headline)."""
+        names = ["fibonacci", "checksum", "insertion_sort", "gcd",
+                 "primes", "polynomial", "sum_range"]
+        alphas = [measure_alpha(n, n).alpha for n in names]
+        mean = sum(alphas) / len(alphas)
+        assert 0.6 <= mean <= 0.7
+        assert all(0.5 < a < 1.0 for a in alphas)
+
+    def test_needs_two_hardware_threads(self):
+        with pytest.raises(ConfigurationError):
+            measure_alpha("gcd", "gcd", CoreConfig(hardware_threads=1))
+
+    def test_alpha_table_covers_pairs(self):
+        table = alpha_table(["gcd", "checksum"])
+        pairs = {(m.workload_a, m.workload_b) for m in table}
+        assert pairs == {("gcd", "gcd"), ("gcd", "checksum"),
+                         ("checksum", "checksum")}

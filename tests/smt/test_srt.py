@@ -1,0 +1,41 @@
+"""Tests for the lockstep-SRT baseline."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.isa.machine import Machine
+from repro.isa.programs import load_program
+from repro.smt.processor import CoreConfig
+from repro.smt.srt import run_srt_lockstep
+
+
+def make_fib():
+    prog, inputs, _ = load_program("fibonacci")
+    return Machine(prog, inputs=inputs)
+
+
+class TestLockstep:
+    def test_copies_complete_and_agree(self):
+        res = run_srt_lockstep(make_fib)
+        assert res.instructions > 0
+        assert res.cycles > res.cycles_solo
+
+    def test_alpha_band(self):
+        res = run_srt_lockstep(make_fib, compare_slots=0)
+        assert 0.5 < res.alpha_effective < 1.0
+
+    def test_comparison_slots_cost_throughput(self):
+        free = run_srt_lockstep(make_fib, compare_slots=0)
+        taxed = run_srt_lockstep(make_fib, compare_slots=1)
+        assert taxed.cycles > free.cycles
+        assert taxed.slowdown_vs_solo > free.slowdown_vs_solo
+
+    def test_detection_latency_is_one_cycle(self):
+        assert run_srt_lockstep(make_fib).detection_latency_cycles == 1.0
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            run_srt_lockstep(make_fib, compare_slots=-1)
+        with pytest.raises(ConfigurationError):
+            run_srt_lockstep(make_fib, CoreConfig(issue_width=2),
+                             compare_slots=2)

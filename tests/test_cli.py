@@ -1,0 +1,81 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def test_list_command(capsys):
+    assert main(["list"]) == 0
+    out = capsys.readouterr().out
+    assert "FIG4" in out and "VAL-1" in out
+
+
+def test_run_single_experiment(capsys):
+    assert main(["run", "TAB-E1", "--quick"]) == 0
+    out = capsys.readouterr().out
+    assert "TAB-E1" in out and "G_round" in out
+
+
+def test_run_unknown_id(capsys):
+    assert main(["run", "NOPE"]) == 2
+    assert "unknown experiment" in capsys.readouterr().err
+
+
+def test_run_without_ids(capsys):
+    assert main(["run"]) == 2
+    assert "no experiment ids" in capsys.readouterr().err
+
+
+def test_seed_option_accepted(capsys):
+    assert main(["run", "TAB-E2", "--quick", "--seed", "3"]) == 0
+
+
+def test_version_flag(capsys):
+    with pytest.raises(SystemExit) as exc:
+        build_parser().parse_args(["--version"])
+    assert exc.value.code == 0
+
+
+class TestMissionCommand:
+    def test_basic_mission(self, capsys):
+        assert main(["mission", "--rounds", "50", "--rate", "0.05",
+                     "--seed", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "total time" in out and "recoveries" in out
+
+    def test_conventional_with_timeline(self, capsys):
+        assert main(["mission", "--arch", "conventional",
+                     "--scheme", "stop-and-retry", "--rounds", "30",
+                     "--timeline", "10"]) == 0
+        out = capsys.readouterr().out
+        assert "CPU" in out  # timeline lane rendered
+
+    def test_predictor_choice(self, capsys):
+        assert main(["mission", "--rounds", "60", "--rate", "0.1",
+                     "--predictor", "gshare", "--seed", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "gshare" in out
+
+    def test_rejects_unknown_scheme(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["mission", "--scheme", "magic"])
+
+
+class TestCampaignCommand:
+    def test_mixed_campaign(self, capsys):
+        assert main(["campaign", "--program", "gcd", "--trials", "30",
+                     "--seed", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "coverage" in out and "diverse pair" in out
+
+    def test_identical_permanent_gap(self, capsys):
+        assert main(["campaign", "--program", "insertion_sort",
+                     "--kind", "permanent-alu", "--trials", "40",
+                     "--identical"]) == 0
+        out = capsys.readouterr().out
+        assert "identical copies" in out
+
+    def test_bad_kind_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["campaign", "--kind", "cosmic"])

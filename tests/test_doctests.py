@@ -1,0 +1,23 @@
+"""Keep the docstring examples honest: run every doctest in the package."""
+
+import doctest
+import importlib
+import pkgutil
+
+import repro
+
+
+def _iter_modules():
+    yield repro
+    for info in pkgutil.walk_packages(repro.__path__, prefix="repro."):
+        yield importlib.import_module(info.name)
+
+
+def test_all_package_doctests_pass():
+    total_tests = 0
+    for module in _iter_modules():
+        results = doctest.testmod(module, verbose=False)
+        assert results.failed == 0, f"doctest failure in {module.__name__}"
+        total_tests += results.attempted
+    # The package promises worked examples in its docstrings.
+    assert total_tests >= 5

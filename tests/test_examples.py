@@ -1,0 +1,32 @@
+"""Smoke tests: every bundled example must run end to end.
+
+Run as subprocesses so import-time and ``__main__`` behaviour is exercised
+exactly as a user would hit it.
+"""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = sorted(
+    (Path(__file__).parent.parent / "examples").glob("*.py")
+)
+
+
+@pytest.mark.parametrize("path", EXAMPLES, ids=lambda p: p.stem)
+def test_example_runs(path):
+    proc = subprocess.run(
+        [sys.executable, str(path)] +
+        (["leo"] if path.stem == "space_mission" else []),
+        capture_output=True, text=True, timeout=600,
+    )
+    assert proc.returncode == 0, proc.stderr[-2000:]
+    assert proc.stdout.strip(), "example produced no output"
+
+
+def test_examples_directory_complete():
+    names = {p.stem for p in EXAMPLES}
+    assert "quickstart" in names
+    assert len(names) >= 3  # the deliverable's minimum

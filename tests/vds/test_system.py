@@ -1,0 +1,165 @@
+"""Mission-level tests: totals, checkpointing, invariants."""
+
+import numpy as np
+import pytest
+
+from repro.core.params import VDSParameters
+from repro.errors import ConfigurationError
+from repro.faults.rates import PoissonArrivals
+from repro.predict.oracle import OraclePredictor
+from repro.vds.faultplan import FaultEvent, FaultPlan
+from repro.vds.recovery import PredictionScheme, StopAndRetry
+from repro.vds.system import VDSMission, run_mission
+from repro.vds.timing import ConventionalTiming, SMT2Timing
+
+P = VDSParameters(alpha=0.65, beta=0.1, s=20)
+
+
+class TestFaultFreeMissions:
+    def test_conventional_total_time(self):
+        res = run_mission(ConventionalTiming(P), StopAndRetry(),
+                          FaultPlan(), 40)
+        assert res.total_time == pytest.approx(40 * 2.3)
+        assert res.recoveries == [] and res.rollbacks == 0
+
+    def test_smt_total_time(self):
+        res = run_mission(SMT2Timing(P), PredictionScheme(), FaultPlan(), 40)
+        assert res.total_time == pytest.approx(40 * 1.4)
+
+    def test_fault_free_speedup_is_round_gain(self):
+        conv = run_mission(ConventionalTiming(P), StopAndRetry(),
+                           FaultPlan(), 60)
+        smt = run_mission(SMT2Timing(P), PredictionScheme(), FaultPlan(), 60)
+        assert conv.total_time / smt.total_time == pytest.approx(
+            2.3 / 1.4
+        )
+
+    def test_checkpoints_at_interval_boundaries(self):
+        res = run_mission(ConventionalTiming(P), StopAndRetry(),
+                          FaultPlan(), 60)
+        assert res.checkpoints_written == 3
+
+    def test_checkpoint_write_time_charged(self):
+        res = run_mission(ConventionalTiming(P), StopAndRetry(),
+                          FaultPlan(), 40, checkpoint_write_time=2.0)
+        assert res.total_time == pytest.approx(40 * 2.3 + 2 * 2.0)
+
+
+class TestSingleFaultAccounting:
+    def test_total_time_decomposition_conventional(self):
+        res = run_mission(ConventionalTiming(P), StopAndRetry(),
+                          FaultPlan.from_events([FaultEvent(round=7)]), 40)
+        # 40 normal rounds + one stop-and-retry at i=7 (no progress).
+        assert res.total_time == pytest.approx(40 * 2.3 + (7 + 0.2))
+
+    def test_total_time_decomposition_smt_with_rollforward(self):
+        rng = np.random.default_rng(0)
+        res = run_mission(SMT2Timing(P), PredictionScheme(),
+                          FaultPlan.from_events([FaultEvent(round=7)]), 40,
+                          predictor=OraclePredictor(rng, 1.0))
+        # Roll-forward certifies 7 extra rounds: only 33 normal rounds run.
+        assert res.recoveries[0].progress == 7
+        assert res.total_time == pytest.approx(
+            (40 - 7) * 1.4 + (2 * 7 * 0.65 + 0.2)
+        )
+
+    def test_rollback_reexecutes_interval(self):
+        res = run_mission(
+            ConventionalTiming(P), StopAndRetry(),
+            FaultPlan.from_events(
+                [FaultEvent(round=5, also_during_retry=True)]
+            ), 20,
+        )
+        # 5 rounds + failed recovery + 20 re-executed rounds.
+        assert res.rollbacks == 1
+        assert res.total_time == pytest.approx(
+            25 * 2.3 + (5 + 0.2)
+        )
+
+    def test_fault_not_refired_after_rollback(self):
+        res = run_mission(
+            ConventionalTiming(P), StopAndRetry(),
+            FaultPlan.from_events(
+                [FaultEvent(round=5, also_during_retry=True)]
+            ), 20,
+        )
+        assert len(res.recoveries) == 1
+
+
+class TestMissionProperties:
+    def test_throughput_definition(self):
+        res = run_mission(SMT2Timing(P), PredictionScheme(), FaultPlan(), 10)
+        assert res.throughput == pytest.approx(10 / res.total_time)
+
+    def test_prediction_accuracy_measured(self):
+        rng = np.random.default_rng(0)
+        plan = FaultPlan.from_events(
+            [FaultEvent(round=r) for r in (3, 23, 43, 63)]
+        )
+        res = run_mission(SMT2Timing(P), PredictionScheme(), plan, 80,
+                          predictor=OraclePredictor(rng, 1.0))
+        assert res.prediction_accuracy == 1.0
+
+    def test_mean_recovery_duration(self):
+        plan = FaultPlan.from_events([FaultEvent(round=3),
+                                      FaultEvent(round=27)])
+        res = run_mission(ConventionalTiming(P), StopAndRetry(), plan, 40)
+        durations = [r.duration for r in res.recoveries]
+        assert res.mean_recovery_duration() == pytest.approx(
+            sum(durations) / 2
+        )
+
+    def test_many_random_faults_mission_completes(self):
+        rng = np.random.default_rng(5)
+        plan = FaultPlan.from_arrivals(PoissonArrivals(rate=0.05), rng, 400)
+        res = run_mission(SMT2Timing(P), PredictionScheme(), plan, 400,
+                          seed=5)
+        assert res.mission_rounds == 400
+        assert len(res.recoveries) >= len(plan) * 0.8
+
+    def test_progress_never_crosses_checkpoint(self):
+        """Roll-forward is truncated at round s: i + progress <= s."""
+        rng = np.random.default_rng(6)
+        plan = FaultPlan.from_arrivals(PoissonArrivals(rate=0.1), rng, 300)
+        res = run_mission(SMT2Timing(P), PredictionScheme(), plan, 300,
+                          seed=6)
+        for rec in res.recoveries:
+            assert rec.i + rec.progress <= P.s
+
+    def test_trace_round_segments_parallel_on_smt(self):
+        res = run_mission(SMT2Timing(P), PredictionScheme(), FaultPlan(), 5)
+        t1 = [s for s in res.trace.segments("T1") if s.category == "round"]
+        t2 = [s for s in res.trace.segments("T2") if s.category == "round"]
+        assert len(t1) == len(t2) == 5
+        for a, b in zip(t1, t2):
+            assert a.start == b.start and a.end == b.end  # simultaneous
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            VDSMission(SMT2Timing(P), PredictionScheme(), FaultPlan(), 0)
+
+
+class TestDoubleFaults:
+    def test_both_victims_forces_rollback(self):
+        """Two versions corrupted differently in one round: detection
+        still fires (states differ) but no majority exists — the §3.1
+        rollback path."""
+        plan = FaultPlan.from_events(
+            [FaultEvent(round=6, victim=1, both_victims=True)]
+        )
+        res = run_mission(ConventionalTiming(P), StopAndRetry(), plan, 20)
+        rec = res.recoveries[0]
+        assert not rec.resolved
+        assert "no-majority" in rec.transitions
+        assert res.rollbacks == 1
+        # 6 rounds wasted + recovery + full 20-round re-execution.
+        assert res.total_time == pytest.approx(26 * 2.3 + (6 + 0.2))
+
+    def test_both_victims_on_smt_schemes(self):
+        plan = FaultPlan.from_events(
+            [FaultEvent(round=6, victim=2, both_victims=True)]
+        )
+        res = run_mission(SMT2Timing(P), PredictionScheme(), plan, 20,
+                          seed=1)
+        assert not res.recoveries[0].resolved
+        assert res.rollbacks == 1

@@ -1,0 +1,84 @@
+"""Tests for timeline reconstruction and ASCII rendering."""
+
+import pytest
+
+from repro.core.params import VDSParameters
+from repro.vds.faultplan import FaultEvent, FaultPlan
+from repro.vds.recovery import RollForwardProbabilistic, StopAndRetry
+from repro.vds.system import run_mission
+from repro.vds.timeline import build_timeline, render_timeline
+from repro.vds.timing import ConventionalTiming, SMT2Timing
+
+P = VDSParameters(alpha=0.65, beta=0.1, s=20)
+
+
+@pytest.fixture(scope="module")
+def conv_result():
+    return run_mission(ConventionalTiming(P), StopAndRetry(),
+                       FaultPlan.from_events([FaultEvent(round=3)]), 6)
+
+
+@pytest.fixture(scope="module")
+def smt_result():
+    return run_mission(SMT2Timing(P), RollForwardProbabilistic(),
+                       FaultPlan.from_events([FaultEvent(round=3)]), 6)
+
+
+class TestBuildTimeline:
+    def test_window_selection(self, conv_result):
+        tl = build_timeline(conv_result.trace, 0.0, 2.3)
+        # The first conventional round: V1, switch, V2, switch, compare.
+        cats = [s.category for s in tl.segments]
+        assert cats.count("round") == 2
+        assert cats.count("switch") == 2
+        assert cats.count("compare") == 1
+
+    def test_full_trace_default_window(self, conv_result):
+        tl = build_timeline(conv_result.trace)
+        assert tl.t_end == pytest.approx(conv_result.total_time)
+
+    def test_category_time_matches_model(self, conv_result):
+        tl = build_timeline(conv_result.trace)
+        # 6 mission rounds + no roll-forward: rounds = (6 normal)*2 + 3 retry
+        # segments... retry is its own category; plain rounds:
+        assert tl.category_time("round") == pytest.approx(6 * 2 * 1.0)
+        assert tl.category_time("retry") == pytest.approx(3.0)
+
+    def test_smt_lanes_present(self, smt_result):
+        tl = build_timeline(smt_result.trace)
+        assert set(tl.lanes) >= {"T1", "T2"}
+
+
+class TestRenderTimeline:
+    def test_render_contains_lanes_and_glyphs(self, smt_result):
+        text = render_timeline(build_timeline(smt_result.trace), width=80)
+        assert "T1" in text and "T2" in text
+        assert "█" in text  # rounds painted
+
+    def test_conventional_single_lane(self, conv_result):
+        text = render_timeline(build_timeline(conv_result.trace), width=60,
+                               lanes=["CPU"])
+        assert text.count("|") >= 2
+
+    def test_width_validation(self, conv_result):
+        with pytest.raises(ValueError):
+            render_timeline(build_timeline(conv_result.trace), width=5)
+
+    def test_empty_timeline(self):
+        from repro.sim.trace import TraceRecorder
+        assert "empty" in render_timeline(build_timeline(TraceRecorder()))
+
+
+class TestTimelineJSON:
+    def test_json_roundtrip(self, smt_result):
+        import json
+
+        from repro.vds.timeline import timeline_to_json
+
+        tl = build_timeline(smt_result.trace, 0, 10)
+        data = json.loads(timeline_to_json(tl))
+        assert data["t_start"] == 0 and data["t_end"] == 10
+        assert set(data["lanes"]) >= {"T1", "T2"}
+        assert all(seg["end"] >= seg["start"] for seg in data["segments"])
+        cats = {seg["category"] for seg in data["segments"]}
+        assert "round" in cats

@@ -1,0 +1,78 @@
+"""Tests for the architecture timing primitives."""
+
+import pytest
+
+from repro.core.params import AlphaCurve, VDSParameters
+from repro.core.conventional import conventional_round_time
+from repro.core.smt_model import smt_round_time
+from repro.errors import ConfigurationError
+from repro.vds.timing import ConventionalTiming, SMT2Timing, SMTnTiming
+
+P = VDSParameters(alpha=0.65, beta=0.1, s=20)
+
+
+class TestConventionalTiming:
+    def test_normal_round_is_eq1(self):
+        assert ConventionalTiming(P).normal_round() == pytest.approx(
+            conventional_round_time(P)
+        )
+
+    def test_run_single(self):
+        assert ConventionalTiming(P).run_single(7) == pytest.approx(7.0)
+
+    def test_run_pair_serialises_with_switches(self):
+        t = ConventionalTiming(P)
+        assert t.run_pair(5) == pytest.approx(2 * 5 * (1.0 + 0.1))
+
+    def test_run_n_beyond_two_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ConventionalTiming(P).run_n(1, 3)
+
+    def test_vote_overhead(self):
+        assert ConventionalTiming(P).vote_overhead() == pytest.approx(0.2)
+
+    def test_negative_rounds_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ConventionalTiming(P).run_single(-1)
+
+
+class TestSMT2Timing:
+    def test_normal_round_is_eq3(self):
+        assert SMT2Timing(P).normal_round() == pytest.approx(
+            smt_round_time(P)
+        )
+
+    def test_run_pair_matches_eq5_body(self):
+        # Eq. (5) = run_pair(i) + vote_overhead.
+        t = SMT2Timing(P)
+        assert t.run_pair(7) + t.vote_overhead() == pytest.approx(9.3)
+
+    def test_run_single_is_conventional_speed(self):
+        """Footnote 1: one active thread runs like a conventional CPU."""
+        assert SMT2Timing(P).run_single(4) == pytest.approx(4.0)
+
+    def test_footnote3_vote(self):
+        p = VDSParameters(alpha=0.65, s=20, c=0.3, t_cmp=0.1,
+                          use_footnote3=True)
+        assert SMT2Timing(p).vote_overhead() == pytest.approx(0.6)
+
+
+class TestSMTnTiming:
+    def test_run_n_uses_curve(self):
+        curve = AlphaCurve(alpha2=0.65)
+        t = SMTnTiming(P, hardware_threads=5, curve=curve)
+        assert t.run_n(4, 3) == pytest.approx(3 * curve(3) * 4)
+        assert t.run_n(4, 5) == pytest.approx(5 * curve(5) * 4)
+
+    def test_run_n_respects_thread_budget(self):
+        t = SMTnTiming(P, hardware_threads=3)
+        with pytest.raises(ConfigurationError):
+            t.run_n(1, 4)
+
+    def test_single_thread_full_speed(self):
+        t = SMTnTiming(P, hardware_threads=3)
+        assert t.run_n(6, 1) == pytest.approx(6.0)
+
+    def test_needs_two_threads(self):
+        with pytest.raises(ConfigurationError):
+            SMTnTiming(P, hardware_threads=1)
