@@ -2,7 +2,8 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench experiments quick-experiments examples clean
+.PHONY: install test lint ci bench quick-bench experiments quick-experiments \
+	examples clean
 
 install:
 	$(PYTHON) -m pip install -e .
@@ -10,8 +11,20 @@ install:
 test:
 	$(PYTHON) -m pytest tests/
 
+lint:
+	$(PYTHON) -m ruff check .
+	$(PYTHON) -m ruff format --check src/repro/parallel
+
+ci: lint test
+
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only -s
+
+quick-bench:
+	$(PYTHON) -m pytest benchmarks/test_bench_cov1_coverage.py \
+		benchmarks/test_bench_full1_fullstack.py \
+		benchmarks/test_bench_parallel_campaign.py \
+		--benchmark-only --benchmark-json=results/benchmark.json
 
 experiments:
 	$(PYTHON) -m repro.cli run --all

@@ -1,0 +1,93 @@
+"""Parallel campaign engine: throughput and wall-clock speedup.
+
+Expected shape: the sharded executor reaches ≥ 3× wall-clock speedup on
+the COV-1-sized mixed campaign at 4+ cores (near-linear scaling — trials
+dominate, pool startup is amortised by ~20-trial shards), while the
+merged result stays bit-identical to the serial run.  Machines with
+fewer than 4 cores still record the timings but skip the ratio
+assertion.
+"""
+
+import os
+import time
+
+import pytest
+
+from repro.diversity import generate_versions
+from repro.faults import run_campaign
+from repro.isa import load_program
+
+#: A scaled-up COV-1 mixed campaign (the paper's coverage experiment):
+#: large enough that per-shard compute dwarfs pool startup.
+N_TRIALS = 2_000
+SHARD_SIZE = 50
+SEED = 0
+
+
+@pytest.fixture(scope="module")
+def duplex():
+    prog, inputs, spec = load_program("insertion_sort")
+    versions = generate_versions(prog, inputs, n=3, seed=7)
+    return versions, spec.oracle()
+
+
+@pytest.mark.benchmark(group="parallel")
+def test_campaign_serial_baseline(benchmark, duplex):
+    versions, oracle = duplex
+    result = benchmark.pedantic(
+        lambda: run_campaign(versions[0], versions[1], oracle, 120, SEED,
+                             n_workers=1, shard_size=SHARD_SIZE),
+        rounds=1, iterations=1,
+    )
+    assert result.n == 120
+
+
+@pytest.mark.benchmark(group="parallel")
+def test_campaign_parallel_all_cores(benchmark, duplex):
+    versions, oracle = duplex
+    workers = os.cpu_count() or 1
+    result = benchmark.pedantic(
+        lambda: run_campaign(versions[0], versions[1], oracle, 120, SEED,
+                             n_workers=workers, shard_size=SHARD_SIZE),
+        rounds=1, iterations=1,
+    )
+    benchmark.extra_info["workers"] = workers
+    assert result.n == 120
+
+
+@pytest.mark.benchmark(group="parallel")
+def test_cov1_campaign_speedup(benchmark, duplex):
+    """Serial vs parallel wall-clock on one campaign, same master seed."""
+    versions, oracle = duplex
+    workers = min(os.cpu_count() or 1, 8)
+
+    def serial_then_parallel():
+        t0 = time.perf_counter()
+        serial = run_campaign(versions[0], versions[1], oracle, N_TRIALS,
+                              SEED, n_workers=1, shard_size=SHARD_SIZE)
+        t1 = time.perf_counter()
+        parallel = run_campaign(versions[0], versions[1], oracle, N_TRIALS,
+                                SEED, n_workers=workers,
+                                shard_size=SHARD_SIZE)
+        t2 = time.perf_counter()
+        return serial, parallel, t1 - t0, t2 - t1
+
+    serial, parallel, t_serial, t_parallel = benchmark.pedantic(
+        serial_then_parallel, rounds=1, iterations=1,
+    )
+    # The reproducibility contract: identical aggregates at any width.
+    assert serial.trials == parallel.trials
+
+    speedup = t_serial / t_parallel
+    benchmark.extra_info.update({
+        "workers": workers,
+        "serial_seconds": round(t_serial, 3),
+        "parallel_seconds": round(t_parallel, 3),
+        "speedup": round(speedup, 3),
+    })
+    if workers >= 4:
+        floor = float(os.environ.get("VDS_MIN_PARALLEL_SPEEDUP", "3.0"))
+        assert speedup >= floor, (
+            f"parallel campaign reached only {speedup:.2f}x at "
+            f"{workers} workers (floor {floor}x)"
+        )

@@ -24,6 +24,21 @@ from repro.experiments import (
 __all__ = ["main", "build_parser"]
 
 
+def _workers_arg(value: str) -> str:
+    """Validate ``--workers`` at parse time for a clean usage error."""
+    if value == "auto":
+        return value
+    try:
+        count = int(value)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"expected a positive integer or 'auto', got {value!r}") from None
+    if count < 1:
+        raise argparse.ArgumentTypeError(
+            f"expected a positive integer or 'auto', got {count}")
+    return value
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="vds-repro",
@@ -48,6 +63,11 @@ def build_parser() -> argparse.ArgumentParser:
                        help="reduced replication (fast smoke run)")
     run_p.add_argument("--seed", type=int, default=0,
                        help="master random seed (default 0)")
+    run_p.add_argument("--workers", metavar="N", default="auto",
+                       type=_workers_arg,
+                       help="worker processes for campaign/trial-loop "
+                            "experiments ('auto' = one per CPU core; "
+                            "results are identical for any value)")
     run_p.add_argument("--output", metavar="DIR", default=None,
                        help="also write each artifact to DIR/<id>.txt")
 
@@ -93,6 +113,12 @@ def build_parser() -> argparse.ArgumentParser:
                    help="use two identical copies instead of diverse "
                         "versions (shows the permanent-fault gap)")
     c.add_argument("--seed", type=int, default=0)
+    c.add_argument("--workers", metavar="N", default="auto",
+                   type=_workers_arg,
+                   help="worker processes ('auto' = one per CPU core; "
+                        "results are identical for any value)")
+    c.add_argument("--no-cache", action="store_true",
+                   help="recompute even if shards are cached on disk")
     return parser
 
 
@@ -104,7 +130,10 @@ def _cmd_list() -> int:
 
 
 def _cmd_run(ids: list[str], run_all: bool, quick: bool, seed: int,
-             output: Optional[str] = None) -> int:
+             output: Optional[str] = None, workers: str = "auto") -> int:
+    from repro.parallel import resolve_workers
+
+    n_workers = resolve_workers(workers)
     if run_all:
         ids = all_experiment_ids()
     if not ids:
@@ -123,7 +152,8 @@ def _cmd_run(ids: list[str], run_all: bool, quick: bool, seed: int,
         out_dir = Path(output)
         out_dir.mkdir(parents=True, exist_ok=True)
     for exp_id in ids:
-        result = run_experiment(exp_id, quick=quick, seed=seed)
+        result = run_experiment(exp_id, quick=quick, seed=seed,
+                                workers=n_workers)
         header = f"== {result.exp_id}: {result.title} =="
         print(header)
         print(result.text)
@@ -209,6 +239,7 @@ def _cmd_campaign(args) -> int:
     from repro.diversity import generate_versions
     from repro.faults import FaultInjector, FaultKind, FaultOutcome, run_campaign
     from repro.isa import load_program
+    from repro.parallel import CampaignCache, resolve_workers
 
     program, inputs, spec = load_program(args.program)
     versions = generate_versions(program, inputs, n=3, seed=args.seed + 42)
@@ -219,18 +250,24 @@ def _cmd_campaign(args) -> int:
         kind = next(k for k in FaultKind if k.value == args.kind)
         injector = FaultInjector(np.random.default_rng(args.seed + 1),
                                  mix={kind: 1.0})
+    n_workers = resolve_workers(args.workers)
+    cache = None if args.no_cache else CampaignCache.default()
     result = run_campaign(pair[0], pair[1], spec.oracle(), args.trials,
-                          np.random.default_rng(args.seed),
-                          injector=injector)
+                          args.seed, injector=injector,
+                          n_workers=n_workers, cache=cache)
     label = "identical copies" if args.identical else "diverse pair"
     print(f"campaign: {args.trials} trials of "
-          f"{args.kind or 'mixed faults'} on '{args.program}' ({label})")
+          f"{args.kind or 'mixed faults'} on '{args.program}' ({label}; "
+          f"{n_workers} worker{'s' if n_workers != 1 else ''})")
     for outcome in FaultOutcome:
         print(f"  {outcome.value:22s} {result.count(outcome)}")
     print(f"coverage                 : {result.coverage:.3f}")
     latency = result.mean_detection_latency()
     if latency is not None:
         print(f"mean detection latency   : {latency:.2f} rounds")
+    if cache is not None:
+        print(f"cache                    : {cache.hits} shard hits, "
+              f"{cache.misses} misses ({cache.root})")
     return 0
 
 
@@ -240,7 +277,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _cmd_list()
     if args.command == "run":
         return _cmd_run(list(args.ids), args.all, args.quick, args.seed,
-                        args.output)
+                        args.output, args.workers)
     if args.command == "mission":
         return _cmd_mission(args)
     if args.command == "campaign":

@@ -8,9 +8,17 @@ assumptions the paper's model rests on:
 * permanent faults need *diversity*: with two identical copies a stuck-at
   perturbs both states the same way (silent corruption); with diverse
   versions the perturbations differ and the comparison fires.
+
+The campaigns run through :mod:`repro.parallel`: per-trial RNG is derived
+from the master seed with ``SeedSequence.spawn``, so the numbers below
+are identical for every ``workers`` value, and shards cached on disk are
+reused across CLI re-runs.
 """
 
 from __future__ import annotations
+
+import os
+from typing import Optional, Union
 
 import numpy as np
 
@@ -19,20 +27,34 @@ from repro.diversity import generate_versions
 from repro.experiments.registry import ExperimentResult, register
 from repro.faults import FaultInjector, FaultKind, FaultOutcome, run_campaign
 from repro.isa import load_program
+from repro.parallel import CampaignCache, resolve_workers
+
+
+def _campaign_cache(workers) -> Optional[CampaignCache]:
+    """On-disk shard cache for explicit parallel runs (CLI), unless the
+    ``VDS_CAMPAIGN_CACHE=0`` escape hatch is set.  Plain test runs
+    (``workers=None``) always compute, so regressions cannot hide behind
+    a stale cache."""
+    if workers is None or os.environ.get("VDS_CAMPAIGN_CACHE", "1") == "0":
+        return None
+    return CampaignCache.default()
 
 
 @register("COV-1", "Fault-injection coverage with and without diversity")
-def run(quick: bool = False, seed: int = 0) -> ExperimentResult:
+def run(quick: bool = False, seed: int = 0,
+        workers: Union[int, str, None] = None) -> ExperimentResult:
     n_trials = 100 if quick else 300
     n_perm = 120 if quick else 240
     program = "insertion_sort"
     prog, inputs, spec = load_program(program)
     versions = generate_versions(prog, inputs, n=3, seed=seed + 7)
     oracle = spec.oracle()
+    n_workers = resolve_workers(workers)
+    cache = _campaign_cache(workers)
 
     # Mixed campaign on the diverse pair.
-    rng = np.random.default_rng(seed)
-    mixed = run_campaign(versions[0], versions[1], oracle, n_trials, rng)
+    mixed = run_campaign(versions[0], versions[1], oracle, n_trials, seed,
+                         n_workers=n_workers, cache=cache)
 
     # Permanent-only campaigns: identical copies vs diverse pair.
     def perm_campaign(vb):
@@ -40,28 +62,25 @@ def run(quick: bool = False, seed: int = 0) -> ExperimentResult:
         # copies share the broken unit, only diverse use patterns expose it.
         inj = FaultInjector(np.random.default_rng(seed + 1),
                             mix={FaultKind.PERMANENT_ALU: 1.0})
-        return run_campaign(versions[0], vb, oracle, n_perm,
-                            np.random.default_rng(seed + 2), injector=inj)
+        return run_campaign(versions[0], vb, oracle, n_perm, seed + 2,
+                            injector=inj, n_workers=n_workers, cache=cache)
 
     perm_same = perm_campaign(versions[0])
     perm_div = perm_campaign(versions[2])
 
+    def row(label, res):
+        return [label, res.n, res.coverage,
+                res.count(FaultOutcome.SILENT_CORRUPTION),
+                res.count(FaultOutcome.BENIGN), res.timeouts,
+                res.mean_detection_latency() or 0.0]
+
     rows = [
-        ["mixed faults, diverse pair", mixed.n, mixed.coverage,
-         mixed.count(FaultOutcome.SILENT_CORRUPTION),
-         mixed.count(FaultOutcome.BENIGN),
-         mixed.mean_detection_latency() or 0.0],
-        ["permanent only, identical copies", perm_same.n, perm_same.coverage,
-         perm_same.count(FaultOutcome.SILENT_CORRUPTION),
-         perm_same.count(FaultOutcome.BENIGN),
-         perm_same.mean_detection_latency() or 0.0],
-        ["permanent only, diverse pair", perm_div.n, perm_div.coverage,
-         perm_div.count(FaultOutcome.SILENT_CORRUPTION),
-         perm_div.count(FaultOutcome.BENIGN),
-         perm_div.mean_detection_latency() or 0.0],
+        row("mixed faults, diverse pair", mixed),
+        row("permanent only, identical copies", perm_same),
+        row("permanent only, diverse pair", perm_div),
     ]
     text = render_table(
-        ["campaign", "trials", "coverage", "silent", "benign",
+        ["campaign", "trials", "coverage", "silent", "benign", "timeout",
          "mean latency (rounds)"],
         rows,
         title=f"ISA-level fault injection on '{program}' version pairs")

@@ -7,8 +7,9 @@ by the test suite); benchmarks run the full setting.
 
 from __future__ import annotations
 
+import inspect
 from dataclasses import dataclass, field
-from typing import Any, Callable
+from typing import Any, Callable, Union
 
 from repro.errors import ConfigurationError
 
@@ -44,16 +45,25 @@ def register(exp_id: str, title: str):
     return deco
 
 
-def run_experiment(exp_id: str, quick: bool = False,
-                   seed: int = 0) -> ExperimentResult:
-    """Run one experiment by id."""
+def run_experiment(exp_id: str, quick: bool = False, seed: int = 0,
+                   workers: Union[int, str, None] = None
+                   ) -> ExperimentResult:
+    """Run one experiment by id.
+
+    ``workers`` is forwarded to experiments whose driver accepts a
+    ``workers`` parameter (the campaign/trial-loop experiments); others
+    run as before — their results never depend on the worker count.
+    """
     entry = EXPERIMENTS.get(exp_id)
     if entry is None:
         raise ConfigurationError(
             f"unknown experiment {exp_id!r}; known: {sorted(EXPERIMENTS)}"
         )
     _title, fn = entry
-    return fn(quick=quick, seed=seed)
+    kwargs: dict[str, Any] = {"quick": quick, "seed": seed}
+    if workers is not None and "workers" in inspect.signature(fn).parameters:
+        kwargs["workers"] = workers
+    return fn(**kwargs)
 
 
 def all_experiment_ids() -> list[str]:

@@ -15,6 +15,8 @@ deterministic scheme.
 
 from __future__ import annotations
 
+from typing import Union
+
 import numpy as np
 
 from repro.analysis.report import render_table
@@ -22,7 +24,9 @@ from repro.core.gains import probabilistic_gain
 from repro.core.params import VDSParameters
 from repro.core.prediction_model import hit_gain, miss_loss
 from repro.experiments.registry import ExperimentResult, register
+from repro.parallel import parallel_map
 from repro.predict.oracle import OraclePredictor
+from repro.sim.rng import spawn_trial_sequences
 from repro.vds.faultplan import FaultEvent, FaultPlan
 from repro.vds.recovery import (
     PredictionScheme,
@@ -63,43 +67,55 @@ def _measure(params: VDSParameters, scheme, i: int, seed: int,
     return measured, s_rec.duration
 
 
+def _rows_for_round(task) -> list[list]:
+    """The five measured-vs-model rows for one fault round.
+
+    A pure function of ``(params, i, seed, seed sequence)``, so rounds
+    can be computed serially or on any number of workers with identical
+    results — each round owns its predictor randomness.
+    """
+    params, i, seed, seq = task
+    rng = np.random.default_rng(seq)
+    # Deterministic: prediction-free.
+    m_det, _ = _measure(params, RollForwardDeterministic(), i, seed)
+    p_det = _integer_rollforward_gain(params, i, 4, True)
+    # Probabilistic, forced hit and forced miss.
+    m_prob_hit, _ = _measure(params, RollForwardProbabilistic(), i, seed,
+                             OraclePredictor(rng, 1.0))
+    p_prob_hit = _integer_rollforward_gain(params, i, 2, True)
+    m_prob_miss, _ = _measure(params, RollForwardProbabilistic(), i, seed,
+                              OraclePredictor(rng, 0.0))
+    p_prob_miss = probabilistic_gain(params, i, 0.0)
+    # Prediction scheme, forced hit and miss (Eqs. (10)/(11)).
+    m_pred_hit, _ = _measure(params, PredictionScheme(), i, seed,
+                             OraclePredictor(rng, 1.0))
+    p_pred_hit = hit_gain(params, i)
+    m_pred_miss, _ = _measure(params, PredictionScheme(), i, seed,
+                              OraclePredictor(rng, 0.0))
+    p_pred_miss = miss_loss(params, i)
+
+    return [[i, label, m, p, abs(m - p) / p]
+            for label, m, p in [
+                ("det", m_det, p_det),
+                ("prob/hit", m_prob_hit, p_prob_hit),
+                ("prob/miss", m_prob_miss, p_prob_miss),
+                ("pred/hit", m_pred_hit, p_pred_hit),
+                ("pred/miss", m_pred_miss, p_pred_miss),
+            ]]
+
+
 @register("VAL-1", "DES simulation vs analytical model, all schemes")
-def run(quick: bool = False, seed: int = 0) -> ExperimentResult:
+def run(quick: bool = False, seed: int = 0,
+        workers: Union[int, str, None] = None) -> ExperimentResult:
     params = VDSParameters(alpha=0.65, beta=0.1, s=20)
     fault_rounds = [2, 5, 10, 15, 18] if quick else list(params.rounds())
-    rng = np.random.default_rng(seed)
 
-    rows = []
-    worst = 0.0
-    for i in fault_rounds:
-        # Deterministic: prediction-free.
-        m_det, _ = _measure(params, RollForwardDeterministic(), i, seed)
-        p_det = _integer_rollforward_gain(params, i, 4, True)
-        # Probabilistic, forced hit and forced miss.
-        m_prob_hit, _ = _measure(params, RollForwardProbabilistic(), i, seed,
-                                 OraclePredictor(rng, 1.0))
-        p_prob_hit = _integer_rollforward_gain(params, i, 2, True)
-        m_prob_miss, _ = _measure(params, RollForwardProbabilistic(), i, seed,
-                                  OraclePredictor(rng, 0.0))
-        p_prob_miss = probabilistic_gain(params, i, 0.0)
-        # Prediction scheme, forced hit and miss (Eqs. (10)/(11)).
-        m_pred_hit, _ = _measure(params, PredictionScheme(), i, seed,
-                                 OraclePredictor(rng, 1.0))
-        p_pred_hit = hit_gain(params, i)
-        m_pred_miss, _ = _measure(params, PredictionScheme(), i, seed,
-                                  OraclePredictor(rng, 0.0))
-        p_pred_miss = miss_loss(params, i)
-
-        for label, m, p in [
-            ("det", m_det, p_det),
-            ("prob/hit", m_prob_hit, p_prob_hit),
-            ("prob/miss", m_prob_miss, p_prob_miss),
-            ("pred/hit", m_pred_hit, p_pred_hit),
-            ("pred/miss", m_pred_miss, p_pred_miss),
-        ]:
-            err = abs(m - p) / p
-            worst = max(worst, err)
-            rows.append([i, label, m, p, err])
+    seqs = spawn_trial_sequences(seed, len(fault_rounds))
+    tasks = [(params, i, seed, seq)
+             for i, seq in zip(fault_rounds, seqs)]
+    rows = [row for block in parallel_map(_rows_for_round, tasks, workers)
+            for row in block]
+    worst = max(row[4] for row in rows)
 
     text = render_table(
         ["i", "scheme/outcome", "measured G(i)", "model G(i)", "rel err"],

@@ -35,6 +35,7 @@ from repro.faults.campaign import (
     DuplexTrialResult,
     CampaignResult,
     run_duplex_trial,
+    run_trial_block,
     run_campaign,
 )
 
@@ -54,5 +55,6 @@ __all__ = [
     "DuplexTrialResult",
     "CampaignResult",
     "run_duplex_trial",
+    "run_trial_block",
     "run_campaign",
 ]

@@ -15,8 +15,8 @@ and slips through — the contrast measured by experiment COV-1.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Optional, Sequence
+from dataclasses import dataclass, field, replace
+from typing import TYPE_CHECKING, Iterable, Optional, Sequence
 
 import numpy as np
 
@@ -26,9 +26,13 @@ from repro.faults.effects import apply_transient, install_permanent
 from repro.faults.injector import FaultInjector
 from repro.faults.models import FaultKind, FaultOutcome, FaultSpec
 from repro.isa.machine import Machine
+from repro.sim.rng import SeedLike
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
+    from repro.parallel.cache import CampaignCache
 
 __all__ = ["DuplexTrialResult", "CampaignResult", "run_duplex_trial",
-           "run_campaign"]
+           "run_trial_block", "run_campaign"]
 
 #: Hard cap on rounds per trial (runaway guard for pc-flip loops).
 _MAX_ROUNDS = 4000
@@ -84,6 +88,11 @@ class CampaignResult:
                and t.detection_latency is not None]
         return float(np.mean(lat)) if lat else None
 
+    @property
+    def timeouts(self) -> int:
+        """Trials truncated by the runaway guard (round limit reached)."""
+        return self.count(FaultOutcome.TIMEOUT)
+
     def by_kind(self) -> dict[FaultKind, dict[FaultOutcome, int]]:
         """Outcome histogram per fault class."""
         out: dict[FaultKind, dict[FaultOutcome, int]] = {}
@@ -91,6 +100,31 @@ class CampaignResult:
             bucket = out.setdefault(t.spec.kind, {})
             bucket[t.outcome] = bucket.get(t.outcome, 0) + 1
         return out
+
+    def outcome_counts(self) -> dict[FaultOutcome, int]:
+        """Trial count per outcome (zero-count outcomes included)."""
+        return {o: self.count(o) for o in FaultOutcome}
+
+    def detection_latencies(self) -> list[int]:
+        """Latencies of all comparison-detected trials, in trial order."""
+        return [t.detection_latency for t in self.trials
+                if t.outcome is FaultOutcome.DETECTED_COMPARISON
+                and t.detection_latency is not None]
+
+    @classmethod
+    def merge(cls, parts: Iterable["CampaignResult"]) -> "CampaignResult":
+        """Concatenate shard results in the given order.
+
+        Merging is pure concatenation — trials keep their order within
+        each shard, and shards keep the order of ``parts`` — so merging
+        the per-shard results of a sharded campaign reproduces the trial
+        sequence of a serial run exactly.  Overlapping shards are *not*
+        deduplicated; the caller owns the shard plan.
+        """
+        merged = cls()
+        for part in parts:
+            merged.trials.extend(part.trials)
+        return merged
 
 
 def _duplex_mismatch(m0: Machine, m1: Machine,
@@ -142,7 +176,8 @@ def run_duplex_trial(version_a: DiverseVersion, version_b: DiverseVersion,
                      spec: FaultSpec, victim: int,
                      oracle_output: Sequence[int],
                      round_instructions: int = 2_000,
-                     memory_words: int = 256) -> DuplexTrialResult:
+                     memory_words: int = 256,
+                     max_rounds: int = _MAX_ROUNDS) -> DuplexTrialResult:
     """Run one duplex execution with one injected fault.
 
     Parameters
@@ -160,11 +195,16 @@ def run_duplex_trial(version_a: DiverseVersion, version_b: DiverseVersion,
         Safety cap on instructions per round; rounds normally end at the
         program's ``sync`` boundaries ("a well defined portion of process
         activity"), which diverse versions reach at the same logical points.
+    max_rounds:
+        Runaway guard: a trial still running after this many rounds is
+        classified :attr:`~repro.faults.models.FaultOutcome.TIMEOUT`.
     """
     if victim not in (1, 2):
         raise FaultModelError(f"victim must be 1 or 2, got {victim}")
     if round_instructions < 1:
         raise FaultModelError("round_instructions must be >= 1")
+    if max_rounds < 0:
+        raise FaultModelError("max_rounds must be >= 0")
 
     masks = [version_a.encoding_mask or 0, version_b.encoding_mask or 0]
     machines = [
@@ -185,7 +225,7 @@ def run_duplex_trial(version_a: DiverseVersion, version_b: DiverseVersion,
 
     injected_round: Optional[int] = 1 if spec.kind.is_permanent else None
     rounds = 0
-    while rounds < _MAX_ROUNDS:
+    while rounds < max_rounds:
         rounds += 1
         for idx, m in enumerate(machines):
             if m.halted:
@@ -222,11 +262,12 @@ def run_duplex_trial(version_a: DiverseVersion, version_b: DiverseVersion,
         if machines[0].halted and machines[1].halted:
             break
     else:
-        # A control-flow fault sent a version into an endless loop without
-        # ever diverging in *output*; real systems catch this with a
-        # watchdog timer — classify as a trap-detected hang.
-        return DuplexTrialResult(spec, victim, FaultOutcome.DETECTED_TRAP,
-                                 injected_round, rounds, rounds)
+        # The runaway guard fired: the trial reached the round limit
+        # without halting or diverging.  Keep it distinct from the
+        # detection outcomes — a truncated trial proves nothing about
+        # coverage either way.
+        return DuplexTrialResult(spec, victim, FaultOutcome.TIMEOUT,
+                                 injected_round, None, rounds)
 
     outputs = tuple(machines[0].output)
     if outputs == tuple(oracle_output):
@@ -237,33 +278,116 @@ def run_duplex_trial(version_a: DiverseVersion, version_b: DiverseVersion,
                              rounds)
 
 
+def _default_injector(version_a: DiverseVersion, rng: np.random.Generator,
+                      memory_words: int) -> FaultInjector:
+    """The default injector: strike instants span version 1's fault-free
+    execution length, so faults land during the computation rather than
+    after it."""
+    probe = Machine(list(version_a.program), memory_words=memory_words,
+                    inputs=list(version_a.inputs), name="probe",
+                    fill=version_a.encoding_mask or 0)
+    probe.run_to_halt()
+    return FaultInjector(rng, memory_words=memory_words,
+                         max_instruction=max(probe.instret, 1))
+
+
+def run_trial_block(version_a: DiverseVersion, version_b: DiverseVersion,
+                    oracle_output: Sequence[int],
+                    seeds: Sequence[np.random.SeedSequence],
+                    injector: FaultInjector,
+                    round_instructions: int = 2_000,
+                    memory_words: int = 256,
+                    max_rounds: int = _MAX_ROUNDS) -> CampaignResult:
+    """Run one chunk of trials, one per-trial seed each.
+
+    Every trial draws its fault plan and victim from a generator seeded
+    by its own :class:`~numpy.random.SeedSequence`, so a block's results
+    depend only on the seeds it is given — never on which worker runs it
+    or which trials precede it.  ``injector`` acts as a *template*: its
+    mix and bounds are kept, its generator is replaced per trial.
+    """
+    result = CampaignResult()
+    for seed in seeds:
+        trial_rng = np.random.default_rng(seed)
+        trial_injector = replace(injector, rng=trial_rng)
+        spec = trial_injector.draw()
+        victim = int(trial_rng.integers(1, 3))
+        result.trials.append(
+            run_duplex_trial(version_a, version_b, spec, victim,
+                             oracle_output, round_instructions,
+                             memory_words, max_rounds)
+        )
+    return result
+
+
 def run_campaign(version_a: DiverseVersion, version_b: DiverseVersion,
                  oracle_output: Sequence[int], n_trials: int,
-                 rng: np.random.Generator,
+                 rng: SeedLike,
                  injector: Optional[FaultInjector] = None,
                  round_instructions: int = 2_000,
-                 memory_words: int = 256) -> CampaignResult:
+                 memory_words: int = 256,
+                 *,
+                 n_workers: Optional[int] = None,
+                 shard_size: Optional[int] = None,
+                 cache: Optional["CampaignCache"] = None,
+                 max_rounds: int = _MAX_ROUNDS) -> CampaignResult:
     """Run ``n_trials`` independent single-fault trials.
 
     When no injector is given, one is built whose strike instants span
     version 1's actual fault-free execution length, so faults land during
     the computation rather than after it.
+
+    Parameters
+    ----------
+    rng:
+        Master randomness source.  Passing an ``int`` or
+        :class:`~numpy.random.SeedSequence` selects the *sharded* mode:
+        per-trial generators are derived with ``SeedSequence.spawn``, so
+        the aggregate result is bit-identical for every ``n_workers``
+        value.  A bare :class:`~numpy.random.Generator` with the default
+        ``n_workers=None`` keeps the legacy serial draw order.
+    n_workers:
+        Worker processes for the sharded mode.  ``None`` means serial;
+        any value (including 1) opts into the sharded seed derivation.
+    shard_size:
+        Trials per shard (default chosen by the parallel layer).  The
+        shard plan depends only on ``n_trials`` and ``shard_size`` — not
+        on ``n_workers`` — so cached shards stay valid across runs with
+        different worker counts.
+    cache:
+        Optional :class:`repro.parallel.cache.CampaignCache`; hits skip
+        recomputation of whole shards.  Using a cache implies the
+        sharded mode.
+    max_rounds:
+        Runaway guard passed to every trial.
     """
     if n_trials < 1:
         raise FaultModelError(f"n_trials must be >= 1, got {n_trials}")
+    legacy = (isinstance(rng, np.random.Generator) and n_workers is None
+              and cache is None)
+    if legacy:
+        if injector is None:
+            injector = _default_injector(version_a, rng, memory_words)
+        result = CampaignResult()
+        for _ in range(n_trials):
+            spec = injector.draw()
+            victim = int(rng.integers(1, 3))
+            result.trials.append(
+                run_duplex_trial(version_a, version_b, spec, victim,
+                                 oracle_output, round_instructions,
+                                 memory_words, max_rounds)
+            )
+        return result
+
+    from repro.parallel.executor import run_sharded_campaign
+
     if injector is None:
-        probe = Machine(list(version_a.program), memory_words=memory_words,
-                        inputs=list(version_a.inputs), name="probe",
-                        fill=version_a.encoding_mask or 0)
-        probe.run_to_halt()
-        injector = FaultInjector(rng, memory_words=memory_words,
-                                 max_instruction=max(probe.instret, 1))
-    result = CampaignResult()
-    for _ in range(n_trials):
-        spec = injector.draw()
-        victim = int(rng.integers(1, 3))
-        result.trials.append(
-            run_duplex_trial(version_a, version_b, spec, victim,
-                             oracle_output, round_instructions, memory_words)
-        )
-    return result
+        # The template generator is never drawn from in sharded mode.
+        injector = _default_injector(version_a, np.random.default_rng(0),
+                                     memory_words)
+    return run_sharded_campaign(
+        version_a, version_b, oracle_output, n_trials, rng, injector,
+        round_instructions=round_instructions, memory_words=memory_words,
+        n_workers=n_workers, shard_size=shard_size, cache=cache,
+        max_rounds=max_rounds,
+    )

@@ -113,13 +113,19 @@ class FaultOutcome(Enum):
         both versions completed with *equal but wrong* results — the fault
         defeated the diversity assumption (should be rare);
     ``BENIGN``
-        the fault was masked; results correct.
+        the fault was masked; results correct;
+    ``TIMEOUT``
+        the trial hit the campaign's round limit without halting or
+        diverging — the runaway guard fired.  Counted separately so a
+        truncated trial is never folded into a detection or coverage
+        figure it did not earn.
     """
 
     DETECTED_COMPARISON = "detected-comparison"
     DETECTED_TRAP = "detected-trap"
     SILENT_CORRUPTION = "silent-corruption"
     BENIGN = "benign"
+    TIMEOUT = "timeout"
 
     @property
     def is_detected(self) -> bool:

@@ -215,11 +215,9 @@ class FullStackVDS:
         at the resulting lower contention.
         """
         remaining = {id(m): n for m, n in jobs}
-        machines = {id(m): m for m, _n in jobs}
         for hw, (m, _n) in enumerate(jobs):
             core.load_context(hw, m)
 
-        targets = {}
         while any(n > 0 for n in remaining.values()):
             for hw in range(len(jobs)):
                 t = core.threads[hw]

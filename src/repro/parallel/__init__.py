@@ -1,0 +1,37 @@
+"""repro.parallel — sharded, reproducible campaign execution.
+
+Monte-Carlo fault-injection campaigns and experiment trial loops are
+embarrassingly parallel, but naive parallelisation destroys the
+bit-exact reproducibility the validation experiments (VAL-1/VAL-2,
+COV-1) rest on.  This package keeps both:
+
+* every trial draws from its own generator, derived from the master
+  seed via ``numpy.random.SeedSequence.spawn`` (:mod:`repro.sim.rng`),
+  so results depend only on ``(master seed, trial index)``;
+* trials are chunked into *shards* whose boundaries depend only on the
+  trial count — never on the worker count — and shard results are
+  merged in trial order (:meth:`~repro.faults.campaign.CampaignResult.merge`);
+* an on-disk cache keyed by ``(campaign fingerprint, seed, code
+  version)`` lets re-runs skip shards that are already computed.
+
+Consequently ``run_campaign(..., n_workers=1)`` and ``n_workers=8``
+return identical aggregate results for the same master seed.
+"""
+
+from repro.parallel.cache import CampaignCache, campaign_fingerprint
+from repro.parallel.executor import parallel_map, run_sharded_campaign
+from repro.parallel.sharding import (
+    DEFAULT_SHARD_SIZE,
+    plan_shards,
+    resolve_workers,
+)
+
+__all__ = [
+    "CampaignCache",
+    "campaign_fingerprint",
+    "parallel_map",
+    "run_sharded_campaign",
+    "DEFAULT_SHARD_SIZE",
+    "plan_shards",
+    "resolve_workers",
+]

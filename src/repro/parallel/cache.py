@@ -1,0 +1,183 @@
+"""On-disk shard cache for campaign results.
+
+Cache entries live under ``results/cache/<fingerprint>/`` where the
+fingerprint digests everything that determines a campaign's outcome: the
+version pair (programs, inputs, masks), the oracle, the trial count and
+limits, the injector configuration, the master seed, and the package
+version.  Any change to one of these — including upgrading the code —
+changes the fingerprint and therefore invalidates the entry; stale
+directories can simply be deleted (``rm -rf results/cache``).
+
+Entries are pickles of :class:`~repro.faults.campaign.CampaignResult`
+shards, written atomically.  A corrupt or unreadable entry is treated as
+a miss and recomputed.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import pickle
+from pathlib import Path
+from typing import TYPE_CHECKING, Optional, Sequence, Union
+
+import numpy as np
+
+from repro._version import __version__
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.diversity.generator import DiverseVersion
+    from repro.faults.campaign import CampaignResult
+    from repro.faults.injector import FaultInjector
+
+__all__ = ["CACHE_SCHEMA", "CampaignCache", "campaign_fingerprint"]
+
+#: Bump when the pickle layout or trial semantics change within a release.
+CACHE_SCHEMA = 1
+
+#: Default cache root, relative to the working directory (the repo uses
+#: ``results/`` for all generated artifacts).  Override with the
+#: ``VDS_CACHE_DIR`` environment variable.
+DEFAULT_CACHE_DIR = Path("results") / "cache"
+
+
+def _describe_version(version: "DiverseVersion") -> list:
+    return [
+        version.index,
+        [[instr.op.value, list(instr.args)] for instr in version.program],
+        list(version.inputs),
+        list(version.transforms),
+        version.encoding_mask,
+    ]
+
+
+def _describe_seed(master: np.random.SeedSequence) -> list:
+    entropy = master.entropy
+    if isinstance(entropy, (list, tuple)):
+        entropy = [int(e) for e in entropy]
+    elif entropy is not None:
+        entropy = int(entropy)
+    return [entropy, list(master.spawn_key), master.n_children_spawned]
+
+
+def campaign_fingerprint(
+    version_a: "DiverseVersion",
+    version_b: "DiverseVersion",
+    oracle_output: Sequence[int],
+    n_trials: int,
+    master: np.random.SeedSequence,
+    injector: "FaultInjector",
+    round_instructions: int,
+    memory_words: int,
+    max_rounds: int,
+) -> str:
+    """Hex digest identifying a campaign configuration exactly.
+
+    ``master`` must be the seed sequence *before* trial spawning so the
+    digest covers the spawn state the trials will actually see.
+    """
+    payload = {
+        "schema": CACHE_SCHEMA,
+        "code_version": __version__,
+        "versions": [_describe_version(version_a), _describe_version(version_b)],
+        "oracle": [int(x) for x in oracle_output],
+        "n_trials": int(n_trials),
+        "seed": _describe_seed(master),
+        "injector": {
+            "mix": sorted(
+                (kind.value, float(prob)) for kind, prob in injector.mix.items()
+            ),
+            "memory_words": injector.memory_words,
+            "max_instruction": injector.max_instruction,
+        },
+        "round_instructions": int(round_instructions),
+        "memory_words": int(memory_words),
+        "max_rounds": int(max_rounds),
+    }
+    blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+
+class CampaignCache:
+    """A directory of per-shard campaign results.
+
+    Parameters
+    ----------
+    root:
+        Cache directory (created lazily on first store).
+    """
+
+    def __init__(self, root: Union[str, Path] = DEFAULT_CACHE_DIR):
+        self.root = Path(root)
+        self.hits = 0
+        self.misses = 0
+
+    @classmethod
+    def default(cls) -> "CampaignCache":
+        """The cache at ``$VDS_CACHE_DIR`` or ``results/cache``."""
+        return cls(os.environ.get("VDS_CACHE_DIR", DEFAULT_CACHE_DIR))
+
+    def _shard_path(self, fingerprint: str, start: int, count: int) -> Path:
+        return self.root / fingerprint / f"shard-{start:06d}-{count:05d}.pkl"
+
+    def lookup(
+        self,
+        fingerprint: str,
+        start: int,
+        count: int,
+    ) -> Optional["CampaignResult"]:
+        """The cached shard, or ``None`` on a miss (or corrupt entry)."""
+        path = self._shard_path(fingerprint, start, count)
+        try:
+            with path.open("rb") as fh:
+                result = pickle.load(fh)
+        except (
+            OSError,
+            pickle.UnpicklingError,
+            EOFError,
+            AttributeError,
+            ImportError,
+            IndexError,
+        ):
+            self.misses += 1
+            return None
+        if len(result.trials) != count:
+            self.misses += 1
+            return None
+        self.hits += 1
+        return result
+
+    def store(
+        self,
+        fingerprint: str,
+        start: int,
+        count: int,
+        result: "CampaignResult",
+    ) -> None:
+        """Atomically persist one shard result."""
+        path = self._shard_path(fingerprint, start, count)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        tmp = path.with_suffix(f".tmp-{os.getpid()}")
+        with tmp.open("wb") as fh:
+            pickle.dump(result, fh, protocol=pickle.HIGHEST_PROTOCOL)
+        tmp.replace(path)
+
+    def clear(self) -> int:
+        """Delete every cache entry; returns the number of files removed."""
+        removed = 0
+        if not self.root.exists():
+            return removed
+        for path in sorted(self.root.rglob("*.pkl")):
+            path.unlink()
+            removed += 1
+        for directory in sorted(self.root.glob("*")):
+            if directory.is_dir() and not any(directory.iterdir()):
+                directory.rmdir()
+        return removed
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"CampaignCache(root={str(self.root)!r}, "
+            f"hits={self.hits}, misses={self.misses})"
+        )

@@ -1,0 +1,157 @@
+"""Process-pool execution of sharded campaigns and generic trial maps.
+
+The executor owns *how* shards run (in-process or on a
+:class:`~concurrent.futures.ProcessPoolExecutor`); the result is the
+same either way because every shard's randomness is fixed by its
+per-trial seed sequences (see :mod:`repro.parallel`).
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import sys
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from typing import Callable, Iterable, Optional, Sequence, TypeVar, Union
+
+import numpy as np
+
+from repro.diversity.generator import DiverseVersion
+from repro.faults.campaign import CampaignResult, run_trial_block
+from repro.faults.injector import FaultInjector
+from repro.parallel.cache import CampaignCache, campaign_fingerprint
+from repro.parallel.sharding import plan_shards, resolve_workers
+from repro.sim.rng import SeedLike, derive_seed_sequence
+
+__all__ = ["parallel_map", "run_sharded_campaign"]
+
+_T = TypeVar("_T")
+_R = TypeVar("_R")
+
+
+def _pool_context() -> multiprocessing.context.BaseContext:
+    """Prefer ``fork`` where it is safe (fast start, no re-import)."""
+    methods = multiprocessing.get_all_start_methods()
+    if "fork" in methods and sys.platform != "darwin":
+        return multiprocessing.get_context("fork")
+    return multiprocessing.get_context("spawn")
+
+
+def parallel_map(
+    fn: Callable[[_T], _R],
+    items: Sequence[_T],
+    n_workers: Union[int, str, None] = None,
+) -> list[_R]:
+    """``[fn(x) for x in items]``, optionally across worker processes.
+
+    Results come back in input order regardless of completion order, so
+    a caller is worker-count-oblivious as long as ``fn`` is a pure
+    function of its item.  ``fn`` and the items must be picklable when
+    more than one worker is used.
+    """
+    workers = min(resolve_workers(n_workers), len(items))
+    if workers <= 1:
+        return [fn(item) for item in items]
+    with ProcessPoolExecutor(max_workers=workers, mp_context=_pool_context()) as pool:
+        return list(pool.map(fn, items, chunksize=1))
+
+
+@dataclass(frozen=True)
+class _ShardTask:
+    """Everything one worker needs to run one shard."""
+
+    version_a: DiverseVersion
+    version_b: DiverseVersion
+    oracle_output: tuple[int, ...]
+    seeds: tuple[np.random.SeedSequence, ...]
+    injector: FaultInjector
+    round_instructions: int
+    memory_words: int
+    max_rounds: int
+
+
+def _execute_shard(task: _ShardTask) -> CampaignResult:
+    return run_trial_block(
+        task.version_a,
+        task.version_b,
+        task.oracle_output,
+        task.seeds,
+        task.injector,
+        task.round_instructions,
+        task.memory_words,
+        task.max_rounds,
+    )
+
+
+def run_sharded_campaign(
+    version_a: DiverseVersion,
+    version_b: DiverseVersion,
+    oracle_output: Iterable[int],
+    n_trials: int,
+    rng: SeedLike,
+    injector: FaultInjector,
+    *,
+    round_instructions: int = 2_000,
+    memory_words: int = 256,
+    n_workers: Union[int, str, None] = None,
+    shard_size: Optional[int] = None,
+    cache: Optional[CampaignCache] = None,
+    max_rounds: int = 4_000,
+) -> CampaignResult:
+    """Shard, (optionally) fan out, merge — preserving exact results.
+
+    The per-trial seed tree is spawned once from ``rng``; shards receive
+    contiguous seed slices, so the merged trial sequence is identical
+    for every worker count, and cached shards short-circuit computation.
+    """
+    workers = resolve_workers(n_workers)
+    master = derive_seed_sequence(rng)
+    shards = plan_shards(n_trials, shard_size)
+    oracle = tuple(oracle_output)
+    fingerprint = None
+    if cache is not None:
+        fingerprint = campaign_fingerprint(
+            version_a,
+            version_b,
+            oracle,
+            n_trials,
+            master,
+            injector,
+            round_instructions,
+            memory_words,
+            max_rounds,
+        )
+    seeds = master.spawn(n_trials)
+
+    results: list[Optional[CampaignResult]] = [None] * len(shards)
+    pending: list[int] = []
+    for idx, (start, count) in enumerate(shards):
+        if cache is not None:
+            hit = cache.lookup(fingerprint, start, count)
+            if hit is not None:
+                results[idx] = hit
+                continue
+        pending.append(idx)
+
+    tasks = []
+    for idx in pending:
+        start, count = shards[idx]
+        tasks.append(
+            _ShardTask(
+                version_a,
+                version_b,
+                oracle,
+                tuple(seeds[start : start + count]),
+                injector,
+                round_instructions,
+                memory_words,
+                max_rounds,
+            )
+        )
+    computed = parallel_map(_execute_shard, tasks, workers)
+    for idx, shard_result in zip(pending, computed):
+        results[idx] = shard_result
+        if cache is not None:
+            start, count = shards[idx]
+            cache.store(fingerprint, start, count, shard_result)
+    return CampaignResult.merge(results)

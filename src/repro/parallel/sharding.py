@@ -1,0 +1,60 @@
+"""Worker resolution and shard planning.
+
+A *shard* is a contiguous block of trial indices.  The plan is a pure
+function of ``(n_trials, shard_size)`` — deliberately independent of the
+worker count — so the same campaign always produces the same shards, and
+a result cache filled at ``n_workers=8`` is fully reusable at
+``n_workers=2`` (or serially).
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Optional, Union
+
+from repro.errors import ConfigurationError
+
+__all__ = ["DEFAULT_SHARD_SIZE", "plan_shards", "resolve_workers"]
+
+#: Default trials per shard: small enough to load-balance a few hundred
+#: trials over 8+ workers, large enough to amortise per-shard overhead.
+DEFAULT_SHARD_SIZE = 25
+
+
+def resolve_workers(workers: Union[int, str, None] = None) -> int:
+    """Normalise a worker-count request to a positive integer.
+
+    ``None`` means serial (1 worker); ``"auto"`` means one worker per
+    available CPU; an integer (or integer string) passes through after
+    validation.
+    """
+    if workers is None:
+        return 1
+    if workers == "auto":
+        return os.cpu_count() or 1
+    if isinstance(workers, bool) or not isinstance(workers, (int, str)):
+        raise ConfigurationError(
+            f"workers must be an int, 'auto' or None, got {workers!r}"
+        )
+    try:
+        count = int(workers)
+    except ValueError:
+        raise ConfigurationError(
+            f"workers must be an int, 'auto' or None, got {workers!r}"
+        ) from None
+    if count < 1:
+        raise ConfigurationError(f"workers must be >= 1, got {count}")
+    return count
+
+
+def plan_shards(
+    n_trials: int,
+    shard_size: Optional[int] = None,
+) -> list[tuple[int, int]]:
+    """Chunk ``n_trials`` into contiguous ``(start, count)`` shards."""
+    if n_trials < 0:
+        raise ConfigurationError(f"n_trials must be >= 0, got {n_trials}")
+    size = DEFAULT_SHARD_SIZE if shard_size is None else int(shard_size)
+    if size < 1:
+        raise ConfigurationError(f"shard_size must be >= 1, got {size}")
+    return [(start, min(size, n_trials - start)) for start in range(0, n_trials, size)]

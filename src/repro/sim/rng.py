@@ -13,11 +13,50 @@ draws from its *own* named stream derived from a single master seed via
 
 from __future__ import annotations
 
-from typing import Iterator
+from typing import Iterator, Union
 
 import numpy as np
 
-__all__ = ["RandomStreams"]
+__all__ = ["RandomStreams", "SeedLike", "derive_seed_sequence",
+           "spawn_trial_sequences"]
+
+#: Anything a campaign accepts as its master randomness source.
+SeedLike = Union[int, np.integer, np.random.SeedSequence, np.random.Generator]
+
+
+def derive_seed_sequence(source: SeedLike) -> np.random.SeedSequence:
+    """Normalise ``source`` into a :class:`numpy.random.SeedSequence`.
+
+    * an ``int`` becomes ``SeedSequence(int)`` — the canonical master seed;
+    * a ``SeedSequence`` passes through unchanged;
+    * a ``Generator`` contributes one 63-bit draw as entropy, so legacy
+      callers holding a generator still get a deterministic seed tree
+      (the derivation consumes exactly one draw regardless of how the
+      tree is later sharded).
+    """
+    if isinstance(source, np.random.SeedSequence):
+        return source
+    if isinstance(source, (int, np.integer)):
+        return np.random.SeedSequence(int(source))
+    if isinstance(source, np.random.Generator):
+        return np.random.SeedSequence(int(source.integers(0, 2**63)))
+    raise TypeError(
+        f"expected int, SeedSequence or Generator, got {type(source).__name__}"
+    )
+
+
+def spawn_trial_sequences(source: SeedLike,
+                          n: int) -> list[np.random.SeedSequence]:
+    """``n`` per-trial child sequences of the master seed.
+
+    Children are derived with :meth:`numpy.random.SeedSequence.spawn`, so
+    trial ``i`` sees the same stream no matter how trials are later
+    chunked across workers — the foundation of the ``n_workers``-
+    independence guarantee of :func:`repro.faults.campaign.run_campaign`.
+    """
+    if n < 0:
+        raise ValueError(f"n must be >= 0, got {n}")
+    return derive_seed_sequence(source).spawn(n)
 
 
 class RandomStreams:

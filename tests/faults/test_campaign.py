@@ -7,6 +7,7 @@ from repro.diversity import generate_versions
 from repro.errors import FaultModelError
 from repro.faults.campaign import (
     CampaignResult,
+    DuplexTrialResult,
     run_campaign,
     run_duplex_trial,
 )
@@ -70,8 +71,11 @@ class TestCampaigns:
 
     def test_diversity_beats_identical_on_permanents(self, sort_versions):
         versions, oracle = sort_versions
-        inj = lambda: FaultInjector(np.random.default_rng(5),
-                                    mix={FaultKind.PERMANENT_ALU: 1.0})
+
+        def inj():
+            return FaultInjector(np.random.default_rng(5),
+                                 mix={FaultKind.PERMANENT_ALU: 1.0})
+
         same = run_campaign(versions[0], versions[0], oracle, 80,
                             np.random.default_rng(6), injector=inj())
         div = run_campaign(versions[0], versions[2], oracle, 80,
@@ -95,3 +99,45 @@ class TestCampaigns:
 
     def test_empty_result_coverage_is_one(self):
         assert CampaignResult().coverage == 1.0
+
+
+class TestRunawayGuard:
+    def test_round_limit_classified_as_timeout(self, sort_versions):
+        versions, oracle = sort_versions
+        # A fault far beyond the program's lifetime would be BENIGN, but
+        # with the round budget exhausted first the runaway guard fires:
+        # the trial must surface as TIMEOUT, not masquerade as a
+        # detection or a benign completion.
+        spec = FaultSpec(FaultKind.TRANSIENT_REGISTER, at_instruction=10**6,
+                         register=3, bit=5)
+        res = run_duplex_trial(versions[0], versions[1], spec, 1, oracle,
+                               max_rounds=1)
+        assert res.outcome is FaultOutcome.TIMEOUT
+        assert res.rounds_executed == 1
+        assert res.detection_latency is None
+
+    def test_timeout_counted_in_campaign_result(self, sort_versions):
+        versions, oracle = sort_versions
+        res = run_campaign(versions[0], versions[1], oracle, 10,
+                           np.random.default_rng(0), max_rounds=1)
+        assert res.timeouts == res.count(FaultOutcome.TIMEOUT)
+        assert res.timeouts > 0
+        assert res.timeouts == res.outcome_counts()[FaultOutcome.TIMEOUT]
+
+    def test_timeout_excluded_from_coverage(self):
+        spec = FaultSpec(FaultKind.CRASH, at_instruction=5)
+        timed_out = DuplexTrialResult(spec, 1, FaultOutcome.TIMEOUT,
+                                      None, None, 4000)
+        detected = DuplexTrialResult(spec, 1,
+                                     FaultOutcome.DETECTED_COMPARISON,
+                                     1, 2, 2)
+        res = CampaignResult(trials=[timed_out, detected])
+        assert not FaultOutcome.TIMEOUT.is_detected
+        assert res.coverage == 1.0  # the timeout proves nothing either way
+
+    def test_max_rounds_validated(self, sort_versions):
+        versions, oracle = sort_versions
+        spec = FaultSpec(FaultKind.CRASH, at_instruction=5)
+        with pytest.raises(FaultModelError):
+            run_duplex_trial(versions[0], versions[1], spec, 1, oracle,
+                             max_rounds=-1)

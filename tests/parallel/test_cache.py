@@ -1,0 +1,116 @@
+"""Tests for the on-disk campaign shard cache."""
+
+import numpy as np
+import pytest
+
+from repro.diversity import generate_versions
+from repro.faults import run_campaign
+from repro.isa import load_program
+from repro.parallel import CampaignCache, campaign_fingerprint
+from repro.parallel.cache import DEFAULT_CACHE_DIR
+
+
+@pytest.fixture(scope="module")
+def duplex():
+    prog, inputs, spec = load_program("gcd")
+    versions = generate_versions(prog, inputs, n=3, seed=7)
+    return versions, spec.oracle()
+
+
+def _run(duplex, cache, seed=5, n_trials=30, **kwargs):
+    versions, oracle = duplex
+    return run_campaign(versions[0], versions[1], oracle, n_trials, seed,
+                        n_workers=1, shard_size=10, cache=cache, **kwargs)
+
+
+class TestCacheHitMiss:
+    def test_cold_run_misses_then_warm_run_hits(self, duplex, tmp_path):
+        cache = CampaignCache(tmp_path)
+        first = _run(duplex, cache)
+        assert cache.hits == 0
+        assert cache.misses == 3  # 30 trials / shard_size 10
+
+        warm = CampaignCache(tmp_path)
+        second = _run(duplex, warm)
+        assert warm.hits == 3
+        assert warm.misses == 0
+        assert first.trials == second.trials
+
+    def test_cached_equals_uncached(self, duplex, tmp_path):
+        cached = _run(duplex, CampaignCache(tmp_path))
+        replay = _run(duplex, CampaignCache(tmp_path))
+        plain = _run(duplex, None)
+        assert cached.trials == plain.trials
+        assert replay.trials == plain.trials
+
+    def test_different_seed_misses(self, duplex, tmp_path):
+        cache = CampaignCache(tmp_path)
+        _run(duplex, cache, seed=5)
+        _run(duplex, cache, seed=6)
+        assert cache.hits == 0
+        assert cache.misses == 6
+
+    def test_different_config_misses(self, duplex, tmp_path):
+        cache = CampaignCache(tmp_path)
+        _run(duplex, cache)
+        _run(duplex, cache, round_instructions=1_000)
+        assert cache.hits == 0
+
+    def test_corrupt_entry_is_recomputed(self, duplex, tmp_path):
+        cache = CampaignCache(tmp_path)
+        expected = _run(duplex, cache)
+        for pkl in tmp_path.rglob("*.pkl"):
+            pkl.write_bytes(b"not a pickle")
+        recovery = CampaignCache(tmp_path)
+        result = _run(duplex, recovery)
+        assert recovery.hits == 0
+        assert result.trials == expected.trials
+
+    def test_clear_removes_entries(self, duplex, tmp_path):
+        cache = CampaignCache(tmp_path)
+        _run(duplex, cache)
+        assert cache.clear() == 3
+        assert cache.clear() == 0
+
+
+class TestFingerprint:
+    def _fingerprint(self, duplex, seed=0, n_trials=30, **overrides):
+        versions, oracle = duplex
+        from repro.faults.injector import FaultInjector
+
+        injector = FaultInjector(np.random.default_rng(0))
+        kwargs = dict(round_instructions=2_000, memory_words=256,
+                      max_rounds=4_000)
+        kwargs.update(overrides)
+        return campaign_fingerprint(
+            versions[0], versions[1], oracle, n_trials,
+            np.random.SeedSequence(seed), injector, **kwargs)
+
+    def test_stable_for_same_config(self, duplex):
+        assert self._fingerprint(duplex) == self._fingerprint(duplex)
+
+    def test_sensitive_to_seed_and_config(self, duplex):
+        base = self._fingerprint(duplex)
+        assert self._fingerprint(duplex, seed=1) != base
+        assert self._fingerprint(duplex, n_trials=31) != base
+        assert self._fingerprint(duplex, max_rounds=100) != base
+
+    def test_sensitive_to_version_pair(self, duplex):
+        versions, oracle = duplex
+        from repro.faults.injector import FaultInjector
+
+        injector = FaultInjector(np.random.default_rng(0))
+        a = campaign_fingerprint(versions[0], versions[1], oracle, 30,
+                                 np.random.SeedSequence(0), injector,
+                                 2_000, 256, 4_000)
+        b = campaign_fingerprint(versions[0], versions[2], oracle, 30,
+                                 np.random.SeedSequence(0), injector,
+                                 2_000, 256, 4_000)
+        assert a != b
+
+
+def test_default_cache_dir_from_env(monkeypatch, tmp_path):
+    monkeypatch.setenv("VDS_CACHE_DIR", str(tmp_path / "alt"))
+    assert CampaignCache.default().root == tmp_path / "alt"
+    monkeypatch.delenv("VDS_CACHE_DIR")
+    assert CampaignCache.default().root == DEFAULT_CACHE_DIR

@@ -1,0 +1,134 @@
+"""The reproducibility contract of the parallel campaign layer.
+
+The headline property: for the same master seed, a campaign's aggregate
+result is *bit-identical* whether it runs serially or sharded over any
+number of worker processes.
+"""
+
+import numpy as np
+import pytest
+
+from repro.diversity import generate_versions
+from repro.faults import FaultInjector, FaultKind, FaultOutcome, run_campaign
+from repro.faults.campaign import CampaignResult, DuplexTrialResult
+from repro.faults.models import FaultSpec
+from repro.isa import load_program
+from repro.parallel import parallel_map
+
+N_TRIALS = 40
+SEED = 1234
+
+
+@pytest.fixture(scope="module")
+def duplex():
+    prog, inputs, spec = load_program("insertion_sort")
+    versions = generate_versions(prog, inputs, n=3, seed=7)
+    return versions, spec.oracle()
+
+
+def _trial(spec_kind=FaultKind.CRASH, outcome=FaultOutcome.DETECTED_TRAP):
+    return DuplexTrialResult(FaultSpec(spec_kind, at_instruction=5), 1,
+                             outcome, 1, 1, 1)
+
+
+class TestWorkerCountInvariance:
+    def test_one_vs_many_workers_identical(self, duplex):
+        versions, oracle = duplex
+        serial = run_campaign(versions[0], versions[1], oracle, N_TRIALS,
+                              SEED, n_workers=1)
+        sharded = run_campaign(versions[0], versions[1], oracle, N_TRIALS,
+                               SEED, n_workers=8, shard_size=5)
+        # Bit-identical trials, hence identical outcome counts and
+        # latency histograms.
+        assert serial.trials == sharded.trials
+        assert serial.outcome_counts() == sharded.outcome_counts()
+        assert serial.detection_latencies() == sharded.detection_latencies()
+
+    def test_shard_size_does_not_matter(self, duplex):
+        versions, oracle = duplex
+        a = run_campaign(versions[0], versions[1], oracle, N_TRIALS, SEED,
+                         n_workers=1, shard_size=7)
+        b = run_campaign(versions[0], versions[1], oracle, N_TRIALS, SEED,
+                         n_workers=2, shard_size=25)
+        assert a.trials == b.trials
+
+    def test_forced_mix_injector_template(self, duplex):
+        versions, oracle = duplex
+        def inj():
+            return FaultInjector(np.random.default_rng(5),
+                                 mix={FaultKind.PERMANENT_ALU: 1.0})
+
+        serial = run_campaign(versions[0], versions[2], oracle, 30, SEED,
+                              injector=inj(), n_workers=1)
+        sharded = run_campaign(versions[0], versions[2], oracle, 30, SEED,
+                               injector=inj(), n_workers=3, shard_size=8)
+        assert serial.trials == sharded.trials
+        assert all(t.spec.kind is FaultKind.PERMANENT_ALU
+                   for t in serial.trials)
+
+    def test_generator_source_is_deterministic(self, duplex):
+        versions, oracle = duplex
+        a = run_campaign(versions[0], versions[1], oracle, 20,
+                         np.random.default_rng(9), n_workers=2)
+        b = run_campaign(versions[0], versions[1], oracle, 20,
+                         np.random.default_rng(9), n_workers=1)
+        assert a.trials == b.trials
+
+    def test_legacy_generator_path_unchanged(self, duplex):
+        # No n_workers, no cache, a Generator: the historical serial draw
+        # order must be preserved exactly.
+        versions, oracle = duplex
+        a = run_campaign(versions[0], versions[1], oracle, 20,
+                         np.random.default_rng(3))
+        b = run_campaign(versions[0], versions[1], oracle, 20,
+                         np.random.default_rng(3))
+        assert a.trials == b.trials
+
+
+class TestMerge:
+    def test_merge_empty_iterable(self):
+        assert CampaignResult.merge([]).n == 0
+
+    def test_merge_empty_and_nonempty_shards(self):
+        full = CampaignResult(trials=[_trial(), _trial()])
+        merged = CampaignResult.merge([CampaignResult(), full,
+                                       CampaignResult()])
+        assert merged.n == 2
+        assert merged.trials == full.trials
+
+    def test_merge_preserves_shard_order(self):
+        first = CampaignResult(trials=[_trial(FaultKind.CRASH)])
+        second = CampaignResult(
+            trials=[_trial(FaultKind.TRANSIENT_PC,
+                           FaultOutcome.DETECTED_COMPARISON)])
+        merged = CampaignResult.merge([first, second])
+        assert [t.spec.kind for t in merged.trials] == [
+            FaultKind.CRASH, FaultKind.TRANSIENT_PC]
+
+    def test_merge_overlapping_shards_not_deduplicated(self):
+        shard = CampaignResult(trials=[_trial()])
+        merged = CampaignResult.merge([shard, shard])
+        assert merged.n == 2
+        assert merged.count(FaultOutcome.DETECTED_TRAP) == 2
+
+    def test_merge_aggregates_statistics(self):
+        detected = CampaignResult(
+            trials=[_trial(outcome=FaultOutcome.DETECTED_COMPARISON)])
+        silent = CampaignResult(
+            trials=[_trial(outcome=FaultOutcome.SILENT_CORRUPTION)])
+        merged = CampaignResult.merge([detected, silent])
+        assert merged.coverage == 0.5
+
+
+class TestParallelMap:
+    def test_preserves_input_order(self):
+        items = list(range(17))
+        assert parallel_map(_square, items, 4) == [x * x for x in items]
+
+    def test_serial_fallback(self):
+        assert parallel_map(_square, [3], None) == [9]
+        assert parallel_map(_square, [], 4) == []
+
+
+def _square(x):
+    return x * x

@@ -1,0 +1,58 @@
+"""Tests for worker resolution and shard planning."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.parallel import DEFAULT_SHARD_SIZE, plan_shards, resolve_workers
+
+
+class TestResolveWorkers:
+    def test_none_means_serial(self):
+        assert resolve_workers(None) == 1
+
+    def test_auto_uses_cpu_count(self):
+        import os
+
+        assert resolve_workers("auto") == (os.cpu_count() or 1)
+
+    def test_int_passthrough(self):
+        assert resolve_workers(4) == 4
+        assert resolve_workers("4") == 4
+
+    @pytest.mark.parametrize("bad", [0, -1, "many", 1.5])
+    def test_invalid_rejected(self, bad):
+        with pytest.raises(ConfigurationError):
+            resolve_workers(bad)
+
+
+class TestPlanShards:
+    def test_covers_every_trial_exactly_once(self):
+        shards = plan_shards(103, 25)
+        assert shards[0] == (0, 25)
+        assert shards[-1] == (100, 3)
+        covered = [i for start, count in shards
+                   for i in range(start, start + count)]
+        assert covered == list(range(103))
+
+    def test_plan_is_worker_independent(self):
+        # The plan depends only on (n_trials, shard_size): there is no
+        # worker argument to perturb it.
+        assert plan_shards(50, 10) == plan_shards(50, 10)
+
+    def test_exact_multiple(self):
+        assert plan_shards(50, 25) == [(0, 25), (25, 25)]
+
+    def test_single_small_shard(self):
+        assert plan_shards(3, 25) == [(0, 3)]
+
+    def test_zero_trials(self):
+        assert plan_shards(0, 25) == []
+
+    def test_default_size(self):
+        assert plan_shards(DEFAULT_SHARD_SIZE + 1)[0][1] == DEFAULT_SHARD_SIZE
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ConfigurationError):
+            plan_shards(-1, 25)
+        with pytest.raises(ConfigurationError):
+            plan_shards(10, 0)
