@@ -3,7 +3,7 @@
 PYTHON ?= python
 
 .PHONY: install test lint ci bench quick-bench experiments quick-experiments \
-	examples clean
+	examples trace-smoke clean
 
 install:
 	$(PYTHON) -m pip install -e .
@@ -24,6 +24,7 @@ quick-bench:
 	$(PYTHON) -m pytest benchmarks/test_bench_cov1_coverage.py \
 		benchmarks/test_bench_full1_fullstack.py \
 		benchmarks/test_bench_parallel_campaign.py \
+		benchmarks/test_bench_obs_overhead.py \
 		--benchmark-only --benchmark-json=results/benchmark.json
 
 experiments:
@@ -31,6 +32,13 @@ experiments:
 
 quick-experiments:
 	$(PYTHON) -m repro.cli run --all --quick
+
+# One traced quick campaign experiment: the trace command exits non-zero
+# if any span fails validation, so this doubles as a structural check.
+trace-smoke:
+	$(PYTHON) -m repro.cli trace COV-1 --quick \
+		--out results/trace-COV-1.jsonl \
+		--metrics-out results/metrics-COV-1.prom
 
 examples:
 	@for f in examples/*.py; do \

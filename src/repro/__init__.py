@@ -33,6 +33,9 @@ The library provides:
   §5): random, crash-evidence, saturating-counter history, Bayesian.
 * :mod:`repro.analysis` — parameter sweeps, metrics, analytic-vs-simulated
   comparison, and ASCII rendering of the paper's figures/tables.
+* :mod:`repro.obs` — observability: span-based structured tracing (JSONL),
+  a mergeable metrics registry (Prometheus text exposition), wall-clock
+  profiling, and stdlib ``logging`` wiring — all zero-overhead when off.
 * :mod:`repro.experiments` — a registry regenerating every figure and table
   (see DESIGN.md §4 and EXPERIMENTS.md).
 
@@ -46,6 +49,8 @@ Quickstart
 1.38
 """
 
+import logging as _logging
+
 from repro._version import __version__
 from repro.errors import (
     ReproError,
@@ -55,6 +60,11 @@ from repro.errors import (
     RecoveryError,
 )
 from repro.core.params import VDSParameters
+
+# Stdlib library-logging convention: a NullHandler on the package root
+# so importing repro never prints; applications (and the CLI's
+# --log-level flag) opt in via repro.obs.configure_logging.
+_logging.getLogger("repro").addHandler(_logging.NullHandler())
 
 __all__ = [
     "__version__",

@@ -6,11 +6,14 @@
     $ vds-repro run FIG4             # one experiment
     $ vds-repro run --all            # everything (EXPERIMENTS.md source)
     $ vds-repro run VAL-1 --quick    # reduced replication for smoke tests
+    $ vds-repro trace COV-1 --quick  # run traced; write a JSONL span trace
+    $ vds-repro --log-level debug campaign --trials 50   # stdlib logging
 """
 
 from __future__ import annotations
 
 import argparse
+import contextlib
 import sys
 from typing import Optional, Sequence
 
@@ -50,6 +53,10 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument("--version", action="version",
                         version=f"%(prog)s {__version__}")
+    parser.add_argument("--log-level", metavar="LEVEL", default=None,
+                        choices=["debug", "info", "warning", "error"],
+                        help="enable stdlib logging for repro.* at LEVEL "
+                             "(default: library stays silent)")
     sub = parser.add_subparsers(dest="command", required=True)
 
     sub.add_parser("list", help="list all experiment ids")
@@ -70,6 +77,29 @@ def build_parser() -> argparse.ArgumentParser:
                             "results are identical for any value)")
     run_p.add_argument("--output", metavar="DIR", default=None,
                        help="also write each artifact to DIR/<id>.txt")
+    run_p.add_argument("--metrics-out", metavar="PATH", default=None,
+                       help="collect metrics during the run and write them "
+                            "to PATH (Prometheus text; *.json for JSON)")
+
+    t = sub.add_parser(
+        "trace",
+        help="run one experiment with span tracing on; write a JSONL trace",
+    )
+    t.add_argument("id", metavar="ID",
+                   help="experiment id to trace (e.g. COV-1)")
+    t.add_argument("--quick", action="store_true",
+                   help="reduced replication (fast smoke run)")
+    t.add_argument("--seed", type=int, default=0,
+                   help="master random seed (default 0)")
+    t.add_argument("--workers", metavar="N", default="auto",
+                   type=_workers_arg,
+                   help="worker processes (traces merge identically for "
+                        "any value)")
+    t.add_argument("--out", metavar="PATH", default=None,
+                   help="trace destination "
+                        "(default results/trace-<ID>.jsonl)")
+    t.add_argument("--metrics-out", metavar="PATH", default=None,
+                   help="also write collected metrics to PATH")
 
     m = sub.add_parser(
         "mission",
@@ -96,6 +126,8 @@ def build_parser() -> argparse.ArgumentParser:
     m.add_argument("--seed", type=int, default=0)
     m.add_argument("--timeline", type=float, default=0.0, metavar="T",
                    help="also print the first T time units as a timeline")
+    m.add_argument("--metrics-out", metavar="PATH", default=None,
+                   help="collect mission metrics and write them to PATH")
 
     c = sub.add_parser(
         "campaign",
@@ -119,7 +151,14 @@ def build_parser() -> argparse.ArgumentParser:
                         "results are identical for any value)")
     c.add_argument("--no-cache", action="store_true",
                    help="recompute even if shards are cached on disk")
+    c.add_argument("--metrics-out", metavar="PATH", default=None,
+                   help="collect campaign metrics and write them to PATH")
     return parser
+
+
+def _metrics_format(path: str) -> str:
+    """Pick the metrics file format from the destination suffix."""
+    return "json" if path.endswith(".json") else "prometheus"
 
 
 def _cmd_list() -> int:
@@ -130,7 +169,9 @@ def _cmd_list() -> int:
 
 
 def _cmd_run(ids: list[str], run_all: bool, quick: bool, seed: int,
-             output: Optional[str] = None, workers: str = "auto") -> int:
+             output: Optional[str] = None, workers: str = "auto",
+             metrics_out: Optional[str] = None) -> int:
+    from repro.obs import collecting, write_metrics
     from repro.parallel import resolve_workers
 
     n_workers = resolve_workers(workers)
@@ -151,16 +192,62 @@ def _cmd_run(ids: list[str], run_all: bool, quick: bool, seed: int,
 
         out_dir = Path(output)
         out_dir.mkdir(parents=True, exist_ok=True)
-    for exp_id in ids:
-        result = run_experiment(exp_id, quick=quick, seed=seed,
-                                workers=n_workers)
-        header = f"== {result.exp_id}: {result.title} =="
-        print(header)
-        print(result.text)
-        if out_dir is not None:
-            (out_dir / f"{exp_id}.txt").write_text(
-                header + "\n" + result.text
-            )
+    with contextlib.ExitStack() as stack:
+        metrics = (stack.enter_context(collecting())
+                   if metrics_out is not None else None)
+        for exp_id in ids:
+            result = run_experiment(exp_id, quick=quick, seed=seed,
+                                    workers=n_workers)
+            header = f"== {result.exp_id}: {result.title} =="
+            print(header)
+            print(result.text)
+            if out_dir is not None:
+                (out_dir / f"{exp_id}.txt").write_text(
+                    header + "\n" + result.text
+                )
+    if metrics is not None:
+        path = write_metrics(metrics, metrics_out,
+                             fmt=_metrics_format(metrics_out))
+        print(f"metrics                  : {len(metrics)} series -> {path}")
+    return 0
+
+
+def _cmd_trace(args) -> int:
+    """Run one experiment with tracing + metrics on; write the JSONL trace."""
+    from pathlib import Path
+
+    from repro.obs import (
+        collecting,
+        tracing,
+        validate_trace,
+        write_metrics,
+        write_trace_jsonl,
+    )
+    from repro.parallel import resolve_workers
+
+    if args.id not in EXPERIMENTS:
+        print(f"unknown experiment id: {args.id!r}; try 'vds-repro list'",
+              file=sys.stderr)
+        return 2
+    out = Path(args.out) if args.out else Path("results") / f"trace-{args.id}.jsonl"
+    with tracing() as tracer, collecting() as metrics:
+        result = run_experiment(args.id, quick=args.quick, seed=args.seed,
+                                workers=resolve_workers(args.workers))
+    problems = validate_trace(tracer.events)
+    write_trace_jsonl(tracer, out)
+    print(f"== {result.exp_id}: {result.title} ==")
+    print(result.text)
+    spans = sum(ev.kind == "start" for ev in tracer.events)
+    print(f"trace                    : {len(tracer.events)} events "
+          f"({spans} spans) -> {out}")
+    if args.metrics_out is not None:
+        path = write_metrics(metrics, args.metrics_out,
+                             fmt=_metrics_format(args.metrics_out))
+        print(f"metrics                  : {len(metrics)} series -> {path}")
+    if problems:
+        for problem in problems:
+            print(f"trace invalid: {problem}", file=sys.stderr)
+        return 1
     return 0
 
 
@@ -188,6 +275,8 @@ def _cmd_mission(args) -> int:
     from repro.vds.timeline import build_timeline, render_timeline
     from repro.vds.timing import ConventionalTiming, SMT2Timing
 
+    from repro.obs import collecting, write_metrics
+
     params = VDSParameters(alpha=args.alpha, beta=args.beta, s=args.s)
     timing = (ConventionalTiming(params) if args.arch == "conventional"
               else SMT2Timing(params))
@@ -208,11 +297,14 @@ def _cmd_mission(args) -> int:
         PoissonArrivals(rate=args.rate), rng, args.rounds,
         round_time=timing.normal_round(),
     )
-    result = run_mission(
-        timing, scheme, plan, args.rounds, seed=args.seed,
-        predictor=predictor_cls(np.random.default_rng(args.seed + 1)),
-        record_trace=args.timeline > 0,
-    )
+    with contextlib.ExitStack() as stack:
+        metrics = (stack.enter_context(collecting())
+                   if args.metrics_out is not None else None)
+        result = run_mission(
+            timing, scheme, plan, args.rounds, seed=args.seed,
+            predictor=predictor_cls(np.random.default_rng(args.seed + 1)),
+            record_trace=args.timeline > 0,
+        )
     print(f"mission: {args.rounds} rounds on {timing.name} with "
           f"{scheme.name} (alpha={args.alpha}, beta={args.beta}, "
           f"s={args.s})")
@@ -230,6 +322,10 @@ def _cmd_mission(args) -> int:
         print()
         print(render_timeline(build_timeline(result.trace, 0,
                                              args.timeline), width=100))
+    if metrics is not None:
+        path = write_metrics(metrics, args.metrics_out,
+                             fmt=_metrics_format(args.metrics_out))
+        print(f"metrics                   : {len(metrics)} series -> {path}")
     return 0
 
 
@@ -239,6 +335,7 @@ def _cmd_campaign(args) -> int:
     from repro.diversity import generate_versions
     from repro.faults import FaultInjector, FaultKind, FaultOutcome, run_campaign
     from repro.isa import load_program
+    from repro.obs import collecting, write_metrics
     from repro.parallel import CampaignCache, resolve_workers
 
     program, inputs, spec = load_program(args.program)
@@ -252,9 +349,12 @@ def _cmd_campaign(args) -> int:
                                  mix={kind: 1.0})
     n_workers = resolve_workers(args.workers)
     cache = None if args.no_cache else CampaignCache.default()
-    result = run_campaign(pair[0], pair[1], spec.oracle(), args.trials,
-                          args.seed, injector=injector,
-                          n_workers=n_workers, cache=cache)
+    with contextlib.ExitStack() as stack:
+        metrics = (stack.enter_context(collecting())
+                   if args.metrics_out is not None else None)
+        result = run_campaign(pair[0], pair[1], spec.oracle(), args.trials,
+                              args.seed, injector=injector,
+                              n_workers=n_workers, cache=cache)
     label = "identical copies" if args.identical else "diverse pair"
     print(f"campaign: {args.trials} trials of "
           f"{args.kind or 'mixed faults'} on '{args.program}' ({label}; "
@@ -268,16 +368,26 @@ def _cmd_campaign(args) -> int:
     if cache is not None:
         print(f"cache                    : {cache.hits} shard hits, "
               f"{cache.misses} misses ({cache.root})")
+    if metrics is not None:
+        path = write_metrics(metrics, args.metrics_out,
+                             fmt=_metrics_format(args.metrics_out))
+        print(f"metrics                  : {len(metrics)} series -> {path}")
     return 0
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
     args = build_parser().parse_args(argv)
+    if args.log_level is not None:
+        from repro.obs import configure_logging
+
+        configure_logging(args.log_level)
     if args.command == "list":
         return _cmd_list()
     if args.command == "run":
         return _cmd_run(list(args.ids), args.all, args.quick, args.seed,
-                        args.output, args.workers)
+                        args.output, args.workers, args.metrics_out)
+    if args.command == "trace":
+        return _cmd_trace(args)
     if args.command == "mission":
         return _cmd_mission(args)
     if args.command == "campaign":

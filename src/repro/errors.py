@@ -41,6 +41,15 @@ class RecoveryError(ReproError, RuntimeError):
     """
 
 
+class ObservabilityError(ReproError, RuntimeError):
+    """The observability layer was misused (unbalanced span, bad metric).
+
+    Tracing and metrics must never corrupt a run silently: mismatched
+    span ends, negative counter increments, or incompatible histogram
+    buckets fail loudly instead of producing an invalid trace.
+    """
+
+
 class AssemblerError(ReproError, ValueError):
     """The ISA assembler rejected a source program."""
 

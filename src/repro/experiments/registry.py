@@ -8,6 +8,8 @@ by the test suite); benchmarks run the full setting.
 from __future__ import annotations
 
 import inspect
+import logging
+import time
 from dataclasses import dataclass, field
 from typing import Any, Callable, Union
 
@@ -15,6 +17,8 @@ from repro.errors import ConfigurationError
 
 __all__ = ["ExperimentResult", "EXPERIMENTS", "register", "run_experiment",
            "all_experiment_ids"]
+
+logger = logging.getLogger(__name__)
 
 
 @dataclass(frozen=True)
@@ -63,7 +67,13 @@ def run_experiment(exp_id: str, quick: bool = False, seed: int = 0,
     kwargs: dict[str, Any] = {"quick": quick, "seed": seed}
     if workers is not None and "workers" in inspect.signature(fn).parameters:
         kwargs["workers"] = workers
-    return fn(**kwargs)
+    logger.info("experiment %s starting (quick=%s, seed=%d)",
+                exp_id, quick, seed)
+    started = time.perf_counter()
+    result = fn(**kwargs)
+    logger.info("experiment %s done in %.2fs",
+                exp_id, time.perf_counter() - started)
+    return result
 
 
 def all_experiment_ids() -> list[str]:

@@ -15,6 +15,7 @@ and slips through — the contrast measured by experiment COV-1.
 
 from __future__ import annotations
 
+import logging
 from dataclasses import dataclass, field, replace
 from typing import TYPE_CHECKING, Iterable, Optional, Sequence
 
@@ -26,13 +27,18 @@ from repro.faults.effects import apply_transient, install_permanent
 from repro.faults.injector import FaultInjector
 from repro.faults.models import FaultKind, FaultOutcome, FaultSpec
 from repro.isa.machine import Machine
+from repro.obs.metrics import MetricsRegistry, get_registry
+from repro.obs.trace import Tracer, active_or_none
 from repro.sim.rng import SeedLike
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
     from repro.parallel.cache import CampaignCache
 
 __all__ = ["DuplexTrialResult", "CampaignResult", "run_duplex_trial",
-           "run_trial_block", "run_campaign"]
+           "run_trial_block", "run_campaign", "record_trial_metrics",
+           "record_block_metrics"]
+
+logger = logging.getLogger(__name__)
 
 #: Hard cap on rounds per trial (runaway guard for pc-flip loops).
 _MAX_ROUNDS = 4000
@@ -278,6 +284,53 @@ def run_duplex_trial(version_a: DiverseVersion, version_b: DiverseVersion,
                              rounds)
 
 
+def record_trial_metrics(metrics: MetricsRegistry,
+                         trial: DuplexTrialResult) -> None:
+    """Fold one trial into campaign counters/histograms.
+
+    The counter names are the observability contract checked by CI: the
+    merged ``campaign_outcome_total`` variants always equal
+    :meth:`CampaignResult.outcome_counts` of the merged result, no
+    matter how trials were sharded, cached, or distributed.
+    """
+    metrics.counter("campaign_trials_total").inc()
+    metrics.counter("campaign_outcome_total",
+                    outcome=trial.outcome.value).inc()
+    metrics.histogram("campaign_trial_rounds").observe(trial.rounds_executed)
+    if (trial.outcome is FaultOutcome.DETECTED_COMPARISON
+            and trial.detection_latency is not None):
+        metrics.histogram("campaign_detection_latency_rounds"
+                          ).observe(trial.detection_latency)
+
+
+def record_block_metrics(metrics: MetricsRegistry,
+                         result: CampaignResult) -> None:
+    """Replay a finished block's trials into the registry.
+
+    Used for cache-hit shards, whose trials were counted in some past
+    process: replaying keeps the merged counters exact.
+    """
+    for trial in result.trials:
+        record_trial_metrics(metrics, trial)
+
+
+def _end_trial_span(tracer: Tracer, span: int, index: int,
+                    trial: DuplexTrialResult) -> None:
+    """Close a ``campaign.trial`` span with the trial's outcome.
+
+    Virtual time is the campaign-global trial index, so trial spans are
+    monotonic within a campaign across shards and workers.  The
+    injection point lands inside the span (the strike round is only
+    known post-hoc).
+    """
+    if trial.injected_round is not None:
+        tracer.point("campaign.injection", vt=index,
+                     round=trial.injected_round)
+    tracer.end(span, vt=index, outcome=trial.outcome.value,
+               rounds=trial.rounds_executed,
+               detected_round=trial.detected_round)
+
+
 def _default_injector(version_a: DiverseVersion, rng: np.random.Generator,
                       memory_words: int) -> FaultInjector:
     """The default injector: strike instants span version 1's fault-free
@@ -297,7 +350,11 @@ def run_trial_block(version_a: DiverseVersion, version_b: DiverseVersion,
                     injector: FaultInjector,
                     round_instructions: int = 2_000,
                     memory_words: int = 256,
-                    max_rounds: int = _MAX_ROUNDS) -> CampaignResult:
+                    max_rounds: int = _MAX_ROUNDS,
+                    *,
+                    tracer: Optional[Tracer] = None,
+                    metrics: Optional[MetricsRegistry] = None,
+                    first_trial_index: int = 0) -> CampaignResult:
     """Run one chunk of trials, one per-trial seed each.
 
     Every trial draws its fault plan and victim from a generator seeded
@@ -305,18 +362,32 @@ def run_trial_block(version_a: DiverseVersion, version_b: DiverseVersion,
     depend only on the seeds it is given — never on which worker runs it
     or which trials precede it.  ``injector`` acts as a *template*: its
     mix and bounds are kept, its generator is replaced per trial.
+
+    Observability is explicit here (no global lookup): the parallel
+    executor hands each worker its own ``tracer``/``metrics`` and
+    ``first_trial_index`` (the shard's campaign-global base index), so
+    per-shard telemetry survives the process pool and merges exactly.
+    Both default to ``None`` — the disabled fast path costs one ``is
+    None`` check per trial and cannot perturb results.
     """
     result = CampaignResult()
-    for seed in seeds:
+    for offset, seed in enumerate(seeds):
         trial_rng = np.random.default_rng(seed)
         trial_injector = replace(injector, rng=trial_rng)
         spec = trial_injector.draw()
         victim = int(trial_rng.integers(1, 3))
-        result.trials.append(
-            run_duplex_trial(version_a, version_b, spec, victim,
-                             oracle_output, round_instructions,
-                             memory_words, max_rounds)
-        )
+        if tracer is not None:
+            index = first_trial_index + offset
+            span = tracer.start("campaign.trial", vt=index,
+                                kind=spec.kind.value, victim=victim)
+        trial = run_duplex_trial(version_a, version_b, spec, victim,
+                                 oracle_output, round_instructions,
+                                 memory_words, max_rounds)
+        if tracer is not None:
+            _end_trial_span(tracer, span, index, trial)
+        if metrics is not None:
+            record_trial_metrics(metrics, trial)
+        result.trials.append(trial)
     return result
 
 
@@ -366,17 +437,34 @@ def run_campaign(version_a: DiverseVersion, version_b: DiverseVersion,
     legacy = (isinstance(rng, np.random.Generator) and n_workers is None
               and cache is None)
     if legacy:
+        tracer = active_or_none()
+        metrics = get_registry()
+        logger.debug("serial campaign: %d trials, round budget %d",
+                     n_trials, round_instructions)
         if injector is None:
             injector = _default_injector(version_a, rng, memory_words)
+        if tracer is not None:
+            campaign_span = tracer.start("campaign", vt=0,
+                                         n_trials=n_trials, mode="serial")
         result = CampaignResult()
-        for _ in range(n_trials):
+        for index in range(n_trials):
             spec = injector.draw()
             victim = int(rng.integers(1, 3))
-            result.trials.append(
-                run_duplex_trial(version_a, version_b, spec, victim,
-                                 oracle_output, round_instructions,
-                                 memory_words, max_rounds)
-            )
+            if tracer is not None:
+                span = tracer.start("campaign.trial", vt=index,
+                                    kind=spec.kind.value, victim=victim)
+            trial = run_duplex_trial(version_a, version_b, spec, victim,
+                                     oracle_output, round_instructions,
+                                     memory_words, max_rounds)
+            if tracer is not None:
+                _end_trial_span(tracer, span, index, trial)
+            if metrics is not None:
+                record_trial_metrics(metrics, trial)
+            result.trials.append(trial)
+        if tracer is not None:
+            tracer.end(campaign_span, vt=n_trials)
+        logger.info("serial campaign done: %d trials, coverage %.3f",
+                    result.n, result.coverage)
         return result
 
     from repro.parallel.executor import run_sharded_campaign

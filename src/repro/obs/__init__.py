@@ -1,0 +1,90 @@
+"""repro.obs — observability: structured tracing, metrics, profiling.
+
+The paper's claims are *timing* claims — detection latency, recovery
+crossovers, α-sensitivity — so the simulator, the VDS runtime, and the
+Monte-Carlo campaign engine all expose the same observability layer:
+
+* :mod:`repro.obs.trace` — span-based tracer with a zero-overhead
+  disabled path; hook points fire in the discrete-event engine (event
+  fire / process resume), the VDS mission loop (round, compare,
+  checkpoint, recovery) and the campaign driver (trial lifecycle,
+  injection, outcome).  Traces export as JSONL.
+* :mod:`repro.obs.metrics` — counters, gauges, and fixed-bucket
+  histograms that serialize to plain dicts and merge across worker
+  processes exactly like shard results do; adapts the SMT core's
+  :class:`~repro.smt.perf_counters.PerfCounters`.
+* :mod:`repro.obs.export` — JSONL trace writer/reader and
+  Prometheus-style text exposition.
+* :mod:`repro.obs.profile` — a wall-clock section profiler for
+  hot-path timing of campaign shards.
+* :mod:`repro.obs.logconf` — stdlib ``logging`` wiring (``NullHandler``
+  on the package root, ``configure_logging`` for applications).
+
+Quickstart::
+
+    from repro.obs import tracing, collecting, write_trace_jsonl
+
+    with tracing() as tracer, collecting() as metrics:
+        result = run_campaign(va, vb, oracle, 200, seed=0, n_workers=4)
+    write_trace_jsonl(tracer, "results/trace.jsonl")
+    print(metrics.counter_value("campaign_trials_total"))  # == result.n
+
+Everything is off by default: with no active tracer/registry the
+instrumented hot paths reduce to one ``is None`` check per hook point,
+and campaign results are bit-identical with tracing on or off.
+"""
+
+from repro.obs.logconf import configure_logging, install_null_handler
+from repro.obs.export import (
+    metrics_to_prometheus,
+    read_trace_jsonl,
+    trace_to_jsonl,
+    write_metrics,
+    write_trace_jsonl,
+)
+from repro.obs.metrics import (
+    MetricsRegistry,
+    absorb_perf_counters,
+    collecting,
+    get_registry,
+    set_registry,
+)
+from repro.obs.profile import Profiler
+from repro.obs.trace import (
+    NULL_TRACER,
+    SpanEvent,
+    Tracer,
+    active_or_none,
+    get_tracer,
+    set_tracer,
+    tracing,
+    validate_trace,
+)
+
+# Importing the observability package must never cause log output by
+# itself: stdlib convention is a NullHandler on the library root.
+install_null_handler()
+
+__all__ = [
+    "SpanEvent",
+    "Tracer",
+    "NULL_TRACER",
+    "get_tracer",
+    "set_tracer",
+    "tracing",
+    "active_or_none",
+    "validate_trace",
+    "MetricsRegistry",
+    "get_registry",
+    "set_registry",
+    "collecting",
+    "absorb_perf_counters",
+    "Profiler",
+    "trace_to_jsonl",
+    "write_trace_jsonl",
+    "read_trace_jsonl",
+    "metrics_to_prometheus",
+    "write_metrics",
+    "configure_logging",
+    "install_null_handler",
+]

@@ -1,0 +1,138 @@
+"""Exporters: JSONL trace files and Prometheus-style text exposition.
+
+The JSONL trace format is one :meth:`~repro.obs.trace.SpanEvent.to_json_obj`
+object per line — greppable, streamable, and diffable.  The metrics
+exporter emits the Prometheus 0.0.4 text format (``# TYPE`` headers,
+``{label="value"}`` selectors, cumulative ``_bucket`` rows for
+histograms) so the output scrapes cleanly or diffs in CI artifacts.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Iterable, Union
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import SpanEvent, Tracer
+
+__all__ = [
+    "trace_to_jsonl",
+    "write_trace_jsonl",
+    "read_trace_jsonl",
+    "metrics_to_prometheus",
+    "write_metrics",
+]
+
+_Events = Union[Tracer, Iterable[SpanEvent]]
+
+
+def _events(source: _Events) -> Iterable[SpanEvent]:
+    return source.events if isinstance(source, Tracer) else source
+
+
+def trace_to_jsonl(source: _Events) -> str:
+    """The trace as JSONL text (one event object per line)."""
+    return "".join(
+        json.dumps(ev.to_json_obj(), separators=(",", ":"),
+                   sort_keys=True) + "\n"
+        for ev in _events(source)
+    )
+
+
+def write_trace_jsonl(source: _Events, path: Union[str, Path]) -> Path:
+    """Write the trace to ``path``; parent directories are created."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(trace_to_jsonl(source), encoding="utf-8")
+    return path
+
+
+def read_trace_jsonl(path: Union[str, Path]) -> list[SpanEvent]:
+    """Load a JSONL trace back into :class:`SpanEvent` records."""
+    out: list[SpanEvent] = []
+    with Path(path).open(encoding="utf-8") as fh:
+        for line in fh:
+            line = line.strip()
+            if line:
+                out.append(SpanEvent.from_json_obj(json.loads(line)))
+    return out
+
+
+# -- Prometheus text exposition --------------------------------------------
+
+def _selector(labels: Iterable[tuple[str, str]], extra: str = "") -> str:
+    parts = [f'{k}="{v}"' for k, v in labels]
+    if extra:
+        parts.append(extra)
+    return "{" + ",".join(parts) + "}" if parts else ""
+
+
+def _fmt(value: float) -> str:
+    if isinstance(value, float) and value.is_integer():
+        return str(int(value))
+    return repr(value) if isinstance(value, float) else str(value)
+
+
+def metrics_to_prometheus(registry: MetricsRegistry) -> str:
+    """The registry in the Prometheus text exposition format."""
+    data = registry.to_dict()
+    lines: list[str] = []
+
+    by_name: dict[str, list] = {}
+    for item in data["counters"]:
+        by_name.setdefault(item["name"], []).append(item)
+    for name, items in sorted(by_name.items()):
+        lines.append(f"# TYPE {name} counter")
+        for item in items:
+            sel = _selector(tuple(kv) for kv in item["labels"])
+            lines.append(f"{name}{sel} {_fmt(item['value'])}")
+
+    by_name = {}
+    for item in data["gauges"]:
+        by_name.setdefault(item["name"], []).append(item)
+    for name, items in sorted(by_name.items()):
+        lines.append(f"# TYPE {name} gauge")
+        for item in items:
+            sel = _selector(tuple(kv) for kv in item["labels"])
+            lines.append(f"{name}{sel} {_fmt(item['value'])}")
+
+    by_name = {}
+    for item in data["histograms"]:
+        by_name.setdefault(item["name"], []).append(item)
+    for name, items in sorted(by_name.items()):
+        lines.append(f"# TYPE {name} histogram")
+        for item in items:
+            labels = tuple(tuple(kv) for kv in item["labels"])
+            cumulative = 0
+            for bound, count in zip(item["buckets"], item["counts"]):
+                cumulative += count
+                sel = _selector(labels, f'le="{_fmt(float(bound))}"')
+                lines.append(f"{name}_bucket{sel} {cumulative}")
+            cumulative += item["counts"][-1]
+            sel = _selector(labels, 'le="+Inf"')
+            lines.append(f"{name}_bucket{sel} {cumulative}")
+            sel = _selector(labels)
+            lines.append(f"{name}_sum{sel} {_fmt(item['sum'])}")
+            lines.append(f"{name}_count{sel} {item['count']}")
+
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def write_metrics(registry: MetricsRegistry, path: Union[str, Path],
+                  fmt: str = "prometheus") -> Path:
+    """Write the registry to ``path`` as ``"prometheus"`` text or ``"json"``."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    if fmt == "prometheus":
+        path.write_text(metrics_to_prometheus(registry), encoding="utf-8")
+    elif fmt == "json":
+        path.write_text(
+            json.dumps(registry.to_dict(), indent=2, sort_keys=True) + "\n",
+            encoding="utf-8",
+        )
+    else:
+        from repro.errors import ObservabilityError
+
+        raise ObservabilityError(f"unknown metrics format {fmt!r}")
+    return path

@@ -1,0 +1,57 @@
+"""Logging configuration for the ``repro`` package.
+
+The library follows stdlib convention: every module logs to
+``logging.getLogger(__name__)`` and the package root logger carries a
+:class:`logging.NullHandler` (installed in :mod:`repro.obs`'s import,
+triggered from ``repro/__init__``), so importing the library never
+prints anything.  Applications — including the ``vds-repro`` CLI via
+``--log-level`` — opt in with :func:`configure_logging`.
+"""
+
+from __future__ import annotations
+
+import logging
+import sys
+from typing import Optional, TextIO, Union
+
+__all__ = ["ROOT_LOGGER_NAME", "configure_logging", "install_null_handler"]
+
+#: The package root logger every ``repro.*`` module logger rolls up to.
+ROOT_LOGGER_NAME = "repro"
+
+#: Default record format: time, level, abbreviated module, message.
+LOG_FORMAT = "%(asctime)s %(levelname)-7s %(name)s: %(message)s"
+
+_handler: Optional[logging.Handler] = None
+
+
+def install_null_handler() -> None:
+    """Attach a ``NullHandler`` to the package root logger (idempotent)."""
+    root = logging.getLogger(ROOT_LOGGER_NAME)
+    if not any(isinstance(h, logging.NullHandler) for h in root.handlers):
+        root.addHandler(logging.NullHandler())
+
+
+def configure_logging(level: Union[int, str] = "INFO",
+                      stream: Optional[TextIO] = None) -> logging.Logger:
+    """Send ``repro.*`` records at ``level`` and above to ``stream``.
+
+    Reconfiguring replaces the handler installed by a previous call
+    (idempotent across CLI invocations in one process).  Returns the
+    package root logger.
+    """
+    global _handler
+    if isinstance(level, str):
+        resolved = logging.getLevelName(level.upper())
+        if not isinstance(resolved, int):
+            raise ValueError(f"unknown log level {level!r}")
+        level = resolved
+    root = logging.getLogger(ROOT_LOGGER_NAME)
+    if _handler is not None:
+        root.removeHandler(_handler)
+    _handler = logging.StreamHandler(stream if stream is not None
+                                     else sys.stderr)
+    _handler.setFormatter(logging.Formatter(LOG_FORMAT))
+    root.addHandler(_handler)
+    root.setLevel(level)
+    return root

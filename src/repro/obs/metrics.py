@@ -1,0 +1,306 @@
+"""Counters, gauges, and fixed-bucket histograms with cross-process merge.
+
+The registry mirrors the Prometheus data model in miniature: metrics are
+identified by ``(name, sorted labels)``, counters only go up, gauges are
+last-write-wins, histograms use *fixed* upper-bound buckets so that two
+histograms of the same metric merge by bucket-wise addition.
+
+Cross-process story: worker shards build a fresh :class:`MetricsRegistry`,
+serialize it with :meth:`MetricsRegistry.to_dict` (plain JSON-safe data,
+cheap to pickle across the pool), and the parent folds the parts back in
+with :meth:`MetricsRegistry.merge_dict` — the metric analogue of
+:meth:`repro.faults.campaign.CampaignResult.merge`.  Because counters and
+histogram buckets are sums, the merged registry is independent of how
+trials were sharded across workers.
+
+The *active* registry is module-global and ``None`` by default, so
+instrumented hot paths pay a single ``if metrics is not None`` check when
+collection is off (mirroring :func:`repro.obs.trace.active_or_none`).
+
+:func:`absorb_perf_counters` adapts the SMT core's PMU-style
+:class:`~repro.smt.perf_counters.PerfCounters` into registry metrics via
+its ``snapshot()`` method.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+from contextlib import contextmanager
+from typing import TYPE_CHECKING, Any, Iterable, Iterator, Optional, Sequence
+
+from repro.errors import ObservabilityError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.smt.perf_counters import PerfCounters
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "get_registry",
+    "set_registry",
+    "collecting",
+    "absorb_perf_counters",
+    "DEFAULT_BUCKETS",
+]
+
+#: Default histogram upper bounds (rounds / latencies are small integers;
+#: the tail buckets catch runaway trials near the round limit).
+DEFAULT_BUCKETS: tuple[float, ...] = (
+    1, 2, 5, 10, 20, 50, 100, 200, 500, 1000, 2000, 4000,
+)
+
+_LabelKey = tuple[tuple[str, str], ...]
+
+
+def _label_key(labels: dict[str, Any]) -> _LabelKey:
+    return tuple(sorted((k, str(v)) for k, v in labels.items()))
+
+
+class Counter:
+    """A monotonically increasing count."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value: float = 0
+
+    def inc(self, amount: float = 1) -> None:
+        if amount < 0:
+            raise ObservabilityError(
+                f"counters only go up (inc by {amount!r})"
+            )
+        self.value += amount
+
+
+class Gauge:
+    """A point-in-time value (last write wins on merge)."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value: float = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+    def inc(self, amount: float = 1) -> None:
+        self.value += amount
+
+    def dec(self, amount: float = 1) -> None:
+        self.value -= amount
+
+
+class Histogram:
+    """Fixed-bucket histogram (cumulative counts, like Prometheus).
+
+    ``buckets`` are the finite upper bounds; an implicit ``+Inf`` bucket
+    catches the rest.  Fixed bounds are what make shard-wise merging a
+    plain element-wise sum.
+    """
+
+    __slots__ = ("buckets", "counts", "total", "count")
+
+    def __init__(self, buckets: Sequence[float] = DEFAULT_BUCKETS) -> None:
+        bounds = tuple(float(b) for b in buckets)
+        if not bounds or list(bounds) != sorted(set(bounds)):
+            raise ObservabilityError(
+                f"histogram buckets must be sorted and unique: {buckets!r}"
+            )
+        self.buckets = bounds
+        self.counts = [0] * (len(bounds) + 1)   # +1 = the +Inf bucket
+        self.total = 0.0                        # sum of observations
+        self.count = 0                          # number of observations
+
+    def observe(self, value: float) -> None:
+        self.counts[bisect_left(self.buckets, value)] += 1
+        self.total += value
+        self.count += 1
+
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+
+class MetricsRegistry:
+    """A named family of counters, gauges, and histograms."""
+
+    def __init__(self) -> None:
+        self._counters: dict[tuple[str, _LabelKey], Counter] = {}
+        self._gauges: dict[tuple[str, _LabelKey], Gauge] = {}
+        self._histograms: dict[tuple[str, _LabelKey], Histogram] = {}
+
+    # -- access (create on first use) --------------------------------------
+    def counter(self, name: str, **labels: Any) -> Counter:
+        key = (name, _label_key(labels))
+        c = self._counters.get(key)
+        if c is None:
+            c = self._counters[key] = Counter()
+        return c
+
+    def gauge(self, name: str, **labels: Any) -> Gauge:
+        key = (name, _label_key(labels))
+        g = self._gauges.get(key)
+        if g is None:
+            g = self._gauges[key] = Gauge()
+        return g
+
+    def histogram(self, name: str,
+                  buckets: Sequence[float] = DEFAULT_BUCKETS,
+                  **labels: Any) -> Histogram:
+        key = (name, _label_key(labels))
+        h = self._histograms.get(key)
+        if h is None:
+            h = self._histograms[key] = Histogram(buckets)
+        elif tuple(float(b) for b in buckets) != h.buckets:
+            raise ObservabilityError(
+                f"histogram {name!r} re-declared with different buckets"
+            )
+        return h
+
+    # -- queries -----------------------------------------------------------
+    def counter_value(self, name: str, **labels: Any) -> float:
+        c = self._counters.get((name, _label_key(labels)))
+        return c.value if c is not None else 0
+
+    def counter_values(self, name: str) -> dict[_LabelKey, float]:
+        """All label variants of one counter family."""
+        return {key[1]: c.value for key, c in self._counters.items()
+                if key[0] == name}
+
+    def names(self) -> list[str]:
+        seen: dict[str, None] = {}
+        for store in (self._counters, self._gauges, self._histograms):
+            for name, _labels in store:
+                seen.setdefault(name, None)
+        return list(seen)
+
+    def __len__(self) -> int:
+        return (len(self._counters) + len(self._gauges)
+                + len(self._histograms))
+
+    # -- serialization ------------------------------------------------------
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-safe snapshot (the cross-process wire format)."""
+
+        def dump(key: tuple[str, _LabelKey]) -> dict[str, Any]:
+            return {"name": key[0], "labels": [list(kv) for kv in key[1]]}
+
+        return {
+            "counters": [
+                {**dump(key), "value": c.value}
+                for key, c in sorted(self._counters.items())
+            ],
+            "gauges": [
+                {**dump(key), "value": g.value}
+                for key, g in sorted(self._gauges.items())
+            ],
+            "histograms": [
+                {**dump(key), "buckets": list(h.buckets),
+                 "counts": list(h.counts), "sum": h.total, "count": h.count}
+                for key, h in sorted(self._histograms.items())
+            ],
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "MetricsRegistry":
+        reg = cls()
+        reg.merge_dict(data)
+        return reg
+
+    def merge_dict(self, data: dict[str, Any]) -> "MetricsRegistry":
+        """Fold a :meth:`to_dict` snapshot into this registry.
+
+        Counters and histograms add; gauges take the incoming value
+        (last write wins).  Returns ``self`` for chaining.
+        """
+        for item in data.get("counters", ()):
+            labels = dict(tuple(kv) for kv in item["labels"])
+            self.counter(item["name"], **labels).value += item["value"]
+        for item in data.get("gauges", ()):
+            labels = dict(tuple(kv) for kv in item["labels"])
+            self.gauge(item["name"], **labels).set(item["value"])
+        for item in data.get("histograms", ()):
+            labels = dict(tuple(kv) for kv in item["labels"])
+            h = self.histogram(item["name"], buckets=item["buckets"],
+                               **labels)
+            if len(item["counts"]) != len(h.counts):
+                raise ObservabilityError(
+                    f"histogram {item['name']!r} merge with mismatched "
+                    f"bucket count"
+                )
+            for i, n in enumerate(item["counts"]):
+                h.counts[i] += n
+            h.total += item["sum"]
+            h.count += item["count"]
+        return self
+
+    @classmethod
+    def merge(cls, parts: Iterable["MetricsRegistry"]) -> "MetricsRegistry":
+        """Merge registries (shard results) into a fresh one."""
+        merged = cls()
+        for part in parts:
+            merged.merge_dict(part.to_dict())
+        return merged
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (f"MetricsRegistry(counters={len(self._counters)}, "
+                f"gauges={len(self._gauges)}, "
+                f"histograms={len(self._histograms)})")
+
+
+# -- the active registry ----------------------------------------------------
+
+_active: Optional[MetricsRegistry] = None
+
+
+def get_registry() -> Optional[MetricsRegistry]:
+    """The process-wide active registry, or ``None`` when collection is off."""
+    return _active
+
+
+def set_registry(registry: Optional[MetricsRegistry]
+                 ) -> Optional[MetricsRegistry]:
+    """Install ``registry`` as the active one (``None`` = stop collecting)."""
+    global _active
+    _active = registry
+    return _active
+
+
+@contextmanager
+def collecting(registry: Optional[MetricsRegistry] = None
+               ) -> Iterator[MetricsRegistry]:
+    """Scope a registry as the active one; restores the previous on exit."""
+    reg = registry if registry is not None else MetricsRegistry()
+    prev = _active
+    set_registry(reg)
+    try:
+        yield reg
+    finally:
+        set_registry(prev)
+
+
+# -- PerfCounters adapter ---------------------------------------------------
+
+def absorb_perf_counters(registry: MetricsRegistry,
+                         counters: "PerfCounters",
+                         **labels: Any) -> None:
+    """Fold an SMT core's PMU counters into ``registry``.
+
+    Uses :meth:`~repro.smt.perf_counters.PerfCounters.snapshot` so the
+    adapter stays in lockstep with the counter set the core exposes.
+    Per-thread dicts become ``thread``-labelled counter variants; the
+    scalars land as plain counters.  Extra ``labels`` (e.g. ``core=0``)
+    are applied to every metric.
+    """
+    snap = counters.snapshot()
+    scalar = {"smt_cycles_total": snap["cycles"],
+              "smt_context_switches_total": snap["context_switches"]}
+    for name, value in scalar.items():
+        registry.counter(name, **labels).inc(value)
+    per_thread = {"smt_instructions_total": snap["instructions"],
+                  "smt_issue_stalls_total": snap["issue_stalls"],
+                  "smt_memory_blocks_total": snap["memory_blocks"]}
+    for name, by_thread in per_thread.items():
+        for thread, value in sorted(by_thread.items()):
+            registry.counter(name, thread=thread, **labels).inc(value)

@@ -1,0 +1,113 @@
+"""Lightweight wall-clock profiler for hot-path timing.
+
+Where the tracer answers *what happened in which order*, the profiler
+answers *where the wall-clock time went*: named sections accumulate
+``(calls, total, min, max)`` with two clock reads per section and no
+per-call allocation beyond the first.  Section stats serialize to plain
+dicts and merge across processes, so the campaign executor can ship each
+shard's timing profile back through the pool alongside its metrics.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from typing import Any, Iterable, Iterator
+
+__all__ = ["SectionStats", "Profiler"]
+
+
+class SectionStats:
+    """Accumulated timings of one named section."""
+
+    __slots__ = ("calls", "total", "min", "max")
+
+    def __init__(self) -> None:
+        self.calls = 0
+        self.total = 0.0
+        self.min = float("inf")
+        self.max = 0.0
+
+    def add(self, seconds: float) -> None:
+        self.calls += 1
+        self.total += seconds
+        if seconds < self.min:
+            self.min = seconds
+        if seconds > self.max:
+            self.max = seconds
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.calls if self.calls else 0.0
+
+    def to_dict(self) -> dict[str, Any]:
+        return {"calls": self.calls, "total": self.total,
+                "min": self.min if self.calls else 0.0, "max": self.max}
+
+
+class Profiler:
+    """Accumulates wall-clock time per named section."""
+
+    def __init__(self, clock=time.perf_counter):
+        self._clock = clock
+        self.sections: dict[str, SectionStats] = {}
+
+    @contextmanager
+    def section(self, name: str) -> Iterator[None]:
+        """Time the enclosed block under ``name``."""
+        start = self._clock()
+        try:
+            yield
+        finally:
+            stats = self.sections.get(name)
+            if stats is None:
+                stats = self.sections[name] = SectionStats()
+            stats.add(self._clock() - start)
+
+    def time(self, name: str, fn, *args, **kwargs):
+        """Run ``fn(*args, **kwargs)`` timed under ``name``; returns its value."""
+        with self.section(name):
+            return fn(*args, **kwargs)
+
+    # -- serialization / merging -------------------------------------------
+    def to_dict(self) -> dict[str, dict[str, Any]]:
+        return {name: s.to_dict() for name, s in sorted(self.sections.items())}
+
+    def merge_dict(self, data: dict[str, dict[str, Any]]) -> "Profiler":
+        """Fold another profiler's :meth:`to_dict` snapshot into this one."""
+        for name, d in data.items():
+            stats = self.sections.get(name)
+            if stats is None:
+                stats = self.sections[name] = SectionStats()
+            stats.calls += d["calls"]
+            stats.total += d["total"]
+            if d["calls"]:
+                stats.min = min(stats.min, d["min"])
+                stats.max = max(stats.max, d["max"])
+        return self
+
+    @classmethod
+    def merge(cls, parts: Iterable["Profiler"]) -> "Profiler":
+        merged = cls()
+        for part in parts:
+            merged.merge_dict(part.to_dict())
+        return merged
+
+    # -- reporting ----------------------------------------------------------
+    def report(self) -> str:
+        """A fixed-width text table, slowest total first."""
+        if not self.sections:
+            return "(no sections timed)"
+        rows = sorted(self.sections.items(), key=lambda kv: -kv[1].total)
+        width = max(len(name) for name, _ in rows)
+        lines = [f"{'section':{width}s} {'calls':>7s} {'total s':>10s} "
+                 f"{'mean ms':>10s} {'max ms':>10s}"]
+        for name, s in rows:
+            lines.append(
+                f"{name:{width}s} {s.calls:7d} {s.total:10.4f} "
+                f"{s.mean * 1e3:10.3f} {s.max * 1e3:10.3f}"
+            )
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Profiler(sections={sorted(self.sections)})"

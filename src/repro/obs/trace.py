@@ -1,0 +1,344 @@
+"""Span-based structured tracing with a zero-overhead disabled path.
+
+A *span* is a named interval of work (a campaign shard, one injection
+trial, one VDS round, a recovery episode); a *point* is an instantaneous
+event (an injection, a checkpoint write, a discrete-event firing).  Every
+record carries two clocks:
+
+``vt``
+    *virtual* time — whatever the instrumented layer counts in: the DES
+    clock for missions, the global trial index for campaigns.  Within one
+    parent span, sibling spans must start in non-decreasing ``vt`` order
+    (checked by :func:`validate_trace`) — this is the determinism guard
+    for the engine's zero-length event orderings.
+``wall``
+    wall-clock seconds since the tracer's epoch (``time.perf_counter``).
+
+Two implementations share one duck-typed interface:
+
+* :data:`NULL_TRACER` — the always-disabled singleton.  Hot paths
+  normalise to ``None`` via :func:`active_or_none` and guard with a
+  single ``if tracer is not None`` check, so the disabled cost is one
+  pointer comparison per hook point.
+* :class:`Tracer` — buffers :class:`SpanEvent` records in memory; export
+  to JSONL lives in :mod:`repro.obs.export`.
+
+The *active* tracer is module-global (:func:`get_tracer` /
+:func:`set_tracer`; scoped with the :func:`tracing` context manager).
+Worker processes never see the parent's tracer: the parallel executor
+ships a flag, buffers events in a fresh per-shard tracer, and the parent
+adopts them with :meth:`Tracer.adopt` (span ids are re-based so shards
+cannot collide).
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Iterator, Optional, Union
+
+from repro.errors import ObservabilityError
+
+__all__ = [
+    "SpanEvent",
+    "Tracer",
+    "NullTracer",
+    "NULL_TRACER",
+    "get_tracer",
+    "set_tracer",
+    "tracing",
+    "active_or_none",
+    "validate_trace",
+]
+
+
+@dataclass(frozen=True, slots=True)
+class SpanEvent:
+    """One trace record (span start, span end, or point event)."""
+
+    kind: str                    #: ``"start"`` | ``"end"`` | ``"point"``
+    name: str                    #: e.g. ``"campaign.trial"``, ``"vds.round"``
+    span_id: int                 #: 0 for points outside any span identity
+    parent_id: int               #: enclosing span id (0 = root)
+    vt: Optional[float]          #: virtual time, if the layer has one
+    wall: float                  #: seconds since the tracer's epoch
+    attrs: dict[str, Any] = field(default_factory=dict)
+
+    def to_json_obj(self) -> dict[str, Any]:
+        """A JSON-safe dict (JSONL line payload)."""
+        out: dict[str, Any] = {
+            "kind": self.kind,
+            "name": self.name,
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "wall": round(self.wall, 9),
+        }
+        if self.vt is not None:
+            out["vt"] = self.vt
+        if self.attrs:
+            out["attrs"] = self.attrs
+        return out
+
+    @classmethod
+    def from_json_obj(cls, obj: dict[str, Any]) -> "SpanEvent":
+        return cls(
+            kind=obj["kind"],
+            name=obj["name"],
+            span_id=int(obj.get("span_id", 0)),
+            parent_id=int(obj.get("parent_id", 0)),
+            vt=obj.get("vt"),
+            wall=float(obj.get("wall", 0.0)),
+            attrs=dict(obj.get("attrs", {})),
+        )
+
+
+class NullTracer:
+    """The disabled tracer: every operation is a no-op.
+
+    ``enabled`` is ``False`` so instrumented code can collapse the whole
+    tracer to ``None`` once (see :func:`active_or_none`) instead of
+    paying a method call per hook point.
+    """
+
+    enabled = False
+    events: tuple[SpanEvent, ...] = ()
+
+    def start(self, name: str, vt: Optional[float] = None, **attrs: Any) -> int:
+        return 0
+
+    def end(self, span_id: int, vt: Optional[float] = None,
+            **attrs: Any) -> None:
+        pass
+
+    def point(self, name: str, vt: Optional[float] = None,
+              **attrs: Any) -> None:
+        pass
+
+    @contextmanager
+    def span(self, name: str, vt: Optional[float] = None,
+             **attrs: Any) -> Iterator[int]:
+        yield 0
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return "NullTracer()"
+
+
+#: The process-wide disabled tracer.
+NULL_TRACER = NullTracer()
+
+
+class Tracer:
+    """Buffers span/point events in memory.
+
+    Not thread-safe by design: the simulator is single-threaded and
+    worker *processes* each build their own tracer (adopted afterwards),
+    so a lock would be pure overhead on the hot path.
+    """
+
+    enabled = True
+
+    def __init__(self, clock=time.perf_counter):
+        self._clock = clock
+        self._epoch = clock()
+        self.events: list[SpanEvent] = []
+        self._next_id = 1
+        self._open: dict[int, str] = {}       # span_id -> name
+        self._stack: list[int] = []           # open span ids, innermost last
+
+    # -- recording ---------------------------------------------------------
+    def _wall(self) -> float:
+        return self._clock() - self._epoch
+
+    def start(self, name: str, vt: Optional[float] = None,
+              **attrs: Any) -> int:
+        """Open a span; returns its id (pass back to :meth:`end`)."""
+        span_id = self._next_id
+        self._next_id += 1
+        parent = self._stack[-1] if self._stack else 0
+        self.events.append(
+            SpanEvent("start", name, span_id, parent, vt, self._wall(), attrs)
+        )
+        self._open[span_id] = name
+        self._stack.append(span_id)
+        return span_id
+
+    def end(self, span_id: int, vt: Optional[float] = None,
+            **attrs: Any) -> None:
+        """Close the span opened as ``span_id``."""
+        name = self._open.pop(span_id, None)
+        if name is None:
+            raise ObservabilityError(
+                f"end() for unknown/closed span id {span_id}"
+            )
+        if span_id in self._stack:
+            # Closing out of order is tolerated (recovery code may bail
+            # early); everything opened after it is considered closed.
+            while self._stack and self._stack[-1] != span_id:
+                dangling = self._stack.pop()
+                self._open.pop(dangling, None)
+            self._stack.pop()
+        parent = self._stack[-1] if self._stack else 0
+        self.events.append(
+            SpanEvent("end", name, span_id, parent, vt, self._wall(), attrs)
+        )
+
+    def point(self, name: str, vt: Optional[float] = None,
+              **attrs: Any) -> None:
+        """Record an instantaneous event inside the current span."""
+        parent = self._stack[-1] if self._stack else 0
+        self.events.append(
+            SpanEvent("point", name, 0, parent, vt, self._wall(), attrs)
+        )
+
+    @contextmanager
+    def span(self, name: str, vt: Optional[float] = None,
+             **attrs: Any) -> Iterator[int]:
+        """Context manager: span start on entry, end (same ``vt``) on exit."""
+        span_id = self.start(name, vt, **attrs)
+        try:
+            yield span_id
+        finally:
+            self.end(span_id, vt)
+
+    # -- merging -----------------------------------------------------------
+    def adopt(self, events: Iterable[Union[SpanEvent, dict]],
+              parent_id: Optional[int] = None) -> int:
+        """Append events recorded by another tracer (e.g. a worker shard).
+
+        Span ids are re-based past this tracer's counter so adopted spans
+        can never collide with local ones; root-level adopted events are
+        re-parented under ``parent_id`` (default: the current open span).
+        Returns the number of events adopted.
+        """
+        default_parent = (parent_id if parent_id is not None
+                          else (self._stack[-1] if self._stack else 0))
+        base = self._next_id
+        high = 0
+        n = 0
+        for ev in events:
+            if isinstance(ev, dict):
+                ev = SpanEvent.from_json_obj(ev)
+            span_id = ev.span_id + base if ev.span_id else 0
+            parent = ev.parent_id + base if ev.parent_id else default_parent
+            high = max(high, span_id)
+            self.events.append(
+                SpanEvent(ev.kind, ev.name, span_id, parent, ev.vt,
+                          ev.wall, ev.attrs)
+            )
+            n += 1
+        self._next_id = max(self._next_id, high + 1)
+        return n
+
+    # -- introspection -----------------------------------------------------
+    def open_spans(self) -> list[str]:
+        """Names of spans started but not yet ended (innermost last)."""
+        return [self._open[sid] for sid in self._stack if sid in self._open]
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Tracer(events={len(self.events)}, open={self.open_spans()})"
+
+
+# -- the active tracer ------------------------------------------------------
+
+_active: Union[Tracer, NullTracer] = NULL_TRACER
+
+
+def get_tracer() -> Union[Tracer, NullTracer]:
+    """The process-wide active tracer (:data:`NULL_TRACER` by default)."""
+    return _active
+
+
+def set_tracer(tracer: Union[Tracer, NullTracer, None]
+               ) -> Union[Tracer, NullTracer]:
+    """Install ``tracer`` as the active tracer (``None`` = disable)."""
+    global _active
+    _active = tracer if tracer is not None else NULL_TRACER
+    return _active
+
+
+def active_or_none(tracer: Union[Tracer, NullTracer, None] = None
+                   ) -> Optional[Tracer]:
+    """Normalise to ``None`` unless tracing is actually enabled.
+
+    Hot paths call this once up front and then guard each hook point with
+    ``if tracer is not None`` — the cheapest possible disabled check.
+    """
+    t = tracer if tracer is not None else _active
+    return t if t.enabled else None
+
+
+@contextmanager
+def tracing(tracer: Optional[Tracer] = None) -> Iterator[Tracer]:
+    """Scope a tracer as the active one; restores the previous on exit."""
+    t = tracer if tracer is not None else Tracer()
+    prev = _active
+    set_tracer(t)
+    try:
+        yield t
+    finally:
+        set_tracer(prev)
+
+
+# -- validation -------------------------------------------------------------
+
+def validate_trace(events: Iterable[Union[SpanEvent, dict]]) -> list[str]:
+    """Structural checks on a finished trace; returns problem descriptions.
+
+    * every span ``start`` has exactly one matching ``end`` (and vice
+      versa);
+    * a span's end virtual time is >= its start virtual time, and its
+      end wall time is >= its start wall time (wall stamps are only
+      comparable within one span: adopted worker events keep their own
+      recording epoch);
+    * direct sibling spans under one parent start in non-decreasing
+      virtual-time order (trial indices within a campaign, the DES clock
+      within a mission).
+
+    An empty list means the trace is valid.
+    """
+    problems: list[str] = []
+    open_start: dict[int, SpanEvent] = {}
+    last_child_vt: dict[tuple[int, str], float] = {}
+    for ev in events:
+        if isinstance(ev, dict):
+            ev = SpanEvent.from_json_obj(ev)
+        if ev.kind == "start":
+            if ev.span_id in open_start:
+                problems.append(f"duplicate start for span id {ev.span_id}")
+            open_start[ev.span_id] = ev
+            if ev.vt is not None:
+                key = (ev.parent_id, ev.name)
+                prev = last_child_vt.get(key)
+                if prev is not None and ev.vt < prev:
+                    problems.append(
+                        f"non-monotonic virtual time for {ev.name!r} under "
+                        f"span {ev.parent_id}: {ev.vt} after {prev}"
+                    )
+                last_child_vt[key] = ev.vt
+        elif ev.kind == "end":
+            start = open_start.pop(ev.span_id, None)
+            if start is None:
+                problems.append(
+                    f"end without start: {ev.name!r} (span id {ev.span_id})"
+                )
+            else:
+                if (start.vt is not None and ev.vt is not None
+                        and ev.vt < start.vt):
+                    problems.append(
+                        f"span {ev.name!r} ends before it starts in virtual "
+                        f"time ({ev.vt} < {start.vt})"
+                    )
+                if ev.wall < start.wall - 1e-9:
+                    problems.append(
+                        f"span {ev.name!r} ends before it starts in wall "
+                        f"time ({ev.wall:.9f} < {start.wall:.9f})"
+                    )
+    for ev in open_start.values():
+        problems.append(
+            f"start without end: {ev.name!r} (span id {ev.span_id})"
+        )
+    return problems

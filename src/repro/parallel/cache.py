@@ -17,6 +17,7 @@ from __future__ import annotations
 
 import hashlib
 import json
+import logging
 import os
 import pickle
 from pathlib import Path
@@ -32,6 +33,8 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.faults.injector import FaultInjector
 
 __all__ = ["CACHE_SCHEMA", "CampaignCache", "campaign_fingerprint"]
+
+logger = logging.getLogger(__name__)
 
 #: Bump when the pickle layout or trial semantics change within a release.
 CACHE_SCHEMA = 1
@@ -141,11 +144,19 @@ class CampaignCache:
             IndexError,
         ):
             self.misses += 1
+            logger.debug("cache miss: %s", path)
             return None
         if len(result.trials) != count:
             self.misses += 1
+            logger.debug(
+                "cache entry rejected (%d trials, want %d): %s",
+                len(result.trials),
+                count,
+                path,
+            )
             return None
         self.hits += 1
+        logger.debug("cache hit: %s", path)
         return result
 
     def store(
@@ -162,6 +173,7 @@ class CampaignCache:
         with tmp.open("wb") as fh:
             pickle.dump(result, fh, protocol=pickle.HIGHEST_PROTOCOL)
         tmp.replace(path)
+        logger.debug("cache store: %s (%d trials)", path, len(result.trials))
 
     def clear(self) -> int:
         """Delete every cache entry; returns the number of files removed."""

@@ -4,26 +4,45 @@ The executor owns *how* shards run (in-process or on a
 :class:`~concurrent.futures.ProcessPoolExecutor`); the result is the
 same either way because every shard's randomness is fixed by its
 per-trial seed sequences (see :mod:`repro.parallel`).
+
+Observability crosses the pool the same way results do: when the parent
+has an active tracer/registry (:mod:`repro.obs`), each worker records
+into a *fresh* per-shard tracer, metrics registry, and wall-clock
+profiler, ships them back as plain data with the shard result, and the
+parent adopts trace events in shard order and folds metric counters
+together — so merged telemetry is independent of the worker count, just
+like the trials themselves.  With observability off, workers receive
+``None`` and the per-trial cost is one pointer check.
 """
 
 from __future__ import annotations
 
+import logging
 import multiprocessing
 import sys
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
-from typing import Callable, Iterable, Optional, Sequence, TypeVar, Union
+from typing import Any, Callable, Iterable, Optional, Sequence, TypeVar, Union
 
 import numpy as np
 
 from repro.diversity.generator import DiverseVersion
-from repro.faults.campaign import CampaignResult, run_trial_block
+from repro.faults.campaign import (
+    CampaignResult,
+    record_block_metrics,
+    run_trial_block,
+)
 from repro.faults.injector import FaultInjector
+from repro.obs.metrics import MetricsRegistry, get_registry
+from repro.obs.profile import Profiler
+from repro.obs.trace import SpanEvent, Tracer, active_or_none
 from repro.parallel.cache import CampaignCache, campaign_fingerprint
 from repro.parallel.sharding import plan_shards, resolve_workers
 from repro.sim.rng import SeedLike, derive_seed_sequence
 
 __all__ = ["parallel_map", "run_sharded_campaign"]
+
+logger = logging.getLogger(__name__)
 
 _T = TypeVar("_T")
 _R = TypeVar("_R")
@@ -68,18 +87,60 @@ class _ShardTask:
     round_instructions: int
     memory_words: int
     max_rounds: int
+    first_trial_index: int = 0
+    collect_trace: bool = False
+    collect_metrics: bool = False
 
 
-def _execute_shard(task: _ShardTask) -> CampaignResult:
-    return run_trial_block(
-        task.version_a,
-        task.version_b,
-        task.oracle_output,
-        task.seeds,
-        task.injector,
-        task.round_instructions,
-        task.memory_words,
-        task.max_rounds,
+@dataclass(frozen=True)
+class _ShardOutput:
+    """Shard result plus its telemetry, in pool-transportable form."""
+
+    result: CampaignResult
+    trace_events: Optional[tuple[SpanEvent, ...]] = None
+    metrics: Optional[dict[str, Any]] = None
+    profile: Optional[dict[str, Any]] = None
+
+
+def _execute_shard(task: _ShardTask) -> _ShardOutput:
+    tracer = Tracer() if task.collect_trace else None
+    metrics = MetricsRegistry() if task.collect_metrics else None
+    collect = task.collect_trace or task.collect_metrics
+    profiler = Profiler() if collect else None
+    if tracer is not None:
+        shard_span = tracer.start(
+            "campaign.shard",
+            vt=task.first_trial_index,
+            start=task.first_trial_index,
+            count=len(task.seeds),
+        )
+
+    def run() -> CampaignResult:
+        return run_trial_block(
+            task.version_a,
+            task.version_b,
+            task.oracle_output,
+            task.seeds,
+            task.injector,
+            task.round_instructions,
+            task.memory_words,
+            task.max_rounds,
+            tracer=tracer,
+            metrics=metrics,
+            first_trial_index=task.first_trial_index,
+        )
+
+    if profiler is not None:
+        result = profiler.time("campaign.shard", run)
+    else:
+        result = run()
+    if tracer is not None:
+        tracer.end(shard_span, vt=task.first_trial_index + len(task.seeds))
+    return _ShardOutput(
+        result=result,
+        trace_events=tuple(tracer.events) if tracer is not None else None,
+        metrics=metrics.to_dict() if metrics is not None else None,
+        profile=profiler.to_dict() if profiler is not None else None,
     )
 
 
@@ -103,7 +164,16 @@ def run_sharded_campaign(
     The per-trial seed tree is spawned once from ``rng``; shards receive
     contiguous seed slices, so the merged trial sequence is identical
     for every worker count, and cached shards short-circuit computation.
+
+    Telemetry follows the same merge discipline: the active tracer (if
+    any) adopts worker trace events in shard order under one
+    ``campaign`` span, the active registry folds worker counters in, and
+    cache-hit shards *replay* their trials into the counters — the
+    merged ``campaign_outcome_total`` family therefore always equals
+    ``CampaignResult.outcome_counts()`` of the returned result.
     """
+    tracer = active_or_none()
+    metrics = get_registry()
     workers = resolve_workers(n_workers)
     master = derive_seed_sequence(rng)
     shards = plan_shards(n_trials, shard_size)
@@ -122,7 +192,18 @@ def run_sharded_campaign(
             max_rounds,
         )
     seeds = master.spawn(n_trials)
+    if tracer is not None:
+        campaign_span = tracer.start(
+            "campaign",
+            vt=0,
+            n_trials=n_trials,
+            mode="sharded",
+            workers=workers,
+            shards=len(shards),
+        )
 
+    hits_before = cache.hits if cache is not None else 0
+    misses_before = cache.misses if cache is not None else 0
     results: list[Optional[CampaignResult]] = [None] * len(shards)
     pending: list[int] = []
     for idx, (start, count) in enumerate(shards):
@@ -130,6 +211,12 @@ def run_sharded_campaign(
             hit = cache.lookup(fingerprint, start, count)
             if hit is not None:
                 results[idx] = hit
+                if tracer is not None:
+                    tracer.point(
+                        "campaign.shard.cached", vt=start, start=start, count=count
+                    )
+                if metrics is not None:
+                    record_block_metrics(metrics, hit)
                 continue
         pending.append(idx)
 
@@ -146,12 +233,46 @@ def run_sharded_campaign(
                 round_instructions,
                 memory_words,
                 max_rounds,
+                first_trial_index=start,
+                collect_trace=tracer is not None,
+                collect_metrics=metrics is not None,
             )
         )
     computed = parallel_map(_execute_shard, tasks, workers)
-    for idx, shard_result in zip(pending, computed):
-        results[idx] = shard_result
+    profiler = Profiler() if computed and computed[0].profile is not None else None
+    for idx, output in zip(pending, computed):
+        results[idx] = output.result
+        if tracer is not None and output.trace_events is not None:
+            tracer.adopt(output.trace_events, parent_id=campaign_span)
+        if metrics is not None and output.metrics is not None:
+            metrics.merge_dict(output.metrics)
+            if output.profile is not None:
+                # Each shard times exactly one "campaign.shard" section.
+                metrics.histogram(
+                    "campaign_shard_seconds",
+                    buckets=(0.01, 0.05, 0.1, 0.5, 1, 5, 10, 60),
+                ).observe(output.profile["campaign.shard"]["total"])
+        if profiler is not None and output.profile is not None:
+            profiler.merge_dict(output.profile)
         if cache is not None:
             start, count = shards[idx]
-            cache.store(fingerprint, start, count, shard_result)
+            cache.store(fingerprint, start, count, output.result)
+
+    if metrics is not None and cache is not None:
+        metrics.counter("campaign_cache_hits_total").inc(cache.hits - hits_before)
+        metrics.counter("campaign_cache_misses_total").inc(
+            cache.misses - misses_before
+        )
+    if tracer is not None:
+        tracer.end(campaign_span, vt=n_trials)
+    if profiler is not None and profiler.sections:
+        logger.debug("shard wall-clock profile:\n%s", profiler.report())
+    logger.info(
+        "sharded campaign done: %d trials in %d shards (%d cached) "
+        "across %d workers",
+        n_trials,
+        len(shards),
+        len(shards) - len(pending),
+        workers,
+    )
     return CampaignResult.merge(results)

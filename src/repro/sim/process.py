@@ -110,6 +110,10 @@ class Process(Event):
     def _resume(self, event: Event) -> None:
         self._started = True
         self._waiting_on = None
+        tracer = self.sim._tracer
+        if tracer is not None:
+            tracer.point("sim.resume", vt=self.sim.now, process=self.name,
+                         ok=event.ok)
         prev = self.sim._active_process
         self.sim._active_process = self
         try:

@@ -27,7 +27,15 @@ class PerfCounters:
         self.memory_blocks[thread] = self.memory_blocks.get(thread, 0) + n
 
     def ipc(self, thread: int | None = None) -> float:
-        """Instructions per cycle, per thread or total."""
+        """Instructions per cycle, per thread or total.
+
+        Zero-cycle edge case: a core that has not ticked yet reports an
+        IPC of ``0.0`` rather than raising ``ZeroDivisionError`` — the
+        convention real PMU tooling uses for an idle counter window, and
+        what the :mod:`repro.obs` metrics adapter relies on when it
+        snapshots counters mid-run.  A thread that never retired an
+        instruction likewise reads ``0.0``.
+        """
         if self.cycles == 0:
             return 0.0
         if thread is None:
@@ -35,7 +43,27 @@ class PerfCounters:
         return self.instructions.get(thread, 0) / self.cycles
 
     def utilization(self, issue_width: int) -> float:
-        """Fraction of issue slots used."""
+        """Fraction of issue slots used.
+
+        Returns ``0.0`` on zero cycles (idle counter window), matching
+        :meth:`ipc`; see the note there.
+        """
         if self.cycles == 0:
             return 0.0
         return sum(self.instructions.values()) / (self.cycles * issue_width)
+
+    def snapshot(self) -> dict:
+        """A deep-copied, JSON-safe view of every counter.
+
+        The contract of the :func:`repro.obs.metrics.absorb_perf_counters`
+        adapter: scalars stay scalars, per-thread dicts are copied (so
+        later ``retire``/``stall``/``block`` calls cannot mutate a taken
+        snapshot), and the key set is stable across releases.
+        """
+        return {
+            "cycles": self.cycles,
+            "instructions": dict(self.instructions),
+            "issue_stalls": dict(self.issue_stalls),
+            "memory_blocks": dict(self.memory_blocks),
+            "context_switches": self.context_switches,
+        }

@@ -12,10 +12,13 @@ analytical model.
 
 from __future__ import annotations
 
+import logging
 from dataclasses import dataclass, field
 from typing import Generator, Optional
 
 from repro.errors import ConfigurationError
+from repro.obs.metrics import get_registry
+from repro.obs.trace import active_or_none
 from repro.predict.base import Predictor
 from repro.predict.random_predictor import RandomPredictor
 from repro.sim.engine import Simulator
@@ -28,6 +31,8 @@ from repro.vds.state import clean_state
 from repro.vds.timing import ArchTiming, ConventionalTiming
 
 __all__ = ["RecoveryRecord", "MissionResult", "VDSMission", "run_mission"]
+
+logger = logging.getLogger(__name__)
 
 
 @dataclass(frozen=True)
@@ -139,6 +144,7 @@ class VDSMission:
     # -- the mission process ----------------------------------------------
     def _process(self, sim: Simulator, trace: TraceRecorder,
                  result: MissionResult) -> Generator:
+        obs = sim._tracer  # already normalised to None when disabled
         p = self.timing.params
         s = p.s
         store = CheckpointStore(write_time=self.checkpoint_write_time,
@@ -162,7 +168,13 @@ class VDSMission:
             interval_base = (global_round - 1) // s * s
             i = completed - interval_base + 1
 
+            if obs is not None:
+                round_span = obs.start("vds.round", vt=sim.now,
+                                       round=global_round, i=i)
             yield from self._normal_round(ctx, global_round, i)
+            if obs is not None:
+                obs.point("vds.compare", vt=sim.now, round=global_round)
+                obs.end(round_span, vt=sim.now)
             states[1] = states[1].advanced(1)
             states[2] = states[2].advanced(1)
 
@@ -182,7 +194,15 @@ class VDSMission:
                     other = 2 if fault.victim == 1 else 1
                     states[other] = states[other].corrupted()
                 ctx.transitions = []
+                if obs is not None:
+                    rec_span = obs.start("vds.recovery", vt=sim.now,
+                                         round=global_round,
+                                         scheme=self.scheme.name)
                 outcome = yield from self.scheme.recover(ctx, i, fault)
+                if obs is not None:
+                    obs.end(rec_span, vt=sim.now,
+                            resolved=outcome.resolved,
+                            progress=outcome.progress)
                 result.recoveries.append(RecoveryRecord(
                     global_round=global_round, i=i, scheme=self.scheme.name,
                     duration=outcome.duration, progress=outcome.progress,
@@ -221,6 +241,8 @@ class VDSMission:
                                           lane=self._main_lane)
                 trace.point(sim.now, "checkpoint", f"ckpt@{completed}",
                             lane=self._main_lane)
+                if obs is not None:
+                    obs.point("vds.checkpoint", vt=sim.now, round=completed)
                 checkpoint = store.save(clean_state(1, 0),
                                         global_round=completed, time=sim.now)
                 ctx.checkpoint = checkpoint
@@ -232,7 +254,8 @@ class VDSMission:
 
     def run(self) -> MissionResult:
         """Execute the mission; returns the measured results."""
-        sim = Simulator()
+        obs = active_or_none()
+        sim = Simulator(tracer=obs)
         trace = TraceRecorder(enabled=self.record_trace)
         result = MissionResult(
             scheme=self.scheme.name, timing=self.timing.name,
@@ -240,9 +263,40 @@ class VDSMission:
             trace=trace if self.record_trace else None,
             normal_round_time=self.timing.normal_round(),
         )
+        logger.debug("mission start: %d rounds on %s with %s",
+                     self.mission_rounds, self.timing.name, self.scheme.name)
+        if obs is not None:
+            mission_span = obs.start(
+                "vds.mission", vt=0.0, scheme=self.scheme.name,
+                timing=self.timing.name, rounds=self.mission_rounds,
+            )
         proc = sim.process(self._process(sim, trace, result), name="vds")
         sim.run_until_event(proc)
         result.total_time = sim.now
+        if obs is not None:
+            obs.end(mission_span, vt=sim.now,
+                    recoveries=len(result.recoveries),
+                    rollbacks=result.rollbacks,
+                    checkpoints=result.checkpoints_written)
+        metrics = get_registry()
+        if metrics is not None:
+            metrics.counter("vds_missions_total").inc()
+            metrics.counter("vds_rounds_total").inc(self.mission_rounds)
+            metrics.counter("vds_recoveries_total",
+                            scheme=self.scheme.name
+                            ).inc(len(result.recoveries))
+            metrics.counter("vds_rollbacks_total").inc(result.rollbacks)
+            metrics.counter("vds_checkpoints_total"
+                            ).inc(result.checkpoints_written)
+            hist = metrics.histogram("vds_recovery_duration")
+            for episode in result.recoveries:
+                hist.observe(episode.duration)
+        logger.info(
+            "mission done: %d rounds on %s/%s in %.2f time units "
+            "(%d recoveries, %d rollbacks)",
+            self.mission_rounds, self.timing.name, self.scheme.name,
+            result.total_time, len(result.recoveries), result.rollbacks,
+        )
         return result
 
 

@@ -1,0 +1,157 @@
+"""End-to-end observability contracts of the campaign and mission layers.
+
+The two acceptance properties from the subsystem's design:
+
+* *Non-interference* — enabling tracing/metrics changes **nothing** about
+  the computation: campaign results are bit-identical with observability
+  on vs. off, in both the serial and the sharded (process-pool) modes.
+* *Accounting exactness* — the merged cross-worker metrics agree exactly
+  with the campaign's own bookkeeping (``outcome_counts``), including
+  when shards are served from the on-disk cache.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.params import VDSParameters
+from repro.diversity import generate_versions
+from repro.faults import run_campaign
+from repro.isa import load_program
+from repro.obs import collecting, tracing, validate_trace
+from repro.parallel.cache import CampaignCache
+from repro.vds.faultplan import FaultEvent, FaultPlan
+from repro.vds.recovery import StopAndRetry
+from repro.vds.system import run_mission
+from repro.vds.timing import ConventionalTiming
+
+N_TRIALS = 24
+SEED = 1234
+
+
+@pytest.fixture(scope="module")
+def duplex():
+    prog, inputs, spec = load_program("insertion_sort")
+    versions = generate_versions(prog, inputs, n=3, seed=7)
+    return versions, spec.oracle()
+
+
+def _run(duplex, **kwargs):
+    versions, oracle = duplex
+    return run_campaign(versions[0], versions[1], oracle, N_TRIALS,
+                        kwargs.pop("rng", SEED), **kwargs)
+
+
+class TestNonInterference:
+    def test_serial_results_identical_with_tracing_on(self, duplex):
+        versions, oracle = duplex
+        baseline = run_campaign(versions[0], versions[1], oracle, N_TRIALS,
+                                np.random.default_rng(3))
+        with tracing(), collecting():
+            traced = run_campaign(versions[0], versions[1], oracle,
+                                  N_TRIALS, np.random.default_rng(3))
+        assert traced.trials == baseline.trials
+
+    def test_sharded_results_identical_with_tracing_on(self, duplex):
+        baseline = _run(duplex, n_workers=2, shard_size=8)
+        with tracing(), collecting():
+            traced = _run(duplex, n_workers=2, shard_size=8)
+        assert traced.trials == baseline.trials
+        assert traced.outcome_counts() == baseline.outcome_counts()
+
+
+class TestTraceStructure:
+    def test_sharded_trace_is_valid_and_complete(self, duplex):
+        with tracing() as tr:
+            result = _run(duplex, n_workers=2, shard_size=8)
+        assert validate_trace(tr.events) == []
+        names = {ev.name for ev in tr.events}
+        assert {"campaign", "campaign.shard", "campaign.trial",
+                "campaign.injection"} <= names
+        trial_starts = [ev for ev in tr.events
+                        if ev.name == "campaign.trial"
+                        and ev.kind == "start"]
+        assert len(trial_starts) == result.n
+        # Trial virtual time is the campaign-global index: monotonic
+        # across shards because shards adopt in plan order.
+        vts = [ev.vt for ev in trial_starts]
+        assert vts == sorted(vts)
+
+    def test_serial_trace_is_valid(self, duplex):
+        versions, oracle = duplex
+        with tracing() as tr:
+            run_campaign(versions[0], versions[1], oracle, N_TRIALS,
+                         np.random.default_rng(3))
+        assert validate_trace(tr.events) == []
+        modes = [ev.attrs.get("mode") for ev in tr.events
+                 if ev.name == "campaign" and ev.kind == "start"]
+        assert modes == ["serial"]
+
+
+class TestMetricsAccounting:
+    def _assert_counters_match(self, metrics, result):
+        assert metrics.counter_value("campaign_trials_total") == result.n
+        for outcome, n in result.outcome_counts().items():
+            assert metrics.counter_value(
+                "campaign_outcome_total", outcome=outcome.value) == n
+        rounds = metrics.histogram("campaign_trial_rounds")
+        assert rounds.count == result.n
+
+    def test_sharded_metrics_equal_outcome_counts(self, duplex):
+        with collecting() as metrics:
+            result = _run(duplex, n_workers=2, shard_size=8)
+        self._assert_counters_match(metrics, result)
+
+    def test_serial_metrics_equal_outcome_counts(self, duplex):
+        versions, oracle = duplex
+        with collecting() as metrics:
+            result = run_campaign(versions[0], versions[1], oracle,
+                                  N_TRIALS, np.random.default_rng(3))
+        self._assert_counters_match(metrics, result)
+
+    def test_cache_hits_replay_into_metrics(self, duplex, tmp_path):
+        cache = CampaignCache(tmp_path / "cache")
+        first = _run(duplex, n_workers=2, shard_size=8, cache=cache)
+        with tracing() as tr, collecting() as metrics:
+            second = _run(duplex, n_workers=2, shard_size=8, cache=cache)
+        assert second.trials == first.trials
+        # Every shard came from the cache...
+        hits = metrics.counter_value("campaign_cache_hits_total")
+        assert hits == 3 and cache.hits == 3
+        assert metrics.counter_value("campaign_cache_misses_total") == 0
+        assert any(ev.name == "campaign.shard.cached" for ev in tr.events)
+        # ...yet the counters still account for every trial.
+        self._assert_counters_match(metrics, second)
+        assert validate_trace(tr.events) == []
+
+
+class TestMissionObservability:
+    def test_mission_trace_and_metrics(self):
+        params = VDSParameters(alpha=0.65, beta=0.1, s=20)
+        plan = FaultPlan.from_events([FaultEvent(round=7)])
+        with tracing() as tr, collecting() as metrics:
+            result = run_mission(ConventionalTiming(params), StopAndRetry(),
+                                 plan, 40)
+        assert validate_trace(tr.events) == []
+        names = {ev.name for ev in tr.events}
+        assert {"vds.mission", "vds.round", "vds.compare",
+                "vds.recovery", "vds.checkpoint"} <= names
+        mission_end = next(ev for ev in tr.events
+                           if ev.name == "vds.mission" and ev.kind == "end")
+        assert mission_end.vt == pytest.approx(result.total_time)
+        assert metrics.counter_value("vds_missions_total") == 1
+        assert metrics.counter_value("vds_rounds_total") == 40
+        assert metrics.counter_value(
+            "vds_recoveries_total", scheme=result.scheme
+        ) == len(result.recoveries)
+
+    def test_mission_untraced_unchanged(self):
+        params = VDSParameters(alpha=0.65, beta=0.1, s=20)
+        plan = FaultPlan.from_events([FaultEvent(round=7)])
+        plain = run_mission(ConventionalTiming(params), StopAndRetry(),
+                            plan, 40)
+        with tracing(), collecting():
+            traced = run_mission(ConventionalTiming(params), StopAndRetry(),
+                                 plan, 40)
+        assert traced.total_time == plain.total_time
+        assert traced.rollbacks == plain.rollbacks
+        assert traced.checkpoints_written == plain.checkpoints_written

@@ -1,0 +1,103 @@
+"""Tests for the JSONL and Prometheus exporters."""
+
+import json
+
+import pytest
+
+from repro.errors import ObservabilityError
+from repro.obs.export import (
+    metrics_to_prometheus,
+    read_trace_jsonl,
+    trace_to_jsonl,
+    write_metrics,
+    write_trace_jsonl,
+)
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import Tracer, validate_trace
+
+
+def _sample_tracer():
+    tr = Tracer(clock=lambda: 0.0)
+    with tr.span("campaign", vt=0):
+        with tr.span("campaign.trial", vt=0, kind="crash"):
+            tr.point("campaign.injection", vt=0)
+    return tr
+
+
+class TestTraceJsonl:
+    def test_one_json_object_per_line(self):
+        text = trace_to_jsonl(_sample_tracer())
+        lines = text.strip().split("\n")
+        assert len(lines) == 5
+        for line in lines:
+            obj = json.loads(line)
+            assert obj["kind"] in ("start", "end", "point")
+
+    def test_accepts_tracer_or_event_list(self):
+        tr = _sample_tracer()
+        assert trace_to_jsonl(tr) == trace_to_jsonl(tr.events)
+
+    def test_write_read_round_trip(self, tmp_path):
+        tr = _sample_tracer()
+        path = write_trace_jsonl(tr, tmp_path / "deep" / "trace.jsonl")
+        assert path.exists()  # parent directories created
+        back = read_trace_jsonl(path)
+        assert back == tr.events
+        assert validate_trace(back) == []
+
+    def test_read_skips_blank_lines(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        path.write_text(trace_to_jsonl(_sample_tracer()) + "\n\n")
+        assert len(read_trace_jsonl(path)) == 5
+
+
+class TestPrometheusText:
+    def _registry(self):
+        reg = MetricsRegistry()
+        reg.counter("campaign_trials_total").inc(40)
+        reg.counter("campaign_outcome_total", outcome="benign").inc(14)
+        reg.gauge("campaign_workers").set(2)
+        h = reg.histogram("campaign_trial_rounds", buckets=(1, 2, 5))
+        for v in (1, 1, 3, 9):
+            h.observe(v)
+        return reg
+
+    def test_counter_and_gauge_lines(self):
+        text = metrics_to_prometheus(self._registry())
+        assert "# TYPE campaign_trials_total counter" in text
+        assert "campaign_trials_total 40" in text
+        assert 'campaign_outcome_total{outcome="benign"} 14' in text
+        assert "# TYPE campaign_workers gauge" in text
+        assert "campaign_workers 2" in text
+
+    def test_histogram_cumulative_buckets(self):
+        text = metrics_to_prometheus(self._registry())
+        assert "# TYPE campaign_trial_rounds histogram" in text
+        assert 'campaign_trial_rounds_bucket{le="1"} 2' in text
+        assert 'campaign_trial_rounds_bucket{le="2"} 2' in text
+        assert 'campaign_trial_rounds_bucket{le="5"} 3' in text
+        assert 'campaign_trial_rounds_bucket{le="+Inf"} 4' in text
+        assert "campaign_trial_rounds_sum 14" in text
+        assert "campaign_trial_rounds_count 4" in text
+
+    def test_empty_registry_renders_empty(self):
+        assert metrics_to_prometheus(MetricsRegistry()) == ""
+
+
+class TestWriteMetrics:
+    def test_prometheus_file(self, tmp_path):
+        reg = MetricsRegistry()
+        reg.counter("x").inc()
+        path = write_metrics(reg, tmp_path / "m" / "metrics.prom")
+        assert "# TYPE x counter" in path.read_text()
+
+    def test_json_file_round_trips(self, tmp_path):
+        reg = MetricsRegistry()
+        reg.counter("x").inc(3)
+        path = write_metrics(reg, tmp_path / "metrics.json", fmt="json")
+        data = json.loads(path.read_text())
+        assert MetricsRegistry.from_dict(data).counter_value("x") == 3
+
+    def test_unknown_format_raises(self, tmp_path):
+        with pytest.raises(ObservabilityError):
+            write_metrics(MetricsRegistry(), tmp_path / "m.xml", fmt="xml")

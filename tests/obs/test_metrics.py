@@ -1,0 +1,203 @@
+"""Tests for the metrics registry: instruments, labels, merge, adapter."""
+
+import pytest
+
+from repro.errors import ObservabilityError
+from repro.obs.metrics import (
+    DEFAULT_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    absorb_perf_counters,
+    collecting,
+    get_registry,
+    set_registry,
+)
+from repro.smt.perf_counters import PerfCounters
+
+
+class TestInstruments:
+    def test_counter_only_goes_up(self):
+        c = Counter()
+        c.inc()
+        c.inc(2.5)
+        assert c.value == 3.5
+        with pytest.raises(ObservabilityError):
+            c.inc(-1)
+
+    def test_gauge_set_inc_dec(self):
+        g = Gauge()
+        g.set(10)
+        g.inc(5)
+        g.dec(2)
+        assert g.value == 13.0
+
+    def test_histogram_bucket_placement(self):
+        h = Histogram(buckets=(1, 2, 5))
+        for v in (0.5, 1, 1.5, 5, 7):
+            h.observe(v)
+        # le-style inclusive upper bounds + implicit +Inf overflow bucket.
+        assert h.counts == [2, 1, 1, 1]
+        assert h.count == 5
+        assert h.total == pytest.approx(15.0)
+        assert h.mean() == pytest.approx(3.0)
+
+    def test_histogram_rejects_unsorted_buckets(self):
+        with pytest.raises(ObservabilityError):
+            Histogram(buckets=(5, 1))
+        with pytest.raises(ObservabilityError):
+            Histogram(buckets=(1, 1, 2))
+        with pytest.raises(ObservabilityError):
+            Histogram(buckets=())
+
+    def test_empty_histogram_mean_is_zero(self):
+        assert Histogram().mean() == 0.0
+
+
+class TestRegistry:
+    def test_create_on_first_use_returns_same_instrument(self):
+        reg = MetricsRegistry()
+        a = reg.counter("trials_total", outcome="benign")
+        b = reg.counter("trials_total", outcome="benign")
+        assert a is b
+
+    def test_label_order_is_irrelevant(self):
+        reg = MetricsRegistry()
+        a = reg.counter("x", scheme="rf", arch="smt")
+        b = reg.counter("x", arch="smt", scheme="rf")
+        assert a is b
+        assert len(reg) == 1
+
+    def test_counter_value_defaults_to_zero(self):
+        reg = MetricsRegistry()
+        assert reg.counter_value("never_written") == 0
+
+    def test_counter_values_lists_label_variants(self):
+        reg = MetricsRegistry()
+        reg.counter("outcomes", outcome="benign").inc(3)
+        reg.counter("outcomes", outcome="crash").inc(1)
+        values = reg.counter_values("outcomes")
+        assert values == {(("outcome", "benign"),): 3,
+                          (("outcome", "crash"),): 1}
+
+    def test_names_and_len(self):
+        reg = MetricsRegistry()
+        reg.counter("a")
+        reg.gauge("b")
+        reg.histogram("c")
+        assert sorted(reg.names()) == ["a", "b", "c"]
+        assert len(reg) == 3
+
+    def test_histogram_redeclare_same_buckets_ok(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("lat", buckets=(1, 2))
+        assert reg.histogram("lat", buckets=(1, 2)) is h
+
+    def test_histogram_redeclare_different_buckets_raises(self):
+        reg = MetricsRegistry()
+        reg.histogram("lat", buckets=(1, 2))
+        with pytest.raises(ObservabilityError):
+            reg.histogram("lat", buckets=(1, 2, 5))
+
+
+class TestMergeAndSerialization:
+    def _sample(self, scale=1):
+        reg = MetricsRegistry()
+        reg.counter("trials_total").inc(10 * scale)
+        reg.counter("outcomes", outcome="benign").inc(4 * scale)
+        reg.gauge("workers").set(scale)
+        h = reg.histogram("rounds", buckets=(1, 5))
+        h.observe(1)
+        h.observe(3 * scale)
+        return reg
+
+    def test_to_dict_from_dict_round_trip(self):
+        reg = self._sample()
+        back = MetricsRegistry.from_dict(reg.to_dict())
+        assert back.to_dict() == reg.to_dict()
+
+    def test_merge_dict_adds_counters_and_histograms(self):
+        merged = self._sample(scale=1)
+        merged.merge_dict(self._sample(scale=2).to_dict())
+        assert merged.counter_value("trials_total") == 30
+        assert merged.counter_value("outcomes", outcome="benign") == 12
+        h = merged.histogram("rounds", buckets=(1, 5))
+        assert h.count == 4
+        assert h.total == pytest.approx(1 + 3 + 1 + 6)
+
+    def test_merge_gauge_last_write_wins(self):
+        merged = self._sample(scale=1)
+        merged.merge_dict(self._sample(scale=7).to_dict())
+        assert merged.gauge("workers").value == 7.0
+
+    def test_merge_is_shard_order_independent(self):
+        parts = [self._sample(scale=s) for s in (1, 2, 3)]
+        forward = MetricsRegistry.merge(parts)
+        backward = MetricsRegistry.merge(reversed(parts))
+        fwd, bwd = forward.to_dict(), backward.to_dict()
+        assert fwd["counters"] == bwd["counters"]
+        assert fwd["histograms"] == bwd["histograms"]
+
+    def test_merge_mismatched_histogram_buckets_raises(self):
+        a = MetricsRegistry()
+        a.histogram("lat", buckets=(1, 2)).observe(1)
+        b = MetricsRegistry()
+        b.histogram("lat", buckets=(1, 2, 5)).observe(1)
+        with pytest.raises(ObservabilityError):
+            a.merge_dict(b.to_dict())
+
+    def test_default_buckets_are_valid(self):
+        Histogram(DEFAULT_BUCKETS)
+
+
+class TestActiveRegistry:
+    def test_default_is_off(self):
+        assert get_registry() is None
+
+    def test_collecting_scopes_and_restores(self):
+        with collecting() as reg:
+            assert get_registry() is reg
+            with collecting() as inner:
+                assert get_registry() is inner
+            assert get_registry() is reg
+        assert get_registry() is None
+
+    def test_set_registry_roundtrip(self):
+        reg = MetricsRegistry()
+        set_registry(reg)
+        try:
+            assert get_registry() is reg
+        finally:
+            set_registry(None)
+
+
+class TestPerfCountersAdapter:
+    def test_absorb_maps_every_counter(self):
+        pc = PerfCounters()
+        pc.cycles = 100
+        pc.context_switches = 3
+        pc.retire(0, 80)
+        pc.retire(1, 40)
+        pc.stall(0, 7)
+        pc.block(1, 12)
+        reg = MetricsRegistry()
+        absorb_perf_counters(reg, pc, core=0)
+        assert reg.counter_value("smt_cycles_total", core=0) == 100
+        assert reg.counter_value("smt_context_switches_total", core=0) == 3
+        assert reg.counter_value("smt_instructions_total",
+                                 thread=0, core=0) == 80
+        assert reg.counter_value("smt_instructions_total",
+                                 thread=1, core=0) == 40
+        assert reg.counter_value("smt_issue_stalls_total",
+                                 thread=0, core=0) == 7
+        assert reg.counter_value("smt_memory_blocks_total",
+                                 thread=1, core=0) == 12
+
+    def test_absorb_accumulates_across_snapshots(self):
+        pc = PerfCounters()
+        pc.cycles = 10
+        reg = MetricsRegistry()
+        absorb_perf_counters(reg, pc)
+        absorb_perf_counters(reg, pc)
+        assert reg.counter_value("smt_cycles_total") == 20

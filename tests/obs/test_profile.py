@@ -1,0 +1,101 @@
+"""Tests for the wall-clock profiler."""
+
+import pytest
+
+from repro.obs.profile import Profiler, SectionStats
+
+
+class FakeClock:
+    def __init__(self):
+        self.t = 0.0
+
+    def __call__(self):
+        return self.t
+
+
+class TestSectionStats:
+    def test_accumulation(self):
+        s = SectionStats()
+        s.add(0.5)
+        s.add(1.5)
+        assert s.calls == 2
+        assert s.total == pytest.approx(2.0)
+        assert s.min == pytest.approx(0.5)
+        assert s.max == pytest.approx(1.5)
+        assert s.mean == pytest.approx(1.0)
+
+    def test_empty_stats(self):
+        s = SectionStats()
+        assert s.mean == 0.0
+        assert s.to_dict() == {"calls": 0, "total": 0.0,
+                               "min": 0.0, "max": 0.0}
+
+
+class TestProfiler:
+    def test_section_times_the_block(self):
+        clock = FakeClock()
+        prof = Profiler(clock=clock)
+        with prof.section("shard"):
+            clock.t += 0.25
+        with prof.section("shard"):
+            clock.t += 0.75
+        stats = prof.sections["shard"]
+        assert stats.calls == 2
+        assert stats.total == pytest.approx(1.0)
+        assert stats.min == pytest.approx(0.25)
+        assert stats.max == pytest.approx(0.75)
+
+    def test_section_records_on_exception(self):
+        clock = FakeClock()
+        prof = Profiler(clock=clock)
+        with pytest.raises(ValueError):
+            with prof.section("boom"):
+                clock.t += 0.1
+                raise ValueError("x")
+        assert prof.sections["boom"].calls == 1
+
+    def test_time_returns_function_value(self):
+        clock = FakeClock()
+        prof = Profiler(clock=clock)
+
+        def work(a, b=0):
+            clock.t += 0.5
+            return a + b
+
+        assert prof.time("work", work, 1, b=2) == 3
+        assert prof.sections["work"].total == pytest.approx(0.5)
+
+    def test_merge_dict_combines_extremes(self):
+        a, b = Profiler(clock=FakeClock()), Profiler(clock=FakeClock())
+        a.sections["s"] = sa = SectionStats()
+        sa.add(0.2)
+        b.sections["s"] = sb = SectionStats()
+        sb.add(0.9)
+        sb.add(0.1)
+        merged = Profiler.merge([a, b])
+        stats = merged.sections["s"]
+        assert stats.calls == 3
+        assert stats.total == pytest.approx(1.2)
+        assert stats.min == pytest.approx(0.1)
+        assert stats.max == pytest.approx(0.9)
+
+    def test_merge_ignores_empty_sections(self):
+        a = Profiler(clock=FakeClock())
+        a.sections["s"] = SectionStats()  # zero calls
+        merged = Profiler.merge([a])
+        assert merged.sections["s"].min == float("inf")
+        assert merged.sections["s"].calls == 0
+
+    def test_report_lists_sections_slowest_first(self):
+        clock = FakeClock()
+        prof = Profiler(clock=clock)
+        with prof.section("fast"):
+            clock.t += 0.1
+        with prof.section("slow"):
+            clock.t += 5.0
+        report = prof.report()
+        assert report.index("slow") < report.index("fast")
+        assert "calls" in report
+
+    def test_report_without_sections(self):
+        assert "no sections" in Profiler(clock=FakeClock()).report()

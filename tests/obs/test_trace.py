@@ -1,0 +1,226 @@
+"""Tests for the span tracer: recording, nesting, adoption, validation."""
+
+import pytest
+
+from repro.errors import ObservabilityError
+from repro.obs.trace import (
+    NULL_TRACER,
+    SpanEvent,
+    Tracer,
+    active_or_none,
+    get_tracer,
+    set_tracer,
+    tracing,
+    validate_trace,
+)
+
+
+class FakeClock:
+    """A controllable clock for deterministic wall stamps."""
+
+    def __init__(self):
+        self.t = 0.0
+
+    def __call__(self):
+        return self.t
+
+
+class TestSpanEvent:
+    def test_json_round_trip(self):
+        ev = SpanEvent("start", "campaign.trial", 3, 1, 7.0, 0.25,
+                       {"kind": "crash"})
+        back = SpanEvent.from_json_obj(ev.to_json_obj())
+        assert back == ev
+
+    def test_json_omits_empty_fields(self):
+        ev = SpanEvent("point", "sim.fire", 0, 2, None, 0.5)
+        obj = ev.to_json_obj()
+        assert "vt" not in obj and "attrs" not in obj
+        back = SpanEvent.from_json_obj(obj)
+        assert back.vt is None and back.attrs == {}
+
+
+class TestTracerRecording:
+    def test_start_end_nesting_and_parenting(self):
+        tr = Tracer(clock=FakeClock())
+        outer = tr.start("outer", vt=0)
+        inner = tr.start("inner", vt=1)
+        assert tr.open_spans() == ["outer", "inner"]
+        tr.end(inner, vt=2)
+        tr.end(outer, vt=3)
+        starts = [ev for ev in tr.events if ev.kind == "start"]
+        assert starts[0].parent_id == 0
+        assert starts[1].parent_id == outer
+        assert tr.open_spans() == []
+        assert validate_trace(tr.events) == []
+
+    def test_point_attaches_to_current_span(self):
+        tr = Tracer(clock=FakeClock())
+        with tr.span("mission", vt=0) as sid:
+            tr.point("checkpoint", vt=5, index=1)
+        point = next(ev for ev in tr.events if ev.kind == "point")
+        assert point.parent_id == sid
+        assert point.attrs == {"index": 1}
+
+    def test_end_unknown_span_raises(self):
+        tr = Tracer(clock=FakeClock())
+        with pytest.raises(ObservabilityError):
+            tr.end(99)
+
+    def test_double_end_raises(self):
+        tr = Tracer(clock=FakeClock())
+        sid = tr.start("x")
+        tr.end(sid)
+        with pytest.raises(ObservabilityError):
+            tr.end(sid)
+
+    def test_out_of_order_close_drops_dangling_children(self):
+        tr = Tracer(clock=FakeClock())
+        outer = tr.start("outer")
+        tr.start("inner")  # never explicitly ended
+        tr.end(outer)      # closing outer implicitly abandons inner
+        assert tr.open_spans() == []
+
+    def test_wall_uses_tracer_epoch(self):
+        clock = FakeClock()
+        clock.t = 100.0
+        tr = Tracer(clock=clock)
+        clock.t = 100.5
+        tr.point("p")
+        assert tr.events[0].wall == pytest.approx(0.5)
+
+    def test_len_counts_events(self):
+        tr = Tracer(clock=FakeClock())
+        with tr.span("s"):
+            tr.point("p")
+        assert len(tr) == 3
+
+
+class TestAdoption:
+    def _worker_events(self):
+        w = Tracer(clock=FakeClock())
+        sid = w.start("campaign.shard", vt=0)
+        with w.span("campaign.trial", vt=0):
+            w.point("campaign.injection", vt=0)
+        w.end(sid, vt=2)
+        return w.events
+
+    def test_adopt_rebases_ids_and_reparents_roots(self):
+        parent = Tracer(clock=FakeClock())
+        campaign = parent.start("campaign", vt=0)
+        n = parent.adopt(self._worker_events(), parent_id=campaign)
+        parent.end(campaign, vt=2)
+        assert n == 5
+        adopted_shard = next(ev for ev in parent.events
+                             if ev.name == "campaign.shard"
+                             and ev.kind == "start")
+        assert adopted_shard.parent_id == campaign
+        assert adopted_shard.span_id != campaign
+        assert validate_trace(parent.events) == []
+
+    def test_adopt_accepts_json_dicts(self):
+        parent = Tracer(clock=FakeClock())
+        dicts = [ev.to_json_obj() for ev in self._worker_events()]
+        assert parent.adopt(dicts) == 5
+        assert validate_trace(parent.events) == []
+
+    def test_adopt_twice_never_collides(self):
+        parent = Tracer(clock=FakeClock())
+        parent.adopt(self._worker_events())
+        parent.adopt(self._worker_events())
+        assert validate_trace(parent.events) == []
+        span_ids = [ev.span_id for ev in parent.events
+                    if ev.kind == "start"]
+        assert len(span_ids) == len(set(span_ids))
+
+    def test_adopt_defaults_to_current_open_span(self):
+        parent = Tracer(clock=FakeClock())
+        with parent.span("campaign", vt=0) as campaign:
+            parent.adopt(self._worker_events())
+        adopted_shard = next(ev for ev in parent.events
+                             if ev.name == "campaign.shard"
+                             and ev.kind == "start")
+        assert adopted_shard.parent_id == campaign
+
+
+class TestActiveTracer:
+    def test_default_is_null(self):
+        assert get_tracer() is NULL_TRACER
+        assert active_or_none() is None
+
+    def test_tracing_scopes_and_restores(self):
+        with tracing() as tr:
+            assert get_tracer() is tr
+            assert active_or_none() is tr
+        assert get_tracer() is NULL_TRACER
+
+    def test_set_tracer_none_disables(self):
+        tr = Tracer(clock=FakeClock())
+        set_tracer(tr)
+        try:
+            assert active_or_none() is tr
+        finally:
+            set_tracer(None)
+        assert get_tracer() is NULL_TRACER
+
+    def test_null_tracer_is_inert(self):
+        sid = NULL_TRACER.start("x", vt=0, a=1)
+        NULL_TRACER.end(sid)
+        NULL_TRACER.point("y")
+        with NULL_TRACER.span("z") as inner:
+            assert inner == 0
+        assert NULL_TRACER.events == ()
+
+
+class TestValidateTrace:
+    def test_unmatched_start_reported(self):
+        tr = Tracer(clock=FakeClock())
+        tr.start("orphan", vt=0)
+        problems = validate_trace(tr.events)
+        assert any("start without end" in p for p in problems)
+
+    def test_unmatched_end_reported(self):
+        ev = SpanEvent("end", "ghost", 7, 0, None, 0.0)
+        problems = validate_trace([ev])
+        assert any("end without start" in p for p in problems)
+
+    def test_duplicate_start_reported(self):
+        ev = SpanEvent("start", "dup", 1, 0, None, 0.0)
+        problems = validate_trace([ev, ev])
+        assert any("duplicate start" in p for p in problems)
+
+    def test_sibling_vt_regression_reported(self):
+        events = [
+            SpanEvent("start", "trial", 1, 0, 5.0, 0.0),
+            SpanEvent("end", "trial", 1, 0, 5.0, 0.1),
+            SpanEvent("start", "trial", 2, 0, 3.0, 0.2),
+            SpanEvent("end", "trial", 2, 0, 3.0, 0.3),
+        ]
+        problems = validate_trace(events)
+        assert any("non-monotonic virtual time" in p for p in problems)
+
+    def test_span_vt_reversal_reported(self):
+        events = [
+            SpanEvent("start", "trial", 1, 0, 5.0, 0.0),
+            SpanEvent("end", "trial", 1, 0, 2.0, 0.1),
+        ]
+        problems = validate_trace(events)
+        assert any("ends before it starts in virtual" in p
+                   for p in problems)
+
+    def test_span_wall_reversal_reported(self):
+        events = [
+            SpanEvent("start", "trial", 1, 0, None, 1.0),
+            SpanEvent("end", "trial", 1, 0, None, 0.5),
+        ]
+        problems = validate_trace(events)
+        assert any("ends before it starts in wall" in p for p in problems)
+
+    def test_accepts_json_dicts(self):
+        tr = Tracer(clock=FakeClock())
+        with tr.span("s", vt=0):
+            pass
+        assert validate_trace(ev.to_json_obj() for ev in tr.events) == []
+
+    def test_empty_trace_valid(self):
+        assert validate_trace([]) == []

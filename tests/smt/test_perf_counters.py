@@ -1,6 +1,7 @@
 """Tests for the PMU-style counters."""
 
 import pytest
+from hypothesis import given, strategies as st
 
 from repro.smt.perf_counters import PerfCounters
 
@@ -34,3 +35,69 @@ class TestPerfCounters:
         c.block(1, 12)
         assert c.issue_stalls[0] == 2
         assert c.memory_blocks[1] == 24
+
+    def test_snapshot_is_detached_copy(self):
+        c = PerfCounters()
+        c.cycles = 10
+        c.retire(0, 5)
+        c.stall(1, 2)
+        c.block(0, 3)
+        c.context_switches = 4
+        snap = c.snapshot()
+        assert snap == {
+            "cycles": 10,
+            "instructions": {0: 5},
+            "issue_stalls": {1: 2},
+            "memory_blocks": {0: 3},
+            "context_switches": 4,
+        }
+        # Mutating the live counters must not leak into the snapshot.
+        c.retire(0, 100)
+        c.stall(1, 100)
+        c.block(0, 100)
+        assert snap["instructions"] == {0: 5}
+        assert snap["issue_stalls"] == {1: 2}
+        assert snap["memory_blocks"] == {0: 3}
+
+
+class TestPerfCounterProperties:
+    """Edge-case properties: zero cycles and single-thread cores."""
+
+    @given(retired=st.dictionaries(st.integers(0, 7), st.integers(0, 10**6),
+                                   max_size=4),
+           issue_width=st.integers(1, 8))
+    def test_zero_cycles_never_divides(self, retired, issue_width):
+        c = PerfCounters()
+        for thread, n in retired.items():
+            c.retire(thread, n)
+        assert c.cycles == 0
+        assert c.ipc() == 0.0
+        assert c.utilization(issue_width) == 0.0
+        for thread in retired:
+            assert c.ipc(thread) == 0.0
+
+    @given(cycles=st.integers(1, 10**6), retired=st.integers(0, 10**6),
+           issue_width=st.integers(1, 8))
+    def test_single_thread_ipc_matches_total(self, cycles, retired,
+                                             issue_width):
+        c = PerfCounters()
+        c.cycles = cycles
+        c.retire(0, retired)
+        assert c.ipc() == pytest.approx(c.ipc(0))
+        assert c.ipc() == pytest.approx(retired / cycles)
+        assert c.utilization(issue_width) == pytest.approx(
+            c.ipc() / issue_width)
+
+    @given(cycles=st.integers(0, 1000),
+           retired=st.dictionaries(st.integers(0, 3), st.integers(0, 1000),
+                                   max_size=4))
+    def test_snapshot_round_trips_every_counter(self, cycles, retired):
+        c = PerfCounters()
+        c.cycles = cycles
+        for thread, n in retired.items():
+            c.retire(thread, n)
+        snap = c.snapshot()
+        assert snap["cycles"] == cycles
+        assert snap["instructions"] == retired
+        assert sum(snap["instructions"].values()) == sum(
+            c.instructions.values())

@@ -62,6 +62,63 @@ class TestMissionCommand:
             build_parser().parse_args(["mission", "--scheme", "magic"])
 
 
+class TestObservabilityOptions:
+    def test_trace_command_writes_valid_jsonl(self, capsys, tmp_path):
+        trace_path = tmp_path / "trace.jsonl"
+        assert main(["trace", "VAL-1", "--quick",
+                     "--out", str(trace_path)]) == 0
+        out = capsys.readouterr().out
+        assert "trace" in out and "events" in out
+        from repro.obs import read_trace_jsonl, validate_trace
+
+        events = read_trace_jsonl(trace_path)
+        assert events
+        assert validate_trace(events) == []
+
+    def test_trace_command_metrics_out(self, capsys, tmp_path):
+        trace_path = tmp_path / "trace.jsonl"
+        metrics_path = tmp_path / "metrics.prom"
+        assert main(["trace", "VAL-1", "--quick",
+                     "--out", str(trace_path),
+                     "--metrics-out", str(metrics_path)]) == 0
+        assert "# TYPE vds_missions_total counter" in metrics_path.read_text()
+
+    def test_trace_unknown_id(self, capsys, tmp_path):
+        assert main(["trace", "NOPE",
+                     "--out", str(tmp_path / "t.jsonl")]) == 2
+        assert "unknown experiment" in capsys.readouterr().err
+
+    def test_run_metrics_out_json(self, capsys, tmp_path):
+        import json
+
+        metrics_path = tmp_path / "metrics.json"
+        assert main(["run", "TAB-E1", "--quick",
+                     "--metrics-out", str(metrics_path)]) == 0
+        json.loads(metrics_path.read_text())
+
+    def test_mission_metrics_out(self, capsys, tmp_path):
+        metrics_path = tmp_path / "mission.prom"
+        assert main(["mission", "--rounds", "30", "--rate", "0.05",
+                     "--seed", "2", "--metrics-out", str(metrics_path)]) == 0
+        text = metrics_path.read_text()
+        assert "vds_missions_total 1" in text
+        assert "vds_rounds_total 30" in text
+
+    def test_campaign_metrics_out(self, capsys, tmp_path):
+        metrics_path = tmp_path / "campaign.prom"
+        assert main(["campaign", "--program", "gcd", "--trials", "20",
+                     "--seed", "1", "--metrics-out", str(metrics_path)]) == 0
+        assert "campaign_trials_total" in metrics_path.read_text()
+
+    def test_log_level_flag(self, capsys, caplog):
+        assert main(["--log-level", "debug", "run", "TAB-E1",
+                     "--quick"]) == 0
+
+    def test_bad_log_level_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["--log-level", "loud", "list"])
+
+
 class TestCampaignCommand:
     def test_mixed_campaign(self, capsys):
         assert main(["campaign", "--program", "gcd", "--trials", "30",
