@@ -2,8 +2,8 @@
 
 PYTHON ?= python
 
-.PHONY: install test lint ci bench quick-bench experiments quick-experiments \
-	examples trace-smoke clean
+.PHONY: install test lint ci bench quick-bench bench-runs bench-compare \
+	bench-baseline experiments quick-experiments examples trace-smoke clean
 
 install:
 	$(PYTHON) -m pip install -e .
@@ -20,12 +20,37 @@ ci: lint test
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only -s
 
+BENCHMARK_JSON ?= results/benchmark.json
+
 quick-bench:
+	@mkdir -p results
 	$(PYTHON) -m pytest benchmarks/test_bench_cov1_coverage.py \
 		benchmarks/test_bench_full1_fullstack.py \
 		benchmarks/test_bench_parallel_campaign.py \
 		benchmarks/test_bench_obs_overhead.py \
-		--benchmark-only --benchmark-json=results/benchmark.json
+		benchmarks/test_bench_interpreter.py \
+		--benchmark-only --benchmark-json=$(BENCHMARK_JSON)
+
+# Perf-regression gate: quick benchmarks vs the committed BENCH_BASELINE.json
+# (>15% slowdown fails; tune with VDS_BENCH_TOLERANCE).  The gate uses the
+# per-benchmark minimum of BENCH_RUNS quick-bench passes — single wall-clock
+# runs vary ±20% on shared machines, min-of-k is stable.
+BENCH_RUNS ?= 3
+
+bench-runs:
+	@mkdir -p results
+	@for i in $$(seq 1 $(BENCH_RUNS)); do \
+		echo "== quick-bench pass $$i/$(BENCH_RUNS) =="; \
+		$(MAKE) quick-bench \
+			BENCHMARK_JSON=results/benchmark-run$$i.json || exit 1; \
+	done
+
+bench-compare: bench-runs
+	$(PYTHON) tools/bench_compare.py results/benchmark-run*.json
+
+# Re-baseline after an intentional perf change (keeps the seed timings).
+bench-baseline: bench-runs
+	$(PYTHON) tools/bench_compare.py results/benchmark-run*.json --update
 
 experiments:
 	$(PYTHON) -m repro.cli run --all

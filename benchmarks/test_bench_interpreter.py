@@ -1,0 +1,108 @@
+"""Interpreter backends: compiled + prefix cache vs. the reference chain.
+
+Expected shape: on the COV-1-sized mixed campaign the compiled backend
+with the fault-free prefix cache completes the same trials ≥ 2× faster
+than the reference interpreter with the cache disabled (measured ≈ 5×
+on the development box), and the two configurations produce
+*bit-identical* trial lists — the speedup changes nothing observable.
+A machine-level microbenchmark isolates the pure interpreter gain on a
+synthetic workload, with no campaign machinery around it.
+"""
+
+import os
+import time
+
+import pytest
+
+from repro.diversity import generate_versions
+from repro.faults import run_campaign
+from repro.faults.prefix import clear_prefix_memo
+from repro.isa import load_program
+from repro.isa.compiler import default_backend, set_default_backend
+from repro.isa.machine import Machine
+from repro.isa.synth import synth_workload
+
+N_TRIALS = 400
+SEED = 0
+#: Conservative floor for the campaign-level ratio (measured ≈ 5×).
+MIN_CAMPAIGN_SPEEDUP = float(os.environ.get("VDS_MIN_INTERP_SPEEDUP", "2.0"))
+
+
+@pytest.fixture(scope="module")
+def duplex():
+    prog, inputs, spec = load_program("insertion_sort")
+    versions = generate_versions(prog, inputs, n=3, seed=7)
+    return versions, spec.oracle()
+
+
+def _campaign(versions, oracle, backend, prefix_on, monkeypatch):
+    monkeypatch.setenv("VDS_PREFIX_CACHE", "1" if prefix_on else "0")
+    clear_prefix_memo()
+    before = default_backend()
+    set_default_backend(backend)
+    try:
+        start = time.perf_counter()
+        result = run_campaign(versions[0], versions[1], oracle, N_TRIALS,
+                              SEED, n_workers=1, shard_size=50)
+        return result, time.perf_counter() - start
+    finally:
+        set_default_backend(before)
+        clear_prefix_memo()
+        monkeypatch.delenv("VDS_PREFIX_CACHE", raising=False)
+
+
+@pytest.mark.benchmark(group="interpreter")
+def test_compiled_campaign_beats_reference(benchmark, duplex, monkeypatch):
+    """Same campaign, both configurations: ≥ 2× and bit-identical."""
+    versions, oracle = duplex
+
+    def measure():
+        slow, slow_s = _campaign(versions, oracle, "reference", False,
+                                 monkeypatch)
+        fast, fast_s = _campaign(versions, oracle, "compiled", True,
+                                 monkeypatch)
+        return slow, slow_s, fast, fast_s
+
+    slow, slow_s, fast, fast_s = benchmark.pedantic(
+        measure, rounds=1, iterations=1)
+    speedup = slow_s / fast_s
+    benchmark.extra_info.update({
+        "reference_seconds": round(slow_s, 4),
+        "compiled_seconds": round(fast_s, 4),
+        "speedup": round(speedup, 3),
+    })
+    assert fast.trials == slow.trials  # bit-identical, not just same counts
+    assert speedup >= MIN_CAMPAIGN_SPEEDUP, (
+        f"compiled+prefix only {speedup:.2f}x faster "
+        f"(reference {slow_s:.3f}s vs compiled {fast_s:.3f}s)"
+    )
+
+
+@pytest.mark.benchmark(group="interpreter")
+def test_compiled_machine_beats_reference(benchmark):
+    """Pure interpreter gain on a synthetic workload (no VDS around it)."""
+    wl = synth_workload(11, rounds=400, ops_per_round=24)
+
+    def run(backend):
+        m = Machine(wl.program, memory_words=wl.memory_words,
+                    inputs=wl.inputs, backend=backend)
+        start = time.perf_counter()
+        m.run(10**9)
+        assert m.halted
+        return m, time.perf_counter() - start
+
+    def measure():
+        ref, ref_s = run("reference")
+        com, com_s = run("compiled")
+        assert ref.output == com.output and ref.instret == com.instret
+        return ref_s, com_s
+
+    ref_s, com_s = benchmark.pedantic(measure, rounds=1, iterations=1)
+    benchmark.extra_info.update({
+        "reference_seconds": round(ref_s, 4),
+        "compiled_seconds": round(com_s, 4),
+        "speedup": round(ref_s / com_s, 3),
+    })
+    assert ref_s / com_s >= 1.5, (
+        f"compiled interpreter only {ref_s / com_s:.2f}x faster"
+    )

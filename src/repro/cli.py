@@ -42,6 +42,20 @@ def _workers_arg(value: str) -> str:
     return value
 
 
+def _add_interpreter_flags(p: argparse.ArgumentParser) -> None:
+    """Attach the mutually exclusive ``--fast``/``--reference`` toggle."""
+    g = p.add_mutually_exclusive_group()
+    g.add_argument("--fast", dest="interpreter", action="store_const",
+                   const="fast",
+                   help="use the compiled threaded-code interpreter "
+                        "(default; same as VDS_INTERPRETER=fast)")
+    g.add_argument("--reference", dest="interpreter", action="store_const",
+                   const="reference",
+                   help="use the reference decode-chain interpreter "
+                        "(slower; the semantic ground truth)")
+    p.set_defaults(interpreter=None)
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="vds-repro",
@@ -80,6 +94,7 @@ def build_parser() -> argparse.ArgumentParser:
     run_p.add_argument("--metrics-out", metavar="PATH", default=None,
                        help="collect metrics during the run and write them "
                             "to PATH (Prometheus text; *.json for JSON)")
+    _add_interpreter_flags(run_p)
 
     t = sub.add_parser(
         "trace",
@@ -128,6 +143,7 @@ def build_parser() -> argparse.ArgumentParser:
                    help="also print the first T time units as a timeline")
     m.add_argument("--metrics-out", metavar="PATH", default=None,
                    help="collect mission metrics and write them to PATH")
+    _add_interpreter_flags(m)
 
     c = sub.add_parser(
         "campaign",
@@ -153,6 +169,7 @@ def build_parser() -> argparse.ArgumentParser:
                    help="recompute even if shards are cached on disk")
     c.add_argument("--metrics-out", metavar="PATH", default=None,
                    help="collect campaign metrics and write them to PATH")
+    _add_interpreter_flags(c)
     return parser
 
 
@@ -381,6 +398,11 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         from repro.obs import configure_logging
 
         configure_logging(args.log_level)
+    interpreter = getattr(args, "interpreter", None)
+    if interpreter is not None:
+        from repro.isa.compiler import set_default_backend
+
+        set_default_backend(interpreter)
     if args.command == "list":
         return _cmd_list()
     if args.command == "run":

@@ -18,7 +18,9 @@ including all versions."
   due to radiation");
 * :mod:`repro.faults.injector` — drawing random fault specifications;
 * :mod:`repro.faults.campaign` — end-to-end injection campaigns over
-  diverse version pairs, with outcome classification and coverage stats.
+  diverse version pairs, with outcome classification and coverage stats;
+* :mod:`repro.faults.prefix` — memoized fault-free prefixes so trials
+  execute only their perturbed suffix.
 """
 
 from repro.faults.models import FaultKind, FaultSpec, FaultOutcome
@@ -37,6 +39,12 @@ from repro.faults.campaign import (
     run_duplex_trial,
     run_trial_block,
     run_campaign,
+)
+from repro.faults.prefix import (
+    CleanPrefix,
+    build_clean_prefix,
+    clear_prefix_memo,
+    get_clean_prefix,
 )
 
 __all__ = [
@@ -57,4 +65,8 @@ __all__ = [
     "run_duplex_trial",
     "run_trial_block",
     "run_campaign",
+    "CleanPrefix",
+    "build_clean_prefix",
+    "clear_prefix_memo",
+    "get_clean_prefix",
 ]

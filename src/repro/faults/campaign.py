@@ -16,7 +16,7 @@ and slips through — the contrast measured by experiment COV-1.
 from __future__ import annotations
 
 import logging
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Iterable, Optional, Sequence
 
 import numpy as np
@@ -26,17 +26,19 @@ from repro.errors import FaultModelError, MachineFault
 from repro.faults.effects import apply_transient, install_permanent
 from repro.faults.injector import FaultInjector
 from repro.faults.models import FaultKind, FaultOutcome, FaultSpec
+from repro.isa.compiler import default_backend
 from repro.isa.machine import Machine
 from repro.obs.metrics import MetricsRegistry, get_registry
 from repro.obs.trace import Tracer, active_or_none
 from repro.sim.rng import SeedLike
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
+    from repro.faults.prefix import CleanPrefix
     from repro.parallel.cache import CampaignCache
 
 __all__ = ["DuplexTrialResult", "CampaignResult", "run_duplex_trial",
            "run_trial_block", "run_campaign", "record_trial_metrics",
-           "record_block_metrics"]
+           "record_block_metrics", "record_interpreter_metric"]
 
 logger = logging.getLogger(__name__)
 
@@ -141,14 +143,44 @@ def _duplex_mismatch(m0: Machine, m1: Machine,
     the same *logical* points, so outputs, halt status and the decoded
     memory images are directly comparable.  ``mask0``/``mask1`` are the
     versions' encoded-execution masks (0 for plaintext versions).
+
+    Incremental comparison: once a full comparison has found the decoded
+    images equal, only words *written since* (each machine's
+    ``dirty_words``) can differ at the next round boundary, so that is all
+    the later comparisons look at.  A machine with unknown dirty state
+    (fresh construction, post-restore, or direct external mutation) forces
+    the full path, which on success re-establishes the baseline.
     """
     if m0.output != m1.output:
         return True
     if m0.halted != m1.halted:
         return True
-    mem0 = m0.memory ^ np.uint32(mask0)
-    mem1 = m1.memory ^ np.uint32(mask1)
-    return not np.array_equal(mem0, mem1)
+    d0, d1 = m0.dirty_words, m1.dirty_words
+    if d0 is None or d1 is None:
+        mem0 = m0.memory ^ np.uint32(mask0)
+        mem1 = m1.memory ^ np.uint32(mask1)
+        if not np.array_equal(mem0, mem1):
+            return True
+        m0.dirty_words = set()
+        m1.dirty_words = set()
+        return False
+    touched = d0 | d1
+    if touched:
+        mem0, mem1 = m0.memory, m1.memory
+        if len(touched) <= 64:
+            # Typical rounds touch a handful of words: scalar reads beat
+            # building index arrays for numpy fancy indexing.
+            for w in touched:
+                if (int(mem0[w]) ^ mask0) != (int(mem1[w]) ^ mask1):
+                    return True
+        else:
+            idx = np.fromiter(touched, dtype=np.intp, count=len(touched))
+            if not np.array_equal(mem0[idx] ^ np.uint32(mask0),
+                                  mem1[idx] ^ np.uint32(mask1)):
+                return True
+        d0.clear()
+        d1.clear()
+    return False
 
 
 def _run_round_with_injection(machine: Machine, budget: int,
@@ -183,7 +215,10 @@ def run_duplex_trial(version_a: DiverseVersion, version_b: DiverseVersion,
                      oracle_output: Sequence[int],
                      round_instructions: int = 2_000,
                      memory_words: int = 256,
-                     max_rounds: int = _MAX_ROUNDS) -> DuplexTrialResult:
+                     max_rounds: int = _MAX_ROUNDS,
+                     *,
+                     prefix: Optional["CleanPrefix"] = None
+                     ) -> DuplexTrialResult:
     """Run one duplex execution with one injected fault.
 
     Parameters
@@ -204,6 +239,13 @@ def run_duplex_trial(version_a: DiverseVersion, version_b: DiverseVersion,
     max_rounds:
         Runaway guard: a trial still running after this many rounds is
         classified :attr:`~repro.faults.models.FaultOutcome.TIMEOUT`.
+    prefix:
+        Optional memoized fault-free execution of this exact
+        configuration (:mod:`repro.faults.prefix`).  Trials whose fault
+        strikes in round *j* restore both machines at the end of round
+        *j*−1 instead of re-executing the clean prefix; trials whose
+        fault never strikes are classified without executing at all.
+        Results are bit-identical with and without it.
     """
     if victim not in (1, 2):
         raise FaultModelError(f"victim must be 1 or 2, got {victim}")
@@ -212,12 +254,35 @@ def run_duplex_trial(version_a: DiverseVersion, version_b: DiverseVersion,
     if max_rounds < 0:
         raise FaultModelError("max_rounds must be >= 0")
 
+    use_prefix = (
+        prefix is not None
+        and not spec.kind.is_permanent
+        and spec.kind is not FaultKind.PROCESSOR_STOP
+        and prefix.matches(round_instructions, memory_words, max_rounds)
+    )
+    if use_prefix:
+        strike = prefix.strike_round(victim, spec.at_instruction)
+        if strike is None and prefix.complete:
+            # The victim halts before the strike instant: the fault never
+            # fires.  The full loop would clear it (no effect) in the
+            # victim's halting round and run the clean execution to the
+            # end — all of which the prefix already knows.
+            outcome = (FaultOutcome.BENIGN
+                       if prefix.final_output == tuple(oracle_output)
+                       else FaultOutcome.SILENT_CORRUPTION)
+            return DuplexTrialResult(spec, victim, outcome,
+                                     prefix.halt_round[victim - 1], None,
+                                     prefix.total_rounds)
+
     masks = [version_a.encoding_mask or 0, version_b.encoding_mask or 0]
+    # Program/input tuples are passed as-is: Machine copies what it needs,
+    # and the stable tuples let repeat constructions reuse the compiled
+    # program via the identity cache.
     machines = [
-        Machine(list(version_a.program), memory_words=memory_words,
-                inputs=list(version_a.inputs), name="V1", fill=masks[0]),
-        Machine(list(version_b.program), memory_words=memory_words,
-                inputs=list(version_b.inputs), name="V2", fill=masks[1]),
+        Machine(version_a.program, memory_words=memory_words,
+                inputs=version_a.inputs, name="V1", fill=masks[0]),
+        Machine(version_b.program, memory_words=memory_words,
+                inputs=version_b.inputs, name="V2", fill=masks[1]),
     ]
     if spec.kind.is_permanent:
         for m in machines:
@@ -231,6 +296,13 @@ def run_duplex_trial(version_a: DiverseVersion, version_b: DiverseVersion,
 
     injected_round: Optional[int] = 1 if spec.kind.is_permanent else None
     rounds = 0
+    if use_prefix and strike is not None and strike >= 2:
+        # Fast-forward: rounds 1 … strike−1 are the memoized clean
+        # execution — adopt their end state and resume the loop there.
+        s0, s1 = prefix.snaps[strike - 2]
+        machines[0].restore(s0)
+        machines[1].restore(s1)
+        rounds = strike - 1
     while rounds < max_rounds:
         rounds += 1
         for idx, m in enumerate(machines):
@@ -303,6 +375,18 @@ def record_trial_metrics(metrics: MetricsRegistry,
                           ).observe(trial.detection_latency)
 
 
+def record_interpreter_metric(metrics: MetricsRegistry) -> None:
+    """Label the campaign's metrics with the active interpreter backend.
+
+    An info-style gauge (value 1, backend in the ``vds_interpreter``
+    label) so merged registries and exported traces show which
+    interpreter produced the numbers without disturbing the
+    ``campaign_outcome_total`` contract.
+    """
+    metrics.gauge("campaign_interpreter_info",
+                  vds_interpreter=default_backend()).set(1)
+
+
 def record_block_metrics(metrics: MetricsRegistry,
                          result: CampaignResult) -> None:
     """Replay a finished block's trials into the registry.
@@ -354,7 +438,9 @@ def run_trial_block(version_a: DiverseVersion, version_b: DiverseVersion,
                     *,
                     tracer: Optional[Tracer] = None,
                     metrics: Optional[MetricsRegistry] = None,
-                    first_trial_index: int = 0) -> CampaignResult:
+                    first_trial_index: int = 0,
+                    prefix: Optional["CleanPrefix"] = None,
+                    ) -> CampaignResult:
     """Run one chunk of trials, one per-trial seed each.
 
     Every trial draws its fault plan and victim from a generator seeded
@@ -369,11 +455,20 @@ def run_trial_block(version_a: DiverseVersion, version_b: DiverseVersion,
     per-shard telemetry survives the process pool and merges exactly.
     Both default to ``None`` — the disabled fast path costs one ``is
     None`` check per trial and cannot perturb results.
+
+    ``prefix`` is looked up in the per-process memo when not supplied;
+    pass :data:`False`-y sentinel semantics via ``VDS_PREFIX_CACHE=0`` to
+    force full execution.
     """
+    if prefix is None:
+        from repro.faults.prefix import get_clean_prefix
+
+        prefix = get_clean_prefix(version_a, version_b, round_instructions,
+                                  memory_words, max_rounds)
     result = CampaignResult()
     for offset, seed in enumerate(seeds):
         trial_rng = np.random.default_rng(seed)
-        trial_injector = replace(injector, rng=trial_rng)
+        trial_injector = injector.with_rng(trial_rng)
         spec = trial_injector.draw()
         victim = int(trial_rng.integers(1, 3))
         if tracer is not None:
@@ -382,7 +477,7 @@ def run_trial_block(version_a: DiverseVersion, version_b: DiverseVersion,
                                 kind=spec.kind.value, victim=victim)
         trial = run_duplex_trial(version_a, version_b, spec, victim,
                                  oracle_output, round_instructions,
-                                 memory_words, max_rounds)
+                                 memory_words, max_rounds, prefix=prefix)
         if tracer is not None:
             _end_trial_span(tracer, span, index, trial)
         if metrics is not None:
@@ -443,9 +538,16 @@ def run_campaign(version_a: DiverseVersion, version_b: DiverseVersion,
                      n_trials, round_instructions)
         if injector is None:
             injector = _default_injector(version_a, rng, memory_words)
+        from repro.faults.prefix import get_clean_prefix
+
+        prefix = get_clean_prefix(version_a, version_b, round_instructions,
+                                  memory_words, max_rounds)
         if tracer is not None:
             campaign_span = tracer.start("campaign", vt=0,
-                                         n_trials=n_trials, mode="serial")
+                                         n_trials=n_trials, mode="serial",
+                                         vds_interpreter=default_backend())
+        if metrics is not None:
+            record_interpreter_metric(metrics)
         result = CampaignResult()
         for index in range(n_trials):
             spec = injector.draw()
@@ -455,7 +557,7 @@ def run_campaign(version_a: DiverseVersion, version_b: DiverseVersion,
                                     kind=spec.kind.value, victim=victim)
             trial = run_duplex_trial(version_a, version_b, spec, victim,
                                      oracle_output, round_instructions,
-                                     memory_words, max_rounds)
+                                     memory_words, max_rounds, prefix=prefix)
             if tracer is not None:
                 _end_trial_span(tracer, span, index, trial)
             if metrics is not None:

@@ -61,9 +61,11 @@ def install_permanent(machine: Machine, spec: FaultSpec) -> None:
         machine.store_fault = store_stuck
         # A stuck cell corrupts its current content immediately as well.
         current = int(machine.memory[victim])
-        machine.memory[victim] = (
-            (current | mask) if spec.stuck_value else (current & ~mask)
-        ) & WORD_MASK
+        machine.write_memory_word(
+            victim,
+            ((current | mask) if spec.stuck_value else (current & ~mask))
+            & WORD_MASK,
+        )
     else:
         raise FaultModelError(
             f"{spec.kind} is not a permanent fault; use apply_transient()"

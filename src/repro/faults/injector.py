@@ -66,6 +66,21 @@ class FaultInjector:
         self._probs = np.asarray([self.mix[k] for k in self._kinds], dtype=float)
         self._probs /= self._probs.sum()
 
+    def with_rng(self, rng: np.random.Generator) -> "FaultInjector":
+        """A clone drawing from ``rng``, with the same mix and bounds.
+
+        Shallow-copies the already-validated injector instead of
+        re-running construction validation — campaigns clone the template
+        once per trial, so the per-clone cost matters.  The clone shares
+        the (read-only) kind list and probability vector, keeping the draw
+        order identical to a freshly constructed injector.
+        """
+        import copy
+
+        clone = copy.copy(self)
+        clone.rng = rng
+        return clone
+
     def draw_kind(self) -> FaultKind:
         """Draw a fault class according to the mix."""
         idx = int(self.rng.choice(len(self._kinds), p=self._probs))

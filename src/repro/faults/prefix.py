@@ -1,0 +1,237 @@
+"""Fault-free prefix memoization for duplex trials.
+
+Every trial of a campaign re-executes the *same* fault-free duplex
+computation up to its strike round before anything interesting happens —
+for a fault landing in round *j*, rounds 1 … *j*−1 are byte-for-byte the
+clean execution.  This module computes that clean execution once per
+(version pair, limits) configuration, records the end-of-round
+architectural states of both machines, and lets
+:func:`~repro.faults.campaign.run_duplex_trial` resume a trial directly
+at round *j*−1 via :meth:`Machine.restore`.  Combined with copy-on-write
+snapshots the restore itself copies nothing.
+
+Exactness
+---------
+The memoized states are produced by the very loop the trial runs (same
+round budgets, same sync boundaries), and the builder verifies the clean
+run is well-behaved: no trap, no hang, no end-of-round mismatch.  Any
+anomaly marks the prefix unusable and every trial falls back to full
+execution, so enabling the cache can never change a campaign's results —
+a property the test suite asserts bit-exactly.
+
+Only fault kinds with a well-defined single-victim strike instant use the
+prefix (transients and crashes); permanent faults perturb execution from
+round 1 and processor stops race both machines to the instant, so both
+fall back.  With the default fault mix that still covers ~88 % of trials.
+
+The in-process memo is keyed by
+:func:`repro.parallel.cache.execution_prefix_fingerprint` and bounded;
+each worker process of a sharded campaign builds a given prefix at most
+once.  Disable with ``VDS_PREFIX_CACHE=0``; bound the memo with
+``VDS_PREFIX_CACHE_MAX`` (default 4 configurations).
+"""
+
+from __future__ import annotations
+
+import logging
+import os
+from bisect import bisect_right
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from repro.diversity.generator import DiverseVersion
+from repro.errors import MachineFault
+from repro.isa.machine import Machine
+from repro.isa.state import ArchState
+
+__all__ = [
+    "CleanPrefix",
+    "build_clean_prefix",
+    "get_clean_prefix",
+    "clear_prefix_memo",
+    "prefix_cache_enabled",
+]
+
+logger = logging.getLogger(__name__)
+
+
+def prefix_cache_enabled() -> bool:
+    """Whether the clean-prefix memo is enabled (``VDS_PREFIX_CACHE``)."""
+    raw = os.environ.get("VDS_PREFIX_CACHE", "1").strip().lower()
+    return raw not in {"0", "false", "off", "no"}
+
+
+def _memo_limit() -> int:
+    try:
+        return max(1, int(os.environ.get("VDS_PREFIX_CACHE_MAX", "4")))
+    except ValueError:
+        return 4
+
+
+@dataclass(frozen=True)
+class CleanPrefix:
+    """The memoized fault-free duplex execution of one version pair.
+
+    Attributes
+    ----------
+    snaps:
+        ``snaps[r-1]`` is the pair of end-of-round-*r* machine states.  A
+        machine that halted in an earlier round repeats its final state.
+    instret:
+        Per machine, the cumulative retired-instruction count at the end
+        of each round (``instret[v][r-1]`` after round *r*) — the strike
+        instant is located against this trajectory.
+    halt_round:
+        Per machine, the 1-based round in which it halted (None if it
+        never did within the built rounds).
+    total_rounds:
+        Rounds built.  When ``complete`` this is the round in which the
+        trial loop observes both machines halted.
+    complete:
+        True when the clean run finished (both machines halted) with
+        every end-of-round comparison clean.
+    final_output:
+        Machine 1's output stream at completion (oracle comparison for
+        trials whose fault never strikes).
+    round_instructions, memory_words, max_rounds:
+        The limits the prefix was built under; a trial with different
+        limits must not use it.
+    """
+
+    snaps: Tuple[Tuple[ArchState, ArchState], ...]
+    instret: Tuple[Tuple[int, ...], Tuple[int, ...]]
+    halt_round: Tuple[Optional[int], Optional[int]]
+    total_rounds: int
+    complete: bool
+    final_output: Tuple[int, ...]
+    round_instructions: int
+    memory_words: int
+    max_rounds: int
+
+    def matches(self, round_instructions: int, memory_words: int,
+                max_rounds: int) -> bool:
+        return (self.round_instructions == round_instructions
+                and self.memory_words == memory_words
+                and self.max_rounds == max_rounds)
+
+    def strike_round(self, victim: int, at_instruction: int) -> Optional[int]:
+        """The round in which a transient at ``at_instruction`` strikes.
+
+        The trial's injection logic fires the fault in the first round
+        whose end-of-round instret exceeds the instant, so this is the
+        smallest *j* with ``at_instruction < instret[victim][j]``.  Returns
+        ``None`` when the victim halts before ever reaching the instant
+        (the fault has no effect) — only meaningful when ``complete``.
+        """
+        trajectory = self.instret[victim - 1]
+        idx = bisect_right(trajectory, at_instruction)
+        if idx >= len(trajectory):
+            return None
+        return idx + 1
+
+
+def build_clean_prefix(version_a: DiverseVersion, version_b: DiverseVersion,
+                       round_instructions: int, memory_words: int,
+                       max_rounds: int) -> Optional[CleanPrefix]:
+    """Execute the fault-free duplex run and record it round by round.
+
+    Returns ``None`` when the clean run misbehaves (trap, hung round, or
+    end-of-round mismatch) — such configurations get no memoization and
+    every trial runs in full, which is always correct.
+    """
+    import numpy as np
+
+    masks = [version_a.encoding_mask or 0, version_b.encoding_mask or 0]
+    machines = [
+        Machine(version_a.program, memory_words=memory_words,
+                inputs=version_a.inputs, name="V1", fill=masks[0]),
+        Machine(version_b.program, memory_words=memory_words,
+                inputs=version_b.inputs, name="V2", fill=masks[1]),
+    ]
+    snaps: list[Tuple[ArchState, ArchState]] = []
+    instret: Tuple[list[int], list[int]] = ([], [])
+    halt_round: list[Optional[int]] = [None, None]
+    complete = False
+    rounds = 0
+    while rounds < max_rounds:
+        rounds += 1
+        for idx, m in enumerate(machines):
+            if m.halted:
+                continue
+            try:
+                r = m.run_round(round_instructions)
+            except MachineFault:
+                logger.warning("clean duplex run trapped in round %d; "
+                               "prefix memoization disabled for this pair",
+                               rounds)
+                return None
+            if r.budget_exhausted:
+                logger.warning("clean duplex run hung in round %d; "
+                               "prefix memoization disabled for this pair",
+                               rounds)
+                return None
+            if m.halted and halt_round[idx] is None:
+                halt_round[idx] = rounds
+        mem0 = machines[0].memory ^ np.uint32(masks[0])
+        mem1 = machines[1].memory ^ np.uint32(masks[1])
+        if (machines[0].output != machines[1].output
+                or machines[0].halted != machines[1].halted
+                or not np.array_equal(mem0, mem1)):
+            logger.warning("clean duplex run diverged in round %d; "
+                           "prefix memoization disabled for this pair",
+                           rounds)
+            return None
+        snaps.append((machines[0].snapshot(), machines[1].snapshot()))
+        instret[0].append(machines[0].instret)
+        instret[1].append(machines[1].instret)
+        if machines[0].halted and machines[1].halted:
+            complete = True
+            break
+    logger.debug("clean prefix built: %d rounds, complete=%s",
+                 rounds, complete)
+    return CleanPrefix(
+        snaps=tuple(snaps),
+        instret=(tuple(instret[0]), tuple(instret[1])),
+        halt_round=(halt_round[0], halt_round[1]),
+        total_rounds=rounds,
+        complete=complete,
+        final_output=tuple(machines[0].output),
+        round_instructions=round_instructions,
+        memory_words=memory_words,
+        max_rounds=max_rounds,
+    )
+
+
+# Per-process memo: fingerprint -> CleanPrefix | None (None memoizes a
+# misbehaving clean run so it is not rebuilt per trial block).
+_MEMO: dict[str, Optional[CleanPrefix]] = {}
+
+
+def get_clean_prefix(version_a: DiverseVersion, version_b: DiverseVersion,
+                     round_instructions: int, memory_words: int,
+                     max_rounds: int) -> Optional[CleanPrefix]:
+    """The memoized clean prefix for this configuration (or ``None``).
+
+    Returns ``None`` when the memo is disabled via ``VDS_PREFIX_CACHE=0``
+    or the clean run is unusable; callers then execute trials in full.
+    """
+    if not prefix_cache_enabled():
+        return None
+    from repro.parallel.cache import execution_prefix_fingerprint
+
+    key = execution_prefix_fingerprint(version_a, version_b,
+                                       round_instructions, memory_words,
+                                       max_rounds)
+    if key in _MEMO:
+        return _MEMO[key]
+    prefix = build_clean_prefix(version_a, version_b, round_instructions,
+                                memory_words, max_rounds)
+    while len(_MEMO) >= _memo_limit():
+        _MEMO.pop(next(iter(_MEMO)))
+    _MEMO[key] = prefix
+    return prefix
+
+
+def clear_prefix_memo() -> None:
+    """Drop every memoized prefix (tests, or after config changes)."""
+    _MEMO.clear()

@@ -175,21 +175,30 @@ class FullStackVDS:
                 "diverse versions disagree on round count; transforms must "
                 "preserve sync structure"
             )
+        # Integrity digests of the reference snapshots.  Consecutive
+        # snapshots share unmodified memory chunks' digests, so this hashes
+        # each mutated region once across the whole mission rather than the
+        # full memory image per round.
+        self.snapshot_digests: list[list[str]] = [
+            [s.signature() for s in snaps] for snaps in self.snapshots
+        ]
         #: mission length in rounds (program runs to completion)
         self.total_rounds = len(self.snapshots[0]) - 1
 
     # -- construction helpers ------------------------------------------------
     def _fresh_machine(self, index: int) -> Machine:
         v = self.versions[index]
-        return Machine(list(v.program), memory_words=self.config.memory_words,
-                       inputs=list(v.inputs), name=f"V{index + 1}",
+        # Pass the version's program *tuple* so every fresh machine hits
+        # the compiler's identity cache instead of re-hashing the program.
+        return Machine(v.program, memory_words=self.config.memory_words,
+                       inputs=v.inputs, name=f"V{index + 1}",
                        fill=self.masks[index])
 
     def _reference_run(self, version: DiverseVersion,
                        mask: int) -> list[ArchState]:
-        m = Machine(list(version.program),
+        m = Machine(version.program,
                     memory_words=self.config.memory_words,
-                    inputs=list(version.inputs), fill=mask)
+                    inputs=version.inputs, fill=mask)
         snaps = [m.snapshot()]
         while not m.halted:
             r = m.run_round(_ROUND_BUDGET)
@@ -199,6 +208,22 @@ class FullStackVDS:
                 )
             snaps.append(m.snapshot())
         return snaps
+
+    def _checked_snapshot(self, index: int, round_: int) -> ArchState:
+        """A reference snapshot, integrity-checked against its digest.
+
+        The signature is memoized on the state, so the check costs a
+        string compare per recovery; a state whose recorded digest no
+        longer matches (corrupted or swapped since construction) is
+        refused rather than silently restored.
+        """
+        state = self.snapshots[index][round_]
+        if state.signature() != self.snapshot_digests[index][round_]:
+            raise RecoveryError(
+                f"reference snapshot V{index + 1}@{round_} failed its "
+                f"integrity check"
+            )
+        return state
 
     # -- canonical state ----------------------------------------------------
     def _canonical(self, machine: Machine, mask: int) -> tuple:
@@ -352,7 +377,7 @@ class FullStackVDS:
         overhead = cfg.restore_cycles  # load V3's checkpoint state
         start_cycles = core.cycle
         v3 = self._fresh_machine(2)
-        v3.restore(self.snapshots[2][interval_base])
+        v3.restore(self._checked_snapshot(2, interval_base))
 
         stop_and_retry = (cfg.mode == "conventional"
                           or cfg.scheme == "stop-and-retry")
@@ -388,7 +413,8 @@ class FullStackVDS:
         if not any(agree):
             # No majority: roll both actives back to the checkpoint.
             for idx in (0, 1):
-                actives[idx].restore(self.snapshots[idx][interval_base])
+                actives[idx].restore(self._checked_snapshot(idx,
+                                                            interval_base))
             overhead += 2 * cfg.restore_cycles
             return (FullRecoveryRecord(detect_round, i, cycles, 0, None,
                                        resolved=False), overhead)
@@ -406,7 +432,7 @@ class FullStackVDS:
         # Repair: the faulty active is restored from its own reference
         # state at the certified round (application-level checkpoint
         # import — the paper's "state ... is copied to version 3" step).
-        actives[faulty].restore(self.snapshots[faulty][certified])
+        actives[faulty].restore(self._checked_snapshot(faulty, certified))
         overhead += cfg.restore_cycles
         # On a miss the chosen (faulty) active already got restored above;
         # the clean one sits at detect_round == certified.  On a hit the

@@ -23,6 +23,12 @@ Diverse versions are produced from these programs by
 
 from repro.isa.instructions import Instruction, Opcode, REGISTER_COUNT, WORD_MASK
 from repro.isa.assembler import assemble, disassemble
+from repro.isa.compiler import (
+    compile_program,
+    default_backend,
+    resolve_backend,
+    set_default_backend,
+)
 from repro.isa.machine import Machine, StepResult
 from repro.isa.state import ArchState
 from repro.isa.programs import PROGRAMS, load_program
@@ -34,6 +40,10 @@ __all__ = [
     "WORD_MASK",
     "assemble",
     "disassemble",
+    "compile_program",
+    "default_backend",
+    "resolve_backend",
+    "set_default_backend",
     "Machine",
     "StepResult",
     "ArchState",

@@ -1,0 +1,314 @@
+"""Ahead-of-time compilation of decoded programs to threaded code.
+
+The reference interpreter (:meth:`repro.isa.machine.Machine.step`) decodes
+every instruction on every execution: a 15-way ``if``/``elif`` chain over
+the opcode, operand tuple indexing, and property lookups — per retired
+instruction, millions of times per campaign.  This module removes the
+decode step from the hot path: :func:`compile_program` translates each
+instruction *once* into a specialised Python closure with its operands,
+immediates and branch targets bound at compile time and its ALU operation
+inlined.  Execution then becomes a tight threaded-code loop::
+
+    pc = handlers[pc](machine, pc)
+
+The compiled form is *observationally identical* to the reference
+interpreter: same architectural state transitions, same trap messages,
+kinds and pc attribution, same fault-hook call points (``alu_fault`` and
+``store_fault`` are read per execution, so hooks installed after
+compilation still fire).  A differential test drives both interpreters
+over randomised synthetic programs to keep it that way.
+
+Backend selection
+-----------------
+Machines pick their interpreter via the ``backend`` constructor argument;
+the process-wide default is ``"compiled"`` and can be changed with
+:func:`set_default_backend` or the ``VDS_INTERPRETER`` environment
+variable (``fast``/``compiled`` vs ``reference``/``slow``).  Compiled
+programs are cached per instruction sequence, so the many short-lived
+machines of a fault-injection campaign compile their program once.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Callable, Optional, Sequence, Tuple
+
+from repro.errors import ConfigurationError, MachineFault
+from repro.isa.instructions import Instruction, Opcode, WORD_BITS, WORD_MASK
+
+__all__ = [
+    "BACKEND_COMPILED",
+    "BACKEND_REFERENCE",
+    "CompiledProgram",
+    "compile_program",
+    "default_backend",
+    "resolve_backend",
+    "set_default_backend",
+]
+
+BACKEND_COMPILED = "compiled"
+BACKEND_REFERENCE = "reference"
+
+#: Accepted spellings for each backend (CLI flags and env var reuse these).
+_ALIASES = {
+    "compiled": BACKEND_COMPILED,
+    "fast": BACKEND_COMPILED,
+    "reference": BACKEND_REFERENCE,
+    "slow": BACKEND_REFERENCE,
+}
+
+#: Handler signature: ``handler(machine, pc) -> next_pc``.
+Handler = Callable[[object, int], int]
+
+_SIGN_BIT = 1 << (WORD_BITS - 1)
+_WRAP = 1 << WORD_BITS
+
+
+def _canonical_backend(name: str) -> str:
+    try:
+        return _ALIASES[name.strip().lower()]
+    except (KeyError, AttributeError):
+        raise ConfigurationError(
+            f"unknown interpreter backend {name!r}; "
+            f"expected one of {sorted(_ALIASES)}"
+        ) from None
+
+
+def _backend_from_env() -> str:
+    raw = os.environ.get("VDS_INTERPRETER")
+    return _canonical_backend(raw) if raw else BACKEND_COMPILED
+
+
+_default_backend = _backend_from_env()
+
+
+def default_backend() -> str:
+    """The process-wide default interpreter backend."""
+    return _default_backend
+
+
+def set_default_backend(name: str) -> str:
+    """Set the process-wide default backend; returns the canonical name."""
+    global _default_backend
+    _default_backend = _canonical_backend(name)
+    return _default_backend
+
+
+def resolve_backend(name: Optional[str]) -> str:
+    """Canonicalise an explicit backend choice (None → process default)."""
+    return _default_backend if name is None else _canonical_backend(name)
+
+
+class CompiledProgram:
+    """A program translated to per-instruction handlers.
+
+    Attributes
+    ----------
+    handlers:
+        One closure per instruction; ``handlers[pc](machine, pc)`` executes
+        the instruction and returns the next pc.
+    sync_flags:
+        ``sync_flags[pc]`` is True iff instruction ``pc`` is ``sync``
+        (round-boundary detection without touching the decoded program).
+    """
+
+    __slots__ = ("handlers", "sync_flags", "length")
+
+    def __init__(self, handlers: Tuple[Handler, ...],
+                 sync_flags: Tuple[bool, ...]):
+        self.handlers = handlers
+        self.sync_flags = sync_flags
+        self.length = len(handlers)
+
+
+def _compile_instruction(instr: Instruction) -> Handler:
+    """Translate one instruction into a specialised closure.
+
+    Operands are bound as default arguments (locals in CPython — no cell
+    lookups in the hot path).  Trap paths write ``m.pc`` before raising so
+    a fault surfaces with the same pc attribution as the reference
+    interpreter's mid-step traps.
+    """
+    op = instr.op
+    args = instr.args
+
+    if op is Opcode.LOADI:
+        def h(m, pc, rd=args[0], imm=args[1] & WORD_MASK):
+            m.registers[rd] = imm
+            return pc + 1
+        return h
+    if op is Opcode.MOV:
+        def h(m, pc, rd=args[0], rs=args[1]):
+            regs = m.registers
+            regs[rd] = regs[rs]
+            return pc + 1
+        return h
+    if op in (Opcode.ADD, Opcode.SUB, Opcode.MUL, Opcode.AND, Opcode.OR,
+              Opcode.XOR, Opcode.SHL, Opcode.SHR):
+        rd, ra, rb = args
+        if op is Opcode.ADD:
+            def alu(a, b):
+                return (a + b) & WORD_MASK
+        elif op is Opcode.SUB:
+            def alu(a, b):
+                return (a - b) & WORD_MASK
+        elif op is Opcode.MUL:
+            def alu(a, b):
+                return (a * b) & WORD_MASK
+        elif op is Opcode.AND:
+            def alu(a, b):
+                return a & b
+        elif op is Opcode.OR:
+            def alu(a, b):
+                return a | b
+        elif op is Opcode.XOR:
+            def alu(a, b):
+                return a ^ b
+        elif op is Opcode.SHL:
+            def alu(a, b):
+                return (a << (b % WORD_BITS)) & WORD_MASK
+        else:  # SHR
+            def alu(a, b):
+                return a >> (b % WORD_BITS)
+
+        def h(m, pc, rd=rd, ra=ra, rb=rb, alu=alu, op=op):
+            regs = m.registers
+            result = alu(regs[ra], regs[rb])
+            fault = m.alu_fault
+            if fault is not None:
+                result = fault(op, result) & WORD_MASK
+            regs[rd] = result
+            return pc + 1
+        return h
+    if op in (Opcode.DIV, Opcode.MOD):
+        rd, ra, rb = args
+        is_div = op is Opcode.DIV
+        what = "division" if is_div else "modulo"
+
+        def h(m, pc, rd=rd, ra=ra, rb=rb, is_div=is_div, what=what, op=op):
+            regs = m.registers
+            b = regs[rb]
+            if b == 0:
+                m.pc = pc
+                raise MachineFault(f"{m.name}: {what} by zero",
+                                   kind="arithmetic", pc=pc)
+            result = (regs[ra] // b if is_div else regs[ra] % b) & WORD_MASK
+            fault = m.alu_fault
+            if fault is not None:
+                result = fault(op, result) & WORD_MASK
+            regs[rd] = result
+            return pc + 1
+        return h
+    if op is Opcode.LOAD:
+        def h(m, pc, rd=args[0], ra=args[1], off=args[2]):
+            address = (m.registers[ra] + off) & WORD_MASK
+            mem = m.memory
+            if address >= len(mem):
+                m.pc = pc
+                raise MachineFault(
+                    f"{m.name}: load access violation at {address}",
+                    kind="access-violation", pc=pc,
+                )
+            m.registers[rd] = int(mem[address])
+            return pc + 1
+        return h
+    if op is Opcode.STORE:
+        def h(m, pc, ra=args[0], off=args[1], rs=args[2]):
+            regs = m.registers
+            address = (regs[ra] + off) & WORD_MASK
+            if address >= len(m.memory):
+                m.pc = pc
+                raise MachineFault(
+                    f"{m.name}: store access violation at {address}",
+                    kind="access-violation", pc=pc,
+                )
+            value = regs[rs]
+            fault = m.store_fault
+            if fault is not None:
+                value = fault(address, value & WORD_MASK)
+            m._store_word(address, value & WORD_MASK)
+            return pc + 1
+        return h
+    if op is Opcode.JMP:
+        def h(m, pc, target=args[0]):
+            return target
+        return h
+    if op in (Opcode.BEQ, Opcode.BNE):
+        ra, rb, target = args
+        want_equal = op is Opcode.BEQ
+
+        def h(m, pc, ra=ra, rb=rb, target=target, want_equal=want_equal):
+            regs = m.registers
+            if (regs[ra] == regs[rb]) is want_equal:
+                return target
+            return pc + 1
+        return h
+    if op in (Opcode.BLT, Opcode.BGE):
+        ra, rb, target = args
+        want_less = op is Opcode.BLT
+
+        def h(m, pc, ra=ra, rb=rb, target=target, want_less=want_less):
+            regs = m.registers
+            a = regs[ra]
+            b = regs[rb]
+            if a >= _SIGN_BIT:
+                a -= _WRAP
+            if b >= _SIGN_BIT:
+                b -= _WRAP
+            if (a < b) is want_less:
+                return target
+            return pc + 1
+        return h
+    if op is Opcode.OUT:
+        def h(m, pc, rs=args[0]):
+            m.output.append(m.registers[rs])
+            return pc + 1
+        return h
+    if op is Opcode.NOP or op is Opcode.SYNC:
+        def h(m, pc):
+            return pc + 1
+        return h
+    if op is Opcode.HALT:
+        def h(m, pc):
+            m.halted = True
+            return pc
+        return h
+    raise MachineFault(f"illegal opcode {op}", kind="decode")  # pragma: no cover
+
+
+#: Compiled-program cache: instruction tuple → CompiledProgram.  Bounded
+#: FIFO — campaigns cycle through a handful of programs, so the bound only
+#: guards pathological callers generating programs in a loop.
+_CACHE: dict[Tuple[Instruction, ...], CompiledProgram] = {}
+_CACHE_LIMIT = 128
+
+#: Identity fast path: id(program tuple) → (program, CompiledProgram).
+#: Hashing a whole instruction tuple on every Machine construction costs
+#: more than a short campaign trial, and campaigns construct thousands of
+#: machines over the *same* program tuples.  Entries hold a strong
+#: reference to the keyed tuple, so its id cannot be recycled while the
+#: entry lives; only immutable tuples take this path.
+_BY_ID: dict[int, Tuple[Tuple[Instruction, ...], CompiledProgram]] = {}
+
+
+def compile_program(program: Sequence[Instruction]) -> CompiledProgram:
+    """Compile (or fetch the cached compilation of) a decoded program."""
+    interned = isinstance(program, tuple)
+    if interned:
+        hit = _BY_ID.get(id(program))
+        if hit is not None and hit[0] is program:
+            return hit[1]
+    key = tuple(program)
+    compiled = _CACHE.get(key)
+    if compiled is None:
+        handlers = tuple(_compile_instruction(instr) for instr in key)
+        sync_flags = tuple(instr.op is Opcode.SYNC for instr in key)
+        compiled = CompiledProgram(handlers, sync_flags)
+        if len(_CACHE) >= _CACHE_LIMIT:
+            _CACHE.pop(next(iter(_CACHE)))
+        _CACHE[key] = compiled
+    if interned:
+        if len(_BY_ID) >= _CACHE_LIMIT:
+            _BY_ID.pop(next(iter(_BY_ID)))
+        _BY_ID[id(program)] = (program, compiled)
+    return compiled

@@ -16,6 +16,26 @@ The machine exposes the mutation points the fault models need:
   *permanent* datapath faults (stuck-at).  Because diverse versions use the
   datapath differently, the same permanent fault perturbs their states
   differently — the diversity assumption of the paper's fault model.
+
+Interpreter backends
+--------------------
+Two observationally identical interpreters execute the program: the
+*reference* 15-way decode chain in :meth:`Machine.step` (kept as the
+semantic ground truth) and the *compiled* threaded-code backend from
+:mod:`repro.isa.compiler` (the default — each instruction is an AOT
+specialised closure).  Select per machine with ``backend=`` or process-wide
+via ``VDS_INTERPRETER`` / :func:`repro.isa.compiler.set_default_backend`.
+
+Copy-on-write snapshots and dirty tracking
+------------------------------------------
+:meth:`snapshot` freezes the live memory array in place and hands it to the
+:class:`~repro.isa.state.ArchState` without copying; the next write
+materialises a private copy (copy-on-write).  :meth:`restore` likewise
+adopts the snapshot's frozen array.  Every memory-mutation path also
+records the touched word in :attr:`dirty_words` (``None`` until the first
+comparison baseline is established) and the touched 64-word chunk since the
+last snapshot, which lets duplex comparison and state digests re-examine
+only mutated regions.
 """
 
 from __future__ import annotations
@@ -26,6 +46,11 @@ from typing import Callable, Optional, Sequence
 import numpy as np
 
 from repro.errors import MachineFault
+from repro.isa.compiler import (
+    BACKEND_COMPILED,
+    compile_program,
+    resolve_backend,
+)
 from repro.isa.instructions import (
     Instruction,
     Opcode,
@@ -34,7 +59,7 @@ from repro.isa.instructions import (
     WORD_MASK,
     to_signed,
 )
-from repro.isa.state import ArchState
+from repro.isa.state import CHUNK_SHIFT, ArchState
 
 __all__ = ["Machine", "StepResult"]
 
@@ -76,12 +101,19 @@ class Machine:
 
     def __init__(self, program: Sequence[Instruction], memory_words: int = 256,
                  inputs: Optional[Sequence[int]] = None, name: str = "machine",
-                 fill: int = 0):
+                 fill: int = 0, backend: Optional[str] = None):
         if memory_words < 1:
             raise MachineFault(f"memory_words must be >= 1, got {memory_words}",
                                kind="config")
         self.program = list(program)
         self.name = name
+        #: Which interpreter executes this machine ("compiled"/"reference").
+        self.backend = resolve_backend(backend)
+        # Compile from the caller's sequence (not the private list copy):
+        # passing the same program tuple repeatedly hits the compiler's
+        # identity fast path instead of re-hashing every instruction.
+        self._compiled = (compile_program(program)
+                          if self.backend == BACKEND_COMPILED else None)
         #: unique address-space id (cache accessor key)
         self.asid = Machine._next_asid
         Machine._next_asid += 1
@@ -104,6 +136,13 @@ class Machine:
         self.alu_fault: Optional[Callable[[Opcode, int], int]] = None
         #: Optional permanent-fault hook: (address, value) -> stored value.
         self.store_fault: Optional[Callable[[int, int], int]] = None
+        #: Word addresses written since the last comparison baseline; ``None``
+        #: means "unknown" (no baseline yet) and forces a full comparison.
+        self.dirty_words: Optional[set[int]] = None
+        # Chunk indices written since the last snapshot (digest seeding), and
+        # the snapshot they are relative to.  None until the first snapshot.
+        self._snap_dirty_chunks: Optional[set[int]] = None
+        self._snap_state: Optional[ArchState] = None
 
     # -- fault hooks ---------------------------------------------------------
     def flip_register_bit(self, reg: int, bit: int) -> None:
@@ -120,7 +159,8 @@ class Machine:
             raise MachineFault(f"bad address {address}", kind="config")
         if not (0 <= bit < WORD_BITS):
             raise MachineFault(f"bad bit {bit}", kind="config")
-        self.memory[address] ^= np.uint32(1 << bit)
+        self._store_word(address,
+                         int(self.memory[address]) ^ (1 << bit))
 
     def flip_pc_bit(self, bit: int) -> None:
         """Transient control-flow fault: flip one bit of the pc."""
@@ -128,28 +168,76 @@ class Machine:
             raise MachineFault(f"bad bit {bit}", kind="config")
         self.pc ^= 1 << bit
 
+    # -- memory write path (copy-on-write + dirty tracking) ------------------
+    def _store_word(self, address: int, value: int) -> None:
+        """Write one (pre-masked) word, materialising a frozen array first.
+
+        Every memory mutation funnels through here so copy-on-write and the
+        dirty bookkeeping cannot be bypassed.
+        """
+        mem = self.memory
+        if not mem.flags.writeable:
+            mem = mem.copy()
+            self.memory = mem
+        mem[address] = value
+        if self.dirty_words is not None:
+            self.dirty_words.add(address)
+        if self._snap_dirty_chunks is not None:
+            self._snap_dirty_chunks.add(address >> CHUNK_SHIFT)
+
+    def write_memory_word(self, address: int, value: int) -> None:
+        """Externally poke one memory word (fault models, test harnesses)."""
+        if not (0 <= address < len(self.memory)):
+            raise MachineFault(f"bad address {address}", kind="config")
+        self._store_word(address, value & WORD_MASK)
+
     # -- state ---------------------------------------------------------------
     def snapshot(self) -> ArchState:
-        """Immutable copy of the full architectural state."""
-        return ArchState(
+        """Immutable snapshot of the full architectural state.
+
+        The live memory array is frozen in place and *shared* with the
+        snapshot — no copy is made on the save path.  The next store to
+        this machine materialises a private copy (copy-on-write), so the
+        snapshot stays immutable.  When the previous snapshot's chunk
+        digests are known, the new snapshot inherits every digest whose
+        chunk was not written since, making repeated ``signature()`` calls
+        incremental.
+        """
+        self.memory.setflags(write=False)
+        state = ArchState(
             registers=tuple(self.registers),
-            memory=self.memory.copy(),
+            memory=self.memory,
             pc=self.pc,
             halted=self.halted,
             output=tuple(self.output),
             instret=self.instret,
         )
+        prev = self._snap_state
+        if prev is not None and self._snap_dirty_chunks is not None:
+            state.seed_chunks_from(prev, self._snap_dirty_chunks)
+        self._snap_state = state
+        self._snap_dirty_chunks = set()
+        return state
 
     def restore(self, state: ArchState) -> None:
-        """Restore a snapshot (rollback to a checkpoint)."""
+        """Restore a snapshot (rollback to a checkpoint).
+
+        The snapshot's frozen memory array is adopted directly — combined
+        with the copy-free :meth:`snapshot`, a save/rollback round-trip
+        copies memory at most once (lazily, on the first store after the
+        save) instead of on both paths.
+        """
         if len(state.memory) != len(self.memory):
             raise MachineFault("snapshot memory size mismatch", kind="config")
         self.registers = list(state.registers)
-        self.memory = state.memory.copy()
+        self.memory = state.memory
         self.pc = state.pc
         self.halted = state.halted
         self.output = list(state.output)
         self.instret = state.instret
+        self.dirty_words = None
+        self._snap_state = state
+        self._snap_dirty_chunks = set()
 
     # -- execution -----------------------------------------------------------
     def _read_mem(self, address: int) -> int:
@@ -168,7 +256,7 @@ class Machine:
             )
         if self.store_fault is not None:
             value = self.store_fault(address, value & WORD_MASK)
-        self.memory[address] = np.uint32(value & WORD_MASK)
+        self._store_word(address, value & WORD_MASK)
 
     def _alu(self, op: Opcode, a: int, b: int) -> int:
         if op is Opcode.ADD:
@@ -205,7 +293,27 @@ class Machine:
         return result
 
     def step(self) -> None:
-        """Execute one instruction."""
+        """Execute one instruction (whichever backend is active)."""
+        compiled = self._compiled
+        if compiled is None:
+            return self._step_reference()
+        if self.halted:
+            return
+        pc = self.pc
+        if not (0 <= pc < compiled.length):
+            raise MachineFault(
+                f"{self.name}: pc {pc} outside program",
+                kind="control-flow", pc=pc,
+            )
+        self.pc = compiled.handlers[pc](self, pc)
+        self.instret += 1
+
+    def _step_reference(self) -> None:
+        """Execute one instruction with the reference decode chain.
+
+        This is the semantic ground truth the compiled backend is checked
+        against — keep it boring and obviously correct.
+        """
         if self.halted:
             return
         if not (0 <= self.pc < len(self.program)):
@@ -267,6 +375,8 @@ class Machine:
         """
         if max_instructions < 0:
             raise MachineFault("max_instructions must be >= 0", kind="config")
+        if self._compiled is not None:
+            return self._run_compiled(max_instructions, stop_at_sync)
         executed = 0
         hit_sync = False
         while executed < max_instructions and not self.halted:
@@ -279,6 +389,47 @@ class Machine:
             if stop_at_sync and was_sync:
                 hit_sync = True
                 break
+        return StepResult(
+            executed=executed,
+            halted=self.halted,
+            budget_exhausted=(executed >= max_instructions
+                              and not self.halted and not hit_sync),
+            hit_sync=hit_sync,
+        )
+
+    def _run_compiled(self, max_instructions: int,
+                      stop_at_sync: bool) -> StepResult:
+        """Threaded-code execution loop over the compiled handlers.
+
+        The pc lives in a local while the loop spins; the ``finally`` block
+        writes pc and instret back so a mid-handler trap leaves the machine
+        exactly where the reference interpreter would (pc on the trapping
+        instruction, instret not counting it).
+        """
+        compiled = self._compiled
+        handlers = compiled.handlers
+        sync_flags = compiled.sync_flags
+        length = compiled.length
+        pc = self.pc
+        executed = 0
+        hit_sync = False
+        try:
+            while executed < max_instructions and not self.halted:
+                if not (0 <= pc < length):
+                    raise MachineFault(
+                        f"{self.name}: pc {pc} outside program",
+                        kind="control-flow", pc=pc,
+                    )
+                if stop_at_sync and sync_flags[pc]:
+                    pc = handlers[pc](self, pc)
+                    executed += 1
+                    hit_sync = True
+                    break
+                pc = handlers[pc](self, pc)
+                executed += 1
+        finally:
+            self.pc = pc
+            self.instret += executed
         return StepResult(
             executed=executed,
             halted=self.halted,

@@ -11,19 +11,32 @@ are provided here:
   checkpoint integrity),
 * :meth:`ArchState.comparable` — the canonical tuple the VDS comparator
   votes on.
+
+Incremental digests
+-------------------
+States are immutable, so :meth:`ArchState.signature` is computed at most
+once per snapshot and cached.  The memory contribution is hashed in
+fixed-size chunks (:data:`CHUNK_WORDS` words) whose per-chunk digests are
+cached separately: :meth:`ArchState.seed_chunks_from` lets a machine hand a
+new snapshot the previous snapshot's chunk digests minus the chunks written
+in between, so per-round re-hashing touches only mutated memory regions.
 """
 
 from __future__ import annotations
 
 import hashlib
 from dataclasses import dataclass
-from typing import Optional, Sequence, Tuple
+from typing import List, Optional, Sequence, Set, Tuple
 
 import numpy as np
 
 from repro.isa.instructions import REGISTER_COUNT, WORD_MASK
 
-__all__ = ["ArchState"]
+__all__ = ["ArchState", "CHUNK_WORDS", "CHUNK_SHIFT"]
+
+#: Words per digest chunk (must be a power of two; 64 words = 256 bytes).
+CHUNK_WORDS = 64
+CHUNK_SHIFT = CHUNK_WORDS.bit_length() - 1
 
 
 @dataclass(frozen=True)
@@ -61,21 +74,69 @@ class ArchState:
         mem = np.ascontiguousarray(self.memory, dtype=np.uint32)
         object.__setattr__(self, "memory", mem)
         mem.setflags(write=False)
+        # Digest caches (not dataclass fields: excluded from ==/repr).  The
+        # state is immutable so both are computed at most once.
+        object.__setattr__(self, "_sig", None)
+        object.__setattr__(self, "_chunks", None)
 
     # -- hashing -------------------------------------------------------------
+    def _chunk_digests(self) -> List[Optional[bytes]]:
+        """Per-chunk memory digests; missing entries computed on demand."""
+        chunks = self.__dict__["_chunks"]
+        n_chunks = (len(self.memory) + CHUNK_WORDS - 1) // CHUNK_WORDS
+        if chunks is None:
+            chunks = [None] * n_chunks
+            object.__setattr__(self, "_chunks", chunks)
+        view = memoryview(self.memory).cast("B")
+        stride = CHUNK_WORDS * self.memory.itemsize
+        for i in range(n_chunks):
+            if chunks[i] is None:
+                chunks[i] = hashlib.sha256(
+                    view[i * stride:(i + 1) * stride]).digest()
+        return chunks
+
+    def seed_chunks_from(self, prev: "ArchState",
+                         dirty_chunks: Set[int]) -> None:
+        """Inherit ``prev``'s memory-chunk digests except the dirty ones.
+
+        Called by :meth:`repro.isa.machine.Machine.snapshot` right after
+        construction: ``dirty_chunks`` are the chunk indices written since
+        ``prev`` was taken, so every other digest is still valid for this
+        state.  A later :meth:`signature` then re-hashes only the dirty
+        chunks.  No-op when ``prev`` never computed its digests (nothing to
+        inherit) or the memory sizes differ.
+        """
+        prev_chunks = prev.__dict__["_chunks"]
+        if prev_chunks is None or len(prev.memory) != len(self.memory):
+            return
+        chunks = list(prev_chunks)
+        for i in dirty_chunks:
+            if 0 <= i < len(chunks):
+                chunks[i] = None
+        object.__setattr__(self, "_chunks", chunks)
+
     def signature(self) -> str:
-        """SHA-256 over the full raw state (hex digest).
+        """SHA-256 over the full raw state (hex digest, memoized).
 
         Used as the checkpoint integrity tag; any single bit flip anywhere
-        in the state changes the signature.
+        in the state changes the signature.  The memory contribution is the
+        concatenation of per-chunk SHA-256 digests so that successive
+        snapshots (which share unmodified chunks' digests via
+        :meth:`seed_chunks_from`) re-hash only mutated regions.
         """
+        cached = self.__dict__["_sig"]
+        if cached is not None:
+            return cached
         h = hashlib.sha256()
         h.update(np.asarray(self.registers, dtype=np.uint32).tobytes())
-        h.update(self.memory.tobytes())
+        for digest in self._chunk_digests():
+            h.update(digest)
         h.update(self.pc.to_bytes(8, "little"))
         h.update(b"\x01" if self.halted else b"\x00")
         h.update(np.asarray(self.output, dtype=np.uint32).tobytes())
-        return h.hexdigest()
+        sig = h.hexdigest()
+        object.__setattr__(self, "_sig", sig)
+        return sig
 
     def comparable(self, result_region: Optional[Sequence[int]] = None
                    ) -> tuple:

@@ -32,7 +32,12 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.faults.campaign import CampaignResult
     from repro.faults.injector import FaultInjector
 
-__all__ = ["CACHE_SCHEMA", "CampaignCache", "campaign_fingerprint"]
+__all__ = [
+    "CACHE_SCHEMA",
+    "CampaignCache",
+    "campaign_fingerprint",
+    "execution_prefix_fingerprint",
+]
 
 logger = logging.getLogger(__name__)
 
@@ -94,6 +99,34 @@ def campaign_fingerprint(
             "memory_words": injector.memory_words,
             "max_instruction": injector.max_instruction,
         },
+        "round_instructions": int(round_instructions),
+        "memory_words": int(memory_words),
+        "max_rounds": int(max_rounds),
+    }
+    blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+
+def execution_prefix_fingerprint(
+    version_a: "DiverseVersion",
+    version_b: "DiverseVersion",
+    round_instructions: int,
+    memory_words: int,
+    max_rounds: int,
+) -> str:
+    """Hex digest identifying one *fault-free duplex execution* exactly.
+
+    The key for the clean-prefix memo (:mod:`repro.faults.prefix`): it
+    covers everything that determines the clean round-by-round trajectory
+    of a version pair — but deliberately *not* the campaign's seed, trial
+    count, oracle, or injector, which only affect where faults land.  All
+    trials of every campaign over the same pair and limits therefore share
+    one prefix.
+    """
+    payload = {
+        "schema": CACHE_SCHEMA,
+        "code_version": __version__,
+        "versions": [_describe_version(version_a), _describe_version(version_b)],
         "round_instructions": int(round_instructions),
         "memory_words": int(memory_words),
         "max_rounds": int(max_rounds),

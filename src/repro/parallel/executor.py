@@ -30,8 +30,10 @@ from repro.diversity.generator import DiverseVersion
 from repro.faults.campaign import (
     CampaignResult,
     record_block_metrics,
+    record_interpreter_metric,
     run_trial_block,
 )
+from repro.isa.compiler import default_backend
 from repro.faults.injector import FaultInjector
 from repro.obs.metrics import MetricsRegistry, get_registry
 from repro.obs.profile import Profiler
@@ -90,6 +92,9 @@ class _ShardTask:
     first_trial_index: int = 0
     collect_trace: bool = False
     collect_metrics: bool = False
+    #: Interpreter backend the parent resolved; workers adopt it so a
+    #: programmatic set_default_backend() survives pool spawn.
+    backend: str = "compiled"
 
 
 @dataclass(frozen=True)
@@ -103,6 +108,9 @@ class _ShardOutput:
 
 
 def _execute_shard(task: _ShardTask) -> _ShardOutput:
+    from repro.isa.compiler import set_default_backend
+
+    set_default_backend(task.backend)
     tracer = Tracer() if task.collect_trace else None
     metrics = MetricsRegistry() if task.collect_metrics else None
     collect = task.collect_trace or task.collect_metrics
@@ -200,7 +208,10 @@ def run_sharded_campaign(
             mode="sharded",
             workers=workers,
             shards=len(shards),
+            vds_interpreter=default_backend(),
         )
+    if metrics is not None:
+        record_interpreter_metric(metrics)
 
     hits_before = cache.hits if cache is not None else 0
     misses_before = cache.misses if cache is not None else 0
@@ -236,6 +247,7 @@ def run_sharded_campaign(
                 first_trial_index=start,
                 collect_trace=tracer is not None,
                 collect_metrics=metrics is not None,
+                backend=default_backend(),
             )
         )
     computed = parallel_map(_execute_shard, tasks, workers)

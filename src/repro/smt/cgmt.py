@@ -69,40 +69,7 @@ class CGMTProcessor(SMTProcessor):
 
         ports = {"alu": cfg.alu_ports, "mem": cfg.mem_ports,
                  "branch": cfg.branch_ports, "other": cfg.issue_width}
-        slots = cfg.issue_width
-        machine = thread.machine
-        written: set[int] = set()
-        missed = False
-        while slots > 0 and not machine.halted:
-            kind = self._port_kind(machine)
-            reads, writes = self._reads_writes(machine)
-            if reads & written or writes & written:
-                break
-            if ports[kind] == 0:
-                self.counters.stall(self._active)
-                break
-            slots -= 1
-            if kind != "other":
-                ports[kind] -= 1
-            extra = 0
-            if kind == "mem":
-                address = self._memory_address(machine)
-                if address is not None:
-                    extra = self.cache.access(machine.asid, address)
-            machine.step()
-            thread.retired += 1
-            self.counters.retire(self._active)
-            written |= writes
-            if extra:
-                thread.blocked_until = self.cycle + 1 + extra
-                self.counters.block(self._active, extra)
-                missed = True
-                break
-            if (thread.stop_at_instret is not None
-                    and machine.instret >= thread.stop_at_instret):
-                break
-            if kind in ("branch", "mem"):
-                break
+        _slots, missed = self._issue_from(thread, ports, cfg.issue_width)
         if missed:
             nxt = self._pick_next_ready()
             if nxt is not None and nxt != self._active:

@@ -23,16 +23,102 @@ Pentium-4 operating point the paper cites.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
+from typing import Optional, Sequence, Tuple
 
 from repro.errors import ConfigurationError, MachineFault
-from repro.isa.instructions import Opcode
+from repro.isa.instructions import Instruction, Opcode
 from repro.isa.machine import Machine
 from repro.smt.cache import CacheConfig, DirectMappedCache
 from repro.smt.perf_counters import PerfCounters
 from repro.smt.thread import HardwareThread, ThreadState
 
 __all__ = ["CoreConfig", "SMTProcessor"]
+
+_EMPTY_REGS: frozenset = frozenset()
+
+
+class _StaticDecode:
+    """Precomputed per-pc issue metadata for one program.
+
+    The port an instruction needs, the registers it reads/writes and the
+    shape of its memory operand are static properties of the instruction —
+    re-deriving them on every issued instruction (opcode-set membership,
+    operand-list building, property lookups) was the core's hottest path.
+    One table per program, shared by every machine executing it.
+
+    ``mem[pc]`` is ``(base_register, offset)`` for loads/stores (effective
+    address = ``(regs[base] + offset) & 0xFFFFFFFF``), else ``None``.
+    """
+
+    __slots__ = ("kinds", "reads", "writes", "mem")
+
+    def __init__(self, program: Sequence[Instruction]) -> None:
+        from repro.isa.assembler import REGISTER_OPERANDS
+
+        kinds: list[str] = []
+        reads: list[frozenset] = []
+        writes: list[frozenset] = []
+        mem: list[Optional[Tuple[int, int]]] = []
+        for instr in program:
+            op = instr.op
+            if instr.is_alu:
+                kinds.append("alu")
+            elif instr.is_memory:
+                kinds.append("mem")
+            elif instr.is_branch:
+                kinds.append("branch")
+            else:
+                kinds.append("other")
+            regs = [instr.args[p] for p in REGISTER_OPERANDS[op]]
+            if not regs:
+                r = w = _EMPTY_REGS
+            elif op in (Opcode.STORE, Opcode.OUT) or instr.is_branch:
+                r, w = frozenset(regs), _EMPTY_REGS
+            elif op is Opcode.LOADI:
+                r, w = _EMPTY_REGS, frozenset((regs[0],))
+            else:
+                r, w = frozenset(regs[1:]), frozenset((regs[0],))
+            reads.append(r)
+            writes.append(w)
+            if op is Opcode.LOAD:
+                mem.append((instr.args[1], instr.args[2]))
+            elif op is Opcode.STORE:
+                mem.append((instr.args[0], instr.args[1]))
+            else:
+                mem.append(None)
+        self.kinds = tuple(kinds)
+        self.reads = tuple(reads)
+        self.writes = tuple(writes)
+        self.mem = tuple(mem)
+
+
+# Decode tables keyed by the machine's cached CompiledProgram: campaigns
+# run thousands of machines over a handful of programs, and the compiler
+# already interns those (identity + content caches), so its object is a
+# ready-made shared key.  The entry holds a strong reference to the keyed
+# object so its id cannot be recycled while the entry lives.  Machines on
+# the reference backend (no compiled program) stash the table on
+# themselves instead.
+_DECODE_LIMIT = 128
+_DECODE_BY_COMPILED: dict[int, Tuple[object, _StaticDecode]] = {}
+
+
+def _static_decode(machine: Machine) -> _StaticDecode:
+    compiled = machine._compiled
+    if compiled is None:
+        table = machine.__dict__.get("_smt_decode")
+        if table is None:
+            table = _StaticDecode(machine.program)
+            machine._smt_decode = table
+        return table
+    hit = _DECODE_BY_COMPILED.get(id(compiled))
+    if hit is not None and hit[0] is compiled:
+        return hit[1]
+    table = _StaticDecode(machine.program)
+    if len(_DECODE_BY_COMPILED) >= _DECODE_LIMIT:
+        _DECODE_BY_COMPILED.pop(next(iter(_DECODE_BY_COMPILED)))
+    _DECODE_BY_COMPILED[id(compiled)] = (compiled, table)
+    return table
 
 
 @dataclass(frozen=True)
@@ -83,55 +169,74 @@ class SMTProcessor:
     def active_threads(self) -> list[HardwareThread]:
         return [t for t in self.threads if t.machine is not None]
 
-    # -- classification --------------------------------------------------------
-    @staticmethod
-    def _port_kind(machine: Machine) -> str:
-        """Which port the thread's *next* instruction needs."""
-        pc = machine.pc
-        if not (0 <= pc < len(machine.program)):
-            return "other"  # will trap on step(); no port contention
-        instr = machine.program[pc]
-        if instr.is_alu:
-            return "alu"
-        if instr.is_memory:
-            return "mem"
-        if instr.is_branch:
-            return "branch"
-        return "other"
-
-    @staticmethod
-    def _memory_address(machine: Machine) -> Optional[int]:
-        """Effective address of the next instruction if it is a load/store."""
-        pc = machine.pc
-        if not (0 <= pc < len(machine.program)):
-            return None
-        instr = machine.program[pc]
-        if instr.op is Opcode.LOAD:
-            return (machine.registers[instr.args[1]] + instr.args[2]) & 0xFFFFFFFF
-        if instr.op is Opcode.STORE:
-            return (machine.registers[instr.args[0]] + instr.args[1]) & 0xFFFFFFFF
-        return None
-
-    @staticmethod
-    def _reads_writes(machine: Machine) -> tuple[set[int], set[int]]:
-        """Registers the next instruction reads / writes (for same-cycle
-        dependency checks; no intra-cycle forwarding)."""
-        from repro.isa.assembler import REGISTER_OPERANDS
-
-        pc = machine.pc
-        if not (0 <= pc < len(machine.program)):
-            return set(), set()
-        instr = machine.program[pc]
-        regs = [instr.args[p] for p in REGISTER_OPERANDS[instr.op]]
-        if not regs:
-            return set(), set()
-        if instr.op in (Opcode.STORE, Opcode.OUT) or instr.is_branch:
-            return set(regs), set()
-        if instr.op is Opcode.LOADI:
-            return set(), {regs[0]}
-        return set(regs[1:]), {regs[0]}
-
     # -- core loop ---------------------------------------------------------
+    def _issue_from(self, thread: HardwareThread, ports: dict[str, int],
+                    slots: int) -> tuple[int, bool]:
+        """Issue from one READY thread until a per-cycle limit hits.
+
+        Returns ``(slots_left, missed)`` where ``missed`` reports whether
+        the thread blocked on a cache miss (the CGMT variant switches
+        threads on it).  Instruction classification comes from the
+        program's precomputed :class:`_StaticDecode` table, so the loop
+        does no per-instruction decoding of its own.
+        """
+        hw = thread.hw_id
+        machine = thread.machine
+        dec = _static_decode(machine)
+        kinds, reads_t, writes_t, mem_t = (dec.kinds, dec.reads,
+                                           dec.writes, dec.mem)
+        length = len(kinds)
+        counters = self.counters
+        stop_at = thread.stop_at_instret
+        written: set[int] = set()
+        retired = 0
+        missed = False
+        try:
+            while slots > 0 and not machine.halted:
+                pc = machine.pc
+                if 0 <= pc < length:
+                    kind = kinds[pc]
+                    reads = reads_t[pc]
+                    writes = writes_t[pc]
+                else:
+                    # will trap on step(); no port contention
+                    kind = "other"
+                    reads = writes = _EMPTY_REGS
+                if written and not (written.isdisjoint(reads)
+                                    and written.isdisjoint(writes)):
+                    break  # same-cycle RAW/WAW: wait for the next cycle
+                if ports[kind] == 0:
+                    counters.stall(hw)
+                    break
+                slots -= 1
+                if kind != "other":
+                    ports[kind] -= 1
+                extra = 0
+                if kind == "mem":
+                    base, off = mem_t[pc]
+                    address = (machine.registers[base] + off) & 0xFFFFFFFF
+                    extra = self.cache.access(machine.asid, address)
+                machine.step()  # may raise MachineFault — caller's concern
+                retired += 1
+                if writes:
+                    written |= writes
+                if extra:
+                    thread.blocked_until = self.cycle + 1 + extra
+                    counters.block(hw, extra)
+                    missed = True
+                    break
+                if stop_at is not None and machine.instret >= stop_at:
+                    break  # round boundary reached: park until released
+                if kind == "branch" or kind == "mem":
+                    break  # one control/memory op per thread-cycle
+        finally:
+            # Batch the bookkeeping; a mid-step trap still credits the
+            # instructions retired before it.
+            if retired:
+                thread.retired += retired
+                counters.retire(hw, retired)
+        return slots, missed
+
     def step_cycle(self) -> None:
         """Advance the core by one cycle.
 
@@ -148,44 +253,13 @@ class SMTProcessor:
         slots = cfg.issue_width
 
         n = len(self.threads)
-        order = [(self._priority + k) % n for k in range(n)]
-        for hw in order:
+        for k in range(n):
             if slots == 0:
                 break
-            thread = self.threads[hw]
+            thread = self.threads[(self._priority + k) % n]
             if thread.state(self.cycle) is not ThreadState.READY:
                 continue
-            machine = thread.machine
-            written: set[int] = set()
-            while slots > 0 and not machine.halted:
-                kind = self._port_kind(machine)
-                reads, writes = self._reads_writes(machine)
-                if reads & written or writes & written:
-                    break  # same-cycle RAW/WAW: wait for the next cycle
-                if ports[kind] == 0:
-                    self.counters.stall(hw)
-                    break
-                slots -= 1
-                if kind != "other":
-                    ports[kind] -= 1
-                extra = 0
-                if kind == "mem":
-                    address = self._memory_address(machine)
-                    if address is not None:
-                        extra = self.cache.access(machine.asid, address)
-                machine.step()  # may raise MachineFault — caller's concern
-                thread.retired += 1
-                self.counters.retire(hw)
-                written |= writes
-                if extra:
-                    thread.blocked_until = self.cycle + 1 + extra
-                    self.counters.block(hw, extra)
-                    break
-                if (thread.stop_at_instret is not None
-                        and machine.instret >= thread.stop_at_instret):
-                    break  # round boundary reached: park until released
-                if kind in ("branch", "mem"):
-                    break  # one control/memory op per thread-cycle
+            slots, _missed = self._issue_from(thread, ports, slots)
 
         self.cycle += 1
         self.counters.cycles += 1
@@ -246,13 +320,15 @@ class SMTProcessor:
     def _next_sync_target(machine: Machine) -> int:
         """Retired-instruction count at which the next round ends.
 
-        Probes by copying the architectural state and running ahead; cheap
-        because rounds are short.
+        Probes by running the machine itself one round ahead and rolling
+        back through a copy-on-write snapshot — no probe machine to
+        construct (and no program re-compilation) per round.  The
+        ``finally`` rollback keeps the machine untouched even when the
+        probe traps.
         """
-        probe = Machine(machine.program, memory_words=len(machine.memory),
-                        name="probe")
-        probe.restore(machine.snapshot())
-        probe.alu_fault = machine.alu_fault
-        probe.store_fault = machine.store_fault
-        probe.run_round()
-        return probe.instret
+        saved = machine.snapshot()
+        try:
+            machine.run_round()
+            return machine.instret
+        finally:
+            machine.restore(saved)

@@ -23,18 +23,28 @@ __all__ = ["Checkpoint", "CheckpointStore"]
 
 @dataclass(frozen=True, slots=True)
 class Checkpoint:
-    """One saved recovery point."""
+    """One saved recovery point.
+
+    ``state_digest`` optionally carries the architectural-state signature
+    of the checkpointed execution (``ArchState.signature()``), produced
+    incrementally by the chunked digest machinery — only mutated memory
+    regions are re-hashed when it is taken.  The CRC seals it together
+    with the logical metadata, so :meth:`CheckpointStore.verify` covers
+    the full state identity without ever re-hashing state content.
+    """
 
     sequence: int                 #: monotone checkpoint number
     global_round: int             #: mission round at which it was taken
     state: VersionState           #: the certified state saved
     time: float                   #: virtual time of the save
     crc: int = 0                  #: integrity tag over the payload
+    state_digest: str = ""        #: optional ArchState signature
 
     def payload_bytes(self) -> bytes:
         return (
             f"{self.sequence}:{self.global_round}:{self.state.version}:"
-            f"{self.state.round}:{self.state.corruption_id}"
+            f"{self.state.round}:{self.state.corruption_id}:"
+            f"{self.state_digest}"
         ).encode()
 
 
@@ -66,15 +76,22 @@ class CheckpointStore:
 
     # -- protocol -----------------------------------------------------------
     def save(self, state: VersionState, global_round: int,
-             time: float) -> Checkpoint:
-        """Persist a certified state; returns the checkpoint record."""
+             time: float, state_digest: str = "") -> Checkpoint:
+        """Persist a certified state; returns the checkpoint record.
+
+        Pass ``state_digest`` (an ``ArchState.signature()``) when the
+        caller tracks real architectural state; the CRC then also seals
+        the state identity.
+        """
         if not state.is_clean:
             raise RecoveryError("refusing to checkpoint a corrupted state")
         self._sequence += 1
         # Build once without the tag to compute it, then seal the record.
-        untagged = Checkpoint(self._sequence, global_round, state, time)
+        untagged = Checkpoint(self._sequence, global_round, state, time,
+                              state_digest=state_digest)
         cp = Checkpoint(self._sequence, global_round, state, time,
-                        crc32(untagged.payload_bytes()))
+                        crc32(untagged.payload_bytes()),
+                        state_digest=state_digest)
         self._checkpoints.append(cp)
         del self._checkpoints[: -self.keep]
         return cp

@@ -1,0 +1,175 @@
+"""Tests for fault-free prefix memoization (`repro.faults.prefix`).
+
+The load-bearing property is *bit-identity*: enabling the prefix cache
+must never change a single trial outcome — it only skips re-executing
+the clean rounds every trial would otherwise replay.
+"""
+
+import numpy as np
+import pytest
+
+from repro.diversity import generate_versions
+from repro.diversity.generator import DiverseVersion
+from repro.faults import prefix as prefix_mod
+from repro.faults.campaign import run_duplex_trial, run_trial_block
+from repro.faults.injector import FaultInjector
+from repro.faults.models import FaultKind, FaultSpec
+from repro.faults.prefix import (
+    build_clean_prefix,
+    clear_prefix_memo,
+    get_clean_prefix,
+    prefix_cache_enabled,
+)
+from repro.isa.instructions import Instruction, Opcode
+from repro.isa.programs import load_program
+
+_ROUND = 2_000
+_MEM = 256
+_MAX_ROUNDS = 4_000
+
+
+@pytest.fixture(scope="module")
+def sort_versions():
+    prog, inputs, spec = load_program("insertion_sort")
+    return generate_versions(prog, inputs, n=3, seed=7), spec.oracle()
+
+
+@pytest.fixture(autouse=True)
+def _clean_memo():
+    clear_prefix_memo()
+    yield
+    clear_prefix_memo()
+
+
+def _tiny_version(index, body):
+    return DiverseVersion(index=index, program=tuple(body), inputs=(),
+                          transforms=())
+
+
+class TestBuild:
+    def test_clean_pair_builds_complete_prefix(self, sort_versions):
+        versions, oracle = sort_versions
+        p = build_clean_prefix(versions[0], versions[1], _ROUND, _MEM,
+                               _MAX_ROUNDS)
+        assert p is not None and p.complete
+        assert p.total_rounds == len(p.snaps)
+        assert p.final_output == tuple(oracle)
+        assert p.matches(_ROUND, _MEM, _MAX_ROUNDS)
+        assert not p.matches(_ROUND + 1, _MEM, _MAX_ROUNDS)
+        for v in (0, 1):
+            trajectory = p.instret[v]
+            assert len(trajectory) == p.total_rounds
+            halt = p.halt_round[v]
+            assert halt is not None
+            # Strictly increasing while running, frozen after the halt.
+            for r in range(1, len(trajectory)):
+                if r < halt:
+                    assert trajectory[r] > trajectory[r - 1]
+                else:
+                    assert trajectory[r] == trajectory[r - 1]
+
+    def test_strike_round_locates_the_injection_round(self, sort_versions):
+        versions, _ = sort_versions
+        p = build_clean_prefix(versions[0], versions[1], _ROUND, _MEM,
+                               _MAX_ROUNDS)
+        for victim in (1, 2):
+            trajectory = p.instret[victim - 1]
+            for at in (0, 1, trajectory[0] - 1, trajectory[0],
+                       trajectory[-1] - 1, trajectory[-1],
+                       trajectory[-1] + 10**6):
+                j = p.strike_round(victim, at)
+                if j is None:
+                    assert at >= trajectory[-1]
+                else:
+                    # Smallest round whose end-of-round instret exceeds it.
+                    assert at < trajectory[j - 1]
+                    assert j == 1 or at >= trajectory[j - 2]
+
+    def test_trapping_clean_run_is_not_memoizable(self):
+        trap = _tiny_version(1, [
+            Instruction(Opcode.LOADI, (0, 1)),
+            Instruction(Opcode.LOADI, (1, 0)),
+            Instruction(Opcode.DIV, (2, 0, 1)),
+            Instruction(Opcode.HALT, ()),
+        ])
+        assert build_clean_prefix(trap, trap, _ROUND, 16, 10) is None
+
+    def test_diverging_clean_run_is_not_memoizable(self):
+        a = _tiny_version(1, [
+            Instruction(Opcode.LOADI, (0, 1)),
+            Instruction(Opcode.OUT, (0,)),
+            Instruction(Opcode.HALT, ()),
+        ])
+        b = _tiny_version(2, [
+            Instruction(Opcode.LOADI, (0, 2)),
+            Instruction(Opcode.OUT, (0,)),
+            Instruction(Opcode.HALT, ()),
+        ])
+        assert build_clean_prefix(a, b, _ROUND, 16, 10) is None
+
+    def test_hung_clean_run_is_not_memoizable(self):
+        spin = _tiny_version(1, [Instruction(Opcode.JMP, (0,))])
+        assert build_clean_prefix(spin, spin, 50, 16, 10) is None
+
+
+class TestBitIdentity:
+    def test_single_trial_same_with_and_without_prefix(self, sort_versions):
+        versions, oracle = sort_versions
+        p = build_clean_prefix(versions[0], versions[1], _ROUND, _MEM,
+                               _MAX_ROUNDS)
+        specs = [
+            FaultSpec(FaultKind.TRANSIENT_REGISTER, at_instruction=50,
+                      register=3, bit=5),
+            FaultSpec(FaultKind.TRANSIENT_MEMORY, at_instruction=10,
+                      address=3, bit=30),
+            FaultSpec(FaultKind.CRASH, at_instruction=120),
+            FaultSpec(FaultKind.TRANSIENT_REGISTER, at_instruction=10**6,
+                      register=3, bit=5),  # never strikes
+        ]
+        for spec in specs:
+            for victim in (1, 2):
+                plain = run_duplex_trial(versions[0], versions[1], spec,
+                                         victim, oracle)
+                cached = run_duplex_trial(versions[0], versions[1], spec,
+                                          victim, oracle, prefix=p)
+                assert plain == cached, (spec, victim)
+
+    def test_trial_block_bit_identical(self, sort_versions, monkeypatch):
+        versions, oracle = sort_versions
+        seeds = [int(s) for s in
+                 np.random.default_rng(5).integers(0, 2**62, 40)]
+        injector = FaultInjector(np.random.default_rng(0), memory_words=_MEM)
+
+        monkeypatch.setenv("VDS_PREFIX_CACHE", "0")
+        clear_prefix_memo()
+        without = run_trial_block(versions[0], versions[1], oracle, seeds,
+                                  injector)
+        monkeypatch.setenv("VDS_PREFIX_CACHE", "1")
+        clear_prefix_memo()
+        with_cache = run_trial_block(versions[0], versions[1], oracle, seeds,
+                                     injector)
+        assert without == with_cache
+
+
+class TestMemo:
+    def test_disabled_by_env(self, sort_versions, monkeypatch):
+        versions, _ = sort_versions
+        monkeypatch.setenv("VDS_PREFIX_CACHE", "0")
+        assert not prefix_cache_enabled()
+        assert get_clean_prefix(versions[0], versions[1], _ROUND, _MEM,
+                                _MAX_ROUNDS) is None
+
+    def test_memo_returns_the_same_object(self, sort_versions):
+        versions, _ = sort_versions
+        a = get_clean_prefix(versions[0], versions[1], _ROUND, _MEM,
+                             _MAX_ROUNDS)
+        b = get_clean_prefix(versions[0], versions[1], _ROUND, _MEM,
+                             _MAX_ROUNDS)
+        assert a is not None and a is b
+
+    def test_memo_bounded_by_env(self, sort_versions, monkeypatch):
+        versions, _ = sort_versions
+        monkeypatch.setenv("VDS_PREFIX_CACHE_MAX", "1")
+        get_clean_prefix(versions[0], versions[1], _ROUND, _MEM, _MAX_ROUNDS)
+        get_clean_prefix(versions[0], versions[2], _ROUND, _MEM, _MAX_ROUNDS)
+        assert len(prefix_mod._MEMO) == 1

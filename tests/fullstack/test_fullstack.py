@@ -170,3 +170,37 @@ class TestGainShape:
         smt = smt_vds.run(faults)
         gain = conv.total_cycles / smt.total_cycles
         assert 1.0 < gain < 3.5
+
+
+class TestSnapshotIntegrity:
+    """Reference snapshots are integrity-checked before every restore."""
+
+    def _small_vds(self):
+        return FullStackVDS(FullStackConfig(
+            program="insertion_sort",
+            program_params={"data": list(range(8, 0, -1))},
+            mode="smt", s=4,
+        ))
+
+    def test_digests_cover_every_snapshot(self):
+        vds = self._small_vds()
+        assert [len(d) for d in vds.snapshot_digests] == \
+            [len(s) for s in vds.snapshots]
+        for snaps, digests in zip(vds.snapshots, vds.snapshot_digests):
+            for state, digest in zip(snaps, digests):
+                assert state.signature() == digest
+
+    def test_corrupted_reference_snapshot_is_refused(self):
+        from repro.errors import RecoveryError
+
+        vds = self._small_vds()
+        # Poison every recorded digest of the spare (V3): the first
+        # recovery restores it from the interval base and must now refuse.
+        vds.snapshot_digests[2] = ["0" * 64] * len(vds.snapshot_digests[2])
+        with pytest.raises(RecoveryError, match="integrity"):
+            vds.run([FullFault(round=5, victim=2, address=3, bit=18)])
+
+    def test_intact_digests_do_not_disturb_recovery(self):
+        vds = self._small_vds()
+        res = vds.run([FullFault(round=5, victim=2, address=3, bit=18)])
+        assert len(res.recoveries) == 1 and res.outputs_ok

@@ -1,0 +1,228 @@
+"""Differential tests: compiled interpreter vs. the reference decode chain.
+
+The compiled backend (:mod:`repro.isa.compiler`) must be observationally
+identical to the reference 15-way chain in ``Machine._step_reference`` —
+same architectural state, same traps (message, kind, pc), same run
+results — including under the fault hooks the campaign layer uses
+(``alu_fault``, ``store_fault``, mid-round bit flips).
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import ConfigurationError, MachineFault
+from repro.isa import compiler as compiler_mod
+from repro.isa.compiler import (
+    BACKEND_COMPILED,
+    BACKEND_REFERENCE,
+    compile_program,
+    default_backend,
+    resolve_backend,
+    set_default_backend,
+)
+from repro.isa.instructions import (
+    Instruction,
+    Opcode,
+    REGISTER_COUNT,
+    WORD_BITS,
+    WORD_MASK,
+)
+from repro.isa.machine import Machine
+from repro.isa.synth import synth_workload
+from tests.isa.test_machine_fuzz import random_program
+
+_BACKENDS = (BACKEND_REFERENCE, BACKEND_COMPILED)
+
+
+@pytest.fixture(autouse=True)
+def _restore_default_backend():
+    before = default_backend()
+    yield
+    set_default_backend(before)
+
+
+def _pair(program, **kwargs):
+    """The same program on both backends (fresh machines)."""
+    return tuple(
+        Machine(list(program), backend=b, **kwargs) for b in _BACKENDS
+    )
+
+
+def _drive(machine, budget, stop_at_sync=False):
+    """Run and reduce the outcome to a comparable tuple."""
+    try:
+        r = machine.run(budget, stop_at_sync=stop_at_sync)
+        return ("ok", r.executed, r.halted, r.budget_exhausted, r.hit_sync)
+    except MachineFault as e:
+        return ("fault", str(e), e.kind, e.pc)
+
+
+def _observable(machine):
+    return (
+        tuple(machine.registers),
+        machine.memory.tolist(),
+        machine.pc,
+        machine.halted,
+        tuple(machine.output),
+        machine.instret,
+    )
+
+
+def _assert_machines_agree(ref, com):
+    assert _observable(ref) == _observable(com)
+
+
+class TestDifferential:
+    @settings(max_examples=150, deadline=None)
+    @given(random_program())
+    def test_random_programs(self, program):
+        ref, com = _pair(program, memory_words=128)
+        assert _drive(ref, 300) == _drive(com, 300)
+        _assert_machines_agree(ref, com)
+
+    @settings(max_examples=100, deadline=None)
+    @given(random_program())
+    def test_random_programs_with_permanent_fault_hooks(self, program):
+        def alu_fault(op, result):
+            return (result ^ 0x20) & WORD_MASK  # stuck-at on bit 5
+
+        def store_fault(address, value):
+            return (value + address) & WORD_MASK
+
+        ref, com = _pair(program, memory_words=128)
+        for m in (ref, com):
+            m.alu_fault = alu_fault
+            m.store_fault = store_fault
+        assert _drive(ref, 300) == _drive(com, 300)
+        _assert_machines_agree(ref, com)
+
+    @settings(max_examples=100, deadline=None)
+    @given(
+        random_program(),
+        st.integers(0, 20),
+        st.integers(0, REGISTER_COUNT - 1),
+        st.integers(0, WORD_BITS - 1),
+        st.integers(0, 63),
+        st.integers(0, WORD_BITS - 1),
+        st.integers(0, 5),
+    )
+    def test_mid_round_bit_flips(self, program, warmup, reg, reg_bit,
+                                 address, mem_bit, pc_bit):
+        """Identical transient upsets applied mid-run stay equivalent."""
+        ref, com = _pair(program, memory_words=64)
+        first = _drive(ref, warmup)
+        assert first == _drive(com, warmup)
+        if first[0] == "fault":
+            _assert_machines_agree(ref, com)
+            return
+        for m in (ref, com):
+            m.flip_register_bit(reg, reg_bit)
+            m.flip_memory_bit(address, mem_bit)
+            m.flip_pc_bit(pc_bit)
+        assert _drive(ref, 300) == _drive(com, 300)
+        _assert_machines_agree(ref, com)
+
+    @pytest.mark.parametrize("seed", [0, 1, 7, 42])
+    def test_synth_workloads(self, seed):
+        wl = synth_workload(seed, rounds=6, ops_per_round=12)
+        ref, com = _pair(wl.program, memory_words=wl.memory_words,
+                         inputs=list(wl.inputs))
+        assert _drive(ref, 100_000) == _drive(com, 100_000)
+        _assert_machines_agree(ref, com)
+
+    def test_synth_round_boundaries(self):
+        """`stop_at_sync` parks both backends at the same boundaries."""
+        wl = synth_workload(3, rounds=5, ops_per_round=10)
+        ref, com = _pair(wl.program, memory_words=wl.memory_words,
+                         inputs=list(wl.inputs))
+        for _ in range(20):
+            rr = _drive(ref, 10_000, stop_at_sync=True)
+            rc = _drive(com, 10_000, stop_at_sync=True)
+            assert rr == rc
+            _assert_machines_agree(ref, com)
+            if ref.halted:
+                break
+        assert ref.halted
+
+    def test_trap_reports_exact_pc_and_kind(self):
+        program = [
+            Instruction(Opcode.LOADI, (0, 1)),
+            Instruction(Opcode.LOADI, (1, 0)),
+            Instruction(Opcode.DIV, (2, 0, 1)),
+            Instruction(Opcode.HALT, ()),
+        ]
+        outcomes = []
+        for backend in _BACKENDS:
+            m = Machine(program, memory_words=16, backend=backend, name="t")
+            with pytest.raises(MachineFault) as exc:
+                m.run(10)
+            outcomes.append((str(exc.value), exc.value.kind, m.pc, m.instret))
+        assert outcomes[0] == outcomes[1]
+        assert outcomes[0][1] == "arithmetic"
+        assert outcomes[0][2] == 2  # pc parked on the trapping instruction
+
+
+class TestBackendSelection:
+    def test_aliases(self):
+        assert resolve_backend("fast") == BACKEND_COMPILED
+        assert resolve_backend("compiled") == BACKEND_COMPILED
+        assert resolve_backend("slow") == BACKEND_REFERENCE
+        assert resolve_backend("reference") == BACKEND_REFERENCE
+        assert resolve_backend(" Fast ") == BACKEND_COMPILED
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ConfigurationError):
+            resolve_backend("turbo")
+        with pytest.raises(ConfigurationError):
+            Machine([Instruction(Opcode.HALT, ())], backend="turbo")
+
+    def test_set_default_backend(self):
+        assert set_default_backend("slow") == BACKEND_REFERENCE
+        assert resolve_backend(None) == BACKEND_REFERENCE
+        m = Machine([Instruction(Opcode.HALT, ())], memory_words=4)
+        assert m.backend == BACKEND_REFERENCE
+        assert m._compiled is None
+        set_default_backend("fast")
+        m = Machine([Instruction(Opcode.HALT, ())], memory_words=4)
+        assert m.backend == BACKEND_COMPILED
+        assert m._compiled is not None
+
+    def test_env_var_selection(self, monkeypatch):
+        monkeypatch.setenv("VDS_INTERPRETER", "slow")
+        assert compiler_mod._backend_from_env() == BACKEND_REFERENCE
+        monkeypatch.setenv("VDS_INTERPRETER", "fast")
+        assert compiler_mod._backend_from_env() == BACKEND_COMPILED
+        monkeypatch.delenv("VDS_INTERPRETER")
+        assert compiler_mod._backend_from_env() == BACKEND_COMPILED
+        monkeypatch.setenv("VDS_INTERPRETER", "warp9")
+        with pytest.raises(ConfigurationError):
+            compiler_mod._backend_from_env()
+
+
+class TestCompileCache:
+    def test_content_cache_shares_compilations(self):
+        program = [
+            Instruction(Opcode.LOADI, (0, 3)),
+            Instruction(Opcode.SYNC, ()),
+            Instruction(Opcode.HALT, ()),
+        ]
+        a = compile_program(list(program))
+        b = compile_program(tuple(program))
+        assert a is b
+
+    def test_identity_fast_path(self):
+        program = (
+            Instruction(Opcode.LOADI, (0, 9)),
+            Instruction(Opcode.HALT, ()),
+        )
+        assert compile_program(program) is compile_program(program)
+
+    def test_sync_flags_and_length(self):
+        program = (
+            Instruction(Opcode.LOADI, (0, 3)),
+            Instruction(Opcode.SYNC, ()),
+            Instruction(Opcode.HALT, ()),
+        )
+        compiled = compile_program(program)
+        assert compiled.length == 3
+        assert compiled.sync_flags == (False, True, False)

@@ -1,0 +1,124 @@
+"""Tests for incremental state digests and copy-on-write snapshots.
+
+Two properties carry the perf work: (1) ``ArchState.signature`` is pure —
+memoization and chunk seeding must never change what it hashes — and
+(2) a snapshot/restore round-trip copies memory at most once (lazily, on
+the first store after the save) while snapshots stay immutable.
+"""
+
+from repro.isa.instructions import Instruction, Opcode
+from repro.isa.machine import Machine
+from repro.isa.state import ArchState, CHUNK_SHIFT, CHUNK_WORDS
+
+
+def _spin_program():
+    # store r0 at [r1+0]; out r0; loop via LOADI increments is overkill —
+    # a handful of straight-line ops is enough state churn for digests.
+    return [
+        Instruction(Opcode.LOADI, (0, 7)),
+        Instruction(Opcode.LOADI, (1, 3)),
+        Instruction(Opcode.STORE, (1, 0, 0)),
+        Instruction(Opcode.OUT, (0,)),
+        Instruction(Opcode.HALT, ()),
+    ]
+
+
+def _machine(memory_words=4 * CHUNK_WORDS):
+    return Machine(_spin_program(), memory_words=memory_words)
+
+
+def _fresh_equivalent(state):
+    """An independently constructed ArchState with identical content."""
+    return ArchState(
+        registers=state.registers,
+        memory=state.memory.copy(),
+        pc=state.pc,
+        halted=state.halted,
+        output=state.output,
+        instret=state.instret,
+    )
+
+
+class TestSignature:
+    def test_signature_memoized(self):
+        s = _machine().snapshot()
+        assert s.signature() is s.signature()
+
+    def test_signature_depends_only_on_content(self):
+        m = _machine()
+        m.run(10)
+        s = m.snapshot()
+        assert s.signature() == _fresh_equivalent(s).signature()
+
+    def test_seeded_chunks_match_fresh_computation(self):
+        m = _machine()
+        s1 = m.snapshot()
+        sig1 = s1.signature()
+        m.write_memory_word(5, 99)                  # chunk 0
+        m.write_memory_word(3 * CHUNK_WORDS + 1, 7)  # chunk 3
+        s2 = m.snapshot()
+        sig2 = s2.signature()
+        assert sig2 != sig1
+        assert sig2 == _fresh_equivalent(s2).signature()
+
+    def test_seeding_inherits_clean_chunk_digests(self):
+        m = _machine()
+        s1 = m.snapshot()
+        s1.signature()  # populate s1's chunk digests
+        m.write_memory_word(5, 99)  # dirties chunk 0 only
+        s2 = m.snapshot()
+        chunks = s2.__dict__["_chunks"]
+        assert chunks is not None
+        assert chunks[5 >> CHUNK_SHIFT] is None      # dirty: recompute
+        assert all(c is not None for c in chunks[1:])  # inherited
+
+    def test_single_bit_flip_changes_signature(self):
+        m = _machine()
+        base = m.snapshot().signature()
+        m.flip_memory_bit(2 * CHUNK_WORDS, 17)
+        assert m.snapshot().signature() != base
+
+
+class TestCopyOnWrite:
+    def test_snapshot_shares_frozen_array(self):
+        m = _machine()
+        s = m.snapshot()
+        assert s.memory is m.memory
+        assert not m.memory.flags.writeable
+
+    def test_first_store_materialises_a_copy(self):
+        m = _machine()
+        s = m.snapshot()
+        m.write_memory_word(0, 123)
+        assert m.memory is not s.memory
+        assert int(m.memory[0]) == 123
+        assert int(s.memory[0]) == 0  # snapshot untouched
+
+    def test_restore_adopts_snapshot_array(self):
+        m = _machine()
+        s = m.snapshot()
+        m.write_memory_word(0, 123)
+        m.run(10)
+        m.restore(s)
+        assert m.memory is s.memory
+        assert m.pc == 0 and not m.halted and m.instret == 0
+        # The restored machine is still fully usable (writes re-copy).
+        m.write_memory_word(1, 5)
+        assert int(s.memory[1]) == 0
+
+    def test_round_trip_is_lossless(self):
+        m = _machine()
+        m.run(2)
+        s = m.snapshot()
+        before = s.signature()
+        m.run(10)  # run to halt, mutating memory/output
+        m.restore(s)
+        assert m.snapshot().signature() == before
+
+    def test_dirty_word_tracking(self):
+        m = _machine()
+        m.dirty_words = set()
+        m.write_memory_word(9, 1)
+        assert m.dirty_words == {9}
+        m.run(10)  # STORE (1, 0, 0) writes address r1+0 = 3
+        assert 3 in m.dirty_words

@@ -1,0 +1,48 @@
+"""Tests for the checkpoint ``state_digest`` integrity tag."""
+
+import dataclasses
+
+from repro.isa.instructions import Instruction, Opcode
+from repro.isa.machine import Machine
+from repro.vds.checkpoint import CheckpointStore
+from repro.vds.state import VersionState
+
+
+def _digest():
+    m = Machine([Instruction(Opcode.LOADI, (0, 7)),
+                 Instruction(Opcode.HALT, ())], memory_words=16)
+    m.run(10)
+    return m.snapshot().signature()
+
+
+class TestStateDigest:
+    def test_sealed_digest_verifies(self):
+        store = CheckpointStore()
+        cp = store.save(VersionState(1, 0), global_round=5, time=1.0,
+                        state_digest=_digest())
+        assert cp.state_digest != ""
+        assert store.verify(cp)
+
+    def test_tampered_digest_fails_verification(self):
+        store = CheckpointStore()
+        cp = store.save(VersionState(1, 0), global_round=5, time=1.0,
+                        state_digest=_digest())
+        forged = dataclasses.replace(cp, state_digest="0" * 64)
+        assert not store.verify(forged)
+
+    def test_digest_swap_between_checkpoints_fails(self):
+        store = CheckpointStore()
+        a = store.save(VersionState(1, 0), 1, 1.0, state_digest=_digest())
+        m = Machine([Instruction(Opcode.HALT, ())], memory_words=16)
+        b = store.save(VersionState(1, 0), 2, 2.0,
+                       state_digest=m.snapshot().signature())
+        assert a.state_digest != b.state_digest
+        assert not store.verify(dataclasses.replace(a,
+                                                    state_digest=b.state_digest))
+
+    def test_empty_digest_stays_backward_compatible(self):
+        store = CheckpointStore()
+        cp = store.save(VersionState(2, 0), global_round=3, time=0.5)
+        assert cp.state_digest == ""
+        assert store.verify(cp)
+        assert not store.verify(dataclasses.replace(cp, global_round=4))

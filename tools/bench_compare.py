@@ -1,0 +1,168 @@
+#!/usr/bin/env python
+"""Compare a pytest-benchmark run against the committed perf baseline.
+
+``BENCH_BASELINE.json`` (repo root) stores two timing sets per benchmark
+fullname:
+
+* ``seed``     — the pre-overhaul timings, kept as provenance for the
+  interpreter/prefix speedup claims (never updated automatically);
+* ``baseline`` — the regression gate: the current run must stay within
+  ``tolerance`` (default 15 %, override with ``VDS_BENCH_TOLERANCE`` or
+  ``--tolerance``) of these timings or this tool exits non-zero.
+
+Wall-clock timings on shared machines vary ±20% run to run, so both the
+gate and the baseline use the per-benchmark *minimum across every run
+file passed* (min-of-k converges to the machine's floor and is stable
+where single runs are not — pass 2–3 run files, as `make bench-compare`
+does).
+
+Usage::
+
+    python tools/bench_compare.py results/benchmark-*.json           # gate
+    python tools/bench_compare.py results/benchmark-*.json --update  # re-baseline
+
+A machine-readable summary is written to ``results/bench-compare.json``
+(override with ``--out``).  Benchmarks present in the run but not in the
+baseline are reported as *new* and do not fail the gate; baseline
+entries missing from the run are warnings (the run may be partial).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+DEFAULT_BASELINE = REPO_ROOT / "BENCH_BASELINE.json"
+DEFAULT_TOLERANCE = 0.15
+
+
+def _load_timings(run_paths: list[Path]) -> dict[str, float]:
+    """fullname -> min seconds across the given pytest-benchmark files."""
+    timings: dict[str, float] = {}
+    for run_path in run_paths:
+        with open(run_path) as fh:
+            data = json.load(fh)
+        for b in data["benchmarks"]:
+            t = float(b["stats"]["min"])
+            name = b["fullname"]
+            timings[name] = min(timings.get(name, t), t)
+    return timings
+
+
+def _tolerance(cli_value: float | None) -> float:
+    if cli_value is not None:
+        return cli_value
+    raw = os.environ.get("VDS_BENCH_TOLERANCE")
+    if raw:
+        try:
+            return float(raw)
+        except ValueError:
+            print(f"warning: ignoring bad VDS_BENCH_TOLERANCE={raw!r}",
+                  file=sys.stderr)
+    return DEFAULT_TOLERANCE
+
+
+def compare(current: dict[str, float], baseline: dict[str, float],
+            seed: dict[str, float], tolerance: float) -> dict:
+    rows, regressions = [], []
+    for name, base_s in sorted(baseline.items()):
+        cur_s = current.get(name)
+        if cur_s is None:
+            rows.append({"benchmark": name, "status": "missing",
+                         "baseline_seconds": base_s})
+            continue
+        ratio = cur_s / base_s if base_s > 0 else float("inf")
+        status = "ok" if ratio <= 1.0 + tolerance else "regression"
+        row = {
+            "benchmark": name,
+            "status": status,
+            "baseline_seconds": round(base_s, 4),
+            "current_seconds": round(cur_s, 4),
+            "ratio": round(ratio, 3),
+        }
+        if name in seed and cur_s > 0:
+            row["speedup_vs_seed"] = round(seed[name] / cur_s, 2)
+        rows.append(row)
+        if status == "regression":
+            regressions.append(row)
+    for name in sorted(set(current) - set(baseline)):
+        rows.append({"benchmark": name, "status": "new",
+                     "current_seconds": round(current[name], 4)})
+    return {"tolerance": tolerance, "regressions": len(regressions),
+            "results": rows}
+
+
+def main(argv: list[str] | None = None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("runs", nargs="*", default=["results/benchmark.json"],
+                    help="pytest-benchmark JSON file(s); with several, "
+                         "the per-benchmark minimum is used")
+    ap.add_argument("--baseline", default=str(DEFAULT_BASELINE),
+                    help="baseline file (default: repo BENCH_BASELINE.json)")
+    ap.add_argument("--tolerance", type=float, default=None,
+                    help=f"allowed slowdown fraction (default "
+                         f"{DEFAULT_TOLERANCE} or $VDS_BENCH_TOLERANCE)")
+    ap.add_argument("--update", action="store_true",
+                    help="rewrite the baseline timings from this run "
+                         "(keeps the seed timings untouched)")
+    ap.add_argument("--out", default="results/bench-compare.json",
+                    help="where to write the comparison summary")
+    args = ap.parse_args(argv)
+
+    run_paths = [Path(p) for p in args.runs]
+    missing = [p for p in run_paths if not p.exists()]
+    if missing:
+        print(f"error: benchmark run(s) not found: "
+              f"{', '.join(map(str, missing))} "
+              f"(run `make quick-bench` first)", file=sys.stderr)
+        return 2
+    current = _load_timings(run_paths)
+
+    baseline_path = Path(args.baseline)
+    doc = json.loads(baseline_path.read_text()) if baseline_path.exists() \
+        else {"seed": {}, "baseline": {}}
+
+    if args.update:
+        doc["baseline"] = {k: round(v, 4) for k, v in sorted(current.items())}
+        baseline_path.write_text(json.dumps(doc, indent=2) + "\n")
+        print(f"baseline updated: {len(current)} benchmarks "
+              f"-> {baseline_path}")
+        return 0
+
+    tolerance = _tolerance(args.tolerance)
+    summary = compare(current, doc.get("baseline", {}),
+                      doc.get("seed", {}), tolerance)
+
+    out_path = Path(args.out)
+    out_path.parent.mkdir(parents=True, exist_ok=True)
+    out_path.write_text(json.dumps(summary, indent=2) + "\n")
+
+    width = max((len(r["benchmark"]) for r in summary["results"]),
+                default=20)
+    for row in summary["results"]:
+        name = row["benchmark"].ljust(width)
+        if row["status"] in ("ok", "regression"):
+            vs_seed = (f"  ({row['speedup_vs_seed']:.2f}x vs seed)"
+                       if "speedup_vs_seed" in row else "")
+            print(f"{row['status']:>10}  {name}  "
+                  f"{row['current_seconds']:8.3f}s vs "
+                  f"{row['baseline_seconds']:8.3f}s "
+                  f"(x{row['ratio']:.2f}){vs_seed}")
+        else:
+            print(f"{row['status']:>10}  {name}")
+
+    if summary["regressions"]:
+        print(f"\nFAIL: {summary['regressions']} benchmark(s) regressed "
+              f"beyond {tolerance:.0%}", file=sys.stderr)
+        return 1
+    print(f"\nOK: no regression beyond {tolerance:.0%} "
+          f"({len(summary['results'])} benchmarks checked)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
