@@ -3,7 +3,8 @@
 PYTHON ?= python
 
 .PHONY: install test lint ci bench quick-bench bench-runs bench-compare \
-	bench-baseline experiments quick-experiments examples trace-smoke clean
+	bench-baseline experiments quick-experiments examples trace-smoke \
+	report-smoke clean
 
 install:
 	$(PYTHON) -m pip install -e .
@@ -64,6 +65,14 @@ trace-smoke:
 	$(PYTHON) -m repro.cli trace COV-1 --quick \
 		--out results/trace-COV-1.jsonl \
 		--metrics-out results/metrics-COV-1.prom
+
+# Analytics over the traced campaign: rollup + forensics on stdout, then
+# the self-contained HTML report next to the trace.
+report-smoke: trace-smoke
+	$(PYTHON) -m repro.cli trace results/trace-COV-1.jsonl --summary
+	$(PYTHON) -m repro.cli analyze results/trace-COV-1.jsonl
+	$(PYTHON) -m repro.cli report results/trace-COV-1.jsonl \
+		-o results/report-COV-1.html
 
 examples:
 	@for f in examples/*.py; do \

@@ -105,3 +105,21 @@ def test_enabled_observability_cost(benchmark, duplex):
     # Enabled tracing records ~5 events/trial; it must stay cheap enough
     # to leave on for any real campaign (well under 2x).
     assert enabled < disabled * 2.0
+
+
+def test_analysis_layer_never_loads_on_the_measured_path(duplex):
+    """Trace analytics must be invisible to the benchmarked hot path.
+
+    The rollup/forensics/drift/report modules are post-hoc analyses
+    exposed lazily from ``repro.obs``; if any of them were imported by
+    the campaign machinery, their import cost (and anything they pull
+    in) would silently land inside the overhead measurements above.
+    """
+    import sys
+
+    _run_serial(duplex)  # exercise the exact code the benchmarks time
+    for mod in ("repro.obs.analyze", "repro.obs.forensics",
+                "repro.obs.drift", "repro.obs.report"):
+        assert mod not in sys.modules, (
+            f"{mod} was imported by the instrumented hot path"
+        )

@@ -7,6 +7,9 @@
     $ vds-repro run --all            # everything (EXPERIMENTS.md source)
     $ vds-repro run VAL-1 --quick    # reduced replication for smoke tests
     $ vds-repro trace COV-1 --quick  # run traced; write a JSONL span trace
+    $ vds-repro trace --summary results/trace-COV-1.jsonl   # quick rollup
+    $ vds-repro analyze results/trace-COV-1.jsonl           # full analytics
+    $ vds-repro report results/trace-COV-1.jsonl            # HTML report
     $ vds-repro --log-level debug campaign --trials 50   # stdlib logging
 """
 
@@ -101,7 +104,15 @@ def build_parser() -> argparse.ArgumentParser:
         help="run one experiment with span tracing on; write a JSONL trace",
     )
     t.add_argument("id", metavar="ID",
-                   help="experiment id to trace (e.g. COV-1)")
+                   help="experiment id to trace (e.g. COV-1); with "
+                        "--summary, an existing JSONL trace path (or the "
+                        "id of an already-written results/trace-<ID>.jsonl)")
+    t.add_argument("--summary", action="store_true",
+                   help="do not run anything: print the span-kind rollup "
+                        "and top spans by self-time of an existing trace")
+    t.add_argument("--top", type=int, default=10, metavar="N",
+                   help="spans to list in the --summary top table "
+                        "(default 10)")
     t.add_argument("--quick", action="store_true",
                    help="reduced replication (fast smoke run)")
     t.add_argument("--seed", type=int, default=0,
@@ -115,6 +126,53 @@ def build_parser() -> argparse.ArgumentParser:
                         "(default results/trace-<ID>.jsonl)")
     t.add_argument("--metrics-out", metavar="PATH", default=None,
                    help="also write collected metrics to PATH")
+
+    an = sub.add_parser(
+        "analyze",
+        help="trace analytics + fault forensics on a JSONL trace",
+    )
+    an.add_argument("trace", metavar="TRACE",
+                    help="JSONL trace file (from 'vds-repro trace')")
+    an.add_argument("--top", type=int, default=10, metavar="N",
+                    help="spans in the top-self-time table (default 10)")
+    an.add_argument("--clock", choices=["wall", "vt"], default="wall",
+                    help="clock for the flamegraph output (default wall)")
+    an.add_argument("--flamegraph", metavar="PATH", default=None,
+                    help="write collapsed stacks for flamegraph.pl / "
+                         "speedscope to PATH")
+    an.add_argument("--forensics-out", metavar="PATH", default=None,
+                    help="write per-trial forensic records to PATH as JSON")
+    an.add_argument("--localize", action="store_true",
+                    help="replay comparison-detected trials to localize the "
+                         "first divergent memory chunk (requires the traced "
+                         "campaign's --program/--trials/--seed)")
+    an.add_argument("--program", default="insertion_sort",
+                    help="workload of the traced campaign (for --localize)")
+    an.add_argument("--trials", type=int, default=None,
+                    help="trial count of the traced campaign "
+                         "(default: inferred from the trace)")
+    an.add_argument("--seed", type=int, default=0,
+                    help="master seed of the traced campaign")
+    an.add_argument("--versions-seed", type=int, default=None,
+                    help="seed used for generate_versions (default: "
+                         "SEED+42, matching 'vds-repro campaign')")
+    an.add_argument("--kind", default=None,
+                    choices=["transient-register", "transient-memory",
+                             "transient-pc", "permanent-alu",
+                             "permanent-memory", "crash"],
+                    help="fault class the traced campaign forced "
+                         "(default: mixed)")
+
+    rep = sub.add_parser(
+        "report",
+        help="render a self-contained HTML report from a JSONL trace",
+    )
+    rep.add_argument("trace", metavar="TRACE",
+                     help="JSONL trace file (from 'vds-repro trace')")
+    rep.add_argument("-o", "--out", metavar="PATH", default=None,
+                     help="HTML destination (default: TRACE with .html)")
+    rep.add_argument("--title", default=None,
+                     help="report title (default: derived from TRACE)")
 
     m = sub.add_parser(
         "mission",
@@ -229,6 +287,34 @@ def _cmd_run(ids: list[str], run_all: bool, quick: bool, seed: int,
     return 0
 
 
+def _resolve_trace_path(ident: str):
+    """An existing trace file: a literal path, or results/trace-<ID>.jsonl."""
+    from pathlib import Path
+
+    path = Path(ident)
+    if path.is_file():
+        return path
+    fallback = Path("results") / f"trace-{ident}.jsonl"
+    if fallback.is_file():
+        return fallback
+    return None
+
+
+def _cmd_trace_summary(args) -> int:
+    """`trace --summary`: rollup + top spans of an already-written trace."""
+    from repro.obs import read_trace_jsonl
+    from repro.obs.analyze import summarize_trace
+
+    path = _resolve_trace_path(args.id)
+    if path is None:
+        print(f"no such trace: {args.id!r} (looked for the file itself and "
+              f"results/trace-{args.id}.jsonl)", file=sys.stderr)
+        return 2
+    print(f"== trace summary: {path} ==")
+    print(summarize_trace(read_trace_jsonl(path), top=args.top))
+    return 0
+
+
 def _cmd_trace(args) -> int:
     """Run one experiment with tracing + metrics on; write the JSONL trace."""
     from pathlib import Path
@@ -242,6 +328,8 @@ def _cmd_trace(args) -> int:
     )
     from repro.parallel import resolve_workers
 
+    if args.summary:
+        return _cmd_trace_summary(args)
     if args.id not in EXPERIMENTS:
         print(f"unknown experiment id: {args.id!r}; try 'vds-repro list'",
               file=sys.stderr)
@@ -265,6 +353,112 @@ def _cmd_trace(args) -> int:
         for problem in problems:
             print(f"trace invalid: {problem}", file=sys.stderr)
         return 1
+    return 0
+
+
+def _cmd_analyze(args) -> int:
+    """Trace analytics: summary, forensics, drift; optional localization."""
+    import json
+    from pathlib import Path
+
+    from repro.obs import read_trace_jsonl
+    from repro.obs.analyze import (
+        build_span_tree,
+        collapsed_stacks_text,
+        summarize_trace,
+    )
+    from repro.obs.drift import drift_table, mission_drift
+    from repro.obs.forensics import (
+        forensics_to_json_obj,
+        localize_trials,
+        trial_forensics,
+    )
+
+    trace_path = _resolve_trace_path(args.trace)
+    if trace_path is None:
+        print(f"no such trace file: {args.trace!r}", file=sys.stderr)
+        return 2
+    events = read_trace_jsonl(trace_path)
+    tree = build_span_tree(events)
+    print(f"== trace analytics: {trace_path} ==")
+    print(summarize_trace(events, top=args.top))
+
+    records = trial_forensics(tree)
+    if records and args.localize:
+        import numpy as np
+
+        from repro.diversity import generate_versions
+        from repro.faults import FaultInjector, FaultKind
+        from repro.isa import load_program
+
+        program, inputs, _spec = load_program(args.program)
+        versions_seed = (args.versions_seed if args.versions_seed is not None
+                         else args.seed + 42)
+        versions = generate_versions(program, inputs, n=3, seed=versions_seed)
+        injector = None
+        if args.kind is not None:
+            kind = next(k for k in FaultKind if k.value == args.kind)
+            injector = FaultInjector(np.random.default_rng(args.seed + 1),
+                                     mix={kind: 1.0})
+        records = localize_trials(records, versions[0], versions[2],
+                                  args.seed, n_trials=args.trials,
+                                  injector=injector)
+    if records:
+        detected = [r for r in records if r.detected_round is not None]
+        print()
+        print(f"forensics: {len(records)} trials, {len(detected)} with a "
+              f"detection")
+        for r in detected[:args.top]:
+            div = ""
+            if r.divergence is not None:
+                div = (f"  first divergent chunk "
+                       f"{r.divergence.first_divergent_chunk} "
+                       f"(word {r.divergence.first_divergent_word})")
+            print(f"  trial {r.index:4d}  {r.kind:20s} victim {r.victim}  "
+                  f"injected@{r.injected_round} detected@{r.detected_round} "
+                  f"latency {r.detection_latency_rounds} rounds{div}")
+        if len(detected) > args.top:
+            print(f"  ... {len(detected) - args.top} more "
+                  f"(use --forensics-out for all)")
+    if args.forensics_out is not None:
+        out = Path(args.forensics_out)
+        out.parent.mkdir(parents=True, exist_ok=True)
+        out.write_text(json.dumps(forensics_to_json_obj(records), indent=2)
+                       + "\n", encoding="utf-8")
+        print(f"forensic records         : {len(records)} -> {out}")
+
+    missions = mission_drift(tree)
+    if missions:
+        print()
+        print("model-vs-simulation drift:")
+        print(drift_table(missions))
+
+    if args.flamegraph is not None:
+        out = Path(args.flamegraph)
+        out.parent.mkdir(parents=True, exist_ok=True)
+        out.write_text(collapsed_stacks_text(tree, clock=args.clock),
+                       encoding="utf-8")
+        print(f"collapsed stacks         : -> {out}")
+    return 0
+
+
+def _cmd_report(args) -> int:
+    """Render one trace into a self-contained HTML report."""
+    from pathlib import Path
+
+    from repro.obs import read_trace_jsonl
+    from repro.obs.report import write_report
+
+    trace_path = _resolve_trace_path(args.trace)
+    if trace_path is None:
+        print(f"no such trace file: {args.trace!r}", file=sys.stderr)
+        return 2
+    events = read_trace_jsonl(trace_path)
+    out = Path(args.out) if args.out else trace_path.with_suffix(".html")
+    out.parent.mkdir(parents=True, exist_ok=True)
+    title = args.title or f"VDS trace report — {trace_path.name}"
+    write_report(events, str(out), title=title)
+    print(f"report                   : {len(events)} events -> {out}")
     return 0
 
 
@@ -410,6 +604,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                         args.output, args.workers, args.metrics_out)
     if args.command == "trace":
         return _cmd_trace(args)
+    if args.command == "analyze":
+        return _cmd_analyze(args)
+    if args.command == "report":
+        return _cmd_report(args)
     if args.command == "mission":
         return _cmd_mission(args)
     if args.command == "campaign":

@@ -405,14 +405,24 @@ def _end_trial_span(tracer: Tracer, span: int, index: int,
     Virtual time is the campaign-global trial index, so trial spans are
     monotonic within a campaign across shards and workers.  The
     injection point lands inside the span (the strike round is only
-    known post-hoc).
+    known post-hoc) and carries the fault's target — strike instant,
+    register/address, bit — so forensic analysis can name the injection
+    site straight from the trace.
     """
     if trial.injected_round is not None:
+        spec = trial.spec
+        target: dict = {"at_instruction": spec.at_instruction,
+                        "bit": spec.bit}
+        if spec.register is not None:
+            target["register"] = spec.register
+        if spec.address is not None:
+            target["address"] = spec.address
         tracer.point("campaign.injection", vt=index,
-                     round=trial.injected_round)
+                     round=trial.injected_round, **target)
     tracer.end(span, vt=index, outcome=trial.outcome.value,
                rounds=trial.rounds_executed,
-               detected_round=trial.detected_round)
+               detected_round=trial.detected_round,
+               detection_latency=trial.detection_latency)
 
 
 def _default_injector(version_a: DiverseVersion, rng: np.random.Generator,

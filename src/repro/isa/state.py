@@ -115,6 +115,17 @@ class ArchState:
                 chunks[i] = None
         object.__setattr__(self, "_chunks", chunks)
 
+    def memory_chunk_digests(self) -> Tuple[bytes, ...]:
+        """Per-chunk SHA-256 digests of the raw memory image.
+
+        Chunk *i* covers words ``[i*CHUNK_WORDS, (i+1)*CHUNK_WORDS)``.
+        Computed lazily with the same cache :meth:`signature` uses, so two
+        snapshots related by :meth:`seed_chunks_from` re-hash only mutated
+        chunks.  Forensic divergence localization compares these digests
+        pairwise to find the first memory chunk where two versions differ.
+        """
+        return tuple(self._chunk_digests())
+
     def signature(self) -> str:
         """SHA-256 over the full raw state (hex digest, memoized).
 

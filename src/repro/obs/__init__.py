@@ -20,6 +20,16 @@ Monte-Carlo campaign engine all expose the same observability layer:
 * :mod:`repro.obs.logconf` — stdlib ``logging`` wiring (``NullHandler``
   on the package root, ``configure_logging`` for applications).
 
+Post-hoc analysis layers (lazily imported — see below):
+
+* :mod:`repro.obs.analyze` — span trees, per-kind rollups, critical
+  paths, collapsed-stack flamegraph output.
+* :mod:`repro.obs.forensics` — per-trial fault forensics: injection →
+  detection joins, and digest-based divergence localization by replay.
+* :mod:`repro.obs.drift` — traced timings vs the analytical model
+  (Eqs. (1)/(3), (2)/(5)).
+* :mod:`repro.obs.report` — self-contained HTML reports (inline SVG).
+
 Quickstart::
 
     from repro.obs import tracing, collecting, write_trace_jsonl
@@ -87,4 +97,46 @@ __all__ = [
     "write_metrics",
     "configure_logging",
     "install_null_handler",
+    # lazy (analysis layer)
+    "build_span_tree",
+    "rollup_by_name",
+    "critical_path",
+    "collapsed_stacks_text",
+    "summarize_trace",
+    "trial_forensics",
+    "recovery_forensics",
+    "localize_trials",
+    "mission_drift",
+    "drift_table",
+    "render_report",
+    "write_report",
 ]
+
+# The analysis layer is imported lazily (PEP 562): the collection-side
+# modules above sit on instrumented hot paths, and `import repro.obs`
+# must never drag the analysis/report code (and numpy-heavy replay
+# machinery) into a traced run that doesn't ask for it.  The overhead
+# benchmark asserts this stays true.
+_LAZY = {
+    "build_span_tree": "repro.obs.analyze",
+    "rollup_by_name": "repro.obs.analyze",
+    "critical_path": "repro.obs.analyze",
+    "collapsed_stacks_text": "repro.obs.analyze",
+    "summarize_trace": "repro.obs.analyze",
+    "trial_forensics": "repro.obs.forensics",
+    "recovery_forensics": "repro.obs.forensics",
+    "localize_trials": "repro.obs.forensics",
+    "mission_drift": "repro.obs.drift",
+    "drift_table": "repro.obs.drift",
+    "render_report": "repro.obs.report",
+    "write_report": "repro.obs.report",
+}
+
+
+def __getattr__(name: str):
+    module_name = _LAZY.get(name)
+    if module_name is None:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+    import importlib
+
+    return getattr(importlib.import_module(module_name), name)

@@ -1,0 +1,333 @@
+"""Trace analytics: span trees, rollups, critical paths, flamegraphs.
+
+:mod:`repro.obs.trace` records flat JSONL event streams; this module
+reconstructs *structure* from them.  :func:`build_span_tree` turns an
+event stream (one process, or ``Tracer.adopt``-merged worker shards)
+into a tree of :class:`Span` nodes carrying both clocks, from which the
+analysis passes derive:
+
+* :func:`rollup_by_name` — per-span-kind time rollups (count, total and
+  *self* wall time, virtual-time totals);
+* :func:`critical_path` — the heaviest root-to-leaf chain through the
+  trace (the ``mission → round → …`` or ``campaign → shard → trial``
+  chain where the time actually went);
+* :func:`collapsed_stacks` — flamegraph.pl / speedscope "collapsed
+  stack" output (``a;b;c <self-µs>`` lines);
+* :func:`top_spans_by_self_time` / :func:`summarize_trace` — the quick
+  textual summaries behind ``vds-repro trace --summary`` and
+  ``vds-repro analyze``.
+
+Everything here is *post-hoc*: nothing in this module is imported by the
+instrumented hot paths, so analysis can never add overhead to a run
+(guarded by the observability benchmark suite).
+
+Wall-clock caveat: adopted worker events keep their own recording epoch
+(see :meth:`repro.obs.trace.Tracer.adopt`), so wall durations are exact
+*within* any span but self-times of spans whose children ran in other
+processes are clamped at zero rather than trusted.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Iterator, Optional, Union
+
+from repro.obs.trace import SpanEvent
+
+__all__ = [
+    "Span",
+    "SpanTree",
+    "RollupRow",
+    "build_span_tree",
+    "rollup_by_name",
+    "critical_path",
+    "collapsed_stacks",
+    "collapsed_stacks_text",
+    "top_spans_by_self_time",
+    "summarize_trace",
+]
+
+_Events = Iterable[Union[SpanEvent, dict]]
+
+
+def _as_events(events: _Events) -> Iterator[SpanEvent]:
+    for ev in events:
+        yield SpanEvent.from_json_obj(ev) if isinstance(ev, dict) else ev
+
+
+@dataclass
+class Span:
+    """One reconstructed span: its events, children, and derived times."""
+
+    name: str
+    span_id: int
+    parent_id: int
+    start: SpanEvent
+    end: Optional[SpanEvent] = None
+    children: list["Span"] = field(default_factory=list)
+    points: list[SpanEvent] = field(default_factory=list)
+
+    @property
+    def attrs(self) -> dict[str, Any]:
+        """Start attributes overlaid with end attributes (end wins)."""
+        if self.end is None or not self.end.attrs:
+            return self.start.attrs
+        return {**self.start.attrs, **self.end.attrs}
+
+    @property
+    def wall_duration(self) -> float:
+        """Wall seconds from start to end (0.0 for unclosed spans)."""
+        if self.end is None:
+            return 0.0
+        return max(0.0, self.end.wall - self.start.wall)
+
+    @property
+    def vt_duration(self) -> Optional[float]:
+        """Virtual-time extent, when both endpoints carry a ``vt``."""
+        if (self.end is None or self.end.vt is None
+                or self.start.vt is None):
+            return None
+        return self.end.vt - self.start.vt
+
+    @property
+    def wall_self(self) -> float:
+        """Wall time not accounted for by direct children (clamped >= 0).
+
+        Clamping matters for spans whose children were adopted from
+        worker processes: shard wall-clocks overlap, so their sum can
+        exceed the parent's extent.
+        """
+        return max(0.0,
+                   self.wall_duration
+                   - sum(c.wall_duration for c in self.children))
+
+    def walk(self) -> Iterator["Span"]:
+        """This span and every descendant, depth-first, children in order."""
+        yield self
+        for child in self.children:
+            yield from child.walk()
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (f"Span({self.name!r}, id={self.span_id}, "
+                f"children={len(self.children)})")
+
+
+@dataclass
+class SpanTree:
+    """The reconstructed forest of one trace."""
+
+    roots: list[Span] = field(default_factory=list)
+    by_id: dict[int, Span] = field(default_factory=dict)
+    orphan_points: list[SpanEvent] = field(default_factory=list)
+
+    def walk(self) -> Iterator[Span]:
+        for root in self.roots:
+            yield from root.walk()
+
+    def find(self, name: str) -> list[Span]:
+        """Every span named ``name``, in recording order."""
+        return [s for s in self.walk() if s.name == name]
+
+    def __len__(self) -> int:
+        return len(self.by_id)
+
+
+def build_span_tree(events: _Events) -> SpanTree:
+    """Reconstruct the span forest from a flat event stream.
+
+    Tolerant by design (analysis must work on imperfect traces): an end
+    without a start is dropped, an unclosed span keeps ``end=None`` (its
+    durations read as zero), and a child whose parent id never appears
+    becomes a root.  Run :func:`repro.obs.trace.validate_trace` first
+    when structural problems should be *reported* rather than absorbed.
+    """
+    tree = SpanTree()
+    for ev in _as_events(events):
+        if ev.kind == "start":
+            span = Span(name=ev.name, span_id=ev.span_id,
+                        parent_id=ev.parent_id, start=ev)
+            # Span ids are unique per tracer (adoption re-bases them);
+            # a reused id would overwrite here, which validate_trace
+            # reports as a problem upstream.
+            tree.by_id[ev.span_id] = span
+            parent = tree.by_id.get(ev.parent_id)
+            if parent is not None:
+                parent.children.append(span)
+            else:
+                tree.roots.append(span)
+        elif ev.kind == "end":
+            span = tree.by_id.get(ev.span_id)
+            if span is not None and span.end is None:
+                span.end = ev
+        else:  # point
+            parent = tree.by_id.get(ev.parent_id)
+            if parent is not None:
+                parent.points.append(ev)
+            else:
+                tree.orphan_points.append(ev)
+    return tree
+
+
+@dataclass(frozen=True)
+class RollupRow:
+    """Aggregate statistics for one span name."""
+
+    name: str
+    count: int
+    wall_total: float
+    wall_self: float
+    wall_max: float
+    vt_total: float       #: sum of vt extents over spans that carry vt
+    points: int           #: point events attached to spans of this name
+
+    @property
+    def wall_mean(self) -> float:
+        return self.wall_total / self.count if self.count else 0.0
+
+
+def rollup_by_name(tree: SpanTree) -> list[RollupRow]:
+    """Per-span-kind rollup, heaviest total wall time first."""
+    acc: dict[str, dict[str, float]] = {}
+    for span in tree.walk():
+        row = acc.setdefault(span.name, {
+            "count": 0, "wall_total": 0.0, "wall_self": 0.0,
+            "wall_max": 0.0, "vt_total": 0.0, "points": 0,
+        })
+        row["count"] += 1
+        row["wall_total"] += span.wall_duration
+        row["wall_self"] += span.wall_self
+        row["wall_max"] = max(row["wall_max"], span.wall_duration)
+        vt = span.vt_duration
+        if vt is not None:
+            row["vt_total"] += vt
+        row["points"] += len(span.points)
+    rows = [
+        RollupRow(name=name, count=int(r["count"]),
+                  wall_total=r["wall_total"], wall_self=r["wall_self"],
+                  wall_max=r["wall_max"], vt_total=r["vt_total"],
+                  points=int(r["points"]))
+        for name, r in acc.items()
+    ]
+    rows.sort(key=lambda r: (-r.wall_total, r.name))
+    return rows
+
+
+def critical_path(tree: SpanTree, clock: str = "wall") -> list[Span]:
+    """The heaviest root-to-leaf chain through the trace.
+
+    Starting from the heaviest root, descend into the heaviest child at
+    each level; the result is the chain where the measured time actually
+    went (``campaign → shard → trial`` or ``mission → round``).  With
+    ``clock="vt"`` the descent weighs virtual-time extents instead —
+    the right clock for DES missions, whose wall time is simulator
+    bookkeeping rather than modeled time.
+    """
+    if clock not in ("wall", "vt"):
+        raise ValueError(f"clock must be 'wall' or 'vt', got {clock!r}")
+
+    def weight(span: Span) -> float:
+        if clock == "vt":
+            vt = span.vt_duration
+            return vt if vt is not None else 0.0
+        return span.wall_duration
+
+    if not tree.roots:
+        return []
+    path: list[Span] = []
+    node = max(tree.roots, key=weight)
+    while node is not None:
+        path.append(node)
+        node = max(node.children, key=weight, default=None)
+    return path
+
+
+def collapsed_stacks(tree: SpanTree, clock: str = "wall"
+                     ) -> dict[str, float]:
+    """Aggregate self-time per call stack (``"a;b;c" -> seconds``).
+
+    The stack key is the ``;``-joined span-name chain from the root;
+    identical chains from different trials accumulate.  ``clock="vt"``
+    aggregates virtual-time self-extents instead (negative self-vt from
+    overlapping DES lanes is clamped at zero, like wall self-time).
+    """
+    if clock not in ("wall", "vt"):
+        raise ValueError(f"clock must be 'wall' or 'vt', got {clock!r}")
+    acc: dict[str, float] = {}
+
+    def self_time(span: Span) -> float:
+        if clock == "wall":
+            return span.wall_self
+        vt = span.vt_duration
+        if vt is None:
+            return 0.0
+        used = sum(c.vt_duration or 0.0 for c in span.children)
+        return max(0.0, vt - used)
+
+    def visit(span: Span, prefix: str) -> None:
+        stack = f"{prefix};{span.name}" if prefix else span.name
+        t = self_time(span)
+        if t > 0.0:
+            acc[stack] = acc.get(stack, 0.0) + t
+        for child in span.children:
+            visit(child, stack)
+
+    for root in tree.roots:
+        visit(root, "")
+    return acc
+
+
+def collapsed_stacks_text(tree: SpanTree, clock: str = "wall") -> str:
+    """Flamegraph.pl / speedscope collapsed-stack lines.
+
+    Values are integer microseconds (wall) or integer milli-units (vt,
+    ×1000 so sub-unit extents survive the integer conversion); stacks
+    rounding to zero are dropped.  Feed the output straight to
+    ``flamegraph.pl`` or import it into https://speedscope.app.
+    """
+    scale = 1e6 if clock == "wall" else 1e3
+    lines = []
+    for stack, seconds in sorted(collapsed_stacks(tree, clock).items()):
+        value = round(seconds * scale)
+        if value > 0:
+            lines.append(f"{stack} {value}")
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def top_spans_by_self_time(tree: SpanTree, n: int = 10) -> list[Span]:
+    """The ``n`` individual spans with the largest wall self-time."""
+    spans = sorted(tree.walk(), key=lambda s: -s.wall_self)
+    return spans[:max(0, n)]
+
+
+def summarize_trace(events: _Events, top: int = 10) -> str:
+    """Human-readable rollup + top-self-time summary of a trace."""
+    tree = build_span_tree(events)
+    lines: list[str] = []
+    rows = rollup_by_name(tree)
+    n_spans = sum(r.count for r in rows)
+    n_points = sum(r.points for r in rows) + len(tree.orphan_points)
+    lines.append(f"spans: {n_spans}  points: {n_points}  "
+                 f"roots: {len(tree.roots)}")
+    lines.append("")
+    lines.append(f"{'span kind':28s} {'count':>7s} {'wall total':>12s} "
+                 f"{'wall self':>12s} {'wall mean':>12s} {'vt total':>10s}")
+    for r in rows:
+        lines.append(
+            f"{r.name:28s} {r.count:7d} {r.wall_total:11.4f}s "
+            f"{r.wall_self:11.4f}s {r.wall_mean:11.6f}s {r.vt_total:10.2f}"
+        )
+    top_spans = [s for s in top_spans_by_self_time(tree, top)
+                 if s.wall_self > 0.0]
+    if top_spans:
+        lines.append("")
+        lines.append(f"top {len(top_spans)} spans by self time:")
+        for s in top_spans:
+            vt = f" vt={s.start.vt:g}" if s.start.vt is not None else ""
+            lines.append(f"  {s.wall_self:10.6f}s  {s.name}{vt}")
+    path = critical_path(tree)
+    if path:
+        lines.append("")
+        chain = " > ".join(s.name for s in path)
+        lines.append(f"critical path (wall): {chain} "
+                     f"({path[0].wall_duration:.4f}s)")
+    return "\n".join(lines)

@@ -1,0 +1,246 @@
+"""Model-vs-simulation drift: traced timings against the analytical model.
+
+A traced mission (:mod:`repro.vds.system`) carries its model parameters on
+the ``vds.mission`` span (α, s, t, c, t′) and its measured virtual-time
+extents on every ``vds.round`` / ``vds.recovery`` span.  This module
+re-evaluates the paper's closed forms from those attributes alone —
+Eq. (1)/(3) for the round, Eq. (2)/(5) for the correction — and reports
+how far the discrete-event simulation drifted from them.  Zero drift is
+the expected state (the simulator schedules the very same durations);
+non-zero drift is the regression signal this analyzer exists to catch.
+
+Schemes beyond the paper's two closed forms (probabilistic roll-forward,
+prediction, boosted variants) have no analytical prediction; their rows
+carry ``model=None`` and report measured time only.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Iterable, Optional, Union
+
+from repro.obs.analyze import SpanTree, build_span_tree
+from repro.obs.trace import SpanEvent
+
+__all__ = [
+    "DriftRow",
+    "MissionDrift",
+    "params_from_attrs",
+    "round_model",
+    "recovery_model",
+    "mission_drift",
+    "drift_table",
+    "drift_to_json_obj",
+]
+
+_TreeLike = Union[SpanTree, Iterable[Union[SpanEvent, dict]]]
+
+#: |relative drift| above which a row is flagged (simulation should match
+#: the closed forms to float precision; 0.1 % already means a logic change).
+DRIFT_FLAG_THRESHOLD = 1e-3
+
+
+@dataclass(frozen=True)
+class DriftRow:
+    """Measured-vs-predicted timing for one quantity of one mission."""
+
+    quantity: str              #: ``"round"`` or ``"recovery"``
+    scheme: str
+    timing: str
+    alpha: Optional[float]
+    s: Optional[int]
+    i: Optional[int]           #: fault round within the interval (recovery)
+    n: int                     #: number of measured spans aggregated
+    measured_mean: float       #: mean virtual-time extent
+    model: Optional[float]     #: analytical prediction (None: no closed form)
+
+    @property
+    def abs_drift(self) -> Optional[float]:
+        if self.model is None:
+            return None
+        return self.measured_mean - self.model
+
+    @property
+    def rel_drift(self) -> Optional[float]:
+        if self.model is None or self.model == 0.0:
+            return None
+        return (self.measured_mean - self.model) / self.model
+
+    @property
+    def flagged(self) -> bool:
+        """True when the drift exceeds :data:`DRIFT_FLAG_THRESHOLD`."""
+        rel = self.rel_drift
+        if rel is not None:
+            return abs(rel) > DRIFT_FLAG_THRESHOLD
+        abs_ = self.abs_drift
+        return abs_ is not None and abs_ != 0.0
+
+    def to_json_obj(self) -> dict[str, Any]:
+        return {
+            "quantity": self.quantity,
+            "scheme": self.scheme,
+            "timing": self.timing,
+            "alpha": self.alpha,
+            "s": self.s,
+            "i": self.i,
+            "n": self.n,
+            "measured_mean": self.measured_mean,
+            "model": self.model,
+            "abs_drift": self.abs_drift,
+            "rel_drift": self.rel_drift,
+            "flagged": self.flagged,
+        }
+
+
+@dataclass(frozen=True)
+class MissionDrift:
+    """All drift rows of one traced mission."""
+
+    scheme: str
+    timing: str
+    alpha: Optional[float]
+    s: Optional[int]
+    rounds: Optional[int]
+    rows: tuple[DriftRow, ...]
+
+    @property
+    def flagged_rows(self) -> tuple[DriftRow, ...]:
+        return tuple(r for r in self.rows if r.flagged)
+
+
+def params_from_attrs(attrs: dict[str, Any]):
+    """Rebuild :class:`~repro.core.params.VDSParameters` from span attrs.
+
+    Returns ``None`` when the trace predates the parameter attributes (or
+    was recorded by something other than a mission).
+    """
+    from repro.core.params import VDSParameters
+
+    try:
+        return VDSParameters(
+            alpha=float(attrs["alpha"]), s=int(attrs["s"]),
+            t=float(attrs["t"]), c=float(attrs["c"]),
+            t_cmp=float(attrs["t_cmp"]),
+        )
+    except Exception:
+        # Missing keys, wrong types, or ConfigurationError on corrupt
+        # attrs all mean the same thing here: no model available.
+        return None
+
+
+def round_model(timing: str, params) -> Optional[float]:
+    """Eq. (1) or Eq. (3), chosen by the traced timing class name."""
+    if params is None:
+        return None
+    from repro.core.conventional import conventional_round_time
+    from repro.core.smt_model import smt_round_time
+
+    if timing == "ConventionalTiming":
+        return conventional_round_time(params)
+    if timing.startswith("SMT"):
+        return smt_round_time(params)
+    return None
+
+
+def recovery_model(scheme: str, timing: str, params,
+                   i: Optional[int]) -> Optional[float]:
+    """Eq. (2) or Eq. (5) where the paper gives a closed form, else None."""
+    if params is None or i is None or not (1 <= i <= params.s):
+        return None
+    from repro.core.conventional import conventional_correction_time
+    from repro.core.smt_model import smt_correction_time
+
+    if scheme == "stop-and-retry" and timing == "ConventionalTiming":
+        return conventional_correction_time(params, i)
+    if scheme == "roll-forward-deterministic" and timing.startswith("SMT"):
+        return smt_correction_time(params, i)
+    return None
+
+
+def mission_drift(source: _TreeLike) -> list[MissionDrift]:
+    """Drift analysis of every ``vds.mission`` span in a trace."""
+    tree = source if isinstance(source, SpanTree) else build_span_tree(source)
+    missions: list[MissionDrift] = []
+    for mission in tree.find("vds.mission"):
+        attrs = mission.attrs
+        scheme = str(attrs.get("scheme", ""))
+        timing = str(attrs.get("timing", ""))
+        params = params_from_attrs(attrs)
+        alpha = params.alpha if params is not None else attrs.get("alpha")
+        s = params.s if params is not None else attrs.get("s")
+        rows: list[DriftRow] = []
+
+        round_extents = [
+            vt for span in mission.children
+            if span.name == "vds.round"
+            and (vt := span.vt_duration) is not None
+        ]
+        if round_extents:
+            rows.append(DriftRow(
+                quantity="round", scheme=scheme, timing=timing,
+                alpha=alpha, s=s, i=None, n=len(round_extents),
+                measured_mean=sum(round_extents) / len(round_extents),
+                model=round_model(timing, params),
+            ))
+
+        # Recovery episodes grouped by the fault round i: Eq. (2)/(5)
+        # predict per-i times, and identical i's should measure identically.
+        by_i: dict[Optional[int], list[float]] = {}
+        for span in mission.children:
+            if span.name != "vds.recovery":
+                continue
+            vt = span.vt_duration
+            if vt is None:
+                continue
+            key = span.attrs.get("i")
+            by_i.setdefault(key if key is None else int(key), []).append(vt)
+        for i in sorted(by_i, key=lambda k: (k is None, k)):
+            extents = by_i[i]
+            rows.append(DriftRow(
+                quantity="recovery", scheme=scheme, timing=timing,
+                alpha=alpha, s=s, i=i, n=len(extents),
+                measured_mean=sum(extents) / len(extents),
+                model=recovery_model(scheme, timing, params, i),
+            ))
+
+        missions.append(MissionDrift(
+            scheme=scheme, timing=timing, alpha=alpha, s=s,
+            rounds=attrs.get("rounds"), rows=tuple(rows),
+        ))
+    return missions
+
+
+def drift_table(missions: Iterable[MissionDrift]) -> str:
+    """Plain-text drift table (the ``repro analyze`` rendering)."""
+    lines = [
+        f"{'quantity':9s} {'scheme':28s} {'timing':20s} {'alpha':>6s} "
+        f"{'s':>4s} {'i':>4s} {'n':>5s} {'measured':>12s} {'model':>12s} "
+        f"{'drift':>10s}"
+    ]
+    for mission in missions:
+        for r in mission.rows:
+            alpha = f"{r.alpha:.3f}" if r.alpha is not None else "-"
+            model = f"{r.model:12.6f}" if r.model is not None else f"{'-':>12s}"
+            rel = r.rel_drift
+            drift = (f"{rel:+9.2%}" if rel is not None
+                     else ("mismatch" if r.flagged else "-"))
+            flag = " <-- DRIFT" if r.flagged else ""
+            lines.append(
+                f"{r.quantity:9s} {r.scheme:28s} {r.timing:20s} {alpha:>6s} "
+                f"{str(r.s) if r.s is not None else '-':>4s} "
+                f"{str(r.i) if r.i is not None else '-':>4s} {r.n:5d} "
+                f"{r.measured_mean:12.6f} {model} {drift:>10s}{flag}"
+            )
+    return "\n".join(lines)
+
+
+def drift_to_json_obj(missions: Iterable[MissionDrift]
+                      ) -> list[dict[str, Any]]:
+    return [
+        {
+            "scheme": m.scheme, "timing": m.timing, "alpha": m.alpha,
+            "s": m.s, "rounds": m.rounds,
+            "rows": [r.to_json_obj() for r in m.rows],
+        }
+        for m in missions
+    ]

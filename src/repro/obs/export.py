@@ -61,8 +61,14 @@ def read_trace_jsonl(path: Union[str, Path]) -> list[SpanEvent]:
 
 # -- Prometheus text exposition --------------------------------------------
 
+def _escape_label(value: str) -> str:
+    """Escape a label value per the exposition format: ``\\``, ``"``, LF."""
+    return (str(value).replace("\\", "\\\\").replace('"', '\\"')
+            .replace("\n", "\\n"))
+
+
 def _selector(labels: Iterable[tuple[str, str]], extra: str = "") -> str:
-    parts = [f'{k}="{v}"' for k, v in labels]
+    parts = [f'{k}="{_escape_label(v)}"' for k, v in labels]
     if extra:
         parts.append(extra)
     return "{" + ",".join(parts) + "}" if parts else ""

@@ -1,0 +1,482 @@
+"""Trial forensics: causal chains from fault injection to detection.
+
+Replay-based detectors reconstruct *why* a redundancy mechanism fired;
+this module does the same for the reproduction's two execution layers:
+
+* **Campaign trials** (ISA level) — :func:`trial_forensics` joins each
+  ``campaign.trial`` span with its ``campaign.injection`` point and the
+  trial's outcome, yielding detection latency in rounds (the paper's
+  unit), retired instructions (the cycle-level proxy), and wall seconds.
+* **Missions** (DES level) — :func:`recovery_forensics` links each
+  ``vds.recovery`` span back through the mismatching round's
+  ``vds.compare`` point to the round where the fault struck, giving the
+  fault → detection → recovery-complete chain in virtual time.
+* **Divergence localization** — :func:`replay_divergence` re-executes a
+  detected trial deterministically and, at the mismatching round
+  boundary, uses the incremental per-chunk state digests
+  (:meth:`repro.isa.state.ArchState.memory_chunk_digests`) to localize
+  the first memory chunk — and word — where the two versions' decoded
+  states diverge, plus the victim's divergent registers against its own
+  clean execution.  :func:`localize_trials` drives this over every
+  comparison-detected trial of a seeded campaign, regenerating each
+  trial's fault plan from the campaign's seed tree (the same
+  ``SeedSequence.spawn`` derivation the sharded runner uses, so the
+  replay is exact by construction).
+
+Nothing here is imported by the instrumented hot paths; forensics is a
+post-hoc analysis layer over traces and seeds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Iterable, Optional, Sequence, Union
+
+import numpy as np
+
+from repro.errors import ObservabilityError
+from repro.obs.analyze import Span, SpanTree, build_span_tree
+from repro.obs.trace import SpanEvent
+
+__all__ = [
+    "DivergenceReport",
+    "TrialForensics",
+    "RecoveryForensics",
+    "trial_forensics",
+    "recovery_forensics",
+    "first_divergence",
+    "replay_divergence",
+    "campaign_trial_plans",
+    "localize_trials",
+    "forensics_to_json_obj",
+]
+
+_TreeLike = Union[SpanTree, Iterable[Union[SpanEvent, dict]]]
+
+
+def _as_tree(source: _TreeLike) -> SpanTree:
+    return source if isinstance(source, SpanTree) else build_span_tree(source)
+
+
+# -- records -----------------------------------------------------------------
+
+@dataclass(frozen=True)
+class DivergenceReport:
+    """Where two versions' states first diverge at a round boundary."""
+
+    round: int                          #: round whose comparison mismatched
+    first_divergent_chunk: Optional[int]  #: 64-word memory chunk index
+    first_divergent_word: Optional[int]   #: word address within memory
+    word_values: Optional[tuple[int, int]]  #: decoded (V1, V2) values there
+    divergent_chunks: tuple[int, ...]   #: all differing chunk indices
+    divergent_registers: tuple[int, ...]  #: victim regs differing from clean
+    output_diverged: bool
+    halted_diverged: bool
+    latency_instructions: Optional[int]  #: victim instret minus strike instant
+
+    def to_json_obj(self) -> dict[str, Any]:
+        return {
+            "round": self.round,
+            "first_divergent_chunk": self.first_divergent_chunk,
+            "first_divergent_word": self.first_divergent_word,
+            "word_values": (list(self.word_values)
+                            if self.word_values is not None else None),
+            "divergent_chunks": list(self.divergent_chunks),
+            "divergent_registers": list(self.divergent_registers),
+            "output_diverged": self.output_diverged,
+            "halted_diverged": self.halted_diverged,
+            "latency_instructions": self.latency_instructions,
+        }
+
+
+@dataclass(frozen=True)
+class TrialForensics:
+    """The causal record of one campaign trial."""
+
+    index: int                       #: campaign-global trial index
+    kind: str                        #: fault class (FaultKind value)
+    victim: int                      #: 1-based victim version
+    outcome: str                     #: FaultOutcome value
+    injected_round: Optional[int]
+    detected_round: Optional[int]
+    rounds_executed: Optional[int]
+    detection_latency_rounds: Optional[int]
+    detection_wall_seconds: Optional[float]  #: injection point -> trial end
+    injection: dict[str, Any]        #: injection-point attributes (target)
+    divergence: Optional[DivergenceReport] = None
+
+    def to_json_obj(self) -> dict[str, Any]:
+        out: dict[str, Any] = {
+            "index": self.index,
+            "kind": self.kind,
+            "victim": self.victim,
+            "outcome": self.outcome,
+            "injected_round": self.injected_round,
+            "detected_round": self.detected_round,
+            "rounds_executed": self.rounds_executed,
+            "detection_latency_rounds": self.detection_latency_rounds,
+            "detection_wall_seconds": self.detection_wall_seconds,
+            "injection": dict(self.injection),
+        }
+        if self.divergence is not None:
+            out["divergence"] = self.divergence.to_json_obj()
+        return out
+
+
+@dataclass(frozen=True)
+class RecoveryForensics:
+    """One mission recovery episode, linked back to its detection."""
+
+    scheme: str
+    round: int                 #: mission round whose comparison mismatched
+    i: Optional[int]           #: round index within the checkpoint interval
+    resolved: bool
+    progress: Optional[int]
+    detect_vt: Optional[float]       #: vt of the mismatching vds.compare
+    recovery_start_vt: Optional[float]
+    recovery_duration_vt: Optional[float]
+    fault_to_recovered_vt: Optional[float]  #: round start -> recovery end
+
+    def to_json_obj(self) -> dict[str, Any]:
+        return {
+            "scheme": self.scheme,
+            "round": self.round,
+            "i": self.i,
+            "resolved": self.resolved,
+            "progress": self.progress,
+            "detect_vt": self.detect_vt,
+            "recovery_start_vt": self.recovery_start_vt,
+            "recovery_duration_vt": self.recovery_duration_vt,
+            "fault_to_recovered_vt": self.fault_to_recovered_vt,
+        }
+
+
+# -- trace joins -------------------------------------------------------------
+
+def trial_forensics(source: _TreeLike) -> list[TrialForensics]:
+    """Per-trial forensic records from a campaign trace, in trial order.
+
+    Detection latency in rounds is ``detected_round - injected_round``,
+    exactly the definition behind
+    :meth:`repro.faults.campaign.CampaignResult.detection_latencies` —
+    the two agree trial for trial on any trace of the same campaign.
+    """
+    tree = _as_tree(source)
+    records: list[TrialForensics] = []
+    for span in tree.find("campaign.trial"):
+        attrs = span.attrs
+        index = int(span.start.vt) if span.start.vt is not None else -1
+        injection: dict[str, Any] = {}
+        injection_wall: Optional[float] = None
+        for point in span.points:
+            if point.name == "campaign.injection":
+                injection = dict(point.attrs)
+                injection_wall = point.wall
+                break
+        injected_round = injection.get("round")
+        detected_round = attrs.get("detected_round")
+        latency = attrs.get("detection_latency")
+        if (latency is None and injected_round is not None
+                and detected_round is not None):
+            latency = detected_round - injected_round
+        wall_latency = None
+        if (detected_round is not None and injection_wall is not None
+                and span.end is not None):
+            wall_latency = max(0.0, span.end.wall - injection_wall)
+        records.append(TrialForensics(
+            index=index,
+            kind=str(attrs.get("kind", "")),
+            victim=int(attrs.get("victim", 0)),
+            outcome=str(attrs.get("outcome", "")),
+            injected_round=injected_round,
+            detected_round=detected_round,
+            rounds_executed=attrs.get("rounds"),
+            detection_latency_rounds=latency,
+            detection_wall_seconds=wall_latency,
+            injection=injection,
+        ))
+    records.sort(key=lambda r: r.index)
+    return records
+
+
+def recovery_forensics(source: _TreeLike) -> list[RecoveryForensics]:
+    """Fault → detection → recovery chains from a mission trace.
+
+    Each ``vds.recovery`` span is linked to the ``vds.round`` span of the
+    same mission round and that round's ``vds.compare`` point (the
+    comparison that flagged the mismatch).
+    """
+    tree = _as_tree(source)
+    records: list[RecoveryForensics] = []
+    for mission in tree.find("vds.mission"):
+        rounds_by_number: dict[int, Span] = {}
+        for child in mission.children:
+            if child.name == "vds.round" and "round" in child.start.attrs:
+                # First execution of the round wins: re-executed rounds
+                # after a rollback reuse the global round number.
+                rounds_by_number.setdefault(
+                    int(child.start.attrs["round"]), child)
+        for child in mission.children:
+            if child.name != "vds.recovery":
+                continue
+            attrs = child.attrs
+            round_no = int(attrs.get("round", -1))
+            round_span = rounds_by_number.get(round_no)
+            detect_vt = None
+            round_start_vt = None
+            if round_span is not None:
+                round_start_vt = round_span.start.vt
+                for point in round_span.points:
+                    if (point.name == "vds.compare"
+                            and int(point.attrs.get("round", -1)) == round_no):
+                        detect_vt = point.vt
+                        break
+            duration = child.vt_duration
+            end_vt = child.end.vt if child.end is not None else None
+            records.append(RecoveryForensics(
+                scheme=str(attrs.get("scheme", "")),
+                round=round_no,
+                i=attrs.get("i"),
+                resolved=bool(attrs.get("resolved", False)),
+                progress=attrs.get("progress"),
+                detect_vt=detect_vt,
+                recovery_start_vt=child.start.vt,
+                recovery_duration_vt=duration,
+                fault_to_recovered_vt=(
+                    end_vt - round_start_vt
+                    if end_vt is not None and round_start_vt is not None
+                    else None),
+            ))
+    return records
+
+
+# -- divergence localization -------------------------------------------------
+
+def first_divergence(state_a, state_b, mask_a: int = 0, mask_b: int = 0,
+                     *, round_no: int = 0,
+                     clean_victim_state=None, victim_registers=None,
+                     latency_instructions: Optional[int] = None,
+                     ) -> DivergenceReport:
+    """Localize where two end-of-round states diverge.
+
+    Memory is compared on the *decoded* images (each version's encoding
+    mask removed).  When the masks coincide the per-chunk digests do the
+    heavy lifting: only chunks whose SHA-256 digests differ are examined
+    word by word, and digests unchanged since the previous snapshot were
+    never even re-hashed (:meth:`ArchState.seed_chunks_from`).  Register
+    files of diverse versions differ by construction, so registers are
+    localized against ``clean_victim_state`` — the *same* version's
+    fault-free state at the same round — when the caller has one.
+    """
+    from repro.isa.state import CHUNK_WORDS
+
+    divergent_chunks: list[int] = []
+    first_word: Optional[int] = None
+    word_values: Optional[tuple[int, int]] = None
+    mem_a, mem_b = state_a.memory, state_b.memory
+    if len(mem_a) == len(mem_b):
+        if mask_a == mask_b:
+            # Same encoding: the XOR cancels, raw digests localize.
+            da = state_a.memory_chunk_digests()
+            db = state_b.memory_chunk_digests()
+            divergent_chunks = [i for i, (x, y) in enumerate(zip(da, db))
+                                if x != y]
+            if divergent_chunks:
+                lo = divergent_chunks[0] * CHUNK_WORDS
+                hi = min(lo + CHUNK_WORDS, len(mem_a))
+                diff = np.nonzero(mem_a[lo:hi] != mem_b[lo:hi])[0]
+                first_word = lo + int(diff[0])
+        else:
+            dec_a = mem_a ^ np.uint32(mask_a)
+            dec_b = mem_b ^ np.uint32(mask_b)
+            words = np.nonzero(dec_a != dec_b)[0]
+            if len(words):
+                first_word = int(words[0])
+                chunks = sorted({int(w) // CHUNK_WORDS for w in words})
+                divergent_chunks = chunks
+        if first_word is not None:
+            word_values = (int(mem_a[first_word]) ^ mask_a,
+                           int(mem_b[first_word]) ^ mask_b)
+    divergent_registers: tuple[int, ...] = ()
+    if clean_victim_state is not None and victim_registers is not None:
+        divergent_registers = tuple(
+            i for i, (got, want) in enumerate(
+                zip(victim_registers, clean_victim_state.registers))
+            if got != want
+        )
+    return DivergenceReport(
+        round=round_no,
+        first_divergent_chunk=(divergent_chunks[0]
+                               if divergent_chunks else None),
+        first_divergent_word=first_word,
+        word_values=word_values,
+        divergent_chunks=tuple(divergent_chunks),
+        divergent_registers=divergent_registers,
+        output_diverged=state_a.output != state_b.output,
+        halted_diverged=state_a.halted != state_b.halted,
+        latency_instructions=latency_instructions,
+    )
+
+
+def replay_divergence(version_a, version_b, spec, victim: int,
+                      round_instructions: int = 2_000,
+                      memory_words: int = 256,
+                      max_rounds: int = 4_000) -> Optional[DivergenceReport]:
+    """Re-execute one trial and localize its first state divergence.
+
+    The loop is the trial loop of
+    :func:`repro.faults.campaign.run_duplex_trial` (same round budgets,
+    same injection points, same comparison), stopped at the first
+    mismatching round boundary.  Returns ``None`` for trials that never
+    reach a comparison mismatch (benign, trap-detected, silent, or
+    timed-out faults have no divergent round boundary to localize).
+    """
+    from repro.errors import MachineFault
+    from repro.faults.campaign import (  # the trial loop's own helpers
+        _duplex_mismatch,
+        _run_round_with_injection,
+    )
+    from repro.faults.effects import install_permanent
+    from repro.faults.models import FaultKind
+    from repro.faults.prefix import get_clean_prefix
+    from repro.isa.machine import Machine
+
+    masks = [version_a.encoding_mask or 0, version_b.encoding_mask or 0]
+    machines = [
+        Machine(version_a.program, memory_words=memory_words,
+                inputs=version_a.inputs, name="V1", fill=masks[0]),
+        Machine(version_b.program, memory_words=memory_words,
+                inputs=version_b.inputs, name="V2", fill=masks[1]),
+    ]
+    if spec.kind.is_permanent:
+        for m in machines:
+            install_permanent(m, spec)
+    pending = [None, None]
+    if spec.kind is FaultKind.PROCESSOR_STOP:
+        pending[0] = pending[1] = spec
+    elif not spec.kind.is_permanent:
+        pending[victim - 1] = spec
+
+    rounds = 0
+    while rounds < max_rounds:
+        rounds += 1
+        for idx, m in enumerate(machines):
+            if m.halted:
+                continue
+            try:
+                pending[idx], hung = _run_round_with_injection(
+                    m, round_instructions, pending[idx])
+            except MachineFault:
+                return None  # trap-detected: no round-boundary divergence
+            if hung:
+                return None  # watchdog-detected
+        if _duplex_mismatch(machines[0], machines[1], masks[0], masks[1]):
+            break
+        if machines[0].halted and machines[1].halted:
+            return None
+    else:
+        return None  # round limit: TIMEOUT trials have no detection
+
+    state_a, state_b = machines[0].snapshot(), machines[1].snapshot()
+    clean_state = None
+    prefix = get_clean_prefix(version_a, version_b, round_instructions,
+                              memory_words, max_rounds)
+    if prefix is not None and rounds <= len(prefix.snaps):
+        clean_state = prefix.snaps[rounds - 1][victim - 1]
+    latency_instructions = None
+    if not spec.kind.is_permanent:
+        victim_instret = machines[victim - 1].instret
+        if victim_instret >= spec.at_instruction:
+            latency_instructions = victim_instret - spec.at_instruction
+    return first_divergence(
+        state_a, state_b, masks[0], masks[1], round_no=rounds,
+        clean_victim_state=clean_state,
+        victim_registers=tuple(machines[victim - 1].registers),
+        latency_instructions=latency_instructions,
+    )
+
+
+# -- campaign replay ---------------------------------------------------------
+
+def campaign_trial_plans(version_a, n_trials: int, rng,
+                         injector=None, memory_words: int = 256
+                         ) -> list[tuple[Any, int]]:
+    """Regenerate the ``(FaultSpec, victim)`` plan of every trial.
+
+    Mirrors the sharded campaign's seed derivation exactly — one
+    ``SeedSequence.spawn`` tree from the master seed, one generator per
+    trial, injector template re-armed per trial — so the plans are the
+    very faults a traced ``run_campaign(..., n_workers=...)`` injected.
+    """
+    from repro.faults.campaign import _default_injector
+    from repro.sim.rng import derive_seed_sequence
+
+    if injector is None:
+        injector = _default_injector(version_a, np.random.default_rng(0),
+                                     memory_words)
+    master = derive_seed_sequence(rng)
+    plans: list[tuple[Any, int]] = []
+    for seed in master.spawn(n_trials):
+        trial_rng = np.random.default_rng(seed)
+        trial_injector = injector.with_rng(trial_rng)
+        spec = trial_injector.draw()
+        victim = int(trial_rng.integers(1, 3))
+        plans.append((spec, victim))
+    return plans
+
+
+def localize_trials(records: Sequence[TrialForensics],
+                    version_a, version_b, rng, n_trials: Optional[int] = None,
+                    injector=None, round_instructions: int = 2_000,
+                    memory_words: int = 256, max_rounds: int = 4_000,
+                    ) -> list[TrialForensics]:
+    """Attach divergence localization to comparison-detected records.
+
+    ``records`` come from :func:`trial_forensics` on a trace of the same
+    campaign; ``rng``/``n_trials``/``injector`` must name that
+    campaign's configuration.  The regenerated plan is cross-checked
+    against each record's traced fault kind and victim — a mismatch
+    means the replay configuration is wrong and raises
+    :class:`~repro.errors.ObservabilityError` rather than localizing a
+    different fault than the one that was injected.
+    """
+    from dataclasses import replace
+
+    if n_trials is None:
+        n_trials = max((r.index for r in records), default=-1) + 1
+    plans = campaign_trial_plans(version_a, n_trials, rng,
+                                 injector=injector,
+                                 memory_words=memory_words)
+    out: list[TrialForensics] = []
+    for record in records:
+        if not (0 <= record.index < len(plans)):
+            raise ObservabilityError(
+                f"trial index {record.index} outside the replayed campaign "
+                f"(n_trials={n_trials})"
+            )
+        spec, victim = plans[record.index]
+        if record.kind and record.kind != spec.kind.value:
+            raise ObservabilityError(
+                f"replay mismatch at trial {record.index}: trace says "
+                f"{record.kind!r}, replay drew {spec.kind.value!r} — wrong "
+                f"campaign configuration (program/seed/injector)?"
+            )
+        if record.victim and record.victim != victim:
+            raise ObservabilityError(
+                f"replay mismatch at trial {record.index}: trace says "
+                f"victim {record.victim}, replay drew {victim}"
+            )
+        if record.outcome == "detected-comparison":
+            divergence = replay_divergence(
+                version_a, version_b, spec, victim,
+                round_instructions=round_instructions,
+                memory_words=memory_words, max_rounds=max_rounds)
+            record = replace(record, divergence=divergence)
+        out.append(record)
+    return out
+
+
+def forensics_to_json_obj(records: Iterable[TrialForensics]
+                          ) -> list[dict[str, Any]]:
+    """JSON-safe dump of forensic records (CLI ``--forensics-out``)."""
+    return [r.to_json_obj() for r in records]

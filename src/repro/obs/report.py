@@ -1,0 +1,478 @@
+"""Self-contained HTML campaign reports (stdlib only, inline SVG).
+
+:func:`render_report` turns one trace — campaign, mission, or both mixed —
+into a single HTML file with zero network dependencies: styles are inlined,
+charts are hand-rolled SVG, tooltips are SVG ``<title>`` elements.  Sections
+appear only when the trace feeds them:
+
+* headline stat tiles (spans, trials, detection rate, wall time);
+* campaign outcome table with share bars;
+* detection-latency histogram (rounds from injection to detection);
+* a flamegraph of merged call stacks (wall self-time, sequential-blue
+  depth shading);
+* per-span-kind rollup table;
+* model-vs-simulation drift tables per traced mission (Eqs. (1)/(3) and
+  (2)/(5)), with drifting rows flagged;
+* per-trial forensic records when the caller supplies them
+  (:func:`repro.obs.forensics.trial_forensics`, optionally localized).
+
+Colors follow the repo's chart conventions: light and dark surfaces are
+both defined (the viewer's ``prefers-color-scheme`` picks), text wears
+text tokens rather than series colors, and single-series charts carry no
+legend — the title names the series.
+"""
+
+from __future__ import annotations
+
+import html
+from pathlib import Path
+from typing import Any, Iterable, Optional, Sequence, Union
+
+from repro.obs.analyze import (
+    SpanTree,
+    build_span_tree,
+    collapsed_stacks,
+    critical_path,
+    rollup_by_name,
+)
+from repro.obs.drift import MissionDrift, mission_drift
+from repro.obs.forensics import TrialForensics, trial_forensics
+from repro.obs.trace import SpanEvent
+
+__all__ = ["render_report", "write_report"]
+
+_TreeLike = Union[SpanTree, Iterable[Union[SpanEvent, dict]]]
+
+# Palette (light, dark) pairs — chart surface, inks, series, status.
+_CSS = """\
+:root {
+  color-scheme: light;
+  --surface: #fcfcfb; --page: #f9f9f7;
+  --ink: #0b0b0b; --ink-2: #52514e; --muted: #898781;
+  --grid: #e1e0d9; --axis: #c3c2b7;
+  --border: rgba(11,11,11,0.10);
+  --series-1: #2a78d6; --critical: #d03b3b; --good: #0ca30c;
+  --flame-0: #9ec5f4; --flame-1: #6da7ec; --flame-2: #3987e5;
+  --flame-3: #256abf; --flame-4: #184f95;
+  --flame-ink-0: #0b0b0b; --flame-ink-1: #0b0b0b;
+  --flame-ink-2: #0b0b0b; --flame-ink-3: #ffffff;
+  --flame-ink-4: #ffffff;
+}
+@media (prefers-color-scheme: dark) {
+  :root {
+    color-scheme: dark;
+    --surface: #1a1a19; --page: #0d0d0d;
+    --ink: #ffffff; --ink-2: #c3c2b7; --muted: #898781;
+    --grid: #2c2c2a; --axis: #383835;
+    --border: rgba(255,255,255,0.10);
+    --series-1: #3987e5;
+    --flame-0: #184f95; --flame-1: #256abf; --flame-2: #3987e5;
+    --flame-3: #6da7ec; --flame-4: #9ec5f4;
+    --flame-ink-0: #ffffff; --flame-ink-1: #ffffff;
+    --flame-ink-2: #0b0b0b; --flame-ink-3: #0b0b0b;
+    --flame-ink-4: #0b0b0b;
+  }
+}
+html { background: var(--page); }
+body {
+  font: 14px/1.45 system-ui, -apple-system, "Segoe UI", sans-serif;
+  color: var(--ink); max-width: 980px; margin: 2rem auto; padding: 0 1rem;
+}
+h1 { font-size: 1.4rem; } h2 { font-size: 1.1rem; margin-top: 2rem; }
+section {
+  background: var(--surface); border: 1px solid var(--border);
+  border-radius: 8px; padding: 1rem 1.25rem; margin: 1rem 0;
+}
+table { border-collapse: collapse; width: 100%; }
+th, td { text-align: left; padding: 4px 10px 4px 0; }
+td.num, th.num { text-align: right; font-variant-numeric: tabular-nums; }
+thead th { color: var(--ink-2); font-weight: 600;
+           border-bottom: 1px solid var(--axis); }
+tbody tr { border-bottom: 1px solid var(--grid); }
+.muted { color: var(--muted); }  .sub { color: var(--ink-2); }
+.flag { color: var(--critical); font-weight: 600; }
+.ok { color: var(--good); }
+.tiles { display: flex; flex-wrap: wrap; gap: 1rem; }
+.tile { min-width: 130px; }
+.tile .v { font-size: 1.6rem; font-weight: 600; }
+.tile .k { color: var(--ink-2); font-size: 0.85rem; }
+.sharebar { display: inline-block; height: 8px; border-radius: 4px;
+            background: var(--series-1); vertical-align: middle; }
+svg text { font: 11px system-ui, -apple-system, "Segoe UI", sans-serif;
+           fill: var(--ink-2); }
+svg .lbl { fill: var(--ink); }
+svg .axis { stroke: var(--axis); stroke-width: 1; }
+svg .bar { fill: var(--series-1); }
+svg .frame rect { stroke: var(--surface); stroke-width: 1; }
+svg .d0 rect { fill: var(--flame-0); } svg .d0 text { fill: var(--flame-ink-0); }
+svg .d1 rect { fill: var(--flame-1); } svg .d1 text { fill: var(--flame-ink-1); }
+svg .d2 rect { fill: var(--flame-2); } svg .d2 text { fill: var(--flame-ink-2); }
+svg .d3 rect { fill: var(--flame-3); } svg .d3 text { fill: var(--flame-ink-3); }
+svg .d4 rect { fill: var(--flame-4); } svg .d4 text { fill: var(--flame-ink-4); }
+"""
+
+
+def _esc(value: Any) -> str:
+    return html.escape(str(value), quote=True)
+
+
+def _fmt(value: Optional[float], digits: int = 4) -> str:
+    if value is None:
+        return "–"
+    return f"{value:.{digits}f}"
+
+
+# -- flamegraph --------------------------------------------------------------
+
+class _Frame:
+    __slots__ = ("name", "self_t", "children")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.self_t = 0.0
+        self.children: dict[str, _Frame] = {}
+
+    @property
+    def total(self) -> float:
+        return self.self_t + sum(c.total for c in self.children.values())
+
+
+def _merge_stacks(stacks: dict[str, float]) -> _Frame:
+    root = _Frame("")
+    for stack, seconds in stacks.items():
+        node = root
+        for part in stack.split(";"):
+            node = node.children.setdefault(part, _Frame(part))
+        node.self_t += seconds
+    return root
+
+
+def _flamegraph_svg(tree: SpanTree, clock: str = "wall") -> str:
+    """Classic flamegraph: merged stacks, width ∝ time, depth shaded."""
+    root = _merge_stacks(collapsed_stacks(tree, clock))
+    total = root.total
+    if total <= 0.0:
+        return ""
+    width, row_h = 960.0, 20
+
+    rects: list[str] = []
+    max_depth = 0
+
+    def visit(frame: _Frame, x: float, depth: int) -> None:
+        nonlocal max_depth
+        w = frame.total / total * width
+        if w < 0.5:  # sub-half-pixel frames: invisible, skip subtree
+            return
+        max_depth = max(max_depth, depth)
+        y = depth * (row_h + 1)
+        unit = "s" if clock == "wall" else " vt"
+        pct = frame.total / total * 100.0
+        shade = min(depth, 4)
+        label = ""
+        if w >= 60:
+            text = frame.name
+            max_chars = int(w / 6.5)
+            if len(text) > max_chars:
+                text = text[:max(1, max_chars - 1)] + "…"
+            label = (f'<text x="{x + 4:.1f}" y="{y + 14}">'
+                     f"{_esc(text)}</text>")
+        rects.append(
+            f'<g class="frame d{shade}">'
+            f'<rect x="{x:.2f}" y="{y}" width="{w:.2f}" height="{row_h}" '
+            f'rx="2">'
+            f"<title>{_esc(frame.name)} — {frame.total:.4g}{unit} "
+            f"({pct:.1f}%)</title></rect>{label}</g>"
+        )
+        cx = x
+        for child in sorted(frame.children.values(),
+                            key=lambda c: -c.total):
+            visit(child, cx, depth + 1)
+            cx += child.total / total * width
+
+    cx = 0.0
+    for child in sorted(root.children.values(), key=lambda c: -c.total):
+        visit(child, cx, 0)
+        cx += child.total / total * width
+
+    height = (max_depth + 1) * (row_h + 1)
+    return (
+        f'<svg viewBox="0 0 {width:.0f} {height}" width="100%" '
+        f'height="{height}" role="img" '
+        f'aria-label="Flamegraph of span self-time">'
+        + "".join(rects) + "</svg>"
+    )
+
+
+# -- histogram ---------------------------------------------------------------
+
+def _latency_histogram_svg(latencies: Sequence[int]) -> str:
+    if not latencies:
+        return ""
+    counts: dict[int, int] = {}
+    for v in latencies:
+        counts[v] = counts.get(v, 0) + 1
+    lo, hi = min(counts), max(counts)
+    bins = list(range(lo, hi + 1))
+    if len(bins) > 40:  # wide spreads: merge into ≤40 equal bins
+        span = (hi - lo + 1 + 39) // 40
+        merged: dict[int, int] = {}
+        for v, n in counts.items():
+            merged[lo + (v - lo) // span * span] = \
+                merged.get(lo + (v - lo) // span * span, 0) + n
+        counts, bins = merged, sorted(merged)
+    peak = max(counts.values())
+    width, height, pad_l, pad_b = 960.0, 180, 36, 24
+    plot_w, plot_h = width - pad_l - 8, height - pad_b - 8
+    bar_w = max(2.0, plot_w / len(bins) - 2.0)
+    parts = [
+        f'<svg viewBox="0 0 {width:.0f} {height}" width="100%" '
+        f'height="{height}" role="img" '
+        f'aria-label="Detection latency histogram">',
+        f'<line class="axis" x1="{pad_l}" y1="{8 + plot_h}" '
+        f'x2="{width - 8:.0f}" y2="{8 + plot_h}"/>',
+        f'<text x="{pad_l - 6}" y="16" text-anchor="end">{peak}</text>',
+        f'<text x="{pad_l - 6}" y="{8 + plot_h}" text-anchor="end">0</text>',
+    ]
+    for idx, b in enumerate(bins):
+        n = counts.get(b, 0)
+        h = n / peak * plot_h
+        x = pad_l + idx * (plot_w / len(bins)) + 1
+        y = 8 + plot_h - h
+        parts.append(
+            f'<rect class="bar" x="{x:.1f}" y="{y:.1f}" '
+            f'width="{bar_w:.1f}" height="{h:.1f}" rx="2">'
+            f"<title>latency {b} rounds — {n} trial"
+            f'{"s" if n != 1 else ""}</title></rect>'
+        )
+        if n == peak:  # selective direct label: the mode only
+            parts.append(f'<text class="lbl" x="{x + bar_w / 2:.1f}" '
+                         f'y="{y - 4:.1f}" text-anchor="middle">{n}</text>')
+        if len(bins) <= 20 or idx % max(1, len(bins) // 10) == 0:
+            parts.append(f'<text x="{x + bar_w / 2:.1f}" '
+                         f'y="{height - 8}" text-anchor="middle">{b}</text>')
+    parts.append("</svg>")
+    return "".join(parts)
+
+
+# -- sections ----------------------------------------------------------------
+
+def _tiles_section(tree: SpanTree, records: Sequence[TrialForensics],
+                   missions: Sequence[MissionDrift]) -> str:
+    rows = rollup_by_name(tree)
+    n_spans = sum(r.count for r in rows)
+    wall = max((r.wall_total for r in rows), default=0.0)
+    tiles = [("spans", f"{n_spans}"), ("wall time", f"{wall:.3f}s")]
+    if records:
+        detected = sum(1 for r in records if r.outcome.startswith("detected"))
+        tiles += [("trials", f"{len(records)}"),
+                  ("detected", f"{detected / len(records):.0%}")]
+    if missions:
+        flagged = sum(len(m.flagged_rows) for m in missions)
+        tiles += [("missions", f"{len(missions)}"),
+                  ("drift rows flagged", f"{flagged}")]
+    cells = "".join(
+        f'<div class="tile"><div class="v">{_esc(v)}</div>'
+        f'<div class="k">{_esc(k)}</div></div>' for k, v in tiles
+    )
+    return f'<section><div class="tiles">{cells}</div></section>'
+
+
+def _outcomes_section(records: Sequence[TrialForensics]) -> str:
+    if not records:
+        return ""
+    counts: dict[str, int] = {}
+    for r in records:
+        counts[r.outcome] = counts.get(r.outcome, 0) + 1
+    total = len(records)
+    body = "".join(
+        f"<tr><td>{_esc(outcome)}</td>"
+        f'<td class="num">{n}</td>'
+        f'<td class="num">{n / total:.1%}</td>'
+        f'<td><span class="sharebar" style="width:{n / total * 160:.0f}px">'
+        f"</span></td></tr>"
+        for outcome, n in sorted(counts.items(), key=lambda kv: -kv[1])
+    )
+    latencies = [r.detection_latency_rounds for r in records
+                 if r.detection_latency_rounds is not None]
+    hist = _latency_histogram_svg(latencies)
+    hist_html = ""
+    if hist:
+        hist_html = (
+            "<h2>Detection latency (rounds)</h2>"
+            f'<p class="sub">Rounds from injection to first mismatching '
+            f"comparison, over {len(latencies)} detected trials.</p>"
+            f"{hist}"
+        )
+    return (
+        "<section><h2>Campaign outcomes</h2>"
+        '<table><thead><tr><th>outcome</th><th class="num">trials</th>'
+        '<th class="num">share</th><th></th></tr></thead>'
+        f"<tbody>{body}</tbody></table>{hist_html}</section>"
+    )
+
+
+def _forensics_section(records: Sequence[TrialForensics]) -> str:
+    detected = [r for r in records if r.detected_round is not None]
+    if not detected:
+        return ""
+    rows = []
+    for r in detected[:200]:
+        div = r.divergence
+        chunk = (str(div.first_divergent_chunk)
+                 if div is not None and div.first_divergent_chunk is not None
+                 else "–")
+        word = (str(div.first_divergent_word)
+                if div is not None and div.first_divergent_word is not None
+                else "–")
+        rows.append(
+            f'<tr><td class="num">{r.index}</td><td>{_esc(r.kind)}</td>'
+            f'<td class="num">{r.victim}</td><td>{_esc(r.outcome)}</td>'
+            f'<td class="num">{r.injected_round}</td>'
+            f'<td class="num">{r.detected_round}</td>'
+            f'<td class="num">{r.detection_latency_rounds}</td>'
+            f'<td class="num">{chunk}</td><td class="num">{word}</td></tr>'
+        )
+    note = ("" if len(detected) <= 200 else
+            f'<p class="muted">Showing 200 of {len(detected)} '
+            "detected trials.</p>")
+    return (
+        "<section><h2>Fault forensics</h2>"
+        '<p class="sub">Per-trial causal records: injection round, '
+        "detection round, latency, and — when localization ran — the first "
+        "divergent memory chunk/word between the two versions.</p>"
+        '<table><thead><tr><th class="num">trial</th><th>fault</th>'
+        '<th class="num">victim</th><th>outcome</th>'
+        '<th class="num">injected</th><th class="num">detected</th>'
+        '<th class="num">latency</th><th class="num">chunk</th>'
+        '<th class="num">word</th></tr></thead>'
+        f"<tbody>{''.join(rows)}</tbody></table>{note}</section>"
+    )
+
+
+def _drift_section(missions: Sequence[MissionDrift]) -> str:
+    if not missions:
+        return ""
+    blocks = []
+    for m in missions:
+        rows = []
+        for r in m.rows:
+            drift = r.rel_drift
+            if r.model is None:
+                cell = '<td class="muted">no closed form</td>'
+            elif r.flagged:
+                cell = (f'<td class="flag">⚠ {drift:+.2%}</td>'
+                        if drift is not None else '<td class="flag">⚠</td>')
+            else:
+                cell = f'<td class="ok">✓ {drift:+.2%}</td>'
+            rows.append(
+                f"<tr><td>{_esc(r.quantity)}</td>"
+                f'<td class="num">{r.i if r.i is not None else "–"}</td>'
+                f'<td class="num">{r.n}</td>'
+                f'<td class="num">{_fmt(r.measured_mean, 6)}</td>'
+                f'<td class="num">{_fmt(r.model, 6)}</td>{cell}</tr>'
+            )
+        alpha = f"{m.alpha:g}" if m.alpha is not None else "?"
+        blocks.append(
+            f"<h2>Drift — {_esc(m.scheme)} on {_esc(m.timing)} "
+            f"(α={_esc(alpha)}, s={_esc(m.s)})</h2>"
+            '<table><thead><tr><th>quantity</th><th class="num">i</th>'
+            '<th class="num">n</th><th class="num">measured (vt)</th>'
+            '<th class="num">model</th><th>drift</th></tr></thead>'
+            f"<tbody>{''.join(rows)}</tbody></table>"
+        )
+    return ("<section>"
+            '<p class="sub">Traced virtual-time extents vs the analytical '
+            "model — Eq. (1)/(3) per round, Eq. (2)/(5) per recovery.</p>"
+            + "".join(blocks) + "</section>")
+
+
+def _rollup_section(tree: SpanTree) -> str:
+    rows = rollup_by_name(tree)
+    if not rows:
+        return ""
+    body = "".join(
+        f"<tr><td>{_esc(r.name)}</td>"
+        f'<td class="num">{r.count}</td>'
+        f'<td class="num">{_fmt(r.wall_total)}s</td>'
+        f'<td class="num">{_fmt(r.wall_self)}s</td>'
+        f'<td class="num">{r.wall_mean:.6f}s</td>'
+        f'<td class="num">{r.vt_total:.2f}</td>'
+        f'<td class="num">{r.points}</td></tr>'
+        for r in rows
+    )
+    path = critical_path(tree)
+    chain = " → ".join(_esc(s.name) for s in path)
+    path_html = (f'<p class="sub">Critical path (wall): {chain} '
+                 f"({path[0].wall_duration:.4f}s)</p>" if path else "")
+    return (
+        "<section><h2>Span rollup</h2>"
+        '<table><thead><tr><th>span kind</th><th class="num">count</th>'
+        '<th class="num">wall total</th><th class="num">wall self</th>'
+        '<th class="num">wall mean</th><th class="num">vt total</th>'
+        '<th class="num">points</th></tr></thead>'
+        f"<tbody>{body}</tbody></table>{path_html}</section>"
+    )
+
+
+def _flamegraph_section(tree: SpanTree) -> str:
+    # Mission traces live in virtual time (wall time is simulator
+    # bookkeeping); campaign traces live in wall time.
+    clock = "wall"
+    if tree.find("vds.mission") and not tree.find("campaign"):
+        clock = "vt"
+    svg = _flamegraph_svg(tree, clock)
+    if not svg:
+        return ""
+    unit = "wall self-time" if clock == "wall" else "virtual-time extent"
+    return (
+        f"<section><h2>Flamegraph</h2>"
+        f'<p class="sub">Merged span stacks, width ∝ {unit}; hover a frame '
+        f"for its share. Depth is shaded light→dark.</p>{svg}</section>"
+    )
+
+
+# -- entry points ------------------------------------------------------------
+
+def render_report(source: _TreeLike,
+                  forensics: Optional[Sequence[TrialForensics]] = None,
+                  title: str = "VDS trace report") -> str:
+    """Render one trace into a complete, self-contained HTML document.
+
+    ``forensics`` defaults to :func:`trial_forensics` over the same trace;
+    pass records enriched by :func:`~repro.obs.forensics.localize_trials`
+    to include divergence columns.
+    """
+    tree = source if isinstance(source, SpanTree) else build_span_tree(source)
+    records = (list(forensics) if forensics is not None
+               else trial_forensics(tree))
+    missions = mission_drift(tree)
+    sections = [
+        _tiles_section(tree, records, missions),
+        _outcomes_section(records),
+        _forensics_section(records),
+        _flamegraph_section(tree),
+        _drift_section(missions),
+        _rollup_section(tree),
+    ]
+    return (
+        "<!doctype html>\n"
+        '<html lang="en"><head><meta charset="utf-8">\n'
+        f"<title>{_esc(title)}</title>\n"
+        '<meta name="viewport" content="width=device-width, '
+        'initial-scale=1">\n'
+        f"<style>\n{_CSS}</style>\n</head>\n<body>\n"
+        f"<h1>{_esc(title)}</h1>\n"
+        + "\n".join(s for s in sections if s)
+        + "\n</body></html>\n"
+    )
+
+
+def write_report(source: _TreeLike, path,
+                 forensics: Optional[Sequence[TrialForensics]] = None,
+                 title: str = "VDS trace report") -> Path:
+    """Render and write the report; parent directories are created."""
+    document = render_report(source, forensics=forensics, title=title)
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(document, encoding="utf-8")
+    return path

@@ -290,6 +290,14 @@ def validate_trace(events: Iterable[Union[SpanEvent, dict]]) -> list[str]:
 
     * every span ``start`` has exactly one matching ``end`` (and vice
       versa);
+    * span ids are never reused: a ``start`` for an id that is still open
+      is an overlapping sibling with the same id, and a ``start`` for an
+      id that was already closed is id reuse (both would corrupt any
+      span-tree reconstruction, which keys children by id);
+    * every nonzero ``parent_id`` — of a start *or* a point — refers to a
+      span that is open at that moment in the stream (an orphaned parent
+      means events were reordered, truncated, or merged without
+      :meth:`Tracer.adopt`'s re-basing);
     * a span's end virtual time is >= its start virtual time, and its
       end wall time is >= its start wall time (wall stamps are only
       comparable within one span: adopted worker events keep their own
@@ -302,13 +310,29 @@ def validate_trace(events: Iterable[Union[SpanEvent, dict]]) -> list[str]:
     """
     problems: list[str] = []
     open_start: dict[int, SpanEvent] = {}
+    closed_ids: set[int] = set()
     last_child_vt: dict[tuple[int, str], float] = {}
     for ev in events:
         if isinstance(ev, dict):
             ev = SpanEvent.from_json_obj(ev)
         if ev.kind == "start":
             if ev.span_id in open_start:
-                problems.append(f"duplicate start for span id {ev.span_id}")
+                problems.append(
+                    f"duplicate start for span id {ev.span_id}: "
+                    f"{ev.name!r} overlaps the still-open "
+                    f"{open_start[ev.span_id].name!r} with the same id"
+                )
+            elif ev.span_id in closed_ids:
+                problems.append(
+                    f"span id {ev.span_id} reused: {ev.name!r} starts with "
+                    f"an id an earlier span already closed"
+                )
+            if ev.parent_id and ev.parent_id not in open_start:
+                problems.append(
+                    f"orphaned parent: {ev.name!r} (span id {ev.span_id}) "
+                    f"starts under span {ev.parent_id}, which is not open "
+                    f"at that point in the stream"
+                )
             open_start[ev.span_id] = ev
             if ev.vt is not None:
                 key = (ev.parent_id, ev.name)
@@ -319,6 +343,13 @@ def validate_trace(events: Iterable[Union[SpanEvent, dict]]) -> list[str]:
                         f"span {ev.parent_id}: {ev.vt} after {prev}"
                     )
                 last_child_vt[key] = ev.vt
+        elif ev.kind == "point":
+            if ev.parent_id and ev.parent_id not in open_start:
+                problems.append(
+                    f"orphaned parent: point {ev.name!r} references span "
+                    f"{ev.parent_id}, which is not open at that point in "
+                    f"the stream"
+                )
         elif ev.kind == "end":
             start = open_start.pop(ev.span_id, None)
             if start is None:
@@ -326,6 +357,7 @@ def validate_trace(events: Iterable[Union[SpanEvent, dict]]) -> list[str]:
                     f"end without start: {ev.name!r} (span id {ev.span_id})"
                 )
             else:
+                closed_ids.add(ev.span_id)
                 if (start.vt is not None and ev.vt is not None
                         and ev.vt < start.vt):
                     problems.append(

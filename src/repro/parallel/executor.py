@@ -121,6 +121,7 @@ def _execute_shard(task: _ShardTask) -> _ShardOutput:
             vt=task.first_trial_index,
             start=task.first_trial_index,
             count=len(task.seeds),
+            backend=task.backend,
         )
 
     def run() -> CampaignResult:

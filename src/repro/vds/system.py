@@ -196,7 +196,7 @@ class VDSMission:
                 ctx.transitions = []
                 if obs is not None:
                     rec_span = obs.start("vds.recovery", vt=sim.now,
-                                         round=global_round,
+                                         round=global_round, i=i,
                                          scheme=self.scheme.name)
                 outcome = yield from self.scheme.recover(ctx, i, fault)
                 if obs is not None:
@@ -266,9 +266,14 @@ class VDSMission:
         logger.debug("mission start: %d rounds on %s with %s",
                      self.mission_rounds, self.timing.name, self.scheme.name)
         if obs is not None:
+            # The model parameters ride on the span so post-hoc drift
+            # analysis can re-evaluate Eq. (1)/(3)/(2)/(5) from the trace
+            # alone, without the mission object.
+            p = self.timing.params
             mission_span = obs.start(
                 "vds.mission", vt=0.0, scheme=self.scheme.name,
                 timing=self.timing.name, rounds=self.mission_rounds,
+                alpha=p.alpha, s=p.s, t=p.t, c=p.c, t_cmp=p.t_cmp,
             )
         proc = sim.process(self._process(sim, trace, result), name="vds")
         sim.run_until_event(proc)

@@ -1,0 +1,188 @@
+"""Tests for trace analytics: span trees, rollups, paths, flamegraphs."""
+
+import pytest
+
+from repro.obs.analyze import (
+    build_span_tree,
+    collapsed_stacks,
+    collapsed_stacks_text,
+    critical_path,
+    rollup_by_name,
+    summarize_trace,
+    top_spans_by_self_time,
+)
+from repro.obs.trace import SpanEvent, Tracer
+
+
+class SteppingClock:
+    """Advances a fixed amount per reading: deterministic wall durations."""
+
+    def __init__(self, step=1.0):
+        self.t = 0.0
+        self.step = step
+
+    def __call__(self):
+        t = self.t
+        self.t += self.step
+        return t
+
+
+def mission_like_tracer():
+    """campaign > shard > 2 trials, with injection points."""
+    tr = Tracer(clock=SteppingClock())
+    campaign = tr.start("campaign", vt=0)
+    shard = tr.start("campaign.shard", vt=0)
+    for index in range(2):
+        with tr.span("campaign.trial", vt=index):
+            tr.point("campaign.injection", vt=index, round=3)
+    tr.end(shard, vt=2)
+    tr.end(campaign, vt=2)
+    return tr
+
+
+class TestBuildSpanTree:
+    def test_nesting_and_points(self):
+        tree = build_span_tree(mission_like_tracer().events)
+        assert len(tree.roots) == 1
+        root = tree.roots[0]
+        assert root.name == "campaign"
+        shard = root.children[0]
+        assert [c.name for c in shard.children] == ["campaign.trial"] * 2
+        assert [p.name for p in shard.children[0].points] == [
+            "campaign.injection"
+        ]
+
+    def test_accepts_json_dicts(self):
+        events = [ev.to_json_obj() for ev in mission_like_tracer().events]
+        tree = build_span_tree(events)
+        assert tree.find("campaign.trial")[0].attrs is not None
+        assert len(tree) == 4
+
+    def test_end_attrs_overlay_start_attrs(self):
+        tr = Tracer(clock=SteppingClock())
+        sid = tr.start("trial", vt=0, kind="crash", victim=1)
+        tr.end(sid, vt=0, outcome="detected-comparison", victim=2)
+        span = build_span_tree(tr.events).roots[0]
+        assert span.attrs == {"kind": "crash", "victim": 2,
+                              "outcome": "detected-comparison"}
+
+    def test_tolerates_end_without_start(self):
+        events = [SpanEvent("end", "ghost", 9, 0, None, 1.0)]
+        tree = build_span_tree(events)
+        assert tree.roots == [] and len(tree) == 0
+
+    def test_unclosed_span_has_zero_duration(self):
+        events = [SpanEvent("start", "open", 1, 0, 0.0, 0.0)]
+        span = build_span_tree(events).roots[0]
+        assert span.end is None
+        assert span.wall_duration == 0.0 and span.vt_duration is None
+
+    def test_unknown_parent_becomes_root(self):
+        events = [
+            SpanEvent("start", "stray", 5, 99, 0.0, 0.0),
+            SpanEvent("end", "stray", 5, 99, 1.0, 1.0),
+        ]
+        tree = build_span_tree(events)
+        assert [s.name for s in tree.roots] == ["stray"]
+
+    def test_orphan_point_collected(self):
+        events = [SpanEvent("point", "lost", 0, 42, 0.0, 0.0)]
+        tree = build_span_tree(events)
+        assert [p.name for p in tree.orphan_points] == ["lost"]
+
+
+class TestDurations:
+    def test_wall_and_vt_durations(self):
+        tr = Tracer(clock=SteppingClock())
+        sid = tr.start("s", vt=10.0)
+        tr.end(sid, vt=14.5)
+        span = build_span_tree(tr.events).roots[0]
+        assert span.wall_duration == pytest.approx(1.0)
+        assert span.vt_duration == pytest.approx(4.5)
+
+    def test_wall_self_excludes_children_and_clamps(self):
+        # Parent [0, 10], child claims [0, 25]: overlapping epochs from
+        # adopted shards must clamp self time at zero, not go negative.
+        events = [
+            SpanEvent("start", "parent", 1, 0, None, 0.0),
+            SpanEvent("start", "child", 2, 1, None, 0.0),
+            SpanEvent("end", "child", 2, 1, None, 25.0),
+            SpanEvent("end", "parent", 1, 0, None, 10.0),
+        ]
+        tree = build_span_tree(events)
+        assert tree.roots[0].wall_self == 0.0
+
+
+class TestRollup:
+    def test_rollup_counts_and_totals(self):
+        rows = rollup_by_name(build_span_tree(mission_like_tracer().events))
+        by_name = {r.name: r for r in rows}
+        assert by_name["campaign.trial"].count == 2
+        assert by_name["campaign.trial"].points == 2
+        assert by_name["campaign"].count == 1
+        # Heaviest total wall time first.
+        assert rows[0].wall_total == max(r.wall_total for r in rows)
+
+    def test_wall_mean(self):
+        rows = rollup_by_name(build_span_tree(mission_like_tracer().events))
+        trial = next(r for r in rows if r.name == "campaign.trial")
+        assert trial.wall_mean == pytest.approx(trial.wall_total / 2)
+
+
+class TestCriticalPath:
+    def test_follows_heaviest_chain(self):
+        tree = build_span_tree(mission_like_tracer().events)
+        path = critical_path(tree)
+        assert [s.name for s in path][:2] == ["campaign", "campaign.shard"]
+        assert path[-1].name == "campaign.trial"
+
+    def test_vt_clock(self):
+        tree = build_span_tree(mission_like_tracer().events)
+        path = critical_path(tree, clock="vt")
+        assert path[0].name == "campaign"
+
+    def test_empty_tree(self):
+        assert critical_path(build_span_tree([])) == []
+
+    def test_rejects_unknown_clock(self):
+        with pytest.raises(ValueError):
+            critical_path(build_span_tree([]), clock="cpu")
+
+
+class TestCollapsedStacks:
+    def test_stacks_aggregate_by_name_chain(self):
+        tree = build_span_tree(mission_like_tracer().events)
+        stacks = collapsed_stacks(tree)
+        assert "campaign;campaign.shard;campaign.trial" in stacks
+        # Two trials fold into one stack line.
+        trial_key = "campaign;campaign.shard;campaign.trial"
+        assert stacks[trial_key] > 0
+
+    def test_text_format_is_flamegraph_pl_lines(self):
+        tree = build_span_tree(mission_like_tracer().events)
+        text = collapsed_stacks_text(tree)
+        for line in text.strip().splitlines():
+            stack, value = line.rsplit(" ", 1)
+            assert ";" in stack or stack == "campaign"
+            assert int(value) > 0
+
+    def test_empty_tree_renders_empty(self):
+        assert collapsed_stacks_text(build_span_tree([])) == ""
+
+
+class TestSummaries:
+    def test_top_spans_by_self_time(self):
+        tree = build_span_tree(mission_like_tracer().events)
+        top = top_spans_by_self_time(tree, 3)
+        assert len(top) == 3
+        assert top[0].wall_self >= top[1].wall_self >= top[2].wall_self
+
+    def test_summarize_trace_mentions_key_numbers(self):
+        text = summarize_trace(mission_like_tracer().events, top=5)
+        assert "spans: 4" in text
+        assert "campaign.trial" in text
+        assert "critical path" in text
+
+    def test_summarize_empty_trace(self):
+        text = summarize_trace([])
+        assert "spans: 0" in text

@@ -1,0 +1,182 @@
+"""Model-vs-simulation drift analysis against the paper's closed forms.
+
+The simulator schedules exactly the durations the closed forms predict,
+so a drift analysis of any real mission trace must come back at zero —
+Eq. (1)/(3) for the round, Eq. (2)/(5) for the correction.  Any non-zero
+row on a real trace is a regression, which is what the flag threshold
+exists to catch.
+"""
+
+import pytest
+
+from repro.core.conventional import (
+    conventional_correction_time,
+    conventional_round_time,
+)
+from repro.core.params import VDSParameters
+from repro.core.smt_model import smt_correction_time, smt_round_time
+from repro.obs import tracing
+from repro.obs.drift import (
+    DriftRow,
+    drift_table,
+    drift_to_json_obj,
+    mission_drift,
+    params_from_attrs,
+    recovery_model,
+    round_model,
+)
+from repro.vds.faultplan import FaultEvent, FaultPlan
+from repro.vds.recovery import RollForwardDeterministic, StopAndRetry
+from repro.vds.system import run_mission
+from repro.vds.timing import ConventionalTiming, SMT2Timing
+
+
+PARAMS = VDSParameters(alpha=0.65, beta=0.1, s=20)
+PLAN_ROUNDS = (7, 31)
+
+
+def traced_mission(timing, scheme, rounds=40):
+    plan = FaultPlan.from_events([FaultEvent(round=r) for r in PLAN_ROUNDS])
+    with tracing() as tr:
+        run_mission(timing, scheme, plan, rounds)
+    return tuple(tr.events)
+
+
+class TestParamsFromAttrs:
+    def test_rebuilds_from_mission_span_attrs(self):
+        events = traced_mission(ConventionalTiming(PARAMS), StopAndRetry())
+        start = next(ev for ev in events if ev.name == "vds.mission")
+        params = params_from_attrs(start.attrs)
+        assert params is not None
+        assert params.alpha == PARAMS.alpha and params.s == PARAMS.s
+        assert params.c == pytest.approx(PARAMS.c)
+        assert params.t_cmp == pytest.approx(PARAMS.t_cmp)
+
+    def test_missing_attrs_mean_no_model(self):
+        assert params_from_attrs({}) is None
+        assert params_from_attrs({"alpha": 0.6}) is None
+        assert params_from_attrs({"alpha": "bogus", "s": 20, "t": 1,
+                                  "c": 0.1, "t_cmp": 0.05}) is None
+
+
+class TestClosedForms:
+    def test_round_model_selects_by_timing_name(self):
+        assert round_model("ConventionalTiming", PARAMS) == \
+            pytest.approx(conventional_round_time(PARAMS))
+        assert round_model("SMT2Timing", PARAMS) == \
+            pytest.approx(smt_round_time(PARAMS))
+        assert round_model("SMTnTiming", PARAMS) == \
+            pytest.approx(smt_round_time(PARAMS))
+        assert round_model("SomethingElse", PARAMS) is None
+        assert round_model("ConventionalTiming", None) is None
+
+    def test_recovery_model_covers_the_papers_two_forms(self):
+        assert recovery_model("stop-and-retry", "ConventionalTiming",
+                              PARAMS, 4) == \
+            pytest.approx(conventional_correction_time(PARAMS, 4))
+        assert recovery_model("roll-forward-deterministic", "SMT2Timing",
+                              PARAMS, 4) == \
+            pytest.approx(smt_correction_time(PARAMS, 4))
+        # No closed form for the cross pairings or out-of-range i.
+        assert recovery_model("stop-and-retry", "SMT2Timing",
+                              PARAMS, 4) is None
+        assert recovery_model("stop-and-retry", "ConventionalTiming",
+                              PARAMS, 0) is None
+        assert recovery_model("stop-and-retry", "ConventionalTiming",
+                              PARAMS, PARAMS.s + 1) is None
+
+
+class TestMissionDrift:
+    def test_conventional_mission_has_zero_drift(self):
+        events = traced_mission(ConventionalTiming(PARAMS), StopAndRetry())
+        missions = mission_drift(events)
+        assert len(missions) == 1
+        m = missions[0]
+        assert m.scheme == "stop-and-retry"
+        assert m.timing == "ConventionalTiming"
+        assert m.flagged_rows == ()
+        round_row = next(r for r in m.rows if r.quantity == "round")
+        assert round_row.model == pytest.approx(
+            conventional_round_time(PARAMS))
+        assert round_row.measured_mean == pytest.approx(round_row.model)
+
+    def test_smt_mission_has_zero_drift(self):
+        events = traced_mission(SMT2Timing(PARAMS),
+                                RollForwardDeterministic())
+        m = mission_drift(events)[0]
+        assert m.timing == "SMT2Timing"
+        assert m.flagged_rows == ()
+        round_row = next(r for r in m.rows if r.quantity == "round")
+        assert round_row.model == pytest.approx(smt_round_time(PARAMS))
+
+    def test_recovery_rows_grouped_by_interval_round(self):
+        events = traced_mission(ConventionalTiming(PARAMS), StopAndRetry())
+        m = mission_drift(events)[0]
+        rec = [r for r in m.rows if r.quantity == "recovery"]
+        # Faults at rounds 7 and 31 with s=20: i = 7 and i = 11.
+        assert sorted(r.i for r in rec) == [7, 11]
+        for r in rec:
+            assert r.n == 1
+            assert r.model == pytest.approx(
+                conventional_correction_time(PARAMS, r.i))
+            assert r.measured_mean == pytest.approx(r.model)
+
+    def test_perturbed_measurement_is_flagged(self):
+        row = DriftRow(quantity="round", scheme="stop-and-retry",
+                       timing="ConventionalTiming", alpha=0.65, s=20,
+                       i=None, n=40,
+                       measured_mean=conventional_round_time(PARAMS) * 1.01,
+                       model=conventional_round_time(PARAMS))
+        assert row.flagged
+        assert row.rel_drift == pytest.approx(0.01)
+
+    def test_tiny_float_noise_is_not_flagged(self):
+        model = conventional_round_time(PARAMS)
+        row = DriftRow(quantity="round", scheme="s", timing="t",
+                       alpha=0.65, s=20, i=None, n=40,
+                       measured_mean=model * (1 + 1e-12), model=model)
+        assert not row.flagged
+
+    def test_no_closed_form_row_is_not_flagged(self):
+        row = DriftRow(quantity="recovery", scheme="prediction",
+                       timing="SMT2Timing", alpha=0.65, s=20, i=3, n=1,
+                       measured_mean=5.0, model=None)
+        assert not row.flagged
+        assert row.abs_drift is None and row.rel_drift is None
+
+    def test_non_mission_trace_yields_nothing(self):
+        from repro.obs.trace import Tracer
+
+        tr = Tracer()
+        with tr.span("campaign", vt=0):
+            pass
+        assert mission_drift(tr.events) == []
+
+
+class TestRenderings:
+    def test_drift_table_lists_every_row_unflagged(self):
+        events = traced_mission(ConventionalTiming(PARAMS), StopAndRetry())
+        missions = mission_drift(events)
+        table = drift_table(missions)
+        assert "round" in table and "recovery" in table
+        assert "stop-and-retry" in table
+        assert "DRIFT" not in table  # zero drift on a real trace
+
+    def test_drift_table_flags_perturbed_rows(self):
+        events = traced_mission(ConventionalTiming(PARAMS), StopAndRetry())
+        m = mission_drift(events)[0]
+        import dataclasses
+
+        bad = dataclasses.replace(
+            m.rows[0], measured_mean=m.rows[0].measured_mean * 1.1)
+        table = drift_table([dataclasses.replace(m, rows=(bad,))])
+        assert "<-- DRIFT" in table
+
+    def test_json_dump_round_trips(self):
+        import json
+
+        events = traced_mission(SMT2Timing(PARAMS),
+                                RollForwardDeterministic())
+        objs = drift_to_json_obj(mission_drift(events))
+        assert json.loads(json.dumps(objs)) == objs
+        assert objs[0]["rows"][0]["flagged"] is False

@@ -101,3 +101,48 @@ class TestWriteMetrics:
     def test_unknown_format_raises(self, tmp_path):
         with pytest.raises(ObservabilityError):
             write_metrics(MetricsRegistry(), tmp_path / "m.xml", fmt="xml")
+
+
+class TestPrometheusEdgeCases:
+    """PR 4 satellite: exposition-format corners that used to be silent."""
+
+    def test_empty_histogram_exports_zero_rows(self):
+        reg = MetricsRegistry()
+        hist = reg.histogram("empty_hist")
+        assert hist.mean() == 0.0  # mean of zero observations, not a crash
+        text = metrics_to_prometheus(reg)
+        assert 'empty_hist_bucket{le="+Inf"} 0' in text
+        assert "empty_hist_sum 0" in text
+        assert "empty_hist_count 0" in text
+
+    def test_label_value_quotes_escaped(self):
+        reg = MetricsRegistry()
+        reg.counter("c", prog='say "hi"').inc()
+        text = metrics_to_prometheus(reg)
+        assert 'prog="say \\"hi\\""' in text
+
+    def test_label_value_backslash_escaped(self):
+        reg = MetricsRegistry()
+        reg.counter("c", path="a\\b").inc()
+        text = metrics_to_prometheus(reg)
+        assert 'path="a\\\\b"' in text
+
+    def test_label_value_newline_escaped(self):
+        reg = MetricsRegistry()
+        reg.counter("c", msg="two\nlines").inc()
+        text = metrics_to_prometheus(reg)
+        assert 'msg="two\\nlines"' in text
+        # The exposition stays one record per line.
+        for line in text.splitlines():
+            if line.startswith("c{"):
+                assert "\n" not in line
+
+    def test_escaping_applies_to_every_metric_family(self):
+        reg = MetricsRegistry()
+        reg.counter("ctr", v='"').inc()
+        reg.gauge("gge", v="\\").set(1)
+        reg.histogram("hst", v='"').observe(1.0)
+        text = metrics_to_prometheus(reg)
+        assert 'ctr{v="\\""} 1' in text
+        assert 'gge{v="\\\\"} 1' in text
+        assert 'hst_count{v="\\""} 1' in text

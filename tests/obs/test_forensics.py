@@ -1,0 +1,288 @@
+"""Fault forensics: injection → detection chains and divergence localization.
+
+The acceptance contract of the forensics layer:
+
+* trace-derived detection latencies agree **exactly** with the
+  campaign's own :meth:`CampaignResult.detection_latencies`;
+* replayed divergence localization points at the *known* injection
+  target — for a transient memory fault, the first divergent word is the
+  corrupted address and the first divergent chunk is
+  ``address // CHUNK_WORDS``;
+* replaying with the wrong campaign configuration fails loudly instead
+  of localizing a different fault than the one that was injected.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.params import VDSParameters
+from repro.diversity import generate_versions
+from repro.errors import ObservabilityError
+from repro.faults import run_campaign
+from repro.faults.models import FaultKind
+from repro.isa import load_program
+from repro.isa.state import CHUNK_WORDS, REGISTER_COUNT, ArchState
+from repro.obs import tracing
+from repro.obs.forensics import (
+    campaign_trial_plans,
+    first_divergence,
+    forensics_to_json_obj,
+    localize_trials,
+    recovery_forensics,
+    trial_forensics,
+)
+from repro.vds.faultplan import FaultEvent, FaultPlan
+from repro.vds.recovery import StopAndRetry
+from repro.vds.system import run_mission
+from repro.vds.timing import ConventionalTiming
+
+N_TRIALS = 24
+SEED = 0
+
+
+@pytest.fixture(scope="module")
+def traced_campaign():
+    """One deterministic seeded campaign, traced, with >= 1 detection."""
+    prog, inputs, spec = load_program("insertion_sort")
+    versions = generate_versions(prog, inputs, n=3, seed=7)
+    va, vb = versions[0], versions[2]
+    with tracing() as tr:
+        result = run_campaign(va, vb, spec.oracle(), N_TRIALS, SEED,
+                              n_workers=2, shard_size=8, cache=None)
+    return va, vb, result, tuple(tr.events)
+
+
+class TestTrialForensics:
+    def test_one_record_per_trial_in_order(self, traced_campaign):
+        _, _, result, events = traced_campaign
+        records = trial_forensics(events)
+        assert [r.index for r in records] == list(range(result.n))
+
+    def test_latencies_match_campaign_result_exactly(self, traced_campaign):
+        _, _, result, events = traced_campaign
+        records = trial_forensics(events)
+        trace_latencies = [r.detection_latency_rounds for r in records
+                           if r.outcome == "detected-comparison"]
+        assert trace_latencies == result.detection_latencies()
+        assert len(trace_latencies) >= 1  # the campaign must detect something
+
+    def test_records_agree_with_campaign_bookkeeping(self, traced_campaign):
+        _, _, result, events = traced_campaign
+        records = trial_forensics(events)
+        for record, trial in zip(records, result.trials):
+            assert record.kind == trial.spec.kind.value
+            assert record.victim == trial.victim
+            assert record.outcome == trial.outcome.value
+            assert record.detected_round == trial.detected_round
+
+    def test_injection_point_carries_the_target(self, traced_campaign):
+        _, _, result, events = traced_campaign
+        records = trial_forensics(events)
+        for record, trial in zip(records, result.trials):
+            if not record.injection:
+                continue
+            assert record.injected_round == trial.injected_round
+            assert record.injection["at_instruction"] == \
+                trial.spec.at_instruction
+            if trial.spec.address is not None:
+                assert record.injection["address"] == trial.spec.address
+            if trial.spec.register is not None:
+                assert record.injection["register"] == trial.spec.register
+
+    def test_detection_wall_latency_present_for_detections(
+            self, traced_campaign):
+        _, _, _, events = traced_campaign
+        for record in trial_forensics(events):
+            if record.outcome == "detected-comparison":
+                assert record.detection_wall_seconds is not None
+                assert record.detection_wall_seconds >= 0.0
+
+    def test_json_dump_round_trips_through_json(self, traced_campaign):
+        import json
+
+        _, _, _, events = traced_campaign
+        objs = forensics_to_json_obj(trial_forensics(events))
+        assert json.loads(json.dumps(objs)) == objs
+
+
+class TestCampaignReplay:
+    def test_regenerated_plans_match_the_campaign(self, traced_campaign):
+        va, _, result, _ = traced_campaign
+        plans = campaign_trial_plans(va, N_TRIALS, SEED)
+        for (spec, victim), trial in zip(plans, result.trials):
+            assert spec == trial.spec
+            assert victim == trial.victim
+
+    def test_localizes_memory_faults_to_the_injected_chunk(
+            self, traced_campaign):
+        va, vb, _, events = traced_campaign
+        records = trial_forensics(events)
+        plans = campaign_trial_plans(va, N_TRIALS, SEED)
+        localized = localize_trials(records, va, vb, SEED)
+        checked = 0
+        for record in localized:
+            if (record.outcome != "detected-comparison"
+                    or record.kind != FaultKind.TRANSIENT_MEMORY.value):
+                continue
+            spec, _ = plans[record.index]
+            assert record.divergence is not None
+            assert record.divergence.first_divergent_word == spec.address
+            assert record.divergence.first_divergent_chunk == \
+                spec.address // CHUNK_WORDS
+            assert spec.address // CHUNK_WORDS in \
+                record.divergence.divergent_chunks
+            checked += 1
+        assert checked >= 1  # the seed must exercise the memory-fault path
+
+    def test_register_faults_localize_against_clean_prefix(
+            self, traced_campaign):
+        va, vb, _, events = traced_campaign
+        records = trial_forensics(events)
+        plans = campaign_trial_plans(va, N_TRIALS, SEED)
+        localized = localize_trials(records, va, vb, SEED)
+        checked = 0
+        for record in localized:
+            if (record.outcome != "detected-comparison"
+                    or record.kind != FaultKind.TRANSIENT_REGISTER.value):
+                continue
+            spec, _ = plans[record.index]
+            assert record.divergence is not None
+            # The corrupted register itself must show up as divergent
+            # from the victim's own fault-free execution.
+            assert spec.register in record.divergence.divergent_registers
+            checked += 1
+        assert checked >= 1
+
+    def test_divergence_round_is_the_detected_round(self, traced_campaign):
+        va, vb, _, events = traced_campaign
+        localized = localize_trials(trial_forensics(events), va, vb, SEED)
+        for record in localized:
+            if record.divergence is not None:
+                assert record.divergence.round == record.detected_round
+
+    def test_undetected_trials_get_no_divergence(self, traced_campaign):
+        va, vb, _, events = traced_campaign
+        localized = localize_trials(trial_forensics(events), va, vb, SEED)
+        for record in localized:
+            if record.outcome != "detected-comparison":
+                assert record.divergence is None
+
+    def test_wrong_seed_raises_instead_of_mislocalizing(
+            self, traced_campaign):
+        va, vb, _, events = traced_campaign
+        records = trial_forensics(events)
+        with pytest.raises(ObservabilityError, match="replay mismatch"):
+            localize_trials(records, va, vb, SEED + 1)
+
+    def test_index_outside_campaign_raises(self, traced_campaign):
+        va, vb, _, events = traced_campaign
+        records = trial_forensics(events)
+        with pytest.raises(ObservabilityError, match="outside"):
+            localize_trials(records, va, vb, SEED, n_trials=3)
+
+
+class TestFirstDivergence:
+    def _state(self, memory, registers=None, output=(), halted=True):
+        regs = tuple(registers) if registers is not None \
+            else (0,) * REGISTER_COUNT
+        return ArchState(registers=regs,
+                         memory=np.asarray(memory, dtype=np.uint32),
+                         pc=0, halted=halted, output=tuple(output))
+
+    def test_same_mask_uses_digests_and_finds_the_word(self):
+        mem = np.zeros(4 * CHUNK_WORDS, dtype=np.uint32)
+        mem_b = mem.copy()
+        mem_b[2 * CHUNK_WORDS + 5] = 0xDEAD
+        report = first_divergence(self._state(mem), self._state(mem_b),
+                                  0, 0, round_no=9)
+        assert report.first_divergent_chunk == 2
+        assert report.first_divergent_word == 2 * CHUNK_WORDS + 5
+        assert report.word_values == (0, 0xDEAD)
+        assert report.divergent_chunks == (2,)
+        assert report.round == 9
+
+    def test_different_masks_compare_decoded_images(self):
+        mask_a, mask_b = 0x0F0F0F0F, 0xF0F0F0F0
+        mem = np.arange(CHUNK_WORDS, dtype=np.uint32)
+        enc_a = mem ^ np.uint32(mask_a)
+        enc_b = mem ^ np.uint32(mask_b)
+        enc_b[7] ^= np.uint32(1 << 3)  # decoded images differ only here
+        report = first_divergence(self._state(enc_a), self._state(enc_b),
+                                  mask_a, mask_b)
+        assert report.first_divergent_word == 7
+        assert report.word_values == (7, 7 ^ (1 << 3))
+
+    def test_identical_states_report_nothing(self):
+        mem = np.ones(CHUNK_WORDS, dtype=np.uint32)
+        report = first_divergence(self._state(mem), self._state(mem))
+        assert report.first_divergent_chunk is None
+        assert report.divergent_chunks == ()
+        assert not report.output_diverged and not report.halted_diverged
+
+    def test_output_and_halt_divergence_flagged(self):
+        mem = np.zeros(CHUNK_WORDS, dtype=np.uint32)
+        a = self._state(mem, output=(1, 2), halted=True)
+        b = self._state(mem, output=(1, 3), halted=False)
+        report = first_divergence(a, b)
+        assert report.output_diverged and report.halted_diverged
+
+    def test_clean_victim_register_comparison(self):
+        mem = np.zeros(CHUNK_WORDS, dtype=np.uint32)
+        clean = self._state(mem, registers=tuple(range(REGISTER_COUNT)))
+        regs = list(range(REGISTER_COUNT))
+        regs[4] ^= 0x100
+        report = first_divergence(
+            self._state(mem), self._state(mem),
+            clean_victim_state=clean, victim_registers=tuple(regs))
+        assert report.divergent_registers == (4,)
+
+
+class TestRecoveryForensics:
+    @pytest.fixture(scope="class")
+    def mission_trace(self):
+        params = VDSParameters(alpha=0.65, beta=0.1, s=20)
+        plan = FaultPlan.from_events([FaultEvent(round=7),
+                                      FaultEvent(round=31)])
+        with tracing() as tr:
+            result = run_mission(ConventionalTiming(params), StopAndRetry(),
+                                 plan, 40)
+        return result, tuple(tr.events)
+
+    def test_one_chain_per_recovery(self, mission_trace):
+        result, events = mission_trace
+        records = recovery_forensics(events)
+        assert len(records) == len(result.recoveries) == 2
+        assert [r.round for r in records] == [7, 31]
+        assert all(r.scheme == result.scheme for r in records)
+        assert all(r.resolved for r in records)
+
+    def test_detection_is_the_rounds_comparison(self, mission_trace):
+        _, events = mission_trace
+        for record in recovery_forensics(events):
+            # StopAndRetry reacts immediately: the recovery starts at the
+            # virtual time of the comparison that flagged the mismatch.
+            assert record.detect_vt == pytest.approx(
+                record.recovery_start_vt)
+
+    def test_fault_to_recovered_spans_round_plus_recovery(
+            self, mission_trace):
+        _, events = mission_trace
+        for record in recovery_forensics(events):
+            assert record.recovery_duration_vt > 0.0
+            # fault -> recovered covers the mismatching round's execution
+            # plus the correction, so it strictly exceeds the correction.
+            assert record.fault_to_recovered_vt > record.recovery_duration_vt
+
+    def test_i_is_the_intra_interval_round_index(self, mission_trace):
+        _, events = mission_trace
+        records = recovery_forensics(events)
+        # Rounds 7 and 31 with s=20: 7 rounds and 11 rounds past the last
+        # checkpoint respectively.
+        assert [r.i for r in records] == [7, 11]
+
+    def test_fault_free_mission_has_no_chains(self):
+        params = VDSParameters(alpha=0.65, beta=0.1, s=20)
+        with tracing() as tr:
+            run_mission(ConventionalTiming(params), StopAndRetry(),
+                        FaultPlan.from_events([]), 10)
+        assert recovery_forensics(tr.events) == []

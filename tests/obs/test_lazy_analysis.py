@@ -1,0 +1,59 @@
+"""The analysis layer must stay off the instrumented hot paths.
+
+``repro.obs`` exposes analyze/forensics/drift/report lazily (PEP 562):
+importing the campaign or mission machinery — which imports
+``repro.obs`` for its tracer/metrics hooks — must not pull in any
+analysis module.  That structural property is what makes "analytics adds
+zero overhead to a tracing-disabled run" true by construction, and the
+observability benchmark relies on it.
+"""
+
+import subprocess
+import sys
+
+ANALYSIS_MODULES = (
+    "repro.obs.analyze",
+    "repro.obs.forensics",
+    "repro.obs.drift",
+    "repro.obs.report",
+)
+
+_PROBE = """
+import sys
+import repro.faults.campaign
+import repro.parallel.executor
+import repro.vds.system
+import repro.obs
+loaded = [m for m in {mods!r} if m in sys.modules]
+print(",".join(loaded) if loaded else "CLEAN")
+"""
+
+
+def test_hot_path_imports_load_no_analysis_modules():
+    out = subprocess.run(
+        [sys.executable, "-c", _PROBE.format(mods=ANALYSIS_MODULES)],
+        capture_output=True, text=True, check=True,
+    )
+    assert out.stdout.strip() == "CLEAN", (
+        f"hot-path imports pulled in analysis modules: {out.stdout.strip()}"
+    )
+
+
+def test_lazy_attributes_resolve_on_demand():
+    import repro.obs as obs
+
+    assert callable(obs.build_span_tree)
+    assert callable(obs.trial_forensics)
+    assert callable(obs.mission_drift)
+    assert callable(obs.render_report)
+
+
+def test_unknown_attribute_still_raises():
+    import repro.obs as obs
+
+    try:
+        obs.no_such_symbol
+    except AttributeError as err:
+        assert "no_such_symbol" in str(err)
+    else:  # pragma: no cover - the failure branch
+        raise AssertionError("expected AttributeError")

@@ -1,0 +1,108 @@
+"""The HTML campaign report: self-contained, complete, and truthful."""
+
+import pytest
+
+from repro.core.params import VDSParameters
+from repro.diversity import generate_versions
+from repro.faults import run_campaign
+from repro.isa import load_program
+from repro.obs import tracing
+from repro.obs.report import render_report, write_report
+from repro.vds.faultplan import FaultEvent, FaultPlan
+from repro.vds.recovery import StopAndRetry
+from repro.vds.system import run_mission
+from repro.vds.timing import ConventionalTiming
+
+
+@pytest.fixture(scope="module")
+def campaign_events():
+    prog, inputs, spec = load_program("insertion_sort")
+    versions = generate_versions(prog, inputs, n=3, seed=7)
+    with tracing() as tr:
+        run_campaign(versions[0], versions[2], spec.oracle(), 16, 0,
+                     n_workers=1, cache=None)
+    return tuple(tr.events)
+
+
+@pytest.fixture(scope="module")
+def mission_events():
+    params = VDSParameters(alpha=0.65, beta=0.1, s=20)
+    plan = FaultPlan.from_events([FaultEvent(round=7)])
+    with tracing() as tr:
+        run_mission(ConventionalTiming(params), StopAndRetry(), plan, 40)
+    return tuple(tr.events)
+
+
+class TestSelfContained:
+    def test_no_external_resources(self, campaign_events):
+        html = render_report(campaign_events)
+        # Self-contained means offline-viewable: no CDN scripts, no
+        # external stylesheets, no fetched images.
+        assert "src=" not in html
+        assert "href=" not in html
+        assert "@import" not in html
+        assert "<script" not in html
+
+    def test_single_document_with_inline_svg(self, campaign_events):
+        html = render_report(campaign_events)
+        assert html.lower().startswith("<!doctype html>")
+        assert html.count("<html") == 1
+        assert "<svg" in html and "<style>" in html
+
+    def test_dark_mode_is_defined_inline(self, campaign_events):
+        html = render_report(campaign_events)
+        assert "prefers-color-scheme: dark" in html
+
+
+class TestCampaignReport:
+    def test_outcome_table_present(self, campaign_events):
+        html = render_report(campaign_events)
+        assert "Campaign outcomes" in html
+        assert "detected-comparison" in html
+
+    def test_forensics_rows_for_detected_trials(self, campaign_events):
+        html = render_report(campaign_events)
+        assert "Fault forensics" in html
+        assert "transient" in html
+
+    def test_flamegraph_has_hover_titles(self, campaign_events):
+        html = render_report(campaign_events)
+        assert "Flamegraph" in html
+        assert "<title>" in html          # per-frame hover tooltips
+        assert "campaign.trial" in html
+
+    def test_rollup_table_lists_span_kinds(self, campaign_events):
+        html = render_report(campaign_events)
+        assert "Span rollup" in html
+        assert "campaign.shard" in html
+
+    def test_title_is_escaped(self, campaign_events):
+        html = render_report(campaign_events, title="<COV-1> & friends")
+        assert "&lt;COV-1&gt; &amp; friends" in html
+        assert "<COV-1>" not in html
+
+
+class TestMissionReport:
+    def test_drift_section_on_mission_trace(self, mission_events):
+        html = render_report(mission_events)
+        assert "Drift — stop-and-retry on ConventionalTiming" in html
+        # Zero drift on a real trace: every closed-form row passes.
+        assert "✓" in html and "⚠" not in html
+
+    def test_mission_flamegraph_uses_virtual_time(self, mission_events):
+        html = render_report(mission_events)
+        assert "virtual-time extent" in html
+
+
+class TestWriteReport:
+    def test_writes_one_openable_file(self, campaign_events, tmp_path):
+        out = write_report(campaign_events, tmp_path / "r" / "report.html")
+        assert out.is_file()
+        text = out.read_text(encoding="utf-8")
+        assert text.lower().startswith("<!doctype html>")
+        assert text.rstrip().endswith("</html>")
+
+    def test_empty_trace_still_renders(self, tmp_path):
+        html = render_report([])
+        assert html.lower().startswith("<!doctype html>")
+        assert "</html>" in html

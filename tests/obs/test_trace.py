@@ -224,3 +224,127 @@ class TestValidateTrace:
 
     def test_empty_trace_valid(self):
         assert validate_trace([]) == []
+
+
+class TestValidateTraceTightened:
+    """PR 4 tightening: id reuse, same-id overlap, orphaned parents."""
+
+    def test_span_id_reuse_after_close_reported(self):
+        events = [
+            SpanEvent("start", "trial", 1, 0, 0.0, 0.0),
+            SpanEvent("end", "trial", 1, 0, 0.0, 0.1),
+            SpanEvent("start", "other", 1, 0, 1.0, 0.2),
+            SpanEvent("end", "other", 1, 0, 1.0, 0.3),
+        ]
+        problems = validate_trace(events)
+        assert any("span id 1 reused" in p for p in problems)
+
+    def test_overlapping_same_id_names_both_spans(self):
+        events = [
+            SpanEvent("start", "first", 1, 0, 0.0, 0.0),
+            SpanEvent("start", "second", 1, 0, 1.0, 0.1),
+        ]
+        problems = validate_trace(events)
+        assert any("duplicate start for span id 1" in p
+                   and "'second'" in p and "'first'" in p
+                   for p in problems)
+
+    def test_orphaned_parent_on_start_reported(self):
+        events = [
+            SpanEvent("start", "child", 2, 99, 0.0, 0.0),
+            SpanEvent("end", "child", 2, 99, 0.0, 0.1),
+        ]
+        problems = validate_trace(events)
+        assert any("orphaned parent" in p and "'child'" in p
+                   and "99" in p for p in problems)
+
+    def test_orphaned_parent_on_point_reported(self):
+        problems = validate_trace(
+            [SpanEvent("point", "injection", 0, 42, 0.0, 0.0)]
+        )
+        assert any("orphaned parent" in p and "point" in p and "42" in p
+                   for p in problems)
+
+    def test_parent_closed_before_child_start_is_orphaned(self):
+        events = [
+            SpanEvent("start", "parent", 1, 0, 0.0, 0.0),
+            SpanEvent("end", "parent", 1, 0, 0.0, 0.1),
+            SpanEvent("start", "child", 2, 1, 1.0, 0.2),
+            SpanEvent("end", "child", 2, 1, 1.0, 0.3),
+        ]
+        problems = validate_trace(events)
+        assert any("orphaned parent" in p for p in problems)
+
+    def test_root_events_have_no_orphan_problem(self):
+        tr = Tracer(clock=FakeClock())
+        tr.point("lonely", vt=0)
+        with tr.span("root", vt=0):
+            pass
+        assert validate_trace(tr.events) == []
+
+
+class TestAdoptMultiShard:
+    """Tracer.adopt across >= 3 shards merges to the single-process tree."""
+
+    WORK = [
+        # (shard, trials-with-nested-injection)
+        (0, [0, 1, 2]),
+        (1, [3, 4]),
+        (2, [5, 6, 7]),
+        (3, [8]),
+    ]
+
+    def _record_shard(self, tracer, first, trials):
+        sid = tracer.start("campaign.shard", vt=first, start=first,
+                           count=len(trials))
+        for index in trials:
+            with tracer.span("campaign.trial", vt=index):
+                tracer.point("campaign.injection", vt=index, round=1)
+                with tracer.span("campaign.round", vt=index):
+                    pass
+        tracer.end(sid, vt=first + len(trials))
+
+    def _shape(self, events):
+        """Canonical tree shape: names + attrs, ids and wall erased."""
+        from repro.obs.analyze import build_span_tree
+
+        def node(span):
+            return (
+                span.name, span.start.vt, tuple(sorted(span.attrs.items())),
+                tuple(node(c) for c in span.children),
+                tuple((p.name, p.vt) for p in span.points),
+            )
+
+        tree = build_span_tree(events)
+        return tuple(node(root) for root in tree.roots)
+
+    def test_merged_tree_equals_single_process_tree(self):
+        # Single process: everything recorded by one tracer.
+        single = Tracer(clock=FakeClock())
+        campaign = single.start("campaign", vt=0)
+        for shard, trials in self.WORK:
+            self._record_shard(single, trials[0], trials)
+        single.end(campaign, vt=9)
+
+        # Sharded: each shard records into its own tracer (its own ids,
+        # its own epoch), the parent adopts them in shard order.
+        parent = Tracer(clock=FakeClock())
+        campaign = parent.start("campaign", vt=0)
+        for shard, trials in self.WORK:
+            worker = Tracer(clock=FakeClock())
+            self._record_shard(worker, trials[0], trials)
+            parent.adopt(ev.to_json_obj() for ev in worker.events)
+        parent.end(campaign, vt=9)
+
+        assert validate_trace(parent.events) == []
+        assert self._shape(parent.events) == self._shape(single.events)
+
+    def test_merged_span_ids_are_unique(self):
+        parent = Tracer(clock=FakeClock())
+        with parent.span("campaign", vt=0):
+            for shard, trials in self.WORK:
+                worker = Tracer(clock=FakeClock())
+                self._record_shard(worker, trials[0], trials)
+                parent.adopt(worker.events)
+        ids = [ev.span_id for ev in parent.events if ev.kind == "start"]
+        assert len(ids) == len(set(ids))

@@ -136,3 +136,103 @@ class TestCampaignCommand:
     def test_bad_kind_rejected(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args(["campaign", "--kind", "cosmic"])
+
+
+class TestTraceSummaryCommand:
+    @pytest.fixture(scope="class")
+    def mission_trace(self, tmp_path_factory):
+        path = tmp_path_factory.mktemp("traces") / "trace-VAL-1.jsonl"
+        assert main(["trace", "VAL-1", "--quick", "--out", str(path)]) == 0
+        return path
+
+    def test_summary_of_existing_trace(self, mission_trace, capsys):
+        capsys.readouterr()
+        assert main(["trace", str(mission_trace), "--summary"]) == 0
+        out = capsys.readouterr().out
+        assert "trace summary" in out
+        assert "spans:" in out and "vds.round" in out
+
+    def test_summary_top_flag(self, mission_trace, capsys):
+        capsys.readouterr()
+        assert main(["trace", str(mission_trace), "--summary",
+                     "--top", "3"]) == 0
+        assert "critical path" in capsys.readouterr().out
+
+    def test_summary_missing_trace(self, capsys):
+        assert main(["trace", "NO-SUCH-TRACE", "--summary"]) == 2
+        assert "no such trace" in capsys.readouterr().err
+
+
+class TestAnalyzeAndReportCommands:
+    @pytest.fixture(scope="class")
+    def campaign_trace(self, tmp_path_factory):
+        """A deterministic traced campaign written the CLI-compatible way."""
+        from repro.diversity import generate_versions
+        from repro.faults import run_campaign
+        from repro.isa import load_program
+        from repro.obs import tracing, write_trace_jsonl
+
+        prog, inputs, spec = load_program("insertion_sort")
+        versions = generate_versions(prog, inputs, n=3, seed=42)
+        path = tmp_path_factory.mktemp("traces") / "campaign.jsonl"
+        with tracing() as tr:
+            run_campaign(versions[0], versions[2], spec.oracle(), 16, 0,
+                         n_workers=1, cache=None)
+        write_trace_jsonl(tr, path)
+        return path
+
+    def test_analyze_prints_summary_and_forensics(self, campaign_trace,
+                                                  capsys):
+        capsys.readouterr()
+        assert main(["analyze", str(campaign_trace)]) == 0
+        out = capsys.readouterr().out
+        assert "trace analytics" in out
+        assert "forensics: 16 trials" in out
+
+    def test_analyze_forensics_out_is_json(self, campaign_trace, tmp_path,
+                                           capsys):
+        import json
+
+        out_path = tmp_path / "forensics.json"
+        assert main(["analyze", str(campaign_trace),
+                     "--forensics-out", str(out_path)]) == 0
+        records = json.loads(out_path.read_text())
+        assert len(records) == 16
+        assert {"index", "kind", "victim", "outcome"} <= set(records[0])
+
+    def test_analyze_localize_names_the_chunk(self, campaign_trace, capsys):
+        capsys.readouterr()
+        assert main(["analyze", str(campaign_trace), "--localize",
+                     "--seed", "0", "--versions-seed", "42"]) == 0
+        assert "first divergent chunk" in capsys.readouterr().out
+
+    def test_analyze_flamegraph_output(self, campaign_trace, tmp_path,
+                                       capsys):
+        out_path = tmp_path / "stacks.txt"
+        assert main(["analyze", str(campaign_trace),
+                     "--flamegraph", str(out_path)]) == 0
+        text = out_path.read_text()
+        assert "campaign;campaign.shard;campaign.trial" in text
+
+    def test_analyze_missing_trace(self, capsys):
+        assert main(["analyze", "nope.jsonl"]) == 2
+        assert "no such trace" in capsys.readouterr().err
+
+    def test_report_defaults_next_to_the_trace(self, campaign_trace, capsys):
+        capsys.readouterr()
+        assert main(["report", str(campaign_trace)]) == 0
+        out_path = campaign_trace.with_suffix(".html")
+        assert out_path.is_file()
+        html = out_path.read_text()
+        assert "Campaign outcomes" in html and "src=" not in html
+
+    def test_report_explicit_out_and_title(self, campaign_trace, tmp_path,
+                                           capsys):
+        out_path = tmp_path / "deep" / "report.html"
+        assert main(["report", str(campaign_trace), "-o", str(out_path),
+                     "--title", "smoke report"]) == 0
+        assert "smoke report" in out_path.read_text()
+
+    def test_report_missing_trace(self, capsys):
+        assert main(["report", "nope.jsonl"]) == 2
+        assert "no such trace" in capsys.readouterr().err
