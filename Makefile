@@ -4,7 +4,7 @@ PYTHON ?= python
 
 .PHONY: install test lint ci bench quick-bench bench-runs bench-compare \
 	bench-baseline experiments quick-experiments examples trace-smoke \
-	report-smoke clean
+	report-smoke chaos clean
 
 install:
 	$(PYTHON) -m pip install -e .
@@ -73,6 +73,13 @@ report-smoke: trace-smoke
 	$(PYTHON) -m repro.cli analyze results/trace-COV-1.jsonl
 	$(PYTHON) -m repro.cli report results/trace-COV-1.jsonl \
 		-o results/report-COV-1.html
+
+# Crash-safety gate: the chaos/resume test suites, then the end-to-end
+# kill/corrupt/resume demonstration (artifacts in results/chaos-smoke).
+chaos:
+	$(PYTHON) -m pytest tests/parallel/test_chaos.py \
+		tests/parallel/test_resume.py tests/parallel/test_journal.py -q
+	$(PYTHON) tools/chaos_smoke.py
 
 examples:
 	@for f in examples/*.py; do \

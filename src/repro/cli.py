@@ -11,6 +11,8 @@
     $ vds-repro analyze results/trace-COV-1.jsonl           # full analytics
     $ vds-repro report results/trace-COV-1.jsonl            # HTML report
     $ vds-repro --log-level debug campaign --trials 50   # stdlib logging
+    $ vds-repro campaign --trials 500 --run-id nightly   # journaled run
+    $ vds-repro campaign --resume nightly    # finish an interrupted run
 """
 
 from __future__ import annotations
@@ -224,7 +226,20 @@ def build_parser() -> argparse.ArgumentParser:
                    help="worker processes ('auto' = one per CPU core; "
                         "results are identical for any value)")
     c.add_argument("--no-cache", action="store_true",
-                   help="recompute even if shards are cached on disk")
+                   help="recompute even if shards are cached on disk "
+                        "(also disables the run journal)")
+    journal_g = c.add_mutually_exclusive_group()
+    journal_g.add_argument("--run-id", metavar="ID", default=None,
+                           help="name this run's journal (default: the first "
+                                "12 hex chars of the campaign fingerprint)")
+    journal_g.add_argument("--resume", metavar="RUN_ID", default=None,
+                           help="resume an interrupted run from its journal: "
+                                "the configuration comes from the manifest, "
+                                "completed shards reload from the cache, and "
+                                "only missing shards execute")
+    journal_g.add_argument("--no-journal", action="store_true",
+                           help="do not record a run journal "
+                                "(the run cannot be resumed)")
     c.add_argument("--metrics-out", metavar="PATH", default=None,
                    help="collect campaign metrics and write them to PATH")
     _add_interpreter_flags(c)
@@ -540,32 +555,109 @@ def _cmd_mission(args) -> int:
     return 0
 
 
-def _cmd_campaign(args) -> int:
+def _campaign_setup(args):
+    """The campaign configuration named by the ``campaign`` flags.
+
+    Returns ``(pair, oracle, injector, fingerprint)`` where
+    ``fingerprint`` is exactly what :func:`run_campaign`'s sharded path
+    will compute for these arguments — the CLI needs it *before* running
+    to name the journal and validate ``--resume``.
+    """
     import numpy as np
 
     from repro.diversity import generate_versions
-    from repro.faults import FaultInjector, FaultKind, FaultOutcome, run_campaign
+    from repro.faults import FaultInjector, FaultKind
+    from repro.faults.campaign import default_injector
     from repro.isa import load_program
-    from repro.obs import collecting, write_metrics
-    from repro.parallel import CampaignCache, resolve_workers
+    from repro.parallel import campaign_fingerprint
+    from repro.sim.rng import derive_seed_sequence
 
     program, inputs, spec = load_program(args.program)
     versions = generate_versions(program, inputs, n=3, seed=args.seed + 42)
     pair = (versions[0], versions[0] if args.identical else versions[2])
-
-    injector = None
     if args.kind is not None:
         kind = next(k for k in FaultKind if k.value == args.kind)
         injector = FaultInjector(np.random.default_rng(args.seed + 1),
                                  mix={kind: 1.0})
+    else:
+        injector = default_injector(pair[0], np.random.default_rng(0))
+    oracle = spec.oracle()
+    fingerprint = campaign_fingerprint(
+        pair[0], pair[1], oracle, args.trials,
+        derive_seed_sequence(args.seed), injector, 2_000, 256, 4_000)
+    return pair, oracle, injector, fingerprint
+
+
+def _cmd_campaign(args) -> int:
+    from repro.errors import CampaignExecutionError, JournalError
+    from repro.faults import FaultOutcome, run_campaign
+    from repro.obs import collecting, write_metrics
+    from repro.parallel import CampaignCache, CampaignJournal, resolve_workers
+
+    if args.resume is not None:
+        if args.no_cache:
+            print("campaign: --resume needs the shard cache; "
+                  "drop --no-cache", file=sys.stderr)
+            return 2
+        try:
+            journal = CampaignJournal.open(args.resume)
+        except JournalError as exc:
+            print(f"campaign: {exc}", file=sys.stderr)
+            return 2
+        manifest = journal.manifest
+        for key in ("program", "trials", "kind", "identical", "seed"):
+            if key in manifest:
+                setattr(args, key, manifest[key])
+
+    pair, oracle, injector, fingerprint = _campaign_setup(args)
     n_workers = resolve_workers(args.workers)
     cache = None if args.no_cache else CampaignCache.default()
+
+    journal = None
+    if args.resume is not None:
+        journal = CampaignJournal.open(args.resume)
+        if journal.fingerprint != fingerprint:
+            print(f"campaign: journal {args.resume!r} records fingerprint "
+                  f"{journal.fingerprint[:12]}… but the rebuilt "
+                  f"configuration computes {fingerprint[:12]}… — was the "
+                  f"code or program library changed since the run started?",
+                  file=sys.stderr)
+            return 2
+    elif not args.no_journal:
+        if cache is None:
+            print("campaign: --no-cache disables the run journal "
+                  "(a resume could not reuse any shard)", file=sys.stderr)
+        else:
+            run_id = args.run_id or fingerprint[:12]
+            try:
+                journal = CampaignJournal.create(run_id, {
+                    "fingerprint": fingerprint,
+                    "program": args.program,
+                    "trials": args.trials,
+                    "kind": args.kind,
+                    "identical": bool(args.identical),
+                    "seed": args.seed,
+                })
+            except JournalError as exc:
+                print(f"campaign: {exc}", file=sys.stderr)
+                return 2
+
     with contextlib.ExitStack() as stack:
         metrics = (stack.enter_context(collecting())
                    if args.metrics_out is not None else None)
-        result = run_campaign(pair[0], pair[1], spec.oracle(), args.trials,
-                              args.seed, injector=injector,
-                              n_workers=n_workers, cache=cache)
+        try:
+            result = run_campaign(pair[0], pair[1], oracle, args.trials,
+                                  args.seed, injector=injector,
+                                  n_workers=n_workers, cache=cache,
+                                  journal=journal)
+        except CampaignExecutionError as exc:
+            shard = (f"shard {exc.shard}: " if exc.shard is not None else "")
+            print(f"campaign failed: {shard}{exc}", file=sys.stderr)
+            if exc.journal_path is not None:
+                print(f"progress is journaled at {exc.journal_path}; "
+                      f"rerun with --resume {exc.run_id} to continue "
+                      f"from the completed shards", file=sys.stderr)
+            return 1
     label = "identical copies" if args.identical else "diverse pair"
     print(f"campaign: {args.trials} trials of "
           f"{args.kind or 'mixed faults'} on '{args.program}' ({label}; "
@@ -579,6 +671,11 @@ def _cmd_campaign(args) -> int:
     if cache is not None:
         print(f"cache                    : {cache.hits} shard hits, "
               f"{cache.misses} misses ({cache.root})")
+    if journal is not None:
+        print(f"journal                  : run {journal.run_id} "
+              f"({len(journal.completed_shards())} shards) -> "
+              f"{journal.ledger_path}")
+    print(f"digest                   : {result.digest()[:16]}")
     if metrics is not None:
         path = write_metrics(metrics, args.metrics_out,
                              fmt=_metrics_format(args.metrics_out))

@@ -41,6 +41,39 @@ class RecoveryError(ReproError, RuntimeError):
     """
 
 
+class CampaignExecutionError(ReproError, RuntimeError):
+    """A sharded campaign could not complete despite fault tolerance.
+
+    Raised by the parallel executor after per-shard retries, pool
+    respawns, and the in-process fallback have all been exhausted.  The
+    campaign journal (if one was active) still holds every shard that
+    *did* complete, so the run can be resumed with
+    ``vds-repro campaign --resume <run-id>`` once the underlying problem
+    is fixed.
+    """
+
+    def __init__(self, message: str, *, shard: tuple[int, int] | None = None,
+                 run_id: str | None = None,
+                 journal_path: str | None = None):
+        super().__init__(message)
+        #: ``(start, count)`` of the shard that exhausted its attempts.
+        self.shard = shard
+        #: Run id of the active campaign journal, if any.
+        self.run_id = run_id
+        #: Directory of the active campaign journal, if any.
+        self.journal_path = journal_path
+
+
+class JournalError(ReproError, RuntimeError):
+    """A campaign journal is missing, locked, or inconsistent.
+
+    Raised when ``--resume`` names an unknown run id, or when a journal's
+    manifest does not match the campaign configuration it is asked to
+    record (resuming run X with the arguments of run Y).  *Corrupt ledger
+    entries never raise* — they are skipped and their shards recomputed.
+    """
+
+
 class ObservabilityError(ReproError, RuntimeError):
     """The observability layer was misused (unbalanced span, bad metric).
 

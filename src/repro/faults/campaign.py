@@ -37,8 +37,9 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
     from repro.parallel.cache import CampaignCache
 
 __all__ = ["DuplexTrialResult", "CampaignResult", "run_duplex_trial",
-           "run_trial_block", "run_campaign", "record_trial_metrics",
-           "record_block_metrics", "record_interpreter_metric"]
+           "run_trial_block", "run_campaign", "default_injector",
+           "record_trial_metrics", "record_block_metrics",
+           "record_interpreter_metric"]
 
 logger = logging.getLogger(__name__)
 
@@ -118,6 +119,28 @@ class CampaignResult:
         return [t.detection_latency for t in self.trials
                 if t.outcome is FaultOutcome.DETECTED_COMPARISON
                 and t.detection_latency is not None]
+
+    def digest(self) -> str:
+        """Content digest of the exact trial sequence (hex SHA-256).
+
+        Two results digest equally iff their trials are equal *in
+        order*, so this is the cheap spelling of the bit-identity
+        contract: a resumed or fault-recovered campaign must reproduce
+        the digest of the uninterrupted run.  Recorded per shard in the
+        campaign journal's ledger and for the whole campaign in its
+        ``complete`` record.
+        """
+        import hashlib
+
+        h = hashlib.sha256()
+        for t in self.trials:
+            s = t.spec
+            h.update(repr((
+                s.kind.value, s.at_instruction, s.register, s.address,
+                s.bit, s.stuck_value, t.victim, t.outcome.value,
+                t.injected_round, t.detected_round, t.rounds_executed,
+            )).encode("ascii"))
+        return h.hexdigest()
 
     @classmethod
     def merge(cls, parts: Iterable["CampaignResult"]) -> "CampaignResult":
@@ -425,17 +448,25 @@ def _end_trial_span(tracer: Tracer, span: int, index: int,
                detection_latency=trial.detection_latency)
 
 
-def _default_injector(version_a: DiverseVersion, rng: np.random.Generator,
-                      memory_words: int) -> FaultInjector:
+def default_injector(version_a: DiverseVersion, rng: np.random.Generator,
+                     memory_words: int = 256) -> FaultInjector:
     """The default injector: strike instants span version 1's fault-free
     execution length, so faults land during the computation rather than
-    after it."""
+    after it.
+
+    Public so callers that need the campaign fingerprint *before*
+    running (the CLI computes run ids and journal manifests from it)
+    build the exact injector :func:`run_campaign` would.
+    """
     probe = Machine(list(version_a.program), memory_words=memory_words,
                     inputs=list(version_a.inputs), name="probe",
                     fill=version_a.encoding_mask or 0)
     probe.run_to_halt()
     return FaultInjector(rng, memory_words=memory_words,
                          max_instruction=max(probe.instret, 1))
+
+
+_default_injector = default_injector
 
 
 def run_trial_block(version_a: DiverseVersion, version_b: DiverseVersion,
@@ -506,7 +537,9 @@ def run_campaign(version_a: DiverseVersion, version_b: DiverseVersion,
                  n_workers: Optional[int] = None,
                  shard_size: Optional[int] = None,
                  cache: Optional["CampaignCache"] = None,
-                 max_rounds: int = _MAX_ROUNDS) -> CampaignResult:
+                 max_rounds: int = _MAX_ROUNDS,
+                 journal=None,
+                 fault_tolerance=None) -> CampaignResult:
     """Run ``n_trials`` independent single-fault trials.
 
     When no injector is given, one is built whose strike instants span
@@ -536,11 +569,18 @@ def run_campaign(version_a: DiverseVersion, version_b: DiverseVersion,
         sharded mode.
     max_rounds:
         Runaway guard passed to every trial.
+    journal:
+        Optional :class:`repro.parallel.journal.CampaignJournal`; each
+        completed shard is recorded in its ledger so an interrupted run
+        can be resumed.  Using a journal implies the sharded mode.
+    fault_tolerance:
+        Optional :class:`repro.parallel.executor.FaultTolerance` retry
+        policy; defaults to the ``VDS_SHARD_*`` environment knobs.
     """
     if n_trials < 1:
         raise FaultModelError(f"n_trials must be >= 1, got {n_trials}")
     legacy = (isinstance(rng, np.random.Generator) and n_workers is None
-              and cache is None)
+              and cache is None and journal is None)
     if legacy:
         tracer = active_or_none()
         metrics = get_registry()
@@ -589,5 +629,6 @@ def run_campaign(version_a: DiverseVersion, version_b: DiverseVersion,
         version_a, version_b, oracle_output, n_trials, rng, injector,
         round_instructions=round_instructions, memory_words=memory_words,
         n_workers=n_workers, shard_size=shard_size, cache=cache,
-        max_rounds=max_rounds,
+        max_rounds=max_rounds, journal=journal,
+        fault_tolerance=fault_tolerance,
     )

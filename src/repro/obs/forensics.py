@@ -7,6 +7,12 @@ this module does the same for the reproduction's two execution layers:
   ``campaign.trial`` span with its ``campaign.injection`` point and the
   trial's outcome, yielding detection latency in rounds (the paper's
   unit), retired instructions (the cycle-level proxy), and wall seconds.
+* **Executor faults** (campaign orchestration) — :func:`retry_forensics`
+  collects the ``campaign.retry`` / ``campaign.degraded`` points the
+  fault-tolerant shard executor emits under the campaign span, giving a
+  per-shard record of which shards were retried, why (worker crash,
+  hang timeout, in-shard error), and whether the run degraded to
+  in-process execution.
 * **Missions** (DES level) — :func:`recovery_forensics` links each
   ``vds.recovery`` span back through the mismatching round's
   ``vds.compare`` point to the round where the fault struck, giving the
@@ -42,8 +48,10 @@ __all__ = [
     "DivergenceReport",
     "TrialForensics",
     "RecoveryForensics",
+    "RetryForensics",
     "trial_forensics",
     "recovery_forensics",
+    "retry_forensics",
     "first_divergence",
     "replay_divergence",
     "campaign_trial_plans",
@@ -151,6 +159,28 @@ class RecoveryForensics:
         }
 
 
+@dataclass(frozen=True)
+class RetryForensics:
+    """One executor fault event: a shard retry or a degradation."""
+
+    event: str                  #: ``retry`` or ``degraded``
+    start: Optional[int]        #: shard's first trial index (retry only)
+    count: Optional[int]        #: shard's trial count (retry only)
+    attempt: Optional[int]      #: 1-based attempt that failed (retry only)
+    reason: str                 #: error / timeout / broken-pool / …
+    wall: Optional[float]       #: wall-clock offset within the trace
+
+    def to_json_obj(self) -> dict[str, Any]:
+        return {
+            "event": self.event,
+            "start": self.start,
+            "count": self.count,
+            "attempt": self.attempt,
+            "reason": self.reason,
+            "wall": self.wall,
+        }
+
+
 # -- trace joins -------------------------------------------------------------
 
 def trial_forensics(source: _TreeLike) -> list[TrialForensics]:
@@ -247,6 +277,42 @@ def recovery_forensics(source: _TreeLike) -> list[RecoveryForensics]:
                     if end_vt is not None and round_start_vt is not None
                     else None),
             ))
+    return records
+
+
+def retry_forensics(source: _TreeLike) -> list[RetryForensics]:
+    """Shard retry/degradation records from a campaign trace.
+
+    Joins every ``campaign.retry`` point under a ``campaign`` span (one
+    record per retry, in emission order) and appends one terminal record
+    per ``campaign.degraded`` point.  Reasons mirror the
+    ``campaign_shard_retries_total`` metric labels: ``error`` (the shard
+    raised), ``timeout`` (hung-shard deadline tripped), ``broken-pool``
+    (a worker died and took the pool with it).
+    """
+    tree = _as_tree(source)
+    records: list[RetryForensics] = []
+    for campaign in tree.find("campaign"):
+        for point in campaign.points:
+            if point.name == "campaign.retry":
+                attrs = point.attrs
+                records.append(RetryForensics(
+                    event="retry",
+                    start=int(attrs.get("start", -1)),
+                    count=int(attrs.get("count", 0)),
+                    attempt=int(attrs.get("attempt", 0)),
+                    reason=str(attrs.get("reason", "")),
+                    wall=point.wall,
+                ))
+            elif point.name == "campaign.degraded":
+                records.append(RetryForensics(
+                    event="degraded",
+                    start=None,
+                    count=None,
+                    attempt=None,
+                    reason=str(point.attrs.get("reason", "")),
+                    wall=point.wall,
+                ))
     return records
 
 

@@ -168,6 +168,10 @@ class MetricsRegistry:
         return {key[1]: c.value for key, c in self._counters.items()
                 if key[0] == name}
 
+    def counter_total(self, name: str) -> float:
+        """Sum of one counter family across all its label variants."""
+        return sum(self.counter_values(name).values())
+
     def names(self) -> list[str]:
         seen: dict[str, None] = {}
         for store in (self._counters, self._gauges, self._histograms):

@@ -112,7 +112,7 @@ class NullTracer:
         pass
 
     def point(self, name: str, vt: Optional[float] = None,
-              **attrs: Any) -> None:
+              parent: Optional[int] = None, **attrs: Any) -> None:
         pass
 
     @contextmanager
@@ -184,9 +184,16 @@ class Tracer:
         )
 
     def point(self, name: str, vt: Optional[float] = None,
-              **attrs: Any) -> None:
-        """Record an instantaneous event inside the current span."""
-        parent = self._stack[-1] if self._stack else 0
+              parent: Optional[int] = None, **attrs: Any) -> None:
+        """Record an instantaneous event inside the current span.
+
+        ``parent`` pins the point under an explicit span id instead of
+        the innermost open span — executor code uses this to attach
+        retry/degradation events to the campaign span even when no span
+        is open on this tracer's stack.
+        """
+        if parent is None:
+            parent = self._stack[-1] if self._stack else 0
         self.events.append(
             SpanEvent("point", name, 0, parent, vt, self._wall(), attrs)
         )

@@ -19,19 +19,29 @@ return identical aggregate results for the same master seed.
 """
 
 from repro.parallel.cache import CampaignCache, campaign_fingerprint
-from repro.parallel.executor import parallel_map, run_sharded_campaign
+from repro.parallel.executor import (
+    FaultTolerance,
+    parallel_map,
+    run_sharded_campaign,
+)
+from repro.parallel.journal import CampaignJournal, default_runs_dir
 from repro.parallel.sharding import (
     DEFAULT_SHARD_SIZE,
     plan_shards,
     resolve_workers,
+    shard_id,
 )
 
 __all__ = [
     "CampaignCache",
+    "CampaignJournal",
+    "FaultTolerance",
     "campaign_fingerprint",
+    "default_runs_dir",
     "parallel_map",
     "run_sharded_campaign",
     "DEFAULT_SHARD_SIZE",
     "plan_shards",
     "resolve_workers",
+    "shard_id",
 ]

@@ -8,9 +8,17 @@ version.  Any change to one of these — including upgrading the code —
 changes the fingerprint and therefore invalidates the entry; stale
 directories can simply be deleted (``rm -rf results/cache``).
 
-Entries are pickles of :class:`~repro.faults.campaign.CampaignResult`
-shards, written atomically.  A corrupt or unreadable entry is treated as
-a miss and recomputed.
+Entries are CRC-sealed pickles of
+:class:`~repro.faults.campaign.CampaignResult` shards: a fixed header
+(magic, schema, payload CRC-32, payload length) followed by the pickle
+payload.  Writes are crash-atomic — the bytes go to a temp file in the
+same directory, are flushed and fsynced, and only then renamed over the
+final name — so a ``SIGKILL`` at any instant leaves either the old entry
+or no entry, never a torn one.  Reads verify the seal: a truncated or
+bit-flipped entry is *quarantined* (moved aside for post-mortems, see
+:attr:`CampaignCache.quarantine_dir`) and treated as a miss, so a
+corrupted cache costs a recomputation instead of a crash or — far worse
+— a silently wrong campaign.
 """
 
 from __future__ import annotations
@@ -20,12 +28,15 @@ import json
 import logging
 import os
 import pickle
+import struct
+import zlib
 from pathlib import Path
 from typing import TYPE_CHECKING, Optional, Sequence, Union
 
 import numpy as np
 
 from repro._version import __version__
+from repro.parallel.sharding import shard_id
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.diversity.generator import DiverseVersion
@@ -37,12 +48,70 @@ __all__ = [
     "CampaignCache",
     "campaign_fingerprint",
     "execution_prefix_fingerprint",
+    "seal_payload",
+    "unseal_payload",
+    "write_file_atomic",
 ]
 
 logger = logging.getLogger(__name__)
 
 #: Bump when the pickle layout or trial semantics change within a release.
-CACHE_SCHEMA = 1
+#: Schema 2 introduced the CRC-sealed entry container.
+CACHE_SCHEMA = 2
+
+#: Sealed-entry header: magic, schema, CRC-32 of the payload, payload
+#: length.  The explicit length lets a reader distinguish truncation
+#: (short file) from bit rot (full-length file, bad CRC).
+_SEAL_MAGIC = b"VDSC"
+_SEAL_HEADER = struct.Struct("<4sHII")
+
+
+def seal_payload(payload: bytes) -> bytes:
+    """Wrap ``payload`` in the sealed container (header + bytes)."""
+    return _SEAL_HEADER.pack(_SEAL_MAGIC, CACHE_SCHEMA,
+                             zlib.crc32(payload) & 0xFFFFFFFF,
+                             len(payload)) + payload
+
+
+def unseal_payload(blob: bytes) -> bytes:
+    """The payload of a sealed container; raises ``ValueError`` on any
+    corruption (bad magic, wrong schema, truncation, CRC mismatch)."""
+    if len(blob) < _SEAL_HEADER.size:
+        raise ValueError("sealed entry shorter than its header")
+    magic, schema, crc, length = _SEAL_HEADER.unpack_from(blob)
+    if magic != _SEAL_MAGIC:
+        raise ValueError(f"bad magic {magic!r}")
+    if schema != CACHE_SCHEMA:
+        raise ValueError(f"sealed entry schema {schema}, want {CACHE_SCHEMA}")
+    payload = blob[_SEAL_HEADER.size:]
+    if len(payload) != length:
+        raise ValueError(
+            f"sealed entry truncated: {len(payload)} of {length} bytes"
+        )
+    if zlib.crc32(payload) & 0xFFFFFFFF != crc:
+        raise ValueError("sealed entry CRC mismatch (bit corruption)")
+    return payload
+
+
+def write_file_atomic(path: Path, blob: bytes) -> None:
+    """Crash-atomic file write: temp file, flush, fsync, rename.
+
+    The temp file lives in the destination directory so the rename can
+    never cross a filesystem boundary; a process killed at any point
+    leaves either the old file or a stray ``*.tmp-<pid>`` that the next
+    writer sweeps, never a half-written destination.
+    """
+    path.parent.mkdir(parents=True, exist_ok=True)
+    tmp = path.parent / f"{path.name}.tmp-{os.getpid()}"
+    try:
+        with tmp.open("wb") as fh:
+            fh.write(blob)
+            fh.flush()
+            os.fsync(fh.fileno())
+        os.replace(tmp, path)
+    except BaseException:
+        tmp.unlink(missing_ok=True)
+        raise
 
 #: Default cache root, relative to the working directory (the repo uses
 #: ``results/`` for all generated artifacts).  Override with the
@@ -148,14 +217,41 @@ class CampaignCache:
         self.root = Path(root)
         self.hits = 0
         self.misses = 0
+        #: Entries whose CRC seal failed (quarantined, counted as misses).
+        self.corrupt = 0
 
     @classmethod
     def default(cls) -> "CampaignCache":
         """The cache at ``$VDS_CACHE_DIR`` or ``results/cache``."""
         return cls(os.environ.get("VDS_CACHE_DIR", DEFAULT_CACHE_DIR))
 
+    @property
+    def quarantine_dir(self) -> Path:
+        """Where corrupt entries are moved for post-mortem inspection."""
+        return self.root / "quarantine"
+
     def _shard_path(self, fingerprint: str, start: int, count: int) -> Path:
-        return self.root / fingerprint / f"shard-{start:06d}-{count:05d}.pkl"
+        return self.root / fingerprint / f"shard-{shard_id(start, count)}.pkl"
+
+    def _quarantine(self, path: Path, reason: str) -> None:
+        """Move a corrupt entry aside so it can never be read again.
+
+        The entry keeps its fingerprint in the quarantined name; if the
+        move itself fails (e.g. a concurrent writer already replaced the
+        file) the entry is deleted instead — a corrupt file must never
+        survive under its live name.
+        """
+        self.corrupt += 1
+        dest = self.quarantine_dir / f"{path.parent.name}-{path.name}"
+        try:
+            dest.parent.mkdir(parents=True, exist_ok=True)
+            os.replace(path, dest)
+            logger.warning("cache entry corrupt (%s): %s -> quarantined %s",
+                           reason, path, dest)
+        except OSError:
+            path.unlink(missing_ok=True)
+            logger.warning("cache entry corrupt (%s): %s -> deleted", reason,
+                           path)
 
     def lookup(
         self,
@@ -163,30 +259,45 @@ class CampaignCache:
         start: int,
         count: int,
     ) -> Optional["CampaignResult"]:
-        """The cached shard, or ``None`` on a miss (or corrupt entry)."""
+        """The cached shard, or ``None`` on a miss.
+
+        A corrupt entry — truncated file, flipped bit, bad magic, or a
+        payload that unpickles to the wrong trial count — is quarantined
+        and reported as a miss, so the caller recomputes the shard
+        instead of crashing (or worse, merging garbage).
+        """
         path = self._shard_path(fingerprint, start, count)
         try:
-            with path.open("rb") as fh:
-                result = pickle.load(fh)
+            blob = path.read_bytes()
+        except OSError:
+            self.misses += 1
+            logger.debug("cache miss: %s", path)
+            return None
+        try:
+            payload = unseal_payload(blob)
+        except ValueError as exc:
+            self._quarantine(path, str(exc))
+            self.misses += 1
+            return None
+        try:
+            result = pickle.loads(payload)
         except (
-            OSError,
             pickle.UnpicklingError,
             EOFError,
             AttributeError,
             ImportError,
             IndexError,
-        ):
+        ) as exc:
+            # The seal was intact but the payload no longer loads (e.g.
+            # a class moved between releases without a schema bump).
+            self._quarantine(path, f"unpicklable payload: {exc}")
             self.misses += 1
-            logger.debug("cache miss: %s", path)
             return None
         if len(result.trials) != count:
-            self.misses += 1
-            logger.debug(
-                "cache entry rejected (%d trials, want %d): %s",
-                len(result.trials),
-                count,
-                path,
+            self._quarantine(
+                path, f"{len(result.trials)} trials, want {count}"
             )
+            self.misses += 1
             return None
         self.hits += 1
         logger.debug("cache hit: %s", path)
@@ -199,14 +310,33 @@ class CampaignCache:
         count: int,
         result: "CampaignResult",
     ) -> None:
-        """Atomically persist one shard result."""
+        """Atomically persist one shard result (sealed, fsynced)."""
         path = self._shard_path(fingerprint, start, count)
-        path.parent.mkdir(parents=True, exist_ok=True)
-        tmp = path.with_suffix(f".tmp-{os.getpid()}")
-        with tmp.open("wb") as fh:
-            pickle.dump(result, fh, protocol=pickle.HIGHEST_PROTOCOL)
-        tmp.replace(path)
+        payload = pickle.dumps(result, protocol=pickle.HIGHEST_PROTOCOL)
+        write_file_atomic(path, seal_payload(payload))
+        self.sweep_partials(path.parent)
         logger.debug("cache store: %s (%d trials)", path, len(result.trials))
+
+    def sweep_partials(self, directory: Optional[Path] = None) -> int:
+        """Delete stray ``*.tmp-*`` files left by killed writers.
+
+        A temp file belonging to a *live* writer is never older than one
+        in-flight write; anything with a pid that no longer exists is
+        garbage.  Sweeping is safe because writers always use their own
+        pid in the temp name.
+        """
+        removed = 0
+        roots = [directory] if directory is not None else [
+            d for d in self.root.glob("*") if d.is_dir()
+        ]
+        for root in roots:
+            for tmp in root.glob("*.tmp-*"):
+                pid_text = tmp.name.rsplit("tmp-", 1)[-1]
+                if pid_text.isdigit() and _pid_alive(int(pid_text)):
+                    continue
+                tmp.unlink(missing_ok=True)
+                removed += 1
+        return removed
 
     def clear(self) -> int:
         """Delete every cache entry; returns the number of files removed."""
@@ -224,5 +354,19 @@ class CampaignCache:
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return (
             f"CampaignCache(root={str(self.root)!r}, "
-            f"hits={self.hits}, misses={self.misses})"
+            f"hits={self.hits}, misses={self.misses}, "
+            f"corrupt={self.corrupt})"
         )
+
+
+def _pid_alive(pid: int) -> bool:
+    """Whether a process with ``pid`` currently exists."""
+    if pid <= 0:
+        return False
+    try:
+        os.kill(pid, 0)
+    except ProcessLookupError:
+        return False
+    except PermissionError:  # pragma: no cover - exists, not ours
+        return True
+    return True

@@ -13,20 +13,62 @@ parent adopts trace events in shard order and folds metric counters
 together — so merged telemetry is independent of the worker count, just
 like the trials themselves.  With observability off, workers receive
 ``None`` and the per-trial cost is one pointer check.
+
+Fault tolerance
+---------------
+Shards are pure functions of their seed slices, which makes every
+failure recoverable by re-execution — the executor applies the paper's
+own checkpoint-and-retry discipline to the harness that simulates it:
+
+* a worker that dies (``SIGKILL``, OOM kill, segfault) breaks the whole
+  :class:`~concurrent.futures.ProcessPoolExecutor`; the executor
+  respawns the pool and requeues every shard that was in flight;
+* a shard that exceeds its wall-clock budget (``VDS_SHARD_TIMEOUT``) is
+  declared hung, its worker pool is killed to reclaim the stuck
+  process, and the shard is retried;
+* a shard that raises is retried with exponential backoff plus jitter,
+  up to ``VDS_SHARD_RETRIES`` extra attempts;
+* a shard that exhausts its attempts — or a pool that keeps dying
+  (``VDS_POOL_RESPAWNS`` consecutive respawns) — degrades gracefully to
+  *in-process* execution, trading parallelism for forward progress.
+
+Every recovery emits a ``campaign.retry`` trace point and counts into
+``campaign_shard_retries_total{reason=…}`` /
+``campaign_shard_timeouts_total``, so a recovered campaign is
+distinguishable from a clean one even though its *result* is
+bit-identical.  When a :class:`~repro.parallel.journal.CampaignJournal`
+is attached, each completed shard is recorded (after its result is
+safely in the cache), which is what makes an interrupted campaign
+resumable from exactly where it stopped.
+
+The ``VDS_CHAOS_DIR`` hook is the crash-test seam: when set, workers
+look for claim-once token files (``kill-…``, ``hang-…``, ``fail-…``)
+before executing a shard and inject the named fault.  It exists for the
+chaos test harness (``tests/parallel/chaos.py``) and is inert — one
+``os.environ.get`` per shard — unless the variable is set.
 """
 
 from __future__ import annotations
 
 import logging
 import multiprocessing
+import os
+import random
+import signal
 import sys
-from concurrent.futures import ProcessPoolExecutor
+import time
+from collections import deque
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor
+from concurrent.futures import wait as futures_wait
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass
+from pathlib import Path
 from typing import Any, Callable, Iterable, Optional, Sequence, TypeVar, Union
 
 import numpy as np
 
 from repro.diversity.generator import DiverseVersion
+from repro.errors import CampaignExecutionError
 from repro.faults.campaign import (
     CampaignResult,
     record_block_metrics,
@@ -39,10 +81,15 @@ from repro.obs.metrics import MetricsRegistry, get_registry
 from repro.obs.profile import Profiler
 from repro.obs.trace import SpanEvent, Tracer, active_or_none
 from repro.parallel.cache import CampaignCache, campaign_fingerprint
-from repro.parallel.sharding import plan_shards, resolve_workers
+from repro.parallel.journal import CampaignJournal
+from repro.parallel.sharding import plan_shards, resolve_workers, shard_id
 from repro.sim.rng import SeedLike, derive_seed_sequence
 
-__all__ = ["parallel_map", "run_sharded_campaign"]
+__all__ = [
+    "FaultTolerance",
+    "parallel_map",
+    "run_sharded_campaign",
+]
 
 logger = logging.getLogger(__name__)
 
@@ -75,6 +122,124 @@ def parallel_map(
         return [fn(item) for item in items]
     with ProcessPoolExecutor(max_workers=workers, mp_context=_pool_context()) as pool:
         return list(pool.map(fn, items, chunksize=1))
+
+
+# -- fault-tolerance configuration -------------------------------------------
+
+
+def _env_float(name: str, default: float) -> float:
+    raw = os.environ.get(name)
+    if raw is None or raw.strip() == "":
+        return default
+    try:
+        return float(raw)
+    except ValueError:
+        logger.warning("ignoring non-numeric %s=%r", name, raw)
+        return default
+
+
+def _env_int(name: str, default: int) -> int:
+    return int(_env_float(name, default))
+
+
+@dataclass(frozen=True)
+class FaultTolerance:
+    """Retry/timeout policy for shard execution.
+
+    The defaults come from the environment so operators can harden a
+    flaky fleet without touching call sites:
+
+    ``VDS_SHARD_RETRIES``
+        Extra attempts per shard after its first failure (default 2).
+    ``VDS_SHARD_TIMEOUT``
+        Wall-clock seconds before an in-flight shard is declared hung
+        and its pool killed (default 0 = no timeout).
+    ``VDS_SHARD_BACKOFF``
+        Base of the exponential backoff between attempts, in seconds
+        (default 0.05; attempt *k* sleeps up to ``base * 2**(k-1)`` with
+        full jitter, capped at 2 s).
+    ``VDS_POOL_RESPAWNS``
+        Consecutive pool deaths tolerated before the executor degrades
+        to in-process execution (default 2).
+    """
+
+    retries: int = 2
+    timeout: float = 0.0
+    backoff: float = 0.05
+    max_respawns: int = 2
+
+    @classmethod
+    def from_env(cls) -> "FaultTolerance":
+        return cls(
+            retries=max(0, _env_int("VDS_SHARD_RETRIES", 2)),
+            timeout=max(0.0, _env_float("VDS_SHARD_TIMEOUT", 0.0)),
+            backoff=max(0.0, _env_float("VDS_SHARD_BACKOFF", 0.05)),
+            max_respawns=max(0, _env_int("VDS_POOL_RESPAWNS", 2)),
+        )
+
+    @property
+    def max_attempts(self) -> int:
+        return self.retries + 1
+
+    def sleep(self, attempt: int) -> None:
+        """Exponential backoff with full jitter before attempt ``attempt``."""
+        if self.backoff <= 0:
+            return
+        ceiling = min(2.0, self.backoff * (2 ** max(0, attempt - 2)))
+        time.sleep(random.uniform(0, ceiling))
+
+
+# -- chaos-injection seam (test harness) --------------------------------------
+
+
+class ChaosInjectedError(RuntimeError):
+    """Raised by a ``fail-…`` chaos token (test harness only)."""
+
+
+def _maybe_inject_chaos(first_trial_index: int) -> None:
+    """Honor claim-once chaos tokens for this shard, if any are planted.
+
+    Token files live in ``$VDS_CHAOS_DIR`` and are named
+    ``<action>-<start:06d>-<n>.token`` with ``action`` one of ``kill``
+    (``SIGKILL`` own process), ``hang`` (sleep for the seconds in the
+    file body), or ``fail`` (raise).  A token is *claimed* by an atomic
+    rename before it fires, so each token injects exactly one fault no
+    matter how many times the shard is retried.  ``kill`` and ``hang``
+    only fire inside worker processes — the in-process degradation path
+    must never kill or stall the parent.
+    """
+    chaos_dir = os.environ.get("VDS_CHAOS_DIR")
+    if not chaos_dir:
+        return
+    in_worker = multiprocessing.parent_process() is not None
+    for token in sorted(Path(chaos_dir).glob(
+            f"*-{first_trial_index:06d}-*.token")):
+        action = token.name.split("-", 1)[0]
+        if action not in ("kill", "hang", "fail"):
+            continue
+        if action in ("kill", "hang") and not in_worker:
+            continue
+        claimed = token.with_suffix(".claimed")
+        try:
+            os.rename(token, claimed)
+        except OSError:
+            continue  # another attempt/worker claimed it first
+        if action == "kill":
+            os.kill(os.getpid(), signal.SIGKILL)
+        elif action == "hang":
+            try:
+                seconds = float(claimed.read_text().strip() or "3600")
+            except ValueError:
+                seconds = 3600.0
+            time.sleep(seconds)
+        elif action == "fail":
+            raise ChaosInjectedError(
+                f"chaos token {token.name} failed shard "
+                f"{first_trial_index}"
+            )
+
+
+# -- shard execution ----------------------------------------------------------
 
 
 @dataclass(frozen=True)
@@ -110,6 +275,7 @@ class _ShardOutput:
 def _execute_shard(task: _ShardTask) -> _ShardOutput:
     from repro.isa.compiler import set_default_backend
 
+    _maybe_inject_chaos(task.first_trial_index)
     set_default_backend(task.backend)
     tracer = Tracer() if task.collect_trace else None
     metrics = MetricsRegistry() if task.collect_metrics else None
@@ -153,6 +319,293 @@ def _execute_shard(task: _ShardTask) -> _ShardOutput:
     )
 
 
+# -- the fault-tolerant shard runner ------------------------------------------
+
+
+def _kill_pool(pool: ProcessPoolExecutor) -> None:
+    """Tear a pool down *now*, stuck workers included.
+
+    ``shutdown(wait=False)`` alone would leave a hung worker alive (and
+    the interpreter would join it at exit — forever); killing the worker
+    processes first makes the join trivial.  ``_processes`` is private
+    but stable across supported CPythons; if it ever disappears the
+    fallback is a plain non-waiting shutdown.
+    """
+    processes = getattr(pool, "_processes", None) or {}
+    for proc in list(processes.values()):
+        try:
+            proc.kill()
+        except Exception:  # pragma: no cover - already dead
+            pass
+    pool.shutdown(wait=False, cancel_futures=True)
+
+
+class _ShardRunner:
+    """Runs shard tasks with retries, timeouts, and pool recovery.
+
+    One instance per campaign.  ``on_complete(idx, output)`` fires the
+    moment a shard's result is available (cache/journal persistence),
+    *not* in shard order; deterministic post-processing (trace adoption,
+    metric folding) happens afterwards over the collected outputs.
+    """
+
+    def __init__(self, tasks: Sequence[_ShardTask], workers: int,
+                 ft: FaultTolerance,
+                 tracer: Optional[Tracer],
+                 metrics: Optional[MetricsRegistry],
+                 parent_span: Optional[int],
+                 on_complete: Callable[[int, _ShardOutput], None],
+                 journal: Optional[CampaignJournal] = None):
+        self.tasks = tasks
+        self.workers = workers
+        self.ft = ft
+        self.tracer = tracer
+        self.metrics = metrics
+        self.parent_span = parent_span
+        self.on_complete = on_complete
+        self.journal = journal
+        self.outputs: dict[int, _ShardOutput] = {}
+        self.respawns = 0
+        self.degraded = False
+
+    # -- telemetry ----------------------------------------------------------
+    def _shard(self, idx: int) -> tuple[int, int]:
+        task = self.tasks[idx]
+        return task.first_trial_index, len(task.seeds)
+
+    def _note_retry(self, idx: int, attempt: int, reason: str) -> None:
+        start, count = self._shard(idx)
+        logger.warning("shard %s attempt %d failed (%s); retrying",
+                       shard_id(start, count), attempt, reason)
+        if self.metrics is not None:
+            self.metrics.counter("campaign_shard_retries_total",
+                                 reason=reason).inc()
+        if self.tracer is not None:
+            self.tracer.point("campaign.retry", vt=start,
+                              parent=self.parent_span, start=start,
+                              count=count, attempt=attempt, reason=reason)
+
+    def _note_timeout(self, idx: int) -> None:
+        if self.metrics is not None:
+            self.metrics.counter("campaign_shard_timeouts_total").inc()
+
+    def _note_respawn(self) -> None:
+        self.respawns += 1
+        logger.warning("worker pool died (%d/%d respawns used)",
+                       self.respawns, self.ft.max_respawns + 1)
+        if self.metrics is not None:
+            self.metrics.counter("campaign_pool_respawns_total").inc()
+        if self.respawns > self.ft.max_respawns and not self.degraded:
+            self._degrade("pool died %d times" % self.respawns)
+
+    def _degrade(self, why: str) -> None:
+        self.degraded = True
+        logger.warning(
+            "degrading to in-process shard execution (%s); the campaign "
+            "continues without parallelism", why)
+        if self.metrics is not None:
+            self.metrics.counter("campaign_pool_degraded_total").inc()
+        if self.tracer is not None:
+            self.tracer.point("campaign.degraded", parent=self.parent_span,
+                              reason=why)
+
+    # -- completion ---------------------------------------------------------
+    def _complete(self, idx: int, output: _ShardOutput) -> None:
+        self.outputs[idx] = output
+        self.on_complete(idx, output)
+
+    def _run_inline(self, idx: int, attempt: int) -> None:
+        """Last-resort in-process execution of one shard.
+
+        This is the graceful-degradation endpoint: no pool, no timeout
+        (the parent cannot kill itself), but chaos ``kill``/``hang``
+        tokens do not fire in the parent either, so a test-injected
+        crash loop terminates here.  A shard that *still* raises is a
+        real, deterministic bug — surface it with resume context.
+        """
+        try:
+            self._complete(idx, _execute_shard(self.tasks[idx]))
+        except Exception as exc:
+            start, count = self._shard(idx)
+            raise CampaignExecutionError(
+                f"shard {shard_id(start, count)} failed after "
+                f"{attempt} attempt(s), last error: {exc!r}",
+                shard=(start, count),
+                run_id=self.journal.run_id if self.journal else None,
+                journal_path=(str(self.journal.directory)
+                              if self.journal else None),
+            ) from exc
+
+    # -- serial path --------------------------------------------------------
+    def run_serial(self) -> dict[int, _ShardOutput]:
+        for idx in range(len(self.tasks)):
+            attempt = 1
+            while True:
+                try:
+                    self._complete(idx, _execute_shard(self.tasks[idx]))
+                    break
+                except Exception as exc:
+                    if attempt >= self.ft.max_attempts:
+                        start, count = self._shard(idx)
+                        raise CampaignExecutionError(
+                            f"shard {shard_id(start, count)} failed after "
+                            f"{attempt} attempt(s), last error: {exc!r}",
+                            shard=(start, count),
+                            run_id=(self.journal.run_id
+                                    if self.journal else None),
+                            journal_path=(str(self.journal.directory)
+                                          if self.journal else None),
+                        ) from exc
+                    self._note_retry(idx, attempt, "error")
+                    attempt += 1
+                    self.ft.sleep(attempt)
+        return self.outputs
+
+    # -- pool path ----------------------------------------------------------
+    def run_pool(self) -> dict[int, _ShardOutput]:
+        queue: deque[tuple[int, int]] = deque(
+            (idx, 1) for idx in range(len(self.tasks))
+        )
+        inflight: dict[Any, tuple[int, int, Optional[float]]] = {}
+        pool: Optional[ProcessPoolExecutor] = None
+        try:
+            while queue or inflight:
+                if self.degraded:
+                    for idx, attempt in list(queue):
+                        self._run_inline(idx, attempt)
+                    queue.clear()
+                    continue
+                if pool is None:
+                    pool = ProcessPoolExecutor(
+                        max_workers=self.workers, mp_context=_pool_context()
+                    )
+                try:
+                    self._fill_window(pool, queue, inflight)
+                except BrokenProcessPool:
+                    pool = self._handle_broken_pool(pool, queue, inflight)
+                    continue
+                if not inflight:
+                    continue
+                done = self._wait(inflight)
+                if not done:
+                    pool = self._handle_timeouts(pool, queue, inflight)
+                    continue
+                broken_victims: list[tuple[int, int]] = []
+                for fut in done:
+                    idx, attempt, _deadline = inflight.pop(fut)
+                    try:
+                        output = fut.result()
+                    except BrokenProcessPool:
+                        broken_victims.append((idx, attempt))
+                        continue
+                    except Exception:
+                        self._retry_or_degrade(idx, attempt, "error", queue)
+                        continue
+                    self._complete(idx, output)
+                if broken_victims:
+                    pool = self._handle_broken_pool(pool, queue, inflight,
+                                                    broken_victims)
+        finally:
+            if pool is not None:
+                _kill_pool(pool)
+        return self.outputs
+
+    def _fill_window(self, pool: ProcessPoolExecutor,
+                     queue: deque, inflight: dict) -> None:
+        """Keep at most ``workers`` shards in flight.
+
+        The window equals the pool size so a submitted shard starts
+        (approximately) immediately — which is what makes the per-shard
+        wall-clock deadline meaningful without extra worker-side IPC.
+        """
+        while queue and len(inflight) < self.workers:
+            idx, attempt = queue.popleft()
+            if attempt > self.ft.max_attempts:
+                self._run_inline(idx, attempt - 1)
+                continue
+            deadline = (time.monotonic() + self.ft.timeout
+                        if self.ft.timeout > 0 else None)
+            try:
+                fut = pool.submit(_execute_shard, self.tasks[idx])
+            except BrokenProcessPool:
+                queue.appendleft((idx, attempt))
+                raise
+            inflight[fut] = (idx, attempt, deadline)
+
+    def _wait(self, inflight: dict) -> set:
+        timeout = None
+        deadlines = [d for (_i, _a, d) in inflight.values() if d is not None]
+        if deadlines:
+            timeout = max(0.0, min(deadlines) - time.monotonic())
+        done, _pending = futures_wait(set(inflight), timeout=timeout,
+                                      return_when=FIRST_COMPLETED)
+        return done
+
+    def _retry_or_degrade(self, idx: int, attempt: int, reason: str,
+                          queue: deque) -> None:
+        """Queue the next attempt for a failed shard (or go inline)."""
+        self._note_retry(idx, attempt, reason)
+        if attempt >= self.ft.max_attempts:
+            self._run_inline(idx, attempt)
+        else:
+            queue.append((idx, attempt + 1))
+            self.ft.sleep(attempt + 1)
+
+    def _handle_timeouts(self, pool: ProcessPoolExecutor, queue: deque,
+                         inflight: dict) -> Optional[ProcessPoolExecutor]:
+        """Kill the pool if any in-flight shard blew its deadline.
+
+        Only the expired shard(s) count as timeouts/retries; innocent
+        in-flight shards are requeued at their current attempt, because
+        re-executing them is collateral of the pool kill, not a failure
+        of their own.
+        """
+        now = time.monotonic()
+        expired = [fut for fut, (_i, _a, d) in inflight.items()
+                   if d is not None and now >= d and not fut.done()]
+        if not expired:
+            return pool
+        for fut in expired:
+            idx, attempt, _d = inflight.pop(fut)
+            start, count = self._shard(idx)
+            logger.warning("shard %s hung past %.3gs wall-clock; killing "
+                           "its pool", shard_id(start, count),
+                           self.ft.timeout)
+            self._note_timeout(idx)
+            self._retry_or_degrade(idx, attempt, "timeout", queue)
+        for fut, (idx, attempt, _d) in inflight.items():
+            queue.appendleft((idx, attempt))
+        inflight.clear()
+        _kill_pool(pool)
+        self._note_respawn()
+        return None
+
+    def _handle_broken_pool(
+        self, pool: ProcessPoolExecutor, queue: deque, inflight: dict,
+        victims: Optional[list[tuple[int, int]]] = None,
+    ) -> Optional[ProcessPoolExecutor]:
+        """A worker died: respawn the pool, retry everything in flight.
+
+        A broken pool cannot attribute the death to one shard, so every
+        shard that was in flight is charged a retry (reason
+        ``broken-pool``); shards still queued go back untouched.  Tests
+        that need exact retry counts therefore keep one shard in flight
+        (single-worker pool).
+        """
+        victims = list(victims or [])
+        victims.extend((idx, attempt)
+                       for _fut, (idx, attempt, _d) in inflight.items())
+        inflight.clear()
+        _kill_pool(pool)
+        self._note_respawn()
+        for idx, attempt in victims:
+            self._retry_or_degrade(idx, attempt, "broken-pool", queue)
+        return None
+
+
+# -- the campaign entry point -------------------------------------------------
+
+
 def run_sharded_campaign(
     version_a: DiverseVersion,
     version_b: DiverseVersion,
@@ -167,6 +620,8 @@ def run_sharded_campaign(
     shard_size: Optional[int] = None,
     cache: Optional[CampaignCache] = None,
     max_rounds: int = 4_000,
+    journal: Optional[CampaignJournal] = None,
+    fault_tolerance: Optional[FaultTolerance] = None,
 ) -> CampaignResult:
     """Shard, (optionally) fan out, merge — preserving exact results.
 
@@ -180,6 +635,14 @@ def run_sharded_campaign(
     cache-hit shards *replay* their trials into the counters — the
     merged ``campaign_outcome_total`` family therefore always equals
     ``CampaignResult.outcome_counts()`` of the returned result.
+
+    Crash safety: worker failures, hung shards, and dead pools are
+    retried per ``fault_tolerance`` (default: the ``VDS_SHARD_*``
+    environment knobs, see :class:`FaultTolerance`).  When ``journal``
+    is given, every completed shard is recorded in its CRC-sealed
+    ledger *after* the shard's result is stored in ``cache``, so an
+    interrupted run resumed with the same journal + cache re-executes
+    only the missing shards and still merges bit-identically.
     """
     tracer = active_or_none()
     metrics = get_registry()
@@ -187,8 +650,10 @@ def run_sharded_campaign(
     master = derive_seed_sequence(rng)
     shards = plan_shards(n_trials, shard_size)
     oracle = tuple(oracle_output)
+    ft = fault_tolerance if fault_tolerance is not None \
+        else FaultTolerance.from_env()
     fingerprint = None
-    if cache is not None:
+    if cache is not None or journal is not None:
         fingerprint = campaign_fingerprint(
             version_a,
             version_b,
@@ -199,6 +664,20 @@ def run_sharded_campaign(
             round_instructions,
             memory_words,
             max_rounds,
+        )
+    if journal is not None and journal.fingerprint != fingerprint:
+        from repro.errors import JournalError
+
+        raise JournalError(
+            f"journal {journal.run_id!r} was created for campaign "
+            f"{journal.fingerprint[:12]}…, but this invocation computes "
+            f"{fingerprint[:12]}… — the configuration changed"
+        )
+    if journal is not None and cache is None:
+        logger.warning(
+            "journal %s active without a shard cache: progress is "
+            "recorded but a resume will recompute every shard",
+            journal.run_id,
         )
     seeds = master.spawn(n_trials)
     if tracer is not None:
@@ -211,81 +690,153 @@ def run_sharded_campaign(
             shards=len(shards),
             vds_interpreter=default_backend(),
         )
+    else:
+        campaign_span = None
     if metrics is not None:
         record_interpreter_metric(metrics)
 
+    ledger = journal.completed_shards() if journal is not None else {}
     hits_before = cache.hits if cache is not None else 0
     misses_before = cache.misses if cache is not None else 0
+    corrupt_before = cache.corrupt if cache is not None else 0
     results: list[Optional[CampaignResult]] = [None] * len(shards)
     pending: list[int] = []
-    for idx, (start, count) in enumerate(shards):
-        if cache is not None:
-            hit = cache.lookup(fingerprint, start, count)
-            if hit is not None:
-                results[idx] = hit
-                if tracer is not None:
-                    tracer.point(
-                        "campaign.shard.cached", vt=start, start=start, count=count
-                    )
-                if metrics is not None:
-                    record_block_metrics(metrics, hit)
-                continue
-        pending.append(idx)
+    try:
+        for idx, (start, count) in enumerate(shards):
+            if cache is not None:
+                hit = cache.lookup(fingerprint, start, count)
+                if hit is not None:
+                    entry = ledger.get((start, count))
+                    expected = entry.get("digest") if entry else None
+                    if expected is not None and hit.digest() != expected:
+                        # The cache entry is internally consistent but is
+                        # not the shard this run's ledger recorded (e.g. a
+                        # foreign file copied over it).  Recompute.
+                        logger.warning(
+                            "cache entry for shard %s does not match the "
+                            "journal digest; recomputing",
+                            shard_id(start, count),
+                        )
+                        pending.append(idx)
+                        continue
+                    results[idx] = hit
+                    if journal is not None:
+                        journal.record_shard(start, count,
+                                             digest=hit.digest(),
+                                             source="cache")
+                    if tracer is not None:
+                        tracer.point(
+                            "campaign.shard.cached", vt=start, start=start,
+                            count=count
+                        )
+                    if metrics is not None:
+                        record_block_metrics(metrics, hit)
+                    continue
+            pending.append(idx)
 
-    tasks = []
-    for idx in pending:
-        start, count = shards[idx]
-        tasks.append(
-            _ShardTask(
-                version_a,
-                version_b,
-                oracle,
-                tuple(seeds[start : start + count]),
-                injector,
-                round_instructions,
-                memory_words,
-                max_rounds,
-                first_trial_index=start,
-                collect_trace=tracer is not None,
-                collect_metrics=metrics is not None,
-                backend=default_backend(),
-            )
-        )
-    computed = parallel_map(_execute_shard, tasks, workers)
-    profiler = Profiler() if computed and computed[0].profile is not None else None
-    for idx, output in zip(pending, computed):
-        results[idx] = output.result
-        if tracer is not None and output.trace_events is not None:
-            tracer.adopt(output.trace_events, parent_id=campaign_span)
-        if metrics is not None and output.metrics is not None:
-            metrics.merge_dict(output.metrics)
-            if output.profile is not None:
-                # Each shard times exactly one "campaign.shard" section.
-                metrics.histogram(
-                    "campaign_shard_seconds",
-                    buckets=(0.01, 0.05, 0.1, 0.5, 1, 5, 10, 60),
-                ).observe(output.profile["campaign.shard"]["total"])
-        if profiler is not None and output.profile is not None:
-            profiler.merge_dict(output.profile)
-        if cache is not None:
+        tasks = []
+        for idx in pending:
             start, count = shards[idx]
-            cache.store(fingerprint, start, count, output.result)
+            tasks.append(
+                _ShardTask(
+                    version_a,
+                    version_b,
+                    oracle,
+                    tuple(seeds[start : start + count]),
+                    injector,
+                    round_instructions,
+                    memory_words,
+                    max_rounds,
+                    first_trial_index=start,
+                    collect_trace=tracer is not None,
+                    collect_metrics=metrics is not None,
+                    backend=default_backend(),
+                )
+            )
 
-    if metrics is not None and cache is not None:
-        metrics.counter("campaign_cache_hits_total").inc(cache.hits - hits_before)
-        metrics.counter("campaign_cache_misses_total").inc(
-            cache.misses - misses_before
-        )
-    if tracer is not None:
-        tracer.end(campaign_span, vt=n_trials)
+        def on_complete(pos: int, output: _ShardOutput) -> None:
+            """Persist one computed shard the moment it lands.
+
+            Ordering matters for crash safety: the cache entry is
+            durable *before* the ledger marks the shard complete, so a
+            kill between the two can only under-report progress (one
+            extra recompute on resume), never fabricate it.
+            """
+            sidx = pending[pos]
+            start, count = shards[sidx]
+            if cache is not None:
+                cache.store(fingerprint, start, count, output.result)
+            if journal is not None:
+                journal.record_shard(start, count,
+                                     digest=output.result.digest(),
+                                     source="computed")
+            if metrics is not None:
+                metrics.counter("campaign_shards_executed_total").inc()
+
+        pool_workers = min(workers, len(tasks)) if tasks else 0
+        force_pool = os.environ.get("VDS_FORCE_POOL", "") not in ("", "0")
+        runner = _ShardRunner(tasks, max(pool_workers, 1), ft, tracer,
+                              metrics, campaign_span, on_complete,
+                              journal=journal)
+        if tasks:
+            if pool_workers > 1 or force_pool:
+                outputs = runner.run_pool()
+            else:
+                outputs = runner.run_serial()
+        else:
+            outputs = {}
+
+        profiler = None
+        for pos in range(len(tasks)):
+            output = outputs[pos]
+            idx = pending[pos]
+            results[idx] = output.result
+            if tracer is not None and output.trace_events is not None:
+                tracer.adopt(output.trace_events, parent_id=campaign_span)
+            if metrics is not None and output.metrics is not None:
+                metrics.merge_dict(output.metrics)
+                if output.profile is not None:
+                    # Each shard times exactly one "campaign.shard" section.
+                    metrics.histogram(
+                        "campaign_shard_seconds",
+                        buckets=(0.01, 0.05, 0.1, 0.5, 1, 5, 10, 60),
+                    ).observe(output.profile["campaign.shard"]["total"])
+            if output.profile is not None:
+                if profiler is None:
+                    profiler = Profiler()
+                profiler.merge_dict(output.profile)
+
+        if metrics is not None and cache is not None:
+            metrics.counter("campaign_cache_hits_total").inc(
+                cache.hits - hits_before
+            )
+            metrics.counter("campaign_cache_misses_total").inc(
+                cache.misses - misses_before
+            )
+            if cache.corrupt > corrupt_before:
+                metrics.counter("campaign_cache_corrupt_total").inc(
+                    cache.corrupt - corrupt_before
+                )
+    finally:
+        if tracer is not None:
+            tracer.end(campaign_span, vt=n_trials)
     if profiler is not None and profiler.sections:
         logger.debug("shard wall-clock profile:\n%s", profiler.report())
     logger.info(
         "sharded campaign done: %d trials in %d shards (%d cached) "
-        "across %d workers",
+        "across %d workers (%d retries, %d respawns%s)",
         n_trials,
         len(shards),
         len(shards) - len(pending),
         workers,
+        sum(v for v in (
+            metrics.counter_values("campaign_shard_retries_total").values()
+            if metrics is not None else ()
+        )),
+        runner.respawns if tasks else 0,
+        ", degraded" if tasks and runner.degraded else "",
     )
-    return CampaignResult.merge(results)
+    result = CampaignResult.merge(results)
+    if journal is not None:
+        journal.mark_complete(result.digest(), n_trials)
+    return result

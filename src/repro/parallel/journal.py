@@ -1,0 +1,305 @@
+"""Append-only campaign journal: crash-safe run manifests and ledgers.
+
+A *run* is one campaign invocation identified by a run id.  Its journal
+is a directory under ``results/runs/<run-id>/`` (override the root with
+``VDS_RUNS_DIR``) holding exactly two files:
+
+``manifest.json``
+    The campaign's full configuration — enough for
+    ``vds-repro campaign --resume <run-id>`` to rebuild the version
+    pair, injector, and seed tree without any of the original flags —
+    plus the campaign fingerprint that keys the shard cache.  Written
+    once, atomically (temp file + rename, fsynced).
+
+``ledger.jsonl``
+    One line per *completed* shard, appended and fsynced the moment the
+    shard's result is safely in the cache.  Each line is CRC-sealed:
+    the record carries a ``crc`` field over its own canonical JSON
+    body, so a torn tail line (the writer was killed mid-append) or a
+    bit-flipped entry is detected and *skipped* — the worst corruption
+    can do is force one shard to be recomputed.
+
+The journal never stores results itself; shard payloads live in the
+:class:`~repro.parallel.cache.CampaignCache` keyed by the manifest's
+fingerprint.  The ledger is the executor's progress record (which
+shards are done, and the CRC-sealed digest of each shard's result) and
+the CLI's resume index.  Entries are idempotent: recording a shard that
+is already in the ledger is a no-op, so a resumed run can simply replay
+its completion events.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import os
+import re
+import zlib
+from pathlib import Path
+from typing import Any, Optional, Union
+
+from repro._version import __version__
+from repro.errors import JournalError
+from repro.parallel.cache import write_file_atomic
+from repro.parallel.sharding import shard_id
+
+__all__ = [
+    "JOURNAL_SCHEMA",
+    "DEFAULT_RUNS_DIR",
+    "CampaignJournal",
+    "default_runs_dir",
+    "seal_record",
+    "unseal_record",
+]
+
+logger = logging.getLogger(__name__)
+
+#: Bump when the manifest/ledger layout changes.
+JOURNAL_SCHEMA = 1
+
+#: Default journal root, relative to the working directory.
+DEFAULT_RUNS_DIR = Path("results") / "runs"
+
+_RUN_ID_RE = re.compile(r"^[A-Za-z0-9][A-Za-z0-9._-]{0,63}$")
+
+
+def default_runs_dir() -> Path:
+    """The journal root: ``$VDS_RUNS_DIR`` or ``results/runs``."""
+    return Path(os.environ.get("VDS_RUNS_DIR", DEFAULT_RUNS_DIR))
+
+
+def _canonical(record: dict[str, Any]) -> bytes:
+    return json.dumps(record, sort_keys=True,
+                      separators=(",", ":")).encode("utf-8")
+
+
+def seal_record(record: dict[str, Any]) -> str:
+    """One CRC-sealed JSONL line (no trailing newline) for ``record``.
+
+    The seal is a CRC-32 over the record's canonical JSON *without* the
+    ``crc`` field; readers recompute it, so any single torn or flipped
+    byte in the line invalidates the whole entry.
+    """
+    body = {k: v for k, v in record.items() if k != "crc"}
+    crc = zlib.crc32(_canonical(body)) & 0xFFFFFFFF
+    return json.dumps({**body, "crc": f"{crc:08x}"}, sort_keys=True,
+                      separators=(",", ":"))
+
+
+def unseal_record(line: str) -> Optional[dict[str, Any]]:
+    """Parse and verify one sealed ledger line; ``None`` if invalid.
+
+    Invalid covers everything a crash or bit rot can produce: a torn
+    (non-JSON) tail line, a missing seal, or a CRC mismatch.
+    """
+    line = line.strip()
+    if not line:
+        return None
+    try:
+        record = json.loads(line)
+    except (json.JSONDecodeError, UnicodeDecodeError):
+        return None
+    if not isinstance(record, dict):
+        return None
+    crc = record.pop("crc", None)
+    if not isinstance(crc, str):
+        return None
+    try:
+        sealed = int(crc, 16)
+    except ValueError:
+        return None
+    if zlib.crc32(_canonical(record)) & 0xFFFFFFFF != sealed:
+        return None
+    return record
+
+
+class CampaignJournal:
+    """The manifest + completed-shard ledger of one campaign run."""
+
+    def __init__(self, directory: Union[str, Path], run_id: str,
+                 manifest: dict[str, Any]):
+        self.directory = Path(directory)
+        self.run_id = run_id
+        self.manifest = manifest
+        #: Ledger lines that failed their CRC seal on the last read.
+        self.corrupt_entries = 0
+        self._recorded: set[tuple[int, int]] = set()
+
+    # -- paths ---------------------------------------------------------------
+    @property
+    def manifest_path(self) -> Path:
+        return self.directory / "manifest.json"
+
+    @property
+    def ledger_path(self) -> Path:
+        return self.directory / "ledger.jsonl"
+
+    @property
+    def fingerprint(self) -> str:
+        """The campaign fingerprint this journal's shards are cached under."""
+        return self.manifest["fingerprint"]
+
+    # -- construction --------------------------------------------------------
+    @classmethod
+    def create(cls, run_id: str, manifest: dict[str, Any],
+               root: Union[str, Path, None] = None) -> "CampaignJournal":
+        """Create (or re-open) the journal for ``run_id``.
+
+        Re-opening is the resume/idempotent-rerun path: it is allowed
+        only when the existing manifest carries the *same campaign
+        fingerprint* — resuming run X with the configuration of run Y
+        raises :class:`~repro.errors.JournalError` instead of silently
+        mixing two campaigns' shards in one ledger.
+        """
+        if not _RUN_ID_RE.match(run_id):
+            raise JournalError(
+                f"invalid run id {run_id!r} (want 1-64 chars of "
+                f"[A-Za-z0-9._-], starting alphanumeric)"
+            )
+        directory = Path(root if root is not None else default_runs_dir())
+        directory = directory / run_id
+        journal = cls(directory, run_id, dict(manifest))
+        journal.manifest.setdefault("schema", JOURNAL_SCHEMA)
+        journal.manifest.setdefault("code_version", __version__)
+        journal.manifest["run_id"] = run_id
+        if "fingerprint" not in journal.manifest:
+            raise JournalError("manifest must carry the campaign fingerprint")
+        if journal.manifest_path.exists():
+            existing = cls.open(run_id, root=root)
+            if existing.fingerprint != journal.fingerprint:
+                raise JournalError(
+                    f"run {run_id!r} already exists with a different "
+                    f"campaign fingerprint "
+                    f"({existing.fingerprint[:12]}… != "
+                    f"{journal.fingerprint[:12]}…); pick another --run-id "
+                    f"or resume it with its own configuration"
+                )
+            existing._load_recorded()
+            return existing
+        write_file_atomic(
+            journal.manifest_path,
+            (json.dumps(journal.manifest, indent=2, sort_keys=True) + "\n"
+             ).encode("utf-8"),
+        )
+        logger.info("journal created: run %s at %s", run_id, directory)
+        return journal
+
+    @classmethod
+    def open(cls, run_id: str,
+             root: Union[str, Path, None] = None) -> "CampaignJournal":
+        """Open an existing run's journal; raises ``JournalError`` if absent
+        or if its manifest is unreadable."""
+        directory = Path(root if root is not None else default_runs_dir())
+        directory = directory / run_id
+        path = directory / "manifest.json"
+        try:
+            manifest = json.loads(path.read_text(encoding="utf-8"))
+        except OSError:
+            raise JournalError(
+                f"no journal for run {run_id!r} (looked at {path})"
+            ) from None
+        except json.JSONDecodeError as exc:
+            raise JournalError(
+                f"journal manifest for run {run_id!r} is corrupt: {exc}"
+            ) from None
+        if "fingerprint" not in manifest:
+            raise JournalError(
+                f"journal manifest for run {run_id!r} lacks a fingerprint"
+            )
+        journal = cls(directory, run_id, manifest)
+        journal._load_recorded()
+        return journal
+
+    # -- ledger --------------------------------------------------------------
+    def _load_recorded(self) -> None:
+        self._recorded = {
+            (e["start"], e["count"]) for e in self.entries()
+            if e.get("event") == "shard"
+        }
+
+    def entries(self) -> list[dict[str, Any]]:
+        """All valid ledger records, in append order.
+
+        Sealed-but-invalid lines (torn tail, bit flips) are counted in
+        :attr:`corrupt_entries` and skipped — their shards simply do not
+        exist as far as resume is concerned.
+        """
+        self.corrupt_entries = 0
+        records: list[dict[str, Any]] = []
+        try:
+            text = self.ledger_path.read_text(encoding="utf-8",
+                                              errors="replace")
+        except OSError:
+            return records
+        for line in text.splitlines():
+            if not line.strip():
+                continue
+            record = unseal_record(line)
+            if record is None:
+                self.corrupt_entries += 1
+                logger.warning("journal %s: skipping corrupt ledger line",
+                               self.run_id)
+                continue
+            records.append(record)
+        return records
+
+    def completed_shards(self) -> dict[tuple[int, int], dict[str, Any]]:
+        """``(start, count) -> latest valid ledger record`` for every shard
+        the ledger marks complete."""
+        done: dict[tuple[int, int], dict[str, Any]] = {}
+        for record in self.entries():
+            if record.get("event") == "shard":
+                done[(record["start"], record["count"])] = record
+        self._recorded = set(done)
+        return done
+
+    def _append(self, record: dict[str, Any]) -> None:
+        self.directory.mkdir(parents=True, exist_ok=True)
+        line = seal_record(record) + "\n"
+        with self.ledger_path.open("a", encoding="utf-8") as fh:
+            fh.write(line)
+            fh.flush()
+            os.fsync(fh.fileno())
+
+    def record_shard(self, start: int, count: int, *,
+                     digest: Optional[str] = None,
+                     source: str = "computed") -> bool:
+        """Mark the shard ``(start, count)`` complete; idempotent.
+
+        ``digest`` is the shard result's content digest
+        (:meth:`~repro.faults.campaign.CampaignResult.digest`), recorded
+        so a resume can cross-check the cache entry it reloads against
+        what the original run actually computed.  ``source`` records how
+        this run obtained the shard (``computed`` / ``cache``).
+        Returns ``True`` when a new ledger line was written.
+        """
+        key = (int(start), int(count))
+        if key in self._recorded:
+            return False
+        record: dict[str, Any] = {
+            "event": "shard", "start": key[0], "count": key[1],
+            "shard": shard_id(*key), "source": source,
+        }
+        if digest is not None:
+            record["digest"] = digest
+        self._append(record)
+        self._recorded.add(key)
+        return True
+
+    def mark_complete(self, digest: str, n_trials: int) -> None:
+        """Append the run-complete record (campaign digest + trial count)."""
+        self._append({"event": "complete", "digest": digest,
+                      "n_trials": int(n_trials)})
+
+    def completion(self) -> Optional[dict[str, Any]]:
+        """The final ``complete`` record, or ``None`` while unfinished."""
+        last = None
+        for record in self.entries():
+            if record.get("event") == "complete":
+                last = record
+        return last
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (f"CampaignJournal(run_id={self.run_id!r}, "
+                f"dir={str(self.directory)!r}, "
+                f"recorded={len(self._recorded)})")

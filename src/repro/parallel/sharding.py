@@ -14,7 +14,7 @@ from typing import Optional, Union
 
 from repro.errors import ConfigurationError
 
-__all__ = ["DEFAULT_SHARD_SIZE", "plan_shards", "resolve_workers"]
+__all__ = ["DEFAULT_SHARD_SIZE", "plan_shards", "resolve_workers", "shard_id"]
 
 #: Default trials per shard: small enough to load-balance a few hundred
 #: trials over 8+ workers, large enough to amortise per-shard overhead.
@@ -45,6 +45,16 @@ def resolve_workers(workers: Union[int, str, None] = None) -> int:
     if count < 1:
         raise ConfigurationError(f"workers must be >= 1, got {count}")
     return count
+
+
+def shard_id(start: int, count: int) -> str:
+    """Canonical name of the shard ``(start, count)``.
+
+    The single spelling shared by the on-disk cache (file names), the
+    campaign journal (ledger entries), and log/trace output, so a shard
+    can be followed across all three by one string.
+    """
+    return f"{start:06d}-{count:05d}"
 
 
 def plan_shards(

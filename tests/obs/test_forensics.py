@@ -286,3 +286,61 @@ class TestRecoveryForensics:
             run_mission(ConventionalTiming(params), StopAndRetry(),
                         FaultPlan.from_events([]), 10)
         assert recovery_forensics(tr.events) == []
+
+
+class TestRetryForensics:
+    """Executor fault events reconstructed from a campaign trace."""
+
+    def _trace_with_retries(self):
+        from repro.obs.trace import Tracer
+
+        tr = Tracer()
+        campaign = tr.start("campaign", vt=0, n_trials=40, mode="sharded")
+        tr.point("campaign.retry", vt=10, parent=campaign, start=10,
+                 count=10, attempt=1, reason="broken-pool")
+        tr.point("campaign.retry", vt=10, parent=campaign, start=10,
+                 count=10, attempt=2, reason="timeout")
+        tr.point("campaign.degraded", parent=campaign,
+                 reason="pool died 3 times")
+        tr.end(campaign, vt=40)
+        return tuple(tr.events)
+
+    def test_records_in_emission_order(self):
+        from repro.obs.forensics import retry_forensics
+
+        records = retry_forensics(self._trace_with_retries())
+        assert [r.event for r in records] == ["retry", "retry", "degraded"]
+        first, second, degraded = records
+        assert (first.start, first.count) == (10, 10)
+        assert first.attempt == 1
+        assert first.reason == "broken-pool"
+        assert second.reason == "timeout"
+        assert degraded.reason == "pool died 3 times"
+        assert degraded.start is None
+
+    def test_counts_agree_with_retry_metrics(self):
+        """One planted fault, one retry point, one counted retry —
+        trace and metrics tell the same story."""
+        from repro.obs.forensics import retry_forensics
+
+        records = retry_forensics(self._trace_with_retries())
+        by_reason = {}
+        for r in records:
+            if r.event == "retry":
+                by_reason[r.reason] = by_reason.get(r.reason, 0) + 1
+        assert by_reason == {"broken-pool": 1, "timeout": 1}
+
+    def test_clean_trace_has_no_records(self, traced_campaign):
+        from repro.obs.forensics import retry_forensics
+
+        _va, _vb, _result, events = traced_campaign
+        assert retry_forensics(events) == []
+
+    def test_json_round_trip(self):
+        import json
+
+        from repro.obs.forensics import retry_forensics
+
+        records = retry_forensics(self._trace_with_retries())
+        dumped = json.dumps([r.to_json_obj() for r in records])
+        assert json.loads(dumped)[0]["reason"] == "broken-pool"

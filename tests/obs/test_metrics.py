@@ -201,3 +201,22 @@ class TestPerfCountersAdapter:
         absorb_perf_counters(reg, pc)
         absorb_perf_counters(reg, pc)
         assert reg.counter_value("smt_cycles_total") == 20
+
+
+class TestCounterTotal:
+    def test_sums_across_label_variants(self):
+        reg = MetricsRegistry()
+        reg.counter("campaign_shard_retries_total", reason="error").inc(2)
+        reg.counter("campaign_shard_retries_total", reason="timeout").inc(1)
+        reg.counter("campaign_shard_retries_total",
+                    reason="broken-pool").inc(4)
+        assert reg.counter_total("campaign_shard_retries_total") == 7
+
+    def test_unlabelled_family(self):
+        reg = MetricsRegistry()
+        reg.counter("plain").inc(3)
+        assert reg.counter_total("plain") == 3
+
+    def test_absent_family_is_zero(self):
+        reg = MetricsRegistry()
+        assert reg.counter_total("never_written") == 0

@@ -62,6 +62,25 @@ class TestTracerRecording:
         assert point.parent_id == sid
         assert point.attrs == {"index": 1}
 
+    def test_point_with_explicit_parent(self):
+        """The executor pins retry points to the campaign span even when
+        other spans are open on the stack."""
+        tr = Tracer(clock=FakeClock())
+        campaign = tr.start("campaign", vt=0)
+        with tr.span("campaign.shard", vt=0):
+            tr.point("campaign.retry", vt=0, parent=campaign, reason="error")
+        tr.end(campaign, vt=1)
+        point = next(ev for ev in tr.events if ev.kind == "point")
+        assert point.parent_id == campaign
+        assert point.attrs == {"reason": "error"}
+
+    def test_point_explicit_parent_none_uses_stack(self):
+        tr = Tracer(clock=FakeClock())
+        with tr.span("outer") as sid:
+            tr.point("p", parent=None)
+        point = next(ev for ev in tr.events if ev.kind == "point")
+        assert point.parent_id == sid
+
     def test_end_unknown_span_raises(self):
         tr = Tracer(clock=FakeClock())
         with pytest.raises(ObservabilityError):

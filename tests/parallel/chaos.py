@@ -1,0 +1,109 @@
+"""Reusable chaos-injection harness for crash/corruption tests.
+
+Two families of tools:
+
+* :class:`ChaosPlan` plants claim-once token files in a directory the
+  executor watches via ``VDS_CHAOS_DIR`` (see
+  :func:`repro.parallel.executor._maybe_inject_chaos`).  Each token
+  names a shard by its first trial index and injects exactly one fault
+  on that shard's next attempt: ``kill`` SIGKILLs the worker process,
+  ``hang`` stalls it past any timeout, ``fail`` raises inside the shard.
+  Because a token is claimed atomically before it fires, a retried
+  shard only re-encounters faults that were explicitly planted — which
+  is what lets tests assert *exact* retry/timeout metric counts.
+
+* :func:`truncate_file` / :func:`flip_bit` corrupt on-disk artifacts
+  (cache entries, journal ledgers) the way real crashes and bit rot do:
+  a torn tail or a single flipped bit, not a convenient exception.
+
+The harness is test infrastructure, but deliberately lives as a plain
+module (not inside ``conftest.py``) so other suites — and the CI chaos
+smoke driver in ``tools/chaos_smoke.py`` — can import it.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Union
+
+__all__ = ["ChaosPlan", "truncate_file", "flip_bit"]
+
+
+class ChaosPlan:
+    """Plants chaos tokens for the executor's ``VDS_CHAOS_DIR`` seam.
+
+    Token files are named ``<action>-<start:06d>-<n>.token`` where
+    ``start`` is the victim shard's first trial index and ``n`` keeps
+    multiple tokens for the same (action, shard) distinct — planting
+    ``kill`` twice arms two consecutive worker deaths.
+    """
+
+    def __init__(self, directory: Union[str, Path]):
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self._sequence = 0
+
+    def _plant(self, action: str, start: int, body: str = "") -> Path:
+        self._sequence += 1
+        token = self.directory / f"{action}-{start:06d}-{self._sequence}.token"
+        token.write_text(body)
+        return token
+
+    # -- faults --------------------------------------------------------------
+    def kill_worker(self, start: int, times: int = 1) -> list[Path]:
+        """SIGKILL the worker the next ``times`` times shard ``start`` runs.
+
+        Only fires in pool workers — the in-process degradation path
+        never kills the test process itself.
+        """
+        return [self._plant("kill", start) for _ in range(times)]
+
+    def hang_shard(self, start: int, seconds: float = 3600.0,
+                   times: int = 1) -> list[Path]:
+        """Stall shard ``start`` for ``seconds`` on its next ``times`` runs."""
+        return [self._plant("hang", start, f"{seconds}")
+                for _ in range(times)]
+
+    def fail_shard(self, start: int, times: int = 1) -> list[Path]:
+        """Raise inside shard ``start`` on its next ``times`` attempts.
+
+        Unlike ``kill``/``hang`` this also fires in-process, so it can
+        drive a shard through retries *and* the inline fallback into a
+        terminal :class:`~repro.errors.CampaignExecutionError`.
+        """
+        return [self._plant("fail", start) for _ in range(times)]
+
+    # -- inspection ----------------------------------------------------------
+    def pending(self) -> list[str]:
+        """Names of tokens not yet claimed by any shard attempt."""
+        return sorted(p.name for p in self.directory.glob("*.token"))
+
+    def claimed(self) -> list[str]:
+        """Names of tokens that fired (claimed by a shard attempt)."""
+        return sorted(p.name for p in self.directory.glob("*.claimed"))
+
+    def assert_all_claimed(self) -> None:
+        """Every planted fault must actually have been injected."""
+        leftovers = self.pending()
+        assert not leftovers, f"chaos tokens never fired: {leftovers}"
+
+
+def truncate_file(path: Union[str, Path], keep: int = 16) -> None:
+    """Truncate ``path`` to its first ``keep`` bytes (a torn write)."""
+    path = Path(path)
+    data = path.read_bytes()
+    path.write_bytes(data[:keep])
+
+
+def flip_bit(path: Union[str, Path], offset: int = -1, bit: int = 0) -> None:
+    """Flip one bit of ``path`` at byte ``offset`` (default: last byte).
+
+    The smallest possible corruption — exactly what a CRC seal exists
+    to catch and a naive length check would miss.
+    """
+    path = Path(path)
+    data = bytearray(path.read_bytes())
+    if not data:
+        raise ValueError(f"cannot flip a bit of empty file {path}")
+    data[offset] ^= 1 << bit
+    path.write_bytes(bytes(data))

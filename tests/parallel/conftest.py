@@ -1,0 +1,44 @@
+"""Shared fixtures for the parallel-execution test suite."""
+
+import pytest
+
+from repro.diversity import generate_versions
+from repro.isa import load_program
+
+from tests.parallel.chaos import ChaosPlan
+
+
+@pytest.fixture(scope="session")
+def gcd_duplex():
+    """A small diverse pair whose campaigns run fast (session-cached)."""
+    prog, inputs, spec = load_program("gcd")
+    versions = generate_versions(prog, inputs, n=3, seed=7)
+    return versions, spec.oracle()
+
+
+@pytest.fixture
+def chaos(tmp_path, monkeypatch):
+    """An armed :class:`ChaosPlan` wired into the executor's chaos seam.
+
+    Backoff is zeroed so retry loops don't sleep, and the retry/timeout
+    knobs are reset to their defaults so each test states the policy it
+    relies on explicitly (via ``FaultTolerance`` or ``monkeypatch``).
+    """
+    plan = ChaosPlan(tmp_path / "chaos")
+    monkeypatch.setenv("VDS_CHAOS_DIR", str(plan.directory))
+    monkeypatch.setenv("VDS_SHARD_BACKOFF", "0")
+    for knob in ("VDS_SHARD_RETRIES", "VDS_SHARD_TIMEOUT",
+                 "VDS_POOL_RESPAWNS", "VDS_FORCE_POOL"):
+        monkeypatch.delenv(knob, raising=False)
+    return plan
+
+
+@pytest.fixture
+def single_worker_pool(monkeypatch):
+    """Force a real one-worker pool (``VDS_FORCE_POOL``).
+
+    A broken pool cannot attribute a worker death to one shard, so it
+    charges every in-flight shard a retry; with exactly one shard in
+    flight the charge — and hence the metric count — is exact.
+    """
+    monkeypatch.setenv("VDS_FORCE_POOL", "1")

@@ -114,3 +114,124 @@ def test_default_cache_dir_from_env(monkeypatch, tmp_path):
     assert CampaignCache.default().root == tmp_path / "alt"
     monkeypatch.delenv("VDS_CACHE_DIR")
     assert CampaignCache.default().root == DEFAULT_CACHE_DIR
+
+
+class TestSealedContainer:
+    def test_round_trip(self):
+        from repro.parallel.cache import seal_payload, unseal_payload
+
+        payload = b"arbitrary bytes \x00\xff" * 100
+        assert unseal_payload(seal_payload(payload)) == payload
+
+    def test_truncation_detected(self):
+        from repro.parallel.cache import seal_payload, unseal_payload
+
+        blob = seal_payload(b"x" * 1000)
+        with pytest.raises(ValueError, match="truncated"):
+            unseal_payload(blob[:-1])
+        with pytest.raises(ValueError, match="header"):
+            unseal_payload(blob[:5])
+
+    def test_every_flipped_bit_detected(self):
+        from repro.parallel.cache import seal_payload, unseal_payload
+
+        blob = bytearray(seal_payload(b"payload under test"))
+        for i in range(len(blob)):
+            mutated = bytearray(blob)
+            mutated[i] ^= 0x10
+            with pytest.raises(ValueError):
+                unseal_payload(bytes(mutated))
+
+    def test_wrong_magic_and_schema(self):
+        from repro.parallel.cache import seal_payload, unseal_payload
+
+        blob = bytearray(seal_payload(b"data"))
+        wrong_magic = b"JUNK" + bytes(blob[4:])
+        with pytest.raises(ValueError, match="magic"):
+            unseal_payload(wrong_magic)
+        blob[4] ^= 0xFF  # schema field
+        with pytest.raises(ValueError, match="schema"):
+            unseal_payload(bytes(blob))
+
+
+class TestAtomicWrites:
+    def test_write_then_no_temp_files(self, tmp_path):
+        from repro.parallel.cache import write_file_atomic
+
+        dest = tmp_path / "sub" / "entry.pkl"
+        write_file_atomic(dest, b"hello")
+        assert dest.read_bytes() == b"hello"
+        assert list(tmp_path.rglob("*.tmp-*")) == []
+
+    def test_overwrite_is_atomic_replace(self, tmp_path):
+        from repro.parallel.cache import write_file_atomic
+
+        dest = tmp_path / "entry.pkl"
+        write_file_atomic(dest, b"old")
+        write_file_atomic(dest, b"new")
+        assert dest.read_bytes() == b"new"
+
+    def test_sweep_removes_dead_writer_partials(self, duplex, tmp_path):
+        cache = CampaignCache(tmp_path)
+        _run(duplex, cache)
+        shard_dir = next(d for d in tmp_path.iterdir() if d.is_dir())
+        dead = shard_dir / "shard-000000-00010.pkl.tmp-999999999"
+        dead.write_bytes(b"torn")
+        import os
+
+        live = shard_dir / f"shard-000000-00010.pkl.tmp-{os.getpid()}"
+        live.write_bytes(b"in flight")
+        assert cache.sweep_partials() == 1
+        assert not dead.exists()
+        assert live.exists()   # a live writer's temp file is not garbage
+        live.unlink()
+
+    def test_store_sweeps_as_it_goes(self, duplex, tmp_path):
+        cache = CampaignCache(tmp_path)
+        first = _run(duplex, cache)
+        shard_dir = next(d for d in tmp_path.iterdir() if d.is_dir())
+        (shard_dir / "shard-000000-00010.pkl.tmp-999999999").write_bytes(b"x")
+        cache.store(shard_dir.name, 0, 10,
+                    type(first)(trials=first.trials[:10]))
+        assert list(tmp_path.rglob("*.tmp-999999999")) == []
+
+
+class TestQuarantine:
+    def test_truncated_entry_quarantined_not_raised(self, duplex, tmp_path):
+        cache = CampaignCache(tmp_path)
+        expected = _run(duplex, cache)
+        victim = sorted(tmp_path.rglob("*.pkl"))[0]
+        victim.write_bytes(victim.read_bytes()[:40])
+        recovery = CampaignCache(tmp_path)
+        result = _run(duplex, recovery)
+        assert result.trials == expected.trials
+        assert recovery.corrupt == 1
+        assert recovery.hits == 2
+        assert recovery.misses == 1
+        quarantined = list(recovery.quarantine_dir.iterdir())
+        assert len(quarantined) == 1
+        # The quarantined name preserves the fingerprint for post-mortems.
+        assert victim.parent.name in quarantined[0].name
+
+    def test_wrong_trial_count_quarantined(self, duplex, tmp_path):
+        cache = CampaignCache(tmp_path)
+        result = _run(duplex, cache)
+        fingerprint = next(d for d in tmp_path.iterdir() if d.is_dir()).name
+        # Seal a perfectly valid result under the wrong shard name.
+        cache.store(fingerprint, 0, 10,
+                    type(result)(trials=result.trials[:3]))
+        fresh = CampaignCache(tmp_path)
+        assert fresh.lookup(fingerprint, 0, 10) is None
+        assert fresh.corrupt == 1
+
+    def test_legacy_unsealed_entry_quarantined(self, duplex, tmp_path):
+        """A pre-schema-2 raw pickle no longer passes the seal check."""
+        import pickle
+
+        cache = CampaignCache(tmp_path)
+        result = _run(duplex, cache)
+        victim = sorted(tmp_path.rglob("*.pkl"))[0]
+        victim.write_bytes(pickle.dumps(result))
+        fresh = CampaignCache(tmp_path)
+        assert fresh.lookup(victim.parent.name, 0, 10) is None
+        assert fresh.corrupt == 1

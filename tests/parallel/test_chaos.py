@@ -1,0 +1,245 @@
+"""Chaos tests: the executor under SIGKILL, hangs, and disk corruption.
+
+Every test asserts two things: the campaign's outcome is *bit-identical*
+to the clean run (digest + outcome counts), and the fault-tolerance
+metrics account for the injected faults *exactly* — one planted fault,
+one counted retry, nothing invented, nothing dropped.
+
+Pool-death attribution: a ``BrokenProcessPool`` cannot name the shard
+whose worker died, so every in-flight shard is charged a retry.  The
+kill tests therefore run on a forced single-worker pool
+(``single_worker_pool`` fixture), where in-flight = 1 and counts are
+exact.  Timeout attribution is per-deadline and thus exact on any pool.
+"""
+
+import pytest
+
+from repro.errors import CampaignExecutionError
+from repro.faults import run_campaign
+from repro.obs import collecting
+from repro.parallel import CampaignCache, FaultTolerance
+
+from tests.parallel.chaos import flip_bit, truncate_file
+
+N_TRIALS = 40
+SHARD = 10            # -> 4 shards: starts 0, 10, 20, 30
+SEED = 99
+
+
+def _run(duplex, *, cache=None, journal=None, ft=None, workers=1):
+    versions, oracle = duplex
+    return run_campaign(versions[0], versions[1], oracle, N_TRIALS, SEED,
+                        n_workers=workers, shard_size=SHARD, cache=cache,
+                        journal=journal, fault_tolerance=ft)
+
+
+@pytest.fixture(scope="module")
+def reference(gcd_duplex):
+    return _run(gcd_duplex)
+
+
+def _retries(metrics, reason):
+    return metrics.counter_value("campaign_shard_retries_total",
+                                 reason=reason)
+
+
+def _assert_identical(result, reference):
+    assert result.digest() == reference.digest()
+    assert result.trials == reference.trials
+    assert result.outcome_counts() == reference.outcome_counts()
+
+
+class TestWorkerDeath:
+    def test_sigkill_recovers_bit_identically(self, gcd_duplex, chaos,
+                                              single_worker_pool, reference):
+        chaos.kill_worker(0)
+        ft = FaultTolerance(retries=2, backoff=0.0)
+        with collecting() as metrics:
+            result = _run(gcd_duplex, ft=ft)
+        chaos.assert_all_claimed()
+        _assert_identical(result, reference)
+        # One kill -> exactly one broken-pool retry and one respawn.
+        assert _retries(metrics, "broken-pool") == 1
+        assert metrics.counter_value("campaign_pool_respawns_total") == 1
+        assert metrics.counter_value("campaign_shard_timeouts_total") == 0
+        assert metrics.counter_value("campaign_pool_degraded_total") == 0
+        assert metrics.counter_value("campaign_shards_executed_total") == 4
+
+    def test_two_kills_two_retries(self, gcd_duplex, chaos,
+                                   single_worker_pool, reference):
+        chaos.kill_worker(10, times=2)
+        ft = FaultTolerance(retries=2, backoff=0.0, max_respawns=3)
+        with collecting() as metrics:
+            result = _run(gcd_duplex, ft=ft)
+        chaos.assert_all_claimed()
+        _assert_identical(result, reference)
+        assert _retries(metrics, "broken-pool") == 2
+        assert metrics.counter_value("campaign_pool_respawns_total") == 2
+
+    def test_kill_loop_degrades_to_inline(self, gcd_duplex, chaos,
+                                          single_worker_pool, reference):
+        """A pool that keeps dying trips max_respawns and the campaign
+        finishes in-process — where chaos kills cannot reach it."""
+        chaos.kill_worker(0, times=3)
+        ft = FaultTolerance(retries=5, backoff=0.0, max_respawns=1)
+        with collecting() as metrics:
+            result = _run(gcd_duplex, ft=ft)
+        _assert_identical(result, reference)
+        assert metrics.counter_value("campaign_pool_degraded_total") == 1
+        assert metrics.counter_value("campaign_pool_respawns_total") == 2
+        # The third kill token never fires: inline execution is not a
+        # worker, and the parent must never SIGKILL itself.
+        assert len(chaos.pending()) == 1
+        assert metrics.counter_value("campaign_shards_executed_total") == 4
+
+
+class TestHungShards:
+    def test_hung_shard_trips_timeout(self, gcd_duplex, chaos,
+                                      single_worker_pool, reference):
+        chaos.hang_shard(10, seconds=120.0)
+        ft = FaultTolerance(retries=2, timeout=1.0, backoff=0.0,
+                            max_respawns=3)
+        with collecting() as metrics:
+            result = _run(gcd_duplex, ft=ft)
+        chaos.assert_all_claimed()
+        _assert_identical(result, reference)
+        # One hang -> exactly one timeout, one timeout-reason retry, and
+        # one pool respawn (the stuck worker had to be killed).
+        assert metrics.counter_value("campaign_shard_timeouts_total") == 1
+        assert _retries(metrics, "timeout") == 1
+        assert _retries(metrics, "broken-pool") == 0
+        assert metrics.counter_value("campaign_pool_respawns_total") == 1
+
+
+class TestFailingShards:
+    def test_transient_failure_exact_retry_count(self, gcd_duplex, chaos,
+                                                 reference):
+        chaos.fail_shard(20, times=2)
+        ft = FaultTolerance(retries=2, backoff=0.0)
+        with collecting() as metrics:
+            result = _run(gcd_duplex, ft=ft)  # serial path
+        chaos.assert_all_claimed()
+        _assert_identical(result, reference)
+        assert _retries(metrics, "error") == 2
+        assert metrics.counter_value("campaign_shard_timeouts_total") == 0
+
+    def test_exhausted_retries_surface_the_error(self, gcd_duplex, chaos):
+        chaos.fail_shard(0, times=2)
+        ft = FaultTolerance(retries=1, backoff=0.0)
+        with pytest.raises(CampaignExecutionError) as exc_info:
+            _run(gcd_duplex, ft=ft)
+        assert exc_info.value.shard == (0, 10)
+        assert "2 attempt" in str(exc_info.value)
+
+    def test_pool_failure_falls_back_inline_then_raises(self, gcd_duplex,
+                                                        chaos,
+                                                        single_worker_pool):
+        """On a pool, the final attempt runs inline; a shard that still
+        fails there is a real error, reported with its shard id."""
+        chaos.fail_shard(0, times=2)
+        ft = FaultTolerance(retries=0, backoff=0.0)
+        with pytest.raises(CampaignExecutionError) as exc_info:
+            _run(gcd_duplex, ft=ft)
+        assert exc_info.value.shard == (0, 10)
+
+
+class TestCorruptCache:
+    def _warm(self, duplex, tmp_path):
+        cache = CampaignCache(tmp_path / "cache")
+        _run(duplex, cache=cache)
+        return cache
+
+    def test_truncated_entry_quarantined_and_recomputed(
+            self, gcd_duplex, tmp_path, reference):
+        cache = self._warm(gcd_duplex, tmp_path)
+        victim = sorted(cache.root.rglob("*.pkl"))[0]
+        truncate_file(victim, keep=32)
+        recovery = CampaignCache(tmp_path / "cache")
+        with collecting() as metrics:
+            result = _run(gcd_duplex, cache=recovery)
+        _assert_identical(result, reference)
+        assert recovery.corrupt == 1
+        assert recovery.hits == 3
+        assert recovery.misses == 1
+        assert metrics.counter_value("campaign_cache_corrupt_total") == 1
+        # The corrupt entry is preserved for post-mortems, not destroyed.
+        assert len(list(recovery.quarantine_dir.iterdir())) == 1
+
+    def test_bit_flip_detected_by_crc(self, gcd_duplex, tmp_path, reference):
+        cache = self._warm(gcd_duplex, tmp_path)
+        for victim in sorted(cache.root.rglob("*.pkl"))[:2]:
+            flip_bit(victim, offset=-3, bit=4)
+        recovery = CampaignCache(tmp_path / "cache")
+        with collecting() as metrics:
+            result = _run(gcd_duplex, cache=recovery)
+        _assert_identical(result, reference)
+        assert recovery.corrupt == 2
+        assert metrics.counter_value("campaign_cache_corrupt_total") == 2
+        assert len(list(recovery.quarantine_dir.iterdir())) == 2
+
+    def test_quarantined_entry_is_rewritten_clean(self, gcd_duplex,
+                                                  tmp_path):
+        cache = self._warm(gcd_duplex, tmp_path)
+        victim = sorted(cache.root.rglob("*.pkl"))[0]
+        flip_bit(victim)
+        recovery = CampaignCache(tmp_path / "cache")
+        _run(gcd_duplex, cache=recovery)
+        # The recomputed shard went back to disk; a third run is clean.
+        replay = CampaignCache(tmp_path / "cache")
+        _run(gcd_duplex, cache=replay)
+        assert replay.hits == 4
+        assert replay.corrupt == 0
+
+
+class TestNoPartialFiles:
+    def test_chaotic_run_leaves_no_torn_files(self, gcd_duplex, tmp_path,
+                                              chaos, single_worker_pool,
+                                              reference):
+        """After kills and retries, the cache and journal hold only
+        complete, sealed artifacts — no ``*.tmp-*`` partials anywhere."""
+        import numpy as np
+
+        from repro.faults.campaign import default_injector
+        from repro.parallel import CampaignJournal, campaign_fingerprint
+        from repro.sim.rng import derive_seed_sequence
+
+        versions, oracle = gcd_duplex
+        injector = default_injector(versions[0], np.random.default_rng(0))
+        fingerprint = campaign_fingerprint(
+            versions[0], versions[1], oracle, N_TRIALS,
+            derive_seed_sequence(SEED), injector, 2_000, 256, 4_000)
+        cache = CampaignCache(tmp_path / "cache")
+        journal = CampaignJournal.create(
+            "chaotic", {"fingerprint": fingerprint}, root=tmp_path / "runs")
+        chaos.kill_worker(0)
+        chaos.fail_shard(30)
+        ft = FaultTolerance(retries=2, backoff=0.0)
+        result = _run(gcd_duplex, cache=cache, journal=journal, ft=ft)
+        _assert_identical(result, reference)
+        partials = [p for p in tmp_path.rglob("*.tmp-*")]
+        assert partials == []
+        # Every ledger line still passes its CRC seal.
+        reread = CampaignJournal.open("chaotic", root=tmp_path / "runs")
+        assert len(reread.completed_shards()) == 4
+        assert reread.corrupt_entries == 0
+        assert reread.completion()["digest"] == reference.digest()
+
+
+class TestRetryTracePoints:
+    def test_recovery_leaves_a_trace_trail(self, gcd_duplex, chaos,
+                                           reference):
+        """A recovered campaign is distinguishable from a clean one: its
+        trace carries the retry points (and forensics can read them)."""
+        from repro.obs import tracing
+        from repro.obs.forensics import retry_forensics
+
+        chaos.fail_shard(20, times=1)
+        ft = FaultTolerance(retries=2, backoff=0.0)
+        with tracing() as tr:
+            result = _run(gcd_duplex, ft=ft)
+        _assert_identical(result, reference)
+        records = retry_forensics(tuple(tr.events))
+        assert [r.event for r in records] == ["retry"]
+        assert (records[0].start, records[0].count) == (20, 10)
+        assert records[0].reason == "error"
+        assert records[0].attempt == 1

@@ -1,0 +1,174 @@
+"""The campaign journal: CRC-sealed ledgers and crash-safe manifests."""
+
+import json
+import os
+
+import pytest
+
+from repro.errors import JournalError
+from repro.parallel.journal import (
+    DEFAULT_RUNS_DIR,
+    CampaignJournal,
+    default_runs_dir,
+    seal_record,
+    unseal_record,
+)
+
+from tests.parallel.chaos import flip_bit, truncate_file
+
+FP = "a" * 64
+
+
+def make_journal(tmp_path, run_id="run1", fingerprint=FP):
+    return CampaignJournal.create(run_id, {"fingerprint": fingerprint},
+                                  root=tmp_path)
+
+
+class TestSealedRecords:
+    def test_round_trip(self):
+        record = {"event": "shard", "start": 0, "count": 25}
+        line = seal_record(record)
+        assert unseal_record(line) == record
+
+    def test_key_order_does_not_matter(self):
+        a = seal_record({"start": 0, "event": "shard"})
+        b = seal_record({"event": "shard", "start": 0})
+        assert a == b
+
+    def test_any_flipped_byte_invalidates(self):
+        line = seal_record({"event": "shard", "start": 3, "count": 7})
+        for i in range(len(line)):
+            mutated = line[:i] + chr(ord(line[i]) ^ 1) + line[i + 1:]
+            assert unseal_record(mutated) is None, f"byte {i} slipped through"
+
+    @pytest.mark.parametrize("junk", [
+        "", "   ", "{", "not json at all", "[1, 2, 3]", '"a string"',
+        '{"event": "shard"}',                      # no seal at all
+        '{"event": "shard", "crc": 12345}',        # non-string seal
+        '{"event": "shard", "crc": "zzzzzzzz"}',   # non-hex seal
+    ])
+    def test_garbage_lines_rejected(self, junk):
+        assert unseal_record(junk) is None
+
+
+class TestJournalLifecycle:
+    def test_create_writes_manifest(self, tmp_path):
+        j = make_journal(tmp_path)
+        manifest = json.loads(j.manifest_path.read_text())
+        assert manifest["fingerprint"] == FP
+        assert manifest["run_id"] == "run1"
+        assert manifest["schema"] >= 1
+        # Atomic write leaves no temp files behind.
+        assert not list(j.directory.glob("*.tmp-*"))
+
+    def test_create_requires_fingerprint(self, tmp_path):
+        with pytest.raises(JournalError, match="fingerprint"):
+            CampaignJournal.create("run1", {}, root=tmp_path)
+
+    @pytest.mark.parametrize("bad", ["", ".dot", "has space", "a" * 65,
+                                     "../escape", "a/b"])
+    def test_create_rejects_bad_run_ids(self, tmp_path, bad):
+        with pytest.raises(JournalError, match="run id"):
+            CampaignJournal.create(bad, {"fingerprint": FP}, root=tmp_path)
+
+    def test_reopen_same_fingerprint_resumes(self, tmp_path):
+        make_journal(tmp_path).record_shard(0, 25, digest="d0")
+        j = make_journal(tmp_path)
+        assert j.completed_shards() == {
+            (0, 25): {"event": "shard", "start": 0, "count": 25,
+                      "shard": "000000-00025", "source": "computed",
+                      "digest": "d0"},
+        }
+
+    def test_reopen_other_fingerprint_refused(self, tmp_path):
+        make_journal(tmp_path)
+        with pytest.raises(JournalError, match="different"):
+            make_journal(tmp_path, fingerprint="b" * 64)
+
+    def test_open_missing_run(self, tmp_path):
+        with pytest.raises(JournalError, match="no journal"):
+            CampaignJournal.open("ghost", root=tmp_path)
+
+    def test_open_corrupt_manifest(self, tmp_path):
+        j = make_journal(tmp_path)
+        j.manifest_path.write_text("{ torn")
+        with pytest.raises(JournalError, match="corrupt"):
+            CampaignJournal.open("run1", root=tmp_path)
+
+    def test_default_root_from_env(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("VDS_RUNS_DIR", str(tmp_path / "alt"))
+        assert default_runs_dir() == tmp_path / "alt"
+        j = CampaignJournal.create("envrun", {"fingerprint": FP})
+        assert j.directory == tmp_path / "alt" / "envrun"
+        monkeypatch.delenv("VDS_RUNS_DIR")
+        assert default_runs_dir() == DEFAULT_RUNS_DIR
+
+
+class TestLedger:
+    def test_record_shard_is_idempotent(self, tmp_path):
+        j = make_journal(tmp_path)
+        assert j.record_shard(0, 25, digest="d0") is True
+        assert j.record_shard(0, 25, digest="d0") is False
+        assert len(j.ledger_path.read_text().splitlines()) == 1
+
+    def test_idempotent_across_reopen(self, tmp_path):
+        make_journal(tmp_path).record_shard(0, 25)
+        j = CampaignJournal.open("run1", root=tmp_path)
+        assert j.record_shard(0, 25) is False
+
+    def test_completion_record(self, tmp_path):
+        j = make_journal(tmp_path)
+        assert j.completion() is None
+        j.record_shard(0, 25, digest="d0")
+        j.mark_complete("whole-digest", 25)
+        done = j.completion()
+        assert done["digest"] == "whole-digest"
+        assert done["n_trials"] == 25
+
+    def test_torn_tail_line_is_skipped(self, tmp_path):
+        j = make_journal(tmp_path)
+        j.record_shard(0, 25, digest="d0")
+        j.record_shard(25, 25, digest="d1")
+        # A writer killed mid-append leaves a partial final line.
+        with j.ledger_path.open("a") as fh:
+            fh.write('{"event": "shard", "start": 50, "cou')
+        reread = CampaignJournal.open("run1", root=tmp_path)
+        assert set(reread.completed_shards()) == {(0, 25), (25, 25)}
+        assert reread.corrupt_entries == 1
+
+    def test_bit_flip_invalidates_only_its_line(self, tmp_path):
+        j = make_journal(tmp_path)
+        j.record_shard(0, 25, digest="d0")
+        size_first = j.ledger_path.stat().st_size
+        j.record_shard(25, 25, digest="d1")
+        flip_bit(j.ledger_path, offset=size_first // 2)
+        reread = CampaignJournal.open("run1", root=tmp_path)
+        assert set(reread.completed_shards()) == {(25, 25)}
+        assert reread.corrupt_entries == 1
+
+    def test_truncated_ledger_keeps_valid_prefix(self, tmp_path):
+        j = make_journal(tmp_path)
+        j.record_shard(0, 25, digest="d0")
+        size_first = j.ledger_path.stat().st_size
+        j.record_shard(25, 25, digest="d1")
+        truncate_file(j.ledger_path, keep=size_first + 10)
+        reread = CampaignJournal.open("run1", root=tmp_path)
+        assert set(reread.completed_shards()) == {(0, 25)}
+        assert reread.corrupt_entries == 1
+
+    def test_missing_ledger_means_nothing_completed(self, tmp_path):
+        j = make_journal(tmp_path)
+        assert j.completed_shards() == {}
+        assert j.corrupt_entries == 0
+
+    def test_ledger_appends_are_fsynced_lines(self, tmp_path):
+        j = make_journal(tmp_path)
+        for start in range(0, 100, 25):
+            j.record_shard(start, 25, digest=f"d{start}")
+        lines = j.ledger_path.read_text().splitlines()
+        assert len(lines) == 4
+        assert all(unseal_record(line) is not None for line in lines)
+        # fsync leaves the data visible to an independent reader at once.
+        fresh = CampaignJournal.open("run1", root=tmp_path)
+        assert len(fresh.completed_shards()) == 4
+        assert os.path.getsize(j.ledger_path) > 0

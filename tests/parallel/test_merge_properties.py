@@ -1,0 +1,133 @@
+"""Property tests for :meth:`CampaignResult.merge` — the algebra resume
+and fault recovery rest on.
+
+If merge is associative (grouping-free), order-sensitive only in the way
+concatenation is, and inverse to partitioning, then *any* interleaving
+of cached, recomputed, and retried shards reassembles the serial trial
+sequence exactly — which is the executor's bit-identity contract.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.faults import run_campaign
+from repro.faults.campaign import CampaignResult, DuplexTrialResult
+from repro.faults.models import FaultKind, FaultOutcome, FaultSpec
+
+# -- synthetic trial strategies ----------------------------------------------
+
+@st.composite
+def specs(draw):
+    """Valid FaultSpecs — each kind gets the fields it requires."""
+    kind = draw(st.sampled_from(list(FaultKind)))
+    register = (draw(st.integers(0, 15))
+                if kind is FaultKind.TRANSIENT_REGISTER else None)
+    address = (draw(st.integers(0, 255))
+               if kind in (FaultKind.TRANSIENT_MEMORY,
+                           FaultKind.PERMANENT_MEMORY) else None)
+    return FaultSpec(kind=kind,
+                     at_instruction=draw(st.integers(0, 5_000)),
+                     register=register, address=address,
+                     bit=draw(st.integers(0, 31)),
+                     stuck_value=draw(st.integers(0, 1)))
+
+trials = st.builds(
+    DuplexTrialResult,
+    spec=specs(),
+    victim=st.integers(1, 2),
+    outcome=st.sampled_from(list(FaultOutcome)),
+    injected_round=st.one_of(st.none(), st.integers(0, 100)),
+    detected_round=st.one_of(st.none(), st.integers(0, 100)),
+    rounds_executed=st.integers(1, 200),
+)
+
+
+def result_of(trial_list):
+    return CampaignResult(trials=list(trial_list))
+
+
+results = st.lists(trials, max_size=12).map(result_of)
+
+
+@st.composite
+def partitioned_trials(draw):
+    """A trial list plus an arbitrary partition of it into shards."""
+    trial_list = draw(st.lists(trials, max_size=30))
+    cuts = draw(st.lists(st.integers(0, len(trial_list)), max_size=6)
+                .map(sorted))
+    bounds = [0] + cuts + [len(trial_list)]
+    parts = [result_of(trial_list[lo:hi])
+             for lo, hi in zip(bounds, bounds[1:])]
+    return trial_list, parts
+
+
+# -- the merge algebra --------------------------------------------------------
+
+class TestMergeAlgebra:
+    @given(a=results, b=results, c=results)
+    def test_associative(self, a, b, c):
+        left = CampaignResult.merge([CampaignResult.merge([a, b]), c])
+        right = CampaignResult.merge([a, CampaignResult.merge([b, c])])
+        flat = CampaignResult.merge([a, b, c])
+        assert left.trials == right.trials == flat.trials
+        assert left.digest() == right.digest() == flat.digest()
+
+    @given(a=results)
+    def test_empty_is_identity(self, a):
+        empty = CampaignResult()
+        assert CampaignResult.merge([empty, a]).trials == a.trials
+        assert CampaignResult.merge([a, empty]).trials == a.trials
+
+    @given(parts_and_perm=st.lists(results, max_size=6).flatmap(
+        lambda shards: st.tuples(st.just(shards), st.permutations(shards))))
+    def test_outcome_stats_commute_over_shard_order(self, parts_and_perm):
+        """Aggregate statistics do not depend on shard completion order."""
+        shards, shuffled = parts_and_perm
+        a = CampaignResult.merge(shards)
+        b = CampaignResult.merge(shuffled)
+        assert a.outcome_counts() == b.outcome_counts()
+        assert a.coverage == b.coverage
+        assert sorted(a.detection_latencies()) == sorted(
+            b.detection_latencies())
+
+    @given(data=partitioned_trials())
+    def test_merge_inverts_any_partition(self, data):
+        """Merging the shards of *any* partition rebuilds the sequence."""
+        trial_list, parts = data
+        merged = CampaignResult.merge(parts)
+        assert merged.trials == trial_list
+        assert merged.digest() == result_of(trial_list).digest()
+
+    @given(a=results, b=results)
+    def test_merge_does_not_mutate_parts(self, a, b):
+        before_a, before_b = list(a.trials), list(b.trials)
+        CampaignResult.merge([a, b])
+        assert a.trials == before_a
+        assert b.trials == before_b
+
+
+# -- against the real executor ------------------------------------------------
+
+class TestSerialEquivalence:
+    """Sharded == serial for arbitrary shard sizes and worker counts."""
+
+    N_TRIALS = 12
+    SEED = 31
+
+    def _serial(self, gcd_duplex):
+        versions, oracle = gcd_duplex
+        return run_campaign(versions[0], versions[1], oracle,
+                            self.N_TRIALS, self.SEED, n_workers=1)
+
+    @settings(max_examples=6, deadline=None)
+    @given(shard_size=st.integers(1, 12), workers=st.integers(1, 3))
+    def test_any_partition_matches_serial(self, gcd_duplex,
+                                          shard_size, workers):
+        versions, oracle = gcd_duplex
+        serial = self._serial(gcd_duplex)
+        sharded = run_campaign(versions[0], versions[1], oracle,
+                               self.N_TRIALS, self.SEED,
+                               n_workers=workers, shard_size=shard_size)
+        assert sharded.trials == serial.trials
+        assert sharded.digest() == serial.digest()
+        assert sharded.outcome_counts() == serial.outcome_counts()

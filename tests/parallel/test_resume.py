@@ -1,0 +1,186 @@
+"""Resumable campaigns: an interrupted run re-executes only what it must.
+
+The contract under test (ISSUE acceptance criterion): interrupt a
+journaled campaign after k of n shards, resume it, and (a) exactly
+n − k shards execute — counted via the ``campaign_shards_executed_total``
+metric and the ledger — and (b) the merged result is byte-identical to
+the uninterrupted run.
+"""
+
+import numpy as np
+import pytest
+
+from repro.errors import CampaignExecutionError, JournalError
+from repro.faults import run_campaign
+from repro.faults.campaign import default_injector
+from repro.obs import collecting
+from repro.parallel import (
+    CampaignCache,
+    CampaignJournal,
+    FaultTolerance,
+    campaign_fingerprint,
+)
+from repro.sim.rng import derive_seed_sequence
+
+N_TRIALS = 40
+SHARD = 10            # -> 4 shards: starts 0, 10, 20, 30
+SEED = 99
+
+NO_RETRY = FaultTolerance(retries=0, backoff=0.0)
+
+
+def _run(duplex, *, cache=None, journal=None, ft=None, workers=1):
+    versions, oracle = duplex
+    return run_campaign(versions[0], versions[1], oracle, N_TRIALS, SEED,
+                        n_workers=workers, shard_size=SHARD, cache=cache,
+                        journal=journal, fault_tolerance=ft)
+
+
+def _fingerprint(duplex):
+    """Exactly what the executor will compute for :func:`_run`."""
+    versions, oracle = duplex
+    injector = default_injector(versions[0], np.random.default_rng(0))
+    return campaign_fingerprint(versions[0], versions[1], oracle, N_TRIALS,
+                                derive_seed_sequence(SEED), injector,
+                                2_000, 256, 4_000)
+
+
+def _journal(duplex, tmp_path, run_id="run"):
+    return CampaignJournal.create(run_id, {"fingerprint": _fingerprint(duplex)},
+                                  root=tmp_path / "runs")
+
+
+@pytest.fixture(scope="module")
+def reference(gcd_duplex):
+    """The uninterrupted campaign — the byte-identity baseline."""
+    return _run(gcd_duplex)
+
+
+def _shard_records(journal):
+    return [e for e in journal.entries() if e.get("event") == "shard"]
+
+
+class TestInterruptAndResume:
+    def _interrupt_at_shard_20(self, duplex, tmp_path, chaos):
+        """Run with a terminal fault on shard (20, 10); k=2 shards survive."""
+        cache = CampaignCache(tmp_path / "cache")
+        journal = _journal(duplex, tmp_path)
+        chaos.fail_shard(20)
+        with pytest.raises(CampaignExecutionError) as exc_info:
+            _run(duplex, cache=cache, journal=journal, ft=NO_RETRY)
+        return cache, journal, exc_info.value
+
+    def test_resume_executes_only_missing_shards(self, gcd_duplex, tmp_path,
+                                                 chaos, reference):
+        cache, journal, err = self._interrupt_at_shard_20(
+            gcd_duplex, tmp_path, chaos)
+        # The crash happened after exactly k=2 shards were journaled.
+        assert err.shard == (20, 10)
+        assert {(e["start"], e["count"]) for e in _shard_records(journal)} \
+            == {(0, 10), (10, 10)}
+        assert journal.completion() is None
+
+        resumed_journal = CampaignJournal.open("run", root=tmp_path / "runs")
+        resumed_cache = CampaignCache(tmp_path / "cache")
+        with collecting() as metrics:
+            result = _run(gcd_duplex, cache=resumed_cache,
+                          journal=resumed_journal, ft=NO_RETRY)
+        # Exactly n − k = 2 shards executed; k = 2 came from the cache.
+        assert metrics.counter_value("campaign_shards_executed_total") == 2
+        assert resumed_cache.hits == 2
+        assert resumed_cache.misses == 2
+        # Byte-identical to the uninterrupted campaign.
+        assert result.trials == reference.trials
+        assert result.digest() == reference.digest()
+        assert result.outcome_counts() == reference.outcome_counts()
+
+    def test_resume_journal_reaches_completion(self, gcd_duplex, tmp_path,
+                                               chaos, reference):
+        cache, journal, _err = self._interrupt_at_shard_20(
+            gcd_duplex, tmp_path, chaos)
+        resumed = CampaignJournal.open("run", root=tmp_path / "runs")
+        _run(gcd_duplex, cache=CampaignCache(tmp_path / "cache"),
+             journal=resumed, ft=NO_RETRY)
+        records = _shard_records(resumed)
+        # 2 shards journaled before the crash + 2 on resume; idempotency
+        # means the resumed run adds no duplicate lines for cache hits.
+        assert len(records) == 4
+        assert all(r["source"] == "computed" for r in records)
+        done = resumed.completion()
+        assert done is not None
+        assert done["digest"] == reference.digest()
+        assert done["n_trials"] == N_TRIALS
+
+    def test_resume_with_different_worker_count(self, gcd_duplex, tmp_path,
+                                                chaos, reference):
+        """Resuming on a pool reproduces a serially-started run exactly."""
+        self._interrupt_at_shard_20(gcd_duplex, tmp_path, chaos)
+        resumed = CampaignJournal.open("run", root=tmp_path / "runs")
+        result = _run(gcd_duplex, cache=CampaignCache(tmp_path / "cache"),
+                      journal=resumed, ft=NO_RETRY, workers=3)
+        assert result.digest() == reference.digest()
+
+    def test_resume_survives_deleted_cache_entry(self, gcd_duplex, tmp_path,
+                                                 chaos, reference):
+        """A journaled shard whose cache entry vanished is just recomputed."""
+        self._interrupt_at_shard_20(gcd_duplex, tmp_path, chaos)
+        victim = next((tmp_path / "cache").rglob("shard-000000-*.pkl"))
+        victim.unlink()
+        resumed = CampaignJournal.open("run", root=tmp_path / "runs")
+        with collecting() as metrics:
+            result = _run(gcd_duplex, cache=CampaignCache(tmp_path / "cache"),
+                          journal=resumed, ft=NO_RETRY)
+        # 2 missing + 1 evicted = 3 executed.
+        assert metrics.counter_value("campaign_shards_executed_total") == 3
+        assert result.digest() == reference.digest()
+
+    def test_foreign_cache_entry_recomputed_via_ledger_digest(
+            self, gcd_duplex, tmp_path, chaos, reference):
+        """A valid-looking cache entry that isn't the journaled shard is
+        detected by the ledger's digest cross-check and recomputed."""
+        cache = CampaignCache(tmp_path / "cache")
+        journal = _journal(gcd_duplex, tmp_path)
+        _run(gcd_duplex, cache=cache, journal=journal)
+        # Craft an internally-consistent entry for shard (0, 10) that
+        # belongs to a different campaign: seal the result of shard
+        # (10, 10) under shard (0, 10)'s name.
+        fingerprint = _fingerprint(gcd_duplex)
+        other = cache.lookup(fingerprint, 10, 10)
+        cache.store(fingerprint, 0, 10, other)
+        resumed = CampaignJournal.open("run", root=tmp_path / "runs")
+        with collecting() as metrics:
+            result = _run(gcd_duplex, cache=CampaignCache(tmp_path / "cache"),
+                          journal=resumed, ft=NO_RETRY)
+        assert metrics.counter_value("campaign_shards_executed_total") == 1
+        assert result.digest() == reference.digest()
+
+
+class TestJournalGuards:
+    def test_fingerprint_mismatch_raises(self, gcd_duplex, tmp_path):
+        journal = CampaignJournal.create(
+            "other", {"fingerprint": "c" * 64}, root=tmp_path / "runs")
+        with pytest.raises(JournalError, match="configuration changed"):
+            _run(gcd_duplex, cache=CampaignCache(tmp_path / "cache"),
+                 journal=journal)
+
+    def test_failure_carries_resume_context(self, gcd_duplex, tmp_path,
+                                            chaos):
+        _cache, journal, err = TestInterruptAndResume. \
+            _interrupt_at_shard_20(TestInterruptAndResume(), gcd_duplex,
+                                   tmp_path, chaos)
+        assert err.run_id == "run"
+        assert err.journal_path == str(journal.directory)
+        assert "shard 000020-00010" in str(err)
+
+    def test_completed_run_is_a_pure_cache_replay(self, gcd_duplex, tmp_path,
+                                                  reference):
+        cache = CampaignCache(tmp_path / "cache")
+        journal = _journal(gcd_duplex, tmp_path)
+        _run(gcd_duplex, cache=cache, journal=journal)
+        rerun = CampaignJournal.open("run", root=tmp_path / "runs")
+        replay_cache = CampaignCache(tmp_path / "cache")
+        with collecting() as metrics:
+            result = _run(gcd_duplex, cache=replay_cache, journal=rerun)
+        assert metrics.counter_value("campaign_shards_executed_total") == 0
+        assert replay_cache.hits == 4
+        assert result.digest() == reference.digest()

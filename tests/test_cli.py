@@ -138,6 +138,88 @@ class TestCampaignCommand:
             build_parser().parse_args(["campaign", "--kind", "cosmic"])
 
 
+class TestCampaignResumeCLI:
+    """The journaled-campaign surface: --run-id, --resume, and the
+    one-line failure diagnosis that points at the journal."""
+
+    ARGS = ["campaign", "--program", "gcd", "--trials", "30",
+            "--seed", "3", "--workers", "1"]
+
+    @pytest.fixture(autouse=True)
+    def isolated_dirs(self, monkeypatch, tmp_path):
+        monkeypatch.setenv("VDS_CACHE_DIR", str(tmp_path / "cache"))
+        monkeypatch.setenv("VDS_RUNS_DIR", str(tmp_path / "runs"))
+        return tmp_path
+
+    @staticmethod
+    def _digest_line(out):
+        return next(line for line in out.splitlines()
+                    if line.startswith("digest"))
+
+    def test_run_then_resume_is_bit_identical(self, capsys):
+        assert main(self.ARGS + ["--run-id", "nightly"]) == 0
+        first = capsys.readouterr().out
+        assert "journal" in first and "run nightly" in first
+        # A resume needs nothing but the run id: program, trials, seed
+        # all come back from the journal's manifest.
+        assert main(["campaign", "--resume", "nightly",
+                     "--workers", "1"]) == 0
+        second = capsys.readouterr().out
+        assert self._digest_line(second) == self._digest_line(first)
+        assert "0 misses" in second
+
+    def test_default_run_id_is_fingerprint_prefix(self, capsys):
+        assert main(self.ARGS) == 0
+        out = capsys.readouterr().out
+        run_id = next(line for line in out.splitlines()
+                      if "journal" in line).split("run ")[1].split()[0]
+        assert len(run_id) == 12
+        assert main(["campaign", "--resume", run_id, "--workers", "1"]) == 0
+
+    def test_worker_failure_diagnosed_with_resume_hint(
+            self, capsys, monkeypatch, tmp_path):
+        from tests.parallel.chaos import ChaosPlan
+
+        plan = ChaosPlan(tmp_path / "chaos")
+        monkeypatch.setenv("VDS_CHAOS_DIR", str(plan.directory))
+        monkeypatch.setenv("VDS_SHARD_RETRIES", "0")
+        monkeypatch.setenv("VDS_SHARD_BACKOFF", "0")
+        plan.fail_shard(25)      # second of the two 25-trial shards
+        assert main(self.ARGS + ["--run-id", "doomed"]) == 1
+        err = capsys.readouterr().err
+        assert "campaign failed" in err
+        assert str(tmp_path / "runs" / "doomed") in err
+        assert "--resume doomed" in err
+        # The chaos token is spent; the resume finishes the run and its
+        # digest matches an un-journaled reference of the same config.
+        assert main(["campaign", "--resume", "doomed",
+                     "--workers", "1"]) == 0
+        resumed = capsys.readouterr().out
+        monkeypatch.setenv("VDS_CACHE_DIR", str(tmp_path / "cache2"))
+        assert main(self.ARGS + ["--no-journal"]) == 0
+        reference = capsys.readouterr().out
+        assert self._digest_line(resumed) == self._digest_line(reference)
+
+    def test_resume_rejects_no_cache(self, capsys):
+        assert main(["campaign", "--resume", "x", "--no-cache"]) == 2
+        assert "--no-cache" in capsys.readouterr().err
+
+    def test_resume_unknown_run_id(self, capsys):
+        assert main(["campaign", "--resume", "no-such-run"]) == 2
+        assert "campaign:" in capsys.readouterr().err
+
+    def test_resume_conflicts_with_run_id(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["campaign", "--resume", "a", "--run-id", "b"])
+
+    def test_no_cache_disables_journal(self, capsys):
+        assert main(self.ARGS + ["--no-cache"]) == 0
+        captured = capsys.readouterr()
+        assert "journal" not in captured.out
+        assert "disables the run journal" in captured.err
+
+
 class TestTraceSummaryCommand:
     @pytest.fixture(scope="class")
     def mission_trace(self, tmp_path_factory):

@@ -1,0 +1,166 @@
+#!/usr/bin/env python
+"""Chaos smoke: crash a journaled campaign, corrupt its cache, resume it.
+
+A self-contained end-to-end demonstration of the crash-safety contract,
+suitable for CI (``make chaos``):
+
+1. run a journaled, cached campaign that is *killed* mid-flight by a
+   planted chaos token (terminal failure on the third shard);
+2. flip one bit in a surviving cache entry — a torn disk write;
+3. resume the run with fault tolerance enabled while a second chaos
+   token SIGKILLs a pool worker once.
+
+The resumed campaign must finish, quarantine the corrupt entry, survive
+the worker death, and produce a digest *bit-identical* to an
+uninterrupted reference run.  Exit status is non-zero otherwise.
+
+Artifacts land under ``results/chaos-smoke/`` (override with
+``--out``): the recovered run's journal (``manifest.json`` +
+``ledger.jsonl``), the fault-tolerance metrics in Prometheus text
+format, and a one-page ``summary.json``.
+"""
+
+import argparse
+import json
+import os
+import shutil
+import sys
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(ROOT))          # for tests.parallel.chaos
+sys.path.insert(0, str(ROOT / "src"))  # for repro
+
+import numpy as np  # noqa: E402
+
+from repro.diversity import generate_versions  # noqa: E402
+from repro.errors import CampaignExecutionError  # noqa: E402
+from repro.faults import run_campaign  # noqa: E402
+from repro.faults.campaign import default_injector  # noqa: E402
+from repro.isa import load_program  # noqa: E402
+from repro.obs import collecting, write_metrics  # noqa: E402
+from repro.parallel import (  # noqa: E402
+    CampaignCache,
+    CampaignJournal,
+    FaultTolerance,
+    campaign_fingerprint,
+)
+from repro.sim.rng import derive_seed_sequence  # noqa: E402
+from tests.parallel.chaos import ChaosPlan, flip_bit  # noqa: E402
+
+N_TRIALS = 60
+SHARD = 15            # -> 4 shards: starts 0, 15, 30, 45
+SEED = 2024
+RUN_ID = "chaos-smoke"
+
+
+def _campaign(duplex, **kwargs):
+    versions, oracle = duplex
+    return run_campaign(versions[0], versions[1], oracle, N_TRIALS, SEED,
+                        shard_size=SHARD, **kwargs)
+
+
+def _check(ok, label):
+    print(f"  [{'ok' if ok else 'FAIL'}] {label}")
+    return bool(ok)
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--out", default="results/chaos-smoke",
+                        help="artifact directory (default: %(default)s)")
+    args = parser.parse_args(argv)
+
+    out = Path(args.out)
+    if out.exists():
+        shutil.rmtree(out)
+    out.mkdir(parents=True)
+    cache_dir = out / "cache"
+    runs_dir = out / "runs"
+    chaos = ChaosPlan(out / "chaos")
+    os.environ["VDS_CHAOS_DIR"] = str(chaos.directory)
+
+    prog, inputs, spec = load_program("gcd")
+    versions = generate_versions(prog, inputs, n=3, seed=7)
+    duplex = (versions, spec.oracle())
+
+    print("chaos smoke: reference run (no journal, no faults)")
+    reference = _campaign(duplex, n_workers=1)
+
+    fingerprint = campaign_fingerprint(
+        versions[0], versions[1], duplex[1], N_TRIALS,
+        derive_seed_sequence(SEED), default_injector(
+            versions[0], np.random.default_rng(0)),
+        2_000, 256, 4_000)
+
+    print("chaos smoke: phase 1 — journaled run crashes on shard 000030")
+    chaos.fail_shard(30)
+    journal = CampaignJournal.create(RUN_ID, {"fingerprint": fingerprint},
+                                     root=runs_dir)
+    cache = CampaignCache(cache_dir)
+    try:
+        _campaign(duplex, n_workers=1, cache=cache, journal=journal,
+                  fault_tolerance=FaultTolerance(retries=0, backoff=0.0))
+    except CampaignExecutionError as exc:
+        print(f"  crashed as planned: {exc}")
+        survivors = len(journal.completed_shards())
+    else:
+        print("  ERROR: the planted failure did not fire", file=sys.stderr)
+        return 1
+
+    print("chaos smoke: phase 2 — flip one bit in a surviving cache entry")
+    victim = sorted(cache_dir.rglob("*.pkl"))[0]
+    flip_bit(victim, offset=-3, bit=4)
+
+    print("chaos smoke: phase 3 — resume with a worker SIGKILL in flight")
+    chaos.kill_worker(30)   # a shard the resume must actually re-execute
+    os.environ["VDS_FORCE_POOL"] = "1"   # pool even with one worker
+    resumed = CampaignJournal.open(RUN_ID, root=runs_dir)
+    recovery = CampaignCache(cache_dir)
+    with collecting() as metrics:
+        result = _campaign(
+            duplex, n_workers=1, cache=recovery, journal=resumed,
+            fault_tolerance=FaultTolerance(retries=3, backoff=0.0,
+                                           max_respawns=3))
+
+    write_metrics(metrics, out / "metrics.prom")
+    final = CampaignJournal.open(RUN_ID, root=runs_dir)
+    completion = final.completion()
+    summary = {
+        "run_id": RUN_ID,
+        "reference_digest": reference.digest(),
+        "recovered_digest": result.digest(),
+        "shards_survived_crash": survivors,
+        "shards_executed_on_resume": metrics.counter_value(
+            "campaign_shards_executed_total"),
+        "cache_entries_quarantined": recovery.corrupt,
+        "pool_respawns": metrics.counter_value(
+            "campaign_pool_respawns_total"),
+        "journal": str(final.directory),
+    }
+    (out / "summary.json").write_text(
+        json.dumps(summary, indent=2, sort_keys=True) + "\n",
+        encoding="utf-8")
+
+    print("chaos smoke: verdict")
+    ok = True
+    ok &= _check(result.digest() == reference.digest(),
+                 "recovered digest is bit-identical to the reference")
+    ok &= _check(result.outcome_counts() == reference.outcome_counts(),
+                 "outcome counts match the reference")
+    ok &= _check(recovery.corrupt == 1,
+                 "exactly one corrupt cache entry quarantined")
+    ok &= _check(metrics.counter_value("campaign_pool_respawns_total") >= 1,
+                 "the killed pool worker was respawned")
+    ok &= _check(completion is not None
+                 and completion["digest"] == reference.digest(),
+                 "journal carries the completion record")
+    ok &= _check(not list(out.rglob("*.tmp-*")),
+                 "no torn temp files left anywhere")
+    ok &= _check(not chaos.pending(), "every planted chaos token fired")
+    print(f"chaos smoke: artifacts in {out}")
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
